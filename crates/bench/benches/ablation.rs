@@ -1,0 +1,95 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! * Chortle's node-splitting threshold (paper Section 3.1.4) — runtime
+//!   grows steeply past fanin 10, which is why the paper splits there.
+//! * The subset-DP formulation vs the paper's literal pseudo-code
+//!   (explicit partition enumeration).
+//! * The MIS baseline's greedy fanout duplication and cut budget.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+use chortle::reference::reference_tree_cost;
+use chortle::{map_network, tree_lut_cost, Forest, MapOptions};
+use chortle_circuits::{benchmark, control};
+use chortle_logic_opt::optimize;
+use chortle_mis::{map_network as mis_map, Library, MisOptions};
+
+fn bench_split_threshold(c: &mut Criterion) {
+    // Control logic with very wide cubes stresses the partition search.
+    let net = control(0xAB1A, 24, 8, 40, (8, 14), (2, 4));
+    let mut group = c.benchmark_group("split_threshold_k5");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
+    for threshold in [6usize, 8, 10, 12, 14, 16] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threshold),
+            &threshold,
+            |b, &t| {
+                b.iter(|| {
+                    map_network(&net, &MapOptions::new(5).with_split_threshold(t))
+                        .expect("maps")
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_dp_vs_reference(c: &mut Criterion) {
+    // The same search space, two formulations: the production subset DP
+    // and the paper-literal partition enumeration.
+    let net = benchmark("alu2").expect("known");
+    let (optimized, _) = optimize(&net).expect("acyclic");
+    let normal = optimized.simplified();
+    let forest = Forest::of(&normal);
+    let tree = forest
+        .trees
+        .iter()
+        .filter(|t| t.max_fanin() <= 7)
+        .max_by_key(|t| t.nodes.len())
+        .expect("alu2 has trees")
+        .clone();
+    let mut group = c.benchmark_group("tree_mapper");
+    group.sample_size(20);
+    group.bench_function("subset_dp", |b| b.iter(|| tree_lut_cost(&tree, 5)));
+    group.bench_function("paper_pseudocode", |b| {
+        b.iter(|| reference_tree_cost(&tree, 5))
+    });
+    group.finish();
+}
+
+fn bench_mis_options(c: &mut Criterion) {
+    let net = benchmark("apex7").expect("known");
+    let (optimized, _) = optimize(&net).expect("acyclic");
+    let lib = Library::for_paper(4);
+    let mut group = c.benchmark_group("mis_options_k4");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
+    group.bench_function("tree_covering", |b| {
+        b.iter(|| mis_map(&optimized, &lib, &MisOptions::new(4)).expect("maps"))
+    });
+    group.bench_function("fanout_duplication", |b| {
+        b.iter(|| {
+            mis_map(
+                &optimized,
+                &lib,
+                &MisOptions::new(4).with_fanout_duplication(),
+            )
+            .expect("maps")
+        })
+    });
+    let mut small_cuts = MisOptions::new(4);
+    small_cuts.max_cuts = 8;
+    group.bench_function("cut_budget_8", |b| {
+        b.iter(|| mis_map(&optimized, &lib, &small_cuts).expect("maps"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_split_threshold, bench_dp_vs_reference, bench_mis_options);
+criterion_main!(benches);

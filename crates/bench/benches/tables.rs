@@ -1,0 +1,56 @@
+//! Criterion benches regenerating the timing columns of the paper's
+//! Tables 1–4: for every benchmark circuit and every K in 2..=5, measure
+//! the MIS baseline and the Chortle mapper on the same optimized network.
+//!
+//! Run with `cargo bench -p chortle-bench --bench tables`. The LUT-count
+//! columns of the tables come from the `tables` binary
+//! (`cargo run -p chortle-bench --bin tables`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+use chortle::{map_network, MapOptions};
+use chortle_bench::optimized_suite;
+use chortle_mis::{map_network as mis_map, Library, MisOptions};
+
+fn bench_tables(c: &mut Criterion) {
+    let suite = optimized_suite();
+    for k in [2usize, 3, 4, 5] {
+        let lib = Library::for_paper(k);
+        let chortle_opts = MapOptions::new(k);
+        let mis_opts = MisOptions::new(k).with_fanout_duplication();
+        let mut group = c.benchmark_group(format!("table_k{k}"));
+        group
+            .sample_size(10)
+            .warm_up_time(Duration::from_millis(200))
+            .measurement_time(Duration::from_millis(600));
+        for (name, net, _) in &suite {
+            group.bench_with_input(BenchmarkId::new("chortle", name), net, |b, net| {
+                b.iter(|| map_network(net, &chortle_opts).expect("maps"))
+            });
+            group.bench_with_input(BenchmarkId::new("mis", name), net, |b, net| {
+                b.iter(|| mis_map(net, &lib, &mis_opts).expect("maps"))
+            });
+        }
+        group.finish();
+    }
+}
+
+fn bench_optimization(c: &mut Criterion) {
+    // The shared front end: the MIS-script optimization itself.
+    let suite = chortle_circuits::suite();
+    let mut group = c.benchmark_group("logic_opt");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
+    for b in suite.iter().filter(|b| ["alu2", "apex7", "count"].contains(&b.name)) {
+        group.bench_with_input(BenchmarkId::from_parameter(b.name), &b.network, |bch, net| {
+            bch.iter(|| chortle_logic_opt::optimize(net).expect("acyclic"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tables, bench_optimization);
+criterion_main!(benches);

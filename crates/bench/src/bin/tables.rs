@@ -1,0 +1,141 @@
+//! Regenerates the paper's Tables 1–4: MIS vs Chortle LUT counts and
+//! mapper times over the benchmark suite for K = 2..5.
+//!
+//! Usage:
+//!
+//! ```text
+//! tables [--k N] [--no-verify] [--no-duplicate-fanout] [--ablate-split]
+//! ```
+//!
+//! * `--k N` — run only the table for K = N (default: all of 2, 3, 4, 5).
+//! * `--no-verify` — skip the functional equivalence checks (faster).
+//! * `--no-duplicate-fanout` — disable the MIS baseline's greedy logic
+//!   duplication at fanout nodes (on by default, as in the 1990 mapper).
+//! * `--ablate-split` — additionally sweep Chortle's node-splitting
+//!   threshold and report the LUT-count impact (paper Section 3.1.4).
+//! * `--ablate-crf` — compare the optimal DP against the Chortle-crf-style
+//!   bin-packing heuristic.
+//! * `--clb` — report XC3000-style CLB packing of the K=4 mapping.
+
+use std::process::ExitCode;
+
+use chortle::clb::{pack_clbs, ClbOptions};
+use chortle::{crf_network_cost, map_network, MapOptions};
+use chortle_bench::{format_table, optimized_suite, run_table, HarnessOptions};
+
+fn main() -> ExitCode {
+    let mut ks: Vec<usize> = vec![2, 3, 4, 5];
+    let mut options = HarnessOptions::default();
+    let mut ablate_split = false;
+    let mut ablate_crf = false;
+    let mut report_clb = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--k" => {
+                let Some(v) = args.next().and_then(|s| s.parse::<usize>().ok()) else {
+                    eprintln!("--k requires an integer argument");
+                    return ExitCode::FAILURE;
+                };
+                if !(2..=6).contains(&v) {
+                    eprintln!("K must be between 2 and 6");
+                    return ExitCode::FAILURE;
+                }
+                ks = vec![v];
+            }
+            "--no-verify" => options.verify = false,
+            "--no-duplicate-fanout" => options.mis_duplicate_fanout = false,
+            "--ablate-split" => ablate_split = true,
+            "--ablate-crf" => ablate_crf = true,
+            "--clb" => report_clb = true,
+            "--help" | "-h" => {
+                println!(
+                    "tables [--k N] [--no-verify] [--no-duplicate-fanout] [--ablate-split] [--ablate-crf] [--clb]"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument {other:?}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    println!("Benchmark suite (after MIS-script optimization):");
+    println!(
+        "{:<10} {:>6} {:>6} {:>7} {:>9} {:>6}",
+        "Circuit", "in", "out", "gates", "literals", "depth"
+    );
+    let suite = optimized_suite();
+    for (name, _, stats) in &suite {
+        println!(
+            "{:<10} {:>6} {:>6} {:>7} {:>9} {:>6}",
+            name, stats.inputs, stats.outputs, stats.gates, stats.literals, stats.depth
+        );
+    }
+    println!();
+
+    for &k in &ks {
+        let table = run_table(k, &options);
+        print!("{}", format_table(&table));
+        println!();
+    }
+
+    if ablate_crf {
+        println!("Ablation: optimal DP vs Chortle-crf-style bin packing (LUT counts)");
+        println!("{:<10} {:>8} {:>8} {:>8} {:>8}", "Circuit", "DP-K3", "crf-K3", "DP-K5", "crf-K5");
+        for (name, net, _) in &suite {
+            let dp3 = map_network(net, &MapOptions::new(3)).expect("maps").report.luts;
+            let crf3 = crf_network_cost(net, 3);
+            let dp5 = map_network(net, &MapOptions::new(5)).expect("maps").report.luts;
+            let crf5 = crf_network_cost(net, 5);
+            println!("{:<10} {:>8} {:>8} {:>8} {:>8}", name, dp3, crf3, dp5, crf5);
+        }
+        println!();
+    }
+
+    if report_clb {
+        println!("Extension: XC3000-style CLB packing of the K=4 mapping");
+        println!("{:<10} {:>7} {:>7} {:>9}", "Circuit", "LUTs", "CLBs", "saving%");
+        for (name, net, _) in &suite {
+            let mapped = map_network(net, &MapOptions::new(4)).expect("maps");
+            let packing = pack_clbs(&mapped.circuit, &ClbOptions::xc3000());
+            let saving = (mapped.report.luts - packing.block_count()) as f64
+                / mapped.report.luts.max(1) as f64
+                * 100.0;
+            println!(
+                "{:<10} {:>7} {:>7} {:>8.1}",
+                name,
+                mapped.report.luts,
+                packing.block_count(),
+                saving
+            );
+        }
+        println!();
+    }
+
+    if ablate_split {
+        println!("Ablation: Chortle split threshold (K=5, LUT counts)");
+        println!(
+            "{:<10} {:>6} {:>6} {:>6} {:>6} {:>6}",
+            "Circuit", "t=5", "t=6", "t=8", "t=10", "t=12"
+        );
+        for (name, net, _) in &suite {
+            let counts: Vec<usize> = [5usize, 6, 8, 10, 12]
+                .iter()
+                .map(|&t| {
+                    map_network(net, &MapOptions::new(5).with_split_threshold(t))
+                        .expect("maps")
+                        .report
+                        .luts
+                })
+                .collect();
+            println!(
+                "{:<10} {:>6} {:>6} {:>6} {:>6} {:>6}",
+                name, counts[0], counts[1], counts[2], counts[3], counts[4]
+            );
+        }
+    }
+    ExitCode::SUCCESS
+}

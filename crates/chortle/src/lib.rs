@@ -1,0 +1,89 @@
+//! Chortle: technology mapping for lookup-table-based FPGAs.
+//!
+//! A from-scratch reproduction of *"Chortle: A Technology Mapping Program
+//! for Lookup Table-Based Field Programmable Gate Arrays"* (R. J. Francis,
+//! J. Rose, K. Chung, DAC 1990). Chortle maps an optimized Boolean
+//! network of AND/OR nodes into the minimum number of K-input lookup
+//! tables for fanout-free trees:
+//!
+//! 1. the network is divided into a forest of maximal fanout-free trees
+//!    ([`Forest`]),
+//! 2. nodes wider than the split threshold are halved
+//!    ([`Tree::split_wide_nodes`]),
+//! 3. each tree is mapped by a dynamic program over *utilizations* and
+//!    *utilization divisions* that considers **all decompositions of every
+//!    node** ([`map_network`]),
+//! 4. the recorded decisions are rebuilt into a self-contained
+//!    [`LutCircuit`](chortle_netlist::LutCircuit) with explicit truth
+//!    tables.
+//!
+//! The mapping is optimal (in LUT count) per tree; the [`reference`]
+//! module carries a literal transcription of the paper's pseudo-code used
+//! as an oracle in the test suite.
+//!
+//! # Examples
+//!
+//! ```
+//! use chortle::{map_network, MapOptions};
+//! use chortle_netlist::{check_equivalence, Network, NodeOp};
+//!
+//! // z = (a AND b) OR (c AND d)
+//! let mut net = Network::new();
+//! let a = net.add_input("a");
+//! let b = net.add_input("b");
+//! let c = net.add_input("c");
+//! let d = net.add_input("d");
+//! let g1 = net.add_gate(NodeOp::And, vec![a.into(), b.into()]);
+//! let g2 = net.add_gate(NodeOp::And, vec![c.into(), d.into()]);
+//! let z = net.add_gate(NodeOp::Or, vec![g1.into(), g2.into()]);
+//! net.add_output("z", z.into());
+//!
+//! let mapped = map_network(&net, &MapOptions::new(4))?;
+//! assert_eq!(mapped.report.luts, 1); // the whole cone fits one 4-LUT
+//! check_equivalence(&net, &mapped.circuit).expect("equivalent");
+//! # Ok::<(), chortle::MapError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod clb;
+mod cover;
+mod crf;
+mod duplication;
+mod dp;
+pub mod figures;
+mod map;
+pub mod reference;
+mod tree;
+
+pub use crf::{crf_network_cost, crf_tree_cost, CrfTreeCost};
+pub use dp::Objective;
+pub use duplication::{duplicate_fanout_gates, map_network_best};
+pub use map::{map_network, MapError, MapOptions, MapReport, Mapping};
+pub use tree::{Forest, Tree, TreeChild, TreeNode};
+
+/// Cost of the optimal mapping of a single tree (exposed for benches and
+/// tests; [`map_network`] is the end-to-end API).
+///
+/// # Panics
+///
+/// Panics if `k < 2` or a node's fanin exceeds 25 (split first).
+///
+/// # Examples
+///
+/// ```
+/// use chortle::{tree_lut_cost, Forest};
+/// use chortle_netlist::{Network, NodeOp};
+///
+/// let mut net = Network::new();
+/// let a = net.add_input("a");
+/// let b = net.add_input("b");
+/// let g = net.add_gate(NodeOp::And, vec![a.into(), b.into()]);
+/// net.add_output("z", g.into());
+/// let forest = Forest::of(&net);
+/// assert_eq!(tree_lut_cost(&forest.trees[0], 4), 1);
+/// ```
+pub fn tree_lut_cost(tree: &Tree, k: usize) -> u32 {
+    dp::map_tree(tree, k).tree_cost(tree)
+}

@@ -1,0 +1,352 @@
+//! Top-level mapping API: network in, LUT circuit out.
+
+use std::error::Error;
+use std::fmt;
+
+use std::collections::HashMap;
+
+use chortle_netlist::{LutCircuit, LutError, LutSource, Network, NodeId, NodeOp};
+
+use crate::cover::emit_forest;
+use crate::dp::{map_tree_with, Objective};
+use crate::tree::Forest;
+
+/// Configuration of the Chortle mapper.
+///
+/// # Examples
+///
+/// ```
+/// use chortle::MapOptions;
+///
+/// let opts = MapOptions::new(4).with_split_threshold(8);
+/// assert_eq!(opts.k, 4);
+/// assert_eq!(opts.split_threshold, 8);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MapOptions {
+    /// Number of inputs of the target lookup tables (the paper evaluates
+    /// K = 2..5).
+    pub k: usize,
+    /// Fanin bound above which nodes are pre-split into two halves before
+    /// the exhaustive decomposition search (the paper uses 10).
+    pub split_threshold: usize,
+    /// What to minimize: LUT count (the paper's objective, with a depth
+    /// tie-break) or LUT depth (with an area tie-break).
+    pub objective: Objective,
+}
+
+impl MapOptions {
+    /// Options for `k`-input lookup tables with the paper's split
+    /// threshold of 10.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k < 2` or `k > 8` (truth tables of mapped LUTs are
+    /// materialized; 8 covers every commercial LUT architecture).
+    pub fn new(k: usize) -> Self {
+        assert!((2..=8).contains(&k), "K must be between 2 and 8");
+        MapOptions {
+            k,
+            split_threshold: 10,
+            objective: Objective::Area,
+        }
+    }
+
+    /// Switches the objective to depth-first (lexicographic depth, then
+    /// LUT count).
+    pub fn with_depth_objective(mut self) -> Self {
+        self.objective = Objective::Depth;
+        self
+    }
+
+    /// Overrides the node-splitting threshold (clamped below by 2; values
+    /// above 16 are rejected to bound the subset search).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold` is outside `2..=16`.
+    pub fn with_split_threshold(mut self, threshold: usize) -> Self {
+        assert!(
+            (2..=16).contains(&threshold),
+            "split threshold must be between 2 and 16"
+        );
+        self.split_threshold = threshold;
+        self
+    }
+}
+
+/// Errors returned by [`map_network`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MapError {
+    /// Circuit construction failed — indicates an internal inconsistency
+    /// between the DP cost model and the reconstruction.
+    Circuit(LutError),
+}
+
+impl fmt::Display for MapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MapError::Circuit(e) => write!(f, "lookup-table circuit construction failed: {e}"),
+        }
+    }
+}
+
+impl Error for MapError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            MapError::Circuit(e) => Some(e),
+        }
+    }
+}
+
+impl From<LutError> for MapError {
+    fn from(e: LutError) -> Self {
+        MapError::Circuit(e)
+    }
+}
+
+/// Statistics of one mapping run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MapReport {
+    /// Lookup tables in the produced circuit (the paper's cost function).
+    pub luts: usize,
+    /// Fanout-free trees in the forest.
+    pub trees: usize,
+    /// Total tree nodes mapped (after splitting).
+    pub tree_nodes: usize,
+    /// Largest node fanin seen after splitting.
+    pub max_fanin: usize,
+}
+
+/// A mapped design: the LUT circuit plus mapping statistics.
+#[derive(Clone, Debug)]
+pub struct Mapping {
+    /// The produced circuit of K-input lookup tables. Its
+    /// [`LutSource::Input`] references use the *original* network's
+    /// primary-input ids, so it verifies directly against the network
+    /// passed to [`map_network`].
+    pub circuit: LutCircuit,
+    /// Mapping statistics.
+    pub report: MapReport,
+}
+
+/// Maps a Boolean network into a circuit of K-input lookup tables using
+/// the Chortle algorithm.
+///
+/// The network is first normalized ([`Network::simplified`]): constants
+/// fold, buffers collapse, dead gates disappear. It is then divided into a
+/// forest of maximal fanout-free trees; nodes wider than
+/// [`MapOptions::split_threshold`] are split; and each tree is mapped
+/// optimally by the utilization-division dynamic program.
+///
+/// # Errors
+///
+/// Returns [`MapError`] if circuit construction fails (an internal
+/// inconsistency — the cost model and the reconstruction disagree).
+///
+/// # Examples
+///
+/// ```
+/// use chortle::{map_network, MapOptions};
+/// use chortle_netlist::{check_equivalence, Network, NodeOp};
+///
+/// let mut net = Network::new();
+/// let a = net.add_input("a");
+/// let b = net.add_input("b");
+/// let c = net.add_input("c");
+/// let g1 = net.add_gate(NodeOp::And, vec![a.into(), b.into()]);
+/// let z = net.add_gate(NodeOp::Or, vec![g1.into(), c.into()]);
+/// net.add_output("z", z.into());
+///
+/// let mapped = map_network(&net, &MapOptions::new(3))?;
+/// assert_eq!(mapped.report.luts, 1); // the whole cone fits a 3-LUT
+/// check_equivalence(&net, &mapped.circuit).expect("functionally equivalent");
+/// # Ok::<(), chortle::MapError>(())
+/// ```
+pub fn map_network(network: &Network, options: &MapOptions) -> Result<Mapping, MapError> {
+    let normal = network.simplified();
+    let mut forest = Forest::of(&normal);
+    // Never split a node that already fits the subset search and the LUT.
+    let threshold = options.split_threshold.max(options.k);
+    forest.split_wide_nodes(threshold);
+
+    let mut report = MapReport {
+        trees: forest.trees.len(),
+        ..MapReport::default()
+    };
+    let mut mapped = Vec::with_capacity(forest.trees.len());
+    let mut predicted: u64 = 0;
+    // Arrival depth of every signal that can be a tree leaf: primary
+    // inputs and constants arrive at 0; tree roots at their mapped
+    // depth. The forest is topologically ordered, so leaves of a tree
+    // are always mapped first.
+    let mut depth_of: HashMap<NodeId, u32> = HashMap::new();
+    for tree in forest.trees {
+        report.tree_nodes += tree.nodes.len();
+        report.max_fanin = report.max_fanin.max(tree.max_fanin());
+        let leaf_depth = |id: NodeId| -> u32 {
+            match normal.node(id).op() {
+                NodeOp::Input | NodeOp::Const(_) => 0,
+                NodeOp::And | NodeOp::Or => *depth_of
+                    .get(&id)
+                    .expect("forest is topologically ordered"),
+            }
+        };
+        let dp = map_tree_with(&tree, options.k, options.objective, &leaf_depth);
+        predicted += u64::from(dp.tree_cost(&tree));
+        depth_of.insert(tree.root, dp.tree_depth(&tree));
+        mapped.push((tree, dp));
+    }
+
+    // Primary inputs survive normalization in order; translate the
+    // normal-form ids back to the caller's network ids.
+    debug_assert_eq!(normal.num_inputs(), network.num_inputs());
+    let mut orig_input = vec![NodeId::from_index(0); normal.len()];
+    for (norm_id, orig_id) in normal.inputs().iter().zip(network.inputs()) {
+        orig_input[norm_id.index()] = *orig_id;
+    }
+    let input_source = |id: NodeId| LutSource::Input(orig_input[id.index()]);
+
+    let circuit: LutCircuit = emit_forest(&normal, &mapped, &input_source, options.k)?;
+    report.luts = circuit.num_luts();
+    debug_assert_eq!(
+        report.luts as u64, predicted,
+        "DP predicted cost must match the emitted circuit"
+    );
+    Ok(Mapping { circuit, report })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chortle_netlist::{check_equivalence, NodeOp, Signal};
+
+    fn verify(net: &Network, k: usize) -> Mapping {
+        let mapped = map_network(net, &MapOptions::new(k)).expect("maps");
+        check_equivalence(net, &mapped.circuit).expect("equivalent");
+        assert!(mapped
+            .circuit
+            .luts()
+            .iter()
+            .all(|l| l.utilization() <= k));
+        mapped
+    }
+
+    #[test]
+    fn maps_figure1_style_network_for_all_k() {
+        // A two-output network with shared logic and inversions.
+        let mut net = Network::new();
+        let a = net.add_input("a");
+        let b = net.add_input("b");
+        let c = net.add_input("c");
+        let d = net.add_input("d");
+        let e = net.add_input("e");
+        let g1 = net.add_gate(NodeOp::And, vec![a.into(), b.into()]);
+        let g2 = net.add_gate(NodeOp::Or, vec![g1.into(), Signal::inverted(c)]);
+        let g3 = net.add_gate(NodeOp::And, vec![c.into(), d.into(), e.into()]);
+        let g4 = net.add_gate(NodeOp::Or, vec![g2.into(), g3.into()]);
+        let g5 = net.add_gate(NodeOp::And, vec![g2.into(), Signal::inverted(g3)]);
+        net.add_output("y", g4.into());
+        net.add_output("z", g5.into());
+        for k in 2..=6 {
+            verify(&net, k);
+        }
+    }
+
+    #[test]
+    fn output_driven_by_input_and_const() {
+        let mut net = Network::new();
+        let a = net.add_input("a");
+        let one = net.add_const(true);
+        net.add_output("w", Signal::inverted(a));
+        net.add_output("k", one.into());
+        let mapped = verify(&net, 4);
+        assert_eq!(mapped.report.luts, 0);
+    }
+
+    #[test]
+    fn fanout_trees_reference_each_other() {
+        let mut net = Network::new();
+        let a = net.add_input("a");
+        let b = net.add_input("b");
+        let c = net.add_input("c");
+        let shared = net.add_gate(NodeOp::And, vec![a.into(), b.into()]);
+        let x = net.add_gate(NodeOp::Or, vec![shared.into(), c.into()]);
+        let y = net.add_gate(NodeOp::And, vec![Signal::inverted(shared), c.into()]);
+        net.add_output("x", x.into());
+        net.add_output("y", y.into());
+        let mapped = verify(&net, 3);
+        // Three trees (shared, x, y) but shared fits one LUT each.
+        assert_eq!(mapped.report.trees, 3);
+        assert_eq!(mapped.report.luts, 3);
+    }
+
+    #[test]
+    fn wide_gates_split_and_map() {
+        let mut net = Network::new();
+        let inputs: Vec<_> = (0..14).map(|i| net.add_input(format!("i{i}"))).collect();
+        let g = net.add_gate(
+            NodeOp::And,
+            inputs.iter().map(|&i| Signal::new(i)).collect(),
+        );
+        net.add_output("z", g.into());
+        for k in [2, 4, 5] {
+            let mapped = verify(&net, k);
+            let expect = (14 - 1_usize).div_ceil(k - 1);
+            assert_eq!(mapped.report.luts, expect, "k={k}");
+        }
+    }
+
+    #[test]
+    fn deep_unbalanced_network() {
+        // A long chain with side inputs exercises absorption repeatedly.
+        let mut net = Network::new();
+        let mut cur: Signal = net.add_input("i0").into();
+        for i in 1..12 {
+            let side = net.add_input(format!("i{i}"));
+            let op = if i % 2 == 0 { NodeOp::And } else { NodeOp::Or };
+            let g = net.add_gate(op, vec![cur, side.into()]);
+            cur = if i % 3 == 0 { Signal::inverted(g) } else { g.into() };
+        }
+        net.add_output("z", cur);
+        for k in 2..=6 {
+            let mapped = verify(&net, k);
+            // A 12-leaf chain needs about ceil(11/(k-1)) LUTs.
+            assert!(mapped.report.luts <= 11_usize.div_ceil(k - 1) + 1);
+        }
+    }
+
+    #[test]
+    fn duplicate_leaf_signals_use_separate_slots() {
+        // a feeds the tree twice through different gates: Chortle counts
+        // two leaves (no reconvergence analysis), as in the paper.
+        let mut net = Network::new();
+        let a = net.add_input("a");
+        let b = net.add_input("b");
+        let g1 = net.add_gate(NodeOp::And, vec![a.into(), b.into()]);
+        let g2 = net.add_gate(NodeOp::And, vec![Signal::inverted(a), Signal::inverted(b)]);
+        let z = net.add_gate(NodeOp::Or, vec![g1.into(), g2.into()]);
+        net.add_output("z", z.into());
+        let mapped = verify(&net, 2);
+        // XNOR over 4 tree leaves with K=2 needs 3 LUTs for Chortle.
+        assert_eq!(mapped.report.luts, 3);
+    }
+
+    #[test]
+    fn lut_count_monotone_in_k() {
+        let mut net = Network::new();
+        let inputs: Vec<_> = (0..9).map(|i| net.add_input(format!("i{i}"))).collect();
+        let g1 = net.add_gate(NodeOp::And, inputs[0..4].iter().map(|&i| i.into()).collect());
+        let g2 = net.add_gate(NodeOp::Or, inputs[4..9].iter().map(|&i| i.into()).collect());
+        let z = net.add_gate(NodeOp::And, vec![g1.into(), Signal::inverted(g2)]);
+        net.add_output("z", z.into());
+        let mut last = usize::MAX;
+        for k in 2..=8 {
+            let mapped = verify(&net, k);
+            assert!(mapped.report.luts <= last, "k={k}");
+            last = mapped.report.luts;
+        }
+        assert_eq!(last, 2); // 9 leaves cannot fit one 8-LUT
+    }
+}

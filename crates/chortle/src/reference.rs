@@ -1,0 +1,233 @@
+//! A reference tree mapper transcribing the paper's pseudo-code literally.
+//!
+//! Where [`crate::map_network`]'s production DP shares structure across
+//! decompositions with a subset recurrence, this module enumerates **every
+//! set partition explicitly** and, per partition, **every utilization
+//! division** — exactly the search described in Sections 3.1.1–3.1.3 and
+//! Figure 4. It is exponentially slower but entirely independent in
+//! structure, which makes it the optimality oracle for the production
+//! mapper: both must report identical minimum costs on every tree.
+
+use std::collections::HashMap;
+
+use crate::dp::INF;
+use crate::tree::{Tree, TreeChild};
+
+/// Computes the minimum LUT count for `tree` by exhaustive partition and
+/// division enumeration.
+///
+/// Intended for tests and ablation benches on small trees (fanin ≤ ~7,
+/// a few dozen nodes); the production mapper handles arbitrary sizes.
+///
+/// # Panics
+///
+/// Panics if `k < 2`.
+pub fn reference_tree_cost(tree: &Tree, k: usize) -> u32 {
+    assert!(k >= 2, "lookup tables must have at least two inputs");
+    let mut memo: HashMap<(usize, u32), Vec<u32>> = HashMap::new();
+    let root = tree.root_index();
+    let full = full_mask(tree, root);
+    let costs = region_costs(tree, root, full, k, &mut memo);
+    (2..=k).map(|u| costs[u]).min().unwrap_or(INF)
+}
+
+fn full_mask(tree: &Tree, node: usize) -> u32 {
+    (1u32 << tree.nodes[node].children.len()) - 1
+}
+
+/// Cost vector (per exact root utilization `u`) of mapping the virtual
+/// node of `node` restricted to the child subset `mask`, root LUT
+/// included.
+fn region_costs(
+    tree: &Tree,
+    node: usize,
+    mask: u32,
+    k: usize,
+    memo: &mut HashMap<(usize, u32), Vec<u32>>,
+) -> Vec<u32> {
+    if let Some(v) = memo.get(&(node, mask)) {
+        return v.clone();
+    }
+    let atoms: Vec<usize> = (0..32).filter(|i| mask & (1 << i) != 0).collect();
+    let mut best = vec![INF; k + 1];
+    for partition in partitions(&atoms) {
+        // A decomposition must make progress: the single-group partition
+        // of a multi-child node would be the node itself again.
+        if partition.len() == 1 && partition[0].len() >= 2 {
+            continue;
+        }
+        // Per-group cost vectors over the allotment w in 1..=k.
+        let group_vecs: Vec<Vec<u32>> = partition
+            .iter()
+            .map(|group| group_cost_vec(tree, node, group, k, memo))
+            .collect();
+        // Min-plus combine the groups; track the total allotment.
+        let mut acc = vec![INF; k + 1];
+        acc[0] = 0;
+        for gv in &group_vecs {
+            let mut next = vec![INF; k + 1];
+            for (used, &base) in acc.iter().enumerate() {
+                if base >= INF {
+                    continue;
+                }
+                for (w, &c) in gv.iter().enumerate().take(k + 1).skip(1) {
+                    if c >= INF || used + w > k {
+                        continue;
+                    }
+                    let t = base + c;
+                    if t < next[used + w] {
+                        next[used + w] = t;
+                    }
+                }
+            }
+            acc = next;
+        }
+        for u in 2..=k {
+            if acc[u] < INF && acc[u] + 1 < best[u] {
+                best[u] = acc[u] + 1;
+            }
+        }
+    }
+    memo.insert((node, mask), best.clone());
+    best
+}
+
+/// Cost vector of one partition group: index = allotment `w`.
+fn group_cost_vec(
+    tree: &Tree,
+    node: usize,
+    group: &[usize],
+    k: usize,
+    memo: &mut HashMap<(usize, u32), Vec<u32>>,
+) -> Vec<u32> {
+    let mut v = vec![INF; k + 1];
+    if group.len() == 1 {
+        match tree.nodes[node].children[group[0]] {
+            TreeChild::Leaf(_) => v[1] = 0,
+            TreeChild::Node { index, .. } => {
+                let child_full = full_mask(tree, index);
+                let costs = region_costs(tree, index, child_full, k, memo);
+                // w = 1: the child keeps its root LUT (best over all u).
+                v[1] = (2..=k).map(|u| costs[u]).min().unwrap_or(INF);
+                // w >= 2: the child's root LUT is absorbed.
+                #[allow(clippy::needless_range_loop)] // w is also a bound
+                for w in 2..=k {
+                    let c = (2..=w).map(|u| costs[u]).min().unwrap_or(INF);
+                    if c < INF {
+                        v[w] = v[w].min(c - 1);
+                    }
+                }
+            }
+        }
+    } else {
+        // Intermediate node over the group: always one input.
+        let gmask = group.iter().fold(0u32, |m, &i| m | (1 << i));
+        let costs = region_costs(tree, node, gmask, k, memo);
+        v[1] = (2..=k).map(|u| costs[u]).min().unwrap_or(INF);
+    }
+    v
+}
+
+/// All set partitions of `atoms` (each partition is a list of groups).
+fn partitions(atoms: &[usize]) -> Vec<Vec<Vec<usize>>> {
+    if atoms.is_empty() {
+        return vec![Vec::new()];
+    }
+    let first = atoms[0];
+    let rest = &atoms[1..];
+    let mut out = Vec::new();
+    for sub in partitions(rest) {
+        // Put `first` in its own group…
+        let mut own = sub.clone();
+        own.push(vec![first]);
+        out.push(own);
+        // …or into each existing group.
+        for gi in 0..sub.len() {
+            let mut ext = sub.clone();
+            ext[gi].push(first);
+            out.push(ext);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dp::map_tree;
+    use crate::tree::Forest;
+    use chortle_netlist::{Network, NodeOp, Signal, SplitMix64};
+
+    #[test]
+    fn partition_counts_are_bell_numbers() {
+        let bell = [1usize, 1, 2, 5, 15, 52, 203];
+        for (n, &b) in bell.iter().enumerate() {
+            let atoms: Vec<usize> = (0..n).collect();
+            assert_eq!(partitions(&atoms).len(), b, "Bell({n})");
+        }
+    }
+
+    /// Builds a random fanout-free network with bounded fanin and returns
+    /// its single tree.
+    fn random_tree(seed: u64, leaves: usize, max_fanin: usize) -> crate::tree::Tree {
+        let mut rng = SplitMix64::new(seed);
+        let mut net = Network::new();
+        let mut pool: Vec<Signal> = (0..leaves)
+            .map(|i| Signal::new(net.add_input(format!("i{i}"))))
+            .collect();
+        while pool.len() > 1 {
+            let take = rng.next_range(2, (max_fanin + 1).min(pool.len() + 1));
+            let mut fanins = Vec::with_capacity(take);
+            for _ in 0..take {
+                let idx = rng.choose_index(&pool);
+                let mut s = pool.swap_remove(idx);
+                if rng.next_bool(1, 4) {
+                    s = !s;
+                }
+                fanins.push(s);
+            }
+            let op = if rng.next_bool(1, 2) { NodeOp::And } else { NodeOp::Or };
+            let g = net.add_gate(op, fanins);
+            pool.push(Signal::new(g));
+        }
+        net.add_output("z", pool[0]);
+        let forest = Forest::of(&net);
+        assert_eq!(forest.trees.len(), 1);
+        forest.trees.into_iter().next().expect("one tree")
+    }
+
+    #[test]
+    fn production_dp_matches_reference_on_random_trees() {
+        for seed in 0..40 {
+            let tree = random_tree(seed, 4 + (seed as usize % 8), 5);
+            for k in 2..=5 {
+                let dp = map_tree(&tree, k);
+                let want = reference_tree_cost(&tree, k);
+                assert_eq!(
+                    dp.tree_cost(&tree),
+                    want,
+                    "seed={seed} k={k} tree={tree:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn reference_matches_closed_form_for_wide_gates() {
+        for f in 2..=7usize {
+            let mut net = Network::new();
+            let inputs: Vec<_> = (0..f).map(|i| net.add_input(format!("i{i}"))).collect();
+            let g = net.add_gate(NodeOp::And, inputs.iter().map(|&i| Signal::new(i)).collect());
+            net.add_output("z", g.into());
+            let forest = Forest::of(&net);
+            let tree = &forest.trees[0];
+            for k in 2..=5usize {
+                assert_eq!(
+                    reference_tree_cost(tree, k),
+                    (f - 1).div_ceil(k - 1) as u32,
+                    "f={f} k={k}"
+                );
+            }
+        }
+    }
+}

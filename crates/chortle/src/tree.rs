@@ -1,0 +1,414 @@
+//! Forest creation: dividing the Boolean network into maximal fanout-free
+//! trees (Section 3 and Figure 3 of the paper), plus the node-splitting
+//! pre-pass for very wide gates (Section 3.1.4).
+//!
+//! Every gate whose output is used more than once (or drives a primary
+//! output) becomes a tree *root*; gates used exactly once become internal
+//! nodes of their consumer's tree. Tree *leaves* are polarized references
+//! into the source network: primary inputs, constants, or other trees'
+//! roots — matching the paper's introduction of duplicate nodes (`n`,
+//! `n'`) at fanout points.
+
+use chortle_netlist::{Network, NodeId, NodeOp, Signal};
+
+/// A child of a tree node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TreeChild {
+    /// An internal tree node (index into [`Tree::nodes`]) with the edge's
+    /// polarity.
+    Node {
+        /// Index of the child tree node.
+        index: usize,
+        /// Whether the edge inverts the child's output.
+        inverted: bool,
+    },
+    /// A leaf: a polarized reference to a source-network node (primary
+    /// input, constant, or another tree's root).
+    Leaf(Signal),
+}
+
+/// One node of a fanout-free tree.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TreeNode {
+    /// The node's gate operation (always AND or OR).
+    pub op: NodeOp,
+    /// Children, in fanin order.
+    pub children: Vec<TreeChild>,
+}
+
+/// A maximal fanout-free tree extracted from a network.
+///
+/// `nodes` is in topological order: children precede parents, and the last
+/// node is the root.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Tree {
+    /// The source-network gate at the tree's root.
+    pub root: NodeId,
+    /// The tree's nodes; index `nodes.len() - 1` is the root.
+    pub nodes: Vec<TreeNode>,
+}
+
+impl Tree {
+    /// Index of the root node within [`Tree::nodes`].
+    pub fn root_index(&self) -> usize {
+        self.nodes.len() - 1
+    }
+
+    /// Number of leaf references in the whole tree (leaves are counted per
+    /// occurrence, as in the paper — Chortle does not merge reconvergent
+    /// leaves).
+    pub fn leaf_count(&self) -> usize {
+        self.nodes
+            .iter()
+            .flat_map(|n| &n.children)
+            .filter(|c| matches!(c, TreeChild::Leaf(_)))
+            .count()
+    }
+
+    /// Largest fanin over the tree's nodes.
+    pub fn max_fanin(&self) -> usize {
+        self.nodes.iter().map(|n| n.children.len()).max().unwrap_or(0)
+    }
+
+    /// Splits every node with more than `threshold` children into a
+    /// balanced chain of nodes of the same operation, as the paper's
+    /// Section 3.1.4 prescribes for fanin above ten.
+    ///
+    /// Splitting preserves the tree's function exactly; it only fixes a
+    /// partition boundary that the exhaustive decomposition search will no
+    /// longer cross (the paper reports no loss of quality in practice —
+    /// the `splitting` integration test measures this).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold < 2`.
+    pub fn split_wide_nodes(&mut self, threshold: usize) {
+        assert!(threshold >= 2, "split threshold must be at least 2");
+        // Iterate until stable; newly created nodes are within bounds by
+        // construction.
+        let mut i = 0;
+        while i < self.nodes.len() {
+            if self.nodes[i].children.len() > threshold {
+                let children = std::mem::take(&mut self.nodes[i].children);
+                let half = children.len() / 2;
+                let (left, right) = children.split_at(half);
+                let op = self.nodes[i].op;
+                // A singleton half stays a direct child (a one-fanin
+                // intermediate node would be meaningless); larger halves
+                // become intermediate nodes of the same operation.
+                let mut node_idx = i;
+                let left_child = if left.len() == 1 {
+                    left[0]
+                } else {
+                    let idx = self.push_before(node_idx, op, left.to_vec());
+                    node_idx += 1;
+                    TreeChild::Node {
+                        index: idx,
+                        inverted: false,
+                    }
+                };
+                let right_child = if right.len() == 1 {
+                    right[0]
+                } else {
+                    let idx = self.push_before(node_idx, op, right.to_vec());
+                    node_idx += 1;
+                    TreeChild::Node {
+                        index: idx,
+                        inverted: false,
+                    }
+                };
+                self.nodes[node_idx].children = vec![left_child, right_child];
+                // Re-examine from `i`: the new halves may still be too
+                // wide and now occupy positions at or after `i`.
+            } else {
+                i += 1;
+            }
+        }
+        debug_assert!(self.nodes.iter().all(|n| n.children.len() <= threshold));
+        debug_assert!(self.nodes.iter().all(|n| n.children.len() >= 2));
+    }
+
+    /// Inserts a new node immediately before index `at`, fixing up all
+    /// child indexes; returns the new node's index (= `at`).
+    ///
+    /// The inserted node's own `children` must reference indexes below
+    /// `at` (they are not adjusted).
+    fn push_before(&mut self, at: usize, op: NodeOp, children: Vec<TreeChild>) -> usize {
+        debug_assert!(children.iter().all(|c| match c {
+            TreeChild::Node { index, .. } => *index < at,
+            TreeChild::Leaf(_) => true,
+        }));
+        self.nodes.insert(at, TreeNode { op, children });
+        for (j, node) in self.nodes.iter_mut().enumerate() {
+            if j == at {
+                continue;
+            }
+            for c in &mut node.children {
+                if let TreeChild::Node { index, .. } = c {
+                    if *index >= at {
+                        *index += 1;
+                    }
+                }
+            }
+        }
+        at
+    }
+
+    /// Evaluates the tree on a leaf-assignment function (for tests):
+    /// `leaf_value(signal)` must return the value of the *non-inverted*
+    /// source node; polarity is applied here.
+    pub fn eval(&self, leaf_value: &dyn Fn(NodeId) -> bool) -> bool {
+        let mut values = vec![false; self.nodes.len()];
+        for (i, node) in self.nodes.iter().enumerate() {
+            let mut acc = node.op.identity();
+            for c in &node.children {
+                let v = match *c {
+                    TreeChild::Node { index, inverted } => values[index] ^ inverted,
+                    TreeChild::Leaf(sig) => leaf_value(sig.node()) ^ sig.is_inverted(),
+                };
+                acc = match node.op {
+                    NodeOp::And => acc && v,
+                    NodeOp::Or => acc || v,
+                    _ => unreachable!("tree nodes are gates"),
+                };
+            }
+            values[i] = acc;
+        }
+        values[self.root_index()]
+    }
+}
+
+/// The forest of maximal fanout-free trees of a network, in topological
+/// order (a tree appears after every tree whose root it references as a
+/// leaf).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Forest {
+    /// The trees, topologically ordered by root.
+    pub trees: Vec<Tree>,
+}
+
+impl Forest {
+    /// Builds the forest of a network (paper Figure 3).
+    ///
+    /// The network must be in mapper normal form (see
+    /// [`Network::simplified`]): every gate has at least two fanins and
+    /// constants feed no gates. Dead gates are ignored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a live gate has fewer than two fanins (run
+    /// [`Network::simplified`] first).
+    pub fn of(network: &Network) -> Forest {
+        let fanouts = network.fanout_counts();
+        let mut is_root = vec![false; network.len()];
+        for o in network.outputs() {
+            if network.node(o.signal.node()).op().is_gate() {
+                is_root[o.signal.node().index()] = true;
+            }
+        }
+        for (id, node) in network.nodes() {
+            if node.op().is_gate() && fanouts[id.index()] > 1 {
+                is_root[id.index()] = true;
+            }
+        }
+        // A gate with fanout exactly 1 whose consumer treats it as an
+        // internal node needs no tree; gates with fanout 0 are dead.
+        let mut trees = Vec::new();
+        for (id, node) in network.nodes() {
+            if node.op().is_gate() && is_root[id.index()] {
+                trees.push(extract_tree(network, id, &is_root));
+            }
+        }
+        Forest { trees }
+    }
+
+    /// Total number of tree nodes across the forest.
+    pub fn node_count(&self) -> usize {
+        self.trees.iter().map(|t| t.nodes.len()).sum()
+    }
+
+    /// Applies [`Tree::split_wide_nodes`] to every tree.
+    pub fn split_wide_nodes(&mut self, threshold: usize) {
+        for t in &mut self.trees {
+            t.split_wide_nodes(threshold);
+        }
+    }
+}
+
+/// Extracts the fanout-free tree rooted at `root` (a gate).
+fn extract_tree(network: &Network, root: NodeId, is_root: &[bool]) -> Tree {
+    let mut nodes: Vec<TreeNode> = Vec::new();
+    // Post-order emission so children precede parents.
+    fn visit(
+        network: &Network,
+        id: NodeId,
+        is_root: &[bool],
+        nodes: &mut Vec<TreeNode>,
+    ) -> usize {
+        let node = network.node(id);
+        debug_assert!(node.op().is_gate());
+        assert!(
+            node.fanin_count() >= 2,
+            "gate {id:?} has fewer than two fanins; simplify the network first"
+        );
+        let mut children = Vec::with_capacity(node.fanin_count());
+        for s in node.fanins() {
+            let child = network.node(s.node());
+            let is_internal = child.op().is_gate() && !is_root[s.node().index()];
+            if is_internal {
+                let idx = visit(network, s.node(), is_root, nodes);
+                children.push(TreeChild::Node {
+                    index: idx,
+                    inverted: s.is_inverted(),
+                });
+            } else {
+                children.push(TreeChild::Leaf(*s));
+            }
+        }
+        nodes.push(TreeNode {
+            op: node.op(),
+            children,
+        });
+        nodes.len() - 1
+    }
+    visit(network, root, is_root, &mut nodes);
+    Tree { root, nodes }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The network of the paper's Figure 3a: node n feeds both a and b.
+    fn figure3_like() -> Network {
+        let mut net = Network::new();
+        let i0 = net.add_input("i0");
+        let i1 = net.add_input("i1");
+        let i2 = net.add_input("i2");
+        let n = net.add_gate(NodeOp::And, vec![i0.into(), i1.into()]);
+        let a = net.add_gate(NodeOp::Or, vec![n.into(), i2.into()]);
+        let b = net.add_gate(NodeOp::And, vec![n.into(), i2.into()]);
+        net.add_output("a", a.into());
+        net.add_output("b", b.into());
+        net
+    }
+
+    #[test]
+    fn fanout_nodes_become_roots() {
+        let net = figure3_like();
+        let forest = Forest::of(&net);
+        assert_eq!(forest.trees.len(), 3); // n, a, b
+        // The consumers see n as a leaf.
+        let leaf_counts: Vec<usize> = forest.trees.iter().map(Tree::leaf_count).collect();
+        assert_eq!(leaf_counts, vec![2, 2, 2]);
+    }
+
+    #[test]
+    fn single_fanout_gates_are_internal() {
+        let mut net = Network::new();
+        let a = net.add_input("a");
+        let b = net.add_input("b");
+        let c = net.add_input("c");
+        let g1 = net.add_gate(NodeOp::And, vec![a.into(), b.into()]);
+        let g2 = net.add_gate(NodeOp::Or, vec![g1.into(), c.into()]);
+        net.add_output("z", g2.into());
+        let forest = Forest::of(&net);
+        assert_eq!(forest.trees.len(), 1);
+        assert_eq!(forest.trees[0].nodes.len(), 2);
+        assert_eq!(forest.trees[0].leaf_count(), 3);
+    }
+
+    #[test]
+    fn dead_gates_skipped() {
+        let mut net = Network::new();
+        let a = net.add_input("a");
+        let b = net.add_input("b");
+        let _dead = net.add_gate(NodeOp::And, vec![a.into(), b.into()]);
+        let live = net.add_gate(NodeOp::Or, vec![a.into(), b.into()]);
+        net.add_output("z", live.into());
+        let forest = Forest::of(&net);
+        assert_eq!(forest.trees.len(), 1);
+        assert_eq!(forest.trees[0].root, live);
+    }
+
+    #[test]
+    fn tree_eval_matches_network() {
+        let net = figure3_like();
+        let forest = Forest::of(&net);
+        // Tree for output a: OR(leaf n, leaf i2).
+        let a_tree = &forest.trees[1];
+        let funcs = net.node_functions().unwrap();
+        for bits in 0..8u32 {
+            let leaf_value = |id: NodeId| funcs[id.index()].eval(bits);
+            let expect = funcs[a_tree.root.index()].eval(bits);
+            assert_eq!(a_tree.eval(&leaf_value), expect, "bits={bits:b}");
+        }
+    }
+
+    #[test]
+    fn splitting_preserves_function_and_bounds_fanin() {
+        let mut net = Network::new();
+        let inputs: Vec<_> = (0..13).map(|i| net.add_input(format!("i{i}"))).collect();
+        let g = net.add_gate(
+            NodeOp::Or,
+            inputs.iter().map(|&i| Signal::new(i)).collect(),
+        );
+        net.add_output("z", g.into());
+        let mut forest = Forest::of(&net);
+        let original = forest.trees[0].clone();
+        forest.split_wide_nodes(10);
+        let split = &forest.trees[0];
+        assert!(split.max_fanin() <= 10);
+        assert_eq!(split.leaf_count(), original.leaf_count());
+        for bits in [0u32, 1, 0b1010101010101, 0x1FFF, 0x1000] {
+            let leaf = |id: NodeId| {
+                let pos = inputs.iter().position(|&x| x == id).unwrap();
+                (bits >> pos) & 1 == 1
+            };
+            assert_eq!(split.eval(&leaf), original.eval(&leaf), "bits={bits:b}");
+        }
+    }
+
+    #[test]
+    fn splitting_recursive_for_very_wide_nodes() {
+        let mut net = Network::new();
+        let inputs: Vec<_> = (0..40).map(|i| net.add_input(format!("i{i}"))).collect();
+        let g = net.add_gate(
+            NodeOp::And,
+            inputs.iter().map(|&i| Signal::new(i)).collect(),
+        );
+        net.add_output("z", g.into());
+        let mut forest = Forest::of(&net);
+        forest.split_wide_nodes(4);
+        let t = &forest.trees[0];
+        assert!(t.max_fanin() <= 4);
+        assert_eq!(t.leaf_count(), 40);
+        // All-ones is true, any zero is false.
+        assert!(t.eval(&|_| true));
+        assert!(!t.eval(&|id| id != inputs[7]));
+    }
+
+    #[test]
+    fn inverted_edges_preserved() {
+        let mut net = Network::new();
+        let a = net.add_input("a");
+        let b = net.add_input("b");
+        let g1 = net.add_gate(NodeOp::And, vec![Signal::inverted(a), b.into()]);
+        let g2 = net.add_gate(NodeOp::Or, vec![Signal::inverted(g1), a.into()]);
+        net.add_output("z", g2.into());
+        let forest = Forest::of(&net);
+        let t = &forest.trees[0];
+        for bits in 0..4u32 {
+            let leaf = |id: NodeId| {
+                if id == a {
+                    bits & 1 == 1
+                } else {
+                    bits & 2 == 2
+                }
+            };
+            let (av, bv) = (bits & 1 == 1, bits & 2 == 2);
+            // OR(!g1, a) with g1 = AND(!a, b) simplifies to a || !b.
+            assert_eq!(t.eval(&leaf), av || !bv);
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! Public-API surface tests for the chortle crate: option builders,
+//! report fields, tree accessors and error displays.
+
+use chortle::{
+    crf_network_cost, map_network, tree_lut_cost, Forest, MapOptions, Objective, TreeChild,
+};
+use chortle_netlist::{Network, NodeOp, Signal};
+
+fn demo_network() -> Network {
+    let mut net = Network::new();
+    let a = net.add_input("a");
+    let b = net.add_input("b");
+    let c = net.add_input("c");
+    let g1 = net.add_gate(NodeOp::And, vec![a.into(), b.into()]);
+    let z = net.add_gate(NodeOp::Or, vec![g1.into(), Signal::inverted(c)]);
+    net.add_output("z", z.into());
+    net
+}
+
+#[test]
+fn options_builders_compose() {
+    let opts = MapOptions::new(5)
+        .with_split_threshold(12)
+        .with_depth_objective();
+    assert_eq!(opts.k, 5);
+    assert_eq!(opts.split_threshold, 12);
+    assert_eq!(opts.objective, Objective::Depth);
+    assert_eq!(Objective::default(), Objective::Area);
+}
+
+#[test]
+#[should_panic(expected = "K must be between 2 and 8")]
+fn k_out_of_range_panics() {
+    let _ = MapOptions::new(1);
+}
+
+#[test]
+#[should_panic(expected = "split threshold")]
+fn threshold_out_of_range_panics() {
+    let _ = MapOptions::new(4).with_split_threshold(17);
+}
+
+#[test]
+fn report_fields_are_consistent() {
+    let net = demo_network();
+    let mapped = map_network(&net, &MapOptions::new(3)).expect("maps");
+    assert_eq!(mapped.report.luts, mapped.circuit.num_luts());
+    assert_eq!(mapped.report.trees, 1);
+    assert!(mapped.report.tree_nodes >= 2);
+    assert!(mapped.report.max_fanin >= 2);
+}
+
+#[test]
+fn tree_accessors() {
+    let net = demo_network();
+    let forest = Forest::of(&net.simplified());
+    assert_eq!(forest.trees.len(), 1);
+    let tree = &forest.trees[0];
+    assert_eq!(tree.root_index(), tree.nodes.len() - 1);
+    assert_eq!(tree.leaf_count(), 3);
+    assert_eq!(tree.max_fanin(), 2);
+    assert_eq!(forest.node_count(), 2);
+    // Children enumerate leaves and internal nodes.
+    let root = &tree.nodes[tree.root_index()];
+    let leaves = root
+        .children
+        .iter()
+        .filter(|c| matches!(c, TreeChild::Leaf(_)))
+        .count();
+    assert_eq!(leaves, 1); // !c is a leaf of the root; g1 is internal
+}
+
+#[test]
+fn tree_cost_and_crf_agree_on_demo() {
+    let net = demo_network();
+    let forest = Forest::of(&net.simplified());
+    assert_eq!(tree_lut_cost(&forest.trees[0], 3), 1);
+    assert_eq!(crf_network_cost(&net, 3), 1);
+}
+
+#[test]
+fn map_error_displays() {
+    // MapError is only constructible through LutError today; check the
+    // Display path through the public From impl.
+    use chortle::MapError;
+    use chortle_netlist::LutError;
+    let e = MapError::from(LutError::TooManyInputs { inputs: 9, k: 4 });
+    let msg = e.to_string();
+    assert!(msg.contains("lookup-table circuit construction failed"));
+    assert!(std::error::Error::source(&e).is_some());
+}
+
+#[test]
+fn mapping_is_cloneable_and_debuggable() {
+    let net = demo_network();
+    let mapped = map_network(&net, &MapOptions::new(4)).expect("maps");
+    let cloned = mapped.clone();
+    assert_eq!(cloned.report.luts, mapped.report.luts);
+    let dbg = format!("{:?}", cloned.report);
+    assert!(dbg.contains("luts"));
+}
+
+#[test]
+fn figures_are_exposed() {
+    use chortle::figures;
+    assert_eq!(figures::figure1_network().num_inputs(), 5);
+    assert_eq!(figures::figure3_network().num_outputs(), 2);
+    assert_eq!(figures::figure7_network().num_inputs(), 6);
+}

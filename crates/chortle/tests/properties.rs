@@ -1,0 +1,180 @@
+//! Property-based tests for the Chortle mapper: optimality against the
+//! paper-literal reference, functional correctness of emitted circuits,
+//! and structural invariants, on randomized networks and trees.
+
+use proptest::prelude::*;
+
+use chortle::reference::reference_tree_cost;
+use chortle::{map_network, tree_lut_cost, Forest, MapOptions};
+use chortle_netlist::{check_equivalence, Network, NodeOp, Signal, SplitMix64};
+
+fn random_network(seed: u64, inputs: usize, gates: usize, max_arity: usize) -> Network {
+    let mut rng = SplitMix64::new(seed);
+    let mut net = Network::new();
+    let mut signals: Vec<Signal> = (0..inputs)
+        .map(|i| Signal::new(net.add_input(format!("i{i}"))))
+        .collect();
+    for g in 0..gates {
+        let arity = rng.next_range(2, max_arity + 1);
+        let mut fanins: Vec<Signal> = Vec::new();
+        let mut used = std::collections::HashSet::new();
+        let mut guard = 0;
+        while fanins.len() < arity && guard < 60 {
+            guard += 1;
+            let s = signals[rng.choose_index(&signals)];
+            if used.insert(s.node()) {
+                fanins.push(if rng.next_bool(1, 3) { !s } else { s });
+            }
+        }
+        if fanins.len() < 2 {
+            continue;
+        }
+        let op = if g % 2 == 0 { NodeOp::And } else { NodeOp::Or };
+        signals.push(Signal::new(net.add_gate(op, fanins)));
+    }
+    for o in 0..rng.next_range(1, 4) {
+        let s = signals[rng.choose_index(&signals)];
+        net.add_output(format!("o{o}"), if rng.next_bool(1, 4) { !s } else { s });
+    }
+    net
+}
+
+/// Builds a single random fanout-free tree as a network.
+fn random_tree_network(seed: u64, leaves: usize, max_arity: usize) -> Network {
+    let mut rng = SplitMix64::new(seed);
+    let mut net = Network::new();
+    let mut pool: Vec<Signal> = (0..leaves)
+        .map(|i| Signal::new(net.add_input(format!("i{i}"))))
+        .collect();
+    while pool.len() > 1 {
+        let take = rng.next_range(2, (max_arity + 1).min(pool.len() + 1));
+        let mut fanins = Vec::with_capacity(take);
+        for _ in 0..take {
+            let idx = rng.choose_index(&pool);
+            let mut s = pool.swap_remove(idx);
+            if rng.next_bool(1, 4) {
+                s = !s;
+            }
+            fanins.push(s);
+        }
+        let op = if rng.next_bool(1, 2) { NodeOp::And } else { NodeOp::Or };
+        pool.push(Signal::new(net.add_gate(op, fanins)));
+    }
+    net.add_output("z", pool[0]);
+    net
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn mapping_is_always_equivalent(seed in any::<u64>(), k in 2usize..=6) {
+        let net = random_network(seed, 7, 14, 5);
+        let mapped = map_network(&net, &MapOptions::new(k)).unwrap();
+        check_equivalence(&net, &mapped.circuit).unwrap();
+        prop_assert!(mapped.circuit.luts().iter().all(|l| l.utilization() <= k));
+        prop_assert_eq!(mapped.report.luts, mapped.circuit.num_luts());
+    }
+
+    #[test]
+    fn dp_matches_paper_pseudocode(seed in any::<u64>(), k in 2usize..=5) {
+        let net = random_tree_network(seed, 4 + (seed % 7) as usize, 4);
+        let forest = Forest::of(&net);
+        prop_assert_eq!(forest.trees.len(), 1);
+        let tree = &forest.trees[0];
+        prop_assert_eq!(
+            tree_lut_cost(tree, k),
+            reference_tree_cost(tree, k),
+            "tree {:?}", tree
+        );
+    }
+
+    #[test]
+    fn lut_count_monotone_in_k(seed in any::<u64>()) {
+        let net = random_network(seed, 7, 12, 5);
+        let mut last = usize::MAX;
+        for k in 2..=7 {
+            let mapped = map_network(&net, &MapOptions::new(k)).unwrap();
+            prop_assert!(mapped.report.luts <= last);
+            last = mapped.report.luts;
+        }
+    }
+
+    #[test]
+    fn splitting_never_beats_exhaustive(seed in any::<u64>(), k in 2usize..=5) {
+        // A mapping with aggressive splitting can never need *fewer* LUTs
+        // than one with the search space intact.
+        let net = random_network(seed, 8, 10, 7);
+        let fine = map_network(&net, &MapOptions::new(k).with_split_threshold(16)).unwrap();
+        let coarse = map_network(&net, &MapOptions::new(k).with_split_threshold(2)).unwrap();
+        prop_assert!(fine.report.luts <= coarse.report.luts);
+        check_equivalence(&net, &coarse.circuit).unwrap();
+    }
+
+    #[test]
+    fn tree_cost_lower_bound_from_leaves(seed in any::<u64>(), k in 2usize..=6) {
+        // A tree with L leaves needs at least ceil((L-1)/(K-1)) LUTs.
+        let net = random_tree_network(seed, 5 + (seed % 9) as usize, 5);
+        let forest = Forest::of(&net);
+        let tree = &forest.trees[0];
+        let cost = tree_lut_cost(tree, k) as usize;
+        let leaves = tree.leaf_count();
+        prop_assert!(cost >= (leaves - 1).div_ceil(k - 1));
+        prop_assert!(cost <= leaves); // crude upper bound
+    }
+
+    #[test]
+    fn forest_covers_every_live_gate_exactly_once(seed in any::<u64>()) {
+        let net = random_network(seed, 7, 14, 5).simplified();
+        let forest = Forest::of(&net);
+        // Count gate coverage: every live gate appears in exactly one
+        // tree (roots as roots, internals inside).
+        let fanouts = net.fanout_counts();
+        let mut live_gates = 0usize;
+        for (id, node) in net.nodes() {
+            if node.op().is_gate() && fanouts[id.index()] > 0 {
+                live_gates += 1;
+            }
+        }
+        prop_assert_eq!(forest.node_count(), live_gates);
+    }
+
+    #[test]
+    fn mapping_unsimplified_equals_mapping_simplified(seed in any::<u64>()) {
+        let net = random_network(seed, 6, 10, 4);
+        let a = map_network(&net, &MapOptions::new(4)).unwrap();
+        let b = map_network(&net.simplified(), &MapOptions::new(4)).unwrap();
+        prop_assert_eq!(a.report.luts, b.report.luts);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn depth_objective_is_equivalent_and_shallower(seed in any::<u64>(), k in 2usize..=5) {
+        let net = random_network(seed, 7, 14, 5);
+        let area = map_network(&net, &MapOptions::new(k)).unwrap();
+        let depth = map_network(&net, &MapOptions::new(k).with_depth_objective()).unwrap();
+        check_equivalence(&net, &depth.circuit).unwrap();
+        // Depth mode minimizes every tree's output depth given minimal
+        // leaf depths, so the whole circuit can never end up deeper.
+        prop_assert!(
+            depth.circuit.depth() <= area.circuit.depth(),
+            "depth mode deeper: {} vs {}",
+            depth.circuit.depth(),
+            area.circuit.depth()
+        );
+        // Area mode stays LUT-optimal per tree.
+        prop_assert!(area.report.luts <= depth.report.luts);
+    }
+
+    #[test]
+    fn duplication_best_is_equivalent_and_no_worse(seed in any::<u64>(), k in 2usize..=5) {
+        let net = random_network(seed, 6, 10, 4);
+        let plain = map_network(&net, &MapOptions::new(k)).unwrap();
+        let best = chortle::map_network_best(&net, &MapOptions::new(k)).unwrap();
+        check_equivalence(&net, &best.circuit).unwrap();
+        prop_assert!(best.report.luts <= plain.report.luts);
+    }
+}

@@ -1,0 +1,131 @@
+//! Small structural building blocks shared by the benchmark generators.
+//!
+//! Networks contain only AND/OR nodes with polarized edges, so XOR, MUX
+//! and friends are spelled out as two-level structures here.
+
+use chortle_netlist::{Network, NodeOp, Signal};
+
+/// `a XOR b` as `(a AND !b) OR (!a AND b)`.
+pub fn xor2(net: &mut Network, a: Signal, b: Signal) -> Signal {
+    let t1 = net.add_gate(NodeOp::And, vec![a, !b]);
+    let t2 = net.add_gate(NodeOp::And, vec![!a, b]);
+    Signal::new(net.add_gate(NodeOp::Or, vec![t1.into(), t2.into()]))
+}
+
+/// `a XNOR b` (free inversion of [`xor2`]).
+pub fn xnor2(net: &mut Network, a: Signal, b: Signal) -> Signal {
+    !xor2(net, a, b)
+}
+
+/// 2:1 multiplexer: `sel ? hi : lo` as `(sel AND hi) OR (!sel AND lo)`.
+pub fn mux2(net: &mut Network, sel: Signal, hi: Signal, lo: Signal) -> Signal {
+    let t1 = net.add_gate(NodeOp::And, vec![sel, hi]);
+    let t2 = net.add_gate(NodeOp::And, vec![!sel, lo]);
+    Signal::new(net.add_gate(NodeOp::Or, vec![t1.into(), t2.into()]))
+}
+
+/// Full-adder sum bit: `a XOR b XOR cin`.
+pub fn full_add_sum(net: &mut Network, a: Signal, b: Signal, cin: Signal) -> Signal {
+    let ab = xor2(net, a, b);
+    xor2(net, ab, cin)
+}
+
+/// Full-adder carry-out: `a·b + cin·(a XOR b)`.
+pub fn full_add_carry(net: &mut Network, a: Signal, b: Signal, cin: Signal) -> Signal {
+    let ab = net.add_gate(NodeOp::And, vec![a, b]);
+    let x = xor2(net, a, b);
+    let cx = net.add_gate(NodeOp::And, vec![cin, x]);
+    Signal::new(net.add_gate(NodeOp::Or, vec![ab.into(), cx.into()]))
+}
+
+/// AND over a signal list, building a single wide node (the optimizer and
+/// mappers handle decomposition). Single-element lists pass through.
+pub fn and_all(net: &mut Network, signals: &[Signal]) -> Signal {
+    match signals.len() {
+        0 => Signal::new(net.add_const(true)),
+        1 => signals[0],
+        _ => Signal::new(net.add_gate(NodeOp::And, signals.to_vec())),
+    }
+}
+
+/// OR over a signal list (wide node).
+pub fn or_all(net: &mut Network, signals: &[Signal]) -> Signal {
+    match signals.len() {
+        0 => Signal::new(net.add_const(false)),
+        1 => signals[0],
+        _ => Signal::new(net.add_gate(NodeOp::Or, signals.to_vec())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_input_net() -> (Network, Signal, Signal) {
+        let mut net = Network::new();
+        let a = Signal::new(net.add_input("a"));
+        let b = Signal::new(net.add_input("b"));
+        (net, a, b)
+    }
+
+    #[test]
+    fn xor_truth() {
+        let (mut net, a, b) = two_input_net();
+        let z = xor2(&mut net, a, b);
+        net.add_output("z", z);
+        let f = net.signal_function(z).unwrap();
+        for bits in 0..4u32 {
+            assert_eq!(f.eval(bits), (bits & 1 == 1) != (bits & 2 == 2));
+        }
+    }
+
+    #[test]
+    fn mux_truth() {
+        let mut net = Network::new();
+        let s = Signal::new(net.add_input("s"));
+        let h = Signal::new(net.add_input("h"));
+        let l = Signal::new(net.add_input("l"));
+        let z = mux2(&mut net, s, h, l);
+        net.add_output("z", z);
+        let f = net.signal_function(z).unwrap();
+        for bits in 0..8u32 {
+            let (sv, hv, lv) = (bits & 1 == 1, bits & 2 == 2, bits & 4 == 4);
+            assert_eq!(f.eval(bits), if sv { hv } else { lv });
+        }
+    }
+
+    #[test]
+    fn adder_truth() {
+        let mut net = Network::new();
+        let a = Signal::new(net.add_input("a"));
+        let b = Signal::new(net.add_input("b"));
+        let c = Signal::new(net.add_input("c"));
+        let s = full_add_sum(&mut net, a, b, c);
+        let co = full_add_carry(&mut net, a, b, c);
+        net.add_output("s", s);
+        net.add_output("co", co);
+        let fs = net.signal_function(s).unwrap();
+        let fc = net.signal_function(co).unwrap();
+        for bits in 0..8u32 {
+            let ones = bits.count_ones();
+            assert_eq!(fs.eval(bits), ones % 2 == 1);
+            assert_eq!(fc.eval(bits), ones >= 2);
+        }
+    }
+
+    #[test]
+    fn wide_reducers() {
+        let mut net = Network::new();
+        let sigs: Vec<Signal> = (0..5)
+            .map(|i| Signal::new(net.add_input(format!("i{i}"))))
+            .collect();
+        let a = and_all(&mut net, &sigs);
+        let o = or_all(&mut net, &sigs);
+        net.add_output("a", a);
+        net.add_output("o", o);
+        let fa = net.signal_function(a).unwrap();
+        let fo = net.signal_function(o).unwrap();
+        assert!(fa.eval(0b11111) && !fa.eval(0b01111));
+        assert!(fo.eval(0b00001) && !fo.eval(0));
+    }
+}

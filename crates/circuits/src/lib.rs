@@ -1,0 +1,32 @@
+//! Deterministic structural substitutes for the MCNC-89 logic-synthesis
+//! benchmarks used in the Chortle DAC 1990 evaluation.
+//!
+//! The original MCNC netlists are not redistributable with this
+//! repository, so each benchmark name from the paper's Tables 1–4 is bound
+//! to a seeded generator that reproduces the circuit's *character* —
+//! symmetric logic (`9symml`), ALU slices (`alu2`/`alu4`), carry chains
+//! (`count`), XOR-rich crypto logic (`des`), two-level control
+//! (`apex6`/`apex7`/`k2`) and mixed multi-level random logic
+//! (`frg1`/`frg2`/`pair`/`rot`) — at comparable sizes. See `DESIGN.md` §5
+//! for why this substitution preserves the experiments' behaviour.
+//!
+//! # Examples
+//!
+//! ```
+//! use chortle_circuits::{suite, benchmark};
+//!
+//! assert_eq!(suite().len(), 12);
+//! let alu2 = benchmark("alu2").expect("known");
+//! assert!(alu2.num_gates() > 0);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod builders;
+mod generators;
+mod suite;
+
+pub use builders::{and_all, full_add_carry, full_add_sum, mux2, or_all, xnor2, xor2};
+pub use generators::{alu, control, count, des_like, nine_symml, random_logic};
+pub use suite::{benchmark, suite, Benchmark, BENCHMARK_NAMES};

@@ -1,0 +1,125 @@
+//! The twelve-circuit benchmark suite of the paper's Tables 1–4.
+//!
+//! Each entry binds an MCNC-89 benchmark name to its deterministic
+//! structural substitute (see the crate docs and `DESIGN.md` §5 for the
+//! substitution rationale). Sizes are chosen so the mapped LUT counts land
+//! in the same order of magnitude as the paper's tables.
+
+use chortle_netlist::Network;
+
+use crate::generators::{control, count, des_like, nine_symml, random_logic};
+
+/// One named benchmark circuit.
+#[derive(Clone, Debug)]
+pub struct Benchmark {
+    /// The MCNC-89 benchmark name this circuit substitutes.
+    pub name: &'static str,
+    /// The unoptimized source network (run the logic-opt script before
+    /// mapping, as the paper does).
+    pub network: Network,
+}
+
+/// Names of the twelve benchmarks, in the paper's table order.
+pub const BENCHMARK_NAMES: [&str; 12] = [
+    "9symml", "alu2", "alu4", "apex6", "apex7", "count", "des", "frg1", "frg2", "k2", "pair",
+    "rot",
+];
+
+/// Builds one benchmark by name; `None` for unknown names.
+///
+/// # Examples
+///
+/// ```
+/// use chortle_circuits::benchmark;
+///
+/// let net = benchmark("9symml").expect("known benchmark");
+/// assert_eq!(net.num_inputs(), 9);
+/// assert!(benchmark("nonesuch").is_none());
+/// ```
+pub fn benchmark(name: &str) -> Option<Network> {
+    let net = match name {
+        "9symml" => nine_symml(),
+        // The MCNC alu2/alu4 are espresso PLA benchmarks (10-in/6-out and
+        // 14-in/8-out two-level control), not ripple ALUs; the structural
+        // `alu()` generator remains available for examples.
+        "alu2" => control(0xA12, 10, 6, 60, (3, 7), (4, 10)),
+        "alu4" => control(0xA14, 14, 8, 110, (3, 8), (5, 12)),
+        "apex6" => control(0xA6, 96, 72, 260, (2, 5), (2, 6)),
+        "apex7" => control(0xA7, 48, 36, 120, (2, 5), (2, 5)),
+        "count" => count(8),
+        "des" => des_like(0xDE5, 32, 2),
+        "frg1" => random_logic(0xF1, 28, 110, 3, 4),
+        "frg2" => random_logic(0xF2, 96, 420, 70, 4),
+        "k2" => control(0x42, 44, 44, 180, (3, 6), (2, 6)),
+        "pair" => random_logic(0xBA1, 120, 520, 90, 4),
+        "rot" => random_logic(0x807, 90, 360, 60, 5),
+        _ => return None,
+    };
+    Some(net)
+}
+
+/// The full suite, in table order.
+///
+/// # Examples
+///
+/// ```
+/// use chortle_circuits::suite;
+///
+/// let suite = suite();
+/// assert_eq!(suite.len(), 12);
+/// assert_eq!(suite[0].name, "9symml");
+/// ```
+pub fn suite() -> Vec<Benchmark> {
+    BENCHMARK_NAMES
+        .iter()
+        .map(|&name| Benchmark {
+            name,
+            network: benchmark(name).expect("all suite names are known"),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chortle_netlist::NetworkStats;
+
+    #[test]
+    fn all_benchmarks_build_and_validate() {
+        for b in suite() {
+            b.network
+                .validate()
+                .unwrap_or_else(|e| panic!("{} invalid: {e}", b.name));
+            let stats = NetworkStats::of(&b.network);
+            assert!(stats.gates > 0, "{} has no gates", b.name);
+            assert!(stats.outputs > 0, "{} has no outputs", b.name);
+        }
+    }
+
+    #[test]
+    fn suite_is_deterministic() {
+        let a = suite();
+        let b = suite();
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.network, y.network, "{} differs across builds", x.name);
+        }
+    }
+
+    #[test]
+    fn sizes_are_in_expected_ranges() {
+        for b in suite() {
+            let stats = NetworkStats::of(&b.network);
+            assert!(
+                (40..30_000).contains(&stats.literals),
+                "{}: literals {} out of range",
+                b.name,
+                stats.literals
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_name_is_none() {
+        assert!(benchmark("c6288").is_none());
+    }
+}

@@ -1,0 +1,323 @@
+//! Library backing the `chortle-map` command-line technology mapper.
+//!
+//! The flow is the paper's end to end: parse a combinational BLIF model,
+//! optionally run the MIS-style optimization script, map into K-input
+//! lookup tables with either the Chortle algorithm or the MIS-style
+//! library baseline, verify functional equivalence, and emit the mapped
+//! circuit as BLIF.
+//!
+//! # Examples
+//!
+//! ```
+//! use chortle_cli::{run_flow, FlowOptions, Mapper};
+//!
+//! let blif = "\
+//! .model demo
+//! .inputs a b c
+//! .outputs z
+//! .names a b t
+//! 11 1
+//! .names t c z
+//! 1- 1
+//! -1 1
+//! .end
+//! ";
+//! let result = run_flow(blif, &FlowOptions { k: 4, ..FlowOptions::default() })?;
+//! assert_eq!(result.luts, 1);
+//! assert!(result.output_blif.contains(".names"));
+//! # Ok::<(), chortle_cli::FlowError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::error::Error;
+use std::fmt;
+
+use chortle::{map_network, MapOptions};
+use chortle_logic_opt::optimize;
+use chortle_mis::{map_network as mis_map, Library, MisOptions};
+use chortle_netlist::{
+    check_equivalence, lut_circuit_to_dot, parse_blif, write_lut_blif, write_lut_verilog,
+    LutStats, NetworkStats, ParseBlifError,
+};
+
+/// Output format of the mapped circuit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum OutputFormat {
+    /// Berkeley Logic Interchange Format (the default).
+    #[default]
+    Blif,
+    /// Structural Verilog (`wire`/`assign` only).
+    Verilog,
+    /// Graphviz DOT, for visual inspection.
+    Dot,
+}
+
+/// Which technology mapper to run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Mapper {
+    /// The Chortle dynamic-programming tree mapper (the paper's
+    /// contribution).
+    #[default]
+    Chortle,
+    /// The MIS II-style library baseline.
+    Mis,
+}
+
+/// Options of the end-to-end flow.
+#[derive(Clone, Copy, Debug)]
+pub struct FlowOptions {
+    /// LUT input count.
+    pub k: usize,
+    /// Which mapper to use.
+    pub mapper: Mapper,
+    /// Run the MIS-style optimization script before mapping.
+    pub optimize: bool,
+    /// Verify the mapped circuit against the (optimized) network.
+    pub verify: bool,
+    /// Chortle's node-splitting threshold.
+    pub split_threshold: usize,
+    /// Serialization format of the mapped circuit.
+    pub format: OutputFormat,
+}
+
+impl Default for FlowOptions {
+    fn default() -> Self {
+        FlowOptions {
+            k: 4,
+            mapper: Mapper::Chortle,
+            optimize: true,
+            verify: true,
+            split_threshold: 10,
+            format: OutputFormat::Blif,
+        }
+    }
+}
+
+/// Outcome of a successful flow.
+#[derive(Clone, Debug)]
+pub struct FlowResult {
+    /// LUTs in the mapped circuit.
+    pub luts: usize,
+    /// LUT levels on the longest path.
+    pub depth: usize,
+    /// Statistics of the network handed to the mapper.
+    pub network_stats: NetworkStats,
+    /// Statistics of the mapped circuit.
+    pub lut_stats: LutStats,
+    /// The mapped circuit serialized in the requested format.
+    pub output_blif: String,
+}
+
+/// Errors of the end-to-end flow.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum FlowError {
+    /// The input BLIF could not be parsed.
+    Parse(ParseBlifError),
+    /// K outside the supported range for the chosen mapper.
+    UnsupportedK {
+        /// The requested K.
+        k: usize,
+        /// The mapper's supported bound.
+        max: usize,
+    },
+    /// Mapping failed (internal error) or verification found a mismatch.
+    Internal(String),
+}
+
+impl fmt::Display for FlowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlowError::Parse(e) => write!(f, "cannot parse input: {e}"),
+            FlowError::UnsupportedK { k, max } => {
+                write!(f, "K = {k} unsupported (this mapper handles 2..={max})")
+            }
+            FlowError::Internal(msg) => write!(f, "flow failed: {msg}"),
+        }
+    }
+}
+
+impl Error for FlowError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            FlowError::Parse(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ParseBlifError> for FlowError {
+    fn from(e: ParseBlifError) -> Self {
+        FlowError::Parse(e)
+    }
+}
+
+/// Runs the full flow on BLIF text and returns the mapped design.
+///
+/// # Errors
+///
+/// Returns [`FlowError`] on parse failures, unsupported `k`, internal
+/// mapping errors, or (with `verify`) functional mismatches.
+pub fn run_flow(blif: &str, options: &FlowOptions) -> Result<FlowResult, FlowError> {
+    let max_k = match options.mapper {
+        Mapper::Chortle => 8,
+        Mapper::Mis => 6,
+    };
+    if !(2..=max_k).contains(&options.k) {
+        return Err(FlowError::UnsupportedK {
+            k: options.k,
+            max: max_k,
+        });
+    }
+    let parsed = parse_blif(blif)?;
+    let network = if options.optimize {
+        let (optimized, _) = optimize(&parsed)
+            .map_err(|e| FlowError::Internal(format!("optimization failed: {e}")))?;
+        optimized
+    } else {
+        parsed
+    };
+
+    let circuit = match options.mapper {
+        Mapper::Chortle => {
+            let opts = MapOptions::new(options.k)
+                .with_split_threshold(options.split_threshold.clamp(2, 16));
+            map_network(&network, &opts)
+                .map_err(|e| FlowError::Internal(e.to_string()))?
+                .circuit
+        }
+        Mapper::Mis => {
+            let lib = Library::for_paper(options.k);
+            mis_map(&network, &lib, &MisOptions::new(options.k))
+                .map_err(|e| FlowError::Internal(e.to_string()))?
+                .circuit
+        }
+    };
+
+    if options.verify {
+        check_equivalence(&network, &circuit)
+            .map_err(|e| FlowError::Internal(format!("verification failed: {e}")))?;
+    }
+
+    let lut_stats = LutStats::of(&circuit);
+    let rendered = match options.format {
+        OutputFormat::Blif => write_lut_blif(&network, &circuit, "mapped"),
+        OutputFormat::Verilog => write_lut_verilog(&network, &circuit, "mapped"),
+        OutputFormat::Dot => lut_circuit_to_dot(&network, &circuit, "mapped"),
+    };
+    Ok(FlowResult {
+        luts: circuit.num_luts(),
+        depth: circuit.depth(),
+        network_stats: NetworkStats::of(&network),
+        lut_stats,
+        output_blif: rendered,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DEMO: &str = "\
+.model demo
+.inputs a b c d
+.outputs x y
+.names a b t
+10 1
+01 1
+.names t c x
+11 1
+.names c d y
+11 0
+.end
+";
+
+    #[test]
+    fn default_flow_maps_and_verifies() {
+        let result = run_flow(DEMO, &FlowOptions::default()).expect("flow runs");
+        assert!(result.luts >= 1);
+        assert!(result.output_blif.starts_with(".model mapped"));
+    }
+
+    #[test]
+    fn mis_flow_also_works() {
+        let options = FlowOptions {
+            mapper: Mapper::Mis,
+            k: 3,
+            ..FlowOptions::default()
+        };
+        let result = run_flow(DEMO, &options).expect("flow runs");
+        assert!(result.luts >= 1);
+    }
+
+    #[test]
+    fn without_optimization() {
+        let options = FlowOptions {
+            optimize: false,
+            ..FlowOptions::default()
+        };
+        let result = run_flow(DEMO, &options).expect("flow runs");
+        assert!(result.luts >= 1);
+    }
+
+    #[test]
+    fn rejects_bad_k() {
+        let err = run_flow(
+            DEMO,
+            &FlowOptions {
+                k: 9,
+                ..FlowOptions::default()
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, FlowError::UnsupportedK { k: 9, max: 8 }));
+        let err = run_flow(
+            DEMO,
+            &FlowOptions {
+                k: 7,
+                mapper: Mapper::Mis,
+                ..FlowOptions::default()
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, FlowError::UnsupportedK { max: 6, .. }));
+    }
+
+    #[test]
+    fn rejects_bad_blif() {
+        let err = run_flow(".model x\n.latch a b\n.end", &FlowOptions::default()).unwrap_err();
+        assert!(matches!(err, FlowError::Parse(_)));
+    }
+
+    #[test]
+    fn verilog_and_dot_formats_render() {
+        let v = run_flow(
+            DEMO,
+            &FlowOptions {
+                format: OutputFormat::Verilog,
+                ..FlowOptions::default()
+            },
+        )
+        .expect("flow runs");
+        assert!(v.output_blif.contains("module mapped"));
+        let d = run_flow(
+            DEMO,
+            &FlowOptions {
+                format: OutputFormat::Dot,
+                ..FlowOptions::default()
+            },
+        )
+        .expect("flow runs");
+        assert!(d.output_blif.starts_with("digraph"));
+    }
+
+    #[test]
+    fn flow_output_reparses_equivalently() {
+        let result = run_flow(DEMO, &FlowOptions::default()).expect("flow runs");
+        let mapped = chortle_netlist::parse_blif(&result.output_blif).expect("parses");
+        let original = chortle_netlist::parse_blif(DEMO).expect("parses");
+        chortle_netlist::check_networks(&original, &mapped).expect("equivalent");
+    }
+}

@@ -1,0 +1,120 @@
+//! `chortle-map` — technology mapping for lookup-table FPGAs from the
+//! command line.
+//!
+//! ```text
+//! chortle-map [OPTIONS] [INPUT.blif]
+//!
+//! Options:
+//!   -k N               LUT input count (default 4)
+//!   -o FILE            write mapped BLIF to FILE (default stdout)
+//!   --mapper chortle|mis
+//!   --no-optimize      skip the MIS-style optimization script
+//!   --no-verify        skip the functional equivalence check
+//!   --split N          Chortle node-splitting threshold (default 10)
+//!   --format F         output format: blif (default), verilog, dot
+//!   --stats            print statistics to stderr
+//! ```
+//!
+//! Reads from stdin when no input file is given.
+
+use std::io::Read;
+use std::process::ExitCode;
+
+use chortle_cli::{run_flow, FlowOptions, Mapper, OutputFormat};
+
+fn main() -> ExitCode {
+    let mut options = FlowOptions::default();
+    let mut input: Option<String> = None;
+    let mut output: Option<String> = None;
+    let mut stats = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "-k" => match args.next().and_then(|s| s.parse().ok()) {
+                Some(v) => options.k = v,
+                None => return usage("-k requires an integer"),
+            },
+            "-o" => match args.next() {
+                Some(f) => output = Some(f),
+                None => return usage("-o requires a file name"),
+            },
+            "--mapper" => match args.next().as_deref() {
+                Some("chortle") => options.mapper = Mapper::Chortle,
+                Some("mis") => options.mapper = Mapper::Mis,
+                _ => return usage("--mapper must be `chortle` or `mis`"),
+            },
+            "--no-optimize" => options.optimize = false,
+            "--no-verify" => options.verify = false,
+            "--split" => match args.next().and_then(|s| s.parse().ok()) {
+                Some(v) => options.split_threshold = v,
+                None => return usage("--split requires an integer"),
+            },
+            "--format" => match args.next().as_deref() {
+                Some("blif") => options.format = OutputFormat::Blif,
+                Some("verilog") => options.format = OutputFormat::Verilog,
+                Some("dot") => options.format = OutputFormat::Dot,
+                _ => return usage("--format must be blif, verilog or dot"),
+            },
+            "--stats" => stats = true,
+            "--help" | "-h" => {
+                println!(
+                    "chortle-map [-k N] [-o FILE] [--mapper chortle|mis] [--format blif|verilog|dot] \
+                     [--no-optimize] [--no-verify] [--split N] [--stats] [INPUT.blif]"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other if !other.starts_with('-') && input.is_none() => {
+                input = Some(other.to_owned());
+            }
+            other => return usage(&format!("unknown argument {other:?}")),
+        }
+    }
+
+    let blif = match input {
+        Some(path) => match std::fs::read_to_string(&path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => {
+            let mut s = String::new();
+            if let Err(e) = std::io::stdin().read_to_string(&mut s) {
+                eprintln!("cannot read stdin: {e}");
+                return ExitCode::FAILURE;
+            }
+            s
+        }
+    };
+
+    let result = match run_flow(&blif, &options) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("chortle-map: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if stats {
+        eprintln!("network: {}", result.network_stats);
+        eprintln!("mapped:  {}", result.lut_stats);
+    }
+
+    match output {
+        Some(path) => {
+            if let Err(e) = std::fs::write(&path, &result.output_blif) {
+                eprintln!("cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        None => print!("{}", result.output_blif),
+    }
+    ExitCode::SUCCESS
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("chortle-map: {msg} (try --help)");
+    ExitCode::FAILURE
+}

@@ -1,0 +1,122 @@
+//! End-to-end tests of the `chortle-map` binary itself: argument parsing,
+//! stdin/stdout plumbing, file output and failure modes.
+
+use std::io::Write as _;
+use std::process::{Command, Stdio};
+
+const DEMO: &str = "\
+.model demo
+.inputs a b c
+.outputs z
+.names a b t
+11 1
+.names t c z
+1- 1
+-1 1
+.end
+";
+
+fn run(args: &[&str], stdin: &str) -> (String, String, bool) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_chortle-map"))
+        .args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("binary spawns");
+    child
+        .stdin
+        .as_mut()
+        .expect("stdin piped")
+        .write_all(stdin.as_bytes())
+        .expect("write stdin");
+    let out = child.wait_with_output().expect("binary exits");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+#[test]
+fn maps_from_stdin_to_stdout() {
+    let (stdout, _, ok) = run(&["-k", "3"], DEMO);
+    assert!(ok);
+    assert!(stdout.starts_with(".model mapped"));
+    assert!(stdout.contains(".names"));
+}
+
+#[test]
+fn stats_go_to_stderr() {
+    let (_, stderr, ok) = run(&["--stats"], DEMO);
+    assert!(ok);
+    assert!(stderr.contains("network:"));
+    assert!(stderr.contains("mapped:"));
+}
+
+#[test]
+fn verilog_format() {
+    let (stdout, _, ok) = run(&["--format", "verilog"], DEMO);
+    assert!(ok);
+    assert!(stdout.contains("module mapped"));
+    assert!(stdout.contains("endmodule"));
+}
+
+#[test]
+fn dot_format() {
+    let (stdout, _, ok) = run(&["--format", "dot"], DEMO);
+    assert!(ok);
+    assert!(stdout.starts_with("digraph"));
+}
+
+#[test]
+fn mis_mapper_selectable() {
+    let (stdout, _, ok) = run(&["--mapper", "mis", "-k", "3"], DEMO);
+    assert!(ok);
+    assert!(stdout.contains(".names"));
+}
+
+#[test]
+fn file_round_trip() {
+    let dir = std::env::temp_dir();
+    let in_path = dir.join("chortle_cli_test_in.blif");
+    let out_path = dir.join("chortle_cli_test_out.blif");
+    std::fs::write(&in_path, DEMO).expect("write input");
+    let (_, _, ok) = run(
+        &[
+            in_path.to_str().expect("utf8 path"),
+            "-o",
+            out_path.to_str().expect("utf8 path"),
+        ],
+        "",
+    );
+    assert!(ok);
+    let written = std::fs::read_to_string(&out_path).expect("output written");
+    assert!(written.contains(".model mapped"));
+    let _ = std::fs::remove_file(in_path);
+    let _ = std::fs::remove_file(out_path);
+}
+
+#[test]
+fn bad_arguments_fail_with_message() {
+    let (_, stderr, ok) = run(&["--mapper", "abc"], DEMO);
+    assert!(!ok);
+    assert!(stderr.contains("--mapper"));
+    let (_, stderr, ok) = run(&["-k", "99"], DEMO);
+    assert!(!ok);
+    assert!(stderr.contains("unsupported"));
+}
+
+#[test]
+fn bad_blif_fails_cleanly() {
+    let (_, stderr, ok) = run(&[], ".model x\n.latch a b\n.end\n");
+    assert!(!ok);
+    assert!(stderr.contains("cannot parse"));
+}
+
+#[test]
+fn help_prints_usage() {
+    let (stdout, _, ok) = run(&["--help"], "");
+    assert!(ok);
+    assert!(stdout.contains("chortle-map"));
+}

@@ -1,0 +1,287 @@
+//! Heuristic two-level minimization in the espresso style.
+//!
+//! The real MIS `simplify` ran espresso on each node. This module
+//! implements the two central espresso loops — EXPAND (grow each cube to
+//! a prime by dropping literals) and IRREDUNDANT (drop cubes covered by
+//! the rest) — on top of a recursive tautology checker, with no bound on
+//! the variable count (unlike the exact Quine–McCluskey minimizer in
+//! [`crate::minimize_exact`], which enumerates minterms).
+
+use crate::cube::{Cube, Literal};
+use crate::sop::Sop;
+
+/// Returns the cofactor of `f` with respect to a single literal: the
+/// cubes compatible with `lit`, with `lit`'s variable removed.
+fn cofactor_literal(f: &Sop, lit: Literal) -> Sop {
+    let mut cubes = Vec::new();
+    for c in f.cubes() {
+        if c.has(lit.complement()) {
+            continue; // incompatible with the assignment
+        }
+        let reduced = Cube::from_literals(
+            c.literals()
+                .iter()
+                .copied()
+                .filter(|l| l.var() != lit.var()),
+        )
+        .expect("removing literals cannot create contradictions");
+        cubes.push(reduced);
+    }
+    Sop::from_cubes(cubes)
+}
+
+/// Recursive tautology check: is `f` true under every assignment?
+///
+/// Uses the classic espresso reductions: true if any cube is empty
+/// (constant-true term); false if there are no cubes; a unate variable
+/// whose phase never helps can be dropped; otherwise Shannon-split on the
+/// most frequent variable.
+pub(crate) fn is_tautology(f: &Sop) -> bool {
+    if f.is_one() {
+        return true;
+    }
+    if f.is_zero() {
+        return false;
+    }
+    // Unate reduction / variable selection: count phases per variable.
+    let counts = f.literal_counts();
+    let mut vars: std::collections::HashMap<usize, (usize, usize)> =
+        std::collections::HashMap::new();
+    for (lit, n) in &counts {
+        let e = vars.entry(lit.var()).or_insert((0, 0));
+        if lit.is_inverted() {
+            e.1 += n;
+        } else {
+            e.0 += n;
+        }
+    }
+    // A function with a unate variable v is a tautology iff the cofactor
+    // with v's literal *removed in its present phase* is — equivalently,
+    // cubes containing the unate literal can never cover the opposite
+    // half alone, so check the cofactor against the absent phase.
+    if let Some((&v, &(pos, neg))) = vars.iter().find(|(_, &(p, n))| p == 0 || n == 0) {
+        let lit = if pos == 0 {
+            // Only negative literals: on the v=1 half those cubes die.
+            Literal::positive(v)
+        } else {
+            let _ = neg;
+            Literal::negative(v)
+        };
+        return is_tautology(&cofactor_literal(f, lit));
+    }
+    // Binate: split on the most frequent variable.
+    let (&v, _) = vars
+        .iter()
+        .max_by_key(|(_, &(p, n))| p + n)
+        .expect("non-constant SOP has variables");
+    is_tautology(&cofactor_literal(f, Literal::positive(v)))
+        && is_tautology(&cofactor_literal(f, Literal::negative(v)))
+}
+
+/// Whether `f` covers every minterm of `cube` (`cube ⇒ f`).
+///
+/// Equivalent to: the cofactor of `f` by `cube` is a tautology.
+pub fn covers_cube(f: &Sop, cube: &Cube) -> bool {
+    let mut g = f.clone();
+    for &lit in cube.literals() {
+        g = cofactor_literal(&g, lit);
+        if g.is_zero() {
+            return false;
+        }
+    }
+    is_tautology(&g)
+}
+
+/// EXPAND: grows each cube of `f` toward a prime implicant by removing
+/// literals whose removal keeps the cube inside the function. Cubes are
+/// processed largest-first, and containment is re-checked against the
+/// evolving cover.
+fn expand(f: &Sop) -> Sop {
+    let mut cubes: Vec<Cube> = f.cubes().to_vec();
+    cubes.sort_by_key(|c| std::cmp::Reverse(c.len()));
+    let reference = f.clone();
+    let mut out: Vec<Cube> = Vec::with_capacity(cubes.len());
+    for cube in cubes {
+        let mut current = cube;
+        loop {
+            let mut grown = false;
+            for &lit in current.clone().literals() {
+                let candidate = Cube::from_literals(
+                    current
+                        .literals()
+                        .iter()
+                        .copied()
+                        .filter(|&l| l != lit),
+                )
+                .expect("subset of a cube");
+                if covers_cube(&reference, &candidate) {
+                    current = candidate;
+                    grown = true;
+                    break;
+                }
+            }
+            if !grown {
+                break;
+            }
+        }
+        out.push(current);
+    }
+    Sop::from_cubes(out)
+}
+
+/// IRREDUNDANT: removes cubes covered by the rest of the cover.
+fn irredundant(f: &Sop) -> Sop {
+    let mut kept: Vec<Cube> = f.cubes().to_vec();
+    // Largest cubes are most likely to be essential; try dropping the
+    // smallest first.
+    kept.sort_by_key(Cube::len);
+    let mut i = kept.len();
+    while i > 0 {
+        i -= 1;
+        let candidate = kept[i].clone();
+        let rest = Sop::from_cubes(
+            kept.iter()
+                .enumerate()
+                .filter(|(j, _)| *j != i)
+                .map(|(_, c)| c.clone()),
+        );
+        if !rest.is_zero() && covers_cube(&rest, &candidate) {
+            kept.remove(i);
+        }
+    }
+    Sop::from_cubes(kept)
+}
+
+/// Heuristically minimizes an SOP: one EXPAND pass (cubes become primes)
+/// followed by IRREDUNDANT (redundant primes dropped). Unlike
+/// [`crate::minimize_exact`] there is no support-size limit; unlike
+/// espresso proper there is no REDUCE/iterate loop, so the result is a
+/// prime irredundant cover but not necessarily a minimum one.
+///
+/// # Examples
+///
+/// ```
+/// use chortle_logic_opt::{heuristic_minimize, Sop};
+///
+/// // ab + a!b + !ab  →  a + b.
+/// let f = Sop::try_from_slices(&[
+///     &[(0, false), (1, false)],
+///     &[(0, false), (1, true)],
+///     &[(0, true), (1, false)],
+/// ]).unwrap();
+/// let g = heuristic_minimize(&f);
+/// assert_eq!(g.num_cubes(), 2);
+/// assert_eq!(g.num_literals(), 2);
+/// ```
+pub fn heuristic_minimize(f: &Sop) -> Sop {
+    if f.is_zero() || f.is_one() {
+        return f.clone();
+    }
+    let mut g = f.clone();
+    g.minimize();
+    let expanded = expand(&g);
+    let mut reduced = irredundant(&expanded);
+    reduced.minimize();
+    reduced
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sop(cubes: &[&[(usize, bool)]]) -> Sop {
+        Sop::try_from_slices(cubes).unwrap()
+    }
+
+    fn assert_equiv(a: &Sop, b: &Sop, vars: usize) {
+        for bits in 0..(1u64 << vars) {
+            assert_eq!(a.eval(bits), b.eval(bits), "differ at {bits:b}");
+        }
+    }
+
+    #[test]
+    fn tautology_basics() {
+        assert!(is_tautology(&Sop::one()));
+        assert!(!is_tautology(&Sop::zero()));
+        // a + !a is a tautology.
+        assert!(is_tautology(&sop(&[&[(0, false)], &[(0, true)]])));
+        // a + b is not.
+        assert!(!is_tautology(&sop(&[&[(0, false)], &[(1, false)]])));
+        // ab + a!b + !a is a tautology.
+        assert!(is_tautology(&sop(&[
+            &[(0, false), (1, false)],
+            &[(0, false), (1, true)],
+            &[(0, true)],
+        ])));
+    }
+
+    #[test]
+    fn covers_cube_detects_containment() {
+        // f = a + bc covers cube abc and cube a!b, but not cube b.
+        let f = sop(&[&[(0, false)], &[(1, false), (2, false)]]);
+        let abc = Cube::from_literals([
+            Literal::positive(0),
+            Literal::positive(1),
+            Literal::positive(2),
+        ])
+        .unwrap();
+        let a_nb = Cube::from_literals([Literal::positive(0), Literal::negative(1)]).unwrap();
+        let b = Cube::from_literals([Literal::positive(1)]).unwrap();
+        assert!(covers_cube(&f, &abc));
+        assert!(covers_cube(&f, &a_nb));
+        assert!(!covers_cube(&f, &b));
+    }
+
+    #[test]
+    fn consensus_term_removed() {
+        // ab + !ac + bc: bc is redundant.
+        let f = sop(&[
+            &[(0, false), (1, false)],
+            &[(0, true), (2, false)],
+            &[(1, false), (2, false)],
+        ]);
+        let g = heuristic_minimize(&f);
+        assert_eq!(g.num_cubes(), 2);
+        assert_equiv(&f, &g, 3);
+    }
+
+    #[test]
+    fn expansion_reaches_primes() {
+        // All four minterms with a=1 expand to the single literal a.
+        let f = sop(&[
+            &[(0, false), (1, false), (2, false)],
+            &[(0, false), (1, false), (2, true)],
+            &[(0, false), (1, true), (2, false)],
+            &[(0, false), (1, true), (2, true)],
+        ]);
+        let g = heuristic_minimize(&f);
+        assert_eq!(g.num_cubes(), 1);
+        assert_eq!(g.num_literals(), 1);
+        assert_equiv(&f, &g, 3);
+    }
+
+    #[test]
+    fn wide_support_is_handled() {
+        // 20 variables — far beyond the exact minimizer's bound.
+        let cubes: Vec<Vec<(usize, bool)>> = (0..20)
+            .map(|v| vec![(v, false), ((v + 1) % 20, false)])
+            .collect();
+        let refs: Vec<&[(usize, bool)]> = cubes.iter().map(|c| c.as_slice()).collect();
+        let f = Sop::try_from_slices(&refs).unwrap();
+        let g = heuristic_minimize(&f);
+        assert!(g.num_cubes() <= f.num_cubes());
+        // Spot-check equivalence on random assignments.
+        let mut rng = chortle_netlist::SplitMix64::new(5);
+        for _ in 0..2000 {
+            let bits = rng.next_u64() & ((1 << 20) - 1);
+            assert_eq!(f.eval(bits), g.eval(bits), "differ at {bits:b}");
+        }
+    }
+
+    #[test]
+    fn xor_is_already_prime_irredundant() {
+        let f = sop(&[&[(0, false), (1, true)], &[(0, true), (1, false)]]);
+        let g = heuristic_minimize(&f);
+        assert_eq!(g, f);
+    }
+}

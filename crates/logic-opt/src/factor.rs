@@ -1,0 +1,281 @@
+//! Factoring: turning a two-level SOP into a multi-level AND/OR expression
+//! tree with (near-)minimal literal count.
+//!
+//! This is the last step of the MIS-style optimization script: the factored
+//! forms become the AND/OR nodes of the network handed to technology
+//! mapping. The algorithm is the classic kernel-driven *quick factoring*:
+//! pick a level-0 kernel `d`, divide `f = q·d + r`, and recurse on `q`, `d`
+//! and `r`.
+
+use crate::cube::{Cube, Literal};
+use crate::kernels::{is_level0_kernel, kernels};
+use crate::sop::Sop;
+
+/// A factored Boolean expression over literal leaves.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Factored {
+    /// A constant.
+    Const(bool),
+    /// A single literal.
+    Literal(Literal),
+    /// Product of sub-expressions.
+    And(Vec<Factored>),
+    /// Sum of sub-expressions.
+    Or(Vec<Factored>),
+}
+
+impl Factored {
+    /// Number of literal leaves — the factored literal count.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use chortle_logic_opt::{factor, Sop};
+    ///
+    /// // f = a·c + a·d + b·c + b·d has 8 SOP literals but factors to
+    /// // (a + b)(c + d) with 4.
+    /// let f = Sop::try_from_slices(&[
+    ///     &[(0, false), (2, false)],
+    ///     &[(0, false), (3, false)],
+    ///     &[(1, false), (2, false)],
+    ///     &[(1, false), (3, false)],
+    /// ]).unwrap();
+    /// assert_eq!(factor(&f).literal_count(), 4);
+    /// ```
+    pub fn literal_count(&self) -> usize {
+        match self {
+            Factored::Const(_) => 0,
+            Factored::Literal(_) => 1,
+            Factored::And(xs) | Factored::Or(xs) => xs.iter().map(Self::literal_count).sum(),
+        }
+    }
+
+    /// Evaluates the expression under an assignment (bit `v` = variable
+    /// `v`).
+    pub fn eval(&self, bits: u64) -> bool {
+        match self {
+            Factored::Const(v) => *v,
+            Factored::Literal(l) => ((bits >> l.var()) & 1 == 1) != l.is_inverted(),
+            Factored::And(xs) => xs.iter().all(|x| x.eval(bits)),
+            Factored::Or(xs) => xs.iter().any(|x| x.eval(bits)),
+        }
+    }
+
+    /// Builds an AND node, flattening nested ANDs and dropping constant
+    /// trues; returns constant false if any operand is.
+    fn and(xs: Vec<Factored>) -> Factored {
+        let mut flat = Vec::new();
+        for x in xs {
+            match x {
+                Factored::Const(false) => return Factored::Const(false),
+                Factored::Const(true) => {}
+                Factored::And(inner) => flat.extend(inner),
+                other => flat.push(other),
+            }
+        }
+        match flat.len() {
+            0 => Factored::Const(true),
+            1 => flat.pop().expect("one element"),
+            _ => Factored::And(flat),
+        }
+    }
+
+    /// Builds an OR node with the dual simplifications of
+    /// [`and`](Factored::and).
+    fn or(xs: Vec<Factored>) -> Factored {
+        let mut flat = Vec::new();
+        for x in xs {
+            match x {
+                Factored::Const(true) => return Factored::Const(true),
+                Factored::Const(false) => {}
+                Factored::Or(inner) => flat.extend(inner),
+                other => flat.push(other),
+            }
+        }
+        match flat.len() {
+            0 => Factored::Const(false),
+            1 => flat.pop().expect("one element"),
+            _ => Factored::Or(flat),
+        }
+    }
+}
+
+/// Factors an SOP into a multi-level AND/OR expression.
+///
+/// The result is functionally identical to `f` (verified exhaustively in
+/// this module's tests) and typically has far fewer literals for SOPs with
+/// shared sub-expressions.
+pub fn factor(f: &Sop) -> Factored {
+    if f.is_zero() {
+        return Factored::Const(false);
+    }
+    if f.is_one() {
+        return Factored::Const(true);
+    }
+    if f.is_single_cube() {
+        return cube_to_factored(&f.cubes()[0]);
+    }
+    // Peel off the common cube first: f = c · f'.
+    let (common, free) = f.make_cube_free();
+    let inner = factor_cube_free(&free);
+    if common.is_empty() {
+        inner
+    } else {
+        Factored::and(vec![cube_to_factored(&common), inner])
+    }
+}
+
+fn cube_to_factored(c: &Cube) -> Factored {
+    match c.len() {
+        0 => Factored::Const(true),
+        1 => Factored::Literal(c.literals()[0]),
+        _ => Factored::And(c.literals().iter().map(|&l| Factored::Literal(l)).collect()),
+    }
+}
+
+fn factor_cube_free(f: &Sop) -> Factored {
+    debug_assert!(f.num_cubes() >= 2);
+    if is_level0_kernel(f) {
+        // No proper divisors: f is a sum of variable-disjoint cubes.
+        return Factored::or(f.cubes().iter().map(cube_to_factored).collect());
+    }
+    let divisor = choose_divisor(f);
+    let divisor = match divisor {
+        Some(d) => d,
+        None => {
+            // Fall back to dividing by the most frequent literal; always
+            // strictly reduces because f is not level-0.
+            return factor_by_best_literal(f);
+        }
+    };
+    let (q, r) = f.divide(&divisor);
+    debug_assert!(!q.is_zero(), "a kernel always divides its SOP");
+    Factored::or(vec![
+        Factored::and(vec![factor(&q), factor(&divisor)]),
+        factor(&r),
+    ])
+}
+
+/// Picks a level-0 kernel with maximal literal count as the divisor; `None`
+/// if the only kernel is `f` itself.
+fn choose_divisor(f: &Sop) -> Option<Sop> {
+    kernels(f)
+        .into_iter()
+        .filter(|k| k.kernel != *f && is_level0_kernel(&k.kernel))
+        .max_by_key(|k| (k.kernel.num_literals(), k.kernel.num_cubes()))
+        .map(|k| k.kernel)
+}
+
+fn factor_by_best_literal(f: &Sop) -> Factored {
+    let counts = f.literal_counts();
+    let (&lit, _) = counts
+        .iter()
+        .max_by_key(|&(l, c)| (*c, std::cmp::Reverse(l.code())))
+        .expect("non-constant SOP has literals");
+    let d = Sop::from_cubes([Cube::from_literals([lit]).expect("single literal")]);
+    let (q, r) = f.divide(&d);
+    Factored::or(vec![
+        Factored::and(vec![Factored::Literal(lit), factor(&q)]),
+        factor(&r),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sop(cubes: &[&[(usize, bool)]]) -> Sop {
+        Sop::try_from_slices(cubes).unwrap()
+    }
+
+    fn assert_equivalent(f: &Sop, t: &Factored, vars: usize) {
+        for bits in 0..(1u64 << vars) {
+            assert_eq!(f.eval(bits), t.eval(bits), "differ on {bits:b}");
+        }
+    }
+
+    #[test]
+    fn constants_factor_to_consts() {
+        assert_eq!(factor(&Sop::zero()), Factored::Const(false));
+        assert_eq!(factor(&Sop::one()), Factored::Const(true));
+    }
+
+    #[test]
+    fn single_cube_is_and_of_literals() {
+        let f = sop(&[&[(0, false), (2, true)]]);
+        let t = factor(&f);
+        assert_eq!(t.literal_count(), 2);
+        assert_equivalent(&f, &t, 3);
+    }
+
+    #[test]
+    fn distributive_example_saves_literals() {
+        let f = sop(&[
+            &[(0, false), (2, false)],
+            &[(0, false), (3, false)],
+            &[(1, false), (2, false)],
+            &[(1, false), (3, false)],
+        ]);
+        let t = factor(&f);
+        assert_equivalent(&f, &t, 4);
+        assert_eq!(t.literal_count(), 4);
+    }
+
+    #[test]
+    fn common_cube_peeled() {
+        // f = ab·c + ab·d = ab(c + d)
+        let f = sop(&[
+            &[(0, false), (1, false), (2, false)],
+            &[(0, false), (1, false), (3, false)],
+        ]);
+        let t = factor(&f);
+        assert_eq!(t.literal_count(), 4);
+        assert_equivalent(&f, &t, 4);
+    }
+
+    #[test]
+    fn xor_shape_stays_two_level() {
+        let f = sop(&[&[(0, false), (1, true)], &[(0, true), (1, false)]]);
+        let t = factor(&f);
+        assert_equivalent(&f, &t, 2);
+        assert_eq!(t.literal_count(), 4);
+    }
+
+    #[test]
+    fn larger_mixed_function() {
+        // f = ade + bde + cde + af + bf
+        let f = sop(&[
+            &[(0, false), (3, false), (4, false)],
+            &[(1, false), (3, false), (4, false)],
+            &[(2, false), (3, false), (4, false)],
+            &[(0, false), (5, false)],
+            &[(1, false), (5, false)],
+        ]);
+        let t = factor(&f);
+        assert_equivalent(&f, &t, 6);
+        assert!(
+            t.literal_count() <= f.num_literals(),
+            "factoring must not increase literals: {} vs {}",
+            t.literal_count(),
+            f.num_literals()
+        );
+    }
+
+    #[test]
+    fn exhaustive_small_functions_equivalent() {
+        // All 3-variable functions, built as minterm SOPs, must survive
+        // factoring unchanged.
+        for func in 0u16..256 {
+            let mut cubes = Vec::new();
+            for m in 0..8u64 {
+                if (func >> m) & 1 == 1 {
+                    let lits = (0..3).map(|v| Literal::with_phase(v, (m >> v) & 1 == 0));
+                    cubes.push(Cube::from_literals(lits).unwrap());
+                }
+            }
+            let f = Sop::from_cubes(cubes);
+            let t = factor(&f);
+            assert_equivalent(&f, &t, 3);
+        }
+    }
+}

@@ -1,0 +1,231 @@
+//! Kernel extraction (Brayton–McMullen).
+//!
+//! A *kernel* of an SOP `f` is a cube-free quotient `f / c` for some cube
+//! `c` (the *co-kernel*). Kernels are the carriers of multi-cube common
+//! subexpressions: two SOPs share a multi-cube divisor iff the intersection
+//! of one kernel from each has two or more cubes.
+//!
+//! *Level-0* kernels contain no kernels other than themselves — no literal
+//! appears in two of their cubes. The MIS library construction in the paper
+//! (Section 4.1) is built from level-0 kernels with at most K literals.
+
+use crate::cube::Cube;
+use crate::sop::Sop;
+
+/// A kernel together with its co-kernel cube.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Kernel {
+    /// The cube whose quotient produced the kernel.
+    pub co_kernel: Cube,
+    /// The cube-free quotient.
+    pub kernel: Sop,
+}
+
+/// Computes all kernels of `f` (including `f` itself, made cube-free, with
+/// its common cube as co-kernel).
+///
+/// Returns an empty list for SOPs with fewer than two cubes (they have no
+/// cube-free quotients).
+///
+/// # Examples
+///
+/// ```
+/// use chortle_logic_opt::{kernels, Sop};
+///
+/// // f = a·c + a·d + b·c + b·d
+/// let f = Sop::try_from_slices(&[
+///     &[(0, false), (2, false)],
+///     &[(0, false), (3, false)],
+///     &[(1, false), (2, false)],
+///     &[(1, false), (3, false)],
+/// ]).unwrap();
+/// let ks = kernels(&f);
+/// let ab = Sop::try_from_slices(&[&[(0, false)], &[(1, false)]]).unwrap();
+/// let cd = Sop::try_from_slices(&[&[(2, false)], &[(3, false)]]).unwrap();
+/// assert!(ks.iter().any(|k| k.kernel == ab));
+/// assert!(ks.iter().any(|k| k.kernel == cd));
+/// ```
+pub fn kernels(f: &Sop) -> Vec<Kernel> {
+    let mut out = Vec::new();
+    if f.num_cubes() < 2 {
+        return out;
+    }
+    let (common, free) = f.make_cube_free();
+    out.push(Kernel {
+        co_kernel: common.clone(),
+        kernel: free.clone(),
+    });
+    // Literals that can still seed a quotient, in ascending code order.
+    let lits = sorted_multi_literals(&free);
+    kernel_rec(&free, &common, &lits, 0, &mut out);
+    dedup_kernels(&mut out);
+    out
+}
+
+/// Literals appearing in at least two cubes, ascending by code.
+fn sorted_multi_literals(f: &Sop) -> Vec<crate::cube::Literal> {
+    let counts = f.literal_counts();
+    let mut lits: Vec<_> = counts
+        .into_iter()
+        .filter(|&(_, c)| c >= 2)
+        .map(|(l, _)| l)
+        .collect();
+    lits.sort_unstable();
+    lits
+}
+
+fn kernel_rec(
+    g: &Sop,
+    co_kernel: &Cube,
+    lits: &[crate::cube::Literal],
+    start: usize,
+    out: &mut Vec<Kernel>,
+) {
+    for (i, &lit) in lits.iter().enumerate().skip(start) {
+        let cube_lit = Cube::from_literals([lit]).expect("single literal cube");
+        let quotient = g.divide_by_cube(&cube_lit);
+        if quotient.num_cubes() < 2 {
+            continue;
+        }
+        let (extra, free) = quotient.make_cube_free();
+        // Skip if the co-kernel extension contains a literal earlier in the
+        // order — that kernel is found via the earlier literal.
+        let full_extra = extra
+            .product(&cube_lit)
+            .expect("literal not in quotient common cube");
+        if full_extra
+            .literals()
+            .iter()
+            .any(|l| lits[..i].contains(l))
+        {
+            continue;
+        }
+        let new_co = co_kernel
+            .product(&full_extra)
+            .expect("co-kernel cubes are variable-disjoint");
+        out.push(Kernel {
+            co_kernel: new_co.clone(),
+            kernel: free.clone(),
+        });
+        kernel_rec(&free, &new_co, lits, i + 1, out);
+    }
+}
+
+fn dedup_kernels(ks: &mut Vec<Kernel>) {
+    ks.sort_by(|a, b| (&a.kernel, &a.co_kernel).cmp(&(&b.kernel, &b.co_kernel)));
+    ks.dedup();
+}
+
+/// Whether `k` is a level-0 kernel: cube-free and no literal occurring in
+/// more than one cube.
+///
+/// # Examples
+///
+/// ```
+/// use chortle_logic_opt::{is_level0_kernel, Sop};
+///
+/// let ab_c = Sop::try_from_slices(&[&[(0, false), (1, false)], &[(2, false)]]).unwrap();
+/// assert!(is_level0_kernel(&ab_c)); // a·b + c
+///
+/// let shared = Sop::try_from_slices(&[&[(0, false), (1, false)], &[(0, false), (2, false)]]);
+/// assert!(!is_level0_kernel(&shared.unwrap())); // a·b + a·c has a in two cubes
+/// ```
+pub fn is_level0_kernel(k: &Sop) -> bool {
+    if k.num_cubes() < 2 || !k.is_cube_free() {
+        return false;
+    }
+    k.literal_counts().values().all(|&c| c == 1)
+}
+
+/// The level-0 kernels of `f`: kernels that contain no kernels other than
+/// themselves.
+pub fn level0_kernels(f: &Sop) -> Vec<Kernel> {
+    kernels(f)
+        .into_iter()
+        .filter(|k| is_level0_kernel(&k.kernel))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sop(cubes: &[&[(usize, bool)]]) -> Sop {
+        Sop::try_from_slices(cubes).unwrap()
+    }
+
+    #[test]
+    fn single_cube_has_no_kernels() {
+        let f = sop(&[&[(0, false), (1, false)]]);
+        assert!(kernels(&f).is_empty());
+    }
+
+    #[test]
+    fn textbook_example() {
+        // f = adf + aef + bdf + bef + cdf + cef + g
+        //   = (a+b+c)(d+e)f + g
+        let f = sop(&[
+            &[(0, false), (3, false), (5, false)],
+            &[(0, false), (4, false), (5, false)],
+            &[(1, false), (3, false), (5, false)],
+            &[(1, false), (4, false), (5, false)],
+            &[(2, false), (3, false), (5, false)],
+            &[(2, false), (4, false), (5, false)],
+            &[(6, false)],
+        ]);
+        let ks = kernels(&f);
+        let abc = sop(&[&[(0, false)], &[(1, false)], &[(2, false)]]);
+        let de = sop(&[&[(3, false)], &[(4, false)]]);
+        assert!(ks.iter().any(|k| k.kernel == abc), "missing a+b+c");
+        assert!(ks.iter().any(|k| k.kernel == de), "missing d+e");
+        // f itself is cube-free (g has no shared cube), so it is a kernel
+        // with co-kernel 1.
+        assert!(ks.iter().any(|k| k.co_kernel.is_empty() && k.kernel == f));
+    }
+
+    #[test]
+    fn kernel_division_reconstructs() {
+        let f = sop(&[
+            &[(0, false), (2, false)],
+            &[(0, false), (3, false)],
+            &[(1, false), (2, false)],
+            &[(1, false), (3, false)],
+        ]);
+        for k in kernels(&f) {
+            let (q, r) = f.divide(&k.kernel);
+            assert!(!q.is_zero(), "kernel must divide f");
+            for bits in 0..16u64 {
+                assert_eq!(
+                    f.eval(bits),
+                    (q.eval(bits) && k.kernel.eval(bits)) || r.eval(bits)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn level0_filtering() {
+        let f = sop(&[
+            &[(0, false), (2, false)],
+            &[(0, false), (3, false)],
+            &[(1, false), (2, false)],
+            &[(1, false), (3, false)],
+        ]);
+        for k in level0_kernels(&f) {
+            assert!(is_level0_kernel(&k.kernel));
+        }
+        // (a+b) and (c+d) are level-0; f itself is not.
+        let ab = sop(&[&[(0, false)], &[(1, false)]]);
+        assert!(level0_kernels(&f).iter().any(|k| k.kernel == ab));
+        assert!(!is_level0_kernel(&f));
+    }
+
+    #[test]
+    fn kernels_of_xor_shape() {
+        // f = a·!b + !a·b is cube-free and level-0.
+        let f = sop(&[&[(0, false), (1, true)], &[(0, true), (1, false)]]);
+        assert!(is_level0_kernel(&f));
+        let ks = kernels(&f);
+        assert!(ks.iter().any(|k| k.kernel == f));
+    }
+}

@@ -1,0 +1,367 @@
+//! Exact two-level minimization (Quine–McCluskey with essential-prime
+//! extraction and branch-and-bound covering).
+//!
+//! MIS' `simplify` runs two-level minimization on every node SOP; the
+//! algebraic script in this crate uses the cheap single-cube-containment
+//! pass by default and offers this exact minimizer for node functions of
+//! bounded support (the classic table method is exponential in the
+//! variable count).
+
+use crate::cube::{Cube, Literal};
+use crate::sop::Sop;
+
+/// Maximum support size accepted by the exact minimizer.
+pub const MAX_EXACT_VARS: usize = 12;
+
+/// An implicant over `n` variables: `care` marks bound positions, `value`
+/// their polarity (1 = positive literal).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+struct Implicant {
+    care: u32,
+    value: u32,
+}
+
+impl Implicant {
+    fn covers(self, minterm: u32) -> bool {
+        (minterm & self.care) == self.value
+    }
+
+    fn to_cube(self, vars: usize) -> Cube {
+        Cube::from_literals((0..vars).filter(|&v| self.care & (1 << v) != 0).map(|v| {
+            Literal::with_phase(v, self.value & (1 << v) == 0)
+        }))
+        .expect("implicant positions are distinct")
+    }
+}
+
+/// Computes all prime implicants of the on-set given as minterm values
+/// over `vars` variables.
+fn prime_implicants(minterms: &[u32], vars: usize) -> Vec<Implicant> {
+    let full_care: u32 = if vars == 32 { u32::MAX } else { (1 << vars) - 1 };
+    let mut current: Vec<Implicant> = minterms
+        .iter()
+        .map(|&m| Implicant {
+            care: full_care,
+            value: m,
+        })
+        .collect();
+    current.sort_by_key(|i| (i.care, i.value));
+    current.dedup();
+    let mut primes: Vec<Implicant> = Vec::new();
+    while !current.is_empty() {
+        let mut merged = std::collections::HashSet::new();
+        let mut next = std::collections::HashSet::new();
+        for (a_idx, &a) in current.iter().enumerate() {
+            for &b in &current[a_idx + 1..] {
+                if a.care != b.care {
+                    continue;
+                }
+                let diff = a.value ^ b.value;
+                if diff.count_ones() == 1 {
+                    next.insert(Implicant {
+                        care: a.care & !diff,
+                        value: a.value & !diff,
+                    });
+                    merged.insert(a);
+                    merged.insert(b);
+                }
+            }
+        }
+        for &i in &current {
+            if !merged.contains(&i) {
+                primes.push(i);
+            }
+        }
+        let mut v: Vec<Implicant> = next.into_iter().collect();
+        v.sort_by_key(|i| (i.care, i.value));
+        current = v;
+    }
+    primes.sort_by_key(|i| (i.care, i.value));
+    primes.dedup();
+    primes
+}
+
+/// Selects a minimum-cube cover of `minterms` from `primes`:
+/// essential primes first, then branch-and-bound over the residue (falls
+/// back to greedy when the residue is large).
+fn select_cover(primes: &[Implicant], minterms: &[u32]) -> Vec<Implicant> {
+    let mut cover: Vec<Implicant> = Vec::new();
+    let mut remaining: Vec<u32> = minterms.to_vec();
+    // Essential primes: a minterm covered by exactly one prime.
+    loop {
+        let mut essential: Option<Implicant> = None;
+        'scan: for &m in &remaining {
+            let mut hit = None;
+            for &p in primes {
+                if p.covers(m) {
+                    if hit.is_some() {
+                        continue 'scan;
+                    }
+                    hit = Some(p);
+                }
+            }
+            if let Some(p) = hit {
+                if !cover.contains(&p) {
+                    essential = Some(p);
+                    break;
+                }
+            }
+        }
+        match essential {
+            Some(p) => {
+                cover.push(p);
+                remaining.retain(|&m| !p.covers(m));
+            }
+            None => break,
+        }
+        if remaining.is_empty() {
+            return cover;
+        }
+    }
+    // Candidates that still cover something.
+    let candidates: Vec<Implicant> = primes
+        .iter()
+        .copied()
+        .filter(|p| !cover.contains(p) && remaining.iter().any(|&m| p.covers(m)))
+        .collect();
+    if remaining.is_empty() {
+        return cover;
+    }
+    let extra = if candidates.len() <= 22 && remaining.len() <= 64 {
+        exact_cover(&candidates, &remaining)
+    } else {
+        greedy_cover(&candidates, &remaining)
+    };
+    cover.extend(extra);
+    cover
+}
+
+fn greedy_cover(candidates: &[Implicant], minterms: &[u32]) -> Vec<Implicant> {
+    let mut remaining: Vec<u32> = minterms.to_vec();
+    let mut picked = Vec::new();
+    while !remaining.is_empty() {
+        let best = candidates
+            .iter()
+            .copied()
+            .max_by_key(|p| {
+                (
+                    remaining.iter().filter(|&&m| p.covers(m)).count(),
+                    p.care.count_ones(), // tiebreak toward fewer literals? fewer = smaller care
+                )
+            })
+            .expect("primes cover every minterm");
+        picked.push(best);
+        remaining.retain(|&m| !best.covers(m));
+    }
+    picked
+}
+
+/// Exhaustive minimum-cardinality cover by iterative-deepening search.
+fn exact_cover(candidates: &[Implicant], minterms: &[u32]) -> Vec<Implicant> {
+    // Bitset of minterm coverage per candidate.
+    let masks: Vec<u64> = candidates
+        .iter()
+        .map(|p| {
+            minterms
+                .iter()
+                .enumerate()
+                .filter(|(_, &m)| p.covers(m))
+                .fold(0u64, |acc, (i, _)| acc | (1 << i))
+        })
+        .collect();
+    let full: u64 = if minterms.len() == 64 {
+        u64::MAX
+    } else {
+        (1u64 << minterms.len()) - 1
+    };
+    fn search(
+        masks: &[u64],
+        covered: u64,
+        full: u64,
+        depth: usize,
+        picked: &mut Vec<usize>,
+        best: &mut Option<Vec<usize>>,
+    ) {
+        if covered == full {
+            if best.as_ref().is_none_or(|b| picked.len() < b.len()) {
+                *best = Some(picked.clone());
+            }
+            return;
+        }
+        if depth == 0 {
+            return;
+        }
+        // Branch on the lowest uncovered minterm for pruning.
+        let uncovered = (!covered & full).trailing_zeros() as usize;
+        for (i, &m) in masks.iter().enumerate() {
+            if m & (1u64 << uncovered) == 0 {
+                continue;
+            }
+            picked.push(i);
+            search(masks, covered | m, full, depth - 1, picked, best);
+            picked.pop();
+        }
+    }
+    for depth in 1..=candidates.len() {
+        let mut best = None;
+        let mut picked = Vec::new();
+        search(&masks, 0, full, depth, &mut picked, &mut best);
+        if let Some(idx) = best {
+            return idx.into_iter().map(|i| candidates[i]).collect();
+        }
+    }
+    greedy_cover(candidates, minterms)
+}
+
+/// Exactly minimizes a single-output SOP: returns an equivalent cover
+/// with the minimum number of product terms (prime implicants).
+///
+/// # Errors
+///
+/// Returns the input unchanged (as `Err`) when its support exceeds
+/// [`MAX_EXACT_VARS`] — use [`Sop::minimize`] for wide functions.
+///
+/// # Examples
+///
+/// ```
+/// use chortle_logic_opt::{minimize_exact, Sop};
+///
+/// // a·b + a·!b + !a·b  minimizes to  a + b.
+/// let f = Sop::try_from_slices(&[
+///     &[(0, false), (1, false)],
+///     &[(0, false), (1, true)],
+///     &[(0, true), (1, false)],
+/// ]).unwrap();
+/// let g = minimize_exact(&f).unwrap();
+/// assert_eq!(g.num_cubes(), 2);
+/// assert_eq!(g.num_literals(), 2);
+/// ```
+pub fn minimize_exact(f: &Sop) -> Result<Sop, Sop> {
+    let support = f.support();
+    if support.len() > MAX_EXACT_VARS {
+        return Err(f.clone());
+    }
+    if f.is_zero() {
+        return Ok(Sop::zero());
+    }
+    if f.is_one() {
+        return Ok(Sop::one());
+    }
+    // Compact the support to 0..n.
+    let n = support.len();
+    let to_local: std::collections::HashMap<usize, usize> = support
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| (v, i))
+        .collect();
+    let local = f.rename_vars(&|v| to_local[&v]);
+    // On-set minterms.
+    let minterms: Vec<u32> = (0..(1u32 << n)).filter(|&m| local.eval(m as u64)).collect();
+    if minterms.len() == 1usize << n {
+        return Ok(Sop::one());
+    }
+    if minterms.is_empty() {
+        return Ok(Sop::zero());
+    }
+    let primes = prime_implicants(&minterms, n);
+    let cover = select_cover(&primes, &minterms);
+    let cubes = cover.into_iter().map(|p| p.to_cube(n));
+    let minimized = Sop::from_cubes(cubes).rename_vars(&|v| support[v]);
+    Ok(minimized)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sop(cubes: &[&[(usize, bool)]]) -> Sop {
+        Sop::try_from_slices(cubes).unwrap()
+    }
+
+    fn assert_equiv(a: &Sop, b: &Sop, vars: usize) {
+        for bits in 0..(1u64 << vars) {
+            assert_eq!(a.eval(bits), b.eval(bits), "differ at {bits:b}");
+        }
+    }
+
+    #[test]
+    fn classic_consensus() {
+        // ab + !ac + bc: the consensus term bc is redundant.
+        let f = sop(&[
+            &[(0, false), (1, false)],
+            &[(0, true), (2, false)],
+            &[(1, false), (2, false)],
+        ]);
+        let g = minimize_exact(&f).unwrap();
+        assert_eq!(g.num_cubes(), 2);
+        assert_equiv(&f, &g, 3);
+    }
+
+    #[test]
+    fn xor_stays_two_cubes() {
+        let f = sop(&[&[(0, false), (1, true)], &[(0, true), (1, false)]]);
+        let g = minimize_exact(&f).unwrap();
+        assert_eq!(g.num_cubes(), 2);
+        assert_equiv(&f, &g, 2);
+    }
+
+    #[test]
+    fn constants() {
+        assert!(minimize_exact(&Sop::zero()).unwrap().is_zero());
+        assert!(minimize_exact(&Sop::one()).unwrap().is_one());
+        // Tautology expressed as a + !a.
+        let f = sop(&[&[(0, false)], &[(0, true)]]);
+        assert!(minimize_exact(&f).unwrap().is_one());
+    }
+
+    #[test]
+    fn minterm_expansion_collapses() {
+        // All 4 minterms of ab-space with a=1: collapses to literal a.
+        let f = sop(&[
+            &[(0, false), (1, false), (2, false)],
+            &[(0, false), (1, false), (2, true)],
+            &[(0, false), (1, true), (2, false)],
+            &[(0, false), (1, true), (2, true)],
+        ]);
+        let g = minimize_exact(&f).unwrap();
+        assert_eq!(g.num_cubes(), 1);
+        assert_eq!(g.num_literals(), 1);
+        assert_equiv(&f, &g, 3);
+    }
+
+    #[test]
+    fn respects_sparse_support() {
+        // Variables 3 and 7 only.
+        let f = sop(&[&[(3, false), (7, false)], &[(3, false), (7, true)]]);
+        let g = minimize_exact(&f).unwrap();
+        assert_eq!(g.num_cubes(), 1);
+        assert_eq!(g.support(), vec![3]);
+    }
+
+    #[test]
+    fn wide_support_is_refused() {
+        let cubes: Vec<Vec<(usize, bool)>> =
+            (0..14).map(|v| vec![(v, false)]).collect();
+        let refs: Vec<&[(usize, bool)]> = cubes.iter().map(|c| c.as_slice()).collect();
+        let f = Sop::try_from_slices(&refs).unwrap();
+        assert!(minimize_exact(&f).is_err());
+    }
+
+    #[test]
+    fn nine_sym_like_symmetric_function() {
+        // Threshold ">= 2 of 4": known minimum cover of C(4,2) = 6 cubes.
+        let mut cubes = Vec::new();
+        for i in 0..4usize {
+            for j in (i + 1)..4 {
+                cubes.push(vec![(i, false), (j, false)]);
+            }
+        }
+        // Add redundant wider cubes.
+        cubes.push(vec![(0, false), (1, false), (2, false)]);
+        let refs: Vec<&[(usize, bool)]> = cubes.iter().map(|c| c.as_slice()).collect();
+        let f = Sop::try_from_slices(&refs).unwrap();
+        let g = minimize_exact(&f).unwrap();
+        assert_eq!(g.num_cubes(), 6);
+        assert_equiv(&f, &g, 4);
+    }
+}

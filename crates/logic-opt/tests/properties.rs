@@ -1,0 +1,227 @@
+//! Property-based tests for the algebraic optimization substrate: weak
+//! division, kernels, factoring and the end-to-end script, on randomly
+//! generated SOPs and networks.
+
+use proptest::prelude::*;
+
+use chortle_logic_opt::{
+    factor, is_level0_kernel, kernels, optimize, Cube, Literal, Sop,
+};
+use chortle_netlist::{check_networks, Network, NodeOp, Signal, SplitMix64};
+
+/// Builds a random SOP over `vars` variables from a seed.
+fn random_sop(seed: u64, vars: usize, max_cubes: usize) -> Sop {
+    let mut rng = SplitMix64::new(seed);
+    let n_cubes = rng.next_range(1, max_cubes + 1);
+    let mut cubes = Vec::new();
+    for _ in 0..n_cubes {
+        let width = rng.next_range(1, vars.min(5) + 1);
+        let mut chosen = std::collections::HashSet::new();
+        let mut lits = Vec::new();
+        let mut guard = 0;
+        while lits.len() < width && guard < 50 {
+            guard += 1;
+            let v = rng.next_range(0, vars);
+            if chosen.insert(v) {
+                lits.push(Literal::with_phase(v, rng.next_bool(1, 3)));
+            }
+        }
+        if let Some(c) = Cube::from_literals(lits) {
+            cubes.push(c);
+        }
+    }
+    Sop::from_cubes(cubes)
+}
+
+fn random_network(seed: u64, inputs: usize, gates: usize) -> Network {
+    let mut rng = SplitMix64::new(seed);
+    let mut net = Network::new();
+    let mut signals: Vec<Signal> = (0..inputs)
+        .map(|i| Signal::new(net.add_input(format!("i{i}"))))
+        .collect();
+    for g in 0..gates {
+        let arity = rng.next_range(2, 5);
+        let mut fanins: Vec<Signal> = Vec::new();
+        let mut used = std::collections::HashSet::new();
+        let mut guard = 0;
+        while fanins.len() < arity && guard < 60 {
+            guard += 1;
+            let s = signals[rng.choose_index(&signals)];
+            if used.insert(s.node()) {
+                fanins.push(if rng.next_bool(1, 3) { !s } else { s });
+            }
+        }
+        if fanins.len() < 2 {
+            continue;
+        }
+        let op = if g % 2 == 0 { NodeOp::And } else { NodeOp::Or };
+        signals.push(Signal::new(net.add_gate(op, fanins)));
+    }
+    for o in 0..rng.next_range(1, 4) {
+        let s = signals[rng.choose_index(&signals)];
+        net.add_output(format!("o{o}"), if rng.next_bool(1, 4) { !s } else { s });
+    }
+    net
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn weak_division_identity_holds(fseed in any::<u64>(), dseed in any::<u64>()) {
+        let f = random_sop(fseed, 8, 6);
+        let d = random_sop(dseed, 8, 3);
+        let (q, r) = f.divide(&d);
+        for bits in (0..512u64).step_by(7) {
+            let bits = bits % 256;
+            prop_assert_eq!(
+                f.eval(bits),
+                (q.eval(bits) && d.eval(bits)) || r.eval(bits),
+                "f = q*d + r violated at {:b}", bits
+            );
+        }
+    }
+
+    #[test]
+    fn quotient_times_divisor_within_f(fseed in any::<u64>(), dseed in any::<u64>()) {
+        // Algebraic division never over-approximates: q*d implies f.
+        let f = random_sop(fseed, 8, 6);
+        let d = random_sop(dseed, 8, 3);
+        let (q, _) = f.divide(&d);
+        for bits in 0..256u64 {
+            if q.eval(bits) && d.eval(bits) {
+                prop_assert!(f.eval(bits));
+            }
+        }
+    }
+
+    #[test]
+    fn minimize_preserves_function(seed in any::<u64>()) {
+        let f = random_sop(seed, 7, 8);
+        let mut g = f.clone();
+        g.minimize();
+        prop_assert!(g.num_cubes() <= f.num_cubes());
+        for bits in 0..128u64 {
+            prop_assert_eq!(f.eval(bits), g.eval(bits));
+        }
+    }
+
+    #[test]
+    fn kernels_are_cube_free_even_divisors(seed in any::<u64>()) {
+        let f = random_sop(seed, 7, 6);
+        for k in kernels(&f) {
+            prop_assert!(k.kernel.is_cube_free(), "kernel {:?} not cube-free", k.kernel);
+            let (q, _) = f.divide(&k.kernel);
+            prop_assert!(!q.is_zero(), "kernel {:?} does not divide f", k.kernel);
+        }
+    }
+
+    #[test]
+    fn level0_kernels_have_unique_literals(seed in any::<u64>()) {
+        let f = random_sop(seed, 7, 6);
+        for k in kernels(&f) {
+            if is_level0_kernel(&k.kernel) {
+                for (_, count) in k.kernel.literal_counts() {
+                    prop_assert_eq!(count, 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn factoring_preserves_function_and_never_grows(seed in any::<u64>()) {
+        let f = random_sop(seed, 7, 7);
+        let t = factor(&f);
+        for bits in 0..128u64 {
+            prop_assert_eq!(f.eval(bits), t.eval(bits), "factored form differs at {:b}", bits);
+        }
+        prop_assert!(t.literal_count() <= f.num_literals());
+    }
+
+    #[test]
+    fn make_cube_free_factors_out_the_common_cube(seed in any::<u64>()) {
+        let f = random_sop(seed, 7, 6);
+        let (common, free) = f.make_cube_free();
+        for bits in 0..128u64 {
+            prop_assert_eq!(f.eval(bits), common.eval(bits) && free.eval(bits));
+        }
+        if free.num_cubes() >= 2 {
+            prop_assert!(free.common_cube().is_empty());
+        }
+    }
+
+    #[test]
+    fn optimize_script_preserves_networks(seed in any::<u64>()) {
+        let net = random_network(seed, 6, 12);
+        let (optimized, report) = optimize(&net).unwrap();
+        optimized.validate().unwrap();
+        check_networks(&net, &optimized).unwrap();
+        prop_assert!(report.literals_after <= report.literals_before);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn exact_minimization_is_equivalent_and_prime(seed in any::<u64>()) {
+        let f = random_sop(seed, 6, 8);
+        let g = chortle_logic_opt::minimize_exact(&f).unwrap();
+        for bits in 0..64u64 {
+            prop_assert_eq!(f.eval(bits), g.eval(bits), "minimized cover differs at {:b}", bits);
+        }
+        prop_assert!(g.num_cubes() <= f.num_cubes().max(1));
+        // Irredundancy: removing any cube changes the function.
+        if g.num_cubes() >= 2 {
+            for drop in 0..g.num_cubes() {
+                let reduced = Sop::from_cubes(
+                    g.cubes()
+                        .iter()
+                        .enumerate()
+                        .filter(|(i, _)| *i != drop)
+                        .map(|(_, c)| c.clone()),
+                );
+                let differs = (0..64u64).any(|b| reduced.eval(b) != g.eval(b));
+                prop_assert!(differs, "cube {} is redundant in minimized cover", drop);
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn heuristic_minimize_is_equivalent(seed in any::<u64>()) {
+        let f = random_sop(seed, 7, 8);
+        let g = chortle_logic_opt::heuristic_minimize(&f);
+        for bits in 0..128u64 {
+            prop_assert_eq!(f.eval(bits), g.eval(bits), "heuristic cover differs at {:b}", bits);
+        }
+        prop_assert!(g.num_cubes() <= f.num_cubes().max(1));
+    }
+
+    #[test]
+    fn heuristic_never_more_cubes_than_exact_needs_primes(seed in any::<u64>()) {
+        // Exact gives the minimum cube count; the heuristic must be
+        // equivalent and can only match or exceed it.
+        let f = random_sop(seed, 6, 6);
+        let exact = chortle_logic_opt::minimize_exact(&f).unwrap();
+        let heur = chortle_logic_opt::heuristic_minimize(&f);
+        prop_assert!(heur.num_cubes() >= exact.num_cubes());
+        for bits in 0..64u64 {
+            prop_assert_eq!(exact.eval(bits), heur.eval(bits));
+        }
+    }
+
+    #[test]
+    fn covers_cube_matches_semantics(fseed in any::<u64>(), cseed in any::<u64>()) {
+        let f = random_sop(fseed, 6, 5);
+        let probe = random_sop(cseed, 6, 1);
+        if let Some(cube) = probe.cubes().first() {
+            let covered = chortle_logic_opt::covers_cube(&f, cube);
+            let semantic = (0..64u64).all(|b| !cube.eval(b) || f.eval(b));
+            prop_assert_eq!(covered, semantic);
+        }
+    }
+}

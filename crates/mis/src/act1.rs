@@ -1,0 +1,226 @@
+//! An Actel ACT1-style multiplexer-based logic module as a mapping
+//! target.
+//!
+//! The paper's conclusion asks to "extend our algorithm to handle
+//! commercial FPGA architectures". Besides lookup tables (Xilinx), the
+//! other commercial architecture of the era was the Actel ACT1 family
+//! [ElGa89 in the paper's references], whose logic module is a tree of
+//! three 2:1 multiplexers:
+//!
+//! ```text
+//! out = MUX( MUX(a0, a1, sa), MUX(b0, b1, sb), s0 OR s1 )
+//! ```
+//!
+//! Unlike a LUT, the module realizes only the functions obtainable by
+//! wiring constants and signals to its eight pins. This module enumerates
+//! that function set (for up to [`ACT1_MAX_VARS`] distinct signals) as a
+//! [`Library`], so the existing cut-enumeration mapper covers networks
+//! with ACT1 modules directly.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::canon::canonical_npn_u64;
+use crate::library::Library;
+
+/// Largest distinct-signal count enumerated for the ACT1 module. The
+/// physical module has eight pins, but functions of more than five
+/// distinct signals are rare in covers and keeping the bound at five
+/// keeps canonicalization cheap.
+pub const ACT1_MAX_VARS: usize = 5;
+
+/// Bit patterns of five variables within a 32-bit truth table word.
+const VARS5: [u32; 5] = [
+    0xAAAA_AAAA,
+    0xCCCC_CCCC,
+    0xF0F0_F0F0,
+    0xFF00_FF00,
+    0xFFFF_0000,
+];
+
+fn mux(a: u32, b: u32, s: u32) -> u32 {
+    (s & b) | (!s & a)
+}
+
+/// Enumerates the NPN classes of all functions the ACT1 module can
+/// realize with up to [`ACT1_MAX_VARS`] distinct input signals, keyed by
+/// support size.
+fn act1_classes() -> HashMap<usize, HashSet<u64>> {
+    // Pin choices: constant 0, constant 1, or one of five variables.
+    let choices: Vec<u32> = {
+        let mut v = vec![0u32, u32::MAX];
+        v.extend_from_slice(&VARS5);
+        v
+    };
+    // Select inputs s0, s1 are ORed; enumerate the OR directly.
+    let mut selects: Vec<u32> = choices.clone();
+    for i in 0..VARS5.len() {
+        for j in (i + 1)..VARS5.len() {
+            selects.push(VARS5[i] | VARS5[j]);
+        }
+    }
+    selects.sort_unstable();
+    selects.dedup();
+
+    // Raw function tables over 5 variables.
+    let mut raw: HashSet<u32> = HashSet::new();
+    let n = choices.len();
+    for &s in &selects {
+        // Iterate (a0, a1, sa, b0, b1, sb) as digits base `n`.
+        let total = n.pow(6);
+        for code in 0..total {
+            let mut digits = [0usize; 6];
+            let mut c = code;
+            for d in &mut digits {
+                *d = c % n;
+                c /= n;
+            }
+            let a = mux(choices[digits[0]], choices[digits[1]], choices[digits[2]]);
+            let b = mux(choices[digits[3]], choices[digits[4]], choices[digits[5]]);
+            raw.insert(mux(a, b, s));
+        }
+    }
+
+    // Shrink each unique table to its support and canonicalize.
+    let mut classes: HashMap<usize, HashSet<u64>> = HashMap::new();
+    for table in raw {
+        let (shrunk, support) = shrink5(table);
+        if support == 0 || support > ACT1_MAX_VARS {
+            continue; // constants are free; nothing exceeds 5 here
+        }
+        classes
+            .entry(support)
+            .or_default()
+            .insert(canonical_npn_u64(shrunk, support));
+    }
+    classes
+}
+
+/// Shrinks a 5-variable table to its true support; returns the compacted
+/// table and the support size.
+fn shrink5(table: u32) -> (u64, usize) {
+    let mut vars: Vec<usize> = Vec::new();
+    for (v, &mask) in VARS5.iter().enumerate() {
+        let shift = 1u32 << v;
+        let pos = (table & mask) >> shift;
+        let neg = table & !mask;
+        if pos != neg {
+            vars.push(v);
+        }
+    }
+    let k = vars.len();
+    let mut out = 0u64;
+    for bits in 0..(1u32 << k) {
+        let mut full = 0u32;
+        for (j, &v) in vars.iter().enumerate() {
+            if (bits >> j) & 1 == 1 {
+                full |= 1 << v;
+            }
+        }
+        if (table >> full) & 1 == 1 {
+            out |= 1u64 << bits;
+        }
+    }
+    (out, k)
+}
+
+/// Builds the ACT1 logic-module library: the mapper then covers networks
+/// with ACT1 modules instead of LUTs (area = module count).
+///
+/// # Examples
+///
+/// ```
+/// use chortle_mis::{act1_library, map_network, MisOptions};
+/// use chortle_netlist::{Network, NodeOp, TruthTable};
+///
+/// let lib = act1_library();
+/// // The module natively implements a 2:1 mux...
+/// let mux = TruthTable::from_fn(3, |b| if b & 4 == 4 { b & 2 == 2 } else { b & 1 == 1 });
+/// assert!(lib.contains(&mux));
+/// // ...but not 4-input parity.
+/// let xor4 = TruthTable::from_fn(4, |b| b.count_ones() % 2 == 1);
+/// assert!(!lib.contains(&xor4));
+/// ```
+pub fn act1_library() -> Library {
+    Library::from_classes(ACT1_MAX_VARS, act1_classes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chortle_netlist::TruthTable;
+
+    fn tt(vars: usize, f: impl Fn(u32) -> bool) -> TruthTable {
+        TruthTable::from_fn(vars, |b| f(b))
+    }
+
+    #[test]
+    fn shrink_matches_semantics() {
+        // table = v3 alone.
+        let (shrunk, k) = shrink5(VARS5[3]);
+        assert_eq!(k, 1);
+        assert_eq!(shrunk, 0b10);
+        // Constant.
+        let (_, k0) = shrink5(0);
+        assert_eq!(k0, 0);
+    }
+
+    #[test]
+    fn act1_contains_basic_gates_and_muxes() {
+        let lib = act1_library();
+        assert!(lib.contains(&tt(2, |b| b == 0b11))); // AND2
+        assert!(lib.contains(&tt(2, |b| b != 0))); // OR2
+        assert!(lib.contains(&tt(2, |b| b.count_ones() % 2 == 1))); // XOR2
+        assert!(lib.contains(&tt(3, |b| {
+            if b & 4 == 4 {
+                b & 2 == 2
+            } else {
+                b & 1 == 1
+            }
+        }))); // MUX21
+        assert!(lib.contains(&tt(3, |b| b == 0b111))); // AND3
+        assert!(lib.contains(&tt(3, |b| b.count_ones() >= 2))); // MAJ3 = mux(b, c, a)-ish
+    }
+
+    #[test]
+    fn act1_misses_wide_parity() {
+        let lib = act1_library();
+        assert!(!lib.contains(&tt(4, |b| b.count_ones() % 2 == 1)));
+        assert!(!lib.contains(&tt(5, |b| b.count_ones() % 2 == 1)));
+        // XOR3 needs two XOR stages; a single module cannot do it.
+        assert!(!lib.contains(&tt(3, |b| b.count_ones() % 2 == 1)));
+    }
+
+    #[test]
+    fn act1_class_counts_are_sane() {
+        let lib = act1_library();
+        // Known structure: all 2-input functions (4 NPN classes minus
+        // constants/wires = 2 gate classes + XOR) are implementable.
+        assert!(lib.class_count(2) >= 2);
+        // A rich but not complete set at 3 inputs (14 NPN classes total
+        // including constants; the module reaches most non-parity ones).
+        let three = lib.class_count(3);
+        assert!((4..=12).contains(&three), "3-input classes: {three}");
+        // Some 4- and 5-input functions exist.
+        assert!(lib.class_count(4) > 0);
+        assert!(lib.class_count(5) > 0);
+    }
+
+    #[test]
+    fn mapper_covers_networks_with_act1_modules() {
+        use crate::mapper::{map_network, MisOptions};
+        use chortle_netlist::{check_equivalence, Network, NodeOp, Signal};
+        let mut net = Network::new();
+        let a = net.add_input("a");
+        let b = net.add_input("b");
+        let c = net.add_input("c");
+        let d = net.add_input("d");
+        let g1 = net.add_gate(NodeOp::And, vec![a.into(), b.into()]);
+        let g2 = net.add_gate(NodeOp::Or, vec![g1.into(), Signal::inverted(c)]);
+        let z = net.add_gate(NodeOp::And, vec![g2.into(), d.into()]);
+        net.add_output("z", z.into());
+        let lib = act1_library();
+        let mapped = map_network(&net, &lib, &MisOptions::new(ACT1_MAX_VARS)).expect("maps");
+        check_equivalence(&net, &mapped.circuit).expect("equivalent");
+        assert!(mapped.report.luts >= 1);
+    }
+}

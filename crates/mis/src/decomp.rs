@@ -1,0 +1,134 @@
+//! Balanced binary decomposition into the MIS subject graph.
+//!
+//! Library-based mappers cover a *subject graph* of two-input gates. The
+//! decomposition is fixed before covering — this is precisely the
+//! structural commitment Chortle avoids by searching all decompositions,
+//! and one source of its advantage (paper Section 4.2, K = 3 discussion:
+//! "there is now the opportunity for the choice of decompositions to make
+//! a difference").
+
+use chortle_netlist::{Network, NodeOp, Signal};
+
+/// Returns a functionally identical network in which every gate has
+/// exactly two fanins, using balanced same-operation trees.
+///
+/// Primary inputs and outputs are preserved in order. The input should be
+/// in mapper normal form (see [`Network::simplified`]); single-fanin gates
+/// are tolerated and collapse to wires.
+///
+/// # Examples
+///
+/// ```
+/// use chortle_mis::binary_decompose;
+/// use chortle_netlist::{Network, NodeOp};
+///
+/// let mut net = Network::new();
+/// let inputs: Vec<_> = (0..5).map(|i| net.add_input(format!("i{i}"))).collect();
+/// let g = net.add_gate(NodeOp::And, inputs.iter().map(|&i| i.into()).collect());
+/// net.add_output("z", g.into());
+///
+/// let binary = binary_decompose(&net);
+/// assert!(binary.nodes().all(|(_, n)| n.fanin_count() <= 2));
+/// assert_eq!(binary.num_gates(), 4); // 5-input AND -> 4 two-input ANDs
+/// ```
+pub fn binary_decompose(network: &Network) -> Network {
+    let mut out = Network::new();
+    let mut map: Vec<Option<Signal>> = vec![None; network.len()];
+    for (id, node) in network.nodes() {
+        let sig = match node.op() {
+            NodeOp::Input => Signal::new(out.add_input(node.name().unwrap_or_default().to_owned())),
+            NodeOp::Const(v) => Signal::new(out.add_const(v)),
+            op @ (NodeOp::And | NodeOp::Or) => {
+                let fanins: Vec<Signal> = node
+                    .fanins()
+                    .iter()
+                    .map(|s| {
+                        let base = map[s.node().index()].expect("topological order");
+                        base.with_inversion(base.is_inverted() ^ s.is_inverted())
+                    })
+                    .collect();
+                balanced_tree(&mut out, op, &fanins)
+            }
+        };
+        map[id.index()] = Some(sig);
+    }
+    for o in network.outputs() {
+        let base = map[o.signal.node().index()].expect("live node");
+        out.add_output(
+            o.name.clone(),
+            base.with_inversion(base.is_inverted() ^ o.signal.is_inverted()),
+        );
+    }
+    out
+}
+
+/// Builds a balanced binary tree of `op` gates over `fanins`.
+fn balanced_tree(net: &mut Network, op: NodeOp, fanins: &[Signal]) -> Signal {
+    match fanins.len() {
+        0 => Signal::new(net.add_const(op.identity())),
+        1 => fanins[0],
+        2 => Signal::new(net.add_gate(op, fanins.to_vec())),
+        n => {
+            let (left, right) = fanins.split_at(n / 2);
+            let l = balanced_tree(net, op, left);
+            let r = balanced_tree(net, op, right);
+            Signal::new(net.add_gate(op, vec![l, r]))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_functions_with_polarities() {
+        let mut net = Network::new();
+        let inputs: Vec<_> = (0..6).map(|i| net.add_input(format!("i{i}"))).collect();
+        let g1 = net.add_gate(
+            NodeOp::Or,
+            vec![
+                inputs[0].into(),
+                Signal::inverted(inputs[1]),
+                inputs[2].into(),
+                Signal::inverted(inputs[3]),
+            ],
+        );
+        let g2 = net.add_gate(
+            NodeOp::And,
+            vec![g1.into(), inputs[4].into(), Signal::inverted(inputs[5])],
+        );
+        net.add_output("z", Signal::inverted(g2));
+
+        let bin = binary_decompose(&net);
+        bin.validate().expect("valid");
+        assert!(bin.nodes().all(|(_, n)| n.fanin_count() <= 2));
+        let f1 = net.signal_function(net.outputs()[0].signal).unwrap();
+        let f2 = bin.signal_function(bin.outputs()[0].signal).unwrap();
+        assert_eq!(f1, f2);
+    }
+
+    #[test]
+    fn balanced_depth() {
+        let mut net = Network::new();
+        let inputs: Vec<_> = (0..8).map(|i| net.add_input(format!("i{i}"))).collect();
+        let g = net.add_gate(NodeOp::And, inputs.iter().map(|&i| i.into()).collect());
+        net.add_output("z", g.into());
+        let bin = binary_decompose(&net);
+        // 8 inputs -> perfectly balanced tree of depth 3.
+        let stats = chortle_netlist::NetworkStats::of(&bin);
+        assert_eq!(stats.depth, 3);
+        assert_eq!(stats.gates, 7);
+    }
+
+    #[test]
+    fn two_input_gates_untouched() {
+        let mut net = Network::new();
+        let a = net.add_input("a");
+        let b = net.add_input("b");
+        let g = net.add_gate(NodeOp::Or, vec![a.into(), b.into()]);
+        net.add_output("z", g.into());
+        let bin = binary_decompose(&net);
+        assert_eq!(bin.num_gates(), 1);
+    }
+}

@@ -1,0 +1,336 @@
+//! MIS library construction (Section 4.1 of the paper).
+//!
+//! A K-input lookup table can realize any K-input function, so a *complete*
+//! MIS library must contain one cell per function class. The paper uses
+//! complete libraries for K = 2 and 3 (10 and 78 unique nonconstant
+//! functions under permutation) and notes that K = 4 would need 9014 —
+//! "too large to represent in a MIS library". Its partial K ≥ 4 libraries
+//! are built from:
+//!
+//! * all level-0 kernels with K or fewer literals, and their duals,
+//! * level-n kernels that cannot be synthesized by level-0 kernels,
+//! * common circuit elements (ANDs, AOIs, XORs).
+//!
+//! We realize that construction as: every *read-once* AND/OR function of
+//! up to K distinct variables (level-0 kernels are the two-level read-once
+//! functions, their duals and compositions are the multi-level ones) plus
+//! the XOR2/XOR3 classes. Inverters are free (the paper does not count
+//! them), so membership is decided on NPN canonical forms.
+
+use std::collections::{HashMap, HashSet};
+
+use chortle_netlist::TruthTable;
+
+use crate::canon::{canonical_npn, canonical_npn_u64, MAX_CANON_VARS};
+
+/// A technology library for the MIS-style mapper.
+///
+/// # Examples
+///
+/// ```
+/// use chortle_mis::Library;
+/// use chortle_netlist::TruthTable;
+///
+/// let lib = Library::for_paper(4);
+/// let and4 = TruthTable::from_fn(4, |b| b == 0b1111);
+/// assert!(lib.contains(&and4));
+/// let xor4 = TruthTable::from_fn(4, |b| b.count_ones() % 2 == 1);
+/// assert!(!lib.contains(&xor4)); // not in the paper's partial library
+/// ```
+#[derive(Clone, Debug)]
+pub struct Library {
+    k: usize,
+    complete: bool,
+    /// Canonical classes, keyed by support size.
+    classes: HashMap<usize, HashSet<u64>>,
+}
+
+impl Library {
+    /// The complete library of all functions of up to `k` inputs (used by
+    /// the paper for K = 2 and 3).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k < 2` or `k > MAX_CANON_VARS`.
+    pub fn complete(k: usize) -> Self {
+        assert!((2..=MAX_CANON_VARS).contains(&k));
+        Library {
+            k,
+            complete: true,
+            classes: HashMap::new(),
+        }
+    }
+
+    /// The paper's partial library for `k ≥ 4`: read-once AND/OR cells of
+    /// up to `k` literals (level-0 kernels, duals and their compositions)
+    /// plus XOR2 and XOR3.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k < 2` or `k > MAX_CANON_VARS`.
+    pub fn partial(k: usize) -> Self {
+        assert!((2..=MAX_CANON_VARS).contains(&k));
+        let mut classes: HashMap<usize, HashSet<u64>> = HashMap::new();
+        // Everything of up to three inputs: the paper built the K ≥ 4
+        // libraries "by inspection of the library elements used by the
+        // K=3 results", and those came from the complete K=3 library.
+        for m in 2..=3usize {
+            let span = 1u64 << (1u64 << m);
+            for table in 1..span - 1 {
+                classes.entry(m).or_default().insert(canonical_npn_u64(table, m));
+            }
+        }
+        // Wider cells: read-once AND/OR functions — the level-0 kernels
+        // with up to K literals, their duals, and their compositions
+        // ("level-n kernels").
+        for m in 4..=k {
+            for table in read_once_tables(m) {
+                classes.entry(m).or_default().insert(canonical_npn_u64(table, m));
+            }
+        }
+        Library {
+            k,
+            complete: false,
+            classes,
+        }
+    }
+
+    /// Builds a library from explicit NPN classes keyed by support size
+    /// (used for non-LUT architectures like the ACT1 module, whose
+    /// function set comes from enumeration rather than completeness).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is outside `2..=MAX_CANON_VARS`.
+    pub fn from_classes(k: usize, classes: HashMap<usize, HashSet<u64>>) -> Self {
+        assert!((2..=MAX_CANON_VARS).contains(&k));
+        Library {
+            k,
+            complete: false,
+            classes,
+        }
+    }
+
+    /// The library the paper pairs with each K: complete for K = 2 and 3,
+    /// partial for K ≥ 4.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k < 2` or `k > MAX_CANON_VARS`.
+    pub fn for_paper(k: usize) -> Self {
+        if k <= 3 {
+            Library::complete(k)
+        } else {
+            Library::partial(k)
+        }
+    }
+
+    /// The LUT input limit the library targets.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Whether this is a complete library.
+    pub fn is_complete(&self) -> bool {
+        self.complete
+    }
+
+    /// Number of distinct NPN classes with exactly `support` variables
+    /// (partial libraries only; complete libraries report 0).
+    pub fn class_count(&self, support: usize) -> usize {
+        self.classes.get(&support).map_or(0, HashSet::len)
+    }
+
+    /// Whether a cone function can be realized by one library cell.
+    ///
+    /// The function is shrunk to its true support first; constants and
+    /// single-variable functions (wires/inverters) are always realizable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shrunk support exceeds [`MAX_CANON_VARS`].
+    pub fn contains(&self, function: &TruthTable) -> bool {
+        let (shrunk, vars) = function.shrunk();
+        let s = vars.len();
+        if s > self.k {
+            return false;
+        }
+        if s <= 1 {
+            return true;
+        }
+        if self.complete {
+            return true;
+        }
+        self.classes
+            .get(&s)
+            .is_some_and(|set| set.contains(&canonical_npn(&shrunk)))
+    }
+}
+
+/// All read-once AND/OR truth tables over exactly `m` positive variables
+/// (one table per structural tree; duplicates are fine, callers
+/// canonicalize).
+fn read_once_tables(m: usize) -> Vec<u64> {
+    fn mask(vars: usize) -> u64 {
+        if vars >= 6 {
+            u64::MAX
+        } else {
+            (1u64 << (1usize << vars)) - 1
+        }
+    }
+    /// Builds tables of read-once trees over the variable set `vars`
+    /// rooted at `and_root` (true = AND), over `total` total variables.
+    fn build(vars: &[usize], and_root: bool, total: usize) -> Vec<u64> {
+        if vars.len() == 1 {
+            // A single variable: its projection table.
+            let mut t = 0u64;
+            for idx in 0..(1u64 << total) {
+                if (idx >> vars[0]) & 1 == 1 {
+                    t |= 1 << idx;
+                }
+            }
+            return vec![t];
+        }
+        // Partition `vars` into at least two blocks; each block is a leaf
+        // or a subtree with the dual root operation.
+        let mut out = Vec::new();
+        for partition in set_partitions(vars) {
+            if partition.len() < 2 {
+                continue;
+            }
+            // Cartesian product of block tables.
+            let mut combos: Vec<u64> = vec![if and_root { mask(total) } else { 0 }];
+            for block in &partition {
+                let block_tables = build(block, !and_root, total);
+                let mut next = Vec::with_capacity(combos.len() * block_tables.len());
+                for &c in &combos {
+                    for &b in &block_tables {
+                        next.push(if and_root { c & b } else { c | b });
+                    }
+                }
+                combos = next;
+            }
+            out.extend(combos);
+        }
+        out
+    }
+    fn set_partitions(atoms: &[usize]) -> Vec<Vec<Vec<usize>>> {
+        if atoms.is_empty() {
+            return vec![Vec::new()];
+        }
+        let first = atoms[0];
+        let rest = &atoms[1..];
+        let mut out = Vec::new();
+        for sub in set_partitions(rest) {
+            let mut own = sub.clone();
+            own.push(vec![first]);
+            out.push(own);
+            for gi in 0..sub.len() {
+                let mut ext = sub.clone();
+                ext[gi].push(first);
+                out.push(ext);
+            }
+        }
+        out
+    }
+    let vars: Vec<usize> = (0..m).collect();
+    if m == 1 {
+        return build(&vars, true, 1);
+    }
+    let mut tables = build(&vars, true, m);
+    tables.extend(build(&vars, false, m));
+    tables
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tt(vars: usize, f: impl Fn(u32) -> bool) -> TruthTable {
+        TruthTable::from_fn(vars, f)
+    }
+
+    #[test]
+    fn complete_library_accepts_everything_in_arity() {
+        let lib = Library::complete(3);
+        assert!(lib.contains(&tt(3, |b| b.count_ones() % 2 == 1))); // XOR3
+        assert!(lib.contains(&tt(3, |b| b.count_ones() >= 2))); // MAJ3
+        assert!(!lib.contains(&tt(4, |b| b.count_ones() % 2 == 1))); // 4 vars
+    }
+
+    #[test]
+    fn complete_library_rejects_oversupport_only() {
+        let lib = Library::complete(2);
+        // A 4-var table whose true support is 2 is accepted.
+        let f = tt(4, |b| (b & 1 == 1) && (b & 4 == 4));
+        assert!(lib.contains(&f));
+    }
+
+    #[test]
+    fn partial_library_has_read_once_cells() {
+        let lib = Library::partial(4);
+        assert!(lib.contains(&tt(4, |b| b == 0b1111))); // AND4
+        assert!(lib.contains(&tt(4, |b| b != 0))); // OR4
+        // ab + cd (level-0 kernel with 4 literals)
+        assert!(lib.contains(&tt(4, |b| (b & 3) == 3 || (b & 12) == 12)));
+        // (a+b)(c+d) (its dual)
+        assert!(lib.contains(&tt(4, |b| (b & 3) != 0 && (b & 12) != 0)));
+        // a(b + cd) (multi-level kernel composition)
+        assert!(lib.contains(&tt(4, |b| (b & 1) == 1 && ((b & 2) == 2 || (b & 12) == 12))));
+        // XOR2 / XOR3 as common elements.
+        assert!(lib.contains(&tt(2, |b| b.count_ones() % 2 == 1)));
+        assert!(lib.contains(&tt(3, |b| b.count_ones() % 2 == 1)));
+    }
+
+    #[test]
+    fn partial_library_misses_non_kernel_functions() {
+        let lib = Library::partial(4);
+        assert!(!lib.contains(&tt(4, |b| b.count_ones() % 2 == 1))); // XOR4
+        assert!(!lib.contains(&tt(4, |b| b.count_ones() >= 3))); // MAJ-ish
+        // 4-input mux-like ab + !a·cd is not read-once.
+        assert!(!lib.contains(&tt(4, |b| {
+            if b & 1 == 1 {
+                b & 2 == 2
+            } else {
+                b & 12 == 12
+            }
+        })));
+    }
+
+    #[test]
+    fn partial_library_keeps_the_k3_cells() {
+        // The K >= 4 libraries inherit the complete 3-input library the
+        // paper's selection was inspected from.
+        let lib = Library::partial(4);
+        assert!(lib.contains(&tt(3, |b| b.count_ones() >= 2))); // MAJ3
+        assert!(lib.contains(&tt(3, |b| b.count_ones() % 2 == 1))); // XOR3
+        assert!(lib.contains(&tt(2, |b| b.count_ones() % 2 == 1))); // XOR2
+    }
+
+    #[test]
+    fn partial_library_is_smaller_than_complete_space() {
+        let lib = Library::partial(4);
+        // Read-once + XOR classes with support exactly 4 are a small
+        // fraction of the 208 four-variable NPN classes.
+        let four = lib.class_count(4);
+        assert!(four >= 5, "expected several 4-input cells, got {four}");
+        assert!(four <= 30, "partial library unexpectedly rich: {four}");
+    }
+
+    #[test]
+    fn inverter_freedom_is_respected() {
+        // !(ab) must be accepted wherever ab is (inverters are free).
+        let lib = Library::partial(5);
+        assert!(lib.contains(&tt(2, |b| b != 0b11)));
+        assert!(lib.contains(&tt(2, |b| (b & 1 == 0) && (b & 2 == 2))));
+    }
+
+    #[test]
+    fn k5_partial_contains_5_input_kernels() {
+        let lib = Library::partial(5);
+        // ab + cde (5-literal level-0 kernel)
+        assert!(lib.contains(&tt(5, |b| (b & 3) == 3 || (b & 0b11100) == 0b11100)));
+        // abc+d+e's dual (a+b+c)de
+        assert!(lib.contains(&tt(5, |b| (b & 0b111) != 0 && (b & 0b11000) == 0b11000)));
+    }
+}

@@ -1,0 +1,82 @@
+//! Public-API surface tests for the MIS baseline crate.
+
+use chortle_mis::{
+    act1_library, count_npn_classes, map_network, Library, MisError, MisOptions,
+    ACT1_MAX_VARS, MAX_CANON_VARS,
+};
+use chortle_netlist::{Network, NodeOp, TruthTable};
+
+#[test]
+fn options_accessors() {
+    let o = MisOptions::new(4);
+    assert_eq!(o.k, 4);
+    assert!(!o.duplicate_fanout);
+    assert_eq!(o.max_cuts, 64);
+    let d = o.with_fanout_duplication();
+    assert!(d.duplicate_fanout);
+}
+
+#[test]
+#[should_panic(expected = "MIS mapping supports K in 2..=6")]
+fn k_out_of_range_panics() {
+    let _ = MisOptions::new(7);
+}
+
+#[test]
+fn library_accessors() {
+    let complete = Library::complete(3);
+    assert_eq!(complete.k(), 3);
+    assert!(complete.is_complete());
+    assert_eq!(complete.class_count(3), 0); // complete stores no classes
+    let partial = Library::partial(4);
+    assert!(!partial.is_complete());
+    assert!(partial.class_count(2) >= 3);
+    assert!(partial.class_count(3) >= 10);
+}
+
+#[test]
+fn for_paper_dispatch() {
+    assert!(Library::for_paper(2).is_complete());
+    assert!(Library::for_paper(3).is_complete());
+    assert!(!Library::for_paper(4).is_complete());
+    assert!(!Library::for_paper(5).is_complete());
+}
+
+#[test]
+fn act1_bounds() {
+    assert!(ACT1_MAX_VARS <= MAX_CANON_VARS);
+    let lib = act1_library();
+    assert_eq!(lib.k(), ACT1_MAX_VARS);
+    // Single-variable cones are always realizable (wires/inverters).
+    assert!(lib.contains(&TruthTable::var(1, 0)));
+}
+
+#[test]
+fn npn_class_count_helper() {
+    // All 2-variable functions form 4 NPN classes.
+    assert_eq!(count_npn_classes(0u64..16, 2), 4);
+}
+
+#[test]
+fn report_fields_populate() {
+    let mut net = Network::new();
+    let a = net.add_input("a");
+    let b = net.add_input("b");
+    let c = net.add_input("c");
+    let g = net.add_gate(NodeOp::And, vec![a.into(), b.into(), c.into()]);
+    net.add_output("z", g.into());
+    let lib = Library::for_paper(3);
+    let mapped = map_network(&net, &lib, &MisOptions::new(3)).expect("maps");
+    assert_eq!(mapped.report.luts, 1);
+    assert!(mapped.report.subject_gates >= 2); // binary decomposition
+    assert!(mapped.report.cuts_enumerated >= 2);
+}
+
+#[test]
+fn error_display() {
+    let e = MisError::NoMatch { node: "n3".into() };
+    assert!(e.to_string().contains("n3"));
+    let e = MisError::from(chortle_netlist::LutError::TooManyInputs { inputs: 9, k: 4 });
+    assert!(e.to_string().contains("circuit construction failed"));
+    assert!(std::error::Error::source(&e).is_some());
+}

@@ -1,0 +1,155 @@
+//! Property-based tests for the MIS baseline: NPN canonicalization
+//! invariance, library semantics, decomposition correctness and mapper
+//! equivalence on random networks.
+
+use proptest::prelude::*;
+
+use chortle_mis::{
+    binary_decompose, canonical_npn_u64, map_network, Library, MisOptions,
+};
+use chortle_netlist::{check_equivalence, Network, NodeOp, Signal, SplitMix64, TruthTable};
+
+fn random_network(seed: u64, inputs: usize, gates: usize) -> Network {
+    let mut rng = SplitMix64::new(seed);
+    let mut net = Network::new();
+    let mut signals: Vec<Signal> = (0..inputs)
+        .map(|i| Signal::new(net.add_input(format!("i{i}"))))
+        .collect();
+    for g in 0..gates {
+        let arity = rng.next_range(2, 5);
+        let mut fanins: Vec<Signal> = Vec::new();
+        let mut used = std::collections::HashSet::new();
+        let mut guard = 0;
+        while fanins.len() < arity && guard < 60 {
+            guard += 1;
+            let s = signals[rng.choose_index(&signals)];
+            if used.insert(s.node()) {
+                fanins.push(if rng.next_bool(1, 3) { !s } else { s });
+            }
+        }
+        if fanins.len() < 2 {
+            continue;
+        }
+        let op = if g % 2 == 0 { NodeOp::And } else { NodeOp::Or };
+        signals.push(Signal::new(net.add_gate(op, fanins)));
+    }
+    for o in 0..rng.next_range(1, 4) {
+        let s = signals[rng.choose_index(&signals)];
+        net.add_output(format!("o{o}"), if rng.next_bool(1, 4) { !s } else { s });
+    }
+    net
+}
+
+/// Applies a random NPN transformation to a packed table.
+fn random_npn_transform(table: u64, vars: usize, seed: u64) -> u64 {
+    let mut rng = SplitMix64::new(seed);
+    let t = TruthTable::from_words(vars, &[table]);
+    // Random permutation.
+    let mut perm: Vec<usize> = (0..vars).collect();
+    rng.shuffle(&mut perm);
+    let mut t = t.permuted(&perm);
+    // Random input flips via cofactor recombination.
+    for v in 0..vars {
+        if rng.next_bool(1, 2) {
+            let pos = t.cofactor(v, true);
+            let neg = t.cofactor(v, false);
+            let x = TruthTable::var(vars, v);
+            t = x.and(&neg).or(&x.not().and(&pos));
+        }
+    }
+    if rng.next_bool(1, 2) {
+        t = t.not();
+    }
+    t.words()[0]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn canonical_form_is_npn_invariant(
+        table in any::<u64>(),
+        vars in 1usize..=5,
+        seed in any::<u64>(),
+    ) {
+        let mask = if vars == 6 { u64::MAX } else { (1u64 << (1usize << vars)) - 1 };
+        let t = table & mask;
+        let transformed = random_npn_transform(t, vars, seed);
+        prop_assert_eq!(
+            canonical_npn_u64(t, vars),
+            canonical_npn_u64(transformed, vars),
+            "NPN transform changed the canonical form"
+        );
+    }
+
+    #[test]
+    fn canonical_form_is_idempotent(table in any::<u64>(), vars in 1usize..=5) {
+        let mask = if vars == 6 { u64::MAX } else { (1u64 << (1usize << vars)) - 1 };
+        let c = canonical_npn_u64(table & mask, vars);
+        prop_assert_eq!(canonical_npn_u64(c, vars), c);
+        prop_assert!(c <= (table & mask), "canonical form must be minimal");
+    }
+
+    #[test]
+    fn complete_library_membership_is_support_bound(
+        table in any::<u64>(),
+        vars in 1usize..=4,
+        k in 2usize..=5,
+    ) {
+        let mask = if vars == 6 { u64::MAX } else { (1u64 << (1usize << vars)) - 1 };
+        let t = TruthTable::from_words(vars, &[table & mask]);
+        let lib = Library::complete(k);
+        prop_assert_eq!(lib.contains(&t), t.support_size() <= k);
+    }
+
+    #[test]
+    fn partial_library_closed_under_npn(
+        table in any::<u64>(),
+        vars in 2usize..=4,
+        seed in any::<u64>(),
+    ) {
+        let mask = (1u64 << (1usize << vars)) - 1;
+        let lib = Library::partial(5);
+        let t1 = TruthTable::from_words(vars, &[table & mask]);
+        let t2 = TruthTable::from_words(vars, &[random_npn_transform(table & mask, vars, seed)]);
+        prop_assert_eq!(lib.contains(&t1), lib.contains(&t2));
+    }
+
+    #[test]
+    fn binary_decomposition_preserves_functions(seed in any::<u64>()) {
+        let net = random_network(seed, 6, 12).simplified();
+        let bin = binary_decompose(&net);
+        bin.validate().unwrap();
+        prop_assert!(bin.nodes().all(|(_, n)| n.fanin_count() <= 2));
+        chortle_netlist::check_networks(&net, &bin).unwrap();
+    }
+
+    #[test]
+    fn mis_mapping_is_always_equivalent(seed in any::<u64>(), k in 2usize..=5) {
+        let net = random_network(seed, 7, 12);
+        let lib = Library::for_paper(k);
+        let mapped = map_network(&net, &lib, &MisOptions::new(k)).unwrap();
+        check_equivalence(&net, &mapped.circuit).unwrap();
+        prop_assert!(mapped.circuit.luts().iter().all(|l| l.utilization() <= k));
+    }
+
+    #[test]
+    fn duplication_mode_is_also_equivalent(seed in any::<u64>()) {
+        let net = random_network(seed, 6, 10);
+        let lib = Library::for_paper(4);
+        let mapped = map_network(
+            &net,
+            &lib,
+            &MisOptions::new(4).with_fanout_duplication(),
+        ).unwrap();
+        check_equivalence(&net, &mapped.circuit).unwrap();
+    }
+
+    #[test]
+    fn complete_library_never_loses_to_partial(seed in any::<u64>(), k in 4usize..=5) {
+        let net = random_network(seed, 6, 10);
+        let complete = map_network(&net, &Library::complete(k), &MisOptions::new(k)).unwrap();
+        let partial = map_network(&net, &Library::partial(k), &MisOptions::new(k)).unwrap();
+        prop_assert!(complete.report.luts <= partial.report.luts);
+    }
+}

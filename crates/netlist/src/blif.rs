@@ -1,0 +1,703 @@
+//! Reading and writing Berkeley Logic Interchange Format (BLIF) files.
+//!
+//! The MCNC-89 benchmarks the paper evaluates on are distributed as BLIF,
+//! so a downstream user of this crate maps real designs by parsing them
+//! here. The reader supports the combinational subset: `.model`, `.inputs`,
+//! `.outputs`, `.names` (with cube rows) and `.end`, plus `#` comments and
+//! `\` line continuations. Latches and subcircuits are out of scope (the
+//! paper maps combinational logic only).
+//!
+//! `.names` functions are translated into the AND/OR node representation of
+//! [`Network`]: each cube becomes an AND node over polarized literals and
+//! multiple cubes are joined by an OR node; an off-set table (output column
+//! `0`) yields an inverted signal.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use crate::error::ParseBlifError;
+use crate::lut::{LutCircuit, LutSource};
+use crate::network::{Network, NodeOp, Signal};
+
+/// A parsed `.names` block before structural conversion.
+#[derive(Debug, Clone)]
+struct NamesBlock {
+    inputs: Vec<String>,
+    output: String,
+    /// Cube rows: per input, one of `'0' | '1' | '-'`.
+    cubes: Vec<Vec<u8>>,
+    /// Output phase: `true` when rows describe the on-set.
+    on_set: bool,
+    line: usize,
+}
+
+/// Parses a BLIF model into a [`Network`].
+///
+/// # Errors
+///
+/// Returns a [`ParseBlifError`] on malformed syntax, undefined signals,
+/// combinational cycles, or unsupported constructs (`.latch`, `.subckt`).
+///
+/// # Examples
+///
+/// ```
+/// use chortle_netlist::parse_blif;
+///
+/// let src = "\
+/// .model tiny
+/// .inputs a b
+/// .outputs z
+/// .names a b z
+/// 11 1
+/// .end
+/// ";
+/// let net = parse_blif(src)?;
+/// assert_eq!(net.num_inputs(), 2);
+/// assert_eq!(net.num_gates(), 1);
+/// # Ok::<(), chortle_netlist::ParseBlifError>(())
+/// ```
+pub fn parse_blif(text: &str) -> Result<Network, ParseBlifError> {
+    let mut inputs: Vec<String> = Vec::new();
+    let mut outputs: Vec<String> = Vec::new();
+    let mut blocks: Vec<NamesBlock> = Vec::new();
+    let mut current: Option<NamesBlock> = None;
+    let mut saw_end = false;
+
+    // Join continuation lines first.
+    let mut logical_lines: Vec<(usize, String)> = Vec::new();
+    let mut pending = String::new();
+    let mut pending_line = 0usize;
+    for (i, raw) in text.lines().enumerate() {
+        let line = match raw.find('#') {
+            Some(p) => &raw[..p],
+            None => raw,
+        };
+        let trimmed = line.trim_end();
+        if pending.is_empty() {
+            pending_line = i + 1;
+        }
+        if let Some(stripped) = trimmed.strip_suffix('\\') {
+            pending.push_str(stripped);
+            pending.push(' ');
+        } else {
+            pending.push_str(trimmed);
+            if !pending.trim().is_empty() {
+                logical_lines.push((pending_line, std::mem::take(&mut pending)));
+            } else {
+                pending.clear();
+            }
+        }
+    }
+    if !pending.trim().is_empty() {
+        logical_lines.push((pending_line, pending));
+    }
+
+    for (line_no, line) in logical_lines {
+        let mut tokens = line.split_whitespace();
+        let first = match tokens.next() {
+            Some(t) => t,
+            None => continue,
+        };
+        if saw_end {
+            continue; // ignore anything after .end (e.g. extra models)
+        }
+        match first {
+            ".model" => {}
+            ".inputs" => inputs.extend(tokens.map(str::to_owned)),
+            ".outputs" => outputs.extend(tokens.map(str::to_owned)),
+            ".names" => {
+                if let Some(block) = current.take() {
+                    blocks.push(block);
+                }
+                let mut names: Vec<String> = tokens.map(str::to_owned).collect();
+                let output = names.pop().ok_or_else(|| ParseBlifError::Syntax {
+                    line: line_no,
+                    message: ".names requires at least an output signal".into(),
+                })?;
+                current = Some(NamesBlock {
+                    inputs: names,
+                    output,
+                    cubes: Vec::new(),
+                    on_set: true,
+                    line: line_no,
+                });
+            }
+            ".end" => {
+                if let Some(block) = current.take() {
+                    blocks.push(block);
+                }
+                saw_end = true;
+            }
+            ".latch" | ".subckt" | ".gate" | ".mlatch" => {
+                return Err(ParseBlifError::Syntax {
+                    line: line_no,
+                    message: format!("unsupported construct {first} (combinational BLIF only)"),
+                });
+            }
+            _ if first.starts_with('.') => {
+                // Ignore unknown dot-directives (.default_input_arrival etc.)
+            }
+            _ => {
+                // A cube row for the current .names block.
+                let block = current.as_mut().ok_or_else(|| ParseBlifError::Syntax {
+                    line: line_no,
+                    message: format!("cube row {first:?} outside a .names block"),
+                })?;
+                let (mask, value) = if block.inputs.is_empty() {
+                    (String::new(), first)
+                } else {
+                    let v = tokens.next().ok_or_else(|| ParseBlifError::Syntax {
+                        line: line_no,
+                        message: "cube row is missing the output column".into(),
+                    })?;
+                    (first.to_owned(), v)
+                };
+                if mask.len() != block.inputs.len() {
+                    return Err(ParseBlifError::Syntax {
+                        line: line_no,
+                        message: format!(
+                            "cube has {} columns but .names has {} inputs",
+                            mask.len(),
+                            block.inputs.len()
+                        ),
+                    });
+                }
+                for c in mask.bytes() {
+                    if !matches!(c, b'0' | b'1' | b'-') {
+                        return Err(ParseBlifError::Syntax {
+                            line: line_no,
+                            message: format!("invalid cube character {:?}", c as char),
+                        });
+                    }
+                }
+                let on = match value {
+                    "1" => true,
+                    "0" => false,
+                    other => {
+                        return Err(ParseBlifError::Syntax {
+                            line: line_no,
+                            message: format!("invalid output column {other:?}"),
+                        })
+                    }
+                };
+                if block.cubes.is_empty() {
+                    block.on_set = on;
+                } else if block.on_set != on {
+                    return Err(ParseBlifError::Syntax {
+                        line: line_no,
+                        message: "mixed on-set and off-set rows in one .names".into(),
+                    });
+                }
+                block.cubes.push(mask.into_bytes());
+            }
+        }
+    }
+    if let Some(block) = current.take() {
+        blocks.push(block);
+    }
+
+    build_network(&inputs, &outputs, blocks)
+}
+
+fn build_network(
+    inputs: &[String],
+    outputs: &[String],
+    blocks: Vec<NamesBlock>,
+) -> Result<Network, ParseBlifError> {
+    let mut net = Network::new();
+    let mut signals: HashMap<String, Signal> = HashMap::new();
+    for name in inputs {
+        let id = net.add_input(name.clone());
+        signals.insert(name.clone(), Signal::new(id));
+    }
+
+    // Index blocks by output name for dependency-driven elaboration.
+    let mut by_output: HashMap<String, usize> = HashMap::new();
+    for (i, b) in blocks.iter().enumerate() {
+        if by_output.insert(b.output.clone(), i).is_some() {
+            return Err(ParseBlifError::Syntax {
+                line: b.line,
+                message: format!("signal {:?} defined twice", b.output),
+            });
+        }
+    }
+
+    #[derive(Clone, Copy, PartialEq)]
+    enum Mark {
+        White,
+        Grey,
+        Black,
+    }
+    let mut marks = vec![Mark::White; blocks.len()];
+
+    // Iterative DFS elaboration so deep netlists do not overflow the stack.
+    fn elaborate(
+        idx: usize,
+        blocks: &[NamesBlock],
+        by_output: &HashMap<String, usize>,
+        marks: &mut [Mark],
+        net: &mut Network,
+        signals: &mut HashMap<String, Signal>,
+    ) -> Result<(), ParseBlifError> {
+        let mut stack: Vec<(usize, usize)> = vec![(idx, 0)];
+        while let Some(&mut (i, ref mut child)) = stack.last_mut() {
+            if marks[i] == Mark::Black {
+                stack.pop();
+                continue;
+            }
+            marks[i] = Mark::Grey;
+            let block = &blocks[i];
+            if *child < block.inputs.len() {
+                let dep = &block.inputs[*child];
+                *child += 1;
+                if signals.contains_key(dep) {
+                    continue;
+                }
+                match by_output.get(dep) {
+                    Some(&j) => {
+                        if marks[j] == Mark::Grey {
+                            return Err(ParseBlifError::Syntax {
+                                line: block.line,
+                                message: format!("combinational cycle through {dep:?}"),
+                            });
+                        }
+                        if marks[j] == Mark::White {
+                            stack.push((j, 0));
+                        }
+                    }
+                    None => return Err(ParseBlifError::UndefinedSignal(dep.clone())),
+                }
+            } else {
+                let sig = synthesize_block(block, net, signals)?;
+                signals.insert(block.output.clone(), sig);
+                marks[i] = Mark::Black;
+                stack.pop();
+            }
+        }
+        Ok(())
+    }
+
+    for i in 0..blocks.len() {
+        if marks[i] == Mark::White {
+            elaborate(i, &blocks, &by_output, &mut marks, &mut net, &mut signals)?;
+        }
+    }
+
+    for name in outputs {
+        let sig = signals
+            .get(name)
+            .copied()
+            .ok_or_else(|| ParseBlifError::UndefinedSignal(name.clone()))?;
+        net.add_output(name.clone(), sig);
+    }
+    Ok(net)
+}
+
+/// Builds the AND/OR structure for one `.names` block; returns the signal
+/// of the block's output.
+fn synthesize_block(
+    block: &NamesBlock,
+    net: &mut Network,
+    signals: &HashMap<String, Signal>,
+) -> Result<Signal, ParseBlifError> {
+    let fanin_signals: Vec<Signal> = block
+        .inputs
+        .iter()
+        .map(|name| {
+            signals
+                .get(name)
+                .copied()
+                .ok_or_else(|| ParseBlifError::UndefinedSignal(name.clone()))
+        })
+        .collect::<Result<_, _>>()?;
+
+    // Constant blocks: `.names z` with zero or one `1` rows.
+    if block.inputs.is_empty() {
+        let value = !block.cubes.is_empty() && block.on_set;
+        let id = net.add_const(value);
+        return Ok(Signal::new(id));
+    }
+    if block.cubes.is_empty() {
+        // No rows: constant 0.
+        let id = net.add_const(false);
+        return Ok(Signal::new(id));
+    }
+
+    let mut cube_signals: Vec<Signal> = Vec::new();
+    for cube in &block.cubes {
+        let mut literals: Vec<Signal> = Vec::new();
+        for (i, &c) in cube.iter().enumerate() {
+            match c {
+                b'1' => literals.push(fanin_signals[i]),
+                b'0' => literals.push(!fanin_signals[i]),
+                _ => {}
+            }
+        }
+        let sig = if literals.is_empty() {
+            // A fully don't-care cube: the function is constant true.
+            Signal::new(net.add_const(true))
+        } else {
+            reduce_gate(net, NodeOp::And, &mut literals)
+        };
+        cube_signals.push(sig);
+    }
+    let mut result = reduce_gate(net, NodeOp::Or, &mut cube_signals);
+    if !block.on_set {
+        result = !result;
+    }
+    Ok(result)
+}
+
+/// Builds an AND/OR gate over a literal list, after removing duplicates and
+/// reducing degenerate cases: a contradictory pair `x, !x` makes an AND
+/// constant false and an OR constant true; a single remaining literal is
+/// returned as-is.
+fn reduce_gate(net: &mut Network, op: NodeOp, literals: &mut Vec<Signal>) -> Signal {
+    let mut seen = std::collections::HashSet::new();
+    literals.retain(|s| seen.insert(*s));
+    let contradictory = literals.iter().any(|s| seen.contains(&!*s));
+    if contradictory {
+        return Signal::new(net.add_const(op == NodeOp::Or));
+    }
+    match literals.len() {
+        0 => Signal::new(net.add_const(op == NodeOp::And)),
+        1 => literals[0],
+        _ => Signal::new(net.add_gate(op, std::mem::take(literals))),
+    }
+}
+
+/// Serializes a network as a BLIF model named `model`.
+///
+/// Every gate becomes a `.names` block; AND gates emit a single cube, OR
+/// gates one single-literal cube per fanin.
+///
+/// # Examples
+///
+/// ```
+/// use chortle_netlist::{parse_blif, write_blif};
+///
+/// let src = ".model m\n.inputs a b\n.outputs z\n.names a b z\n1- 1\n-1 1\n.end\n";
+/// let net = parse_blif(src)?;
+/// let round_tripped = parse_blif(&write_blif(&net, "m"))?;
+/// assert_eq!(round_tripped.num_outputs(), 1);
+/// # Ok::<(), chortle_netlist::ParseBlifError>(())
+/// ```
+pub fn write_blif(network: &Network, model: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, ".model {model}");
+    let names: Vec<String> = network
+        .nodes()
+        .map(|(id, node)| {
+            node.name()
+                .map(str::to_owned)
+                .unwrap_or_else(|| format!("n{}", id.index()))
+        })
+        .collect();
+    let _ = write!(out, ".inputs");
+    for &id in network.inputs() {
+        let _ = write!(out, " {}", names[id.index()]);
+    }
+    let _ = writeln!(out);
+    let _ = write!(out, ".outputs");
+    for o in network.outputs() {
+        let _ = write!(out, " {}", o.name);
+    }
+    let _ = writeln!(out);
+
+    for (id, node) in network.nodes() {
+        match node.op() {
+            NodeOp::Input => {}
+            NodeOp::Const(v) => {
+                let _ = writeln!(out, ".names {}", names[id.index()]);
+                if v {
+                    let _ = writeln!(out, "1");
+                }
+            }
+            NodeOp::And => {
+                let _ = write!(out, ".names");
+                for s in node.fanins() {
+                    let _ = write!(out, " {}", names[s.node().index()]);
+                }
+                let _ = writeln!(out, " {}", names[id.index()]);
+                for s in node.fanins() {
+                    let _ = write!(out, "{}", if s.is_inverted() { '0' } else { '1' });
+                }
+                let _ = writeln!(out, " 1");
+            }
+            NodeOp::Or => {
+                let _ = write!(out, ".names");
+                for s in node.fanins() {
+                    let _ = write!(out, " {}", names[s.node().index()]);
+                }
+                let _ = writeln!(out, " {}", names[id.index()]);
+                for (i, s) in node.fanins().iter().enumerate() {
+                    for j in 0..node.fanins().len() {
+                        let _ = write!(
+                            out,
+                            "{}",
+                            if i == j {
+                                if s.is_inverted() {
+                                    '0'
+                                } else {
+                                    '1'
+                                }
+                            } else {
+                                '-'
+                            }
+                        );
+                    }
+                    let _ = writeln!(out, " 1");
+                }
+            }
+        }
+    }
+
+    // Output polarity buffers: when the output signal is inverted or the
+    // output name differs from the driving node name, emit a buffer block.
+    for o in network.outputs() {
+        let drv = &names[o.signal.node().index()];
+        if o.name != *drv || o.signal.is_inverted() {
+            let _ = writeln!(out, ".names {} {}", drv, o.name);
+            let _ = writeln!(out, "{} 1", if o.signal.is_inverted() { '0' } else { '1' });
+        }
+    }
+    let _ = writeln!(out, ".end");
+    out
+}
+
+/// Serializes a mapped lookup-table circuit as BLIF (each LUT becomes a
+/// `.names` block listing its on-set minterms).
+///
+/// `network` supplies the primary-input and output names.
+pub fn write_lut_blif(network: &Network, circuit: &LutCircuit, model: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, ".model {model}");
+    let input_name = |id: crate::network::NodeId| {
+        network
+            .node(id)
+            .name()
+            .map(str::to_owned)
+            .unwrap_or_else(|| format!("n{}", id.index()))
+    };
+    let _ = write!(out, ".inputs");
+    for &id in network.inputs() {
+        let _ = write!(out, " {}", input_name(id));
+    }
+    let _ = writeln!(out);
+    let _ = write!(out, ".outputs");
+    for o in circuit.outputs() {
+        let _ = write!(out, " {}", o.name);
+    }
+    let _ = writeln!(out);
+
+    let src_name = |s: LutSource| match s {
+        LutSource::Input(id) => input_name(id),
+        LutSource::Lut(id) => format!("lut{}", id.index()),
+        LutSource::Const(v) => format!("const{}", v as u8),
+    };
+    let mut used_consts = [false; 2];
+    for lut in circuit.luts() {
+        for &s in lut.inputs() {
+            if let LutSource::Const(v) = s {
+                used_consts[v as usize] = true;
+            }
+        }
+    }
+    for o in circuit.outputs() {
+        if let LutSource::Const(v) = o.source {
+            used_consts[v as usize] = true;
+        }
+    }
+    for (v, used) in used_consts.iter().enumerate() {
+        if *used {
+            let _ = writeln!(out, ".names const{v}");
+            if v == 1 {
+                let _ = writeln!(out, "1");
+            }
+        }
+    }
+
+    for (i, lut) in circuit.luts().iter().enumerate() {
+        let _ = write!(out, ".names");
+        for &s in lut.inputs() {
+            let _ = write!(out, " {}", src_name(s));
+        }
+        let _ = writeln!(out, " lut{i}");
+        let vars = lut.table().num_vars();
+        for bits in 0..(1u32 << vars) {
+            if lut.table().eval(bits) {
+                for v in 0..vars {
+                    let _ = write!(out, "{}", (bits >> v) & 1);
+                }
+                let _ = writeln!(out, " 1");
+            }
+        }
+    }
+    for o in circuit.outputs() {
+        let _ = writeln!(out, ".names {} {}", src_name(o.source), o.name);
+        let _ = writeln!(out, "{} 1", if o.inverted { '0' } else { '1' });
+    }
+    let _ = writeln!(out, ".end");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::Signal;
+
+    #[test]
+    fn parses_simple_model() {
+        let src = "\
+# a comment
+.model test
+.inputs a b c
+.outputs z
+.names a b t
+11 1
+.names t c z
+1- 1
+-1 1
+.end
+";
+        let net = parse_blif(src).expect("parses");
+        net.validate().expect("valid");
+        assert_eq!(net.num_inputs(), 3);
+        assert_eq!(net.num_outputs(), 1);
+        let f = net
+            .signal_function(net.outputs()[0].signal)
+            .expect("small");
+        // z = (a & b) | c
+        for bits in 0..8u32 {
+            let (a, b, c) = (bits & 1 == 1, bits & 2 == 2, bits & 4 == 4);
+            assert_eq!(f.eval(bits), (a && b) || c);
+        }
+    }
+
+    #[test]
+    fn handles_out_of_order_definitions() {
+        let src = "\
+.model ooo
+.inputs a b
+.outputs z
+.names t a z
+11 1
+.names b t
+0 1
+.end
+";
+        let net = parse_blif(src).expect("parses");
+        let f = net.signal_function(net.outputs()[0].signal).unwrap();
+        for bits in 0..4u32 {
+            let (a, b) = (bits & 1 == 1, bits & 2 == 2);
+            assert_eq!(f.eval(bits), !b && a);
+        }
+    }
+
+    #[test]
+    fn off_set_rows_invert() {
+        let src = "\
+.model off
+.inputs a b
+.outputs z
+.names a b z
+11 0
+.end
+";
+        let net = parse_blif(src).expect("parses");
+        let f = net.signal_function(net.outputs()[0].signal).unwrap();
+        // z = NOT(a AND b)
+        for bits in 0..4u32 {
+            let (a, b) = (bits & 1 == 1, bits & 2 == 2);
+            assert_eq!(f.eval(bits), !(a && b));
+        }
+    }
+
+    #[test]
+    fn constant_blocks() {
+        let src = ".model c\n.inputs a\n.outputs one zero\n.names one\n1\n.names zero\n.end\n";
+        let net = parse_blif(src).expect("parses");
+        assert!(net
+            .signal_function(net.outputs()[0].signal)
+            .unwrap()
+            .is_true());
+        assert!(net
+            .signal_function(net.outputs()[1].signal)
+            .unwrap()
+            .is_false());
+    }
+
+    #[test]
+    fn detects_cycles() {
+        let src = "\
+.model cyc
+.inputs a
+.outputs z
+.names z a t
+11 1
+.names t z
+1 1
+.end
+";
+        let err = parse_blif(src).unwrap_err();
+        assert!(matches!(err, ParseBlifError::Syntax { .. }), "{err}");
+    }
+
+    #[test]
+    fn detects_undefined_signal() {
+        let src = ".model u\n.inputs a\n.outputs z\n.names a ghost z\n11 1\n.end\n";
+        let err = parse_blif(src).unwrap_err();
+        assert_eq!(err, ParseBlifError::UndefinedSignal("ghost".into()));
+    }
+
+    #[test]
+    fn rejects_latches() {
+        let src = ".model l\n.inputs a\n.outputs z\n.latch a z re clk 0\n.end\n";
+        assert!(parse_blif(src).is_err());
+    }
+
+    #[test]
+    fn continuation_lines() {
+        let src = ".model k\n.inputs a \\\nb\n.outputs z\n.names a b z\n11 1\n.end\n";
+        let net = parse_blif(src).expect("parses");
+        assert_eq!(net.num_inputs(), 2);
+    }
+
+    #[test]
+    fn roundtrip_preserves_function() {
+        let src = "\
+.model rt
+.inputs a b c d
+.outputs x y
+.names a b t1
+10 1
+01 1
+.names t1 c x
+11 1
+.names c d y
+00 0
+.end
+";
+        let net = parse_blif(src).expect("parses");
+        let text = write_blif(&net, "rt");
+        let net2 = parse_blif(&text).expect("round trip parses");
+        for (o1, o2) in net.outputs().iter().zip(net2.outputs()) {
+            assert_eq!(o1.name, o2.name);
+            let f1 = net.signal_function(o1.signal).unwrap();
+            let f2 = net2.signal_function(o2.signal).unwrap();
+            assert_eq!(f1, f2, "output {} function mismatch", o1.name);
+        }
+    }
+
+    #[test]
+    fn writes_inverted_output_buffer() {
+        let mut net = Network::new();
+        let a = net.add_input("a");
+        net.add_output("z", Signal::inverted(a));
+        let text = write_blif(&net, "inv");
+        let net2 = parse_blif(&text).expect("parses");
+        let f = net2.signal_function(net2.outputs()[0].signal).unwrap();
+        assert!(!f.eval(1));
+        assert!(f.eval(0));
+    }
+}

@@ -1,0 +1,154 @@
+//! Graphviz DOT export for networks and mapped circuits, for inspecting
+//! the structures the mapper works on (the forests of the paper's
+//! Figure 3, covers like Figure 2).
+
+use std::fmt::Write as _;
+
+use crate::lut::{LutCircuit, LutSource};
+use crate::network::{Network, NodeOp};
+
+/// Renders a Boolean network as a Graphviz digraph. Inverted edges are
+/// drawn with open-dot arrowheads (the usual bubble notation).
+///
+/// # Examples
+///
+/// ```
+/// use chortle_netlist::{network_to_dot, Network, NodeOp};
+///
+/// let mut net = Network::new();
+/// let a = net.add_input("a");
+/// let b = net.add_input("b");
+/// let g = net.add_gate(NodeOp::And, vec![a.into(), b.into()]);
+/// net.add_output("z", g.into());
+/// let dot = network_to_dot(&net, "demo");
+/// assert!(dot.starts_with("digraph demo"));
+/// assert!(dot.contains("AND"));
+/// ```
+pub fn network_to_dot(network: &Network, name: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph {name} {{");
+    let _ = writeln!(out, "  rankdir=BT;");
+    for (id, node) in network.nodes() {
+        let (label, shape) = match node.op() {
+            NodeOp::Input => (
+                node.name().unwrap_or("?").to_owned(),
+                "invtriangle",
+            ),
+            NodeOp::Const(v) => (format!("{}", u8::from(v)), "square"),
+            NodeOp::And => ("AND".to_owned(), "ellipse"),
+            NodeOp::Or => ("OR".to_owned(), "ellipse"),
+        };
+        let _ = writeln!(out, "  n{} [label=\"{}\" shape={}];", id.index(), label, shape);
+        for s in node.fanins() {
+            let style = if s.is_inverted() {
+                " [arrowhead=odot]"
+            } else {
+                ""
+            };
+            let _ = writeln!(out, "  n{} -> n{}{};", s.node().index(), id.index(), style);
+        }
+    }
+    for o in network.outputs() {
+        let port = format!("out_{}", o.name.replace(|c: char| !c.is_ascii_alphanumeric(), "_"));
+        let _ = writeln!(out, "  {port} [label=\"{}\" shape=triangle];", o.name);
+        let style = if o.signal.is_inverted() {
+            " [arrowhead=odot]"
+        } else {
+            ""
+        };
+        let _ = writeln!(out, "  n{} -> {port}{};", o.signal.node().index(), style);
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+/// Renders a mapped LUT circuit as a Graphviz digraph; each LUT node is
+/// labelled with its utilization and truth table.
+pub fn lut_circuit_to_dot(network: &Network, circuit: &LutCircuit, name: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph {name} {{");
+    let _ = writeln!(out, "  rankdir=BT;");
+    for &id in network.inputs() {
+        let label = network.node(id).name().unwrap_or("?");
+        let _ = writeln!(out, "  in{} [label=\"{label}\" shape=invtriangle];", id.index());
+    }
+    let src = |s: LutSource| -> String {
+        match s {
+            LutSource::Input(id) => format!("in{}", id.index()),
+            LutSource::Lut(id) => format!("lut{}", id.index()),
+            LutSource::Const(v) => format!("const{}", u8::from(v)),
+        }
+    };
+    let mut consts = [false; 2];
+    for (i, lut) in circuit.luts().iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "  lut{i} [label=\"LUT{i}\\n{}-in: {}\" shape=box];",
+            lut.utilization(),
+            lut.table()
+        );
+        for &s in lut.inputs() {
+            if let LutSource::Const(v) = s {
+                consts[v as usize] = true;
+            }
+            let _ = writeln!(out, "  {} -> lut{i};", src(s));
+        }
+    }
+    for (v, used) in consts.iter().enumerate() {
+        if *used {
+            let _ = writeln!(out, "  const{v} [label=\"{v}\" shape=square];");
+        }
+    }
+    for o in circuit.outputs() {
+        let port = format!("out_{}", o.name.replace(|c: char| !c.is_ascii_alphanumeric(), "_"));
+        let _ = writeln!(out, "  {port} [label=\"{}\" shape=triangle];", o.name);
+        let style = if o.inverted { " [arrowhead=odot]" } else { "" };
+        if let LutSource::Const(v) = o.source {
+            if !consts[v as usize] {
+                let _ = writeln!(out, "  const{v} [label=\"{v}\" shape=square];");
+                consts[v as usize] = true;
+            }
+        }
+        let _ = writeln!(out, "  {} -> {port}{};", src(o.source), style);
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::Signal;
+    use crate::truth_table::TruthTable;
+
+    #[test]
+    fn network_dot_contains_all_elements() {
+        let mut net = Network::new();
+        let a = net.add_input("a");
+        let b = net.add_input("b");
+        let g = net.add_gate(NodeOp::Or, vec![a.into(), Signal::inverted(b)]);
+        net.add_output("z!", Signal::inverted(g));
+        let dot = network_to_dot(&net, "g");
+        assert!(dot.contains("shape=invtriangle"));
+        assert!(dot.contains("OR"));
+        assert!(dot.contains("arrowhead=odot"));
+        assert!(dot.contains("out_z_"));
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn circuit_dot_renders_luts_and_consts() {
+        let mut net = Network::new();
+        let a = net.add_input("a");
+        let mut c = LutCircuit::new(2);
+        let t = TruthTable::var(2, 0).or(&TruthTable::var(2, 1));
+        let l = c
+            .add_lut(vec![LutSource::Input(a), LutSource::Const(true)], t)
+            .unwrap();
+        c.add_output("z", LutSource::Lut(l), false);
+        let dot = lut_circuit_to_dot(&net, &c, "m");
+        assert!(dot.contains("LUT0"));
+        assert!(dot.contains("const1"));
+        assert!(dot.contains("in0 -> lut0;"));
+    }
+}

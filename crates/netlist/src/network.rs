@@ -1,0 +1,596 @@
+//! The Boolean-network DAG representation described in Section 2 of the
+//! paper.
+//!
+//! A [`Network`] is a directed acyclic graph whose nodes are either primary
+//! inputs or AND/OR operations over any number of fanins. Each fanin edge
+//! carries a polarity (Chortle's networks label edges as inverted or not),
+//! and each primary output is a polarized reference to a node.
+//!
+//! Nodes are stored in topological order: a node's fanins always have
+//! smaller [`NodeId`]s, which makes forward traversal trivial.
+
+use std::fmt;
+
+use crate::error::NetworkError;
+use crate::truth_table::{TruthTable, MAX_VARS};
+
+/// Identifier of a node inside a [`Network`].
+///
+/// Ids are dense indexes assigned in topological (creation) order.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// Index of this node within the network's node array.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds an id from a raw index. Intended for tools that serialize
+    /// node ids; using an index from a different network is a logic error.
+    pub fn from_index(index: usize) -> Self {
+        NodeId(u32::try_from(index).expect("node index fits in u32"))
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// A polarized reference to a node: the node's output signal, possibly
+/// inverted.
+///
+/// # Examples
+///
+/// ```
+/// use chortle_netlist::{Network, Signal};
+///
+/// let mut net = Network::new();
+/// let a = net.add_input("a");
+/// let sig = Signal::inverted(a);
+/// assert!(sig.is_inverted());
+/// assert_eq!(sig.node(), a);
+/// assert_eq!(!sig, Signal::from(a));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Signal {
+    node: NodeId,
+    inverted: bool,
+}
+
+impl Signal {
+    /// A non-inverted reference to `node`.
+    pub fn new(node: NodeId) -> Self {
+        Signal { node, inverted: false }
+    }
+
+    /// An inverted reference to `node`.
+    pub fn inverted(node: NodeId) -> Self {
+        Signal { node, inverted: true }
+    }
+
+    /// The referenced node.
+    pub fn node(self) -> NodeId {
+        self.node
+    }
+
+    /// Whether the reference is inverted.
+    pub fn is_inverted(self) -> bool {
+        self.inverted
+    }
+
+    /// The same node with the given polarity.
+    pub fn with_inversion(self, inverted: bool) -> Self {
+        Signal { node: self.node, inverted }
+    }
+}
+
+impl From<NodeId> for Signal {
+    fn from(node: NodeId) -> Self {
+        Signal::new(node)
+    }
+}
+
+impl std::ops::Not for Signal {
+    type Output = Signal;
+
+    fn not(self) -> Signal {
+        Signal {
+            node: self.node,
+            inverted: !self.inverted,
+        }
+    }
+}
+
+impl fmt::Debug for Signal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.inverted {
+            write!(f, "!{:?}", self.node)
+        } else {
+            write!(f, "{:?}", self.node)
+        }
+    }
+}
+
+/// Boolean operation performed by a network node.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum NodeOp {
+    /// A primary input: no fanins, value supplied from outside.
+    Input,
+    /// Logical AND of all fanin signals.
+    And,
+    /// Logical OR of all fanin signals.
+    Or,
+    /// A constant value (arises from BLIF files and degenerate
+    /// optimizations).
+    Const(bool),
+}
+
+impl NodeOp {
+    /// Returns `true` for [`NodeOp::And`] and [`NodeOp::Or`].
+    pub fn is_gate(self) -> bool {
+        matches!(self, NodeOp::And | NodeOp::Or)
+    }
+
+    /// The dual gate (AND <-> OR); identity on inputs and constants.
+    pub fn dual(self) -> Self {
+        match self {
+            NodeOp::And => NodeOp::Or,
+            NodeOp::Or => NodeOp::And,
+            other => other,
+        }
+    }
+
+    /// The identity element of the gate: `true` for AND, `false` for OR.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the op is not a gate.
+    pub fn identity(self) -> bool {
+        match self {
+            NodeOp::And => true,
+            NodeOp::Or => false,
+            _ => panic!("identity is defined for gates only"),
+        }
+    }
+}
+
+/// A node of a [`Network`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Node {
+    op: NodeOp,
+    fanins: Vec<Signal>,
+    name: Option<String>,
+}
+
+impl Node {
+    /// The node's Boolean operation.
+    pub fn op(&self) -> NodeOp {
+        self.op
+    }
+
+    /// The node's fanin signals, in declaration order.
+    pub fn fanins(&self) -> &[Signal] {
+        &self.fanins
+    }
+
+    /// The node's optional name (primary inputs always have one).
+    pub fn name(&self) -> Option<&str> {
+        self.name.as_deref()
+    }
+
+    /// Number of fanins.
+    pub fn fanin_count(&self) -> usize {
+        self.fanins.len()
+    }
+}
+
+/// A named primary output: a polarized node reference.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Output {
+    /// Output name, as written to BLIF.
+    pub name: String,
+    /// The driven signal.
+    pub signal: Signal,
+}
+
+/// A multi-input multi-output Boolean network: the input and output of
+/// logic optimization, and the input of technology mapping.
+///
+/// # Examples
+///
+/// Build `z = (a AND b) OR NOT c` and inspect it:
+///
+/// ```
+/// use chortle_netlist::{Network, NodeOp, Signal};
+///
+/// let mut net = Network::new();
+/// let a = net.add_input("a");
+/// let b = net.add_input("b");
+/// let c = net.add_input("c");
+/// let g = net.add_gate(NodeOp::And, vec![a.into(), b.into()]);
+/// let z = net.add_gate(NodeOp::Or, vec![g.into(), Signal::inverted(c)]);
+/// net.add_output("z", z.into());
+///
+/// assert_eq!(net.num_inputs(), 3);
+/// assert_eq!(net.num_gates(), 2);
+/// assert_eq!(net.node(z).fanin_count(), 2);
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Network {
+    nodes: Vec<Node>,
+    inputs: Vec<NodeId>,
+    outputs: Vec<Output>,
+}
+
+impl Network {
+    /// Creates an empty network.
+    pub fn new() -> Self {
+        Network::default()
+    }
+
+    /// Adds a primary input with the given name and returns its id.
+    pub fn add_input(&mut self, name: impl Into<String>) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node {
+            op: NodeOp::Input,
+            fanins: Vec::new(),
+            name: Some(name.into()),
+        });
+        self.inputs.push(id);
+        id
+    }
+
+    /// Adds a constant node.
+    pub fn add_const(&mut self, value: bool) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node {
+            op: NodeOp::Const(value),
+            fanins: Vec::new(),
+            name: None,
+        });
+        id
+    }
+
+    /// Adds an AND/OR gate over the given fanins and returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `op` is not a gate, if `fanins` is empty, or if a fanin
+    /// refers to a node not yet in the network (ids must be topological).
+    pub fn add_gate(&mut self, op: NodeOp, fanins: Vec<Signal>) -> NodeId {
+        assert!(op.is_gate(), "add_gate requires And or Or");
+        assert!(!fanins.is_empty(), "gates must have at least one fanin");
+        let id = NodeId(self.nodes.len() as u32);
+        for s in &fanins {
+            assert!(
+                s.node().index() < self.nodes.len(),
+                "fanin {:?} refers to a node that does not exist yet",
+                s
+            );
+        }
+        self.nodes.push(Node {
+            op,
+            fanins,
+            name: None,
+        });
+        id
+    }
+
+    /// Adds a named gate (used by the BLIF reader to preserve names).
+    pub fn add_named_gate(
+        &mut self,
+        op: NodeOp,
+        fanins: Vec<Signal>,
+        name: impl Into<String>,
+    ) -> NodeId {
+        let id = self.add_gate(op, fanins);
+        self.nodes[id.index()].name = Some(name.into());
+        id
+    }
+
+    /// Declares a primary output driving `signal` under `name`.
+    pub fn add_output(&mut self, name: impl Into<String>, signal: Signal) {
+        assert!(
+            signal.node().index() < self.nodes.len(),
+            "output signal refers to a nonexistent node"
+        );
+        self.outputs.push(Output {
+            name: name.into(),
+            signal,
+        });
+    }
+
+    /// The node with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id does not belong to this network.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    /// All nodes in topological order.
+    pub fn nodes(&self) -> impl Iterator<Item = (NodeId, &Node)> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (NodeId(i as u32), n))
+    }
+
+    /// Ids of the primary inputs, in declaration order.
+    pub fn inputs(&self) -> &[NodeId] {
+        &self.inputs
+    }
+
+    /// The primary outputs, in declaration order.
+    pub fn outputs(&self) -> &[Output] {
+        &self.outputs
+    }
+
+    /// Total number of nodes (inputs + constants + gates).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Returns `true` if the network has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Number of primary inputs.
+    pub fn num_inputs(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// Number of primary outputs.
+    pub fn num_outputs(&self) -> usize {
+        self.outputs.len()
+    }
+
+    /// Number of AND/OR gate nodes.
+    pub fn num_gates(&self) -> usize {
+        self.nodes.iter().filter(|n| n.op.is_gate()).count()
+    }
+
+    /// Literal count of the network: total number of fanin edges of gate
+    /// nodes (the cost function minimized by MIS-style logic optimization).
+    pub fn literal_count(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| n.op.is_gate())
+            .map(|n| n.fanins.len())
+            .sum()
+    }
+
+    /// Fanout count of every node (number of fanin edges referencing it,
+    /// plus one per primary output it drives).
+    pub fn fanout_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.nodes.len()];
+        for node in &self.nodes {
+            for s in &node.fanins {
+                counts[s.node().index()] += 1;
+            }
+        }
+        for out in &self.outputs {
+            counts[out.signal.node().index()] += 1;
+        }
+        counts
+    }
+
+    /// Checks the structural invariants: topological fanins, gates with
+    /// nonempty fanins, no duplicate fanin *nodes* on a gate, named and
+    /// distinct primary inputs/outputs.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated invariant.
+    pub fn validate(&self) -> Result<(), NetworkError> {
+        let mut seen_names = std::collections::HashSet::new();
+        for (i, node) in self.nodes.iter().enumerate() {
+            match node.op {
+                NodeOp::Input | NodeOp::Const(_) => {
+                    if !node.fanins.is_empty() {
+                        return Err(NetworkError::Structure(format!(
+                            "node n{i} is a source but has fanins"
+                        )));
+                    }
+                }
+                NodeOp::And | NodeOp::Or => {
+                    if node.fanins.is_empty() {
+                        return Err(NetworkError::Structure(format!(
+                            "gate n{i} has no fanins"
+                        )));
+                    }
+                    let mut nodes_seen = std::collections::HashSet::new();
+                    for s in &node.fanins {
+                        if s.node().index() >= i {
+                            return Err(NetworkError::Structure(format!(
+                                "gate n{i} has non-topological fanin {:?}",
+                                s
+                            )));
+                        }
+                        if !nodes_seen.insert(s.node()) {
+                            return Err(NetworkError::Structure(format!(
+                                "gate n{i} references fanin node {:?} twice",
+                                s.node()
+                            )));
+                        }
+                    }
+                }
+            }
+        }
+        for &input in &self.inputs {
+            let name = self.nodes[input.index()]
+                .name
+                .as_deref()
+                .ok_or_else(|| NetworkError::Structure(format!("unnamed input {input:?}")))?;
+            if !seen_names.insert(name.to_owned()) {
+                return Err(NetworkError::Structure(format!(
+                    "duplicate input name {name:?}"
+                )));
+            }
+        }
+        let mut out_names = std::collections::HashSet::new();
+        for out in &self.outputs {
+            if !out_names.insert(out.name.clone()) {
+                return Err(NetworkError::Structure(format!(
+                    "duplicate output name {:?}",
+                    out.name
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Computes the Boolean function of `signal` as a truth table over the
+    /// primary inputs (in [`inputs`] order).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetworkError::TooManyInputs`] if the network has more than
+    /// [`MAX_VARS`] primary inputs.
+    ///
+    /// [`inputs`]: Network::inputs
+    pub fn signal_function(&self, signal: Signal) -> Result<TruthTable, NetworkError> {
+        let tables = self.node_functions()?;
+        let t = &tables[signal.node().index()];
+        Ok(if signal.is_inverted() { t.not() } else { t.clone() })
+    }
+
+    /// Computes the truth table of every node over the primary inputs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetworkError::TooManyInputs`] if the network has more than
+    /// [`MAX_VARS`] primary inputs.
+    pub fn node_functions(&self) -> Result<Vec<TruthTable>, NetworkError> {
+        let vars = self.inputs.len();
+        if vars > MAX_VARS {
+            return Err(NetworkError::TooManyInputs {
+                inputs: vars,
+                limit: MAX_VARS,
+            });
+        }
+        let mut input_pos = vec![usize::MAX; self.nodes.len()];
+        for (i, &id) in self.inputs.iter().enumerate() {
+            input_pos[id.index()] = i;
+        }
+        let mut tables: Vec<TruthTable> = Vec::with_capacity(self.nodes.len());
+        for (i, node) in self.nodes.iter().enumerate() {
+            let t = match node.op {
+                NodeOp::Input => TruthTable::var(vars, input_pos[i]),
+                NodeOp::Const(v) => TruthTable::constant(vars, v),
+                NodeOp::And | NodeOp::Or => {
+                    let mut acc = TruthTable::constant(vars, node.op.identity());
+                    for s in &node.fanins {
+                        let f = &tables[s.node().index()];
+                        let f = if s.is_inverted() { f.not() } else { f.clone() };
+                        acc = match node.op {
+                            NodeOp::And => acc.and(&f),
+                            NodeOp::Or => acc.or(&f),
+                            _ => unreachable!(),
+                        };
+                    }
+                    acc
+                }
+            };
+            tables.push(t);
+        }
+        Ok(tables)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xor_network() -> (Network, NodeId) {
+        // z = a ^ b as (a AND !b) OR (!a AND b)
+        let mut net = Network::new();
+        let a = net.add_input("a");
+        let b = net.add_input("b");
+        let t1 = net.add_gate(NodeOp::And, vec![a.into(), Signal::inverted(b)]);
+        let t2 = net.add_gate(NodeOp::And, vec![Signal::inverted(a), b.into()]);
+        let z = net.add_gate(NodeOp::Or, vec![t1.into(), t2.into()]);
+        net.add_output("z", z.into());
+        (net, z)
+    }
+
+    #[test]
+    fn builds_and_validates() {
+        let (net, _) = xor_network();
+        net.validate().expect("valid network");
+        assert_eq!(net.num_inputs(), 2);
+        assert_eq!(net.num_gates(), 3);
+        assert_eq!(net.literal_count(), 6);
+    }
+
+    #[test]
+    fn signal_functions_are_correct() {
+        let (net, z) = xor_network();
+        let f = net.signal_function(Signal::new(z)).unwrap();
+        assert_eq!(f, TruthTable::var(2, 0).xor(&TruthTable::var(2, 1)));
+        let g = net.signal_function(Signal::inverted(z)).unwrap();
+        assert_eq!(g, f.not());
+    }
+
+    #[test]
+    fn fanout_counts_include_outputs() {
+        let (net, z) = xor_network();
+        let counts = net.fanout_counts();
+        let a = net.inputs()[0];
+        assert_eq!(counts[a.index()], 2);
+        assert_eq!(counts[z.index()], 1);
+    }
+
+    #[test]
+    fn validate_rejects_duplicate_fanin_nodes() {
+        let mut net = Network::new();
+        let a = net.add_input("a");
+        // A gate that references the same node twice (even with differing
+        // polarity) is structurally invalid in this representation.
+        let g = NodeId(1);
+        net.nodes.push(Node {
+            op: NodeOp::And,
+            fanins: vec![a.into(), Signal::inverted(a)],
+            name: None,
+        });
+        assert_eq!(g.index(), 1);
+        assert!(net.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_duplicate_input_names() {
+        let mut net = Network::new();
+        net.add_input("a");
+        net.add_input("a");
+        assert!(net.validate().is_err());
+    }
+
+    #[test]
+    fn signal_not_roundtrip() {
+        let mut net = Network::new();
+        let a = net.add_input("a");
+        let s = Signal::new(a);
+        assert_eq!(!!s, s);
+        assert_ne!(!s, s);
+    }
+
+    #[test]
+    fn const_node_function() {
+        let mut net = Network::new();
+        let _a = net.add_input("a");
+        let c = net.add_const(true);
+        let f = net.signal_function(Signal::new(c)).unwrap();
+        assert!(f.is_true());
+    }
+}

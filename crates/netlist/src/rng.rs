@@ -1,0 +1,146 @@
+//! A tiny deterministic pseudo-random number generator.
+//!
+//! Circuit generation and randomized verification must be reproducible
+//! across machines and crate versions, so instead of depending on the
+//! evolving `rand` API this crate ships the SplitMix64 generator — a small,
+//! well-studied mixer with a 64-bit state (Steele, Lea & Flood, OOPSLA'14).
+
+/// A SplitMix64 pseudo-random number generator.
+///
+/// # Examples
+///
+/// ```
+/// use chortle_netlist::SplitMix64;
+///
+/// let mut rng = SplitMix64::new(42);
+/// let a = rng.next_u64();
+/// let b = rng.next_u64();
+/// assert_ne!(a, b);
+/// // Same seed, same sequence.
+/// assert_eq!(SplitMix64::new(42).next_u64(), a);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform value in `0..bound`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be positive");
+        // Lemire-style rejection sampling without 128-bit multiplies: take
+        // the straightforward modulo with a retry loop to kill bias.
+        let zone = u64::MAX - (u64::MAX % bound);
+        loop {
+            let v = self.next_u64();
+            if v < zone {
+                return v % bound;
+            }
+        }
+    }
+
+    /// A uniform value in `lo..hi`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn next_range(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        lo + self.next_below((hi - lo) as u64) as usize
+    }
+
+    /// A biased coin: `true` with probability `num / den`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `den` is zero.
+    pub fn next_bool(&mut self, num: u32, den: u32) -> bool {
+        assert!(den > 0);
+        self.next_below(den as u64) < num as u64
+    }
+
+    /// Shuffles a slice in place (Fisher–Yates).
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.next_below((i + 1) as u64) as usize;
+            slice.swap(i, j);
+        }
+    }
+
+    /// Picks a uniformly random element index from a nonempty slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice is empty.
+    pub fn choose_index<T>(&mut self, slice: &[T]) -> usize {
+        assert!(!slice.is_empty(), "cannot choose from an empty slice");
+        self.next_below(slice.len() as u64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let mut a = SplitMix64::new(7);
+        let mut b = SplitMix64::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn below_stays_in_range() {
+        let mut rng = SplitMix64::new(1);
+        for _ in 0..1000 {
+            assert!(rng.next_below(10) < 10);
+        }
+    }
+
+    #[test]
+    fn range_covers_all_values() {
+        let mut rng = SplitMix64::new(3);
+        let mut seen = [false; 5];
+        for _ in 0..500 {
+            seen[rng.next_range(0, 5)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = SplitMix64::new(9);
+        let mut v: Vec<u32> = (0..50).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn bool_bias_sane() {
+        let mut rng = SplitMix64::new(11);
+        let trues = (0..10_000).filter(|_| rng.next_bool(1, 4)).count();
+        assert!((2000..3000).contains(&trues), "got {trues}");
+    }
+}

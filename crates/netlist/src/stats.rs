@@ -1,0 +1,166 @@
+//! Summary statistics of networks and mapped circuits, used by the
+//! benchmark harness to report circuit characteristics next to LUT counts.
+
+use std::fmt;
+
+use crate::lut::LutCircuit;
+use crate::network::{Network, NodeOp};
+
+/// Structural statistics of a [`Network`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub struct NetworkStats {
+    /// Primary inputs.
+    pub inputs: usize,
+    /// Primary outputs.
+    pub outputs: usize,
+    /// AND/OR gate nodes.
+    pub gates: usize,
+    /// Total fanin edges of gates (the MIS "literal" count).
+    pub literals: usize,
+    /// Largest gate fanin.
+    pub max_fanin: usize,
+    /// Largest node fanout (including output drivers).
+    pub max_fanout: usize,
+    /// Nodes with fanout greater than one (tree split points).
+    pub fanout_nodes: usize,
+    /// Longest input-to-output path, in gate levels.
+    pub depth: usize,
+}
+
+impl NetworkStats {
+    /// Computes statistics for `network`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use chortle_netlist::{Network, NetworkStats, NodeOp};
+    ///
+    /// let mut net = Network::new();
+    /// let a = net.add_input("a");
+    /// let b = net.add_input("b");
+    /// let g = net.add_gate(NodeOp::And, vec![a.into(), b.into()]);
+    /// net.add_output("z", g.into());
+    /// let stats = NetworkStats::of(&net);
+    /// assert_eq!(stats.gates, 1);
+    /// assert_eq!(stats.depth, 1);
+    /// ```
+    pub fn of(network: &Network) -> Self {
+        let fanouts = network.fanout_counts();
+        let mut depth = vec![0usize; network.len()];
+        let mut stats = NetworkStats {
+            inputs: network.num_inputs(),
+            outputs: network.num_outputs(),
+            ..NetworkStats::default()
+        };
+        for (id, node) in network.nodes() {
+            if node.op().is_gate() {
+                stats.gates += 1;
+                stats.literals += node.fanin_count();
+                stats.max_fanin = stats.max_fanin.max(node.fanin_count());
+                depth[id.index()] = 1 + node
+                    .fanins()
+                    .iter()
+                    .map(|s| depth[s.node().index()])
+                    .max()
+                    .unwrap_or(0);
+            }
+        }
+        stats.max_fanout = fanouts.iter().copied().max().unwrap_or(0);
+        stats.fanout_nodes = network
+            .nodes()
+            .filter(|(id, n)| n.op() != NodeOp::Input && fanouts[id.index()] > 1)
+            .count();
+        stats.depth = network
+            .outputs()
+            .iter()
+            .map(|o| depth[o.signal.node().index()])
+            .max()
+            .unwrap_or(0);
+        stats
+    }
+}
+
+impl fmt::Display for NetworkStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} in / {} out, {} gates, {} literals, depth {}, max fanin {}, max fanout {}",
+            self.inputs,
+            self.outputs,
+            self.gates,
+            self.literals,
+            self.depth,
+            self.max_fanin,
+            self.max_fanout
+        )
+    }
+}
+
+/// Statistics of a mapped [`LutCircuit`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub struct LutStats {
+    /// Number of lookup tables (the area cost).
+    pub luts: usize,
+    /// LUT levels on the longest output path.
+    pub depth: usize,
+    /// Sum of used LUT inputs.
+    pub used_inputs: usize,
+    /// Average utilization in hundredths (e.g. 275 = 2.75 inputs/LUT).
+    pub avg_utilization_centi: usize,
+}
+
+impl LutStats {
+    /// Computes statistics for `circuit`.
+    pub fn of(circuit: &LutCircuit) -> Self {
+        let used: usize = circuit.luts().iter().map(|l| l.utilization()).sum();
+        LutStats {
+            luts: circuit.num_luts(),
+            depth: circuit.depth(),
+            used_inputs: used,
+            avg_utilization_centi: if circuit.num_luts() == 0 {
+                0
+            } else {
+                used * 100 / circuit.num_luts()
+            },
+        }
+    }
+}
+
+impl fmt::Display for LutStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} LUTs, depth {}, avg utilization {}.{:02}",
+            self.luts,
+            self.depth,
+            self.avg_utilization_centi / 100,
+            self.avg_utilization_centi % 100
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::Signal;
+
+    #[test]
+    fn stats_count_structures() {
+        let mut net = Network::new();
+        let a = net.add_input("a");
+        let b = net.add_input("b");
+        let c = net.add_input("c");
+        let g1 = net.add_gate(NodeOp::And, vec![a.into(), b.into()]);
+        let g2 = net.add_gate(NodeOp::Or, vec![g1.into(), c.into()]);
+        let g3 = net.add_gate(NodeOp::And, vec![g1.into(), Signal::inverted(c)]);
+        net.add_output("x", g2.into());
+        net.add_output("y", g3.into());
+
+        let s = NetworkStats::of(&net);
+        assert_eq!(s.gates, 3);
+        assert_eq!(s.literals, 6);
+        assert_eq!(s.depth, 2);
+        assert_eq!(s.fanout_nodes, 1); // g1 feeds g2 and g3
+        assert_eq!(s.max_fanout, 2);
+    }
+}

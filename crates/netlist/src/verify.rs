@@ -1,0 +1,344 @@
+//! Functional equivalence checking between a source network and a mapped
+//! lookup-table circuit.
+//!
+//! Every mapping the crate family produces is validated here: exhaustively
+//! when the network is small enough, and with packed random vectors
+//! otherwise. A failed check reports the first differing output and a
+//! counterexample assignment.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::lut::LutCircuit;
+use crate::network::Network;
+use crate::rng::SplitMix64;
+use crate::sim::simulate_outputs;
+use crate::truth_table::MAX_VARS;
+
+/// A verification failure: the mapped circuit disagrees with the network.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EquivalenceError {
+    /// Name of the first differing output.
+    pub output: String,
+    /// An input assignment (bit `i` = primary input `i`) exhibiting the
+    /// difference.
+    pub counterexample: u64,
+}
+
+impl fmt::Display for EquivalenceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "output {:?} differs from the source network on input assignment {:#b}",
+            self.output, self.counterexample
+        )
+    }
+}
+
+impl Error for EquivalenceError {}
+
+/// How many random 64-pattern rounds [`check_equivalence`] runs when the
+/// network is too wide for exhaustive checking.
+pub const RANDOM_ROUNDS: usize = 256;
+
+/// Checks that `circuit` implements `network`.
+///
+/// Outputs are matched by position (the mappers preserve output order).
+/// Networks with at most [`MAX_VARS`] primary inputs are checked
+/// exhaustively; wider networks are checked on `RANDOM_ROUNDS * 64`
+/// deterministic pseudo-random patterns.
+///
+/// # Errors
+///
+/// Returns an [`EquivalenceError`] naming the first differing output with a
+/// counterexample.
+///
+/// # Panics
+///
+/// Panics if the circuit and network disagree on the number of outputs.
+///
+/// # Examples
+///
+/// ```
+/// use chortle_netlist::{check_equivalence, LutCircuit, LutSource, Network, NodeOp, TruthTable};
+///
+/// let mut net = Network::new();
+/// let a = net.add_input("a");
+/// let b = net.add_input("b");
+/// let g = net.add_gate(NodeOp::Or, vec![a.into(), b.into()]);
+/// net.add_output("z", g.into());
+///
+/// let mut circuit = LutCircuit::new(2);
+/// let t = TruthTable::var(2, 0).or(&TruthTable::var(2, 1));
+/// let l = circuit.add_lut(vec![LutSource::Input(a), LutSource::Input(b)], t).unwrap();
+/// circuit.add_output("z", LutSource::Lut(l), false);
+///
+/// check_equivalence(&net, &circuit)?;
+/// # Ok::<(), chortle_netlist::EquivalenceError>(())
+/// ```
+pub fn check_equivalence(
+    network: &Network,
+    circuit: &LutCircuit,
+) -> Result<(), EquivalenceError> {
+    assert_eq!(
+        network.num_outputs(),
+        circuit.outputs().len(),
+        "network and circuit must have the same number of outputs"
+    );
+    let n = network.num_inputs();
+    let mut input_pos = vec![usize::MAX; network.len()];
+    for (i, &id) in network.inputs().iter().enumerate() {
+        input_pos[id.index()] = i;
+    }
+    let index = |id: crate::network::NodeId| input_pos[id.index()];
+
+    if n <= MAX_VARS.min(20) {
+        // Exhaustive: sweep all 2^n assignments in 64-pattern chunks.
+        let total: u64 = 1u64 << n;
+        let mut base = 0u64;
+        while base < total {
+            let mut words = vec![0u64; n];
+            let chunk = (total - base).min(64);
+            for off in 0..chunk {
+                let bits = base + off;
+                for (i, w) in words.iter_mut().enumerate() {
+                    if (bits >> i) & 1 == 1 {
+                        *w |= 1 << off;
+                    }
+                }
+            }
+            compare_chunk(network, circuit, &words, chunk, base, &index)?;
+            base += 64;
+        }
+        Ok(())
+    } else {
+        let mut rng = SplitMix64::new(0xC0FF_EE00_D15E_A5ED);
+        for _ in 0..RANDOM_ROUNDS {
+            let words: Vec<u64> = (0..n).map(|_| rng.next_u64()).collect();
+            compare_random_chunk(network, circuit, &words, &index)?;
+        }
+        Ok(())
+    }
+}
+
+/// Checks that two networks with matching primary-input and output lists
+/// compute the same functions.
+///
+/// Inputs are matched by position (both networks must declare them in the
+/// same order); outputs by position. Networks with at most [`MAX_VARS`]
+/// inputs are checked exhaustively, wider ones on `RANDOM_ROUNDS * 64`
+/// deterministic pseudo-random patterns.
+///
+/// # Errors
+///
+/// Returns an [`EquivalenceError`] naming the first differing output.
+///
+/// # Panics
+///
+/// Panics if the networks disagree on input or output counts.
+///
+/// # Examples
+///
+/// ```
+/// use chortle_netlist::{check_networks, Network, NodeOp};
+///
+/// let mut a = Network::new();
+/// let x = a.add_input("x");
+/// let y = a.add_input("y");
+/// let g = a.add_gate(NodeOp::And, vec![x.into(), y.into()]);
+/// a.add_output("z", g.into());
+///
+/// let b = a.clone();
+/// check_networks(&a, &b)?;
+/// # Ok::<(), chortle_netlist::EquivalenceError>(())
+/// ```
+pub fn check_networks(a: &Network, b: &Network) -> Result<(), EquivalenceError> {
+    assert_eq!(
+        a.num_inputs(),
+        b.num_inputs(),
+        "networks must have the same number of inputs"
+    );
+    assert_eq!(
+        a.num_outputs(),
+        b.num_outputs(),
+        "networks must have the same number of outputs"
+    );
+    let n = a.num_inputs();
+    let compare = |words: &[u64],
+                   mask: u64,
+                   describe: &dyn Fn(u32) -> u64|
+     -> Result<(), EquivalenceError> {
+        let wa = simulate_outputs(a, words);
+        let wb = simulate_outputs(b, words);
+        for (o, (x, y)) in wa.iter().zip(&wb).enumerate() {
+            let diff = (x ^ y) & mask;
+            if diff != 0 {
+                return Err(EquivalenceError {
+                    output: a.outputs()[o].name.clone(),
+                    counterexample: describe(diff.trailing_zeros()),
+                });
+            }
+        }
+        Ok(())
+    };
+    if n <= MAX_VARS {
+        let total: u64 = 1u64 << n;
+        let mut base = 0u64;
+        while base < total {
+            let chunk = (total - base).min(64);
+            let mut words = vec![0u64; n];
+            for off in 0..chunk {
+                let bits = base + off;
+                for (i, w) in words.iter_mut().enumerate() {
+                    if (bits >> i) & 1 == 1 {
+                        *w |= 1 << off;
+                    }
+                }
+            }
+            let mask = if chunk == 64 { u64::MAX } else { (1u64 << chunk) - 1 };
+            compare(&words, mask, &|bit| base + u64::from(bit))?;
+            base += 64;
+        }
+        Ok(())
+    } else {
+        let mut rng = SplitMix64::new(0x5EED_CAFE_F00D_BEEF);
+        for _ in 0..RANDOM_ROUNDS {
+            let words: Vec<u64> = (0..n).map(|_| rng.next_u64()).collect();
+            let describe = |bit: u32| -> u64 {
+                let mut assignment = 0u64;
+                for (i, w) in words.iter().enumerate().take(64) {
+                    if (w >> bit) & 1 == 1 {
+                        assignment |= 1 << i;
+                    }
+                }
+                assignment
+            };
+            compare(&words, u64::MAX, &describe)?;
+        }
+        Ok(())
+    }
+}
+
+fn compare_chunk(
+    network: &Network,
+    circuit: &LutCircuit,
+    words: &[u64],
+    chunk: u64,
+    base: u64,
+    index: &dyn Fn(crate::network::NodeId) -> usize,
+) -> Result<(), EquivalenceError> {
+    let want = simulate_outputs(network, words);
+    let got = circuit.simulate(words, index);
+    for (o, (w, g)) in want.iter().zip(&got).enumerate() {
+        let mask = if chunk == 64 { u64::MAX } else { (1u64 << chunk) - 1 };
+        let diff = (w ^ g) & mask;
+        if diff != 0 {
+            return Err(EquivalenceError {
+                output: network.outputs()[o].name.clone(),
+                counterexample: base + diff.trailing_zeros() as u64,
+            });
+        }
+    }
+    Ok(())
+}
+
+fn compare_random_chunk(
+    network: &Network,
+    circuit: &LutCircuit,
+    words: &[u64],
+    index: &dyn Fn(crate::network::NodeId) -> usize,
+) -> Result<(), EquivalenceError> {
+    let want = simulate_outputs(network, words);
+    let got = circuit.simulate(words, index);
+    for (o, (w, g)) in want.iter().zip(&got).enumerate() {
+        let diff = w ^ g;
+        if diff != 0 {
+            // Reconstruct the failing assignment from the packed words.
+            let bit = diff.trailing_zeros();
+            let mut assignment = 0u64;
+            for (i, iw) in words.iter().enumerate().take(64) {
+                if (iw >> bit) & 1 == 1 {
+                    assignment |= 1 << i;
+                }
+            }
+            return Err(EquivalenceError {
+                output: network.outputs()[o].name.clone(),
+                counterexample: assignment,
+            });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lut::LutSource;
+    use crate::network::{NodeOp, Signal};
+    use crate::truth_table::TruthTable;
+
+    #[test]
+    fn detects_wrong_polarity() {
+        let mut net = Network::new();
+        let a = net.add_input("a");
+        net.add_output("z", Signal::new(a));
+
+        let mut circuit = LutCircuit::new(2);
+        circuit.add_output("z", LutSource::Input(a), true); // wrong inversion
+
+        let err = check_equivalence(&net, &circuit).unwrap_err();
+        assert_eq!(err.output, "z");
+    }
+
+    #[test]
+    fn accepts_correct_mapping() {
+        let mut net = Network::new();
+        let a = net.add_input("a");
+        let b = net.add_input("b");
+        let g = net.add_gate(NodeOp::And, vec![Signal::inverted(a), b.into()]);
+        net.add_output("z", g.into());
+
+        let mut circuit = LutCircuit::new(2);
+        let t = TruthTable::var(2, 0).not().and(&TruthTable::var(2, 1));
+        let l = circuit
+            .add_lut(vec![LutSource::Input(a), LutSource::Input(b)], t)
+            .unwrap();
+        circuit.add_output("z", LutSource::Lut(l), false);
+        check_equivalence(&net, &circuit).expect("equivalent");
+    }
+
+    #[test]
+    fn wide_network_random_check() {
+        // 24 inputs forces the random path.
+        let mut net = Network::new();
+        let inputs: Vec<_> = (0..24).map(|i| net.add_input(format!("i{i}"))).collect();
+        let g = net.add_gate(NodeOp::Or, inputs.iter().map(|&i| i.into()).collect());
+        net.add_output("z", g.into());
+
+        // Correct circuit: tree of 6-input OR LUTs.
+        let mut circuit = LutCircuit::new(6);
+        let or6 = TruthTable::from_fn(6, |b| b != 0);
+        let mut level: Vec<LutSource> = inputs.iter().map(|&i| LutSource::Input(i)).collect();
+        while level.len() > 1 {
+            let mut next = Vec::new();
+            for chunk in level.chunks(6) {
+                if chunk.len() == 1 {
+                    next.push(chunk[0]);
+                } else {
+                    let t = TruthTable::from_fn(chunk.len(), |b| b != 0);
+                    let _ = t;
+                    let table = if chunk.len() == 6 {
+                        or6.clone()
+                    } else {
+                        TruthTable::from_fn(chunk.len(), |b| b != 0)
+                    };
+                    let l = circuit.add_lut(chunk.to_vec(), table).unwrap();
+                    next.push(LutSource::Lut(l));
+                }
+            }
+            level = next;
+        }
+        circuit.add_output("z", level[0], false);
+        check_equivalence(&net, &circuit).expect("equivalent");
+    }
+}

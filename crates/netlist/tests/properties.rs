@@ -1,0 +1,214 @@
+//! Property-based tests for the netlist substrate: truth-table algebra,
+//! simulation consistency, BLIF round-trips and simplification, driven by
+//! seeded random networks.
+
+use proptest::prelude::*;
+
+use chortle_netlist::{
+    check_networks, parse_blif, simulate, write_blif, Network, NodeOp, Signal, SplitMix64,
+    TruthTable,
+};
+
+/// Builds a random valid network from a seed: `inputs` primary inputs,
+/// `gates` random AND/OR gates over earlier signals, and a few outputs.
+fn random_network(seed: u64, inputs: usize, gates: usize) -> Network {
+    let mut rng = SplitMix64::new(seed);
+    let mut net = Network::new();
+    let mut signals: Vec<Signal> = (0..inputs)
+        .map(|i| Signal::new(net.add_input(format!("i{i}"))))
+        .collect();
+    if rng.next_bool(1, 4) {
+        signals.push(Signal::new(net.add_const(rng.next_bool(1, 2))));
+    }
+    for g in 0..gates {
+        let arity = rng.next_range(2, 5.min(signals.len() + 1).max(3));
+        let mut fanins: Vec<Signal> = Vec::new();
+        let mut used = std::collections::HashSet::new();
+        let mut guard = 0;
+        while fanins.len() < arity && guard < 100 {
+            guard += 1;
+            let s = signals[rng.choose_index(&signals)];
+            if used.insert(s.node()) {
+                fanins.push(if rng.next_bool(1, 3) { !s } else { s });
+            }
+        }
+        if fanins.len() < 2 {
+            continue;
+        }
+        let op = if g % 2 == 0 { NodeOp::And } else { NodeOp::Or };
+        signals.push(Signal::new(net.add_gate(op, fanins)));
+    }
+    let outs = rng.next_range(1, 4);
+    for o in 0..outs {
+        let s = signals[rng.choose_index(&signals)];
+        net.add_output(format!("o{o}"), if rng.next_bool(1, 4) { !s } else { s });
+    }
+    net
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn truth_table_ops_match_pointwise_semantics(
+        a_bits in any::<u64>(),
+        b_bits in any::<u64>(),
+        vars in 1usize..=6,
+    ) {
+        let mask = if vars == 6 { u64::MAX } else { (1u64 << (1usize << vars)) - 1 };
+        let a = TruthTable::from_words(vars, &[a_bits & mask]);
+        let b = TruthTable::from_words(vars, &[b_bits & mask]);
+        for bits in 0..(1u32 << vars) {
+            prop_assert_eq!(a.and(&b).eval(bits), a.eval(bits) && b.eval(bits));
+            prop_assert_eq!(a.or(&b).eval(bits), a.eval(bits) || b.eval(bits));
+            prop_assert_eq!(a.xor(&b).eval(bits), a.eval(bits) != b.eval(bits));
+            prop_assert_eq!(a.not().eval(bits), !a.eval(bits));
+        }
+    }
+
+    #[test]
+    fn permutation_roundtrip_is_identity(
+        t_bits in any::<u64>(),
+        vars in 2usize..=8,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = SplitMix64::new(seed);
+        let t = if vars <= 6 {
+            let mask = if vars == 6 { u64::MAX } else { (1u64 << (1usize << vars)) - 1 };
+            TruthTable::from_words(vars, &[t_bits & mask])
+        } else {
+            TruthTable::from_fn(vars, |b| (t_bits >> (b % 64)) & 1 == 1)
+        };
+        let mut perm: Vec<usize> = (0..vars).collect();
+        rng.shuffle(&mut perm);
+        // Inverse permutation.
+        let mut inv = vec![0usize; vars];
+        for (i, &p) in perm.iter().enumerate() {
+            inv[p] = i;
+        }
+        prop_assert_eq!(t.permuted(&perm).permuted(&inv), t);
+    }
+
+    #[test]
+    fn permutation_matches_index_remap(
+        t_bits in any::<u64>(),
+        vars in 2usize..=6,
+        seed in any::<u64>(),
+    ) {
+        let mask = if vars == 6 { u64::MAX } else { (1u64 << (1usize << vars)) - 1 };
+        let t = TruthTable::from_words(vars, &[t_bits & mask]);
+        let mut rng = SplitMix64::new(seed);
+        let mut perm: Vec<usize> = (0..vars).collect();
+        rng.shuffle(&mut perm);
+        let p = t.permuted(&perm);
+        for bits in 0..(1u32 << vars) {
+            // New assignment: variable perm[i] holds old variable i's value.
+            let mut new_bits = 0u32;
+            for (i, &p) in perm.iter().enumerate() {
+                if (bits >> i) & 1 == 1 {
+                    new_bits |= 1 << p;
+                }
+            }
+            prop_assert_eq!(p.eval(new_bits), t.eval(bits));
+        }
+    }
+
+    #[test]
+    fn cofactors_reconstruct_by_shannon(
+        t_bits in any::<u64>(),
+        vars in 1usize..=6,
+        var in 0usize..6,
+    ) {
+        prop_assume!(var < vars);
+        let mask = if vars == 6 { u64::MAX } else { (1u64 << (1usize << vars)) - 1 };
+        let t = TruthTable::from_words(vars, &[t_bits & mask]);
+        let pos = t.cofactor(var, true);
+        let neg = t.cofactor(var, false);
+        let x = TruthTable::var(vars, var);
+        let rebuilt = x.and(&pos).or(&x.not().and(&neg));
+        prop_assert_eq!(rebuilt, t);
+    }
+
+    #[test]
+    fn shrink_extend_roundtrip(t_bits in any::<u64>(), vars in 1usize..=6) {
+        let mask = if vars == 6 { u64::MAX } else { (1u64 << (1usize << vars)) - 1 };
+        let t = TruthTable::from_words(vars, &[t_bits & mask]);
+        let (shrunk, support) = t.shrunk();
+        prop_assert_eq!(shrunk.num_vars(), support.len());
+        // Re-expand and compare on every assignment.
+        for bits in 0..(1u32 << vars) {
+            let mut small = 0u32;
+            for (j, &v) in support.iter().enumerate() {
+                if (bits >> v) & 1 == 1 {
+                    small |= 1 << j;
+                }
+            }
+            prop_assert_eq!(shrunk.eval(small), t.eval(bits));
+        }
+    }
+
+    #[test]
+    fn simulation_agrees_with_truth_tables(seed in any::<u64>()) {
+        let net = random_network(seed, 5, 12);
+        prop_assume!(net.num_inputs() <= 12);
+        net.validate().unwrap();
+        let tables = net.node_functions().unwrap();
+        // Pack all assignments of the first 6 patterns per word.
+        let mut words = vec![0u64; net.num_inputs()];
+        let n = net.num_inputs() as u32;
+        for bits in 0..(1u32 << n).min(64) {
+            for (i, w) in words.iter_mut().enumerate() {
+                if (bits >> i) & 1 == 1 {
+                    *w |= 1 << bits;
+                }
+            }
+        }
+        let sim = simulate(&net, &words);
+        for (id, _) in net.nodes() {
+            for bits in 0..(1u32 << n).min(64) {
+                prop_assert_eq!(
+                    (sim[id.index()] >> bits) & 1 == 1,
+                    tables[id.index()].eval(bits),
+                    "node {:?} assignment {:b}", id, bits
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn simplify_preserves_functions(seed in any::<u64>()) {
+        let net = random_network(seed, 6, 14);
+        let simplified = net.simplified();
+        simplified.validate().unwrap();
+        check_networks(&net, &simplified).unwrap();
+        // Normal form: no constants feed gates, no single-fanin gates.
+        for (_, node) in simplified.nodes() {
+            if node.op().is_gate() {
+                prop_assert!(node.fanin_count() >= 2);
+                for s in node.fanins() {
+                    prop_assert!(!matches!(
+                        simplified.node(s.node()).op(),
+                        NodeOp::Const(_)
+                    ));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn blif_roundtrip_preserves_functions(seed in any::<u64>()) {
+        let net = random_network(seed, 6, 10);
+        let text = write_blif(&net, "prop");
+        let reread = parse_blif(&text).unwrap();
+        prop_assert_eq!(net.num_outputs(), reread.num_outputs());
+        check_networks(&net, &reread).unwrap();
+    }
+
+    #[test]
+    fn splitmix_next_below_uniform_support(seed in any::<u64>(), bound in 1u64..100) {
+        let mut rng = SplitMix64::new(seed);
+        for _ in 0..100 {
+            prop_assert!(rng.next_below(bound) < bound);
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! Maps benchmarks onto two commercial FPGA architectures of the paper's
+//! era: Xilinx-style 4-input LUTs (via Chortle) and Actel ACT1-style
+//! multiplexer modules (via the library mapper with the enumerated module
+//! function set) — the paper's "commercial FPGA architectures" future
+//! work, from both sides of the 1990 market.
+//!
+//! Run with `cargo run -p chortle --example act1_mapping --release`.
+
+use chortle::{map_network, MapOptions};
+use chortle_circuits::benchmark;
+use chortle_logic_opt::optimize;
+use chortle_mis::{act1_library, map_network as lib_map, MisOptions, ACT1_MAX_VARS};
+use chortle_netlist::check_equivalence;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let act1 = act1_library();
+    println!(
+        "{:<10} {:>9} {:>12}",
+        "Circuit", "4-LUTs", "ACT1 modules"
+    );
+    for name in ["9symml", "alu2", "apex7", "count", "frg1"] {
+        let raw = benchmark(name).expect("known benchmark");
+        let (net, _) = optimize(&raw)?;
+        let luts = map_network(&net, &MapOptions::new(4))?;
+        let modules = lib_map(&net, &act1, &MisOptions::new(ACT1_MAX_VARS))?;
+        check_equivalence(&net, &modules.circuit)?;
+        println!(
+            "{:<10} {:>9} {:>12}",
+            name, luts.report.luts, modules.report.luts
+        );
+    }
+    Ok(())
+}

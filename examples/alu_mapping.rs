@@ -1,0 +1,51 @@
+//! Maps a structural 8-bit ALU with both the Chortle mapper and the MIS
+//! library baseline across K = 2..5, printing a miniature version of the
+//! paper's tables for one circuit.
+//!
+//! Run with `cargo run -p chortle --example alu_mapping --release`.
+
+use std::time::Instant;
+
+use chortle::{map_network, MapOptions};
+use chortle_circuits::alu;
+use chortle_logic_opt::optimize;
+use chortle_mis::{map_network as mis_map, Library, MisOptions};
+use chortle_netlist::{check_equivalence, NetworkStats};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let raw = alu(8);
+    let (net, report) = optimize(&raw)?;
+    println!("8-bit ALU: {}", NetworkStats::of(&net));
+    println!(
+        "Optimization: {} -> {} SOP literals ({} nodes extracted)\n",
+        report.literals_before, report.literals_after, report.extracted
+    );
+
+    println!(
+        "{:<4} {:>9} {:>9} {:>7} {:>10} {:>10}",
+        "K", "MIS", "Chortle", "%", "t-MIS(s)", "t-Chort(s)"
+    );
+    for k in 2..=5 {
+        let lib = Library::for_paper(k);
+        let t0 = Instant::now();
+        let mis = mis_map(&net, &lib, &MisOptions::new(k).with_fanout_duplication())?;
+        let t_mis = t0.elapsed();
+        let t1 = Instant::now();
+        let ch = map_network(&net, &MapOptions::new(k))?;
+        let t_ch = t1.elapsed();
+        check_equivalence(&net, &mis.circuit)?;
+        check_equivalence(&net, &ch.circuit)?;
+        let pct = (mis.report.luts as f64 - ch.report.luts as f64) / mis.report.luts as f64
+            * 100.0;
+        println!(
+            "{:<4} {:>9} {:>9} {:>6.1} {:>10.4} {:>10.4}",
+            k,
+            mis.report.luts,
+            ch.report.luts,
+            pct,
+            t_mis.as_secs_f64(),
+            t_ch.as_secs_f64()
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,35 @@
+//! Maps benchmarks into 4-input LUTs and packs them into XC3000-style
+//! two-output CLBs (5 block inputs) — the "commercial FPGA architectures"
+//! extension the paper lists as future work.
+//!
+//! Run with `cargo run -p chortle --example clb_packing --release`.
+
+use chortle::clb::{pack_clbs, ClbOptions};
+use chortle::{map_network, MapOptions};
+use chortle_circuits::benchmark;
+use chortle_logic_opt::optimize;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!(
+        "{:<10} {:>7} {:>7} {:>8} {:>9}",
+        "Circuit", "LUTs", "CLBs", "paired", "saving%"
+    );
+    for name in ["9symml", "alu2", "alu4", "apex7", "count", "frg1", "k2"] {
+        let raw = benchmark(name).expect("known benchmark");
+        let (net, _) = optimize(&raw)?;
+        let mapped = map_network(&net, &MapOptions::new(4))?;
+        let packing = pack_clbs(&mapped.circuit, &ClbOptions::xc3000());
+        let luts = mapped.report.luts;
+        let clbs = packing.block_count();
+        let saving = (luts - clbs) as f64 / luts as f64 * 100.0;
+        println!(
+            "{:<10} {:>7} {:>7} {:>8} {:>8.1}",
+            name,
+            luts,
+            clbs,
+            packing.paired_count(),
+            saving
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,45 @@
+//! Quickstart: build a small Boolean network, map it into 4-input lookup
+//! tables with Chortle, verify the result, and dump it as BLIF.
+//!
+//! Run with `cargo run -p chortle --example quickstart`.
+
+use chortle::{map_network, MapOptions};
+use chortle_netlist::{check_equivalence, write_lut_blif, Network, NodeOp, Signal};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // z = (a AND b) OR (NOT c AND d); y = NOT (a AND b)
+    let mut net = Network::new();
+    let a = net.add_input("a");
+    let b = net.add_input("b");
+    let c = net.add_input("c");
+    let d = net.add_input("d");
+    let ab = net.add_gate(NodeOp::And, vec![a.into(), b.into()]);
+    let cd = net.add_gate(NodeOp::And, vec![Signal::inverted(c), d.into()]);
+    let z = net.add_gate(NodeOp::Or, vec![ab.into(), cd.into()]);
+    net.add_output("z", z.into());
+    net.add_output("y", Signal::inverted(ab));
+
+    println!("Network: {} inputs, {} gates, {} outputs", net.num_inputs(), net.num_gates(), net.num_outputs());
+
+    // Map into 4-input lookup tables.
+    let mapped = map_network(&net, &MapOptions::new(4))?;
+    println!(
+        "Mapped into {} LUTs across {} fanout-free trees",
+        mapped.report.luts, mapped.report.trees
+    );
+    for (i, lut) in mapped.circuit.luts().iter().enumerate() {
+        println!(
+            "  LUT {i}: {} inputs, table {}",
+            lut.utilization(),
+            lut.table()
+        );
+    }
+
+    // Prove the mapping is functionally identical to the network.
+    check_equivalence(&net, &mapped.circuit)?;
+    println!("Equivalence check passed.");
+
+    // Hand off to downstream tools as BLIF.
+    println!("\n{}", write_lut_blif(&net, &mapped.circuit, "quickstart"));
+    Ok(())
+}

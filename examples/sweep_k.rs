@@ -1,0 +1,44 @@
+//! Sweeps the LUT input count K from 2 to 8 over a few benchmark
+//! circuits, reporting area (LUT count), depth and average pin
+//! utilization — the trade-off behind the paper's motivation that
+//! "lookup tables are an area-efficient choice for logic blocks"
+//! [Rose89].
+//!
+//! Run with `cargo run -p chortle --example sweep_k --release`.
+
+use chortle::{map_network, MapOptions};
+use chortle_circuits::benchmark;
+use chortle_logic_opt::optimize;
+use chortle_netlist::LutStats;
+
+// Columns: area-objective LUTs/depth, then the depth objective's
+// depth/LUT trade (the FlowMap-direction extension).
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    for name in ["9symml", "alu4", "apex7"] {
+        let raw = benchmark(name).expect("known benchmark");
+        let (net, _) = optimize(&raw)?;
+        println!("{name}:");
+        println!(
+            "  {:<4} {:>7} {:>7} {:>12} {:>9} {:>9}",
+            "K", "LUTs", "depth", "utilization", "d-depth", "d-LUTs"
+        );
+        for k in 2..=8 {
+            let area = map_network(&net, &MapOptions::new(k))?;
+            let depth = map_network(&net, &MapOptions::new(k).with_depth_objective())?;
+            let stats = LutStats::of(&area.circuit);
+            println!(
+                "  {:<4} {:>7} {:>7} {:>9}.{:02} {:>9} {:>9}",
+                k,
+                stats.luts,
+                stats.depth,
+                stats.avg_utilization_centi / 100,
+                stats.avg_utilization_centi % 100,
+                depth.circuit.depth(),
+                depth.report.luts
+            );
+        }
+        println!();
+    }
+    Ok(())
+}

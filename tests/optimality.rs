@@ -1,0 +1,77 @@
+//! Optimality oracle: the production subset-DP mapper must report exactly
+//! the same minimum LUT counts as the literal transcription of the
+//! paper's pseudo-code (explicit partition + utilization-division
+//! enumeration), on real trees extracted from the benchmark suite.
+
+use chortle::reference::reference_tree_cost;
+use chortle::{tree_lut_cost, Forest};
+use chortle_circuits::benchmark;
+use chortle_logic_opt::optimize;
+
+#[test]
+fn production_dp_is_optimal_on_suite_trees() {
+    let mut checked = 0usize;
+    for name in ["9symml", "alu2", "alu4", "count", "frg1", "apex7", "k2"] {
+        let net = benchmark(name).expect("known");
+        let (optimized, _) = optimize(&net).expect("acyclic");
+        let normal = optimized.simplified();
+        let forest = Forest::of(&normal);
+        for tree in &forest.trees {
+            // The reference mapper is exponential; keep it to small trees.
+            if tree.nodes.len() > 12 || tree.max_fanin() > 6 {
+                continue;
+            }
+            for k in 2..=5 {
+                let fast = tree_lut_cost(tree, k);
+                let slow = reference_tree_cost(tree, k);
+                assert_eq!(fast, slow, "{name}: tree at {:?} K={k}", tree.root);
+            }
+            checked += 1;
+            if checked >= 400 {
+                return;
+            }
+        }
+    }
+    assert!(checked >= 50, "too few trees exercised ({checked})");
+}
+
+#[test]
+fn utilization_inequality_holds_via_monotonicity() {
+    // The paper's inequality cost(minmap(n,U)) >= cost(minmap(n,K)) is
+    // established by construction; spot-check it through the public API
+    // by mapping with decreasing K and confirming the tree cost never
+    // drops when K shrinks.
+    let net = benchmark("alu2").expect("known");
+    let (optimized, _) = optimize(&net).expect("acyclic");
+    let normal = optimized.simplified();
+    let forest = Forest::of(&normal);
+    for tree in forest.trees.iter().take(50) {
+        if tree.max_fanin() > 10 {
+            continue;
+        }
+        let mut last = u32::MAX;
+        for k in 2..=6 {
+            let c = tree_lut_cost(tree, k);
+            assert!(c <= last, "cost must be monotone in K");
+            last = c;
+        }
+    }
+}
+
+#[test]
+fn single_lut_trees_are_recognized() {
+    // Any tree with at most K leaves must map to exactly one LUT.
+    let net = benchmark("apex7").expect("known");
+    let (optimized, _) = optimize(&net).expect("acyclic");
+    let normal = optimized.simplified();
+    let forest = Forest::of(&normal);
+    let mut seen = 0;
+    for tree in &forest.trees {
+        let leaves = tree.leaf_count();
+        if leaves <= 5 && tree.max_fanin() <= 5 {
+            assert_eq!(tree_lut_cost(tree, 5), 1, "tree with {leaves} leaves");
+            seen += 1;
+        }
+    }
+    assert!(seen > 0, "no small trees found to check");
+}

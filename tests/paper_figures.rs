@@ -1,0 +1,88 @@
+//! Executable checks of the behaviours the paper's figures illustrate
+//! (Figures 1–3, 5–7), through the public API only.
+
+use chortle::figures::{figure1_network, figure3_network, figure7_network};
+use chortle::{map_network, Forest, MapOptions};
+use chortle_netlist::check_equivalence;
+
+#[test]
+fn figure1_and_2_network_maps_into_three_3luts() {
+    let net = figure1_network();
+    let mapped = map_network(&net, &MapOptions::new(3)).expect("maps");
+    assert_eq!(mapped.report.luts, 3, "Figure 2 shows a 3-LUT implementation");
+    check_equivalence(&net, &mapped.circuit).expect("equivalent");
+    assert!(mapped.circuit.luts().iter().all(|l| l.utilization() <= 3));
+}
+
+#[test]
+fn figure3_forest_creation() {
+    // The fanout node n is replaced by an additional node: three trees,
+    // and both consumers see n as a leaf.
+    let net = figure3_network();
+    let forest = Forest::of(&net.simplified());
+    assert_eq!(forest.trees.len(), 3);
+    let leaf_counts: Vec<usize> = forest.trees.iter().map(|t| t.leaf_count()).collect();
+    assert_eq!(leaf_counts, vec![2, 2, 2]);
+}
+
+#[test]
+fn figure5_utilization_divisions_exist_for_k4() {
+    // Figure 5 illustrates a 4-input root LUT with division {1,3}: an
+    // unbalanced tree where one child feeds a wire and the other is
+    // absorbed with three inputs. The OR(AND(a,b,c), d) shape realizes
+    // exactly that division in one LUT.
+    use chortle_netlist::{Network, NodeOp};
+    let mut net = Network::new();
+    let a = net.add_input("a");
+    let b = net.add_input("b");
+    let c = net.add_input("c");
+    let d = net.add_input("d");
+    let g = net.add_gate(NodeOp::And, vec![a.into(), b.into(), c.into()]);
+    let z = net.add_gate(NodeOp::Or, vec![g.into(), d.into()]);
+    net.add_output("z", z.into());
+    let mapped = map_network(&net, &MapOptions::new(4)).expect("maps");
+    assert_eq!(mapped.report.luts, 1);
+    assert_eq!(mapped.circuit.luts()[0].utilization(), 4);
+}
+
+#[test]
+fn figure6_child_root_lut_elimination() {
+    // Figure 6: constructing minmap(n, {1,3}) absorbs the chosen child's
+    // root LUT. Observable effect: a two-level tree with 5 leaves at K=4
+    // maps to 2 LUTs, not 3 — one child's root LUT was eliminated.
+    use chortle_netlist::{Network, NodeOp};
+    let mut net = Network::new();
+    let inputs: Vec<_> = (0..5).map(|i| net.add_input(format!("i{i}"))).collect();
+    let g1 = net.add_gate(NodeOp::And, vec![inputs[0].into(), inputs[1].into()]);
+    let g2 = net.add_gate(
+        NodeOp::And,
+        vec![inputs[2].into(), inputs[3].into(), inputs[4].into()],
+    );
+    let z = net.add_gate(NodeOp::Or, vec![g1.into(), g2.into()]);
+    net.add_output("z", z.into());
+    let mapped = map_network(&net, &MapOptions::new(4)).expect("maps");
+    assert_eq!(mapped.report.luts, 2);
+    check_equivalence(&net, &mapped.circuit).expect("equivalent");
+}
+
+#[test]
+fn figure7_decomposition_of_a_wide_node() {
+    let net = figure7_network();
+    // 6-input node at K=4: must introduce an intermediate node (2 LUTs);
+    // at K=6 one LUT suffices; at K=2 a full binary decomposition (5).
+    for (k, expect) in [(2usize, 5usize), (4, 2), (6, 1)] {
+        let mapped = map_network(&net, &MapOptions::new(k)).expect("maps");
+        assert_eq!(mapped.report.luts, expect, "k={k}");
+        check_equivalence(&net, &mapped.circuit).expect("equivalent");
+    }
+}
+
+#[test]
+fn figure4_dynamic_programming_postorder_is_deterministic() {
+    // The pseudo-code's postorder DP must be deterministic: mapping the
+    // same network twice yields the identical circuit.
+    let net = figure1_network();
+    let a = map_network(&net, &MapOptions::new(3)).expect("maps");
+    let b = map_network(&net, &MapOptions::new(3)).expect("maps");
+    assert_eq!(a.circuit, b.circuit);
+}

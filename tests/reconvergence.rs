@@ -1,0 +1,144 @@
+//! Reconvergent fanout (paper Section 4.2, K=2 discussion): "The four
+//! cases in which MIS achieves fewer lookup tables occur because the
+//! input network contains reconvergent fanout, such as XOR, which Chortle
+//! cannot find." These tests pin that asymmetry and its boundary.
+
+use chortle::{map_network, MapOptions};
+use chortle_logic_opt::optimize;
+use chortle_mis::{map_network as mis_map, Library, MisOptions};
+use chortle_netlist::{check_equivalence, Network, NodeOp, Signal};
+
+fn xor_network(pairs: usize) -> Network {
+    let mut net = Network::new();
+    for p in 0..pairs {
+        let a = net.add_input(format!("a{p}"));
+        let b = net.add_input(format!("b{p}"));
+        let t1 = net.add_gate(NodeOp::And, vec![a.into(), Signal::inverted(b)]);
+        let t2 = net.add_gate(NodeOp::And, vec![Signal::inverted(a), b.into()]);
+        let z = net.add_gate(NodeOp::Or, vec![t1.into(), t2.into()]);
+        net.add_output(format!("z{p}"), z.into());
+    }
+    net
+}
+
+#[test]
+fn mis_beats_chortle_on_xor_at_k2() {
+    let net = xor_network(4);
+    let lib = Library::for_paper(2);
+    let mis = mis_map(&net, &lib, &MisOptions::new(2)).expect("maps");
+    let ch = map_network(&net, &MapOptions::new(2)).expect("maps");
+    check_equivalence(&net, &mis.circuit).expect("equivalent");
+    check_equivalence(&net, &ch.circuit).expect("equivalent");
+    // One XOR cell per pair for MIS; three 2-LUTs per pair for Chortle.
+    assert_eq!(mis.report.luts, 4);
+    assert_eq!(ch.report.luts, 12);
+}
+
+#[test]
+fn the_gap_closes_at_k4() {
+    // At K=4 Chortle absorbs the whole XOR tree (4 leaves) into one LUT,
+    // so the reconvergence advantage disappears.
+    let net = xor_network(4);
+    let lib = Library::for_paper(4);
+    let mis = mis_map(&net, &lib, &MisOptions::new(4)).expect("maps");
+    let ch = map_network(&net, &MapOptions::new(4)).expect("maps");
+    assert_eq!(mis.report.luts, ch.report.luts);
+    assert_eq!(ch.report.luts, 4);
+}
+
+#[test]
+fn sop_shaped_reconvergence_is_matched_per_tree() {
+    // f = (a·b + !a·c)·d + !(a·b + !a·c)·e — a mux of muxes where the
+    // inner mux has fanout 2 (a tree boundary for both mappers).
+    let mut net = Network::new();
+    let a = net.add_input("a");
+    let b = net.add_input("b");
+    let c = net.add_input("c");
+    let d = net.add_input("d");
+    let e = net.add_input("e");
+    let t1 = net.add_gate(NodeOp::And, vec![a.into(), b.into()]);
+    let t2 = net.add_gate(NodeOp::And, vec![Signal::inverted(a), c.into()]);
+    let inner = net.add_gate(NodeOp::Or, vec![t1.into(), t2.into()]);
+    let u1 = net.add_gate(NodeOp::And, vec![inner.into(), d.into()]);
+    let u2 = net.add_gate(NodeOp::And, vec![Signal::inverted(inner), e.into()]);
+    let z = net.add_gate(NodeOp::Or, vec![u1.into(), u2.into()]);
+    net.add_output("z", z.into());
+
+    let lib = Library::for_paper(3);
+    let mis = mis_map(&net, &lib, &MisOptions::new(3)).expect("maps");
+    let ch = map_network(&net, &MapOptions::new(3)).expect("maps");
+    check_equivalence(&net, &mis.circuit).expect("equivalent");
+    check_equivalence(&net, &ch.circuit).expect("equivalent");
+    // Each mux is a two-level SOP shape, so the structural matcher
+    // absorbs both (2 LUTs), while Chortle pays the reconvergence in
+    // both trees (4 LUTs) — the same asymmetry the paper reports for
+    // XOR.
+    assert_eq!(mis.report.luts, 2);
+    assert_eq!(ch.report.luts, 4);
+}
+
+#[test]
+fn non_sop_shaped_reconvergence_is_rejected_structurally() {
+    // z = a AND (b OR (a AND c)): the full cone over {a,b,c} repeats `a`
+    // across three levels — no 1990 pattern tree binds it, so the
+    // structural matcher rejects that cut (a purely functional matcher
+    // would cover it with one LUT). Both mappers land on two LUTs.
+    let mut net = Network::new();
+    let a = net.add_input("a");
+    let b = net.add_input("b");
+    let c = net.add_input("c");
+    let t = net.add_gate(NodeOp::And, vec![a.into(), c.into()]);
+    let o = net.add_gate(NodeOp::Or, vec![b.into(), t.into()]);
+    let z = net.add_gate(NodeOp::And, vec![a.into(), o.into()]);
+    net.add_output("z", z.into());
+
+    let lib = Library::for_paper(3);
+    let mis = mis_map(&net, &lib, &MisOptions::new(3)).expect("maps");
+    let ch = map_network(&net, &MapOptions::new(3)).expect("maps");
+    check_equivalence(&net, &mis.circuit).expect("equivalent");
+    check_equivalence(&net, &ch.circuit).expect("equivalent");
+    assert!(
+        mis.report.structural_rejections > 0,
+        "the three-level reconvergent cut must be rejected"
+    );
+    assert_eq!(mis.report.luts, 2);
+    assert_eq!(ch.report.luts, 2);
+}
+
+#[test]
+fn parity_chain_gap_shrinks_with_k() {
+    // An 8-input parity tree: Chortle's disadvantage is largest at K=2
+    // and vanishes by K=4 (where each XOR pair fits one LUT for both).
+    let mut net = Network::new();
+    let inputs: Vec<Signal> = (0..8)
+        .map(|i| Signal::new(net.add_input(format!("x{i}"))))
+        .collect();
+    let mut level = inputs;
+    while level.len() > 1 {
+        let mut next = Vec::new();
+        for pair in level.chunks(2) {
+            if pair.len() == 1 {
+                next.push(pair[0]);
+                continue;
+            }
+            next.push(chortle_circuits::xor2(&mut net, pair[0], pair[1]));
+        }
+        level = next;
+    }
+    net.add_output("parity", level[0]);
+
+    let (optimized, _) = optimize(&net).expect("acyclic");
+    let mut gaps = Vec::new();
+    for k in [2usize, 3, 4] {
+        let lib = Library::for_paper(k);
+        let mis = mis_map(&optimized, &lib, &MisOptions::new(k)).expect("maps");
+        let ch = map_network(&optimized, &MapOptions::new(k)).expect("maps");
+        check_equivalence(&optimized, &ch.circuit).expect("equivalent");
+        gaps.push(ch.report.luts as isize - mis.report.luts as isize);
+    }
+    assert!(gaps[0] > 0, "MIS should win parity at K=2: gaps={gaps:?}");
+    assert!(
+        gaps[2] <= gaps[0],
+        "the reconvergence gap must shrink with K: {gaps:?}"
+    );
+}
