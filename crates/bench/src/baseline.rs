@@ -1,0 +1,254 @@
+//! Frozen pre-optimization DP kernel, kept as the perf baseline.
+//!
+//! This is a cost-faithful transcription of the mapper's original subset
+//! DP (closure-based child costs re-evaluated inside the innermost loop,
+//! fresh table allocations per node, no feasibility pruning), operating
+//! on the public [`Tree`] API. `chortle-bench --bin perf` times it
+//! against [`chortle::tree_lut_cost`] and asserts both kernels agree on
+//! every tree, so the recorded speedups compare identical answers. Do
+//! not "improve" this module — its slowness is the point.
+
+use chortle::{Tree, TreeChild};
+
+const INF: u32 = 1_000_000_000;
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+struct Cost {
+    depth: u32,
+    luts: u32,
+}
+
+impl Cost {
+    const INFEASIBLE: Cost = Cost {
+        depth: INF,
+        luts: INF,
+    };
+    const ZERO: Cost = Cost { depth: 0, luts: 0 };
+
+    fn is_infeasible(self) -> bool {
+        self.luts >= INF
+    }
+
+    fn combine(self, other: Cost) -> Cost {
+        if self.is_infeasible() || other.is_infeasible() {
+            return Cost::INFEASIBLE;
+        }
+        Cost {
+            depth: self.depth.max(other.depth),
+            luts: self.luts + other.luts,
+        }
+    }
+
+    fn better_than(self, other: Cost) -> bool {
+        (self.luts, self.depth) < (other.luts, other.depth)
+    }
+}
+
+#[derive(Clone, Copy)]
+enum Choice {
+    None,
+    Singleton { _w: u8 },
+    Group { _group: u32 },
+}
+
+struct NodeDp {
+    fcost: Vec<Cost>,
+    #[allow(dead_code)]
+    fchoice: Vec<Choice>,
+    ndcost: Vec<Cost>,
+    #[allow(dead_code)]
+    ndbest_u: Vec<u8>,
+    node_cost: Vec<Cost>,
+    #[allow(dead_code)]
+    node_best_u: Vec<u8>,
+}
+
+/// LUT count of the optimal area-objective mapping of `tree`, computed
+/// by the frozen kernel (zero leaf depths, as in the paper).
+///
+/// # Panics
+///
+/// Panics if `k < 2` or a node's fanin exceeds 25.
+pub fn baseline_tree_cost(tree: &Tree, k: usize) -> u32 {
+    assert!(k >= 2, "lookup tables must have at least two inputs");
+    let mut nodes: Vec<NodeDp> = Vec::with_capacity(tree.nodes.len());
+    for node in &tree.nodes {
+        let f = node.children.len();
+        assert!(f <= 25, "split wide nodes first");
+        let full: u32 = (1u32 << f) - 1;
+        let states = (full as usize + 1) * (k + 1);
+        let mut dp = NodeDp {
+            fcost: vec![Cost::INFEASIBLE; states],
+            fchoice: vec![Choice::None; states],
+            ndcost: vec![Cost::INFEASIBLE; full as usize + 1],
+            ndbest_u: vec![0; full as usize + 1],
+            node_cost: vec![Cost::INFEASIBLE; k + 1],
+            node_best_u: vec![0; k + 1],
+        };
+        dp.fcost[0] = Cost::ZERO;
+
+        let child_cost = |i: usize, w: usize| -> Cost {
+            match node.children[i] {
+                TreeChild::Leaf(_) => {
+                    if w == 1 {
+                        Cost::ZERO
+                    } else {
+                        Cost::INFEASIBLE
+                    }
+                }
+                TreeChild::Node { index, .. } => {
+                    let child: &NodeDp = &nodes[index];
+                    if w == 1 {
+                        let c = child.node_cost[k];
+                        if c.is_infeasible() {
+                            Cost::INFEASIBLE
+                        } else {
+                            Cost {
+                                depth: c.depth + 1,
+                                luts: c.luts,
+                            }
+                        }
+                    } else {
+                        let c = child.node_cost[w];
+                        if c.is_infeasible() {
+                            Cost::INFEASIBLE
+                        } else {
+                            Cost {
+                                depth: c.depth,
+                                luts: c.luts - 1,
+                            }
+                        }
+                    }
+                }
+            }
+        };
+
+        for set in 1..=full {
+            let i = set.trailing_zeros() as usize;
+            let ibit = 1u32 << i;
+            let rest_base = set & !ibit;
+            for u in (2..=k).rev() {
+                let mut best = Cost::INFEASIBLE;
+                let mut best_choice = Choice::None;
+                for w in 1..=u {
+                    let c = child_cost(i, w);
+                    if c.is_infeasible() {
+                        continue;
+                    }
+                    let rest = dp.fcost[rest_base as usize * (k + 1) + (u - w)];
+                    let total = c.combine(rest);
+                    if total.better_than(best) {
+                        best = total;
+                        best_choice = Choice::Singleton { _w: w as u8 };
+                    }
+                }
+                let mut g = rest_base;
+                while g != 0 {
+                    let block = g | ibit;
+                    let ndc = dp.ndcost[block as usize];
+                    if !ndc.is_infeasible() {
+                        let rest_set = set & !block;
+                        let rest = dp.fcost[rest_set as usize * (k + 1) + (u - 1)];
+                        let wire = Cost {
+                            depth: ndc.depth + 1,
+                            luts: ndc.luts,
+                        };
+                        let total = wire.combine(rest);
+                        if total.better_than(best) {
+                            best = total;
+                            best_choice = Choice::Group { _group: block };
+                        }
+                    }
+                    g = (g - 1) & rest_base;
+                }
+                dp.fcost[set as usize * (k + 1) + u] = best;
+                dp.fchoice[set as usize * (k + 1) + u] = best_choice;
+            }
+            if set.count_ones() >= 2 {
+                let mut best = Cost::INFEASIBLE;
+                let mut best_u = 0u8;
+                for u in 2..=k {
+                    let c = dp.fcost[set as usize * (k + 1) + u];
+                    if c.is_infeasible() {
+                        continue;
+                    }
+                    let with_root = Cost {
+                        depth: c.depth,
+                        luts: c.luts + 1,
+                    };
+                    if with_root.better_than(best) {
+                        best = with_root;
+                        best_u = u as u8;
+                    }
+                }
+                dp.ndcost[set as usize] = best;
+                dp.ndbest_u[set as usize] = best_u;
+            }
+            let (c1, ch1) = if set.count_ones() == 1 {
+                (child_cost(i, 1), Choice::Singleton { _w: 1 })
+            } else {
+                let ndc = dp.ndcost[set as usize];
+                let wire = if ndc.is_infeasible() {
+                    Cost::INFEASIBLE
+                } else {
+                    Cost {
+                        depth: ndc.depth + 1,
+                        luts: ndc.luts,
+                    }
+                };
+                (wire, Choice::Group { _group: set })
+            };
+            dp.fcost[set as usize * (k + 1) + 1] = c1;
+            dp.fchoice[set as usize * (k + 1) + 1] = if c1.is_infeasible() {
+                Choice::None
+            } else {
+                ch1
+            };
+        }
+
+        let mut running = Cost::INFEASIBLE;
+        let mut running_u = 0u8;
+        for u in 2..=k {
+            let c = dp.fcost[full as usize * (k + 1) + u];
+            if !c.is_infeasible() {
+                let with_root = Cost {
+                    depth: c.depth,
+                    luts: c.luts + 1,
+                };
+                if with_root.better_than(running) {
+                    running = with_root;
+                    running_u = u as u8;
+                }
+            }
+            dp.node_cost[u] = running;
+            dp.node_best_u[u] = running_u;
+        }
+        nodes.push(dp);
+    }
+    nodes[tree.root_index()].node_cost[k].luts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chortle::{tree_lut_cost, Forest};
+    use chortle_netlist::{Network, NodeOp, Signal};
+
+    #[test]
+    fn baseline_agrees_with_the_optimized_kernel() {
+        let mut net = Network::new();
+        let inputs: Vec<Signal> = (0..9)
+            .map(|i| Signal::new(net.add_input(format!("i{i}"))))
+            .collect();
+        let g1 = Signal::new(net.add_gate(NodeOp::And, inputs[0..4].to_vec()));
+        let g2 = Signal::new(net.add_gate(NodeOp::Or, inputs[4..9].to_vec()));
+        let z = Signal::new(net.add_gate(NodeOp::And, vec![g1, !g2]));
+        net.add_output("z", z);
+        let forest = Forest::of(&net);
+        for tree in &forest.trees {
+            for k in 2..=6 {
+                assert_eq!(baseline_tree_cost(tree, k), tree_lut_cost(tree, k), "k={k}");
+            }
+        }
+    }
+}

@@ -1,0 +1,233 @@
+//! `perf` — offline, std-only performance harness for the mapper.
+//!
+//! ```text
+//! cargo run --release -p chortle-bench --bin perf [-- OUTPUT.json]
+//! ```
+//!
+//! Runs the generator benchmark suite at K ∈ {2..5} and measures two
+//! things, asserting bit-identical LUT counts throughout:
+//!
+//! 1. **DP kernel**: the frozen pre-optimization kernel
+//!    ([`chortle_bench::baseline`]) against the current one
+//!    ([`chortle::tree_lut_cost`]), tree by tree, single-threaded.
+//! 2. **Forest mapping**: [`chortle::map_network`] sequential (`jobs = 1`)
+//!    against the parallel wavefront scheduler, full circuits compared
+//!    for equality.
+//!
+//! Timings use [`std::time::Instant`] — no external benchmarking crate —
+//! taking the best of several rounds. The JSON report (default
+//! `results/BENCH_map.json`) records the host's core count next to every
+//! speedup, so numbers from single-core machines read as what they are.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use chortle::{map_network, Forest, MapOptions, Tree, TreeMapper};
+use chortle_bench::baseline::baseline_tree_cost;
+use chortle_bench::optimized_suite;
+
+const KS: [usize; 4] = [2, 3, 4, 5];
+const KERNEL_ROUNDS: usize = 5;
+const MAP_ROUNDS: usize = 3;
+
+struct KernelRow {
+    k: usize,
+    trees: usize,
+    luts: u64,
+    baseline_s: f64,
+    optimized_s: f64,
+}
+
+struct ForestRow {
+    k: usize,
+    luts: u64,
+    sequential_s: f64,
+    parallel_s: f64,
+}
+
+fn best_of<T>(rounds: usize, mut f: impl FnMut() -> T) -> (T, f64) {
+    let mut best = f64::INFINITY;
+    let mut value = None;
+    for _ in 0..rounds {
+        let t = Instant::now();
+        let v = f();
+        best = best.min(t.elapsed().as_secs_f64());
+        value = Some(v);
+    }
+    (value.expect("at least one round"), best)
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "results/BENCH_map.json".to_owned());
+    let cores = std::thread::available_parallelism().map_or(1, usize::from);
+    let jobs = cores.max(2); // exercise the wavefront scheduler even on 1 core
+    eprintln!("perf: host cores = {cores}, parallel jobs = {jobs}");
+
+    let suite = optimized_suite();
+    eprintln!("perf: {} benchmark networks", suite.len());
+
+    // Pre-extract the forests once per K; the kernel benchmark times the
+    // DP alone, not forest construction.
+    let mut kernel_rows = Vec::new();
+    let mut forest_rows = Vec::new();
+    for &k in &KS {
+        let mut trees: Vec<Tree> = Vec::new();
+        for (_, net, _) in &suite {
+            let mut forest = Forest::of(&net.simplified());
+            forest.split_wide_nodes(10.max(k));
+            trees.extend(forest.trees);
+        }
+
+        // Correctness first: the kernels must agree on every tree.
+        let mut mapper = TreeMapper::new();
+        for tree in &trees {
+            assert_eq!(
+                baseline_tree_cost(tree, k),
+                mapper.tree_cost(tree, k).expect("narrow fanin"),
+                "kernel disagreement at k={k}"
+            );
+        }
+        let (base_luts, baseline_s) = best_of(KERNEL_ROUNDS, || {
+            trees
+                .iter()
+                .map(|t| u64::from(baseline_tree_cost(t, k)))
+                .sum::<u64>()
+        });
+        let (opt_luts, optimized_s) = best_of(KERNEL_ROUNDS, || {
+            let mut mapper = TreeMapper::new();
+            trees
+                .iter()
+                .map(|t| u64::from(mapper.tree_cost(t, k).expect("narrow fanin")))
+                .sum::<u64>()
+        });
+        assert_eq!(base_luts, opt_luts, "kernel totals diverged at k={k}");
+        kernel_rows.push(KernelRow {
+            k,
+            trees: trees.len(),
+            luts: opt_luts,
+            baseline_s,
+            optimized_s,
+        });
+        eprintln!(
+            "perf: kernel  k={k} {:>4} trees {:>6} LUTs  baseline {:.4}s  optimized {:.4}s  ({:.2}x)",
+            trees.len(),
+            opt_luts,
+            baseline_s,
+            optimized_s,
+            baseline_s / optimized_s
+        );
+
+        // End-to-end forest mapping, sequential vs parallel.
+        let seq_opts = MapOptions::new(k);
+        let par_opts = MapOptions::new(k).with_jobs(jobs);
+        let (seq_maps, sequential_s) = best_of(MAP_ROUNDS, || {
+            suite
+                .iter()
+                .map(|(_, net, _)| map_network(net, &seq_opts).expect("maps"))
+                .collect::<Vec<_>>()
+        });
+        let (par_maps, parallel_s) = best_of(MAP_ROUNDS, || {
+            suite
+                .iter()
+                .map(|(_, net, _)| map_network(net, &par_opts).expect("maps"))
+                .collect::<Vec<_>>()
+        });
+        let mut luts = 0u64;
+        for (seq, par) in seq_maps.iter().zip(&par_maps) {
+            assert_eq!(seq.report, par.report, "parallel report diverged at k={k}");
+            assert_eq!(
+                seq.circuit, par.circuit,
+                "parallel circuit diverged at k={k}"
+            );
+            luts += seq.report.luts as u64;
+        }
+        forest_rows.push(ForestRow {
+            k,
+            luts,
+            sequential_s,
+            parallel_s,
+        });
+        eprintln!(
+            "perf: mapping k={k} {:>6} LUTs  sequential {:.4}s  parallel({jobs}) {:.4}s  ({:.2}x)",
+            luts,
+            sequential_s,
+            parallel_s,
+            sequential_s / parallel_s
+        );
+    }
+
+    let kernel_base: f64 = kernel_rows.iter().map(|r| r.baseline_s).sum();
+    let kernel_opt: f64 = kernel_rows.iter().map(|r| r.optimized_s).sum();
+    let map_seq: f64 = forest_rows.iter().map(|r| r.sequential_s).sum();
+    let map_par: f64 = forest_rows.iter().map(|r| r.parallel_s).sum();
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(
+        json,
+        "  \"host\": {{ \"cores\": {cores}, \"jobs\": {jobs} }},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"rounds\": {{ \"kernel\": {KERNEL_ROUNDS}, \"mapping\": {MAP_ROUNDS} }},"
+    );
+    let _ = writeln!(json, "  \"kernel\": [");
+    for (i, r) in kernel_rows.iter().enumerate() {
+        let comma = if i + 1 < kernel_rows.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{ \"k\": {}, \"trees\": {}, \"luts\": {}, \"baseline_s\": {:.6}, \
+             \"optimized_s\": {:.6}, \"speedup\": {:.3} }}{comma}",
+            r.k,
+            r.trees,
+            r.luts,
+            r.baseline_s,
+            r.optimized_s,
+            r.baseline_s / r.optimized_s
+        );
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(
+        json,
+        "  \"kernel_total\": {{ \"baseline_s\": {:.6}, \"optimized_s\": {:.6}, \"speedup\": {:.3} }},",
+        kernel_base,
+        kernel_opt,
+        kernel_base / kernel_opt
+    );
+    let _ = writeln!(json, "  \"mapping\": [");
+    for (i, r) in forest_rows.iter().enumerate() {
+        let comma = if i + 1 < forest_rows.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{ \"k\": {}, \"luts\": {}, \"sequential_s\": {:.6}, \"parallel_s\": {:.6}, \
+             \"speedup\": {:.3} }}{comma}",
+            r.k,
+            r.luts,
+            r.sequential_s,
+            r.parallel_s,
+            r.sequential_s / r.parallel_s
+        );
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(
+        json,
+        "  \"mapping_total\": {{ \"sequential_s\": {:.6}, \"parallel_s\": {:.6}, \"speedup\": {:.3} }}",
+        map_seq,
+        map_par,
+        map_seq / map_par
+    );
+    let _ = writeln!(json, "}}");
+
+    if let Some(dir) = std::path::Path::new(&out_path).parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    std::fs::write(&out_path, &json).expect("write report");
+    eprintln!(
+        "perf: kernel {:.2}x, mapping {:.2}x on {cores} core(s); report -> {out_path}",
+        kernel_base / kernel_opt,
+        map_seq / map_par
+    );
+    print!("{json}");
+}

@@ -84,11 +84,20 @@ fn main() -> ExitCode {
 
     if ablate_crf {
         println!("Ablation: optimal DP vs Chortle-crf-style bin packing (LUT counts)");
-        println!("{:<10} {:>8} {:>8} {:>8} {:>8}", "Circuit", "DP-K3", "crf-K3", "DP-K5", "crf-K5");
+        println!(
+            "{:<10} {:>8} {:>8} {:>8} {:>8}",
+            "Circuit", "DP-K3", "crf-K3", "DP-K5", "crf-K5"
+        );
         for (name, net, _) in &suite {
-            let dp3 = map_network(net, &MapOptions::new(3)).expect("maps").report.luts;
+            let dp3 = map_network(net, &MapOptions::new(3))
+                .expect("maps")
+                .report
+                .luts;
             let crf3 = crf_network_cost(net, 3);
-            let dp5 = map_network(net, &MapOptions::new(5)).expect("maps").report.luts;
+            let dp5 = map_network(net, &MapOptions::new(5))
+                .expect("maps")
+                .report
+                .luts;
             let crf5 = crf_network_cost(net, 5);
             println!("{:<10} {:>8} {:>8} {:>8} {:>8}", name, dp3, crf3, dp5, crf5);
         }
@@ -97,7 +106,10 @@ fn main() -> ExitCode {
 
     if report_clb {
         println!("Extension: XC3000-style CLB packing of the K=4 mapping");
-        println!("{:<10} {:>7} {:>7} {:>9}", "Circuit", "LUTs", "CLBs", "saving%");
+        println!(
+            "{:<10} {:>7} {:>7} {:>9}",
+            "Circuit", "LUTs", "CLBs", "saving%"
+        );
         for (name, net, _) in &suite {
             let mapped = map_network(net, &MapOptions::new(4)).expect("maps");
             let packing = pack_clbs(&mapped.circuit, &ClbOptions::xc3000());

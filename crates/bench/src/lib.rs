@@ -10,6 +10,8 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod baseline;
+
 use std::time::{Duration, Instant};
 
 use chortle::{map_network, MapOptions};

@@ -182,8 +182,12 @@ mod tests {
         let shared: Vec<_> = (0..shared_inputs)
             .map(|i| net.add_input(format!("s{i}")))
             .collect();
-        let xa: Vec<_> = (0..extra_each).map(|i| net.add_input(format!("a{i}"))).collect();
-        let xb: Vec<_> = (0..extra_each).map(|i| net.add_input(format!("b{i}"))).collect();
+        let xa: Vec<_> = (0..extra_each)
+            .map(|i| net.add_input(format!("a{i}")))
+            .collect();
+        let xb: Vec<_> = (0..extra_each)
+            .map(|i| net.add_input(format!("b{i}")))
+            .collect();
         let mut circuit = LutCircuit::new(4);
         let mk = |ins: Vec<chortle_netlist::NodeId>| {
             let srcs: Vec<LutSource> = ins.iter().map(|&i| LutSource::Input(i)).collect();
@@ -243,9 +247,15 @@ mod tests {
     fn packing_covers_every_lut_exactly_once() {
         let mut net = Network::new();
         let inputs: Vec<_> = (0..8).map(|i| net.add_input(format!("i{i}"))).collect();
-        let g1 = net.add_gate(NodeOp::And, inputs[0..3].iter().map(|&i| i.into()).collect());
+        let g1 = net.add_gate(
+            NodeOp::And,
+            inputs[0..3].iter().map(|&i| i.into()).collect(),
+        );
         let g2 = net.add_gate(NodeOp::Or, inputs[2..5].iter().map(|&i| i.into()).collect());
-        let g3 = net.add_gate(NodeOp::And, inputs[4..8].iter().map(|&i| i.into()).collect());
+        let g3 = net.add_gate(
+            NodeOp::And,
+            inputs[4..8].iter().map(|&i| i.into()).collect(),
+        );
         let z = net.add_gate(NodeOp::Or, vec![g1.into(), g2.into(), g3.into()]);
         net.add_output("z", z.into());
         // Map with K=3 so the LUTs are narrow enough to pair (two

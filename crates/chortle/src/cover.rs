@@ -12,9 +12,7 @@
 
 use std::collections::HashMap;
 
-use chortle_netlist::{
-    LutCircuit, LutError, LutSource, Network, NodeId, NodeOp, TruthTable,
-};
+use chortle_netlist::{LutCircuit, LutError, LutSource, Network, NodeId, NodeOp, TruthTable};
 
 use crate::dp::{Choice, TreeDp};
 use crate::tree::{Tree, TreeChild};

@@ -94,7 +94,7 @@ pub fn crf_tree_cost(tree: &Tree, k: usize) -> CrfTreeCost {
                         // The child bin is full: seal it as a LUT and let
                         // its wire (size 1) join the packing.
                         sealed += 1;
-                        match bins.iter_mut().find(|b| **b + 1 <= k) {
+                        match bins.iter_mut().find(|b| **b < k) {
                             Some(b) => *b += 1,
                             None => bins.push(1),
                         }
@@ -175,11 +175,7 @@ mod tests {
             for k in 2..=6usize {
                 let tree = wide_gate(f);
                 let crf = crf_tree_cost(&tree, k);
-                assert_eq!(
-                    crf.luts,
-                    (f - 1).div_ceil(k - 1) as u32,
-                    "f={f} k={k}"
-                );
+                assert_eq!(crf.luts, (f - 1).div_ceil(k - 1) as u32, "f={f} k={k}");
             }
         }
     }
@@ -220,7 +216,11 @@ mod tests {
                 let idx = rng.choose_index(&pool);
                 fanins.push(pool.swap_remove(idx));
             }
-            let op = if rng.next_bool(1, 2) { NodeOp::And } else { NodeOp::Or };
+            let op = if rng.next_bool(1, 2) {
+                NodeOp::And
+            } else {
+                NodeOp::Or
+            };
             pool.push(Signal::new(net.add_gate(op, fanins)));
         }
         net.add_output("z", pool[0]);
@@ -231,7 +231,10 @@ mod tests {
     fn network_cost_close_to_mapper_on_suite_shapes() {
         let mut net = Network::new();
         let inputs: Vec<_> = (0..9).map(|i| net.add_input(format!("i{i}"))).collect();
-        let g1 = net.add_gate(NodeOp::And, inputs[0..4].iter().map(|&i| i.into()).collect());
+        let g1 = net.add_gate(
+            NodeOp::And,
+            inputs[0..4].iter().map(|&i| i.into()).collect(),
+        );
         let g2 = net.add_gate(NodeOp::Or, inputs[4..9].iter().map(|&i| i.into()).collect());
         let z = net.add_gate(NodeOp::And, vec![g1.into(), g2.into()]);
         net.add_output("z", z.into());

@@ -29,6 +29,7 @@
 
 use chortle_netlist::NodeId;
 
+use crate::map::MapError;
 use crate::tree::{Tree, TreeChild};
 
 /// Cost value representing "infeasible".
@@ -107,21 +108,20 @@ pub(crate) enum Choice {
     },
 }
 
-/// Per-node DP tables.
+/// Per-node DP results retained for reconstruction.
+///
+/// The `Cost` tables themselves (`F(S)[u]` and the intermediate-node
+/// costs) live in a [`DpScratch`] arena reused across nodes; only the
+/// *decisions* — which the cover reconstruction replays — and the root
+/// cost summary are kept per node.
+#[derive(Debug)]
 pub(crate) struct NodeDp {
     /// Number of children.
     pub fanin: usize,
-    /// `fcost[S * (k+1) + u]` = cheapest cost of supplying child subset
-    /// `S` with exactly `u` root-LUT inputs (excluding the root LUT
-    /// itself).
-    pub fcost: Vec<Cost>,
-    /// Decision per `F` state.
+    /// Decision per `F(S)[u]` state, laid out `S * (k+1) + u`.
     pub fchoice: Vec<Choice>,
-    /// `ndcost[g]` = cost of the best mapping of the intermediate node
-    /// over subset `g` (`|g| ≥ 2`): its root LUT included in `luts`,
-    /// `depth` = the region's entering-wire depth (`din`).
-    pub ndcost: Vec<Cost>,
-    /// Chosen exact root utilization for each intermediate node.
+    /// Chosen exact root utilization for each intermediate node (fanin
+    /// subset `g`, `|g| ≥ 2`).
     pub ndbest_u: Vec<u8>,
     /// `node_cost[u]` = cost of `minmap(n, u)` (root utilization ≤ u):
     /// `luts` includes the root LUT, `depth` is the region's `din`.
@@ -131,6 +131,70 @@ pub(crate) struct NodeDp {
     pub node_best_u: Vec<u8>,
 }
 
+/// Reusable scratch buffers for the per-node subset DP.
+///
+/// The recurrence fills an `F(S)[u]` cost table of `2^f · (K+1)` entries
+/// and an intermediate-node table of `2^f` entries per node, but only the
+/// recorded *choices* outlive the node (see [`NodeDp`]). Allocating the
+/// cost tables once per tree walk — sized to the widest node seen so far —
+/// removes the dominant allocation traffic of the mapper's hot loop.
+/// Buffers grow monotonically and are re-initialized per node by the
+/// kernel itself (row 0 plus one reset slot per subset), so reuse is
+/// exact: the kernel never reads a stale entry.
+#[derive(Default)]
+pub(crate) struct DpScratch {
+    /// `fcost[S * (k+1) + u]` — cheapest cost of supplying child subset
+    /// `S` with exactly `u` root-LUT inputs (excluding the root LUT).
+    fcost: Vec<Cost>,
+    /// `ndcost[g]` — cost of the best intermediate node over subset `g`.
+    ndcost: Vec<Cost>,
+    /// Hoisted child-cost table: `ccost[i * (k+1) + w]` = cost of child
+    /// `i` consuming exactly `w` root-LUT inputs. Computed once per node
+    /// instead of per innermost subset-loop iteration.
+    ccost: Vec<Cost>,
+    /// `wlo[i]` — smallest feasible allotment `w ≥ 2` for child `i`
+    /// (`k+1` when no such `w` exists, e.g. for leaves). Feasibility of
+    /// `w ≥ 2` is monotone in `w` (node costs are running minima), so the
+    /// singleton-allotment loop scans `{1} ∪ wlo..=u` and skips the
+    /// infeasible middle exactly.
+    wlo: Vec<u8>,
+    /// `ncost[n * (k+1) + u]` — `minmap(n, u)` per tree node, used by the
+    /// cost-only kernel ([`tree_cost_with`]) in place of per-node
+    /// [`NodeDp`] allocations.
+    ncost: Vec<Cost>,
+}
+
+impl DpScratch {
+    pub(crate) fn new() -> Self {
+        DpScratch {
+            fcost: Vec::new(),
+            ndcost: Vec::new(),
+            ccost: Vec::new(),
+            wlo: Vec::new(),
+            ncost: Vec::new(),
+        }
+    }
+
+    /// Ensures capacity for a node with `f` children at LUT size `k`.
+    fn reserve(&mut self, f: usize, k: usize) {
+        let sets = 1usize << f;
+        let states = sets * (k + 1);
+        if self.fcost.len() < states {
+            self.fcost.resize(states, Cost::INFEASIBLE);
+        }
+        if self.ndcost.len() < sets {
+            self.ndcost.resize(sets, Cost::INFEASIBLE);
+        }
+        let ctable = f * (k + 1);
+        if self.ccost.len() < ctable {
+            self.ccost.resize(ctable, Cost::INFEASIBLE);
+        }
+        if self.wlo.len() < f {
+            self.wlo.resize(f, 0);
+        }
+    }
+}
+
 impl NodeDp {
     pub(crate) fn fchoice_at(&self, set: u32, u: usize, k: usize) -> Choice {
         self.fchoice[set as usize * (k + 1) + u]
@@ -138,6 +202,7 @@ impl NodeDp {
 }
 
 /// The DP result for a whole tree.
+#[derive(Debug)]
 pub(crate) struct TreeDp {
     /// Per-tree-node tables, indexed like [`Tree::nodes`].
     pub nodes: Vec<NodeDp>,
@@ -164,102 +229,144 @@ impl TreeDp {
     }
 }
 
-/// Runs the Chortle DP over a tree.
+/// The widest node fanin the `u32` subset DP supports (the paper splits
+/// above fanin 10; [`Tree::split_wide_nodes`] enforces the bound).
+pub(crate) const MAX_DP_FANIN: usize = 25;
+
+/// Runs the Chortle DP over a tree, reusing `scratch` across nodes (and,
+/// at the caller's discretion, across trees).
 ///
 /// `leaf_depth` supplies the arrival depth (in LUT levels) of every leaf
 /// signal; pass `|_| 0` for pure-area mapping of an isolated tree.
 ///
+/// # Errors
+///
+/// Returns [`MapError::FaninTooWide`] if any tree node has more than
+/// [`MAX_DP_FANIN`] children (run [`Tree::split_wide_nodes`] first).
+///
 /// # Panics
 ///
-/// Panics if `k < 2`, or if any tree node has more than 25 children (run
-/// [`Tree::split_wide_nodes`] first — the paper splits above fanin 10).
+/// Panics if `k < 2` ([`crate::MapOptions`] validates this upstream).
 pub(crate) fn map_tree_with(
     tree: &Tree,
     k: usize,
     objective: Objective,
     leaf_depth: &dyn Fn(NodeId) -> u32,
-) -> TreeDp {
+    scratch: &mut DpScratch,
+) -> Result<TreeDp, MapError> {
     assert!(k >= 2, "lookup tables must have at least two inputs");
     let mut nodes: Vec<NodeDp> = Vec::with_capacity(tree.nodes.len());
     for node in &tree.nodes {
         let f = node.children.len();
-        assert!(
-            f <= 25,
-            "tree node fanin {f} too large for subset DP; split wide nodes first"
-        );
+        if f > MAX_DP_FANIN {
+            return Err(MapError::FaninTooWide {
+                fanin: f,
+                limit: MAX_DP_FANIN,
+            });
+        }
+        scratch.reserve(f, k);
         let full: u32 = (1u32 << f) - 1;
         let states = (full as usize + 1) * (k + 1);
         let mut dp = NodeDp {
             fanin: f,
-            fcost: vec![Cost::INFEASIBLE; states],
             fchoice: vec![Choice::None; states],
-            ndcost: vec![Cost::INFEASIBLE; full as usize + 1],
             ndbest_u: vec![0; full as usize + 1],
             node_cost: vec![Cost::INFEASIBLE; k + 1],
             node_best_u: vec![0; k + 1],
         };
-        dp.fcost[0] = Cost::ZERO; // F(∅)[0] = 0
+        let fcost = &mut scratch.fcost;
+        let ndcost = &mut scratch.ndcost;
+        // Row 0: F(∅)[0] = 0, F(∅)[u > 0] infeasible.
+        fcost[0] = Cost::ZERO;
+        fcost[1..=k].fill(Cost::INFEASIBLE);
 
-        // Cost of child `i` consuming exactly `w` root-LUT inputs.
-        let child_cost = |i: usize, w: usize| -> Cost {
-            match node.children[i] {
+        // Hoisted child-cost table: cost of child `i` consuming exactly
+        // `w` root-LUT inputs, computed once per node instead of inside
+        // the innermost subset loop. `wlo[i]` additionally records the
+        // smallest feasible `w ≥ 2` (node costs are running minima over
+        // utilization, so feasibility is monotone in `w`).
+        for (i, child) in node.children.iter().enumerate() {
+            let row = i * (k + 1);
+            scratch.ccost[row] = Cost::INFEASIBLE;
+            match *child {
                 TreeChild::Leaf(sig) => {
-                    if w == 1 {
-                        Cost {
-                            depth: leaf_depth(sig.node()),
-                            luts: 0,
-                        }
-                    } else {
-                        Cost::INFEASIBLE
+                    scratch.ccost[row + 1] = Cost {
+                        depth: leaf_depth(sig.node()),
+                        luts: 0,
+                    };
+                    for w in 2..=k {
+                        scratch.ccost[row + w] = Cost::INFEASIBLE;
                     }
+                    scratch.wlo[i] = (k + 1) as u8;
                 }
                 TreeChild::Node { index, .. } => {
-                    let child = &nodes[index];
-                    if w == 1 {
-                        // The child keeps its own root LUT and feeds one
-                        // wire: minmap(child, K), arriving one level up.
-                        let c = child.node_cost[k];
-                        if c.is_infeasible() {
-                            Cost::INFEASIBLE
-                        } else {
-                            Cost {
-                                depth: c.depth + 1,
-                                luts: c.luts,
-                            }
-                        }
+                    let child_dp = &nodes[index];
+                    // w == 1: the child keeps its own root LUT and feeds
+                    // one wire: minmap(child, K), arriving one level up.
+                    let c = child_dp.node_cost[k];
+                    scratch.ccost[row + 1] = if c.is_infeasible() {
+                        Cost::INFEASIBLE
                     } else {
-                        // The child's root LUT (utilization ≤ w) is
-                        // absorbed into the constructed root LUT: its
-                        // entering wires become this region's wires.
-                        let c = child.node_cost[w];
-                        if c.is_infeasible() {
+                        Cost {
+                            depth: c.depth + 1,
+                            luts: c.luts,
+                        }
+                    };
+                    // w ≥ 2: the child's root LUT (utilization ≤ w) is
+                    // absorbed into the constructed root LUT: its entering
+                    // wires become this region's wires.
+                    let mut wlo = (k + 1) as u8;
+                    for w in (2..=k).rev() {
+                        let c = child_dp.node_cost[w];
+                        scratch.ccost[row + w] = if c.is_infeasible() {
                             Cost::INFEASIBLE
                         } else {
+                            wlo = w as u8;
                             Cost {
                                 depth: c.depth,
                                 luts: c.luts - 1,
                             }
-                        }
+                        };
                     }
+                    scratch.wlo[i] = wlo;
                 }
             }
-        };
+        }
+
+        // Number of feasible intermediate-node entries recorded so far
+        // for this node; while zero, every submask walk would find only
+        // infeasible blocks and is skipped exactly.
+        let mut nd_feasible = 0usize;
 
         for set in 1..=full {
             let i = set.trailing_zeros() as usize;
             let ibit = 1u32 << i;
             let rest_base = set & !ibit;
-            // u ≥ 2 first (they never reference ndcost[set]).
+            let row = set as usize * (k + 1);
+            let crow = i * (k + 1);
+            let wlo = scratch.wlo[i] as usize;
+            // Reset the two slots of this row the scan below may read
+            // before writing (u = 0, and the own-set intermediate node).
+            fcost[row] = Cost::INFEASIBLE;
+            ndcost[set as usize] = Cost::INFEASIBLE;
+            // u ≥ 2 first (they never reference a feasible ndcost[set]).
             for u in (2..=k).rev() {
                 let mut best = Cost::INFEASIBLE;
                 let mut best_choice = Choice::None;
-                // Singleton block for child i with allotment w.
-                for w in 1..=u {
-                    let c = child_cost(i, w);
-                    if c.is_infeasible() {
-                        continue;
+                // Singleton block for child i with allotment w: w = 1,
+                // then the feasible tail wlo..=u (see DpScratch::wlo).
+                let c1 = scratch.ccost[crow + 1];
+                if !c1.is_infeasible() {
+                    let rest = fcost[rest_base as usize * (k + 1) + (u - 1)];
+                    let total = c1.combine(rest);
+                    if total.better_than(best, objective) {
+                        best = total;
+                        best_choice = Choice::Singleton { w: 1 };
                     }
-                    let rest = dp.fcost[rest_base as usize * (k + 1) + (u - w)];
+                }
+                for w in wlo..=u {
+                    let c = scratch.ccost[crow + w];
+                    let rest = fcost[rest_base as usize * (k + 1) + (u - w)];
                     let total = c.combine(rest);
                     if total.better_than(best, objective) {
                         best = total;
@@ -267,31 +374,36 @@ pub(crate) fn map_tree_with(
                     }
                 }
                 // Intermediate-node block g ∋ i, |g| ≥ 2, consuming one
-                // input. g == set is impossible here (rest would need
-                // u-1 ≥ 1 inputs from the empty set).
-                let mut g = rest_base;
-                // Enumerate submasks of rest_base; the block is g | ibit.
-                while g != 0 {
-                    let block = g | ibit;
-                    let ndc = dp.ndcost[block as usize];
-                    if !ndc.is_infeasible() {
-                        let rest_set = set & !block;
-                        let rest = dp.fcost[rest_set as usize * (k + 1) + (u - 1)];
-                        // The intermediate node feeds a wire one level up.
-                        let wire = Cost {
-                            depth: ndc.depth + 1,
-                            luts: ndc.luts,
-                        };
-                        let total = wire.combine(rest);
-                        if total.better_than(best, objective) {
-                            best = total;
-                            best_choice = Choice::Group { group: block };
+                // input. g == set contributes nothing (its rest would
+                // need u-1 ≥ 1 inputs from the empty set, and its own
+                // ndcost slot was reset above).
+                if nd_feasible > 0 {
+                    let mut g = rest_base;
+                    // Enumerate submasks of rest_base; the block is
+                    // g | ibit.
+                    while g != 0 {
+                        let block = g | ibit;
+                        let ndc = ndcost[block as usize];
+                        if !ndc.is_infeasible() {
+                            let rest_set = set & !block;
+                            let rest = fcost[rest_set as usize * (k + 1) + (u - 1)];
+                            // The intermediate node feeds a wire one
+                            // level up.
+                            let wire = Cost {
+                                depth: ndc.depth + 1,
+                                luts: ndc.luts,
+                            };
+                            let total = wire.combine(rest);
+                            if total.better_than(best, objective) {
+                                best = total;
+                                best_choice = Choice::Group { group: block };
+                            }
                         }
+                        g = (g - 1) & rest_base;
                     }
-                    g = (g - 1) & rest_base;
                 }
-                dp.fcost[set as usize * (k + 1) + u] = best;
-                dp.fchoice[set as usize * (k + 1) + u] = best_choice;
+                fcost[row + u] = best;
+                dp.fchoice[row + u] = best_choice;
             }
             // Intermediate node over `set` (needs |set| ≥ 2): its root LUT
             // uses the best exact utilization in 2..=K.
@@ -299,7 +411,7 @@ pub(crate) fn map_tree_with(
                 let mut best = Cost::INFEASIBLE;
                 let mut best_u = 0u8;
                 for u in 2..=k {
-                    let c = dp.fcost[set as usize * (k + 1) + u];
+                    let c = fcost[row + u];
                     if c.is_infeasible() {
                         continue;
                     }
@@ -312,15 +424,18 @@ pub(crate) fn map_tree_with(
                         best_u = u as u8;
                     }
                 }
-                dp.ndcost[set as usize] = best;
+                ndcost[set as usize] = best;
                 dp.ndbest_u[set as usize] = best_u;
+                if !best.is_infeasible() {
+                    nd_feasible += 1;
+                }
             }
             // u == 1: the whole subset feeds one input — either a lone
             // child wire or one intermediate node covering everything.
             let (c1, ch1) = if set.count_ones() == 1 {
-                (child_cost(i, 1), Choice::Singleton { w: 1 })
+                (scratch.ccost[crow + 1], Choice::Singleton { w: 1 })
             } else {
-                let ndc = dp.ndcost[set as usize];
+                let ndc = ndcost[set as usize];
                 let wire = if ndc.is_infeasible() {
                     Cost::INFEASIBLE
                 } else {
@@ -331,16 +446,20 @@ pub(crate) fn map_tree_with(
                 };
                 (wire, Choice::Group { group: set })
             };
-            dp.fcost[set as usize * (k + 1) + 1] = c1;
-            dp.fchoice[set as usize * (k + 1) + 1] =
-                if c1.is_infeasible() { Choice::None } else { ch1 };
+            fcost[row + 1] = c1;
+            dp.fchoice[row + 1] = if c1.is_infeasible() {
+                Choice::None
+            } else {
+                ch1
+            };
         }
 
         // minmap(n, u): root LUT + best exact utilization ≤ u.
+        let full_row = full as usize * (k + 1);
         let mut running = Cost::INFEASIBLE;
         let mut running_u = 0u8;
         for u in 2..=k {
-            let c = dp.fcost[full as usize * (k + 1) + u];
+            let c = fcost[full_row + u];
             if !c.is_infeasible() {
                 let with_root = Cost {
                     depth: c.depth,
@@ -356,12 +475,209 @@ pub(crate) fn map_tree_with(
         }
         nodes.push(dp);
     }
-    TreeDp { nodes, k }
+    Ok(TreeDp { nodes, k })
 }
 
 /// Area-objective mapping with zero leaf depths (the paper's setting).
+/// Production cost queries go through the allocation-free
+/// [`tree_cost_with`]; this full-kernel wrapper remains as the oracle the
+/// unit tests compare against.
+///
+/// # Panics
+///
+/// Panics if a node's fanin exceeds [`MAX_DP_FANIN`] (split first).
+#[cfg(test)]
 pub(crate) fn map_tree(tree: &Tree, k: usize) -> TreeDp {
-    map_tree_with(tree, k, Objective::Area, &|_| 0)
+    let mut scratch = DpScratch::new();
+    map_tree_with(tree, k, Objective::Area, &|_| 0, &mut scratch)
+        .expect("fanin within the subset-DP bound; split wide nodes first")
+}
+
+/// Cost-only twin of [`map_tree_with`]: the identical recurrence in the
+/// identical iteration order, but no decision recording — per-node
+/// `minmap` summaries live in the scratch arena, so a run performs **no
+/// allocation at all** once the arena has grown to the tree's size. Cost
+/// queries ([`crate::tree_lut_cost`], the duplication search's probe
+/// mappings) dominate some workloads; this path serves them without
+/// paying for reconstruction state nobody reads.
+///
+/// Returns `minmap(root, K)` — the whole-tree cost; `luts` is the LUT
+/// count and `depth` the root LUT's entering-wire depth.
+///
+/// # Errors
+///
+/// Returns [`MapError::FaninTooWide`] like [`map_tree_with`].
+pub(crate) fn tree_cost_with(
+    tree: &Tree,
+    k: usize,
+    objective: Objective,
+    leaf_depth: &dyn Fn(NodeId) -> u32,
+    scratch: &mut DpScratch,
+) -> Result<Cost, MapError> {
+    assert!(k >= 2, "lookup tables must have at least two inputs");
+    let nstates = tree.nodes.len() * (k + 1);
+    if scratch.ncost.len() < nstates {
+        scratch.ncost.resize(nstates, Cost::INFEASIBLE);
+    }
+    for (ni, node) in tree.nodes.iter().enumerate() {
+        let f = node.children.len();
+        if f > MAX_DP_FANIN {
+            return Err(MapError::FaninTooWide {
+                fanin: f,
+                limit: MAX_DP_FANIN,
+            });
+        }
+        scratch.reserve(f, k);
+        let full: u32 = (1u32 << f) - 1;
+        scratch.fcost[0] = Cost::ZERO;
+        scratch.fcost[1..=k].fill(Cost::INFEASIBLE);
+
+        for (i, child) in node.children.iter().enumerate() {
+            let row = i * (k + 1);
+            scratch.ccost[row] = Cost::INFEASIBLE;
+            match *child {
+                TreeChild::Leaf(sig) => {
+                    scratch.ccost[row + 1] = Cost {
+                        depth: leaf_depth(sig.node()),
+                        luts: 0,
+                    };
+                    for w in 2..=k {
+                        scratch.ccost[row + w] = Cost::INFEASIBLE;
+                    }
+                    scratch.wlo[i] = (k + 1) as u8;
+                }
+                TreeChild::Node { index, .. } => {
+                    let crow = index * (k + 1);
+                    let c = scratch.ncost[crow + k];
+                    scratch.ccost[row + 1] = if c.is_infeasible() {
+                        Cost::INFEASIBLE
+                    } else {
+                        Cost {
+                            depth: c.depth + 1,
+                            luts: c.luts,
+                        }
+                    };
+                    let mut wlo = (k + 1) as u8;
+                    for w in (2..=k).rev() {
+                        let c = scratch.ncost[crow + w];
+                        scratch.ccost[row + w] = if c.is_infeasible() {
+                            Cost::INFEASIBLE
+                        } else {
+                            wlo = w as u8;
+                            Cost {
+                                depth: c.depth,
+                                luts: c.luts - 1,
+                            }
+                        };
+                    }
+                    scratch.wlo[i] = wlo;
+                }
+            }
+        }
+
+        let mut nd_feasible = 0usize;
+        for set in 1..=full {
+            let i = set.trailing_zeros() as usize;
+            let ibit = 1u32 << i;
+            let rest_base = set & !ibit;
+            let row = set as usize * (k + 1);
+            let crow = i * (k + 1);
+            let wlo = scratch.wlo[i] as usize;
+            scratch.fcost[row] = Cost::INFEASIBLE;
+            scratch.ndcost[set as usize] = Cost::INFEASIBLE;
+            for u in (2..=k).rev() {
+                let mut best = Cost::INFEASIBLE;
+                let c1 = scratch.ccost[crow + 1];
+                if !c1.is_infeasible() {
+                    let rest = scratch.fcost[rest_base as usize * (k + 1) + (u - 1)];
+                    let total = c1.combine(rest);
+                    if total.better_than(best, objective) {
+                        best = total;
+                    }
+                }
+                for w in wlo..=u {
+                    let c = scratch.ccost[crow + w];
+                    let rest = scratch.fcost[rest_base as usize * (k + 1) + (u - w)];
+                    let total = c.combine(rest);
+                    if total.better_than(best, objective) {
+                        best = total;
+                    }
+                }
+                if nd_feasible > 0 {
+                    let mut g = rest_base;
+                    while g != 0 {
+                        let block = g | ibit;
+                        let ndc = scratch.ndcost[block as usize];
+                        if !ndc.is_infeasible() {
+                            let rest_set = set & !block;
+                            let rest = scratch.fcost[rest_set as usize * (k + 1) + (u - 1)];
+                            let wire = Cost {
+                                depth: ndc.depth + 1,
+                                luts: ndc.luts,
+                            };
+                            let total = wire.combine(rest);
+                            if total.better_than(best, objective) {
+                                best = total;
+                            }
+                        }
+                        g = (g - 1) & rest_base;
+                    }
+                }
+                scratch.fcost[row + u] = best;
+            }
+            if set.count_ones() >= 2 {
+                let mut best = Cost::INFEASIBLE;
+                for u in 2..=k {
+                    let c = scratch.fcost[row + u];
+                    if c.is_infeasible() {
+                        continue;
+                    }
+                    let with_root = Cost {
+                        depth: c.depth,
+                        luts: c.luts + 1,
+                    };
+                    if with_root.better_than(best, objective) {
+                        best = with_root;
+                    }
+                }
+                scratch.ndcost[set as usize] = best;
+                if !best.is_infeasible() {
+                    nd_feasible += 1;
+                }
+            }
+            scratch.fcost[row + 1] = if set.count_ones() == 1 {
+                scratch.ccost[crow + 1]
+            } else {
+                let ndc = scratch.ndcost[set as usize];
+                if ndc.is_infeasible() {
+                    Cost::INFEASIBLE
+                } else {
+                    Cost {
+                        depth: ndc.depth + 1,
+                        luts: ndc.luts,
+                    }
+                }
+            };
+        }
+
+        let full_row = full as usize * (k + 1);
+        let nrow = ni * (k + 1);
+        let mut running = Cost::INFEASIBLE;
+        for u in 2..=k {
+            let c = scratch.fcost[full_row + u];
+            if !c.is_infeasible() {
+                let with_root = Cost {
+                    depth: c.depth,
+                    luts: c.luts + 1,
+                };
+                if with_root.better_than(running, objective) {
+                    running = with_root;
+                }
+            }
+            scratch.ncost[nrow + u] = running;
+        }
+    }
+    Ok(scratch.ncost[tree.root_index() * (k + 1) + k])
 }
 
 #[cfg(test)]
@@ -473,8 +789,10 @@ mod tests {
         for f in 3..=10usize {
             for k in 2..=5usize {
                 let tree = wide_gate(f, NodeOp::And);
-                let area = map_tree_with(&tree, k, Objective::Area, &|_| 0);
-                let depth = map_tree_with(&tree, k, Objective::Depth, &|_| 0);
+                let mut scratch = DpScratch::new();
+                let area = map_tree_with(&tree, k, Objective::Area, &|_| 0, &mut scratch).unwrap();
+                let depth =
+                    map_tree_with(&tree, k, Objective::Depth, &|_| 0, &mut scratch).unwrap();
                 assert!(
                     depth.tree_depth(&tree) <= area.tree_depth(&tree),
                     "f={f} k={k}"
@@ -493,9 +811,70 @@ mod tests {
         // depth objective must reach the balanced-tree depth ceil(log2 9)
         // = 4.
         let tree = wide_gate(9, NodeOp::And);
-        let dp = map_tree_with(&tree, 2, Objective::Depth, &|_| 0);
+        let dp = map_tree_with(&tree, 2, Objective::Depth, &|_| 0, &mut DpScratch::new()).unwrap();
         assert_eq!(dp.tree_cost(&tree), 8);
         assert_eq!(dp.tree_depth(&tree), 4);
+    }
+
+    #[test]
+    fn cost_only_kernel_matches_full_kernel() {
+        // `tree_cost_with` must agree with `map_tree_with` everywhere —
+        // including under the depth objective and nonzero leaf depths.
+        let mut shared = DpScratch::new();
+        for f in 2..=10usize {
+            for k in 2..=6usize {
+                let tree = wide_gate(f, NodeOp::And);
+                let depths = |id: NodeId| (id.index() % 3) as u32;
+                for objective in [Objective::Area, Objective::Depth] {
+                    let full =
+                        map_tree_with(&tree, k, objective, &depths, &mut DpScratch::new()).unwrap();
+                    let cost = tree_cost_with(&tree, k, objective, &depths, &mut shared).unwrap();
+                    let root = &full.nodes[tree.root_index()];
+                    assert_eq!(cost, root.node_cost[k], "f={f} k={k} {objective:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn over_wide_node_is_a_typed_error() {
+        let tree = wide_gate(MAX_DP_FANIN + 1, NodeOp::And);
+        let err =
+            map_tree_with(&tree, 4, Objective::Area, &|_| 0, &mut DpScratch::new()).unwrap_err();
+        assert_eq!(
+            err,
+            MapError::FaninTooWide {
+                fanin: MAX_DP_FANIN + 1,
+                limit: MAX_DP_FANIN
+            }
+        );
+    }
+
+    #[test]
+    fn scratch_reuse_across_trees_is_exact() {
+        // Mapping a wide tree dirties the scratch arena; a narrower tree
+        // mapped next must cost the same as with a fresh arena.
+        let mut shared = DpScratch::new();
+        let wide = wide_gate(10, NodeOp::And);
+        let _ = map_tree_with(&wide, 5, Objective::Area, &|_| 0, &mut shared).unwrap();
+        for f in 2..=9usize {
+            for k in 2..=5usize {
+                let tree = wide_gate(f, NodeOp::Or);
+                let reused = map_tree_with(&tree, k, Objective::Area, &|_| 0, &mut shared).unwrap();
+                let fresh = map_tree_with(&tree, k, Objective::Area, &|_| 0, &mut DpScratch::new())
+                    .unwrap();
+                assert_eq!(
+                    reused.tree_cost(&tree),
+                    fresh.tree_cost(&tree),
+                    "f={f} k={k}"
+                );
+                assert_eq!(
+                    reused.tree_depth(&tree),
+                    fresh.tree_depth(&tree),
+                    "f={f} k={k}"
+                );
+            }
+        }
     }
 
     #[test]
@@ -508,7 +887,8 @@ mod tests {
         net.add_output("z", g.into());
         let tree = single_tree(&net);
         let depth_of = move |id: chortle_netlist::NodeId| if id == a { 3 } else { 0 };
-        let dp = map_tree_with(&tree, 4, Objective::Area, &depth_of);
+        let dp =
+            map_tree_with(&tree, 4, Objective::Area, &depth_of, &mut DpScratch::new()).unwrap();
         assert_eq!(dp.tree_depth(&tree), 4);
     }
 }

@@ -53,9 +53,7 @@ pub fn duplicate_fanout_gates(network: &Network, max_fanin: usize) -> Network {
     let replicate: Vec<bool> = network
         .nodes()
         .map(|(id, node)| {
-            node.op().is_gate()
-                && fanouts[id.index()] > 1
-                && node.fanin_count() <= max_fanin
+            node.op().is_gate() && fanouts[id.index()] > 1 && node.fanin_count() <= max_fanin
         })
         .collect();
 

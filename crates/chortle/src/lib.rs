@@ -50,10 +50,11 @@
 pub mod clb;
 mod cover;
 mod crf;
-mod duplication;
 mod dp;
+mod duplication;
 pub mod figures;
 mod map;
+mod parallel;
 pub mod reference;
 mod tree;
 
@@ -85,5 +86,63 @@ pub use tree::{Forest, Tree, TreeChild, TreeNode};
 /// assert_eq!(tree_lut_cost(&forest.trees[0], 4), 1);
 /// ```
 pub fn tree_lut_cost(tree: &Tree, k: usize) -> u32 {
-    dp::map_tree(tree, k).tree_cost(tree)
+    TreeMapper::new()
+        .tree_cost(tree, k)
+        .expect("fanin within the subset-DP bound; split wide nodes first")
+}
+
+/// A reusable tree-cost evaluator.
+///
+/// The subset DP works out of a scratch arena; one `TreeMapper` keeps
+/// that arena alive across calls, so evaluating many trees (or the same
+/// tree at several K) performs no allocation after the first call. Use
+/// this instead of [`tree_lut_cost`] in any loop:
+///
+/// ```
+/// use chortle::{Forest, TreeMapper};
+/// use chortle_netlist::{Network, NodeOp};
+///
+/// let mut net = Network::new();
+/// let a = net.add_input("a");
+/// let b = net.add_input("b");
+/// let g = net.add_gate(NodeOp::And, vec![a.into(), b.into()]);
+/// net.add_output("z", g.into());
+/// let forest = Forest::of(&net);
+///
+/// let mut mapper = TreeMapper::new();
+/// let total: u32 = forest
+///     .trees
+///     .iter()
+///     .map(|t| mapper.tree_cost(t, 4).expect("narrow fanin"))
+///     .sum();
+/// assert_eq!(total, 1);
+/// ```
+#[derive(Default)]
+pub struct TreeMapper {
+    scratch: dp::DpScratch,
+}
+
+impl TreeMapper {
+    /// An evaluator with an empty arena (it grows on first use).
+    pub fn new() -> Self {
+        TreeMapper {
+            scratch: dp::DpScratch::new(),
+        }
+    }
+
+    /// LUT count of the optimal area-objective mapping of `tree` (zero
+    /// leaf depths, as in the paper) — the value [`tree_lut_cost`]
+    /// returns, without the per-call allocations.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MapError::FaninTooWide`] if a node's fanin exceeds the
+    /// subset-DP bound of 25 (run [`Tree::split_wide_nodes`] first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k < 2`.
+    pub fn tree_cost(&mut self, tree: &Tree, k: usize) -> Result<u32, MapError> {
+        dp::tree_cost_with(tree, k, Objective::Area, &|_| 0, &mut self.scratch).map(|c| c.luts)
+    }
 }

@@ -8,8 +8,8 @@ use std::collections::HashMap;
 use chortle_netlist::{LutCircuit, LutError, LutSource, Network, NodeId, NodeOp};
 
 use crate::cover::emit_forest;
-use crate::dp::{map_tree_with, Objective};
-use crate::tree::Forest;
+use crate::dp::{map_tree_with, DpScratch, Objective, TreeDp};
+use crate::tree::{Forest, Tree};
 
 /// Configuration of the Chortle mapper.
 ///
@@ -33,6 +33,10 @@ pub struct MapOptions {
     /// What to minimize: LUT count (the paper's objective, with a depth
     /// tie-break) or LUT depth (with an area tie-break).
     pub objective: Objective,
+    /// Worker threads for mapping the forest (1 = sequential). Trees are
+    /// scheduled in dependency wavefronts; any value produces a circuit
+    /// identical to the sequential one.
+    pub jobs: usize,
 }
 
 impl MapOptions {
@@ -42,14 +46,27 @@ impl MapOptions {
     /// # Panics
     ///
     /// Panics if `k < 2` or `k > 8` (truth tables of mapped LUTs are
-    /// materialized; 8 covers every commercial LUT architecture).
+    /// materialized; 8 covers every commercial LUT architecture). Use
+    /// [`MapOptions::try_new`] to handle the error instead.
     pub fn new(k: usize) -> Self {
-        assert!((2..=8).contains(&k), "K must be between 2 and 8");
-        MapOptions {
+        Self::try_new(k).expect("K must be between 2 and 8")
+    }
+
+    /// Fallible variant of [`MapOptions::new`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MapError::InvalidK`] if `k` is outside `2..=8`.
+    pub fn try_new(k: usize) -> Result<Self, MapError> {
+        if !(2..=8).contains(&k) {
+            return Err(MapError::InvalidK { k });
+        }
+        Ok(MapOptions {
             k,
             split_threshold: 10,
             objective: Objective::Area,
-        }
+            jobs: 1,
+        })
     }
 
     /// Switches the objective to depth-first (lexicographic depth, then
@@ -64,30 +81,88 @@ impl MapOptions {
     ///
     /// # Panics
     ///
-    /// Panics if `threshold` is outside `2..=16`.
-    pub fn with_split_threshold(mut self, threshold: usize) -> Self {
-        assert!(
-            (2..=16).contains(&threshold),
-            "split threshold must be between 2 and 16"
-        );
+    /// Panics if `threshold` is outside `2..=16`. Use
+    /// [`MapOptions::try_with_split_threshold`] to handle the error
+    /// instead.
+    pub fn with_split_threshold(self, threshold: usize) -> Self {
+        self.try_with_split_threshold(threshold)
+            .expect("split threshold must be between 2 and 16")
+    }
+
+    /// Fallible variant of [`MapOptions::with_split_threshold`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MapError::InvalidSplitThreshold`] if `threshold` is
+    /// outside `2..=16`.
+    pub fn try_with_split_threshold(mut self, threshold: usize) -> Result<Self, MapError> {
+        if !(2..=16).contains(&threshold) {
+            return Err(MapError::InvalidSplitThreshold { threshold });
+        }
         self.split_threshold = threshold;
+        Ok(self)
+    }
+
+    /// Sets the number of worker threads for forest mapping. Zero selects
+    /// the host's available parallelism; 1 (the default) maps
+    /// sequentially. The produced circuit is identical for every value.
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.jobs = if jobs == 0 {
+            std::thread::available_parallelism().map_or(1, usize::from)
+        } else {
+            jobs
+        };
         self
     }
 }
 
-/// Errors returned by [`map_network`].
+/// Errors returned by [`map_network`] and the fallible
+/// [`MapOptions`] constructors.
 #[derive(Clone, Debug, PartialEq, Eq)]
 #[non_exhaustive]
 pub enum MapError {
     /// Circuit construction failed — indicates an internal inconsistency
     /// between the DP cost model and the reconstruction.
     Circuit(LutError),
+    /// A tree node's fanin exceeds what the `u32` subset DP can
+    /// enumerate. [`map_network`] pre-splits wide nodes, so this only
+    /// reaches callers driving the DP directly with splitting disabled.
+    FaninTooWide {
+        /// The offending node's fanin.
+        fanin: usize,
+        /// The largest supported fanin ([`crate::dp::MAX_DP_FANIN`]).
+        limit: usize,
+    },
+    /// The requested LUT input count is unsupported.
+    InvalidK {
+        /// The rejected value.
+        k: usize,
+    },
+    /// The requested node-splitting threshold is outside `2..=16`.
+    InvalidSplitThreshold {
+        /// The rejected value.
+        threshold: usize,
+    },
 }
 
 impl fmt::Display for MapError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             MapError::Circuit(e) => write!(f, "lookup-table circuit construction failed: {e}"),
+            MapError::FaninTooWide { fanin, limit } => write!(
+                f,
+                "tree node fanin {fanin} exceeds the subset-DP limit of {limit}; \
+                 split wide nodes first"
+            ),
+            MapError::InvalidK { k } => {
+                write!(f, "unsupported LUT input count K = {k} (must be 2..=8)")
+            }
+            MapError::InvalidSplitThreshold { threshold } => {
+                write!(
+                    f,
+                    "split threshold {threshold} out of range (must be 2..=16)"
+                )
+            }
         }
     }
 }
@@ -96,6 +171,7 @@ impl Error for MapError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             MapError::Circuit(e) => Some(e),
+            _ => None,
         }
     }
 }
@@ -175,28 +251,16 @@ pub fn map_network(network: &Network, options: &MapOptions) -> Result<Mapping, M
         trees: forest.trees.len(),
         ..MapReport::default()
     };
-    let mut mapped = Vec::with_capacity(forest.trees.len());
+    let mapped = if options.jobs > 1 {
+        crate::parallel::map_forest_wavefront(&normal, forest.trees, options)?
+    } else {
+        map_forest_sequential(&normal, forest.trees, options)?
+    };
     let mut predicted: u64 = 0;
-    // Arrival depth of every signal that can be a tree leaf: primary
-    // inputs and constants arrive at 0; tree roots at their mapped
-    // depth. The forest is topologically ordered, so leaves of a tree
-    // are always mapped first.
-    let mut depth_of: HashMap<NodeId, u32> = HashMap::new();
-    for tree in forest.trees {
+    for (tree, dp) in &mapped {
         report.tree_nodes += tree.nodes.len();
         report.max_fanin = report.max_fanin.max(tree.max_fanin());
-        let leaf_depth = |id: NodeId| -> u32 {
-            match normal.node(id).op() {
-                NodeOp::Input | NodeOp::Const(_) => 0,
-                NodeOp::And | NodeOp::Or => *depth_of
-                    .get(&id)
-                    .expect("forest is topologically ordered"),
-            }
-        };
-        let dp = map_tree_with(&tree, options.k, options.objective, &leaf_depth);
-        predicted += u64::from(dp.tree_cost(&tree));
-        depth_of.insert(tree.root, dp.tree_depth(&tree));
-        mapped.push((tree, dp));
+        predicted += u64::from(dp.tree_cost(tree));
     }
 
     // Primary inputs survive normalization in order; translate the
@@ -217,6 +281,44 @@ pub fn map_network(network: &Network, options: &MapOptions) -> Result<Mapping, M
     Ok(Mapping { circuit, report })
 }
 
+/// Arrival depth of a tree leaf: primary inputs and constants arrive at
+/// 0; gate leaves are other trees' roots and arrive at their mapped
+/// depth, which must already be recorded in `depth_of`.
+pub(crate) fn leaf_arrival(normal: &Network, depth_of: &HashMap<NodeId, u32>, id: NodeId) -> u32 {
+    match normal.node(id).op() {
+        NodeOp::Input | NodeOp::Const(_) => 0,
+        NodeOp::And | NodeOp::Or => *depth_of
+            .get(&id)
+            .expect("tree leaves are mapped before the tree that reads them"),
+    }
+}
+
+/// Maps every tree of the forest in order on the calling thread, one
+/// [`DpScratch`] arena reused throughout. The forest is topologically
+/// ordered, so leaves of a tree are always mapped first.
+fn map_forest_sequential(
+    normal: &Network,
+    trees: Vec<Tree>,
+    options: &MapOptions,
+) -> Result<Vec<(Tree, TreeDp)>, MapError> {
+    let mut mapped = Vec::with_capacity(trees.len());
+    let mut scratch = DpScratch::new();
+    let mut depth_of: HashMap<NodeId, u32> = HashMap::new();
+    for tree in trees {
+        let leaf_depth = |id: NodeId| leaf_arrival(normal, &depth_of, id);
+        let dp = map_tree_with(
+            &tree,
+            options.k,
+            options.objective,
+            &leaf_depth,
+            &mut scratch,
+        )?;
+        depth_of.insert(tree.root, dp.tree_depth(&tree));
+        mapped.push((tree, dp));
+    }
+    Ok(mapped)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -225,11 +327,7 @@ mod tests {
     fn verify(net: &Network, k: usize) -> Mapping {
         let mapped = map_network(net, &MapOptions::new(k)).expect("maps");
         check_equivalence(net, &mapped.circuit).expect("equivalent");
-        assert!(mapped
-            .circuit
-            .luts()
-            .iter()
-            .all(|l| l.utilization() <= k));
+        assert!(mapped.circuit.luts().iter().all(|l| l.utilization() <= k));
         mapped
     }
 
@@ -307,7 +405,11 @@ mod tests {
             let side = net.add_input(format!("i{i}"));
             let op = if i % 2 == 0 { NodeOp::And } else { NodeOp::Or };
             let g = net.add_gate(op, vec![cur, side.into()]);
-            cur = if i % 3 == 0 { Signal::inverted(g) } else { g.into() };
+            cur = if i % 3 == 0 {
+                Signal::inverted(g)
+            } else {
+                g.into()
+            };
         }
         net.add_output("z", cur);
         for k in 2..=6 {
@@ -337,7 +439,10 @@ mod tests {
     fn lut_count_monotone_in_k() {
         let mut net = Network::new();
         let inputs: Vec<_> = (0..9).map(|i| net.add_input(format!("i{i}"))).collect();
-        let g1 = net.add_gate(NodeOp::And, inputs[0..4].iter().map(|&i| i.into()).collect());
+        let g1 = net.add_gate(
+            NodeOp::And,
+            inputs[0..4].iter().map(|&i| i.into()).collect(),
+        );
         let g2 = net.add_gate(NodeOp::Or, inputs[4..9].iter().map(|&i| i.into()).collect());
         let z = net.add_gate(NodeOp::And, vec![g1.into(), Signal::inverted(g2)]);
         net.add_output("z", z.into());

@@ -1,0 +1,187 @@
+//! Parallel wavefront mapping of the forest.
+//!
+//! Trees in a forest depend on each other only through leaf depths: a
+//! tree whose leaf is another tree's root cannot be mapped (under the
+//! depth-aware cost model) until that root's mapped depth is known. The
+//! dependencies form a DAG, so the forest *levelizes*: wavefront 0 holds
+//! every tree whose leaves are all primary inputs or constants, wavefront
+//! `L+1` holds trees whose deepest tree-leaf lives in wavefront `L`.
+//! Within one wavefront every tree's leaf depths are already published,
+//! so the trees are independent and map concurrently.
+//!
+//! Workers pull tree indices from a shared atomic cursor
+//! ([`std::thread::scope`] — no external crates) and keep a private
+//! [`DpScratch`] arena each. Results land in a slot-per-tree vector and
+//! root depths are published between wavefronts in tree order, so the
+//! outcome is bit-identical to the sequential mapper for any worker
+//! count: the per-tree DP is deterministic given leaf depths, and leaf
+//! depths never depend on intra-wavefront completion order.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use chortle_netlist::{Network, NodeId};
+
+use crate::dp::{map_tree_with, DpScratch, TreeDp};
+use crate::map::{leaf_arrival, MapError, MapOptions};
+use crate::tree::{Tree, TreeChild};
+
+/// Maps the forest with `options.jobs` worker threads, wavefront by
+/// wavefront. Produces exactly the `(tree, dp)` sequence of the
+/// sequential mapper.
+pub(crate) fn map_forest_wavefront(
+    normal: &Network,
+    trees: Vec<Tree>,
+    options: &MapOptions,
+) -> Result<Vec<(Tree, TreeDp)>, MapError> {
+    let mut tree_of_root: HashMap<NodeId, usize> = HashMap::with_capacity(trees.len());
+    for (i, tree) in trees.iter().enumerate() {
+        tree_of_root.insert(tree.root, i);
+    }
+
+    // Levelize. The forest is topologically ordered (leaf trees precede
+    // their consumers), so one forward pass suffices.
+    let mut level = vec![0u32; trees.len()];
+    let mut max_level = 0u32;
+    for (i, tree) in trees.iter().enumerate() {
+        let mut lv = 0u32;
+        for node in &tree.nodes {
+            for child in &node.children {
+                if let TreeChild::Leaf(sig) = child {
+                    if let Some(&dep) = tree_of_root.get(&sig.node()) {
+                        lv = lv.max(level[dep] + 1);
+                    }
+                }
+            }
+        }
+        level[i] = lv;
+        max_level = max_level.max(lv);
+    }
+    let mut waves: Vec<Vec<usize>> = vec![Vec::new(); max_level as usize + 1];
+    for (i, &lv) in level.iter().enumerate() {
+        waves[lv as usize].push(i);
+    }
+
+    let mut dps: Vec<Option<TreeDp>> = (0..trees.len()).map(|_| None).collect();
+    let mut depth_of: HashMap<NodeId, u32> = HashMap::new();
+    // Scratch for wavefronts mapped inline (a single-tree wavefront is
+    // cheaper on the calling thread than across a spawn).
+    let mut inline_scratch = DpScratch::new();
+
+    for wave in &waves {
+        let queue = AtomicUsize::new(0);
+        // A worker: drain the wavefront cursor, mapping each claimed tree
+        // with a thread-private scratch arena.
+        let run = |scratch: &mut DpScratch,
+                   out: &mut Vec<(usize, TreeDp)>|
+         -> Result<(), MapError> {
+            loop {
+                let slot = queue.fetch_add(1, Ordering::Relaxed);
+                let Some(&ti) = wave.get(slot) else {
+                    return Ok(());
+                };
+                let tree = &trees[ti];
+                let leaf_depth = |id: NodeId| leaf_arrival(normal, &depth_of, id);
+                let dp = map_tree_with(tree, options.k, options.objective, &leaf_depth, scratch)?;
+                out.push((ti, dp));
+            }
+        };
+
+        let workers = options.jobs.min(wave.len()).max(1);
+        if workers == 1 {
+            let mut out = Vec::with_capacity(wave.len());
+            run(&mut inline_scratch, &mut out)?;
+            for (ti, dp) in out {
+                dps[ti] = Some(dp);
+            }
+        } else {
+            let run = &run;
+            let results = std::thread::scope(|s| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|_| {
+                        s.spawn(move || {
+                            let mut scratch = DpScratch::new();
+                            let mut out = Vec::new();
+                            run(&mut scratch, &mut out).map(|()| out)
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("mapper worker panicked"))
+                    .collect::<Vec<_>>()
+            });
+            for result in results {
+                for (ti, dp) in result? {
+                    dps[ti] = Some(dp);
+                }
+            }
+        }
+
+        // Publish this wavefront's root depths, in tree order, before the
+        // next wavefront reads them.
+        for &ti in wave {
+            let dp = dps[ti].as_ref().expect("wavefront mapped every tree");
+            depth_of.insert(trees[ti].root, dp.tree_depth(&trees[ti]));
+        }
+    }
+
+    Ok(trees
+        .into_iter()
+        .zip(dps)
+        .map(|(tree, dp)| (tree, dp.expect("every wavefront tree mapped")))
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{map_network, MapOptions};
+    use chortle_netlist::{Network, NodeOp, Signal};
+
+    /// A network with a three-level tree dependency chain plus
+    /// independent cones, exercising multi-tree wavefronts.
+    fn layered_network() -> Network {
+        let mut net = Network::new();
+        let inputs: Vec<Signal> = (0..8)
+            .map(|i| Signal::new(net.add_input(format!("i{i}"))))
+            .collect();
+        // Two shared gates (roots by fanout) feeding two consumers each.
+        let s1 = Signal::new(net.add_gate(NodeOp::And, vec![inputs[0], inputs[1], inputs[2]]));
+        let s2 = Signal::new(net.add_gate(NodeOp::Or, vec![inputs[3], inputs[4]]));
+        let m1 = Signal::new(net.add_gate(NodeOp::Or, vec![s1, inputs[5]]));
+        let m2 = Signal::new(net.add_gate(NodeOp::And, vec![s1, s2, inputs[6]]));
+        let top = Signal::new(net.add_gate(NodeOp::Or, vec![m1, m2, inputs[7]]));
+        net.add_output("t", top);
+        net.add_output("m2", !m2);
+        net.add_output("s2", s2);
+        net
+    }
+
+    #[test]
+    fn parallel_matches_sequential_exactly() {
+        let net = layered_network();
+        for k in 2..=5 {
+            for objective in [
+                MapOptions::new(k),
+                MapOptions::new(k).with_depth_objective(),
+            ] {
+                let seq = map_network(&net, &objective).unwrap();
+                for jobs in [2, 3, 8] {
+                    let par = map_network(&net, &objective.with_jobs(jobs)).unwrap();
+                    assert_eq!(seq.circuit, par.circuit, "k={k} jobs={jobs}");
+                    assert_eq!(seq.report, par.report, "k={k} jobs={jobs}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn jobs_zero_selects_host_parallelism() {
+        let opts = MapOptions::new(4).with_jobs(0);
+        assert!(opts.jobs >= 1);
+        let net = layered_network();
+        let seq = map_network(&net, &MapOptions::new(4)).unwrap();
+        let par = map_network(&net, &opts).unwrap();
+        assert_eq!(seq.circuit, par.circuit);
+    }
+}

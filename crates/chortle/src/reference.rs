@@ -186,7 +186,11 @@ mod tests {
                 }
                 fanins.push(s);
             }
-            let op = if rng.next_bool(1, 2) { NodeOp::And } else { NodeOp::Or };
+            let op = if rng.next_bool(1, 2) {
+                NodeOp::And
+            } else {
+                NodeOp::Or
+            };
             let g = net.add_gate(op, fanins);
             pool.push(Signal::new(g));
         }
@@ -203,11 +207,7 @@ mod tests {
             for k in 2..=5 {
                 let dp = map_tree(&tree, k);
                 let want = reference_tree_cost(&tree, k);
-                assert_eq!(
-                    dp.tree_cost(&tree),
-                    want,
-                    "seed={seed} k={k} tree={tree:?}"
-                );
+                assert_eq!(dp.tree_cost(&tree), want, "seed={seed} k={k} tree={tree:?}");
             }
         }
     }
@@ -217,7 +217,10 @@ mod tests {
         for f in 2..=7usize {
             let mut net = Network::new();
             let inputs: Vec<_> = (0..f).map(|i| net.add_input(format!("i{i}"))).collect();
-            let g = net.add_gate(NodeOp::And, inputs.iter().map(|&i| Signal::new(i)).collect());
+            let g = net.add_gate(
+                NodeOp::And,
+                inputs.iter().map(|&i| Signal::new(i)).collect(),
+            );
             net.add_output("z", g.into());
             let forest = Forest::of(&net);
             let tree = &forest.trees[0];

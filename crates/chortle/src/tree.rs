@@ -67,7 +67,11 @@ impl Tree {
 
     /// Largest fanin over the tree's nodes.
     pub fn max_fanin(&self) -> usize {
-        self.nodes.iter().map(|n| n.children.len()).max().unwrap_or(0)
+        self.nodes
+            .iter()
+            .map(|n| n.children.len())
+            .max()
+            .unwrap_or(0)
     }
 
     /// Splits every node with more than `threshold` children into a
@@ -239,12 +243,7 @@ impl Forest {
 fn extract_tree(network: &Network, root: NodeId, is_root: &[bool]) -> Tree {
     let mut nodes: Vec<TreeNode> = Vec::new();
     // Post-order emission so children precede parents.
-    fn visit(
-        network: &Network,
-        id: NodeId,
-        is_root: &[bool],
-        nodes: &mut Vec<TreeNode>,
-    ) -> usize {
+    fn visit(network: &Network, id: NodeId, is_root: &[bool], nodes: &mut Vec<TreeNode>) -> usize {
         let node = network.node(id);
         debug_assert!(node.op().is_gate());
         assert!(
@@ -298,7 +297,7 @@ mod tests {
         let net = figure3_like();
         let forest = Forest::of(&net);
         assert_eq!(forest.trees.len(), 3); // n, a, b
-        // The consumers see n as a leaf.
+                                           // The consumers see n as a leaf.
         let leaf_counts: Vec<usize> = forest.trees.iter().map(Tree::leaf_count).collect();
         assert_eq!(leaf_counts, vec![2, 2, 2]);
     }
@@ -349,10 +348,7 @@ mod tests {
     fn splitting_preserves_function_and_bounds_fanin() {
         let mut net = Network::new();
         let inputs: Vec<_> = (0..13).map(|i| net.add_input(format!("i{i}"))).collect();
-        let g = net.add_gate(
-            NodeOp::Or,
-            inputs.iter().map(|&i| Signal::new(i)).collect(),
-        );
+        let g = net.add_gate(NodeOp::Or, inputs.iter().map(|&i| Signal::new(i)).collect());
         net.add_output("z", g.into());
         let mut forest = Forest::of(&net);
         let original = forest.trees[0].clone();

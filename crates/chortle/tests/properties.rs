@@ -1,8 +1,10 @@
-//! Property-based tests for the Chortle mapper: optimality against the
+//! Property-style tests for the Chortle mapper: optimality against the
 //! paper-literal reference, functional correctness of emitted circuits,
 //! and structural invariants, on randomized networks and trees.
-
-use proptest::prelude::*;
+//!
+//! Random cases come from the in-repo [`SplitMix64`] generator (no
+//! external property-testing dependency), so the suite runs fully offline
+//! and reproduces bit-for-bit.
 
 use chortle::reference::reference_tree_cost;
 use chortle::{map_network, tree_lut_cost, Forest, MapOptions};
@@ -57,75 +59,99 @@ fn random_tree_network(seed: u64, leaves: usize, max_arity: usize) -> Network {
             }
             fanins.push(s);
         }
-        let op = if rng.next_bool(1, 2) { NodeOp::And } else { NodeOp::Or };
+        let op = if rng.next_bool(1, 2) {
+            NodeOp::And
+        } else {
+            NodeOp::Or
+        };
         pool.push(Signal::new(net.add_gate(op, fanins)));
     }
     net.add_output("z", pool[0]);
     net
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn mapping_is_always_equivalent(seed in any::<u64>(), k in 2usize..=6) {
-        let net = random_network(seed, 7, 14, 5);
+#[test]
+fn mapping_is_always_equivalent() {
+    let mut rng = SplitMix64::new(0xc0_0001);
+    for _ in 0..64 {
+        let net = random_network(rng.next_u64(), 7, 14, 5);
+        let k = rng.next_range(2, 7);
         let mapped = map_network(&net, &MapOptions::new(k)).unwrap();
         check_equivalence(&net, &mapped.circuit).unwrap();
-        prop_assert!(mapped.circuit.luts().iter().all(|l| l.utilization() <= k));
-        prop_assert_eq!(mapped.report.luts, mapped.circuit.num_luts());
+        assert!(mapped.circuit.luts().iter().all(|l| l.utilization() <= k));
+        assert_eq!(mapped.report.luts, mapped.circuit.num_luts());
     }
+}
 
-    #[test]
-    fn dp_matches_paper_pseudocode(seed in any::<u64>(), k in 2usize..=5) {
+#[test]
+fn dp_matches_paper_pseudocode() {
+    let mut rng = SplitMix64::new(0xc0_0002);
+    for _ in 0..64 {
+        let seed = rng.next_u64();
+        let k = rng.next_range(2, 6);
         let net = random_tree_network(seed, 4 + (seed % 7) as usize, 4);
         let forest = Forest::of(&net);
-        prop_assert_eq!(forest.trees.len(), 1);
+        assert_eq!(forest.trees.len(), 1);
         let tree = &forest.trees[0];
-        prop_assert_eq!(
+        assert_eq!(
             tree_lut_cost(tree, k),
             reference_tree_cost(tree, k),
-            "tree {:?}", tree
+            "tree {tree:?}"
         );
     }
+}
 
-    #[test]
-    fn lut_count_monotone_in_k(seed in any::<u64>()) {
-        let net = random_network(seed, 7, 12, 5);
+#[test]
+fn lut_count_monotone_in_k() {
+    let mut rng = SplitMix64::new(0xc0_0003);
+    for _ in 0..64 {
+        let net = random_network(rng.next_u64(), 7, 12, 5);
         let mut last = usize::MAX;
         for k in 2..=7 {
             let mapped = map_network(&net, &MapOptions::new(k)).unwrap();
-            prop_assert!(mapped.report.luts <= last);
+            assert!(mapped.report.luts <= last);
             last = mapped.report.luts;
         }
     }
+}
 
-    #[test]
-    fn splitting_never_beats_exhaustive(seed in any::<u64>(), k in 2usize..=5) {
-        // A mapping with aggressive splitting can never need *fewer* LUTs
-        // than one with the search space intact.
-        let net = random_network(seed, 8, 10, 7);
+#[test]
+fn splitting_never_beats_exhaustive() {
+    // A mapping with aggressive splitting can never need *fewer* LUTs
+    // than one with the search space intact.
+    let mut rng = SplitMix64::new(0xc0_0004);
+    for _ in 0..64 {
+        let net = random_network(rng.next_u64(), 8, 10, 7);
+        let k = rng.next_range(2, 6);
         let fine = map_network(&net, &MapOptions::new(k).with_split_threshold(16)).unwrap();
         let coarse = map_network(&net, &MapOptions::new(k).with_split_threshold(2)).unwrap();
-        prop_assert!(fine.report.luts <= coarse.report.luts);
+        assert!(fine.report.luts <= coarse.report.luts);
         check_equivalence(&net, &coarse.circuit).unwrap();
     }
+}
 
-    #[test]
-    fn tree_cost_lower_bound_from_leaves(seed in any::<u64>(), k in 2usize..=6) {
-        // A tree with L leaves needs at least ceil((L-1)/(K-1)) LUTs.
+#[test]
+fn tree_cost_lower_bound_from_leaves() {
+    // A tree with L leaves needs at least ceil((L-1)/(K-1)) LUTs.
+    let mut rng = SplitMix64::new(0xc0_0005);
+    for _ in 0..64 {
+        let seed = rng.next_u64();
+        let k = rng.next_range(2, 7);
         let net = random_tree_network(seed, 5 + (seed % 9) as usize, 5);
         let forest = Forest::of(&net);
         let tree = &forest.trees[0];
         let cost = tree_lut_cost(tree, k) as usize;
         let leaves = tree.leaf_count();
-        prop_assert!(cost >= (leaves - 1).div_ceil(k - 1));
-        prop_assert!(cost <= leaves); // crude upper bound
+        assert!(cost >= (leaves - 1).div_ceil(k - 1));
+        assert!(cost <= leaves); // crude upper bound
     }
+}
 
-    #[test]
-    fn forest_covers_every_live_gate_exactly_once(seed in any::<u64>()) {
-        let net = random_network(seed, 7, 14, 5).simplified();
+#[test]
+fn forest_covers_every_live_gate_exactly_once() {
+    let mut rng = SplitMix64::new(0xc0_0006);
+    for _ in 0..64 {
+        let net = random_network(rng.next_u64(), 7, 14, 5).simplified();
         let forest = Forest::of(&net);
         // Count gate coverage: every live gate appears in exactly one
         // tree (roots as roots, internals inside).
@@ -136,45 +162,52 @@ proptest! {
                 live_gates += 1;
             }
         }
-        prop_assert_eq!(forest.node_count(), live_gates);
-    }
-
-    #[test]
-    fn mapping_unsimplified_equals_mapping_simplified(seed in any::<u64>()) {
-        let net = random_network(seed, 6, 10, 4);
-        let a = map_network(&net, &MapOptions::new(4)).unwrap();
-        let b = map_network(&net.simplified(), &MapOptions::new(4)).unwrap();
-        prop_assert_eq!(a.report.luts, b.report.luts);
+        assert_eq!(forest.node_count(), live_gates);
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+#[test]
+fn mapping_unsimplified_equals_mapping_simplified() {
+    let mut rng = SplitMix64::new(0xc0_0007);
+    for _ in 0..64 {
+        let net = random_network(rng.next_u64(), 6, 10, 4);
+        let a = map_network(&net, &MapOptions::new(4)).unwrap();
+        let b = map_network(&net.simplified(), &MapOptions::new(4)).unwrap();
+        assert_eq!(a.report.luts, b.report.luts);
+    }
+}
 
-    #[test]
-    fn depth_objective_is_equivalent_and_shallower(seed in any::<u64>(), k in 2usize..=5) {
-        let net = random_network(seed, 7, 14, 5);
+#[test]
+fn depth_objective_is_equivalent_and_shallower() {
+    let mut rng = SplitMix64::new(0xc0_0008);
+    for _ in 0..48 {
+        let net = random_network(rng.next_u64(), 7, 14, 5);
+        let k = rng.next_range(2, 6);
         let area = map_network(&net, &MapOptions::new(k)).unwrap();
         let depth = map_network(&net, &MapOptions::new(k).with_depth_objective()).unwrap();
         check_equivalence(&net, &depth.circuit).unwrap();
         // Depth mode minimizes every tree's output depth given minimal
         // leaf depths, so the whole circuit can never end up deeper.
-        prop_assert!(
+        assert!(
             depth.circuit.depth() <= area.circuit.depth(),
             "depth mode deeper: {} vs {}",
             depth.circuit.depth(),
             area.circuit.depth()
         );
         // Area mode stays LUT-optimal per tree.
-        prop_assert!(area.report.luts <= depth.report.luts);
+        assert!(area.report.luts <= depth.report.luts);
     }
+}
 
-    #[test]
-    fn duplication_best_is_equivalent_and_no_worse(seed in any::<u64>(), k in 2usize..=5) {
-        let net = random_network(seed, 6, 10, 4);
+#[test]
+fn duplication_best_is_equivalent_and_no_worse() {
+    let mut rng = SplitMix64::new(0xc0_0009);
+    for _ in 0..48 {
+        let net = random_network(rng.next_u64(), 6, 10, 4);
+        let k = rng.next_range(2, 6);
         let plain = map_network(&net, &MapOptions::new(k)).unwrap();
         let best = chortle::map_network_best(&net, &MapOptions::new(k)).unwrap();
         check_equivalence(&net, &best.circuit).unwrap();
-        prop_assert!(best.report.luts <= plain.report.luts);
+        assert!(best.report.luts <= plain.report.luts);
     }
 }

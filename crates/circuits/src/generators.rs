@@ -88,7 +88,12 @@ pub fn alu(bits: usize) -> Network {
         let sel_xor = net.add_gate(NodeOp::And, vec![m1, m0, xor_i]);
         let out = net.add_gate(
             NodeOp::Or,
-            vec![sel_add.into(), sel_and.into(), sel_or.into(), sel_xor.into()],
+            vec![
+                sel_add.into(),
+                sel_and.into(),
+                sel_or.into(),
+                sel_xor.into(),
+            ],
         );
         net.add_output(format!("f{i}"), out.into());
         carry = next_carry;
@@ -122,13 +127,7 @@ pub fn count(bits: usize) -> Network {
     let low = bits.min(4);
     for value in 0..(1u32 << low) {
         let lits: Vec<Signal> = (0..low)
-            .map(|i| {
-                if (value >> i) & 1 == 1 {
-                    x[i]
-                } else {
-                    !x[i]
-                }
-            })
+            .map(|i| if (value >> i) & 1 == 1 { x[i] } else { !x[i] })
             .collect();
         let hit = and_all(&mut net, &lits);
         let gated = net.add_gate(NodeOp::And, vec![hit, en]);
@@ -346,7 +345,9 @@ mod tests {
     fn nine_symml_is_the_symmetric_function() {
         let net = nine_symml();
         net.validate().expect("valid");
-        let f = net.signal_function(net.outputs()[0].signal).expect("9 inputs fit");
+        let f = net
+            .signal_function(net.outputs()[0].signal)
+            .expect("9 inputs fit");
         for bits in 0..512u32 {
             let ones = bits.count_ones();
             assert_eq!(f.eval(bits), (3..=6).contains(&ones), "bits={bits:b}");

@@ -21,8 +21,7 @@ pub struct Benchmark {
 
 /// Names of the twelve benchmarks, in the paper's table order.
 pub const BENCHMARK_NAMES: [&str; 12] = [
-    "9symml", "alu2", "alu4", "apex6", "apex7", "count", "des", "frg1", "frg2", "k2", "pair",
-    "rot",
+    "9symml", "alu2", "alu4", "apex6", "apex7", "count", "des", "frg1", "frg2", "k2", "pair", "rot",
 ];
 
 /// Builds one benchmark by name; `None` for unknown names.

@@ -38,8 +38,8 @@ use chortle::{map_network, MapOptions};
 use chortle_logic_opt::optimize;
 use chortle_mis::{map_network as mis_map, Library, MisOptions};
 use chortle_netlist::{
-    check_equivalence, lut_circuit_to_dot, parse_blif, write_lut_blif, write_lut_verilog,
-    LutStats, NetworkStats, ParseBlifError,
+    check_equivalence, lut_circuit_to_dot, parse_blif, write_lut_blif, write_lut_verilog, LutStats,
+    NetworkStats, ParseBlifError,
 };
 
 /// Output format of the mapped circuit.
@@ -78,6 +78,9 @@ pub struct FlowOptions {
     pub verify: bool,
     /// Chortle's node-splitting threshold.
     pub split_threshold: usize,
+    /// Worker threads for Chortle's forest mapping (1 = sequential,
+    /// 0 = host parallelism). Any value maps to the identical circuit.
+    pub jobs: usize,
     /// Serialization format of the mapped circuit.
     pub format: OutputFormat,
 }
@@ -90,6 +93,7 @@ impl Default for FlowOptions {
             optimize: true,
             verify: true,
             split_threshold: 10,
+            jobs: 1,
             format: OutputFormat::Blif,
         }
     }
@@ -183,7 +187,8 @@ pub fn run_flow(blif: &str, options: &FlowOptions) -> Result<FlowResult, FlowErr
     let circuit = match options.mapper {
         Mapper::Chortle => {
             let opts = MapOptions::new(options.k)
-                .with_split_threshold(options.split_threshold.clamp(2, 16));
+                .with_split_threshold(options.split_threshold.clamp(2, 16))
+                .with_jobs(options.jobs);
             map_network(&network, &opts)
                 .map_err(|e| FlowError::Internal(e.to_string()))?
                 .circuit

@@ -11,6 +11,7 @@
 //!   --no-optimize      skip the MIS-style optimization script
 //!   --no-verify        skip the functional equivalence check
 //!   --split N          Chortle node-splitting threshold (default 10)
+//!   --jobs N           mapper worker threads; 0 = all cores (default 1)
 //!   --format F         output format: blif (default), verilog, dot
 //!   --stats            print statistics to stderr
 //! ```
@@ -50,6 +51,10 @@ fn main() -> ExitCode {
                 Some(v) => options.split_threshold = v,
                 None => return usage("--split requires an integer"),
             },
+            "--jobs" => match args.next().and_then(|s| s.parse().ok()) {
+                Some(v) => options.jobs = v,
+                None => return usage("--jobs requires an integer"),
+            },
             "--format" => match args.next().as_deref() {
                 Some("blif") => options.format = OutputFormat::Blif,
                 Some("verilog") => options.format = OutputFormat::Verilog,
@@ -60,7 +65,7 @@ fn main() -> ExitCode {
             "--help" | "-h" => {
                 println!(
                     "chortle-map [-k N] [-o FILE] [--mapper chortle|mis] [--format blif|verilog|dot] \
-                     [--no-optimize] [--no-verify] [--split N] [--stats] [INPUT.blif]"
+                     [--no-optimize] [--no-verify] [--split N] [--jobs N] [--stats] [INPUT.blif]"
                 );
                 return ExitCode::SUCCESS;
             }

@@ -24,12 +24,13 @@ fn run(args: &[&str], stdin: &str) -> (String, String, bool) {
         .stderr(Stdio::piped())
         .spawn()
         .expect("binary spawns");
-    child
+    // The binary exits before draining stdin when the arguments are bad;
+    // a broken pipe here is part of the scenario, not a harness error.
+    let _ = child
         .stdin
         .as_mut()
         .expect("stdin piped")
-        .write_all(stdin.as_bytes())
-        .expect("write stdin");
+        .write_all(stdin.as_bytes());
     let out = child.wait_with_output().expect("binary exits");
     (
         String::from_utf8_lossy(&out.stdout).into_owned(),
@@ -95,6 +96,17 @@ fn file_round_trip() {
     assert!(written.contains(".model mapped"));
     let _ = std::fs::remove_file(in_path);
     let _ = std::fs::remove_file(out_path);
+}
+
+#[test]
+fn jobs_flag_matches_sequential_output() {
+    let (seq, _, ok) = run(&["-k", "3"], DEMO);
+    assert!(ok);
+    for jobs in ["0", "4"] {
+        let (par, _, ok) = run(&["-k", "3", "--jobs", jobs], DEMO);
+        assert!(ok);
+        assert_eq!(seq, par, "--jobs {jobs} must not change the circuit");
+    }
 }
 
 #[test]

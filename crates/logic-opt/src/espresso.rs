@@ -106,14 +106,9 @@ fn expand(f: &Sop) -> Sop {
         loop {
             let mut grown = false;
             for &lit in current.clone().literals() {
-                let candidate = Cube::from_literals(
-                    current
-                        .literals()
-                        .iter()
-                        .copied()
-                        .filter(|&l| l != lit),
-                )
-                .expect("subset of a cube");
+                let candidate =
+                    Cube::from_literals(current.literals().iter().copied().filter(|&l| l != lit))
+                        .expect("subset of a cube");
                 if covers_cube(&reference, &candidate) {
                     current = candidate;
                     grown = true;

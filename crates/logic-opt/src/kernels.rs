@@ -93,11 +93,7 @@ fn kernel_rec(
         let full_extra = extra
             .product(&cube_lit)
             .expect("literal not in quotient common cube");
-        if full_extra
-            .literals()
-            .iter()
-            .any(|l| lits[..i].contains(l))
-        {
+        if full_extra.literals().iter().any(|l| lits[..i].contains(l)) {
             continue;
         }
         let new_co = co_kernel

@@ -74,7 +74,10 @@ impl SopNetwork {
 
     /// Declares a primary output driven by `literal`.
     pub fn add_output(&mut self, name: impl Into<String>, literal: Literal) {
-        assert!(literal.var() < self.items.len(), "output references undefined item");
+        assert!(
+            literal.var() < self.items.len(),
+            "output references undefined item"
+        );
         self.outputs.push((name.into(), literal));
     }
 
@@ -167,10 +170,11 @@ impl SopNetwork {
                 ),
                 NodeOp::Const(v) => out.add_node(if v { Sop::one() } else { Sop::zero() }),
                 NodeOp::And => {
-                    let cube = Cube::from_literals(node.fanins().iter().map(|s| {
-                        Literal::with_phase(var_of[s.node().index()], s.is_inverted())
-                    }))
-                    .expect("network gates reference distinct nodes");
+                    let cube =
+                        Cube::from_literals(node.fanins().iter().map(|s| {
+                            Literal::with_phase(var_of[s.node().index()], s.is_inverted())
+                        }))
+                        .expect("network gates reference distinct nodes");
                     out.add_node(Sop::from_cubes([cube]))
                 }
                 NodeOp::Or => {
@@ -472,7 +476,10 @@ impl SopNetwork {
         }
         for (name, lit) in &self.outputs {
             let sig = signal_of[&lit.var()];
-            net.add_output(name.clone(), sig.with_inversion(sig.is_inverted() ^ lit.is_inverted()));
+            net.add_output(
+                name.clone(),
+                sig.with_inversion(sig.is_inverted() ^ lit.is_inverted()),
+            );
         }
         Ok(net)
     }
@@ -480,11 +487,7 @@ impl SopNetwork {
 
 /// Emits gates for a factored expression; returns the polarized signal of
 /// its value.
-fn emit_factored(
-    tree: &Factored,
-    signal_of: &HashMap<usize, Signal>,
-    net: &mut Network,
-) -> Signal {
+fn emit_factored(tree: &Factored, signal_of: &HashMap<usize, Signal>, net: &mut Network) -> Signal {
     match tree {
         Factored::Const(v) => Signal::new(net.add_const(*v)),
         Factored::Literal(l) => {
@@ -571,7 +574,10 @@ mod tests {
         let after: Vec<bool> = (0..8).map(|bits| n.eval_outputs(bits)[0]).collect();
         assert_eq!(before, after);
         // z's SOP is now abc directly.
-        assert_eq!(n.node_sop(z).unwrap(), &sop(&[&[(a, false), (b, false), (c, false)]]));
+        assert_eq!(
+            n.node_sop(z).unwrap(),
+            &sop(&[&[(a, false), (b, false), (c, false)]])
+        );
     }
 
     #[test]

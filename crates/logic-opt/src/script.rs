@@ -172,10 +172,7 @@ mod tests {
         let g1 = net.add_gate(NodeOp::And, vec![inputs[0].into(), inputs[2].into()]);
         let g2 = net.add_gate(NodeOp::And, vec![inputs[1].into(), inputs[2].into()]);
         let g3 = net.add_gate(NodeOp::Or, vec![g1.into(), g2.into()]);
-        let g4 = net.add_gate(
-            NodeOp::And,
-            vec![g3.into(), Signal::inverted(inputs[3])],
-        );
+        let g4 = net.add_gate(NodeOp::And, vec![g3.into(), Signal::inverted(inputs[3])]);
         let g5 = net.add_gate(NodeOp::Or, vec![g4.into(), inputs[4].into()]);
         net.add_output("x", g3.into());
         net.add_output("y", Signal::inverted(g5));

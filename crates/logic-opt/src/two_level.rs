@@ -27,9 +27,11 @@ impl Implicant {
     }
 
     fn to_cube(self, vars: usize) -> Cube {
-        Cube::from_literals((0..vars).filter(|&v| self.care & (1 << v) != 0).map(|v| {
-            Literal::with_phase(v, self.value & (1 << v) == 0)
-        }))
+        Cube::from_literals(
+            (0..vars)
+                .filter(|&v| self.care & (1 << v) != 0)
+                .map(|v| Literal::with_phase(v, self.value & (1 << v) == 0)),
+        )
         .expect("implicant positions are distinct")
     }
 }
@@ -37,7 +39,11 @@ impl Implicant {
 /// Computes all prime implicants of the on-set given as minterm values
 /// over `vars` variables.
 fn prime_implicants(minterms: &[u32], vars: usize) -> Vec<Implicant> {
-    let full_care: u32 = if vars == 32 { u32::MAX } else { (1 << vars) - 1 };
+    let full_care: u32 = if vars == 32 {
+        u32::MAX
+    } else {
+        (1 << vars) - 1
+    };
     let mut current: Vec<Implicant> = minterms
         .iter()
         .map(|&m| Implicant {
@@ -249,11 +255,8 @@ pub fn minimize_exact(f: &Sop) -> Result<Sop, Sop> {
     }
     // Compact the support to 0..n.
     let n = support.len();
-    let to_local: std::collections::HashMap<usize, usize> = support
-        .iter()
-        .enumerate()
-        .map(|(i, &v)| (v, i))
-        .collect();
+    let to_local: std::collections::HashMap<usize, usize> =
+        support.iter().enumerate().map(|(i, &v)| (v, i)).collect();
     let local = f.rename_vars(&|v| to_local[&v]);
     // On-set minterms.
     let minterms: Vec<u32> = (0..(1u32 << n)).filter(|&m| local.eval(m as u64)).collect();
@@ -340,8 +343,7 @@ mod tests {
 
     #[test]
     fn wide_support_is_refused() {
-        let cubes: Vec<Vec<(usize, bool)>> =
-            (0..14).map(|v| vec![(v, false)]).collect();
+        let cubes: Vec<Vec<(usize, bool)>> = (0..14).map(|v| vec![(v, false)]).collect();
         let refs: Vec<&[(usize, bool)]> = cubes.iter().map(|c| c.as_slice()).collect();
         let f = Sop::try_from_slices(&refs).unwrap();
         assert!(minimize_exact(&f).is_err());

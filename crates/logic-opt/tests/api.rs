@@ -54,11 +54,7 @@ fn display_forms_are_readable() {
 
 #[test]
 fn kernel_struct_exposes_cokernel() {
-    let f = Sop::try_from_slices(&[
-        &[(0, false), (2, false)],
-        &[(1, false), (2, false)],
-    ])
-    .unwrap();
+    let f = Sop::try_from_slices(&[&[(0, false), (2, false)], &[(1, false), (2, false)]]).unwrap();
     let ks = kernels(&f);
     // (a + b) with co-kernel c must appear.
     let found = ks.iter().any(|k| {
@@ -118,16 +114,18 @@ fn eliminate_threshold_controls_growth() {
     let b = sn.add_input("b");
     let c = sn.add_input("c");
     let d = sn.add_input("d");
-    let t = sn.add_node(
-        Sop::try_from_slices(&[&[(a, false), (b, false)], &[(c, false)]]).unwrap(),
-    );
+    let t = sn.add_node(Sop::try_from_slices(&[&[(a, false), (b, false)], &[(c, false)]]).unwrap());
     let x = sn.add_node(Sop::try_from_slices(&[&[(t, false), (d, false)]]).unwrap());
     let y = sn.add_node(Sop::try_from_slices(&[&[(t, false), (d, true)]]).unwrap());
     sn.add_output("x", Literal::positive(x));
     sn.add_output("y", Literal::positive(y));
 
     let mut strict = sn.clone();
-    assert_eq!(strict.eliminate(0), 0, "growth must be refused at threshold 0");
+    assert_eq!(
+        strict.eliminate(0),
+        0,
+        "growth must be refused at threshold 0"
+    );
     let mut loose = sn.clone();
     assert_eq!(loose.eliminate(100), 1, "generous threshold inlines");
     for bits in 0..16u64 {

@@ -1,12 +1,12 @@
-//! Property-based tests for the algebraic optimization substrate: weak
+//! Property-style tests for the algebraic optimization substrate: weak
 //! division, kernels, factoring and the end-to-end script, on randomly
 //! generated SOPs and networks.
+//!
+//! Random cases come from the in-repo [`SplitMix64`] generator (no
+//! external property-testing dependency), so the suite runs fully offline
+//! and reproduces bit-for-bit.
 
-use proptest::prelude::*;
-
-use chortle_logic_opt::{
-    factor, is_level0_kernel, kernels, optimize, Cube, Literal, Sop,
-};
+use chortle_logic_opt::{factor, is_level0_kernel, kernels, optimize, Cube, Literal, Sop};
 use chortle_netlist::{check_networks, Network, NodeOp, Signal, SplitMix64};
 
 /// Builds a random SOP over `vars` variables from a seed.
@@ -64,113 +64,144 @@ fn random_network(seed: u64, inputs: usize, gates: usize) -> Network {
     net
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
-
-    #[test]
-    fn weak_division_identity_holds(fseed in any::<u64>(), dseed in any::<u64>()) {
-        let f = random_sop(fseed, 8, 6);
-        let d = random_sop(dseed, 8, 3);
+#[test]
+fn weak_division_identity_holds() {
+    let mut rng = SplitMix64::new(0x50b_0001);
+    for _ in 0..96 {
+        let f = random_sop(rng.next_u64(), 8, 6);
+        let d = random_sop(rng.next_u64(), 8, 3);
         let (q, r) = f.divide(&d);
         for bits in (0..512u64).step_by(7) {
             let bits = bits % 256;
-            prop_assert_eq!(
+            assert_eq!(
                 f.eval(bits),
                 (q.eval(bits) && d.eval(bits)) || r.eval(bits),
-                "f = q*d + r violated at {:b}", bits
+                "f = q*d + r violated at {bits:b}"
             );
         }
     }
+}
 
-    #[test]
-    fn quotient_times_divisor_within_f(fseed in any::<u64>(), dseed in any::<u64>()) {
-        // Algebraic division never over-approximates: q*d implies f.
-        let f = random_sop(fseed, 8, 6);
-        let d = random_sop(dseed, 8, 3);
+#[test]
+fn quotient_times_divisor_within_f() {
+    // Algebraic division never over-approximates: q*d implies f.
+    let mut rng = SplitMix64::new(0x50b_0002);
+    for _ in 0..96 {
+        let f = random_sop(rng.next_u64(), 8, 6);
+        let d = random_sop(rng.next_u64(), 8, 3);
         let (q, _) = f.divide(&d);
         for bits in 0..256u64 {
             if q.eval(bits) && d.eval(bits) {
-                prop_assert!(f.eval(bits));
+                assert!(f.eval(bits));
             }
         }
     }
+}
 
-    #[test]
-    fn minimize_preserves_function(seed in any::<u64>()) {
-        let f = random_sop(seed, 7, 8);
+#[test]
+fn minimize_preserves_function() {
+    let mut rng = SplitMix64::new(0x50b_0003);
+    for _ in 0..96 {
+        let f = random_sop(rng.next_u64(), 7, 8);
         let mut g = f.clone();
         g.minimize();
-        prop_assert!(g.num_cubes() <= f.num_cubes());
+        assert!(g.num_cubes() <= f.num_cubes());
         for bits in 0..128u64 {
-            prop_assert_eq!(f.eval(bits), g.eval(bits));
+            assert_eq!(f.eval(bits), g.eval(bits));
         }
     }
+}
 
-    #[test]
-    fn kernels_are_cube_free_even_divisors(seed in any::<u64>()) {
-        let f = random_sop(seed, 7, 6);
+#[test]
+fn kernels_are_cube_free_even_divisors() {
+    let mut rng = SplitMix64::new(0x50b_0004);
+    for _ in 0..96 {
+        let f = random_sop(rng.next_u64(), 7, 6);
         for k in kernels(&f) {
-            prop_assert!(k.kernel.is_cube_free(), "kernel {:?} not cube-free", k.kernel);
+            assert!(
+                k.kernel.is_cube_free(),
+                "kernel {:?} not cube-free",
+                k.kernel
+            );
             let (q, _) = f.divide(&k.kernel);
-            prop_assert!(!q.is_zero(), "kernel {:?} does not divide f", k.kernel);
+            assert!(!q.is_zero(), "kernel {:?} does not divide f", k.kernel);
         }
     }
+}
 
-    #[test]
-    fn level0_kernels_have_unique_literals(seed in any::<u64>()) {
-        let f = random_sop(seed, 7, 6);
+#[test]
+fn level0_kernels_have_unique_literals() {
+    let mut rng = SplitMix64::new(0x50b_0005);
+    for _ in 0..96 {
+        let f = random_sop(rng.next_u64(), 7, 6);
         for k in kernels(&f) {
             if is_level0_kernel(&k.kernel) {
                 for (_, count) in k.kernel.literal_counts() {
-                    prop_assert_eq!(count, 1);
+                    assert_eq!(count, 1);
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn factoring_preserves_function_and_never_grows(seed in any::<u64>()) {
-        let f = random_sop(seed, 7, 7);
+#[test]
+fn factoring_preserves_function_and_never_grows() {
+    let mut rng = SplitMix64::new(0x50b_0006);
+    for _ in 0..96 {
+        let f = random_sop(rng.next_u64(), 7, 7);
         let t = factor(&f);
         for bits in 0..128u64 {
-            prop_assert_eq!(f.eval(bits), t.eval(bits), "factored form differs at {:b}", bits);
+            assert_eq!(
+                f.eval(bits),
+                t.eval(bits),
+                "factored form differs at {bits:b}"
+            );
         }
-        prop_assert!(t.literal_count() <= f.num_literals());
-    }
-
-    #[test]
-    fn make_cube_free_factors_out_the_common_cube(seed in any::<u64>()) {
-        let f = random_sop(seed, 7, 6);
-        let (common, free) = f.make_cube_free();
-        for bits in 0..128u64 {
-            prop_assert_eq!(f.eval(bits), common.eval(bits) && free.eval(bits));
-        }
-        if free.num_cubes() >= 2 {
-            prop_assert!(free.common_cube().is_empty());
-        }
-    }
-
-    #[test]
-    fn optimize_script_preserves_networks(seed in any::<u64>()) {
-        let net = random_network(seed, 6, 12);
-        let (optimized, report) = optimize(&net).unwrap();
-        optimized.validate().unwrap();
-        check_networks(&net, &optimized).unwrap();
-        prop_assert!(report.literals_after <= report.literals_before);
+        assert!(t.literal_count() <= f.num_literals());
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
+#[test]
+fn make_cube_free_factors_out_the_common_cube() {
+    let mut rng = SplitMix64::new(0x50b_0007);
+    for _ in 0..96 {
+        let f = random_sop(rng.next_u64(), 7, 6);
+        let (common, free) = f.make_cube_free();
+        for bits in 0..128u64 {
+            assert_eq!(f.eval(bits), common.eval(bits) && free.eval(bits));
+        }
+        if free.num_cubes() >= 2 {
+            assert!(free.common_cube().is_empty());
+        }
+    }
+}
 
-    #[test]
-    fn exact_minimization_is_equivalent_and_prime(seed in any::<u64>()) {
-        let f = random_sop(seed, 6, 8);
+#[test]
+fn optimize_script_preserves_networks() {
+    let mut rng = SplitMix64::new(0x50b_0008);
+    for _ in 0..96 {
+        let net = random_network(rng.next_u64(), 6, 12);
+        let (optimized, report) = optimize(&net).unwrap();
+        optimized.validate().unwrap();
+        check_networks(&net, &optimized).unwrap();
+        assert!(report.literals_after <= report.literals_before);
+    }
+}
+
+#[test]
+fn exact_minimization_is_equivalent_and_prime() {
+    let mut rng = SplitMix64::new(0x50b_0009);
+    for _ in 0..96 {
+        let f = random_sop(rng.next_u64(), 6, 8);
         let g = chortle_logic_opt::minimize_exact(&f).unwrap();
         for bits in 0..64u64 {
-            prop_assert_eq!(f.eval(bits), g.eval(bits), "minimized cover differs at {:b}", bits);
+            assert_eq!(
+                f.eval(bits),
+                g.eval(bits),
+                "minimized cover differs at {bits:b}"
+            );
         }
-        prop_assert!(g.num_cubes() <= f.num_cubes().max(1));
+        assert!(g.num_cubes() <= f.num_cubes().max(1));
         // Irredundancy: removing any cube changes the function.
         if g.num_cubes() >= 2 {
             for drop in 0..g.num_cubes() {
@@ -182,46 +213,55 @@ proptest! {
                         .map(|(_, c)| c.clone()),
                 );
                 let differs = (0..64u64).any(|b| reduced.eval(b) != g.eval(b));
-                prop_assert!(differs, "cube {} is redundant in minimized cover", drop);
+                assert!(differs, "cube {drop} is redundant in minimized cover");
             }
         }
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
-
-    #[test]
-    fn heuristic_minimize_is_equivalent(seed in any::<u64>()) {
-        let f = random_sop(seed, 7, 8);
+#[test]
+fn heuristic_minimize_is_equivalent() {
+    let mut rng = SplitMix64::new(0x50b_000a);
+    for _ in 0..96 {
+        let f = random_sop(rng.next_u64(), 7, 8);
         let g = chortle_logic_opt::heuristic_minimize(&f);
         for bits in 0..128u64 {
-            prop_assert_eq!(f.eval(bits), g.eval(bits), "heuristic cover differs at {:b}", bits);
+            assert_eq!(
+                f.eval(bits),
+                g.eval(bits),
+                "heuristic cover differs at {bits:b}"
+            );
         }
-        prop_assert!(g.num_cubes() <= f.num_cubes().max(1));
+        assert!(g.num_cubes() <= f.num_cubes().max(1));
     }
+}
 
-    #[test]
-    fn heuristic_never_more_cubes_than_exact_needs_primes(seed in any::<u64>()) {
-        // Exact gives the minimum cube count; the heuristic must be
-        // equivalent and can only match or exceed it.
-        let f = random_sop(seed, 6, 6);
+#[test]
+fn heuristic_never_more_cubes_than_exact_needs_primes() {
+    // Exact gives the minimum cube count; the heuristic must be
+    // equivalent and can only match or exceed it.
+    let mut rng = SplitMix64::new(0x50b_000b);
+    for _ in 0..96 {
+        let f = random_sop(rng.next_u64(), 6, 6);
         let exact = chortle_logic_opt::minimize_exact(&f).unwrap();
         let heur = chortle_logic_opt::heuristic_minimize(&f);
-        prop_assert!(heur.num_cubes() >= exact.num_cubes());
+        assert!(heur.num_cubes() >= exact.num_cubes());
         for bits in 0..64u64 {
-            prop_assert_eq!(exact.eval(bits), heur.eval(bits));
+            assert_eq!(exact.eval(bits), heur.eval(bits));
         }
     }
+}
 
-    #[test]
-    fn covers_cube_matches_semantics(fseed in any::<u64>(), cseed in any::<u64>()) {
-        let f = random_sop(fseed, 6, 5);
-        let probe = random_sop(cseed, 6, 1);
+#[test]
+fn covers_cube_matches_semantics() {
+    let mut rng = SplitMix64::new(0x50b_000c);
+    for _ in 0..96 {
+        let f = random_sop(rng.next_u64(), 6, 5);
+        let probe = random_sop(rng.next_u64(), 6, 1);
         if let Some(cube) = probe.cubes().first() {
             let covered = chortle_logic_opt::covers_cube(&f, cube);
             let semantic = (0..64u64).all(|b| !cube.eval(b) || f.eval(b));
-            prop_assert_eq!(covered, semantic);
+            assert_eq!(covered, semantic);
         }
     }
 }

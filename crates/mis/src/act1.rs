@@ -53,9 +53,9 @@ fn act1_classes() -> HashMap<usize, HashSet<u64>> {
     };
     // Select inputs s0, s1 are ORed; enumerate the OR directly.
     let mut selects: Vec<u32> = choices.clone();
-    for i in 0..VARS5.len() {
-        for j in (i + 1)..VARS5.len() {
-            selects.push(VARS5[i] | VARS5[j]);
+    for (i, &a) in VARS5.iter().enumerate() {
+        for &b in &VARS5[i + 1..] {
+            selects.push(a | b);
         }
     }
     selects.sort_unstable();
@@ -150,7 +150,7 @@ mod tests {
     use chortle_netlist::TruthTable;
 
     fn tt(vars: usize, f: impl Fn(u32) -> bool) -> TruthTable {
-        TruthTable::from_fn(vars, |b| f(b))
+        TruthTable::from_fn(vars, f)
     }
 
     #[test]

@@ -77,7 +77,10 @@ impl Library {
         for m in 2..=3usize {
             let span = 1u64 << (1u64 << m);
             for table in 1..span - 1 {
-                classes.entry(m).or_default().insert(canonical_npn_u64(table, m));
+                classes
+                    .entry(m)
+                    .or_default()
+                    .insert(canonical_npn_u64(table, m));
             }
         }
         // Wider cells: read-once AND/OR functions — the level-0 kernels
@@ -85,7 +88,10 @@ impl Library {
         // ("level-n kernels").
         for m in 4..=k {
             for table in read_once_tables(m) {
-                classes.entry(m).or_default().insert(canonical_npn_u64(table, m));
+                classes
+                    .entry(m)
+                    .or_default()
+                    .insert(canonical_npn_u64(table, m));
             }
         }
         Library {
@@ -271,7 +277,7 @@ mod tests {
         let lib = Library::partial(4);
         assert!(lib.contains(&tt(4, |b| b == 0b1111))); // AND4
         assert!(lib.contains(&tt(4, |b| b != 0))); // OR4
-        // ab + cd (level-0 kernel with 4 literals)
+                                                   // ab + cd (level-0 kernel with 4 literals)
         assert!(lib.contains(&tt(4, |b| (b & 3) == 3 || (b & 12) == 12)));
         // (a+b)(c+d) (its dual)
         assert!(lib.contains(&tt(4, |b| (b & 3) != 0 && (b & 12) != 0)));
@@ -287,7 +293,7 @@ mod tests {
         let lib = Library::partial(4);
         assert!(!lib.contains(&tt(4, |b| b.count_ones() % 2 == 1))); // XOR4
         assert!(!lib.contains(&tt(4, |b| b.count_ones() >= 3))); // MAJ-ish
-        // 4-input mux-like ab + !a·cd is not read-once.
+                                                                 // 4-input mux-like ab + !a·cd is not read-once.
         assert!(!lib.contains(&tt(4, |b| {
             if b & 1 == 1 {
                 b & 2 == 2

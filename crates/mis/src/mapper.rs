@@ -19,9 +19,7 @@ use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
 
-use chortle_netlist::{
-    LutCircuit, LutError, LutSource, Network, NodeId, NodeOp, TruthTable,
-};
+use chortle_netlist::{LutCircuit, LutError, LutSource, Network, NodeId, NodeOp, TruthTable};
 
 use crate::decomp::binary_decompose;
 use crate::library::Library;
@@ -368,9 +366,16 @@ fn cone_structurally_matchable(subject: &Network, root: NodeId, leaves: &[NodeId
         let eff = if inv { node.op().dual() } else { node.op() };
         let expected = if level == 0 { top } else { top.dual() };
         if eff == expected {
-            node.fanins()
-                .iter()
-                .all(|s| level_ok(subject, s.node(), s.is_inverted() ^ inv, level, top, is_leaf))
+            node.fanins().iter().all(|s| {
+                level_ok(
+                    subject,
+                    s.node(),
+                    s.is_inverted() ^ inv,
+                    level,
+                    top,
+                    is_leaf,
+                )
+            })
         } else if level == 0 {
             node.fanins()
                 .iter()
@@ -523,12 +528,8 @@ mod tests {
         net.add_output("x", x.into());
         net.add_output("y", y.into());
         let lib = Library::for_paper(4);
-        let mapped = map_network(
-            &net,
-            &lib,
-            &MisOptions::new(4).with_fanout_duplication(),
-        )
-        .expect("maps");
+        let mapped =
+            map_network(&net, &lib, &MisOptions::new(4).with_fanout_duplication()).expect("maps");
         check_equivalence(&net, &mapped.circuit).expect("equivalent");
         // Both consumers absorb `shared`: two LUTs total.
         assert_eq!(mapped.report.luts, 2);

@@ -1,8 +1,8 @@
 //! Public-API surface tests for the MIS baseline crate.
 
 use chortle_mis::{
-    act1_library, count_npn_classes, map_network, Library, MisError, MisOptions,
-    ACT1_MAX_VARS, MAX_CANON_VARS,
+    act1_library, count_npn_classes, map_network, Library, MisError, MisOptions, ACT1_MAX_VARS,
+    MAX_CANON_VARS,
 };
 use chortle_netlist::{Network, NodeOp, TruthTable};
 
@@ -44,7 +44,7 @@ fn for_paper_dispatch() {
 
 #[test]
 fn act1_bounds() {
-    assert!(ACT1_MAX_VARS <= MAX_CANON_VARS);
+    const { assert!(ACT1_MAX_VARS <= MAX_CANON_VARS) };
     let lib = act1_library();
     assert_eq!(lib.k(), ACT1_MAX_VARS);
     // Single-variable cones are always realizable (wires/inverters).

@@ -1,12 +1,12 @@
-//! Property-based tests for the MIS baseline: NPN canonicalization
+//! Property-style tests for the MIS baseline: NPN canonicalization
 //! invariance, library semantics, decomposition correctness and mapper
 //! equivalence on random networks.
+//!
+//! Random cases come from the in-repo [`SplitMix64`] generator (no
+//! external property-testing dependency), so the suite runs fully offline
+//! and reproduces bit-for-bit.
 
-use proptest::prelude::*;
-
-use chortle_mis::{
-    binary_decompose, canonical_npn_u64, map_network, Library, MisOptions,
-};
+use chortle_mis::{binary_decompose, canonical_npn_u64, map_network, Library, MisOptions};
 use chortle_netlist::{check_equivalence, Network, NodeOp, Signal, SplitMix64, TruthTable};
 
 fn random_network(seed: u64, inputs: usize, gates: usize) -> Network {
@@ -40,6 +40,14 @@ fn random_network(seed: u64, inputs: usize, gates: usize) -> Network {
     net
 }
 
+fn table_mask(vars: usize) -> u64 {
+    if vars >= 6 {
+        u64::MAX
+    } else {
+        (1u64 << (1usize << vars)) - 1
+    }
+}
+
 /// Applies a random NPN transformation to a packed table.
 fn random_npn_transform(table: u64, vars: usize, seed: u64) -> u64 {
     let mut rng = SplitMix64::new(seed);
@@ -63,93 +71,103 @@ fn random_npn_transform(table: u64, vars: usize, seed: u64) -> u64 {
     t.words()[0]
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
-
-    #[test]
-    fn canonical_form_is_npn_invariant(
-        table in any::<u64>(),
-        vars in 1usize..=5,
-        seed in any::<u64>(),
-    ) {
-        let mask = if vars == 6 { u64::MAX } else { (1u64 << (1usize << vars)) - 1 };
-        let t = table & mask;
-        let transformed = random_npn_transform(t, vars, seed);
-        prop_assert_eq!(
+#[test]
+fn canonical_form_is_npn_invariant() {
+    let mut rng = SplitMix64::new(0x415_0001);
+    for _ in 0..96 {
+        let vars = rng.next_range(1, 6);
+        let t = rng.next_u64() & table_mask(vars);
+        let transformed = random_npn_transform(t, vars, rng.next_u64());
+        assert_eq!(
             canonical_npn_u64(t, vars),
             canonical_npn_u64(transformed, vars),
-            "NPN transform changed the canonical form"
+            "NPN transform changed the canonical form (vars={vars})"
         );
     }
+}
 
-    #[test]
-    fn canonical_form_is_idempotent(table in any::<u64>(), vars in 1usize..=5) {
-        let mask = if vars == 6 { u64::MAX } else { (1u64 << (1usize << vars)) - 1 };
-        let c = canonical_npn_u64(table & mask, vars);
-        prop_assert_eq!(canonical_npn_u64(c, vars), c);
-        prop_assert!(c <= (table & mask), "canonical form must be minimal");
+#[test]
+fn canonical_form_is_idempotent() {
+    let mut rng = SplitMix64::new(0x415_0002);
+    for _ in 0..96 {
+        let vars = rng.next_range(1, 6);
+        let table = rng.next_u64() & table_mask(vars);
+        let c = canonical_npn_u64(table, vars);
+        assert_eq!(canonical_npn_u64(c, vars), c);
+        assert!(c <= table, "canonical form must be minimal");
     }
+}
 
-    #[test]
-    fn complete_library_membership_is_support_bound(
-        table in any::<u64>(),
-        vars in 1usize..=4,
-        k in 2usize..=5,
-    ) {
-        let mask = if vars == 6 { u64::MAX } else { (1u64 << (1usize << vars)) - 1 };
-        let t = TruthTable::from_words(vars, &[table & mask]);
+#[test]
+fn complete_library_membership_is_support_bound() {
+    let mut rng = SplitMix64::new(0x415_0003);
+    for _ in 0..96 {
+        let vars = rng.next_range(1, 5);
+        let k = rng.next_range(2, 6);
+        let t = TruthTable::from_words(vars, &[rng.next_u64() & table_mask(vars)]);
         let lib = Library::complete(k);
-        prop_assert_eq!(lib.contains(&t), t.support_size() <= k);
+        assert_eq!(lib.contains(&t), t.support_size() <= k);
     }
+}
 
-    #[test]
-    fn partial_library_closed_under_npn(
-        table in any::<u64>(),
-        vars in 2usize..=4,
-        seed in any::<u64>(),
-    ) {
-        let mask = (1u64 << (1usize << vars)) - 1;
+#[test]
+fn partial_library_closed_under_npn() {
+    let mut rng = SplitMix64::new(0x415_0004);
+    for _ in 0..96 {
+        let vars = rng.next_range(2, 5);
+        let table = rng.next_u64() & table_mask(vars);
         let lib = Library::partial(5);
-        let t1 = TruthTable::from_words(vars, &[table & mask]);
-        let t2 = TruthTable::from_words(vars, &[random_npn_transform(table & mask, vars, seed)]);
-        prop_assert_eq!(lib.contains(&t1), lib.contains(&t2));
+        let t1 = TruthTable::from_words(vars, &[table]);
+        let t2 = TruthTable::from_words(vars, &[random_npn_transform(table, vars, rng.next_u64())]);
+        assert_eq!(lib.contains(&t1), lib.contains(&t2));
     }
+}
 
-    #[test]
-    fn binary_decomposition_preserves_functions(seed in any::<u64>()) {
-        let net = random_network(seed, 6, 12).simplified();
+#[test]
+fn binary_decomposition_preserves_functions() {
+    let mut rng = SplitMix64::new(0x415_0005);
+    for _ in 0..96 {
+        let net = random_network(rng.next_u64(), 6, 12).simplified();
         let bin = binary_decompose(&net);
         bin.validate().unwrap();
-        prop_assert!(bin.nodes().all(|(_, n)| n.fanin_count() <= 2));
+        assert!(bin.nodes().all(|(_, n)| n.fanin_count() <= 2));
         chortle_netlist::check_networks(&net, &bin).unwrap();
     }
+}
 
-    #[test]
-    fn mis_mapping_is_always_equivalent(seed in any::<u64>(), k in 2usize..=5) {
-        let net = random_network(seed, 7, 12);
+#[test]
+fn mis_mapping_is_always_equivalent() {
+    let mut rng = SplitMix64::new(0x415_0006);
+    for _ in 0..96 {
+        let net = random_network(rng.next_u64(), 7, 12);
+        let k = rng.next_range(2, 6);
         let lib = Library::for_paper(k);
         let mapped = map_network(&net, &lib, &MisOptions::new(k)).unwrap();
         check_equivalence(&net, &mapped.circuit).unwrap();
-        prop_assert!(mapped.circuit.luts().iter().all(|l| l.utilization() <= k));
+        assert!(mapped.circuit.luts().iter().all(|l| l.utilization() <= k));
     }
+}
 
-    #[test]
-    fn duplication_mode_is_also_equivalent(seed in any::<u64>()) {
-        let net = random_network(seed, 6, 10);
+#[test]
+fn duplication_mode_is_also_equivalent() {
+    let mut rng = SplitMix64::new(0x415_0007);
+    for _ in 0..96 {
+        let net = random_network(rng.next_u64(), 6, 10);
         let lib = Library::for_paper(4);
-        let mapped = map_network(
-            &net,
-            &lib,
-            &MisOptions::new(4).with_fanout_duplication(),
-        ).unwrap();
+        let mapped =
+            map_network(&net, &lib, &MisOptions::new(4).with_fanout_duplication()).unwrap();
         check_equivalence(&net, &mapped.circuit).unwrap();
     }
+}
 
-    #[test]
-    fn complete_library_never_loses_to_partial(seed in any::<u64>(), k in 4usize..=5) {
-        let net = random_network(seed, 6, 10);
+#[test]
+fn complete_library_never_loses_to_partial() {
+    let mut rng = SplitMix64::new(0x415_0008);
+    for _ in 0..96 {
+        let net = random_network(rng.next_u64(), 6, 10);
+        let k = rng.next_range(4, 6);
         let complete = map_network(&net, &Library::complete(k), &MisOptions::new(k)).unwrap();
         let partial = map_network(&net, &Library::partial(k), &MisOptions::new(k)).unwrap();
-        prop_assert!(complete.report.luts <= partial.report.luts);
+        assert!(complete.report.luts <= partial.report.luts);
     }
 }

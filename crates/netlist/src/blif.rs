@@ -564,9 +564,7 @@ mod tests {
         net.validate().expect("valid");
         assert_eq!(net.num_inputs(), 3);
         assert_eq!(net.num_outputs(), 1);
-        let f = net
-            .signal_function(net.outputs()[0].signal)
-            .expect("small");
+        let f = net.signal_function(net.outputs()[0].signal).expect("small");
         // z = (a & b) | c
         for bits in 0..8u32 {
             let (a, b, c) = (bits & 1 == 1, bits & 2 == 2, bits & 4 == 4);

@@ -30,15 +30,18 @@ pub fn network_to_dot(network: &Network, name: &str) -> String {
     let _ = writeln!(out, "  rankdir=BT;");
     for (id, node) in network.nodes() {
         let (label, shape) = match node.op() {
-            NodeOp::Input => (
-                node.name().unwrap_or("?").to_owned(),
-                "invtriangle",
-            ),
+            NodeOp::Input => (node.name().unwrap_or("?").to_owned(), "invtriangle"),
             NodeOp::Const(v) => (format!("{}", u8::from(v)), "square"),
             NodeOp::And => ("AND".to_owned(), "ellipse"),
             NodeOp::Or => ("OR".to_owned(), "ellipse"),
         };
-        let _ = writeln!(out, "  n{} [label=\"{}\" shape={}];", id.index(), label, shape);
+        let _ = writeln!(
+            out,
+            "  n{} [label=\"{}\" shape={}];",
+            id.index(),
+            label,
+            shape
+        );
         for s in node.fanins() {
             let style = if s.is_inverted() {
                 " [arrowhead=odot]"
@@ -49,7 +52,10 @@ pub fn network_to_dot(network: &Network, name: &str) -> String {
         }
     }
     for o in network.outputs() {
-        let port = format!("out_{}", o.name.replace(|c: char| !c.is_ascii_alphanumeric(), "_"));
+        let port = format!(
+            "out_{}",
+            o.name.replace(|c: char| !c.is_ascii_alphanumeric(), "_")
+        );
         let _ = writeln!(out, "  {port} [label=\"{}\" shape=triangle];", o.name);
         let style = if o.signal.is_inverted() {
             " [arrowhead=odot]"
@@ -70,7 +76,11 @@ pub fn lut_circuit_to_dot(network: &Network, circuit: &LutCircuit, name: &str) -
     let _ = writeln!(out, "  rankdir=BT;");
     for &id in network.inputs() {
         let label = network.node(id).name().unwrap_or("?");
-        let _ = writeln!(out, "  in{} [label=\"{label}\" shape=invtriangle];", id.index());
+        let _ = writeln!(
+            out,
+            "  in{} [label=\"{label}\" shape=invtriangle];",
+            id.index()
+        );
     }
     let src = |s: LutSource| -> String {
         match s {
@@ -100,7 +110,10 @@ pub fn lut_circuit_to_dot(network: &Network, circuit: &LutCircuit, name: &str) -
         }
     }
     for o in circuit.outputs() {
-        let port = format!("out_{}", o.name.replace(|c: char| !c.is_ascii_alphanumeric(), "_"));
+        let port = format!(
+            "out_{}",
+            o.name.replace(|c: char| !c.is_ascii_alphanumeric(), "_")
+        );
         let _ = writeln!(out, "  {port} [label=\"{}\" shape=triangle];", o.name);
         let style = if o.inverted { " [arrowhead=odot]" } else { "" };
         if let LutSource::Const(v) = o.source {

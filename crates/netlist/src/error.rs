@@ -113,25 +113,36 @@ mod tests {
     fn network_error_messages() {
         let e = NetworkError::Structure("gate n3 has no fanins".into());
         assert!(e.to_string().contains("invalid network structure"));
-        let e = NetworkError::TooManyInputs { inputs: 40, limit: 16 };
+        let e = NetworkError::TooManyInputs {
+            inputs: 40,
+            limit: 16,
+        };
         let msg = e.to_string();
         assert!(msg.contains("40") && msg.contains("16"));
     }
 
     #[test]
     fn blif_error_messages() {
-        let e = ParseBlifError::Syntax { line: 7, message: "bad cube".into() };
+        let e = ParseBlifError::Syntax {
+            line: 7,
+            message: "bad cube".into(),
+        };
         assert!(e.to_string().contains("line 7"));
         let e = ParseBlifError::UndefinedSignal("ghost".into());
         assert!(e.to_string().contains("ghost"));
-        assert!(ParseBlifError::UnexpectedEof.to_string().contains("end of BLIF"));
+        assert!(ParseBlifError::UnexpectedEof
+            .to_string()
+            .contains("end of BLIF"));
     }
 
     #[test]
     fn lut_error_messages() {
         let e = LutError::TooManyInputs { inputs: 6, k: 4 };
         assert!(e.to_string().contains("K = 4"));
-        let e = LutError::ArityMismatch { inputs: 3, table_vars: 2 };
+        let e = LutError::ArityMismatch {
+            inputs: 3,
+            table_vars: 2,
+        };
         assert!(e.to_string().contains("3") && e.to_string().contains("2"));
         let e = LutError::UnknownSource("L9".into());
         assert!(e.to_string().contains("L9"));

@@ -247,11 +247,7 @@ impl LutCircuit {
     /// `input_index`.
     ///
     /// [`Network::inputs`]: crate::Network::inputs
-    pub fn simulate(
-        &self,
-        input_words: &[u64],
-        input_index: &dyn Fn(NodeId) -> usize,
-    ) -> Vec<u64> {
+    pub fn simulate(&self, input_words: &[u64], input_index: &dyn Fn(NodeId) -> usize) -> Vec<u64> {
         let mut lut_values = vec![0u64; self.luts.len()];
         for (i, lut) in self.luts.iter().enumerate() {
             let in_words: Vec<u64> = lut

@@ -69,12 +69,18 @@ pub struct Signal {
 impl Signal {
     /// A non-inverted reference to `node`.
     pub fn new(node: NodeId) -> Self {
-        Signal { node, inverted: false }
+        Signal {
+            node,
+            inverted: false,
+        }
     }
 
     /// An inverted reference to `node`.
     pub fn inverted(node: NodeId) -> Self {
-        Signal { node, inverted: true }
+        Signal {
+            node,
+            inverted: true,
+        }
     }
 
     /// The referenced node.
@@ -89,7 +95,10 @@ impl Signal {
 
     /// The same node with the given polarity.
     pub fn with_inversion(self, inverted: bool) -> Self {
-        Signal { node: self.node, inverted }
+        Signal {
+            node: self.node,
+            inverted,
+        }
     }
 }
 
@@ -406,9 +415,7 @@ impl Network {
                 }
                 NodeOp::And | NodeOp::Or => {
                     if node.fanins.is_empty() {
-                        return Err(NetworkError::Structure(format!(
-                            "gate n{i} has no fanins"
-                        )));
+                        return Err(NetworkError::Structure(format!("gate n{i} has no fanins")));
                     }
                     let mut nodes_seen = std::collections::HashSet::new();
                     for s in &node.fanins {
@@ -463,7 +470,11 @@ impl Network {
     pub fn signal_function(&self, signal: Signal) -> Result<TruthTable, NetworkError> {
         let tables = self.node_functions()?;
         let t = &tables[signal.node().index()];
-        Ok(if signal.is_inverted() { t.not() } else { t.clone() })
+        Ok(if signal.is_inverted() {
+            t.not()
+        } else {
+            t.clone()
+        })
     }
 
     /// Computes the truth table of every node over the primary inputs.

@@ -45,13 +45,21 @@ pub fn simulate(network: &Network, input_words: &[u64]) -> Vec<u64> {
             NodeOp::Const(true) => u64::MAX,
             NodeOp::Const(false) => 0,
             NodeOp::And | NodeOp::Or => {
-                let mut acc = if node.op() == NodeOp::And { u64::MAX } else { 0 };
+                let mut acc = if node.op() == NodeOp::And {
+                    u64::MAX
+                } else {
+                    0
+                };
                 for s in node.fanins() {
                     let mut w = values[s.node().index()];
                     if s.is_inverted() {
                         w = !w;
                     }
-                    acc = if node.op() == NodeOp::And { acc & w } else { acc | w };
+                    acc = if node.op() == NodeOp::And {
+                        acc & w
+                    } else {
+                        acc | w
+                    };
                 }
                 acc
             }

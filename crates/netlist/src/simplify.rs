@@ -103,7 +103,9 @@ impl Network {
                 continue;
             }
             let new_sig = match node.op() {
-                NodeOp::Input => Signal::new(out.add_input(node.name().unwrap_or_default().to_owned())),
+                NodeOp::Input => {
+                    Signal::new(out.add_input(node.name().unwrap_or_default().to_owned()))
+                }
                 NodeOp::Const(v) => Signal::new(out.add_const(v)),
                 op @ (NodeOp::And | NodeOp::Or) => {
                     let fanins = node
@@ -123,7 +125,10 @@ impl Network {
             match r {
                 Repl::Signal(s) => {
                     let base = remap[s.node().index()].expect("live output driver");
-                    out.add_output(name, base.with_inversion(base.is_inverted() ^ s.is_inverted()));
+                    out.add_output(
+                        name,
+                        base.with_inversion(base.is_inverted() ^ s.is_inverted()),
+                    );
                 }
                 Repl::Const(v) => {
                     let id = out.add_const(v);

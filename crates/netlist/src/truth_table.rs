@@ -338,7 +338,11 @@ impl TruthTable {
             let mut i = 0;
             while i < n {
                 for j in 0..stride {
-                    let (src, dst) = if value { (i + stride + j, i + j) } else { (i + j, i + stride + j) };
+                    let (src, dst) = if value {
+                        (i + stride + j, i + j)
+                    } else {
+                        (i + j, i + stride + j)
+                    };
                     out.words[dst] = out.words[src];
                 }
                 i += stride * 2;
@@ -388,7 +392,8 @@ impl TruthTable {
                 let lo = self.words[i];
                 let hi = self.words[i + 1];
                 self.words[i] = lo & 0x0000_0000_FFFF_FFFF | ((hi & 0x0000_0000_FFFF_FFFF) << 32);
-                self.words[i + 1] = ((lo >> 32) & 0x0000_0000_FFFF_FFFF) | (hi & 0xFFFF_FFFF_0000_0000);
+                self.words[i + 1] =
+                    ((lo >> 32) & 0x0000_0000_FFFF_FFFF) | (hi & 0xFFFF_FFFF_0000_0000);
                 i += 2;
             }
         }
@@ -531,7 +536,11 @@ impl TruthTable {
             }
             let mut term = TruthTable::constant(out_vars, true);
             for (i, input) in inputs.iter().enumerate() {
-                assert_eq!(input.num_vars(), out_vars, "input variable counts must agree");
+                assert_eq!(
+                    input.num_vars(),
+                    out_vars,
+                    "input variable counts must agree"
+                );
                 if (bits >> i) & 1 == 1 {
                     term = term.and(input);
                 } else {
@@ -594,7 +603,11 @@ mod tests {
             for i in 0..vars {
                 let t = TruthTable::var(vars, i);
                 for bits in 0..(1u32 << vars) {
-                    assert_eq!(t.eval(bits), (bits >> i) & 1 == 1, "vars={vars} i={i} bits={bits:b}");
+                    assert_eq!(
+                        t.eval(bits),
+                        (bits >> i) & 1 == 1,
+                        "vars={vars} i={i} bits={bits:b}"
+                    );
                 }
             }
         }

@@ -76,10 +76,7 @@ pub const RANDOM_ROUNDS: usize = 256;
 /// check_equivalence(&net, &circuit)?;
 /// # Ok::<(), chortle_netlist::EquivalenceError>(())
 /// ```
-pub fn check_equivalence(
-    network: &Network,
-    circuit: &LutCircuit,
-) -> Result<(), EquivalenceError> {
+pub fn check_equivalence(network: &Network, circuit: &LutCircuit) -> Result<(), EquivalenceError> {
     assert_eq!(
         network.num_outputs(),
         circuit.outputs().len(),
@@ -164,23 +161,21 @@ pub fn check_networks(a: &Network, b: &Network) -> Result<(), EquivalenceError> 
         "networks must have the same number of outputs"
     );
     let n = a.num_inputs();
-    let compare = |words: &[u64],
-                   mask: u64,
-                   describe: &dyn Fn(u32) -> u64|
-     -> Result<(), EquivalenceError> {
-        let wa = simulate_outputs(a, words);
-        let wb = simulate_outputs(b, words);
-        for (o, (x, y)) in wa.iter().zip(&wb).enumerate() {
-            let diff = (x ^ y) & mask;
-            if diff != 0 {
-                return Err(EquivalenceError {
-                    output: a.outputs()[o].name.clone(),
-                    counterexample: describe(diff.trailing_zeros()),
-                });
+    let compare =
+        |words: &[u64], mask: u64, describe: &dyn Fn(u32) -> u64| -> Result<(), EquivalenceError> {
+            let wa = simulate_outputs(a, words);
+            let wb = simulate_outputs(b, words);
+            for (o, (x, y)) in wa.iter().zip(&wb).enumerate() {
+                let diff = (x ^ y) & mask;
+                if diff != 0 {
+                    return Err(EquivalenceError {
+                        output: a.outputs()[o].name.clone(),
+                        counterexample: describe(diff.trailing_zeros()),
+                    });
+                }
             }
-        }
-        Ok(())
-    };
+            Ok(())
+        };
     if n <= MAX_VARS {
         let total: u64 = 1u64 << n;
         let mut base = 0u64;
@@ -195,7 +190,11 @@ pub fn check_networks(a: &Network, b: &Network) -> Result<(), EquivalenceError> 
                     }
                 }
             }
-            let mask = if chunk == 64 { u64::MAX } else { (1u64 << chunk) - 1 };
+            let mask = if chunk == 64 {
+                u64::MAX
+            } else {
+                (1u64 << chunk) - 1
+            };
             compare(&words, mask, &|bit| base + u64::from(bit))?;
             base += 64;
         }
@@ -230,7 +229,11 @@ fn compare_chunk(
     let want = simulate_outputs(network, words);
     let got = circuit.simulate(words, index);
     for (o, (w, g)) in want.iter().zip(&got).enumerate() {
-        let mask = if chunk == 64 { u64::MAX } else { (1u64 << chunk) - 1 };
+        let mask = if chunk == 64 {
+            u64::MAX
+        } else {
+            (1u64 << chunk) - 1
+        };
         let diff = (w ^ g) & mask;
         if diff != 0 {
             return Err(EquivalenceError {

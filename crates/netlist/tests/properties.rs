@@ -1,8 +1,11 @@
-//! Property-based tests for the netlist substrate: truth-table algebra,
+//! Property-style tests for the netlist substrate: truth-table algebra,
 //! simulation consistency, BLIF round-trips and simplification, driven by
 //! seeded random networks.
-
-use proptest::prelude::*;
+//!
+//! The random cases come from the in-repo [`SplitMix64`] generator rather
+//! than an external property-testing framework, so the suite builds and
+//! runs fully offline and every failure reproduces bit-for-bit from the
+//! loop's seed.
 
 use chortle_netlist::{
     check_networks, parse_blif, simulate, write_blif, Network, NodeOp, Signal, SplitMix64,
@@ -46,36 +49,40 @@ fn random_network(seed: u64, inputs: usize, gates: usize) -> Network {
     net
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+/// Masks a packed 64-bit table to the first `2^vars` rows.
+fn table_mask(vars: usize) -> u64 {
+    if vars >= 6 {
+        u64::MAX
+    } else {
+        (1u64 << (1usize << vars)) - 1
+    }
+}
 
-    #[test]
-    fn truth_table_ops_match_pointwise_semantics(
-        a_bits in any::<u64>(),
-        b_bits in any::<u64>(),
-        vars in 1usize..=6,
-    ) {
-        let mask = if vars == 6 { u64::MAX } else { (1u64 << (1usize << vars)) - 1 };
-        let a = TruthTable::from_words(vars, &[a_bits & mask]);
-        let b = TruthTable::from_words(vars, &[b_bits & mask]);
+#[test]
+fn truth_table_ops_match_pointwise_semantics() {
+    let mut rng = SplitMix64::new(0x7ab1_e0b5);
+    for _ in 0..128 {
+        let vars = rng.next_range(1, 7);
+        let mask = table_mask(vars);
+        let a = TruthTable::from_words(vars, &[rng.next_u64() & mask]);
+        let b = TruthTable::from_words(vars, &[rng.next_u64() & mask]);
         for bits in 0..(1u32 << vars) {
-            prop_assert_eq!(a.and(&b).eval(bits), a.eval(bits) && b.eval(bits));
-            prop_assert_eq!(a.or(&b).eval(bits), a.eval(bits) || b.eval(bits));
-            prop_assert_eq!(a.xor(&b).eval(bits), a.eval(bits) != b.eval(bits));
-            prop_assert_eq!(a.not().eval(bits), !a.eval(bits));
+            assert_eq!(a.and(&b).eval(bits), a.eval(bits) && b.eval(bits));
+            assert_eq!(a.or(&b).eval(bits), a.eval(bits) || b.eval(bits));
+            assert_eq!(a.xor(&b).eval(bits), a.eval(bits) != b.eval(bits));
+            assert_eq!(a.not().eval(bits), !a.eval(bits));
         }
     }
+}
 
-    #[test]
-    fn permutation_roundtrip_is_identity(
-        t_bits in any::<u64>(),
-        vars in 2usize..=8,
-        seed in any::<u64>(),
-    ) {
-        let mut rng = SplitMix64::new(seed);
+#[test]
+fn permutation_roundtrip_is_identity() {
+    let mut rng = SplitMix64::new(0x9e87_0001);
+    for _ in 0..128 {
+        let vars = rng.next_range(2, 9);
+        let t_bits = rng.next_u64();
         let t = if vars <= 6 {
-            let mask = if vars == 6 { u64::MAX } else { (1u64 << (1usize << vars)) - 1 };
-            TruthTable::from_words(vars, &[t_bits & mask])
+            TruthTable::from_words(vars, &[t_bits & table_mask(vars)])
         } else {
             TruthTable::from_fn(vars, |b| (t_bits >> (b % 64)) & 1 == 1)
         };
@@ -86,18 +93,16 @@ proptest! {
         for (i, &p) in perm.iter().enumerate() {
             inv[p] = i;
         }
-        prop_assert_eq!(t.permuted(&perm).permuted(&inv), t);
+        assert_eq!(t.permuted(&perm).permuted(&inv), t);
     }
+}
 
-    #[test]
-    fn permutation_matches_index_remap(
-        t_bits in any::<u64>(),
-        vars in 2usize..=6,
-        seed in any::<u64>(),
-    ) {
-        let mask = if vars == 6 { u64::MAX } else { (1u64 << (1usize << vars)) - 1 };
-        let t = TruthTable::from_words(vars, &[t_bits & mask]);
-        let mut rng = SplitMix64::new(seed);
+#[test]
+fn permutation_matches_index_remap() {
+    let mut rng = SplitMix64::new(0x9e87_0002);
+    for _ in 0..128 {
+        let vars = rng.next_range(2, 7);
+        let t = TruthTable::from_words(vars, &[rng.next_u64() & table_mask(vars)]);
         let mut perm: Vec<usize> = (0..vars).collect();
         rng.shuffle(&mut perm);
         let p = t.permuted(&perm);
@@ -109,32 +114,34 @@ proptest! {
                     new_bits |= 1 << p;
                 }
             }
-            prop_assert_eq!(p.eval(new_bits), t.eval(bits));
+            assert_eq!(p.eval(new_bits), t.eval(bits));
         }
     }
+}
 
-    #[test]
-    fn cofactors_reconstruct_by_shannon(
-        t_bits in any::<u64>(),
-        vars in 1usize..=6,
-        var in 0usize..6,
-    ) {
-        prop_assume!(var < vars);
-        let mask = if vars == 6 { u64::MAX } else { (1u64 << (1usize << vars)) - 1 };
-        let t = TruthTable::from_words(vars, &[t_bits & mask]);
+#[test]
+fn cofactors_reconstruct_by_shannon() {
+    let mut rng = SplitMix64::new(0x9e87_0003);
+    for _ in 0..128 {
+        let vars = rng.next_range(1, 7);
+        let var = rng.next_range(0, vars);
+        let t = TruthTable::from_words(vars, &[rng.next_u64() & table_mask(vars)]);
         let pos = t.cofactor(var, true);
         let neg = t.cofactor(var, false);
         let x = TruthTable::var(vars, var);
         let rebuilt = x.and(&pos).or(&x.not().and(&neg));
-        prop_assert_eq!(rebuilt, t);
+        assert_eq!(rebuilt, t);
     }
+}
 
-    #[test]
-    fn shrink_extend_roundtrip(t_bits in any::<u64>(), vars in 1usize..=6) {
-        let mask = if vars == 6 { u64::MAX } else { (1u64 << (1usize << vars)) - 1 };
-        let t = TruthTable::from_words(vars, &[t_bits & mask]);
+#[test]
+fn shrink_extend_roundtrip() {
+    let mut rng = SplitMix64::new(0x9e87_0004);
+    for _ in 0..128 {
+        let vars = rng.next_range(1, 7);
+        let t = TruthTable::from_words(vars, &[rng.next_u64() & table_mask(vars)]);
         let (shrunk, support) = t.shrunk();
-        prop_assert_eq!(shrunk.num_vars(), support.len());
+        assert_eq!(shrunk.num_vars(), support.len());
         // Re-expand and compare on every assignment.
         for bits in 0..(1u32 << vars) {
             let mut small = 0u32;
@@ -143,14 +150,19 @@ proptest! {
                     small |= 1 << j;
                 }
             }
-            prop_assert_eq!(shrunk.eval(small), t.eval(bits));
+            assert_eq!(shrunk.eval(small), t.eval(bits));
         }
     }
+}
 
-    #[test]
-    fn simulation_agrees_with_truth_tables(seed in any::<u64>()) {
-        let net = random_network(seed, 5, 12);
-        prop_assume!(net.num_inputs() <= 12);
+#[test]
+fn simulation_agrees_with_truth_tables() {
+    let mut rng = SplitMix64::new(0x9e87_0005);
+    for _ in 0..128 {
+        let net = random_network(rng.next_u64(), 5, 12);
+        if net.num_inputs() > 12 {
+            continue;
+        }
         net.validate().unwrap();
         let tables = net.node_functions().unwrap();
         // Pack all assignments of the first 6 patterns per word.
@@ -166,49 +178,56 @@ proptest! {
         let sim = simulate(&net, &words);
         for (id, _) in net.nodes() {
             for bits in 0..(1u32 << n).min(64) {
-                prop_assert_eq!(
+                assert_eq!(
                     (sim[id.index()] >> bits) & 1 == 1,
                     tables[id.index()].eval(bits),
-                    "node {:?} assignment {:b}", id, bits
+                    "node {id:?} assignment {bits:b}"
                 );
             }
         }
     }
+}
 
-    #[test]
-    fn simplify_preserves_functions(seed in any::<u64>()) {
-        let net = random_network(seed, 6, 14);
+#[test]
+fn simplify_preserves_functions() {
+    let mut rng = SplitMix64::new(0x9e87_0006);
+    for _ in 0..128 {
+        let net = random_network(rng.next_u64(), 6, 14);
         let simplified = net.simplified();
         simplified.validate().unwrap();
         check_networks(&net, &simplified).unwrap();
         // Normal form: no constants feed gates, no single-fanin gates.
         for (_, node) in simplified.nodes() {
             if node.op().is_gate() {
-                prop_assert!(node.fanin_count() >= 2);
+                assert!(node.fanin_count() >= 2);
                 for s in node.fanins() {
-                    prop_assert!(!matches!(
-                        simplified.node(s.node()).op(),
-                        NodeOp::Const(_)
-                    ));
+                    assert!(!matches!(simplified.node(s.node()).op(), NodeOp::Const(_)));
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn blif_roundtrip_preserves_functions(seed in any::<u64>()) {
-        let net = random_network(seed, 6, 10);
+#[test]
+fn blif_roundtrip_preserves_functions() {
+    let mut rng = SplitMix64::new(0x9e87_0007);
+    for _ in 0..128 {
+        let net = random_network(rng.next_u64(), 6, 10);
         let text = write_blif(&net, "prop");
         let reread = parse_blif(&text).unwrap();
-        prop_assert_eq!(net.num_outputs(), reread.num_outputs());
+        assert_eq!(net.num_outputs(), reread.num_outputs());
         check_networks(&net, &reread).unwrap();
     }
+}
 
-    #[test]
-    fn splitmix_next_below_uniform_support(seed in any::<u64>(), bound in 1u64..100) {
-        let mut rng = SplitMix64::new(seed);
+#[test]
+fn splitmix_next_below_uniform_support() {
+    let mut rng = SplitMix64::new(0x9e87_0008);
+    for _ in 0..128 {
+        let bound = rng.next_range(1, 100) as u64;
+        let mut inner = SplitMix64::new(rng.next_u64());
         for _ in 0..100 {
-            prop_assert!(rng.next_below(bound) < bound);
+            assert!(inner.next_below(bound) < bound);
         }
     }
 }

@@ -14,10 +14,7 @@ use chortle_netlist::check_equivalence;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let act1 = act1_library();
-    println!(
-        "{:<10} {:>9} {:>12}",
-        "Circuit", "4-LUTs", "ACT1 modules"
-    );
+    println!("{:<10} {:>9} {:>12}", "Circuit", "4-LUTs", "ACT1 modules");
     for name in ["9symml", "alu2", "apex7", "count", "frg1"] {
         let raw = benchmark(name).expect("known benchmark");
         let (net, _) = optimize(&raw)?;

@@ -35,8 +35,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let t_ch = t1.elapsed();
         check_equivalence(&net, &mis.circuit)?;
         check_equivalence(&net, &ch.circuit)?;
-        let pct = (mis.report.luts as f64 - ch.report.luts as f64) / mis.report.luts as f64
-            * 100.0;
+        let pct = (mis.report.luts as f64 - ch.report.luts as f64) / mis.report.luts as f64 * 100.0;
         println!(
             "{:<4} {:>9} {:>9} {:>6.1} {:>10.4} {:>10.4}",
             k,

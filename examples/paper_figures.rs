@@ -12,8 +12,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Figure 1 / Figure 2: a five-input network mapped into three 3-LUTs.
     let net = figure1_network();
     let mapped = map_network(&net, &MapOptions::new(3))?;
-    println!("Figure 1 network: {} gates over inputs a..e", net.num_gates());
-    println!("Figure 2 mapping with K=3: {} lookup tables", mapped.report.luts);
+    println!(
+        "Figure 1 network: {} gates over inputs a..e",
+        net.num_gates()
+    );
+    println!(
+        "Figure 2 mapping with K=3: {} lookup tables",
+        mapped.report.luts
+    );
     for (i, lut) in mapped.circuit.luts().iter().enumerate() {
         let inputs: Vec<String> = lut
             .inputs()
@@ -30,9 +36,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Figure 3: forest creation.
     let fig3 = figure3_network();
     let forest = Forest::of(&fig3.simplified());
-    println!("\nFigure 3: the fanout node splits the graph into {} trees", forest.trees.len());
+    println!(
+        "\nFigure 3: the fanout node splits the graph into {} trees",
+        forest.trees.len()
+    );
     for t in &forest.trees {
-        println!("  tree rooted at {:?}: {} nodes, {} leaves", t.root, t.nodes.len(), t.leaf_count());
+        println!(
+            "  tree rooted at {:?}: {} nodes, {} leaves",
+            t.root,
+            t.nodes.len(),
+            t.leaf_count()
+        );
     }
 
     // Figure 7: decomposition of a wide node.

@@ -19,7 +19,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     net.add_output("z", z.into());
     net.add_output("y", Signal::inverted(ab));
 
-    println!("Network: {} inputs, {} gates, {} outputs", net.num_inputs(), net.num_gates(), net.num_outputs());
+    println!(
+        "Network: {} inputs, {} gates, {} outputs",
+        net.num_inputs(),
+        net.num_gates(),
+        net.num_outputs()
+    );
 
     // Map into 4-input lookup tables.
     let mapped = map_network(&net, &MapOptions::new(4))?;

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Tier-1 gate: everything here must pass offline (no network, no
+# external dev-dependencies) before a change lands.
+#
+#   ./scripts/ci.sh            # full gate
+#   ./scripts/ci.sh --quick    # skip the release build (fmt+clippy+test)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+quick=0
+[[ "${1:-}" == "--quick" ]] && quick=1
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy --all-targets -- -D warnings"
+cargo clippy --all-targets -- -D warnings
+
+if [[ "$quick" == 0 ]]; then
+  echo "==> cargo build --release"
+  cargo build --release
+fi
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "ci: all green"

@@ -144,7 +144,6 @@ fn unoptimized_networks_also_map_correctly() {
     for name in ["alu2", "count"] {
         let net = benchmark(name).expect("known");
         let mapped = map_network(&net, &MapOptions::new(4)).expect("maps");
-        check_equivalence(&net, &mapped.circuit)
-            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        check_equivalence(&net, &mapped.circuit).unwrap_or_else(|e| panic!("{name}: {e}"));
     }
 }

@@ -9,7 +9,10 @@ use chortle_netlist::check_equivalence;
 fn figure1_and_2_network_maps_into_three_3luts() {
     let net = figure1_network();
     let mapped = map_network(&net, &MapOptions::new(3)).expect("maps");
-    assert_eq!(mapped.report.luts, 3, "Figure 2 shows a 3-LUT implementation");
+    assert_eq!(
+        mapped.report.luts, 3,
+        "Figure 2 shows a 3-LUT implementation"
+    );
     check_equivalence(&net, &mapped.circuit).expect("equivalent");
     assert!(mapped.circuit.luts().iter().all(|l| l.utilization() <= 3));
 }

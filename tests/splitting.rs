@@ -33,8 +33,7 @@ fn split_mapping_stays_optimal_on_plain_wide_gates() {
     // splitting at ten must still reach it.
     let net = wide_gate_bank();
     for k in 2..=6 {
-        let split = map_network(&net, &MapOptions::new(k).with_split_threshold(10))
-            .expect("maps");
+        let split = map_network(&net, &MapOptions::new(k).with_split_threshold(10)).expect("maps");
         check_equivalence(&net, &split.circuit).expect("equivalent");
         let expect: usize = (11..=16usize).map(|w| (w - 1).div_ceil(k - 1)).sum();
         assert_eq!(split.report.luts, expect, "k={k}");
@@ -48,10 +47,8 @@ fn split_thresholds_agree_on_structured_logic() {
     // LUT counts must match — the paper's empirical claim.
     let net = control(0x51DE, 24, 8, 40, (8, 14), (2, 4));
     for k in [3usize, 5] {
-        let at10 = map_network(&net, &MapOptions::new(k).with_split_threshold(10))
-            .expect("maps");
-        let at16 = map_network(&net, &MapOptions::new(k).with_split_threshold(16))
-            .expect("maps");
+        let at10 = map_network(&net, &MapOptions::new(k).with_split_threshold(10)).expect("maps");
+        let at16 = map_network(&net, &MapOptions::new(k).with_split_threshold(16)).expect("maps");
         check_equivalence(&net, &at10.circuit).expect("equivalent");
         // The paper's observation is empirical ("the mapping of a split
         // node uses no more lookup tables ... We believe [this is]
