@@ -18,11 +18,17 @@
 //! taking the best of several rounds. The JSON report (default
 //! `results/BENCH_map.json`) records the host's core count next to every
 //! speedup, so numbers from single-core machines read as what they are.
+//!
+//! A third pass per K re-maps the suite with an *enabled* telemetry sink
+//! and embeds the aggregated `chortle-telemetry/v1` report — per-stage
+//! wall time, DP counters, wavefront occupancy — in a `"telemetry"`
+//! section, together with the instrumentation overhead relative to the
+//! (disabled-sink) parallel row.
 
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use chortle::{map_network, Forest, MapOptions, Tree, TreeMapper};
+use chortle::{map_network, Forest, MapOptions, Telemetry, Tree, TreeMapper};
 use chortle_bench::baseline::baseline_tree_cost;
 use chortle_bench::optimized_suite;
 
@@ -43,6 +49,16 @@ struct ForestRow {
     luts: u64,
     sequential_s: f64,
     parallel_s: f64,
+}
+
+struct TelemetryRow {
+    k: usize,
+    /// One suite pass with an enabled sink (same jobs as the parallel
+    /// row), for the instrumentation-overhead column.
+    enabled_s: f64,
+    /// The aggregated `chortle-telemetry/v1` report of that pass,
+    /// embedded verbatim (it is compact single-line JSON).
+    report_json: String,
 }
 
 fn best_of<T>(rounds: usize, mut f: impl FnMut() -> T) -> (T, f64) {
@@ -72,6 +88,7 @@ fn main() {
     // DP alone, not forest construction.
     let mut kernel_rows = Vec::new();
     let mut forest_rows = Vec::new();
+    let mut telemetry_rows = Vec::new();
     for &k in &KS {
         let mut trees: Vec<Tree> = Vec::new();
         for (_, net, _) in &suite {
@@ -156,6 +173,34 @@ fn main() {
             parallel_s,
             sequential_s / parallel_s
         );
+
+        // Same suite with an enabled sink: per-stage breakdown plus the
+        // cost of the instrumentation itself, relative to the parallel
+        // row above (which runs with the default disabled handle).
+        let (report, enabled_s) = best_of(MAP_ROUNDS, || {
+            let telemetry = Telemetry::enabled();
+            let tel_opts = MapOptions::builder(k)
+                .jobs(jobs)
+                .telemetry(telemetry.clone())
+                .build()
+                .expect("valid options");
+            for (_, net, _) in &suite {
+                map_network(net, &tel_opts).expect("maps");
+            }
+            telemetry.snapshot()
+        });
+        eprintln!(
+            "perf: telemetry k={k} enabled {:.4}s  ({:+.1}% vs parallel)  {} stages, {} counters",
+            enabled_s,
+            (enabled_s / parallel_s - 1.0) * 100.0,
+            report.stages.len(),
+            report.counters.len()
+        );
+        telemetry_rows.push(TelemetryRow {
+            k,
+            enabled_s,
+            report_json: report.to_json(),
+        });
     }
 
     let kernel_base: f64 = kernel_rows.iter().map(|r| r.baseline_s).sum();
@@ -213,11 +258,30 @@ fn main() {
     let _ = writeln!(json, "  ],");
     let _ = writeln!(
         json,
-        "  \"mapping_total\": {{ \"sequential_s\": {:.6}, \"parallel_s\": {:.6}, \"speedup\": {:.3} }}",
+        "  \"mapping_total\": {{ \"sequential_s\": {:.6}, \"parallel_s\": {:.6}, \"speedup\": {:.3} }},",
         map_seq,
         map_par,
         map_seq / map_par
     );
+    let _ = writeln!(json, "  \"telemetry\": [");
+    for (i, r) in telemetry_rows.iter().enumerate() {
+        let comma = if i + 1 < telemetry_rows.len() {
+            ","
+        } else {
+            ""
+        };
+        let parallel_s = forest_rows[i].parallel_s;
+        let _ = writeln!(
+            json,
+            "    {{ \"k\": {}, \"enabled_s\": {:.6}, \"overhead_vs_parallel\": {:.3}, \
+             \"report\": {} }}{comma}",
+            r.k,
+            r.enabled_s,
+            r.enabled_s / parallel_s - 1.0,
+            r.report_json
+        );
+    }
+    let _ = writeln!(json, "  ]");
     let _ = writeln!(json, "}}");
 
     if let Some(dir) = std::path::Path::new(&out_path).parent() {

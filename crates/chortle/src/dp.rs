@@ -162,17 +162,89 @@ pub(crate) struct DpScratch {
     /// cost-only kernel ([`tree_cost_with`]) in place of per-node
     /// [`NodeDp`] allocations.
     ncost: Vec<Cost>,
+    /// Deterministic kernel work counters, accumulated across every tree
+    /// mapped through this scratch (see [`DpCounters`]).
+    pub(crate) counters: DpCounters,
+    /// Whether the kernels tally [`DpCounters`] at all. Off by default so
+    /// an unobserved mapping (disabled telemetry, or the bare
+    /// [`TreeMapper`](crate::TreeMapper) API) pays nothing in the hot
+    /// loop; the mapping drivers switch it on when a sink is attached.
+    pub(crate) counting: bool,
+}
+
+/// Work counters of the subset-DP kernels.
+///
+/// Every field is a **pure function of the mapped trees** (plus `K` and
+/// the objective): totals are bit-identical for any worker count or
+/// mapping order, which `tests/telemetry.rs` asserts. In particular the
+/// scratch-arena accounting is kept against a *tree-local* high-water
+/// mark — a "hit" is a node that ran entirely in capacity an earlier
+/// node of the same tree already provisioned — rather than against the
+/// physical arena, whose growth history depends on which worker mapped
+/// which tree first.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub(crate) struct DpCounters {
+    /// Utilization divisions enumerated: singleton-block allotments
+    /// `(child, w)` evaluated against a residual `F(S \ i)[u - w]` state
+    /// (Section 3.1.2's division search, incl. the `w = 1` wire case).
+    pub divisions: u64,
+    /// Intermediate-node blocks examined by the submask walks
+    /// (Section 3.1.3's decomposition search).
+    pub group_blocks: u64,
+    /// Submask walks skipped entirely by the `nd_feasible == 0` prune.
+    pub pruned_walks: u64,
+    /// Tree nodes pushed through a kernel.
+    pub tree_nodes: u64,
+    /// Nodes whose DP tables fit the tree-local high-water capacity.
+    pub scratch_hits: u64,
+    /// Nodes that raised the tree-local high-water capacity.
+    pub scratch_grows: u64,
+}
+
+impl DpCounters {
+    /// Adds `other` into `self` field by field.
+    pub(crate) fn add(&mut self, other: &DpCounters) {
+        self.divisions += other.divisions;
+        self.group_blocks += other.group_blocks;
+        self.pruned_walks += other.pruned_walks;
+        self.tree_nodes += other.tree_nodes;
+        self.scratch_hits += other.scratch_hits;
+        self.scratch_grows += other.scratch_grows;
+    }
+
+    /// Returns the accumulated counts, resetting `self` to zero.
+    pub(crate) fn take(&mut self) -> DpCounters {
+        std::mem::take(self)
+    }
+
+    /// Tallies one subset row of the recurrence — all `u ∈ 2..=K` at once,
+    /// in closed form, so the counters cost one call per subset rather
+    /// than work inside the hot `u` loop. Equivalent to summing, per
+    /// `u`, one division row of `1 + max(0, u + 1 - wlo)` singleton
+    /// allotments plus either a full submask walk (`2^|rest| - 1` blocks)
+    /// or one pruned walk; `tests` pin the equivalence.
+    fn tally_set(&mut self, k: usize, wlo: usize, rest_base: u32, nd_feasible: bool) {
+        let rows = (k - 1) as u64;
+        self.divisions += rows;
+        // Allotment terms: sum of (u + 1 - wlo) over the u with u ≥ wlo-1.
+        let lo = wlo.saturating_sub(1).max(2);
+        if lo <= k {
+            let n = (k - lo + 1) as u64;
+            let first = (lo + 1 - wlo) as u64;
+            let last = (k + 1 - wlo) as u64;
+            self.divisions += n * (first + last) / 2;
+        }
+        if nd_feasible {
+            self.group_blocks += rows * ((1u64 << rest_base.count_ones()) - 1);
+        } else if rest_base != 0 {
+            self.pruned_walks += rows;
+        }
+    }
 }
 
 impl DpScratch {
     pub(crate) fn new() -> Self {
-        DpScratch {
-            fcost: Vec::new(),
-            ndcost: Vec::new(),
-            ccost: Vec::new(),
-            wlo: Vec::new(),
-            ncost: Vec::new(),
-        }
+        DpScratch::default()
     }
 
     /// Ensures capacity for a node with `f` children at LUT size `k`.
@@ -256,6 +328,12 @@ pub(crate) fn map_tree_with(
 ) -> Result<TreeDp, MapError> {
     assert!(k >= 2, "lookup tables must have at least two inputs");
     let mut nodes: Vec<NodeDp> = Vec::with_capacity(tree.nodes.len());
+    // Tree-local tallies; flushed into `scratch.counters` once per tree so
+    // the totals are scheduling-independent (see `DpCounters`). Skipped
+    // wholesale unless a telemetry sink asked for them.
+    let counting = scratch.counting;
+    let mut tally = DpCounters::default();
+    let mut hwm = 0usize;
     for node in &tree.nodes {
         let f = node.children.len();
         if f > MAX_DP_FANIN {
@@ -265,6 +343,16 @@ pub(crate) fn map_tree_with(
             });
         }
         scratch.reserve(f, k);
+        if counting {
+            tally.tree_nodes += 1;
+            let needed = (1usize << f) * (k + 1);
+            if needed <= hwm {
+                tally.scratch_hits += 1;
+            } else {
+                tally.scratch_grows += 1;
+                hwm = needed;
+            }
+        }
         let full: u32 = (1u32 << f) - 1;
         let states = (full as usize + 1) * (k + 1);
         let mut dp = NodeDp {
@@ -349,6 +437,13 @@ pub(crate) fn map_tree_with(
             // before writing (u = 0, and the own-set intermediate node).
             fcost[row] = Cost::INFEASIBLE;
             ndcost[set as usize] = Cost::INFEASIBLE;
+            // Closed-form work tallies — pure functions of the tree shape
+            // (nd_feasible is constant over the whole u loop), so they
+            // cost nothing inside the loops below and stay identical
+            // across worker counts.
+            if counting {
+                tally.tally_set(k, wlo, rest_base, nd_feasible > 0);
+            }
             // u ≥ 2 first (they never reference a feasible ndcost[set]).
             for u in (2..=k).rev() {
                 let mut best = Cost::INFEASIBLE;
@@ -475,6 +570,9 @@ pub(crate) fn map_tree_with(
         }
         nodes.push(dp);
     }
+    if counting {
+        scratch.counters.add(&tally);
+    }
     Ok(TreeDp { nodes, k })
 }
 
@@ -519,6 +617,11 @@ pub(crate) fn tree_cost_with(
     if scratch.ncost.len() < nstates {
         scratch.ncost.resize(nstates, Cost::INFEASIBLE);
     }
+    // Same tree-local tallies as `map_tree_with`: both kernels report the
+    // identical counts for the identical tree.
+    let counting = scratch.counting;
+    let mut tally = DpCounters::default();
+    let mut hwm = 0usize;
     for (ni, node) in tree.nodes.iter().enumerate() {
         let f = node.children.len();
         if f > MAX_DP_FANIN {
@@ -528,6 +631,16 @@ pub(crate) fn tree_cost_with(
             });
         }
         scratch.reserve(f, k);
+        if counting {
+            tally.tree_nodes += 1;
+            let needed = (1usize << f) * (k + 1);
+            if needed <= hwm {
+                tally.scratch_hits += 1;
+            } else {
+                tally.scratch_grows += 1;
+                hwm = needed;
+            }
+        }
         let full: u32 = (1u32 << f) - 1;
         scratch.fcost[0] = Cost::ZERO;
         scratch.fcost[1..=k].fill(Cost::INFEASIBLE);
@@ -585,6 +698,9 @@ pub(crate) fn tree_cost_with(
             let wlo = scratch.wlo[i] as usize;
             scratch.fcost[row] = Cost::INFEASIBLE;
             scratch.ndcost[set as usize] = Cost::INFEASIBLE;
+            if counting {
+                tally.tally_set(k, wlo, rest_base, nd_feasible > 0);
+            }
             for u in (2..=k).rev() {
                 let mut best = Cost::INFEASIBLE;
                 let c1 = scratch.ccost[crow + 1];
@@ -676,6 +792,9 @@ pub(crate) fn tree_cost_with(
             }
             scratch.ncost[nrow + u] = running;
         }
+    }
+    if counting {
+        scratch.counters.add(&tally);
     }
     Ok(scratch.ncost[tree.root_index() * (k + 1) + k])
 }
@@ -873,6 +992,53 @@ mod tests {
                     fresh.tree_depth(&tree),
                     "f={f} k={k}"
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn tally_set_matches_the_per_iteration_sum() {
+        // The closed form must equal the literal per-u tally it replaced.
+        for k in 2..=8usize {
+            for wlo in 2..=k + 1 {
+                for (rest_base, ndf) in [(0u32, false), (0b101, false), (0b101, true)] {
+                    let mut closed = DpCounters::default();
+                    closed.tally_set(k, wlo, rest_base, ndf);
+                    let mut naive = DpCounters::default();
+                    for u in 2..=k {
+                        naive.divisions += 1 + (u + 1).saturating_sub(wlo) as u64;
+                        if ndf {
+                            naive.group_blocks += (1u64 << rest_base.count_ones()) - 1;
+                        } else if rest_base != 0 {
+                            naive.pruned_walks += 1;
+                        }
+                    }
+                    assert_eq!(closed, naive, "k={k} wlo={wlo} rest={rest_base:b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn both_kernels_tally_identical_counts() {
+        // The full and cost-only kernels must agree not just on costs but
+        // on every work counter, and repeated runs must tally the same —
+        // the scheduling-independence the telemetry layer relies on.
+        for f in 2..=10usize {
+            for k in 2..=5usize {
+                let tree = wide_gate(f, NodeOp::And);
+                let mut a = DpScratch::new();
+                let mut b = DpScratch::new();
+                a.counting = true;
+                b.counting = true;
+                map_tree_with(&tree, k, Objective::Area, &|_| 0, &mut a).unwrap();
+                tree_cost_with(&tree, k, Objective::Area, &|_| 0, &mut b).unwrap();
+                let (ca, cb) = (a.counters.take(), b.counters.take());
+                assert_eq!(ca, cb, "f={f} k={k}");
+                assert_eq!(ca.tree_nodes, tree.nodes.len() as u64);
+                assert!(ca.divisions > 0);
+                map_tree_with(&tree, k, Objective::Area, &|_| 0, &mut a).unwrap();
+                assert_eq!(a.counters.take(), ca, "rerun must tally identically");
             }
         }
     }

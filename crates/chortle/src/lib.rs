@@ -61,8 +61,12 @@ mod tree;
 pub use crf::{crf_network_cost, crf_tree_cost, CrfTreeCost};
 pub use dp::Objective;
 pub use duplication::{duplicate_fanout_gates, map_network_best};
-pub use map::{map_network, MapError, MapOptions, MapReport, Mapping};
+pub use map::{map_network, stats, MapError, MapOptions, MapOptionsBuilder, MapReport, Mapping};
 pub use tree::{Forest, Tree, TreeChild, TreeNode};
+
+// Observability: re-exported so downstream crates need no direct
+// dependency on the telemetry crate for the common path.
+pub use chortle_telemetry::{Report as MapStats, Telemetry, WavefrontStat};
 
 /// Cost of the optimal mapping of a single tree (exposed for benches and
 /// tests; [`map_network`] is the end-to-end API).

@@ -6,12 +6,65 @@ use std::fmt;
 use std::collections::HashMap;
 
 use chortle_netlist::{LutCircuit, LutError, LutSource, Network, NodeId, NodeOp};
+use chortle_telemetry::Telemetry;
 
 use crate::cover::emit_forest;
-use crate::dp::{map_tree_with, DpScratch, Objective, TreeDp};
+use crate::dp::{map_tree_with, DpCounters, DpScratch, Objective, TreeDp};
 use crate::tree::{Forest, Tree};
 
+/// Names of the stages and counters the mapper reports into its
+/// [`Telemetry`] sink (see `DESIGN.md` §10 for the full catalogue and
+/// exact semantics). Every counter is a pure function of the input
+/// network and the options — identical totals for any `jobs` value.
+pub mod stats {
+    /// Stage: network normalization (`Network::simplified`).
+    pub const STAGE_NORMALIZE: &str = "map.normalize";
+    /// Stage: fanout-free forest construction.
+    pub const STAGE_FOREST: &str = "map.forest";
+    /// Stage: wide-node pre-splitting.
+    pub const STAGE_SPLIT: &str = "map.split";
+    /// Stage: the subset-DP mapping of every tree (sequential or
+    /// wavefront-parallel).
+    pub const STAGE_DP: &str = "map.dp";
+    /// Stage: LUT-circuit reconstruction and emission.
+    pub const STAGE_EMIT: &str = "map.emit";
+    /// Counter: utilization divisions enumerated by the DP kernels.
+    pub const DP_DIVISIONS: &str = "dp.divisions";
+    /// Counter: intermediate-node blocks examined by the submask walks.
+    pub const DP_GROUP_BLOCKS: &str = "dp.group_blocks";
+    /// Counter: submask walks skipped by the `nd_feasible` prune.
+    pub const DP_PRUNED_WALKS: &str = "dp.pruned_walks";
+    /// Counter: tree nodes pushed through a DP kernel.
+    pub const DP_TREE_NODES: &str = "dp.tree_nodes";
+    /// Counter: nodes served from the tree-local scratch high-water
+    /// capacity (see `DpCounters` for why the mark is tree-local).
+    pub const DP_SCRATCH_HITS: &str = "dp.scratch_hits";
+    /// Counter: nodes that raised the tree-local scratch high-water mark.
+    pub const DP_SCRATCH_GROWS: &str = "dp.scratch_grows";
+    /// Counter: wide tree nodes halved before mapping.
+    pub const MAP_NODES_SPLIT: &str = "map.nodes_split";
+    /// Counter: fanout-free trees in the mapped forest.
+    pub const MAP_TREES: &str = "map.trees";
+}
+
+/// Flushes a scratch arena's accumulated kernel counters into a
+/// telemetry sink, resetting them. Safe to call with a disabled sink
+/// (each add is then a no-op).
+pub(crate) fn flush_dp_counters(telemetry: &Telemetry, counters: &mut DpCounters) {
+    let c = counters.take();
+    telemetry.add_counter(stats::DP_DIVISIONS, c.divisions);
+    telemetry.add_counter(stats::DP_GROUP_BLOCKS, c.group_blocks);
+    telemetry.add_counter(stats::DP_PRUNED_WALKS, c.pruned_walks);
+    telemetry.add_counter(stats::DP_TREE_NODES, c.tree_nodes);
+    telemetry.add_counter(stats::DP_SCRATCH_HITS, c.scratch_hits);
+    telemetry.add_counter(stats::DP_SCRATCH_GROWS, c.scratch_grows);
+}
+
 /// Configuration of the Chortle mapper.
+///
+/// Construct through [`MapOptions::new`] / [`MapOptions::builder`]; the
+/// struct is `#[non_exhaustive]`, so fields are readable everywhere but
+/// new options can be added without breaking downstream crates.
 ///
 /// # Examples
 ///
@@ -21,8 +74,18 @@ use crate::tree::{Forest, Tree};
 /// let opts = MapOptions::new(4).with_split_threshold(8);
 /// assert_eq!(opts.k, 4);
 /// assert_eq!(opts.split_threshold, 8);
+///
+/// // The fallible builder covers every knob, including telemetry:
+/// let opts = MapOptions::builder(4)
+///     .split_threshold(8)?
+///     .jobs(2)
+///     .telemetry(chortle::Telemetry::enabled())
+///     .build()?;
+/// assert_eq!(opts.jobs, 2);
+/// # Ok::<(), chortle::MapError>(())
 /// ```
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug)]
+#[non_exhaustive]
 pub struct MapOptions {
     /// Number of inputs of the target lookup tables (the paper evaluates
     /// K = 2..5).
@@ -37,6 +100,10 @@ pub struct MapOptions {
     /// scheduled in dependency wavefronts; any value produces a circuit
     /// identical to the sequential one.
     pub jobs: usize,
+    /// Observability sink the mapper reports stages, counters, and
+    /// wavefront occupancy into. Disabled by default (zero overhead);
+    /// see [`Telemetry::enabled`] and the [`stats`] name catalogue.
+    pub telemetry: Telemetry,
 }
 
 impl MapOptions {
@@ -58,15 +125,24 @@ impl MapOptions {
     ///
     /// Returns [`MapError::InvalidK`] if `k` is outside `2..=8`.
     pub fn try_new(k: usize) -> Result<Self, MapError> {
-        if !(2..=8).contains(&k) {
-            return Err(MapError::InvalidK { k });
+        MapOptions::builder(k).build()
+    }
+
+    /// Starts a fallible builder over every mapper knob.
+    ///
+    /// Validation happens as each knob is set (`split_threshold`) or at
+    /// [`MapOptionsBuilder::build`] (`k`), so an invalid combination is a
+    /// typed [`MapError`] instead of a panic.
+    pub fn builder(k: usize) -> MapOptionsBuilder {
+        MapOptionsBuilder {
+            opts: MapOptions {
+                k,
+                split_threshold: 10,
+                objective: Objective::Area,
+                jobs: 1,
+                telemetry: Telemetry::disabled(),
+            },
         }
-        Ok(MapOptions {
-            k,
-            split_threshold: 10,
-            objective: Objective::Area,
-            jobs: 1,
-        })
     }
 
     /// Switches the objective to depth-first (lexicographic depth, then
@@ -107,12 +183,81 @@ impl MapOptions {
     /// the host's available parallelism; 1 (the default) maps
     /// sequentially. The produced circuit is identical for every value.
     pub fn with_jobs(mut self, jobs: usize) -> Self {
-        self.jobs = if jobs == 0 {
-            std::thread::available_parallelism().map_or(1, usize::from)
-        } else {
-            jobs
-        };
+        self.jobs = resolve_jobs(jobs);
         self
+    }
+
+    /// Attaches a telemetry sink the mapper reports into. Pass
+    /// [`Telemetry::enabled`] to collect, [`Telemetry::disabled`] (the
+    /// default) to turn observability off at zero cost.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+}
+
+/// Resolves a user-facing `jobs` request: 0 means "use the host's
+/// available parallelism".
+fn resolve_jobs(jobs: usize) -> usize {
+    if jobs == 0 {
+        std::thread::available_parallelism().map_or(1, usize::from)
+    } else {
+        jobs
+    }
+}
+
+/// Fallible builder for [`MapOptions`] — see [`MapOptions::builder`].
+#[derive(Clone, Debug)]
+#[must_use = "call .build() to obtain the options"]
+pub struct MapOptionsBuilder {
+    opts: MapOptions,
+}
+
+impl MapOptionsBuilder {
+    /// Sets the node-splitting threshold.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MapError::InvalidSplitThreshold`] if `threshold` is
+    /// outside `2..=16`.
+    pub fn split_threshold(mut self, threshold: usize) -> Result<Self, MapError> {
+        if !(2..=16).contains(&threshold) {
+            return Err(MapError::InvalidSplitThreshold { threshold });
+        }
+        self.opts.split_threshold = threshold;
+        Ok(self)
+    }
+
+    /// Sets the mapping objective.
+    pub fn objective(mut self, objective: Objective) -> Self {
+        self.opts.objective = objective;
+        self
+    }
+
+    /// Sets the worker-thread count (0 = host parallelism, 1 =
+    /// sequential).
+    pub fn jobs(mut self, jobs: usize) -> Self {
+        self.opts.jobs = resolve_jobs(jobs);
+        self
+    }
+
+    /// Attaches a telemetry sink.
+    pub fn telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.opts.telemetry = telemetry;
+        self
+    }
+
+    /// Validates the remaining invariants and returns the options.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MapError::InvalidK`] if the `k` passed to
+    /// [`MapOptions::builder`] is outside `2..=8`.
+    pub fn build(self) -> Result<MapOptions, MapError> {
+        if !(2..=8).contains(&self.opts.k) {
+            return Err(MapError::InvalidK { k: self.opts.k });
+        }
+        Ok(self.opts)
     }
 }
 
@@ -241,20 +386,35 @@ pub struct Mapping {
 /// # Ok::<(), chortle::MapError>(())
 /// ```
 pub fn map_network(network: &Network, options: &MapOptions) -> Result<Mapping, MapError> {
-    let normal = network.simplified();
-    let mut forest = Forest::of(&normal);
+    let telemetry = &options.telemetry;
+    let normal = {
+        let _s = telemetry.span(stats::STAGE_NORMALIZE);
+        network.simplified()
+    };
+    let mut forest = {
+        let _s = telemetry.span(stats::STAGE_FOREST);
+        Forest::of(&normal)
+    };
     // Never split a node that already fits the subset search and the LUT.
     let threshold = options.split_threshold.max(options.k);
-    forest.split_wide_nodes(threshold);
+    let splits = {
+        let _s = telemetry.span(stats::STAGE_SPLIT);
+        forest.split_wide_nodes(threshold)
+    };
+    telemetry.add_counter(stats::MAP_NODES_SPLIT, splits as u64);
+    telemetry.add_counter(stats::MAP_TREES, forest.trees.len() as u64);
 
     let mut report = MapReport {
         trees: forest.trees.len(),
         ..MapReport::default()
     };
-    let mapped = if options.jobs > 1 {
-        crate::parallel::map_forest_wavefront(&normal, forest.trees, options)?
-    } else {
-        map_forest_sequential(&normal, forest.trees, options)?
+    let mapped = {
+        let _s = telemetry.span(stats::STAGE_DP);
+        if options.jobs > 1 {
+            crate::parallel::map_forest_wavefront(&normal, forest.trees, options)?
+        } else {
+            map_forest_sequential(&normal, forest.trees, options)?
+        }
     };
     let mut predicted: u64 = 0;
     for (tree, dp) in &mapped {
@@ -272,7 +432,10 @@ pub fn map_network(network: &Network, options: &MapOptions) -> Result<Mapping, M
     }
     let input_source = |id: NodeId| LutSource::Input(orig_input[id.index()]);
 
-    let circuit: LutCircuit = emit_forest(&normal, &mapped, &input_source, options.k)?;
+    let circuit: LutCircuit = {
+        let _s = telemetry.span(stats::STAGE_EMIT);
+        emit_forest(&normal, &mapped, &input_source, options.k)?
+    };
     report.luts = circuit.num_luts();
     debug_assert_eq!(
         report.luts as u64, predicted,
@@ -303,6 +466,7 @@ fn map_forest_sequential(
 ) -> Result<Vec<(Tree, TreeDp)>, MapError> {
     let mut mapped = Vec::with_capacity(trees.len());
     let mut scratch = DpScratch::new();
+    scratch.counting = options.telemetry.is_enabled();
     let mut depth_of: HashMap<NodeId, u32> = HashMap::new();
     for tree in trees {
         let leaf_depth = |id: NodeId| leaf_arrival(normal, &depth_of, id);
@@ -316,6 +480,7 @@ fn map_forest_sequential(
         depth_of.insert(tree.root, dp.tree_depth(&tree));
         mapped.push((tree, dp));
     }
+    flush_dp_counters(&options.telemetry, &mut scratch.counters);
     Ok(mapped)
 }
 

@@ -19,11 +19,13 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
 
 use chortle_netlist::{Network, NodeId};
+use chortle_telemetry::WavefrontStat;
 
 use crate::dp::{map_tree_with, DpScratch, TreeDp};
-use crate::map::{leaf_arrival, MapError, MapOptions};
+use crate::map::{flush_dp_counters, leaf_arrival, MapError, MapOptions};
 use crate::tree::{Tree, TreeChild};
 
 /// Maps the forest with `options.jobs` worker threads, wavefront by
@@ -68,7 +70,14 @@ pub(crate) fn map_forest_wavefront(
     // cheaper on the calling thread than across a spawn).
     let mut inline_scratch = DpScratch::new();
 
-    for wave in &waves {
+    let telemetry = &options.telemetry;
+    inline_scratch.counting = telemetry.is_enabled();
+    for (wi, wave) in waves.iter().enumerate() {
+        // Timing is gated on the sink being enabled: the disabled path
+        // never touches the clock.
+        let wave_start = telemetry.is_enabled().then(Instant::now);
+        let mut claimed: Vec<u64> = Vec::new();
+        let mut busy_s: Vec<f64> = Vec::new();
         let queue = AtomicUsize::new(0);
         // A worker: drain the wavefront cursor, mapping each claimed tree
         // with a thread-private scratch arena.
@@ -89,20 +98,30 @@ pub(crate) fn map_forest_wavefront(
 
         let workers = options.jobs.min(wave.len()).max(1);
         if workers == 1 {
+            let busy_start = telemetry.is_enabled().then(Instant::now);
             let mut out = Vec::with_capacity(wave.len());
             run(&mut inline_scratch, &mut out)?;
+            if let Some(t0) = busy_start {
+                claimed.push(out.len() as u64);
+                busy_s.push(t0.elapsed().as_secs_f64());
+            }
             for (ti, dp) in out {
                 dps[ti] = Some(dp);
             }
         } else {
             let run = &run;
+            let enabled = telemetry.is_enabled();
             let results = std::thread::scope(|s| {
                 let handles: Vec<_> = (0..workers)
                     .map(|_| {
                         s.spawn(move || {
+                            let busy_start = enabled.then(Instant::now);
                             let mut scratch = DpScratch::new();
+                            scratch.counting = enabled;
                             let mut out = Vec::new();
-                            run(&mut scratch, &mut out).map(|()| out)
+                            let r = run(&mut scratch, &mut out);
+                            let busy = busy_start.map(|t0| t0.elapsed().as_secs_f64());
+                            r.map(|()| (out, scratch.counters.take(), busy))
                         })
                     })
                     .collect();
@@ -112,10 +131,28 @@ pub(crate) fn map_forest_wavefront(
                     .collect::<Vec<_>>()
             });
             for result in results {
-                for (ti, dp) in result? {
+                let (out, counters, busy) = result?;
+                // Fold every worker's kernel tallies into the inline
+                // arena's; one flush at the end covers both paths.
+                inline_scratch.counters.add(&counters);
+                if let Some(b) = busy {
+                    claimed.push(out.len() as u64);
+                    busy_s.push(b);
+                }
+                for (ti, dp) in out {
                     dps[ti] = Some(dp);
                 }
             }
+        }
+        if let Some(t0) = wave_start {
+            telemetry.record_wavefront(WavefrontStat {
+                index: wi,
+                trees: wave.len(),
+                workers,
+                seconds: t0.elapsed().as_secs_f64(),
+                claimed,
+                busy_s,
+            });
         }
 
         // Publish this wavefront's root depths, in tree order, before the
@@ -125,6 +162,7 @@ pub(crate) fn map_forest_wavefront(
             depth_of.insert(trees[ti].root, dp.tree_depth(&trees[ti]));
         }
     }
+    flush_dp_counters(telemetry, &mut inline_scratch.counters);
 
     Ok(trees
         .into_iter()
@@ -167,7 +205,7 @@ mod tests {
             ] {
                 let seq = map_network(&net, &objective).unwrap();
                 for jobs in [2, 3, 8] {
-                    let par = map_network(&net, &objective.with_jobs(jobs)).unwrap();
+                    let par = map_network(&net, &objective.clone().with_jobs(jobs)).unwrap();
                     assert_eq!(seq.circuit, par.circuit, "k={k} jobs={jobs}");
                     assert_eq!(seq.report, par.report, "k={k} jobs={jobs}");
                 }

@@ -83,16 +83,22 @@ impl Tree {
     /// longer cross (the paper reports no loss of quality in practice —
     /// the `splitting` integration test measures this).
     ///
+    /// Returns the number of nodes halved (every halving of one wide
+    /// node counts once, including re-splits of freshly created halves),
+    /// which the mapping telemetry reports as `map.nodes_split`.
+    ///
     /// # Panics
     ///
     /// Panics if `threshold < 2`.
-    pub fn split_wide_nodes(&mut self, threshold: usize) {
+    pub fn split_wide_nodes(&mut self, threshold: usize) -> usize {
         assert!(threshold >= 2, "split threshold must be at least 2");
+        let mut splits = 0;
         // Iterate until stable; newly created nodes are within bounds by
         // construction.
         let mut i = 0;
         while i < self.nodes.len() {
             if self.nodes[i].children.len() > threshold {
+                splits += 1;
                 let children = std::mem::take(&mut self.nodes[i].children);
                 let half = children.len() / 2;
                 let (left, right) = children.split_at(half);
@@ -130,6 +136,7 @@ impl Tree {
         }
         debug_assert!(self.nodes.iter().all(|n| n.children.len() <= threshold));
         debug_assert!(self.nodes.iter().all(|n| n.children.len() >= 2));
+        splits
     }
 
     /// Inserts a new node immediately before index `at`, fixing up all
@@ -231,11 +238,13 @@ impl Forest {
         self.trees.iter().map(|t| t.nodes.len()).sum()
     }
 
-    /// Applies [`Tree::split_wide_nodes`] to every tree.
-    pub fn split_wide_nodes(&mut self, threshold: usize) {
-        for t in &mut self.trees {
-            t.split_wide_nodes(threshold);
-        }
+    /// Applies [`Tree::split_wide_nodes`] to every tree; returns the
+    /// total number of nodes halved.
+    pub fn split_wide_nodes(&mut self, threshold: usize) -> usize {
+        self.trees
+            .iter_mut()
+            .map(|t| t.split_wide_nodes(threshold))
+            .sum()
     }
 }
 

@@ -50,7 +50,7 @@ fn parallel_mapping_is_bit_identical_across_k_and_objectives() {
             ] {
                 let seq = map_network(&net, &base).unwrap();
                 for jobs in [2, 4] {
-                    let par = map_network(&net, &base.with_jobs(jobs)).unwrap();
+                    let par = map_network(&net, &base.clone().with_jobs(jobs)).unwrap();
                     assert_eq!(
                         seq.report, par.report,
                         "report diverged (k={k} jobs={jobs} {:?})",

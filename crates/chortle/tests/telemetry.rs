@@ -1,0 +1,170 @@
+//! The mapper's observability contract: the JSON report's layout is
+//! pinned in a golden file, and every counter is *scheduling-independent*
+//! — bit-identical totals whether the forest maps on one thread or many.
+
+use chortle::{map_network, stats, MapOptions, Telemetry};
+use chortle_netlist::{Network, NodeOp, Signal, SplitMix64};
+use chortle_telemetry::schema::{shape, validate_report};
+
+/// A network whose forest levelizes into several wavefronts: two shared
+/// gates feed two consumers each, which feed a top cone.
+fn layered_network() -> Network {
+    let mut net = Network::new();
+    let inputs: Vec<Signal> = (0..8)
+        .map(|i| Signal::new(net.add_input(format!("i{i}"))))
+        .collect();
+    let s1 = Signal::new(net.add_gate(NodeOp::And, vec![inputs[0], inputs[1], inputs[2]]));
+    let s2 = Signal::new(net.add_gate(NodeOp::Or, vec![inputs[3], inputs[4]]));
+    let m1 = Signal::new(net.add_gate(NodeOp::Or, vec![s1, inputs[5]]));
+    let m2 = Signal::new(net.add_gate(NodeOp::And, vec![s1, s2, inputs[6]]));
+    let top = Signal::new(net.add_gate(NodeOp::Or, vec![m1, m2, inputs[7]]));
+    net.add_output("t", top);
+    net.add_output("m2", !m2);
+    net.add_output("s2", s2);
+    net
+}
+
+fn random_network(seed: u64, inputs: usize, gates: usize, max_arity: usize) -> Network {
+    let mut rng = SplitMix64::new(seed);
+    let mut net = Network::new();
+    let mut signals: Vec<Signal> = (0..inputs)
+        .map(|i| Signal::new(net.add_input(format!("i{i}"))))
+        .collect();
+    for g in 0..gates {
+        let arity = rng.next_range(2, max_arity + 1);
+        let mut fanins: Vec<Signal> = Vec::new();
+        let mut used = std::collections::HashSet::new();
+        let mut guard = 0;
+        while fanins.len() < arity && guard < 60 {
+            guard += 1;
+            let s = signals[rng.choose_index(&signals)];
+            if used.insert(s.node()) {
+                fanins.push(if rng.next_bool(1, 3) { !s } else { s });
+            }
+        }
+        if fanins.len() < 2 {
+            continue;
+        }
+        let op = if g % 2 == 0 { NodeOp::And } else { NodeOp::Or };
+        signals.push(Signal::new(net.add_gate(op, fanins)));
+    }
+    for o in 0..rng.next_range(1, 4) {
+        let s = signals[rng.choose_index(&signals)];
+        net.add_output(format!("o{o}"), if rng.next_bool(1, 4) { !s } else { s });
+    }
+    net
+}
+
+/// Maps `net` with a fresh enabled sink and returns the snapshot.
+fn mapped_report(net: &Network, k: usize, jobs: usize) -> chortle::MapStats {
+    let telemetry = Telemetry::enabled();
+    let options = MapOptions::builder(k)
+        .jobs(jobs)
+        .telemetry(telemetry.clone())
+        .build()
+        .expect("valid options");
+    map_network(net, &options).expect("maps");
+    telemetry.snapshot()
+}
+
+#[test]
+fn report_shape_matches_the_golden_file() {
+    let report = mapped_report(&layered_network(), 4, 2);
+    let json = report.to_json();
+    validate_report(&json).expect("schema-valid");
+    assert!(
+        !report.wavefronts.is_empty(),
+        "need wavefronts for the shape"
+    );
+    let expected = include_str!("golden/report_schema.txt");
+    assert_eq!(
+        shape(&json).expect("shapes"),
+        expected,
+        "report layout drifted; update tests/golden/report_schema.txt \
+         and bump chortle_telemetry::SCHEMA if the change is intentional"
+    );
+}
+
+#[test]
+fn mapper_reports_every_documented_stage_and_counter() {
+    let report = mapped_report(&layered_network(), 4, 1);
+    for stage in [
+        stats::STAGE_NORMALIZE,
+        stats::STAGE_FOREST,
+        stats::STAGE_SPLIT,
+        stats::STAGE_DP,
+        stats::STAGE_EMIT,
+    ] {
+        let s = report
+            .stage(stage)
+            .unwrap_or_else(|| panic!("missing stage {stage}"));
+        assert_eq!(s.calls, 1, "{stage}");
+        assert!(s.seconds >= 0.0, "{stage}");
+    }
+    for counter in [
+        stats::DP_DIVISIONS,
+        stats::DP_GROUP_BLOCKS,
+        stats::DP_PRUNED_WALKS,
+        stats::DP_TREE_NODES,
+        stats::DP_SCRATCH_HITS,
+        stats::DP_SCRATCH_GROWS,
+        stats::MAP_NODES_SPLIT,
+        stats::MAP_TREES,
+    ] {
+        assert!(
+            report.counter(counter).is_some(),
+            "missing counter {counter}"
+        );
+    }
+    assert!(report.counter(stats::DP_DIVISIONS).unwrap() > 0);
+    assert!(report.counter(stats::MAP_TREES).unwrap() > 0);
+}
+
+#[test]
+fn counters_are_identical_for_any_worker_count() {
+    // The property the whole counter design serves: every counter is a
+    // pure function of the input, so jobs=1 and jobs=N tally the same.
+    let mut rng = SplitMix64::new(0x7e1e_0001);
+    for round in 0..12 {
+        let net = random_network(rng.next_u64(), 8, 20, 6);
+        let k = rng.next_range(2, 7);
+        let baseline = mapped_report(&net, k, 1);
+        for jobs in [2, 8] {
+            let parallel = mapped_report(&net, k, jobs);
+            assert_eq!(
+                baseline.counters, parallel.counters,
+                "counters diverged (round={round} k={k} jobs={jobs})"
+            );
+        }
+    }
+}
+
+#[test]
+fn wavefront_occupancy_is_consistent() {
+    let report = mapped_report(&layered_network(), 4, 2);
+    assert!(report.wavefronts.len() >= 2, "layered forest levelizes");
+    let total_trees: usize = report.wavefronts.iter().map(|w| w.trees).sum();
+    assert_eq!(
+        total_trees as u64,
+        report.counter(stats::MAP_TREES).unwrap()
+    );
+    for wave in &report.wavefronts {
+        assert_eq!(wave.claimed.len(), wave.workers);
+        assert_eq!(wave.busy_s.len(), wave.workers);
+        assert_eq!(wave.claimed.iter().sum::<u64>(), wave.trees as u64);
+        let occ = wave.occupancy();
+        assert!((0.0..=1.0).contains(&occ), "occupancy {occ} out of range");
+    }
+}
+
+#[test]
+fn disabled_telemetry_reports_nothing() {
+    let telemetry = Telemetry::disabled();
+    let options = MapOptions::new(4).with_telemetry(telemetry.clone());
+    map_network(&layered_network(), &options).expect("maps");
+    let report = telemetry.snapshot();
+    assert!(!report.enabled);
+    assert!(report.stages.is_empty());
+    assert!(report.counters.is_empty());
+    assert!(report.wavefronts.is_empty());
+}

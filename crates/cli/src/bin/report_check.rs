@@ -1,0 +1,32 @@
+//! `report-check` — validate a `chortle-map --report json` document.
+//!
+//! Reads one JSON telemetry report from stdin and checks it against the
+//! `chortle-telemetry/v1` schema: exact key layout, value kinds, and
+//! internal consistency (per-worker arrays sized to the worker count).
+//! Exits 0 and prints `ok` on success; exits 1 with the first deviation
+//! on stderr otherwise. Used by `scripts/ci.sh` as the report smoke test:
+//!
+//! ```text
+//! chortle-map --report json design.blif | report-check
+//! ```
+
+use std::io::Read;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut input = String::new();
+    if let Err(e) = std::io::stdin().read_to_string(&mut input) {
+        eprintln!("report-check: cannot read stdin: {e}");
+        return ExitCode::FAILURE;
+    }
+    match chortle_telemetry::schema::validate_report(&input) {
+        Ok(()) => {
+            println!("ok");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("report-check: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -9,7 +9,7 @@
 //! # Examples
 //!
 //! ```
-//! use chortle_cli::{run_flow, FlowOptions, Mapper};
+//! use chortle_cli::{run_flow, FlowOptions, MapOptions, Mapper};
 //!
 //! let blif = "\
 //! .model demo
@@ -22,7 +22,9 @@
 //! -1 1
 //! .end
 //! ";
-//! let result = run_flow(blif, &FlowOptions { k: 4, ..FlowOptions::default() })?;
+//! let mut options = FlowOptions::default();
+//! options.map = MapOptions::new(4); // mapper knobs live in the core type
+//! let result = run_flow(blif, &options)?;
 //! assert_eq!(result.luts, 1);
 //! assert!(result.output_blif.contains(".names"));
 //! # Ok::<(), chortle_cli::FlowError>(())
@@ -34,13 +36,36 @@
 use std::error::Error;
 use std::fmt;
 
-use chortle::{map_network, MapOptions};
-use chortle_logic_opt::optimize;
+use chortle_logic_opt::optimize_with_telemetry;
 use chortle_mis::{map_network as mis_map, Library, MisOptions};
 use chortle_netlist::{
     check_equivalence, lut_circuit_to_dot, parse_blif, write_lut_blif, write_lut_verilog, LutStats,
     NetworkStats, ParseBlifError,
 };
+
+// One import serves downstream users: the core mapper types ride along
+// with the flow API.
+pub use chortle::{
+    map_network, MapError, MapOptions, MapOptionsBuilder, MapReport, MapStats, Mapping, Objective,
+    Telemetry,
+};
+
+/// Names of the flow-level stages [`run_flow`] reports into the sink
+/// attached via [`MapOptions::with_telemetry`] (nested mapper and
+/// optimizer stages use the `map.*` / `dp.*` / `opt.*` names — see
+/// [`chortle::stats`] and [`chortle_logic_opt::stats`]).
+pub mod stats {
+    /// Stage: BLIF parsing.
+    pub const STAGE_PARSE: &str = "flow.parse";
+    /// Stage: the MIS-style optimization script (when enabled).
+    pub const STAGE_OPTIMIZE: &str = "flow.optimize";
+    /// Stage: technology mapping.
+    pub const STAGE_MAP: &str = "flow.map";
+    /// Stage: functional equivalence verification (when enabled).
+    pub const STAGE_VERIFY: &str = "flow.verify";
+    /// Stage: serializing the mapped circuit.
+    pub const STAGE_RENDER: &str = "flow.render";
+}
 
 /// Output format of the mapped circuit.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
@@ -66,21 +91,21 @@ pub enum Mapper {
 }
 
 /// Options of the end-to-end flow.
-#[derive(Clone, Copy, Debug)]
+///
+/// Mapper configuration (K, split threshold, worker threads, objective,
+/// telemetry) is *not* duplicated here: it lives in the embedded core
+/// [`MapOptions`], so the flow and the library API cannot drift apart.
+/// The MIS baseline reads `map.k` as well.
+#[derive(Clone, Debug)]
 pub struct FlowOptions {
-    /// LUT input count.
-    pub k: usize,
+    /// Mapper configuration, shared verbatim with [`map_network`].
+    pub map: MapOptions,
     /// Which mapper to use.
     pub mapper: Mapper,
     /// Run the MIS-style optimization script before mapping.
     pub optimize: bool,
     /// Verify the mapped circuit against the (optimized) network.
     pub verify: bool,
-    /// Chortle's node-splitting threshold.
-    pub split_threshold: usize,
-    /// Worker threads for Chortle's forest mapping (1 = sequential,
-    /// 0 = host parallelism). Any value maps to the identical circuit.
-    pub jobs: usize,
     /// Serialization format of the mapped circuit.
     pub format: OutputFormat,
 }
@@ -88,12 +113,10 @@ pub struct FlowOptions {
 impl Default for FlowOptions {
     fn default() -> Self {
         FlowOptions {
-            k: 4,
+            map: MapOptions::new(4),
             mapper: Mapper::Chortle,
             optimize: true,
             verify: true,
-            split_threshold: 10,
-            jobs: 1,
             format: OutputFormat::Blif,
         }
     }
@@ -120,6 +143,8 @@ pub struct FlowResult {
 pub enum FlowError {
     /// The input BLIF could not be parsed.
     Parse(ParseBlifError),
+    /// The Chortle mapper rejected its configuration or failed.
+    Map(MapError),
     /// K outside the supported range for the chosen mapper.
     UnsupportedK {
         /// The requested K.
@@ -135,6 +160,7 @@ impl fmt::Display for FlowError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             FlowError::Parse(e) => write!(f, "cannot parse input: {e}"),
+            FlowError::Map(e) => write!(f, "mapping failed: {e}"),
             FlowError::UnsupportedK { k, max } => {
                 write!(f, "K = {k} unsupported (this mapper handles 2..={max})")
             }
@@ -147,6 +173,7 @@ impl Error for FlowError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             FlowError::Parse(e) => Some(e),
+            FlowError::Map(e) => Some(e),
             _ => None,
         }
     }
@@ -158,6 +185,12 @@ impl From<ParseBlifError> for FlowError {
     }
 }
 
+impl From<MapError> for FlowError {
+    fn from(e: MapError) -> Self {
+        FlowError::Map(e)
+    }
+}
+
 /// Runs the full flow on BLIF text and returns the mapped design.
 ///
 /// # Errors
@@ -165,53 +198,56 @@ impl From<ParseBlifError> for FlowError {
 /// Returns [`FlowError`] on parse failures, unsupported `k`, internal
 /// mapping errors, or (with `verify`) functional mismatches.
 pub fn run_flow(blif: &str, options: &FlowOptions) -> Result<FlowResult, FlowError> {
+    let telemetry = &options.map.telemetry;
+    let k = options.map.k;
     let max_k = match options.mapper {
         Mapper::Chortle => 8,
         Mapper::Mis => 6,
     };
-    if !(2..=max_k).contains(&options.k) {
-        return Err(FlowError::UnsupportedK {
-            k: options.k,
-            max: max_k,
-        });
+    if !(2..=max_k).contains(&k) {
+        return Err(FlowError::UnsupportedK { k, max: max_k });
     }
-    let parsed = parse_blif(blif)?;
+    let parsed = {
+        let _s = telemetry.span(stats::STAGE_PARSE);
+        parse_blif(blif)?
+    };
     let network = if options.optimize {
-        let (optimized, _) = optimize(&parsed)
+        let _s = telemetry.span(stats::STAGE_OPTIMIZE);
+        let opt_options = chortle_logic_opt::OptimizeOptions::default();
+        let (optimized, _) = optimize_with_telemetry(&parsed, &opt_options, telemetry)
             .map_err(|e| FlowError::Internal(format!("optimization failed: {e}")))?;
         optimized
     } else {
         parsed
     };
 
-    let circuit = match options.mapper {
-        Mapper::Chortle => {
-            let opts = MapOptions::new(options.k)
-                .with_split_threshold(options.split_threshold.clamp(2, 16))
-                .with_jobs(options.jobs);
-            map_network(&network, &opts)
-                .map_err(|e| FlowError::Internal(e.to_string()))?
-                .circuit
-        }
-        Mapper::Mis => {
-            let lib = Library::for_paper(options.k);
-            mis_map(&network, &lib, &MisOptions::new(options.k))
-                .map_err(|e| FlowError::Internal(e.to_string()))?
-                .circuit
+    let circuit = {
+        let _s = telemetry.span(stats::STAGE_MAP);
+        match options.mapper {
+            Mapper::Chortle => map_network(&network, &options.map)?.circuit,
+            Mapper::Mis => {
+                let lib = Library::for_paper(k);
+                mis_map(&network, &lib, &MisOptions::new(k))
+                    .map_err(|e| FlowError::Internal(e.to_string()))?
+                    .circuit
+            }
         }
     };
 
     if options.verify {
+        let _s = telemetry.span(stats::STAGE_VERIFY);
         check_equivalence(&network, &circuit)
             .map_err(|e| FlowError::Internal(format!("verification failed: {e}")))?;
     }
 
+    let _render = telemetry.span(stats::STAGE_RENDER);
     let lut_stats = LutStats::of(&circuit);
     let rendered = match options.format {
         OutputFormat::Blif => write_lut_blif(&network, &circuit, "mapped"),
         OutputFormat::Verilog => write_lut_verilog(&network, &circuit, "mapped"),
         OutputFormat::Dot => lut_circuit_to_dot(&network, &circuit, "mapped"),
     };
+    drop(_render);
     Ok(FlowResult {
         luts: circuit.num_luts(),
         depth: circuit.depth(),
@@ -250,7 +286,7 @@ mod tests {
     fn mis_flow_also_works() {
         let options = FlowOptions {
             mapper: Mapper::Mis,
-            k: 3,
+            map: MapOptions::new(3),
             ..FlowOptions::default()
         };
         let result = run_flow(DEMO, &options).expect("flow runs");
@@ -269,25 +305,45 @@ mod tests {
 
     #[test]
     fn rejects_bad_k() {
+        // An out-of-range K cannot even be constructed any more: the
+        // embedded MapOptions validates at build time, and the typed
+        // error converts into FlowError.
+        let err = FlowError::from(MapOptions::builder(9).build().unwrap_err());
+        assert!(matches!(err, FlowError::Map(MapError::InvalidK { k: 9 })));
+        // The MIS baseline has a tighter bound the flow still enforces.
         let err = run_flow(
             DEMO,
             &FlowOptions {
-                k: 9,
-                ..FlowOptions::default()
-            },
-        )
-        .unwrap_err();
-        assert!(matches!(err, FlowError::UnsupportedK { k: 9, max: 8 }));
-        let err = run_flow(
-            DEMO,
-            &FlowOptions {
-                k: 7,
+                map: MapOptions::new(7),
                 mapper: Mapper::Mis,
                 ..FlowOptions::default()
             },
         )
         .unwrap_err();
         assert!(matches!(err, FlowError::UnsupportedK { max: 6, .. }));
+    }
+
+    #[test]
+    fn flow_reports_telemetry_when_attached() {
+        let telemetry = Telemetry::enabled();
+        let options = FlowOptions {
+            map: MapOptions::new(4).with_telemetry(telemetry.clone()),
+            ..FlowOptions::default()
+        };
+        run_flow(DEMO, &options).expect("flow runs");
+        let report = telemetry.snapshot();
+        for stage in [
+            stats::STAGE_PARSE,
+            stats::STAGE_OPTIMIZE,
+            stats::STAGE_MAP,
+            stats::STAGE_VERIFY,
+            stats::STAGE_RENDER,
+            "opt.eliminate",
+            "map.dp",
+        ] {
+            assert!(report.stage(stage).is_some(), "missing stage {stage}");
+        }
+        assert!(report.counter("dp.divisions").unwrap_or(0) > 0);
     }
 
     #[test]

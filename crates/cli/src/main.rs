@@ -1,83 +1,314 @@
 //! `chortle-map` — technology mapping for lookup-table FPGAs from the
 //! command line.
 //!
-//! ```text
-//! chortle-map [OPTIONS] [INPUT.blif]
+//! Flags are described by one declarative table ([`FLAGS`]) that drives
+//! parsing, `--help` generation, and unknown-flag rejection, so the three
+//! can never disagree. Values are validated through the core fallible
+//! builders: a bad `-k` is the library's own typed error, prefixed
+//! `invalid value for -k:`.
 //!
-//! Options:
-//!   -k N               LUT input count (default 4)
-//!   -o FILE            write mapped BLIF to FILE (default stdout)
-//!   --mapper chortle|mis
-//!   --no-optimize      skip the MIS-style optimization script
-//!   --no-verify        skip the functional equivalence check
-//!   --split N          Chortle node-splitting threshold (default 10)
-//!   --jobs N           mapper worker threads; 0 = all cores (default 1)
-//!   --format F         output format: blif (default), verilog, dot
-//!   --stats            print statistics to stderr
-//! ```
-//!
-//! Reads from stdin when no input file is given.
+//! Reads from stdin when no input file is given. With `--report`, the
+//! telemetry report goes to stdout and the mapped circuit is only written
+//! when `-o FILE` is given.
 
 use std::io::Read;
 use std::process::ExitCode;
 
-use chortle_cli::{run_flow, FlowOptions, Mapper, OutputFormat};
+use chortle_cli::{run_flow, FlowOptions, MapOptions, Mapper, OutputFormat, Telemetry};
 
-fn main() -> ExitCode {
-    let mut options = FlowOptions::default();
-    let mut input: Option<String> = None;
-    let mut output: Option<String> = None;
-    let mut stats = false;
+/// One command-line flag: its spelling(s), value placeholder (None for
+/// booleans), and help text. The table is the single source of truth for
+/// parsing and `--help`.
+struct Flag {
+    name: &'static str,
+    alias: Option<&'static str>,
+    value: Option<&'static str>,
+    help: &'static str,
+}
 
-    let mut args = std::env::args().skip(1);
+const FLAGS: &[Flag] = &[
+    Flag {
+        name: "-k",
+        alias: None,
+        value: Some("N"),
+        help: "LUT input count, 2..=8 (default 4)",
+    },
+    Flag {
+        name: "-o",
+        alias: None,
+        value: Some("FILE"),
+        help: "write the mapped circuit to FILE (default stdout)",
+    },
+    Flag {
+        name: "--mapper",
+        alias: None,
+        value: Some("NAME"),
+        help: "mapper to run: chortle (default) or mis",
+    },
+    Flag {
+        name: "--objective",
+        alias: None,
+        value: Some("GOAL"),
+        help: "what Chortle minimizes: area (default) or depth",
+    },
+    Flag {
+        name: "--split",
+        alias: None,
+        value: Some("N"),
+        help: "Chortle node-splitting threshold, 2..=16 (default 10)",
+    },
+    Flag {
+        name: "--jobs",
+        alias: None,
+        value: Some("N"),
+        help: "mapper worker threads; 0 = all cores (default 1)",
+    },
+    Flag {
+        name: "--format",
+        alias: None,
+        value: Some("F"),
+        help: "output format: blif (default), verilog, dot",
+    },
+    Flag {
+        name: "--report",
+        alias: None,
+        value: Some("F"),
+        help: "print a telemetry report to stdout: json or text",
+    },
+    Flag {
+        name: "--no-optimize",
+        alias: None,
+        value: None,
+        help: "skip the MIS-style optimization script",
+    },
+    Flag {
+        name: "--no-verify",
+        alias: None,
+        value: None,
+        help: "skip the functional equivalence check",
+    },
+    Flag {
+        name: "--stats",
+        alias: None,
+        value: None,
+        help: "print statistics to stderr",
+    },
+    Flag {
+        name: "--help",
+        alias: Some("-h"),
+        value: None,
+        help: "print this help and exit",
+    },
+    Flag {
+        name: "--version",
+        alias: Some("-V"),
+        value: None,
+        help: "print the version and exit",
+    },
+];
+
+/// Telemetry report format requested on the command line.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum ReportFormat {
+    Json,
+    Text,
+}
+
+/// Everything the flag parser produces.
+struct Cli {
+    options: FlowOptions,
+    input: Option<String>,
+    output: Option<String>,
+    stats: bool,
+    report: Option<ReportFormat>,
+}
+
+fn print_help() {
+    println!("chortle-map — map a BLIF network into K-input lookup tables");
+    println!();
+    println!("Usage: chortle-map [OPTIONS] [INPUT.blif]");
+    println!();
+    println!("Reads BLIF from stdin when INPUT.blif is omitted. With --report,");
+    println!("the report goes to stdout and the circuit only to -o FILE.");
+    println!();
+    println!("Options:");
+    for flag in FLAGS {
+        let mut left = String::from("  ");
+        left.push_str(flag.name);
+        if let Some(alias) = flag.alias {
+            left.push_str(", ");
+            left.push_str(alias);
+        }
+        if let Some(value) = flag.value {
+            left.push(' ');
+            left.push_str(value);
+        }
+        println!("{left:<22}{}", flag.help);
+    }
+}
+
+/// Looks a token up in the flag table (by name or alias).
+fn lookup(token: &str) -> Option<&'static Flag> {
+    FLAGS
+        .iter()
+        .find(|f| f.name == token || f.alias == Some(token))
+}
+
+/// A parse failure: message for stderr, rendered by `main`.
+struct CliError(String);
+
+impl CliError {
+    fn invalid(flag: &str, detail: impl std::fmt::Display) -> Self {
+        CliError(format!("invalid value for {flag}: {detail}"))
+    }
+}
+
+/// Parses the argument vector against [`FLAGS`]. Mapper knobs go through
+/// the core fallible builder so every bound lives in one place.
+fn parse_args(args: impl Iterator<Item = String>) -> Result<Option<Cli>, CliError> {
+    let mut k = 4usize;
+    let mut split = 10usize;
+    let mut jobs = 1usize;
+    let mut depth_objective = false;
+    let mut cli = Cli {
+        options: FlowOptions::default(),
+        input: None,
+        output: None,
+        stats: false,
+        report: None,
+    };
+
+    let mut args = args;
     while let Some(arg) = args.next() {
-        match arg.as_str() {
-            "-k" => match args.next().and_then(|s| s.parse().ok()) {
-                Some(v) => options.k = v,
-                None => return usage("-k requires an integer"),
-            },
-            "-o" => match args.next() {
-                Some(f) => output = Some(f),
-                None => return usage("-o requires a file name"),
-            },
-            "--mapper" => match args.next().as_deref() {
-                Some("chortle") => options.mapper = Mapper::Chortle,
-                Some("mis") => options.mapper = Mapper::Mis,
-                _ => return usage("--mapper must be `chortle` or `mis`"),
-            },
-            "--no-optimize" => options.optimize = false,
-            "--no-verify" => options.verify = false,
-            "--split" => match args.next().and_then(|s| s.parse().ok()) {
-                Some(v) => options.split_threshold = v,
-                None => return usage("--split requires an integer"),
-            },
-            "--jobs" => match args.next().and_then(|s| s.parse().ok()) {
-                Some(v) => options.jobs = v,
-                None => return usage("--jobs requires an integer"),
-            },
-            "--format" => match args.next().as_deref() {
-                Some("blif") => options.format = OutputFormat::Blif,
-                Some("verilog") => options.format = OutputFormat::Verilog,
-                Some("dot") => options.format = OutputFormat::Dot,
-                _ => return usage("--format must be blif, verilog or dot"),
-            },
-            "--stats" => stats = true,
-            "--help" | "-h" => {
-                println!(
-                    "chortle-map [-k N] [-o FILE] [--mapper chortle|mis] [--format blif|verilog|dot] \
-                     [--no-optimize] [--no-verify] [--split N] [--jobs N] [--stats] [INPUT.blif]"
-                );
-                return ExitCode::SUCCESS;
+        let Some(flag) = lookup(&arg) else {
+            if !arg.starts_with('-') && cli.input.is_none() {
+                cli.input = Some(arg);
+                continue;
             }
-            other if !other.starts_with('-') && input.is_none() => {
-                input = Some(other.to_owned());
+            return Err(CliError(format!("unknown argument {arg:?}")));
+        };
+        let value = if flag.value.is_some() {
+            match args.next() {
+                Some(v) => v,
+                None => {
+                    return Err(CliError(format!(
+                        "{} requires a value {}",
+                        flag.name,
+                        flag.value.unwrap_or("")
+                    )))
+                }
             }
-            other => return usage(&format!("unknown argument {other:?}")),
+        } else {
+            String::new()
+        };
+        match flag.name {
+            "-k" => {
+                k = value
+                    .parse()
+                    .map_err(|_| CliError::invalid("-k", format!("{value:?} is not an integer")))?;
+            }
+            "-o" => cli.output = Some(value),
+            "--mapper" => {
+                cli.options.mapper = match value.as_str() {
+                    "chortle" => Mapper::Chortle,
+                    "mis" => Mapper::Mis,
+                    other => {
+                        return Err(CliError::invalid(
+                            "--mapper",
+                            format!("{other:?} (expected chortle or mis)"),
+                        ))
+                    }
+                };
+            }
+            "--objective" => {
+                depth_objective = match value.as_str() {
+                    "area" => false,
+                    "depth" => true,
+                    other => {
+                        return Err(CliError::invalid(
+                            "--objective",
+                            format!("{other:?} (expected area or depth)"),
+                        ))
+                    }
+                };
+            }
+            "--split" => {
+                split = value.parse().map_err(|_| {
+                    CliError::invalid("--split", format!("{value:?} is not an integer"))
+                })?;
+            }
+            "--jobs" => {
+                jobs = value.parse().map_err(|_| {
+                    CliError::invalid("--jobs", format!("{value:?} is not an integer"))
+                })?;
+            }
+            "--format" => {
+                cli.options.format = match value.as_str() {
+                    "blif" => OutputFormat::Blif,
+                    "verilog" => OutputFormat::Verilog,
+                    "dot" => OutputFormat::Dot,
+                    other => {
+                        return Err(CliError::invalid(
+                            "--format",
+                            format!("{other:?} (expected blif, verilog or dot)"),
+                        ))
+                    }
+                };
+            }
+            "--report" => {
+                cli.report = Some(match value.as_str() {
+                    "json" => ReportFormat::Json,
+                    "text" => ReportFormat::Text,
+                    other => {
+                        return Err(CliError::invalid(
+                            "--report",
+                            format!("{other:?} (expected json or text)"),
+                        ))
+                    }
+                });
+            }
+            "--no-optimize" => cli.options.optimize = false,
+            "--no-verify" => cli.options.verify = false,
+            "--stats" => cli.stats = true,
+            "--help" => {
+                print_help();
+                return Ok(None);
+            }
+            "--version" => {
+                println!("chortle-map {}", env!("CARGO_PKG_VERSION"));
+                return Ok(None);
+            }
+            _ => unreachable!("every table entry is handled"),
         }
     }
 
-    let blif = match input {
-        Some(path) => match std::fs::read_to_string(&path) {
+    let mut builder = MapOptions::builder(k).jobs(jobs);
+    if depth_objective {
+        builder = builder.objective(chortle_cli::Objective::Depth);
+    }
+    if cli.report.is_some() {
+        builder = builder.telemetry(Telemetry::enabled());
+    }
+    cli.options.map = builder
+        .split_threshold(split)
+        .map_err(|e| CliError::invalid("--split", e))?
+        .build()
+        .map_err(|e| CliError::invalid("-k", e))?;
+    Ok(Some(cli))
+}
+
+fn main() -> ExitCode {
+    let cli = match parse_args(std::env::args().skip(1)) {
+        Ok(Some(cli)) => cli,
+        Ok(None) => return ExitCode::SUCCESS,
+        Err(CliError(msg)) => {
+            eprintln!("chortle-map: {msg} (try --help)");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let blif = match &cli.input {
+        Some(path) => match std::fs::read_to_string(path) {
             Ok(s) => s,
             Err(e) => {
                 eprintln!("cannot read {path}: {e}");
@@ -94,7 +325,7 @@ fn main() -> ExitCode {
         }
     };
 
-    let result = match run_flow(&blif, &options) {
+    let result = match run_flow(&blif, &cli.options) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("chortle-map: {e}");
@@ -102,24 +333,29 @@ fn main() -> ExitCode {
         }
     };
 
-    if stats {
+    if cli.stats {
         eprintln!("network: {}", result.network_stats);
         eprintln!("mapped:  {}", result.lut_stats);
     }
 
-    match output {
+    // --report owns stdout; the circuit then goes only to -o FILE.
+    if let Some(format) = cli.report {
+        let report = cli.options.map.telemetry.snapshot();
+        match format {
+            ReportFormat::Json => println!("{}", report.to_json()),
+            ReportFormat::Text => print!("{}", report.to_text()),
+        }
+    }
+
+    match &cli.output {
         Some(path) => {
-            if let Err(e) = std::fs::write(&path, &result.output_blif) {
+            if let Err(e) = std::fs::write(path, &result.output_blif) {
                 eprintln!("cannot write {path}: {e}");
                 return ExitCode::FAILURE;
             }
         }
-        None => print!("{}", result.output_blif),
+        None if cli.report.is_none() => print!("{}", result.output_blif),
+        None => {}
     }
     ExitCode::SUCCESS
-}
-
-fn usage(msg: &str) -> ExitCode {
-    eprintln!("chortle-map: {msg} (try --help)");
-    ExitCode::FAILURE
 }

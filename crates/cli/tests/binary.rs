@@ -131,4 +131,104 @@ fn help_prints_usage() {
     let (stdout, _, ok) = run(&["--help"], "");
     assert!(ok);
     assert!(stdout.contains("chortle-map"));
+    // Every table flag shows up in the generated help.
+    for flag in ["-k", "--mapper", "--report", "--jobs", "--version"] {
+        assert!(stdout.contains(flag), "help lost {flag}");
+    }
+}
+
+#[test]
+fn version_prints_and_exits() {
+    let (stdout, _, ok) = run(&["--version"], "");
+    assert!(ok);
+    assert!(stdout.starts_with("chortle-map "));
+}
+
+#[test]
+fn unknown_flags_are_rejected() {
+    let (_, stderr, ok) = run(&["--frobnicate"], DEMO);
+    assert!(!ok);
+    assert!(stderr.contains("unknown argument"));
+    assert!(stderr.contains("--frobnicate"));
+}
+
+#[test]
+fn invalid_values_name_the_flag() {
+    let (_, stderr, ok) = run(&["-k", "many"], DEMO);
+    assert!(!ok);
+    assert!(stderr.contains("invalid value for -k"), "{stderr}");
+    let (_, stderr, ok) = run(&["--split", "99"], DEMO);
+    assert!(!ok);
+    assert!(stderr.contains("invalid value for --split"), "{stderr}");
+    let (_, stderr, ok) = run(&["--report", "xml"], DEMO);
+    assert!(!ok);
+    assert!(stderr.contains("invalid value for --report"), "{stderr}");
+}
+
+/// A Figure-1-style network: `g2` and `g3` fan out, so the forest has
+/// two dependency wavefronts and `--jobs 2` exercises the parallel
+/// mapper's occupancy recording.
+const FIGURE: &str = "\
+.model figure
+.inputs a b c d e
+.outputs y z
+.names a b g1
+11 1
+.names g1 c g2
+1- 1
+-0 1
+.names c d e g3
+111 1
+.names g2 g3 y
+1- 1
+-1 1
+.names g2 g3 z
+10 1
+.end
+";
+
+#[test]
+fn report_json_is_schema_valid_and_owns_stdout() {
+    let (stdout, stderr, ok) = run(
+        &["--report", "json", "--jobs", "2", "--no-optimize"],
+        FIGURE,
+    );
+    assert!(ok, "{stderr}");
+    // Report owns stdout: exactly one line of JSON, no BLIF.
+    assert_eq!(stdout.lines().count(), 1, "{stdout}");
+    assert!(!stdout.contains(".model"));
+    chortle_telemetry::schema::validate_report(&stdout).expect("schema-valid report");
+    let report = chortle_telemetry::json::parse(&stdout).expect("parses");
+    let stages = report.get("stages").and_then(|v| v.as_array()).unwrap();
+    let names: Vec<&str> = stages
+        .iter()
+        .filter_map(|s| s.get("name").and_then(|n| n.as_str()))
+        .collect();
+    for stage in ["flow.parse", "flow.map", "map.dp", "flow.render"] {
+        assert!(names.contains(&stage), "missing stage {stage} in {names:?}");
+    }
+    let wavefronts = report.get("wavefronts").and_then(|v| v.as_array()).unwrap();
+    assert!(wavefronts.len() >= 2, "expected >= 2 wavefronts");
+}
+
+#[test]
+fn report_text_is_human_readable() {
+    let (stdout, _, ok) = run(&["--report", "text"], DEMO);
+    assert!(ok);
+    assert!(stdout.contains("stages"), "{stdout}");
+    assert!(stdout.contains("flow.map"), "{stdout}");
+}
+
+#[test]
+fn report_with_output_file_writes_both() {
+    let out_path = std::env::temp_dir().join("chortle_cli_report_out.blif");
+    let (stdout, _, ok) = run(
+        &["--report", "json", "-o", out_path.to_str().expect("utf8")],
+        DEMO,
+    );
+    assert!(ok);
+    chortle_telemetry::schema::validate_report(&stdout).expect("valid report");
+    let written = std::fs::read_to_string(&out_path).expect("circuit written");
+    assert!(written.contains(".model mapped"));
+    let _ = std::fs::remove_file(out_path);
 }

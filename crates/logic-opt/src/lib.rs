@@ -52,6 +52,9 @@ pub use extract::{extract_cubes, extract_kernels, ExtractReport};
 pub use factor::{factor, Factored};
 pub use kernels::{is_level0_kernel, kernels, level0_kernels, Kernel};
 pub use network::SopNetwork;
-pub use script::{optimize, optimize_sop_network, optimize_with, OptimizeOptions, OptimizeReport};
+pub use script::{
+    optimize, optimize_sop_network, optimize_sop_network_with_telemetry, optimize_with,
+    optimize_with_telemetry, stats, OptimizeOptions, OptimizeReport,
+};
 pub use sop::Sop;
 pub use two_level::{minimize_exact, MAX_EXACT_VARS};

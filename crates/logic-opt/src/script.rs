@@ -7,9 +7,35 @@
 //! mapping.
 
 use chortle_netlist::{Network, NetworkError};
+use chortle_telemetry::Telemetry;
 
 use crate::extract::{extract_cubes, extract_kernels};
 use crate::network::SopNetwork;
+
+/// Names of the stages and counters the optimization script reports into
+/// its [`Telemetry`] sink (see the repository's `DESIGN.md` §10).
+pub mod stats {
+    /// Stage: node elimination (MIS' `eliminate`).
+    pub const STAGE_ELIMINATE: &str = "opt.eliminate";
+    /// Stage: cheap per-node SOP minimization (both passes).
+    pub const STAGE_MINIMIZE: &str = "opt.minimize";
+    /// Stage: exact two-level minimization (when enabled).
+    pub const STAGE_EXACT: &str = "opt.exact";
+    /// Stage: espresso-style heuristic minimization (when enabled).
+    pub const STAGE_HEURISTIC: &str = "opt.heuristic";
+    /// Stage: greedy kernel extraction.
+    pub const STAGE_KERNELS: &str = "opt.kernels";
+    /// Stage: greedy cube extraction.
+    pub const STAGE_CUBES: &str = "opt.cubes";
+    /// Stage: factoring the SOP network back into an AND/OR network.
+    pub const STAGE_FACTOR: &str = "opt.factor";
+    /// Counter: nodes eliminated by inlining.
+    pub const ELIMINATED: &str = "opt.eliminated";
+    /// Counter: kernels + cubes extracted as new nodes.
+    pub const EXTRACTED: &str = "opt.extracted";
+    /// Counter: SOP literals removed by the whole script.
+    pub const LITERALS_SAVED: &str = "opt.literals_saved";
+}
 
 /// Tuning knobs of [`optimize_with`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -97,8 +123,23 @@ pub fn optimize_with(
     network: &Network,
     options: &OptimizeOptions,
 ) -> Result<(Network, OptimizeReport), NetworkError> {
+    optimize_with_telemetry(network, options, &Telemetry::disabled())
+}
+
+/// [`optimize_with`] reporting per-stage wall times and counters into a
+/// [`Telemetry`] sink (stage names in [`stats`]). A disabled sink makes
+/// this identical to [`optimize_with`].
+///
+/// # Errors
+///
+/// Propagates [`NetworkError`] from network reconstruction.
+pub fn optimize_with_telemetry(
+    network: &Network,
+    options: &OptimizeOptions,
+    telemetry: &Telemetry,
+) -> Result<(Network, OptimizeReport), NetworkError> {
     let mut sop_net = SopNetwork::from_network(network);
-    optimize_sop_network(&mut sop_net, options)
+    optimize_sop_network_with_telemetry(&mut sop_net, options, telemetry)
 }
 
 /// Optimizes a [`SopNetwork`] in place (for callers that start from SOPs,
@@ -111,13 +152,33 @@ pub fn optimize_sop_network(
     sop_net: &mut SopNetwork,
     options: &OptimizeOptions,
 ) -> Result<(Network, OptimizeReport), NetworkError> {
+    optimize_sop_network_with_telemetry(sop_net, options, &Telemetry::disabled())
+}
+
+/// [`optimize_sop_network`] reporting into a [`Telemetry`] sink.
+///
+/// # Errors
+///
+/// Propagates [`NetworkError`] from network reconstruction.
+pub fn optimize_sop_network_with_telemetry(
+    sop_net: &mut SopNetwork,
+    options: &OptimizeOptions,
+    telemetry: &Telemetry,
+) -> Result<(Network, OptimizeReport), NetworkError> {
     let mut report = OptimizeReport {
         literals_before: sop_net.literal_count(),
         ..OptimizeReport::default()
     };
-    report.eliminated = sop_net.eliminate(options.eliminate_threshold);
-    sop_net.minimize_nodes();
+    {
+        let _s = telemetry.span(stats::STAGE_ELIMINATE);
+        report.eliminated = sop_net.eliminate(options.eliminate_threshold);
+    }
+    {
+        let _s = telemetry.span(stats::STAGE_MINIMIZE);
+        sop_net.minimize_nodes();
+    }
     if options.exact_node_minimization {
+        let _s = telemetry.span(stats::STAGE_EXACT);
         for var in sop_net.node_vars() {
             let sop = sop_net.node_sop(var).expect("node").clone();
             if let Ok(min) = crate::two_level::minimize_exact(&sop) {
@@ -128,6 +189,7 @@ pub fn optimize_sop_network(
         }
     }
     if options.heuristic_node_minimization {
+        let _s = telemetry.span(stats::STAGE_HEURISTIC);
         for var in sop_net.node_vars() {
             let sop = sop_net.node_sop(var).expect("node").clone();
             let min = crate::espresso::heuristic_minimize(&sop);
@@ -137,14 +199,25 @@ pub fn optimize_sop_network(
         }
     }
     if options.kernel_extraction {
+        let _s = telemetry.span(stats::STAGE_KERNELS);
         report.extracted += extract_kernels(sop_net).extracted;
     }
     if options.cube_extraction {
+        let _s = telemetry.span(stats::STAGE_CUBES);
         report.extracted += extract_cubes(sop_net).extracted;
     }
-    sop_net.minimize_nodes();
-    report.literals_after = sop_net.literal_count();
-    let net = sop_net.to_network()?;
+    let net = {
+        let _s = telemetry.span(stats::STAGE_FACTOR);
+        sop_net.minimize_nodes();
+        report.literals_after = sop_net.literal_count();
+        sop_net.to_network()?
+    };
+    telemetry.add_counter(stats::ELIMINATED, report.eliminated as u64);
+    telemetry.add_counter(stats::EXTRACTED, report.extracted as u64);
+    telemetry.add_counter(
+        stats::LITERALS_SAVED,
+        report.literals_before.saturating_sub(report.literals_after) as u64,
+    );
     Ok((net, report))
 }
 

@@ -1,0 +1,240 @@
+//! Structural validation of JSON telemetry reports.
+//!
+//! [`validate_report`] checks a report against the [`crate::SCHEMA`]
+//! layout — key set, kinds, and internal consistency (per-worker arrays
+//! sized to the worker count). [`shape`] renders the *shape* of any JSON
+//! document (every key path with its kind, values elided), which the
+//! golden-file schema test pins so the report layout cannot drift
+//! silently.
+
+use crate::json::{self, Value};
+
+/// Validates that `input` is a schema-conformant telemetry report.
+///
+/// # Errors
+///
+/// Returns a human-readable description of the first deviation: parse
+/// errors, missing/unknown keys, wrong kinds, a wrong `schema` tag, or
+/// worker arrays that do not match the worker count.
+pub fn validate_report(input: &str) -> Result<(), String> {
+    let value = json::parse(input).map_err(|e| format!("not valid JSON: {e}"))?;
+    let root = expect_keys(
+        &value,
+        "$",
+        &["schema", "enabled", "stages", "counters", "wavefronts"],
+    )?;
+
+    let tag = root[0]
+        .1
+        .as_str()
+        .ok_or_else(|| "$.schema must be a string".to_owned())?;
+    if tag != crate::SCHEMA {
+        return Err(format!("$.schema is {tag:?}, expected {:?}", crate::SCHEMA));
+    }
+    if !matches!(root[1].1, Value::Bool(_)) {
+        return Err("$.enabled must be a boolean".to_owned());
+    }
+
+    for (i, stage) in expect_array(&value, "stages")?.iter().enumerate() {
+        let path = format!("$.stages[{i}]");
+        let members = expect_keys(stage, &path, &["name", "calls", "seconds"])?;
+        expect_string(&members[0].1, &format!("{path}.name"))?;
+        expect_u64(&members[1].1, &format!("{path}.calls"))?;
+        expect_number(&members[2].1, &format!("{path}.seconds"))?;
+    }
+
+    for (i, counter) in expect_array(&value, "counters")?.iter().enumerate() {
+        let path = format!("$.counters[{i}]");
+        let members = expect_keys(counter, &path, &["name", "value"])?;
+        expect_string(&members[0].1, &format!("{path}.name"))?;
+        expect_u64(&members[1].1, &format!("{path}.value"))?;
+    }
+
+    for (i, wave) in expect_array(&value, "wavefronts")?.iter().enumerate() {
+        let path = format!("$.wavefronts[{i}]");
+        let members = expect_keys(
+            wave,
+            &path,
+            &[
+                "index",
+                "trees",
+                "workers",
+                "seconds",
+                "occupancy",
+                "claimed",
+                "busy_s",
+            ],
+        )?;
+        expect_u64(&members[0].1, &format!("{path}.index"))?;
+        expect_u64(&members[1].1, &format!("{path}.trees"))?;
+        let workers = expect_u64(&members[2].1, &format!("{path}.workers"))?;
+        expect_number(&members[3].1, &format!("{path}.seconds"))?;
+        let occupancy = expect_number(&members[4].1, &format!("{path}.occupancy"))?;
+        if !(0.0..=1.0).contains(&occupancy) {
+            return Err(format!("{path}.occupancy is {occupancy}, expected 0..=1"));
+        }
+        for (key, idx) in [("claimed", 5), ("busy_s", 6)] {
+            let arr = members[idx]
+                .1
+                .as_array()
+                .ok_or_else(|| format!("{path}.{key} must be an array"))?;
+            if arr.len() as u64 != workers {
+                return Err(format!(
+                    "{path}.{key} has {} entries for {workers} workers",
+                    arr.len()
+                ));
+            }
+            for (j, v) in arr.iter().enumerate() {
+                expect_number(v, &format!("{path}.{key}[{j}]"))?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Renders the shape of a JSON document: one line per key path, with the
+/// value kind, array elements collapsed to `[]` (described by their first
+/// element). Stable across runs as long as the layout is stable, so it
+/// can be pinned in a golden file.
+///
+/// # Errors
+///
+/// Returns the parse error text if `input` is not valid JSON.
+pub fn shape(input: &str) -> Result<String, String> {
+    let value = json::parse(input).map_err(|e| format!("not valid JSON: {e}"))?;
+    let mut out = String::new();
+    describe(&value, "$", &mut out);
+    Ok(out)
+}
+
+fn describe(value: &Value, path: &str, out: &mut String) {
+    out.push_str(path);
+    out.push(' ');
+    out.push_str(value.kind());
+    out.push('\n');
+    match value {
+        Value::Object(members) => {
+            for (key, v) in members {
+                describe(v, &format!("{path}.{key}"), out);
+            }
+        }
+        Value::Array(items) => {
+            if let Some(first) = items.first() {
+                describe(first, &format!("{path}[]"), out);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Returns the members of `value` if it is an object with exactly `keys`
+/// in exactly that order (reports are machine-written, so order is part
+/// of the format).
+fn expect_keys<'v>(
+    value: &'v Value,
+    path: &str,
+    keys: &[&str],
+) -> Result<&'v [(String, Value)], String> {
+    let members = value
+        .as_object()
+        .ok_or_else(|| format!("{path} must be an object, found {}", value.kind()))?;
+    let found: Vec<&str> = members.iter().map(|(k, _)| k.as_str()).collect();
+    if found != keys {
+        return Err(format!("{path} has keys {found:?}, expected {keys:?}"));
+    }
+    Ok(members)
+}
+
+fn expect_array<'v>(report: &'v Value, key: &str) -> Result<&'v [Value], String> {
+    report
+        .get(key)
+        .and_then(Value::as_array)
+        .ok_or_else(|| format!("$.{key} must be an array"))
+}
+
+fn expect_string<'v>(value: &'v Value, path: &str) -> Result<&'v str, String> {
+    value
+        .as_str()
+        .ok_or_else(|| format!("{path} must be a string, found {}", value.kind()))
+}
+
+fn expect_u64(value: &Value, path: &str) -> Result<u64, String> {
+    value.as_u64().ok_or_else(|| {
+        format!(
+            "{path} must be a non-negative integer, found {}",
+            value.kind()
+        )
+    })
+}
+
+fn expect_number(value: &Value, path: &str) -> Result<f64, String> {
+    value
+        .as_f64()
+        .ok_or_else(|| format!("{path} must be a number, found {}", value.kind()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Telemetry, WavefrontStat};
+
+    fn sample_report() -> String {
+        let t = Telemetry::enabled();
+        t.record_stage("map.dp", 0.25);
+        t.add_counter("dp.divisions", 10);
+        t.record_wavefront(WavefrontStat {
+            index: 0,
+            trees: 2,
+            workers: 2,
+            seconds: 0.5,
+            claimed: vec![1, 1],
+            busy_s: vec![0.2, 0.2],
+        });
+        t.snapshot().to_json()
+    }
+
+    #[test]
+    fn accepts_real_reports() {
+        validate_report(&sample_report()).expect("valid");
+        validate_report(&Telemetry::enabled().snapshot().to_json()).expect("empty but valid");
+    }
+
+    #[test]
+    fn rejects_wrong_schema_tag() {
+        let json = sample_report().replace("chortle-telemetry/v1", "bogus/v0");
+        let err = validate_report(&json).unwrap_err();
+        assert!(err.contains("$.schema"), "{err}");
+    }
+
+    #[test]
+    fn rejects_missing_and_extra_keys() {
+        let err =
+            validate_report(r#"{"schema":"chortle-telemetry/v1","enabled":true}"#).unwrap_err();
+        assert!(err.contains("expected"), "{err}");
+        let json = sample_report().replace("\"counters\":", "\"extras\":");
+        assert!(validate_report(&json).is_err());
+    }
+
+    #[test]
+    fn rejects_mis_sized_worker_arrays() {
+        let json = sample_report().replace("\"claimed\":[1,1]", "\"claimed\":[1]");
+        let err = validate_report(&json).unwrap_err();
+        assert!(err.contains("claimed"), "{err}");
+    }
+
+    #[test]
+    fn rejects_wrong_kinds() {
+        let json = sample_report().replace("\"value\":10", "\"value\":\"10\"");
+        let err = validate_report(&json).unwrap_err();
+        assert!(err.contains("value"), "{err}");
+    }
+
+    #[test]
+    fn shape_is_stable_and_value_free() {
+        let s = shape(&sample_report()).expect("shapes");
+        assert!(s.contains("$.stages[] object"));
+        assert!(s.contains("$.stages[].seconds number"));
+        assert!(s.contains("$.wavefronts[].claimed array"));
+        assert!(!s.contains("0.25"), "values must be elided:\n{s}");
+    }
+}

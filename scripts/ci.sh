@@ -24,4 +24,9 @@ fi
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> telemetry report smoke (--report json | report-check)"
+printf '.model smoke\n.inputs a b c\n.outputs y\n.names a b t\n11 1\n.names t c y\n1- 1\n-1 1\n.end\n' \
+  | cargo run -q -p chortle-cli --bin chortle-map -- --report json --jobs 2 \
+  | cargo run -q -p chortle-cli --bin report-check
+
 echo "ci: all green"
