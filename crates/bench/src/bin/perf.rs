@@ -10,7 +10,12 @@
 //! 1. **DP kernel**: the frozen pre-optimization kernel
 //!    ([`chortle_bench::baseline`]) against the current one
 //!    ([`chortle::tree_lut_cost`]), tree by tree, single-threaded.
-//! 2. **Forest mapping**: [`chortle::map_network`] sequential (`jobs = 1`)
+//! 2. **Cached DP kernel**: the suite trees plus a 256-bit ripple ALU
+//!    (datapath regularity) through a shape-memoized pass (fingerprint
+//!    lookup, solve once per distinct shape) — the `kernel_cached`
+//!    section, speedup measured against the optimized kernel on the same
+//!    extended tree set, hashing cost included.
+//! 3. **Forest mapping**: [`chortle::map_network`] sequential (`jobs = 1`)
 //!    against the parallel wavefront scheduler, full circuits compared
 //!    for equality.
 //!
@@ -20,17 +25,20 @@
 //! speedup, so numbers from single-core machines read as what they are.
 //!
 //! A third pass per K re-maps the suite with an *enabled* telemetry sink
-//! and embeds the aggregated `chortle-telemetry/v1` report — per-stage
+//! and embeds the aggregated `chortle-telemetry/v1.1` report — per-stage
 //! wall time, DP counters, wavefront occupancy — in a `"telemetry"`
 //! section, together with the instrumentation overhead relative to the
 //! (disabled-sink) parallel row.
 
+use std::collections::{HashMap, HashSet};
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use chortle::{map_network, Forest, MapOptions, Telemetry, Tree, TreeMapper};
+use chortle::{map_network, Fingerprint, Forest, MapOptions, Telemetry, Tree, TreeMapper};
 use chortle_bench::baseline::baseline_tree_cost;
 use chortle_bench::optimized_suite;
+use chortle_circuits::alu;
+use chortle_logic_opt::optimize;
 
 const KS: [usize; 4] = [2, 3, 4, 5];
 const KERNEL_ROUNDS: usize = 5;
@@ -41,6 +49,19 @@ struct KernelRow {
     trees: usize,
     luts: u64,
     baseline_s: f64,
+    optimized_s: f64,
+}
+
+struct CachedKernelRow {
+    k: usize,
+    /// Trees in the cache benchmark's set (table suite + 256-bit ALU).
+    trees: usize,
+    /// Distinct structural shapes among those trees; `1 - distinct/trees`
+    /// is the cache's hit rate.
+    distinct: usize,
+    cached_s: f64,
+    /// The PR-1 optimized kernel's time on the same tree set, for the
+    /// speedup column.
     optimized_s: f64,
 }
 
@@ -56,7 +77,7 @@ struct TelemetryRow {
     /// One suite pass with an enabled sink (same jobs as the parallel
     /// row), for the instrumentation-overhead column.
     enabled_s: f64,
-    /// The aggregated `chortle-telemetry/v1` report of that pass,
+    /// The aggregated `chortle-telemetry/v1.1` report of that pass,
     /// embedded verbatim (it is compact single-line JSON).
     report_json: String,
 }
@@ -87,6 +108,7 @@ fn main() {
     // Pre-extract the forests once per K; the kernel benchmark times the
     // DP alone, not forest construction.
     let mut kernel_rows = Vec::new();
+    let mut cached_rows = Vec::new();
     let mut forest_rows = Vec::new();
     let mut telemetry_rows = Vec::new();
     for &k in &KS {
@@ -136,9 +158,67 @@ fn main() {
             baseline_s / optimized_s
         );
 
+        // The structurally memoized kernel: fingerprint each tree, solve
+        // only the first tree of each shape, replay the cost for the
+        // rest. The tree set is the table suite *plus a 256-bit ripple
+        // ALU* — datapath regularity (hundreds of per-bit cones sharing a
+        // handful of shapes) is the workload the cross-tree cache exists
+        // for, and the irregular control/random suite alone understates
+        // it. Both columns of this section are timed on this same
+        // extended set, and the fingerprint hashing is *inside* the timed
+        // region — the speedup is net of the cache's own overhead. (Leaf
+        // depths are all zero here, so the shape alone is the full key.)
+        let mut cached_trees = trees.clone();
+        {
+            let (net, _) = optimize(&alu(256)).expect("alu is acyclic");
+            let mut forest = Forest::of(&net.simplified());
+            forest.split_wide_nodes(10.max(k));
+            cached_trees.extend(forest.trees);
+        }
+        let (plain_luts, plain_s) = best_of(KERNEL_ROUNDS, || {
+            let mut mapper = TreeMapper::new();
+            cached_trees
+                .iter()
+                .map(|t| u64::from(mapper.tree_cost(t, k).expect("narrow fanin")))
+                .sum::<u64>()
+        });
+        let (cached_luts, cached_s) = best_of(KERNEL_ROUNDS, || {
+            let mut mapper = TreeMapper::new();
+            let mut scratch = chortle::FingerprintScratch::default();
+            let mut cache: HashMap<Fingerprint, u64> = HashMap::new();
+            let mut total = 0u64;
+            for t in &cached_trees {
+                total += *cache
+                    .entry(t.fingerprint_with(&mut scratch))
+                    .or_insert_with(|| u64::from(mapper.tree_cost(t, k).expect("narrow fanin")));
+            }
+            total
+        });
+        assert_eq!(cached_luts, plain_luts, "cached kernel diverged at k={k}");
+        let distinct = cached_trees
+            .iter()
+            .map(Tree::fingerprint)
+            .collect::<HashSet<_>>()
+            .len();
+        cached_rows.push(CachedKernelRow {
+            k,
+            trees: cached_trees.len(),
+            distinct,
+            cached_s,
+            optimized_s: plain_s,
+        });
+        eprintln!(
+            "perf: cached  k={k} {:>4} shapes of {:>4} trees ({:.0}% hits)  cached {:.4}s  ({:.2}x vs optimized)",
+            distinct,
+            cached_trees.len(),
+            (1.0 - distinct as f64 / cached_trees.len() as f64) * 100.0,
+            cached_s,
+            plain_s / cached_s
+        );
+
         // End-to-end forest mapping, sequential vs parallel.
-        let seq_opts = MapOptions::new(k);
-        let par_opts = MapOptions::new(k).with_jobs(jobs);
+        let seq_opts = MapOptions::builder(k).build().unwrap();
+        let par_opts = MapOptions::builder(k).jobs(jobs).build().unwrap();
         let (seq_maps, sequential_s) = best_of(MAP_ROUNDS, || {
             suite
                 .iter()
@@ -205,6 +285,8 @@ fn main() {
 
     let kernel_base: f64 = kernel_rows.iter().map(|r| r.baseline_s).sum();
     let kernel_opt: f64 = kernel_rows.iter().map(|r| r.optimized_s).sum();
+    let kernel_cached: f64 = cached_rows.iter().map(|r| r.cached_s).sum();
+    let kernel_cached_plain: f64 = cached_rows.iter().map(|r| r.optimized_s).sum();
     let map_seq: f64 = forest_rows.iter().map(|r| r.sequential_s).sum();
     let map_par: f64 = forest_rows.iter().map(|r| r.parallel_s).sum();
 
@@ -240,6 +322,30 @@ fn main() {
         kernel_base,
         kernel_opt,
         kernel_base / kernel_opt
+    );
+    let _ = writeln!(json, "  \"kernel_cached\": [");
+    for (i, r) in cached_rows.iter().enumerate() {
+        let comma = if i + 1 < cached_rows.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{ \"k\": {}, \"trees\": {}, \"distinct_shapes\": {}, \"hit_rate\": {:.3}, \
+             \"cached_s\": {:.6}, \"optimized_s\": {:.6}, \"speedup\": {:.3} }}{comma}",
+            r.k,
+            r.trees,
+            r.distinct,
+            1.0 - r.distinct as f64 / r.trees as f64,
+            r.cached_s,
+            r.optimized_s,
+            r.optimized_s / r.cached_s
+        );
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(
+        json,
+        "  \"kernel_cached_total\": {{ \"cached_s\": {:.6}, \"optimized_s\": {:.6}, \"speedup\": {:.3} }},",
+        kernel_cached,
+        kernel_cached_plain,
+        kernel_cached_plain / kernel_cached
     );
     let _ = writeln!(json, "  \"mapping\": [");
     for (i, r) in forest_rows.iter().enumerate() {
@@ -289,8 +395,9 @@ fn main() {
     }
     std::fs::write(&out_path, &json).expect("write report");
     eprintln!(
-        "perf: kernel {:.2}x, mapping {:.2}x on {cores} core(s); report -> {out_path}",
+        "perf: kernel {:.2}x, cached {:.2}x, mapping {:.2}x on {cores} core(s); report -> {out_path}",
         kernel_base / kernel_opt,
+        kernel_cached_plain / kernel_cached,
         map_seq / map_par
     );
     print!("{json}");

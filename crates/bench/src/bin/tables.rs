@@ -89,12 +89,12 @@ fn main() -> ExitCode {
             "Circuit", "DP-K3", "crf-K3", "DP-K5", "crf-K5"
         );
         for (name, net, _) in &suite {
-            let dp3 = map_network(net, &MapOptions::new(3))
+            let dp3 = map_network(net, &MapOptions::builder(3).build().unwrap())
                 .expect("maps")
                 .report
                 .luts;
             let crf3 = crf_network_cost(net, 3);
-            let dp5 = map_network(net, &MapOptions::new(5))
+            let dp5 = map_network(net, &MapOptions::builder(5).build().unwrap())
                 .expect("maps")
                 .report
                 .luts;
@@ -111,7 +111,7 @@ fn main() -> ExitCode {
             "Circuit", "LUTs", "CLBs", "saving%"
         );
         for (name, net, _) in &suite {
-            let mapped = map_network(net, &MapOptions::new(4)).expect("maps");
+            let mapped = map_network(net, &MapOptions::builder(4).build().unwrap()).expect("maps");
             let packing = pack_clbs(&mapped.circuit, &ClbOptions::xc3000());
             let saving = (mapped.report.luts - packing.block_count()) as f64
                 / mapped.report.luts.max(1) as f64
@@ -137,10 +137,17 @@ fn main() -> ExitCode {
             let counts: Vec<usize> = [5usize, 6, 8, 10, 12]
                 .iter()
                 .map(|&t| {
-                    map_network(net, &MapOptions::new(5).with_split_threshold(t))
-                        .expect("maps")
-                        .report
-                        .luts
+                    map_network(
+                        net,
+                        &MapOptions::builder(5)
+                            .split_threshold(t)
+                            .unwrap()
+                            .build()
+                            .unwrap(),
+                    )
+                    .expect("maps")
+                    .report
+                    .luts
                 })
                 .collect();
             println!(

@@ -140,7 +140,8 @@ pub fn run_row(name: &str, network: &Network, k: usize, options: &HarnessOptions
     let mis_time = t0.elapsed();
 
     let t1 = Instant::now();
-    let ch = map_network(network, &MapOptions::new(k)).expect("Chortle mapping succeeds");
+    let ch = map_network(network, &MapOptions::builder(k).build().unwrap())
+        .expect("Chortle mapping succeeds");
     let chortle_time = t1.elapsed();
 
     if options.verify {

@@ -1,0 +1,240 @@
+//! Cross-tree structural memoization of DP results.
+//!
+//! The subset DP of `dp.rs` is a pure function of a tree's *canonical
+//! shape* plus the arrival depths of its leaves — never of leaf
+//! identities — so two trees with the same [`CacheKey`] share their
+//! entire [`ShapeSolution`]. Real forests repeat shapes constantly
+//! (chains, balanced pairs, the halves produced by wide-node splitting),
+//! and this module lets the mapper pay for each shape once:
+//!
+//! * [`TreeCache`] — a plain, unsynchronized map for the sequential
+//!   mapper and for per-worker private caching ([`CacheMode::Tree`]).
+//! * [`SharedCache`] — an N-way sharded map behind [`std::sync::Mutex`]
+//!   shards, shared by every wavefront worker ([`CacheMode::Shared`]);
+//!   hash-partitioning keeps workers from serializing on one lock. The
+//!   single-threaded path never constructs it (it uses the unsharded
+//!   [`TreeCache`] fast path instead).
+//!
+//! Insertion is first-writer-wins: two workers racing on the same key
+//! have computed bit-identical solutions (the DP is deterministic), so
+//! whichever lands is correct and the loser's `Arc` is dropped. That, and
+//! the fact that replays are verbatim (the forest is canonicalized before
+//! mapping), is why every cache mode produces the same circuit as
+//! `CacheMode::Off` for every `jobs` value.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use chortle_netlist::{mix64, NodeId};
+
+use crate::dp::ShapeSolution;
+use crate::tree::{Fingerprint, Tree, TreeChild};
+
+/// How the mapper memoizes DP results across trees.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum CacheMode {
+    /// No memoization: every tree runs the full subset DP (the pre-cache
+    /// behavior).
+    Off,
+    /// Each mapping thread keeps a private cache; nothing is shared
+    /// across workers.
+    Tree,
+    /// One sharded cache shared across the whole parallel wavefront (the
+    /// default): a shape mapped by any worker is a hit for all of them.
+    #[default]
+    Shared,
+}
+
+impl CacheMode {
+    /// Whether this mode caches at all.
+    pub(crate) fn is_enabled(self) -> bool {
+        !matches!(self, CacheMode::Off)
+    }
+}
+
+/// The memoization key: canonical shape fingerprint plus a hash of the
+/// leaf arrival-depth sequence.
+///
+/// The depth component matters because `minmap` costs carry wire depths:
+/// under the area objective depths break ties, under the depth objective
+/// they lead — two trees of identical shape whose leaves arrive at
+/// different depths can legitimately choose different decompositions.
+/// Both components are 128 bits, so a key collision (which would replay
+/// the wrong solution) needs a 2⁻¹²⁸ hash accident.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub(crate) struct CacheKey {
+    /// [`Tree::fingerprint`] of the canonicalized tree.
+    pub shape: Fingerprint,
+    /// Hash of the leaf depths in canonical traversal order.
+    pub depths: Fingerprint,
+}
+
+impl CacheKey {
+    /// Builds the key for a canonicalized `tree` under `leaf_depth`.
+    pub(crate) fn of(
+        tree: &Tree,
+        shape: Fingerprint,
+        leaf_depth: &dyn Fn(NodeId) -> u32,
+    ) -> CacheKey {
+        let mut hi = 0x0D15_EA5E_0000_0001u64;
+        let mut lo = 0x0D15_EA5E_0000_0002u64;
+        for node in &tree.nodes {
+            for child in &node.children {
+                if let TreeChild::Leaf(sig) = child {
+                    let d = u64::from(leaf_depth(sig.node()));
+                    hi = mix64(hi ^ d);
+                    lo = mix64(lo.wrapping_add(d) ^ hi);
+                }
+            }
+        }
+        CacheKey {
+            shape,
+            depths: Fingerprint { hi, lo },
+        }
+    }
+}
+
+/// An unsynchronized shape cache: the sequential fast path and the
+/// per-worker store of [`CacheMode::Tree`].
+#[derive(Default)]
+pub(crate) struct TreeCache {
+    map: HashMap<CacheKey, Arc<ShapeSolution>>,
+}
+
+impl TreeCache {
+    pub(crate) fn new() -> Self {
+        TreeCache::default()
+    }
+
+    pub(crate) fn get(&self, key: &CacheKey) -> Option<Arc<ShapeSolution>> {
+        self.map.get(key).cloned()
+    }
+
+    pub(crate) fn insert(&mut self, key: CacheKey, sol: Arc<ShapeSolution>) {
+        self.map.entry(key).or_insert(sol);
+    }
+}
+
+/// Shard count of [`SharedCache`]. Sixteen shards keep lock contention
+/// negligible for any plausible worker count while the per-shard maps
+/// stay dense; reported as the `cache.shards` telemetry counter.
+pub(crate) const SHARED_CACHE_SHARDS: usize = 16;
+
+/// The wavefront-shared, hash-partitioned shape cache.
+pub(crate) struct SharedCache {
+    shards: Vec<Mutex<HashMap<CacheKey, Arc<ShapeSolution>>>>,
+}
+
+impl SharedCache {
+    pub(crate) fn new() -> Self {
+        SharedCache {
+            shards: (0..SHARED_CACHE_SHARDS)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+        }
+    }
+
+    /// Which shard owns a key. Fingerprint bits are already avalanche-
+    /// mixed, so the low bits partition uniformly.
+    fn shard(&self, key: &CacheKey) -> &Mutex<HashMap<CacheKey, Arc<ShapeSolution>>> {
+        let h = key.shape.lo ^ key.depths.lo.rotate_left(17);
+        &self.shards[(h as usize) % self.shards.len()]
+    }
+
+    pub(crate) fn get(&self, key: &CacheKey) -> Option<Arc<ShapeSolution>> {
+        self.shard(key)
+            .lock()
+            .expect("cache shard poisoned")
+            .get(key)
+            .cloned()
+    }
+
+    /// First-writer-wins insert: returns the `Arc` that ended up in the
+    /// cache (the existing one on a race, since all writers computed
+    /// identical solutions).
+    pub(crate) fn insert(&self, key: CacheKey, sol: Arc<ShapeSolution>) -> Arc<ShapeSolution> {
+        self.shard(&key)
+            .lock()
+            .expect("cache shard poisoned")
+            .entry(key)
+            .or_insert(sol)
+            .clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dp::{DpCounters, DpScratch};
+
+    fn dummy_solution(tree: &Tree, k: usize) -> Arc<ShapeSolution> {
+        let mut scratch = DpScratch::new();
+        Arc::new(
+            crate::dp::map_tree_solution(tree, k, crate::dp::Objective::Area, &|_| 0, &mut scratch)
+                .expect("narrow fanin"),
+        )
+    }
+
+    fn two_input_tree() -> Tree {
+        use chortle_netlist::{Network, NodeOp};
+        let mut net = Network::new();
+        let a = net.add_input("a");
+        let b = net.add_input("b");
+        let g = net.add_gate(NodeOp::And, vec![a.into(), b.into()]);
+        net.add_output("z", g.into());
+        crate::tree::Forest::of(&net).trees.remove(0)
+    }
+
+    #[test]
+    fn first_writer_wins_in_both_stores() {
+        let mut tree = two_input_tree();
+        let shape = tree.canonicalize();
+        let key = CacheKey::of(&tree, shape, &|_| 0);
+        let a = dummy_solution(&tree, 4);
+        let b = dummy_solution(&tree, 4);
+
+        let mut private = TreeCache::new();
+        private.insert(key, a.clone());
+        private.insert(key, b.clone());
+        assert!(Arc::ptr_eq(&private.get(&key).unwrap(), &a));
+
+        let shared = SharedCache::new();
+        let kept = shared.insert(key, a.clone());
+        assert!(Arc::ptr_eq(&kept, &a));
+        let kept = shared.insert(key, b);
+        assert!(Arc::ptr_eq(&kept, &a), "first writer must win");
+        assert!(Arc::ptr_eq(&shared.get(&key).unwrap(), &a));
+    }
+
+    #[test]
+    fn depth_sequence_distinguishes_keys() {
+        let mut tree = two_input_tree();
+        let shape = tree.canonicalize();
+        let flat = CacheKey::of(&tree, shape, &|_| 0);
+        let deep = CacheKey::of(&tree, shape, &|_| 3);
+        assert_eq!(flat.shape, deep.shape);
+        assert_ne!(flat, deep);
+        // Same depths, same key — the hash is a pure function.
+        assert_eq!(flat, CacheKey::of(&tree, shape, &|_| 0));
+    }
+
+    #[test]
+    fn tallies_ride_inside_the_solution() {
+        let tree = two_input_tree();
+        let mut scratch = DpScratch::new();
+        scratch.counting = true;
+        let sol = crate::dp::map_tree_solution(
+            &tree,
+            4,
+            crate::dp::Objective::Area,
+            &|_| 0,
+            &mut scratch,
+        )
+        .expect("maps");
+        assert!(sol.tally.divisions > 0);
+        assert_eq!(sol.tally.tree_nodes, 1);
+        // The solution keeps the tally; the scratch aggregate is only
+        // written by the `map_tree_with` wrapper.
+        assert_eq!(scratch.counters.take(), DpCounters::default());
+    }
+}

@@ -86,7 +86,7 @@ impl ClbPacking {
 /// net.add_output("x", g1.into());
 /// net.add_output("y", g2.into());
 ///
-/// let mapped = map_network(&net, &MapOptions::new(4))?;
+/// let mapped = map_network(&net, &MapOptions::builder(4).build()?)?;
 /// let packing = pack_clbs(&mapped.circuit, &ClbOptions::xc3000());
 /// assert_eq!(packing.block_count(), 1); // both 2-input LUTs share a CLB
 /// # Ok::<(), chortle::MapError>(())
@@ -260,7 +260,7 @@ mod tests {
         net.add_output("z", z.into());
         // Map with K=3 so the LUTs are narrow enough to pair (two
         // 3-input functions sharing one input fit the 5-input block).
-        let mapped = map_network(&net, &MapOptions::new(3)).expect("maps");
+        let mapped = map_network(&net, &MapOptions::builder(3).build().unwrap()).expect("maps");
         let p = pack_clbs(&mapped.circuit, &ClbOptions::xc3000());
         let mut seen = std::collections::HashSet::new();
         for (a, b) in &p.blocks {

@@ -15,6 +15,7 @@ use std::collections::HashMap;
 use chortle_netlist::{LutCircuit, LutError, LutSource, Network, NodeId, NodeOp, TruthTable};
 
 use crate::dp::{Choice, TreeDp};
+use crate::map::MappedTree;
 use crate::tree::{Tree, TreeChild};
 
 /// An expression over the input slots of one LUT under construction.
@@ -218,15 +219,21 @@ impl CoverBuilder<'_> {
 /// from. `input_source` translates the normal-form network's primary-input
 /// ids into the [`LutSource::Input`] ids the caller wants the circuit to
 /// reference (e.g. the original, pre-simplification network's input ids).
+///
+/// A [`MappedTree`]'s DP solution may be shared with other trees of the
+/// same shape: reconstruction reads only node indices, child masks and
+/// utilizations from the solution, while leaf *signals* come from the
+/// concrete tree — which is why replayed solutions emit correct circuits.
 pub(crate) fn emit_forest(
     network: &Network,
-    trees: &[(Tree, TreeDp)],
+    trees: &[MappedTree],
     input_source: &dyn Fn(NodeId) -> LutSource,
     k: usize,
 ) -> Result<LutCircuit, LutError> {
     let mut circuit = LutCircuit::new(k);
     let mut root_luts: HashMap<NodeId, LutSource> = HashMap::new();
-    for (tree, dp) in trees {
+    for m in trees {
+        let (tree, dp) = (&m.tree, &m.sol.dp);
         let root = tree.root;
         let leaf_source = |id: NodeId| -> LutSource {
             match network.node(id).op() {

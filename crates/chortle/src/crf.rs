@@ -240,7 +240,7 @@ mod tests {
         net.add_output("z", z.into());
         for k in 2..=6 {
             let crf = crf_network_cost(&net, k);
-            let opt = crate::map_network(&net, &crate::MapOptions::new(k))
+            let opt = crate::map_network(&net, &crate::MapOptions::builder(k).build().unwrap())
                 .expect("maps")
                 .report
                 .luts as u32;

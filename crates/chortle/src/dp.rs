@@ -286,13 +286,26 @@ impl TreeDp {
     /// LUT count of the best mapping of the whole tree
     /// (`minmap(root, K)`).
     pub fn tree_cost(&self, tree: &Tree) -> u32 {
-        self.nodes[tree.root_index()].node_cost[self.k].luts
+        debug_assert_eq!(self.nodes.len(), tree.nodes.len());
+        self.root_cost().luts
     }
 
     /// Output depth of the tree's root LUT (entering-wire depth plus
     /// one).
     pub fn tree_depth(&self, tree: &Tree) -> u32 {
-        let c = self.nodes[tree.root_index()].node_cost[self.k];
+        debug_assert_eq!(self.nodes.len(), tree.nodes.len());
+        self.root_depth()
+    }
+
+    /// `minmap(root, K)` — the whole-tree cost summary.
+    pub fn root_cost(&self) -> Cost {
+        self.nodes[self.nodes.len() - 1].node_cost[self.k]
+    }
+
+    /// Output depth of the root LUT without needing the tree (the root
+    /// is always the last node).
+    pub fn root_depth(&self) -> u32 {
+        let c = self.root_cost();
         if c.is_infeasible() {
             INF
         } else {
@@ -301,15 +314,64 @@ impl TreeDp {
     }
 }
 
+/// The complete, replayable result of mapping one tree *shape*.
+///
+/// Everything the rest of the pipeline ever reads about a mapped tree:
+/// the per-node `minmap` tables with their recorded decisions (`dp`),
+/// and the kernel's deterministic work tally (`tally` — closed-form per
+/// shape, so it replays exactly). The DP is a pure function of the
+/// canonical tree shape plus the leaf arrival-depth sequence, so a
+/// `ShapeSolution` computed for one tree can be shared (behind an `Arc`)
+/// by every other tree with the same cache key: cover reconstruction
+/// reads only node indices, child masks and utilizations from `dp`,
+/// while leaf *identities* come from the concrete tree being emitted.
+#[derive(Debug)]
+pub(crate) struct ShapeSolution {
+    /// The per-node DP tables and decisions.
+    pub dp: TreeDp,
+    /// The kernel work tally of mapping this shape once (zeroed when the
+    /// scratch's `counting` flag was off).
+    pub tally: DpCounters,
+}
+
 /// The widest node fanin the `u32` subset DP supports (the paper splits
 /// above fanin 10; [`Tree::split_wide_nodes`] enforces the bound).
 pub(crate) const MAX_DP_FANIN: usize = 25;
 
 /// Runs the Chortle DP over a tree, reusing `scratch` across nodes (and,
-/// at the caller's discretion, across trees).
+/// at the caller's discretion, across trees); flushes the kernel tally
+/// into `scratch.counters`. Thin wrapper over [`map_tree_solution`] for
+/// callers that want only the DP tables — today that is the unit tests;
+/// the mapping drivers work with whole [`ShapeSolution`]s.
+///
+/// # Errors
+///
+/// Returns [`MapError::FaninTooWide`] like [`map_tree_solution`].
+#[cfg(test)]
+pub(crate) fn map_tree_with(
+    tree: &Tree,
+    k: usize,
+    objective: Objective,
+    leaf_depth: &dyn Fn(NodeId) -> u32,
+    scratch: &mut DpScratch,
+) -> Result<TreeDp, MapError> {
+    let sol = map_tree_solution(tree, k, objective, leaf_depth, scratch)?;
+    if scratch.counting {
+        scratch.counters.add(&sol.tally);
+    }
+    Ok(sol.dp)
+}
+
+/// Runs the Chortle DP over a tree and packages the result as a
+/// replayable [`ShapeSolution`].
 ///
 /// `leaf_depth` supplies the arrival depth (in LUT levels) of every leaf
 /// signal; pass `|_| 0` for pure-area mapping of an isolated tree.
+///
+/// The kernel's work tally is returned *inside* the solution and is
+/// **not** folded into `scratch.counters`: the mapping drivers account
+/// tallies per tree (in tree order) so that cached replays and racing
+/// duplicate computations tally exactly like the uncached mapper.
 ///
 /// # Errors
 ///
@@ -319,13 +381,13 @@ pub(crate) const MAX_DP_FANIN: usize = 25;
 /// # Panics
 ///
 /// Panics if `k < 2` ([`crate::MapOptions`] validates this upstream).
-pub(crate) fn map_tree_with(
+pub(crate) fn map_tree_solution(
     tree: &Tree,
     k: usize,
     objective: Objective,
     leaf_depth: &dyn Fn(NodeId) -> u32,
     scratch: &mut DpScratch,
-) -> Result<TreeDp, MapError> {
+) -> Result<ShapeSolution, MapError> {
     assert!(k >= 2, "lookup tables must have at least two inputs");
     let mut nodes: Vec<NodeDp> = Vec::with_capacity(tree.nodes.len());
     // Tree-local tallies; flushed into `scratch.counters` once per tree so
@@ -570,10 +632,10 @@ pub(crate) fn map_tree_with(
         }
         nodes.push(dp);
     }
-    if counting {
-        scratch.counters.add(&tally);
-    }
-    Ok(TreeDp { nodes, k })
+    Ok(ShapeSolution {
+        dp: TreeDp { nodes, k },
+        tally,
+    })
 }
 
 /// Area-objective mapping with zero leaf depths (the paper's setting).

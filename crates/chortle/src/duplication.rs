@@ -138,7 +138,7 @@ fn emit_copy(
 ///
 /// // Plain mapping needs 3 LUTs at K=3 (the fanout boundary); with
 /// // duplication both cones fit one LUT each.
-/// let best = map_network_best(&net, &MapOptions::new(3))?;
+/// let best = map_network_best(&net, &MapOptions::builder(3).build()?)?;
 /// assert_eq!(best.report.luts, 2);
 /// # Ok::<(), chortle::MapError>(())
 /// ```
@@ -184,10 +184,10 @@ mod tests {
     fn duplication_removes_fanout_boundaries() {
         let net = shared_cone();
         // Plain: shared is a tree root -> 3 LUTs at K=3.
-        let plain = map_network(&net, &MapOptions::new(3)).expect("maps");
+        let plain = map_network(&net, &MapOptions::builder(3).build().unwrap()).expect("maps");
         assert_eq!(plain.report.luts, 3);
         // Duplicated: both cones absorb their private copy -> 2 LUTs.
-        let best = map_network_best(&net, &MapOptions::new(3)).expect("maps");
+        let best = map_network_best(&net, &MapOptions::builder(3).build().unwrap()).expect("maps");
         assert_eq!(best.report.luts, 2);
         check_equivalence(&net, &best.circuit).expect("equivalent");
     }
@@ -211,8 +211,9 @@ mod tests {
     fn best_never_loses_to_plain() {
         for seed in 0..20u64 {
             let net = random(seed);
-            let plain = map_network(&net, &MapOptions::new(4)).expect("maps");
-            let best = map_network_best(&net, &MapOptions::new(4)).expect("maps");
+            let plain = map_network(&net, &MapOptions::builder(4).build().unwrap()).expect("maps");
+            let best =
+                map_network_best(&net, &MapOptions::builder(4).build().unwrap()).expect("maps");
             assert!(best.report.luts <= plain.report.luts, "seed={seed}");
             check_equivalence(&net, &best.circuit).expect("equivalent");
         }

@@ -24,7 +24,7 @@ use chortle_netlist::{Network, NodeOp, Signal};
 /// use chortle::{figures, map_network, MapOptions};
 ///
 /// let net = figures::figure1_network();
-/// let mapped = map_network(&net, &MapOptions::new(3))?;
+/// let mapped = map_network(&net, &MapOptions::builder(3).build()?)?;
 /// assert_eq!(mapped.report.luts, 3);
 /// # Ok::<(), chortle::MapError>(())
 /// ```
@@ -83,7 +83,7 @@ mod tests {
     #[test]
     fn figure1_maps_to_three_3luts() {
         let net = figure1_network();
-        let mapped = map_network(&net, &MapOptions::new(3)).expect("maps");
+        let mapped = map_network(&net, &MapOptions::builder(3).build().unwrap()).expect("maps");
         assert_eq!(mapped.report.luts, 3);
         check_equivalence(&net, &mapped.circuit).expect("equivalent");
     }
@@ -99,7 +99,7 @@ mod tests {
     fn figure7_requires_decomposition_below_fanin() {
         let net = figure7_network();
         // A 6-input node with K=4: intermediate nodes are mandatory.
-        let mapped = map_network(&net, &MapOptions::new(4)).expect("maps");
+        let mapped = map_network(&net, &MapOptions::builder(4).build().unwrap()).expect("maps");
         assert_eq!(mapped.report.luts, 2);
         check_equivalence(&net, &mapped.circuit).expect("equivalent");
     }

@@ -38,7 +38,7 @@
 //! let z = net.add_gate(NodeOp::Or, vec![g1.into(), g2.into()]);
 //! net.add_output("z", z.into());
 //!
-//! let mapped = map_network(&net, &MapOptions::new(4))?;
+//! let mapped = map_network(&net, &MapOptions::builder(4).build()?)?;
 //! assert_eq!(mapped.report.luts, 1); // the whole cone fits one 4-LUT
 //! check_equivalence(&net, &mapped.circuit).expect("equivalent");
 //! # Ok::<(), chortle::MapError>(())
@@ -47,6 +47,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod cache;
 pub mod clb;
 mod cover;
 mod crf;
@@ -58,11 +59,12 @@ mod parallel;
 pub mod reference;
 mod tree;
 
+pub use cache::CacheMode;
 pub use crf::{crf_network_cost, crf_tree_cost, CrfTreeCost};
 pub use dp::Objective;
 pub use duplication::{duplicate_fanout_gates, map_network_best};
 pub use map::{map_network, stats, MapError, MapOptions, MapOptionsBuilder, MapReport, Mapping};
-pub use tree::{Forest, Tree, TreeChild, TreeNode};
+pub use tree::{Fingerprint, FingerprintScratch, Forest, Tree, TreeChild, TreeNode};
 
 // Observability: re-exported so downstream crates need no direct
 // dependency on the telemetry crate for the common path.

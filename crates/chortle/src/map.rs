@@ -2,15 +2,17 @@
 
 use std::error::Error;
 use std::fmt;
+use std::sync::Arc;
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use chortle_netlist::{LutCircuit, LutError, LutSource, Network, NodeId, NodeOp};
 use chortle_telemetry::Telemetry;
 
+use crate::cache::{CacheKey, CacheMode, TreeCache, SHARED_CACHE_SHARDS};
 use crate::cover::emit_forest;
-use crate::dp::{map_tree_with, DpCounters, DpScratch, Objective, TreeDp};
-use crate::tree::{Forest, Tree};
+use crate::dp::{map_tree_solution, DpCounters, DpScratch, Objective, ShapeSolution};
+use crate::tree::{Fingerprint, Forest, Tree};
 
 /// Names of the stages and counters the mapper reports into its
 /// [`Telemetry`] sink (see `DESIGN.md` §10 for the full catalogue and
@@ -23,6 +25,10 @@ pub mod stats {
     pub const STAGE_FOREST: &str = "map.forest";
     /// Stage: wide-node pre-splitting.
     pub const STAGE_SPLIT: &str = "map.split";
+    /// Stage: canonical reordering and renumbering of every tree (see
+    /// [`crate::Tree::canonicalize`]); runs in every cache mode so the
+    /// produced circuit never depends on the cache setting.
+    pub const STAGE_CANON: &str = "map.canon";
     /// Stage: the subset-DP mapping of every tree (sequential or
     /// wavefront-parallel).
     pub const STAGE_DP: &str = "map.dp";
@@ -45,6 +51,21 @@ pub mod stats {
     pub const MAP_NODES_SPLIT: &str = "map.nodes_split";
     /// Counter: fanout-free trees in the mapped forest.
     pub const MAP_TREES: &str = "map.trees";
+    /// Counter: trees whose DP solution replays a cache key seen earlier
+    /// in tree order. Derived from the forest, not from lock traffic, so
+    /// the total is identical for every `jobs` value. Reported only when
+    /// caching is on ([`crate::CacheMode::Off`] emits no `cache.*`
+    /// counters).
+    pub const CACHE_HITS: &str = "cache.hits";
+    /// Counter: distinct cache keys in the forest — the trees that pay
+    /// for a full subset-DP run. `hits + misses == map.trees`.
+    pub const CACHE_MISSES: &str = "cache.misses";
+    /// Counter: shards of the DP-result cache. A configuration echo (16
+    /// for the shared cache under parallel mapping, 1 otherwise) — the
+    /// one counter *excluded* from the any-`jobs`-identical contract.
+    pub const CACHE_SHARDS: &str = "cache.shards";
+    /// Counter: LUTs emitted from replayed (cache-hit) solutions.
+    pub const CACHE_REPLAYED_LUTS: &str = "cache.replayed_luts";
 }
 
 /// Flushes a scratch arena's accumulated kernel counters into a
@@ -62,23 +83,24 @@ pub(crate) fn flush_dp_counters(telemetry: &Telemetry, counters: &mut DpCounters
 
 /// Configuration of the Chortle mapper.
 ///
-/// Construct through [`MapOptions::new`] / [`MapOptions::builder`]; the
-/// struct is `#[non_exhaustive]`, so fields are readable everywhere but
-/// new options can be added without breaking downstream crates.
+/// Construct through [`MapOptions::builder`]; the struct is
+/// `#[non_exhaustive]`, so fields are readable everywhere but new options
+/// can be added without breaking downstream crates.
 ///
 /// # Examples
 ///
 /// ```
-/// use chortle::MapOptions;
+/// use chortle::{CacheMode, MapOptions};
 ///
-/// let opts = MapOptions::new(4).with_split_threshold(8);
+/// let opts = MapOptions::builder(4).build()?;
 /// assert_eq!(opts.k, 4);
-/// assert_eq!(opts.split_threshold, 8);
+/// assert_eq!(opts.cache, CacheMode::Shared);
 ///
 /// // The fallible builder covers every knob, including telemetry:
 /// let opts = MapOptions::builder(4)
 ///     .split_threshold(8)?
 ///     .jobs(2)
+///     .cache(CacheMode::Off)
 ///     .telemetry(chortle::Telemetry::enabled())
 ///     .build()?;
 /// assert_eq!(opts.jobs, 2);
@@ -104,6 +126,10 @@ pub struct MapOptions {
     /// wavefront occupancy into. Disabled by default (zero overhead);
     /// see [`Telemetry::enabled`] and the [`stats`] name catalogue.
     pub telemetry: Telemetry,
+    /// Cross-tree memoization of DP results ([`CacheMode::Shared`] by
+    /// default). Every mode produces the identical circuit — see the
+    /// bit-identity contract on [`CacheMode`].
+    pub cache: CacheMode,
 }
 
 impl MapOptions {
@@ -114,8 +140,10 @@ impl MapOptions {
     ///
     /// Panics if `k < 2` or `k > 8` (truth tables of mapped LUTs are
     /// materialized; 8 covers every commercial LUT architecture). Use
-    /// [`MapOptions::try_new`] to handle the error instead.
+    /// [`MapOptions::builder`] to handle the error instead.
+    #[deprecated(note = "use the fallible `MapOptions::builder(k).build()` instead")]
     pub fn new(k: usize) -> Self {
+        #[allow(deprecated)]
         Self::try_new(k).expect("K must be between 2 and 8")
     }
 
@@ -124,6 +152,7 @@ impl MapOptions {
     /// # Errors
     ///
     /// Returns [`MapError::InvalidK`] if `k` is outside `2..=8`.
+    #[deprecated(note = "use `MapOptions::builder(k).build()` instead")]
     pub fn try_new(k: usize) -> Result<Self, MapError> {
         MapOptions::builder(k).build()
     }
@@ -141,12 +170,14 @@ impl MapOptions {
                 objective: Objective::Area,
                 jobs: 1,
                 telemetry: Telemetry::disabled(),
+                cache: CacheMode::Shared,
             },
         }
     }
 
     /// Switches the objective to depth-first (lexicographic depth, then
     /// LUT count).
+    #[deprecated(note = "use `MapOptions::builder(k).objective(Objective::Depth)` instead")]
     pub fn with_depth_objective(mut self) -> Self {
         self.objective = Objective::Depth;
         self
@@ -158,9 +189,11 @@ impl MapOptions {
     /// # Panics
     ///
     /// Panics if `threshold` is outside `2..=16`. Use
-    /// [`MapOptions::try_with_split_threshold`] to handle the error
+    /// [`MapOptionsBuilder::split_threshold`] to handle the error
     /// instead.
+    #[deprecated(note = "use the fallible `MapOptionsBuilder::split_threshold` instead")]
     pub fn with_split_threshold(self, threshold: usize) -> Self {
+        #[allow(deprecated)]
         self.try_with_split_threshold(threshold)
             .expect("split threshold must be between 2 and 16")
     }
@@ -171,6 +204,7 @@ impl MapOptions {
     ///
     /// Returns [`MapError::InvalidSplitThreshold`] if `threshold` is
     /// outside `2..=16`.
+    #[deprecated(note = "use `MapOptionsBuilder::split_threshold` instead")]
     pub fn try_with_split_threshold(mut self, threshold: usize) -> Result<Self, MapError> {
         if !(2..=16).contains(&threshold) {
             return Err(MapError::InvalidSplitThreshold { threshold });
@@ -182,6 +216,7 @@ impl MapOptions {
     /// Sets the number of worker threads for forest mapping. Zero selects
     /// the host's available parallelism; 1 (the default) maps
     /// sequentially. The produced circuit is identical for every value.
+    #[deprecated(note = "use `MapOptionsBuilder::jobs` instead")]
     pub fn with_jobs(mut self, jobs: usize) -> Self {
         self.jobs = resolve_jobs(jobs);
         self
@@ -190,6 +225,7 @@ impl MapOptions {
     /// Attaches a telemetry sink the mapper reports into. Pass
     /// [`Telemetry::enabled`] to collect, [`Telemetry::disabled`] (the
     /// default) to turn observability off at zero cost.
+    #[deprecated(note = "use `MapOptionsBuilder::telemetry` instead")]
     pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
         self.telemetry = telemetry;
         self
@@ -244,6 +280,14 @@ impl MapOptionsBuilder {
     /// Attaches a telemetry sink.
     pub fn telemetry(mut self, telemetry: Telemetry) -> Self {
         self.opts.telemetry = telemetry;
+        self
+    }
+
+    /// Selects how DP results are memoized across trees (the default is
+    /// [`CacheMode::Shared`]). Every mode produces the identical circuit;
+    /// the knob only trades memory for repeated kernel work.
+    pub fn cache(mut self, cache: CacheMode) -> Self {
+        self.opts.cache = cache;
         self
     }
 
@@ -380,7 +424,7 @@ pub struct Mapping {
 /// let z = net.add_gate(NodeOp::Or, vec![g1.into(), c.into()]);
 /// net.add_output("z", z.into());
 ///
-/// let mapped = map_network(&net, &MapOptions::new(3))?;
+/// let mapped = map_network(&net, &MapOptions::builder(3).build()?)?;
 /// assert_eq!(mapped.report.luts, 1); // the whole cone fits a 3-LUT
 /// check_equivalence(&net, &mapped.circuit).expect("functionally equivalent");
 /// # Ok::<(), chortle::MapError>(())
@@ -404,6 +448,14 @@ pub fn map_network(network: &Network, options: &MapOptions) -> Result<Mapping, M
     telemetry.add_counter(stats::MAP_NODES_SPLIT, splits as u64);
     telemetry.add_counter(stats::MAP_TREES, forest.trees.len() as u64);
 
+    // Canonicalize unconditionally — not just when caching — so the
+    // emitted circuit is a function of the input and the options alone,
+    // never of the cache mode (the bit-identity contract of `CacheMode`).
+    let shapes = {
+        let _s = telemetry.span(stats::STAGE_CANON);
+        forest.canonicalize()
+    };
+
     let mut report = MapReport {
         trees: forest.trees.len(),
         ..MapReport::default()
@@ -411,17 +463,25 @@ pub fn map_network(network: &Network, options: &MapOptions) -> Result<Mapping, M
     let mapped = {
         let _s = telemetry.span(stats::STAGE_DP);
         if options.jobs > 1 {
-            crate::parallel::map_forest_wavefront(&normal, forest.trees, options)?
+            crate::parallel::map_forest_wavefront(&normal, forest.trees, &shapes, options)?
         } else {
-            map_forest_sequential(&normal, forest.trees, options)?
+            map_forest_sequential(&normal, forest.trees, &shapes, options)?
         }
     };
+    // Kernel tallies are summed here, once per tree in tree order —
+    // cached replays contribute the tally of the shape they share, and a
+    // racing duplicate computation contributes nothing extra — so the
+    // dp.* totals are identical to the uncached mapper for any schedule.
     let mut predicted: u64 = 0;
-    for (tree, dp) in &mapped {
-        report.tree_nodes += tree.nodes.len();
-        report.max_fanin = report.max_fanin.max(tree.max_fanin());
-        predicted += u64::from(dp.tree_cost(tree));
+    let mut kernel_tally = DpCounters::default();
+    for m in &mapped {
+        report.tree_nodes += m.tree.nodes.len();
+        report.max_fanin = report.max_fanin.max(m.tree.max_fanin());
+        predicted += u64::from(m.sol.dp.tree_cost(&m.tree));
+        kernel_tally.add(&m.sol.tally);
     }
+    flush_dp_counters(telemetry, &mut kernel_tally);
+    report_cache_counters(telemetry, options, &mapped);
 
     // Primary inputs survive normalization in order; translate the
     // normal-form ids back to the caller's network ids.
@@ -444,6 +504,53 @@ pub fn map_network(network: &Network, options: &MapOptions) -> Result<Mapping, M
     Ok(Mapping { circuit, report })
 }
 
+/// One mapped tree: the concrete (canonicalized) tree, the DP solution it
+/// shares with every other tree of the same cache key, and that key (when
+/// caching was on). This is what flows from the mapping drivers into
+/// cover emission — reconstruction reads decisions from `sol.dp` and leaf
+/// identities from `tree`.
+pub(crate) struct MappedTree {
+    /// The canonicalized tree.
+    pub tree: Tree,
+    /// The (possibly shared) DP solution for the tree's shape and leaf
+    /// depths.
+    pub sol: Arc<ShapeSolution>,
+    /// The tree's cache key; `None` under [`CacheMode::Off`].
+    pub key: Option<CacheKey>,
+}
+
+/// Derives the deterministic `cache.*` counters from the per-tree key
+/// sequence, in tree order: a tree is a *hit* when an earlier tree has
+/// the same key. Deliberately not counted at the cache data structure —
+/// which worker wins a racy insert is schedule-dependent, while this
+/// definition is a pure function of the forest. `cache.shards` is the
+/// one configuration echo outside that contract.
+fn report_cache_counters(telemetry: &Telemetry, options: &MapOptions, mapped: &[MappedTree]) {
+    if !telemetry.is_enabled() || !options.cache.is_enabled() {
+        return;
+    }
+    let mut seen: HashSet<CacheKey> = HashSet::with_capacity(mapped.len());
+    let (mut hits, mut misses, mut replayed) = (0u64, 0u64, 0u64);
+    for m in mapped {
+        let key = m.key.expect("caching modes key every tree");
+        if seen.insert(key) {
+            misses += 1;
+        } else {
+            hits += 1;
+            replayed += u64::from(m.sol.dp.tree_cost(&m.tree));
+        }
+    }
+    telemetry.add_counter(stats::CACHE_HITS, hits);
+    telemetry.add_counter(stats::CACHE_MISSES, misses);
+    telemetry.add_counter(stats::CACHE_REPLAYED_LUTS, replayed);
+    let shards = if options.cache == CacheMode::Shared && options.jobs > 1 {
+        SHARED_CACHE_SHARDS
+    } else {
+        1
+    };
+    telemetry.add_counter(stats::CACHE_SHARDS, shards as u64);
+}
+
 /// Arrival depth of a tree leaf: primary inputs and constants arrive at
 /// 0; gate leaves are other trees' roots and arrive at their mapped
 /// depth, which must already be recorded in `depth_of`.
@@ -458,29 +565,46 @@ pub(crate) fn leaf_arrival(normal: &Network, depth_of: &HashMap<NodeId, u32>, id
 
 /// Maps every tree of the forest in order on the calling thread, one
 /// [`DpScratch`] arena reused throughout. The forest is topologically
-/// ordered, so leaves of a tree are always mapped first.
+/// ordered, so leaves of a tree are always mapped first. Caching modes
+/// use one unsharded, unsynchronized [`TreeCache`] — the single-threaded
+/// fast path ([`CacheMode::Tree`] and [`CacheMode::Shared`] coincide
+/// here).
 fn map_forest_sequential(
     normal: &Network,
     trees: Vec<Tree>,
+    shapes: &[Fingerprint],
     options: &MapOptions,
-) -> Result<Vec<(Tree, TreeDp)>, MapError> {
-    let mut mapped = Vec::with_capacity(trees.len());
+) -> Result<Vec<MappedTree>, MapError> {
+    let mut mapped: Vec<MappedTree> = Vec::with_capacity(trees.len());
     let mut scratch = DpScratch::new();
     scratch.counting = options.telemetry.is_enabled();
+    let mut cache = options.cache.is_enabled().then(TreeCache::new);
     let mut depth_of: HashMap<NodeId, u32> = HashMap::new();
-    for tree in trees {
+    for (ti, tree) in trees.into_iter().enumerate() {
         let leaf_depth = |id: NodeId| leaf_arrival(normal, &depth_of, id);
-        let dp = map_tree_with(
-            &tree,
-            options.k,
-            options.objective,
-            &leaf_depth,
-            &mut scratch,
-        )?;
-        depth_of.insert(tree.root, dp.tree_depth(&tree));
-        mapped.push((tree, dp));
+        let key = cache
+            .is_some()
+            .then(|| CacheKey::of(&tree, shapes[ti], &leaf_depth));
+        let cached = key.and_then(|k| cache.as_ref().and_then(|c| c.get(&k)));
+        let sol = match cached {
+            Some(sol) => sol,
+            None => {
+                let sol = Arc::new(map_tree_solution(
+                    &tree,
+                    options.k,
+                    options.objective,
+                    &leaf_depth,
+                    &mut scratch,
+                )?);
+                if let (Some(k), Some(c)) = (key, cache.as_mut()) {
+                    c.insert(k, sol.clone());
+                }
+                sol
+            }
+        };
+        depth_of.insert(tree.root, sol.dp.tree_depth(&tree));
+        mapped.push(MappedTree { tree, sol, key });
     }
-    flush_dp_counters(&options.telemetry, &mut scratch.counters);
     Ok(mapped)
 }
 
@@ -490,7 +614,8 @@ mod tests {
     use chortle_netlist::{check_equivalence, NodeOp, Signal};
 
     fn verify(net: &Network, k: usize) -> Mapping {
-        let mapped = map_network(net, &MapOptions::new(k)).expect("maps");
+        let opts = MapOptions::builder(k).build().expect("valid K");
+        let mapped = map_network(net, &opts).expect("maps");
         check_equivalence(net, &mapped.circuit).expect("equivalent");
         assert!(mapped.circuit.luts().iter().all(|l| l.utilization() <= k));
         mapped

@@ -16,26 +16,37 @@
 //! outcome is bit-identical to the sequential mapper for any worker
 //! count: the per-tree DP is deterministic given leaf depths, and leaf
 //! depths never depend on intra-wavefront completion order.
+//!
+//! Under [`CacheMode::Shared`] every worker consults one sharded
+//! [`SharedCache`] spanning the whole wavefront run; under
+//! [`CacheMode::Tree`] each worker keeps a private [`TreeCache`]. Either
+//! way a hit replays the shape's solution verbatim (trees are
+//! canonicalized before mapping), and a lost insert race merely discards
+//! a duplicate of an identical solution — so caching never perturbs the
+//! bit-identity guarantee above.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 use chortle_netlist::{Network, NodeId};
 use chortle_telemetry::WavefrontStat;
 
-use crate::dp::{map_tree_with, DpScratch, TreeDp};
-use crate::map::{flush_dp_counters, leaf_arrival, MapError, MapOptions};
-use crate::tree::{Tree, TreeChild};
+use crate::cache::{CacheKey, CacheMode, SharedCache, TreeCache};
+use crate::dp::{map_tree_solution, DpScratch, ShapeSolution};
+use crate::map::{leaf_arrival, MapError, MapOptions, MappedTree};
+use crate::tree::{Fingerprint, Tree, TreeChild};
 
 /// Maps the forest with `options.jobs` worker threads, wavefront by
-/// wavefront. Produces exactly the `(tree, dp)` sequence of the
+/// wavefront. Produces exactly the [`MappedTree`] sequence of the
 /// sequential mapper.
 pub(crate) fn map_forest_wavefront(
     normal: &Network,
     trees: Vec<Tree>,
+    shapes: &[Fingerprint],
     options: &MapOptions,
-) -> Result<Vec<(Tree, TreeDp)>, MapError> {
+) -> Result<Vec<MappedTree>, MapError> {
     let mut tree_of_root: HashMap<NodeId, usize> = HashMap::with_capacity(trees.len());
     for (i, tree) in trees.iter().enumerate() {
         tree_of_root.insert(tree.root, i);
@@ -64,11 +75,16 @@ pub(crate) fn map_forest_wavefront(
         waves[lv as usize].push(i);
     }
 
-    let mut dps: Vec<Option<TreeDp>> = (0..trees.len()).map(|_| None).collect();
+    let mut sols: Vec<Option<(Arc<ShapeSolution>, Option<CacheKey>)>> =
+        (0..trees.len()).map(|_| None).collect();
     let mut depth_of: HashMap<NodeId, u32> = HashMap::new();
-    // Scratch for wavefronts mapped inline (a single-tree wavefront is
-    // cheaper on the calling thread than across a spawn).
+    // Scratch (and, under CacheMode::Tree, a private cache) for
+    // wavefronts mapped inline — a single-tree wavefront is cheaper on
+    // the calling thread than across a spawn. The shared cache, when
+    // selected, spans the whole run: inline and spawned workers alike.
     let mut inline_scratch = DpScratch::new();
+    let shared = (options.cache == CacheMode::Shared).then(SharedCache::new);
+    let mut inline_cache = (options.cache == CacheMode::Tree).then(TreeCache::new);
 
     let telemetry = &options.telemetry;
     inline_scratch.counting = telemetry.is_enabled();
@@ -79,10 +95,13 @@ pub(crate) fn map_forest_wavefront(
         let mut claimed: Vec<u64> = Vec::new();
         let mut busy_s: Vec<f64> = Vec::new();
         let queue = AtomicUsize::new(0);
+        let shared = shared.as_ref();
         // A worker: drain the wavefront cursor, mapping each claimed tree
-        // with a thread-private scratch arena.
+        // with a thread-private scratch arena, replaying cached shape
+        // solutions where the mode allows.
         let run = |scratch: &mut DpScratch,
-                   out: &mut Vec<(usize, TreeDp)>|
+                   mut private: Option<&mut TreeCache>,
+                   out: &mut Vec<(usize, Arc<ShapeSolution>, Option<CacheKey>)>|
          -> Result<(), MapError> {
             loop {
                 let slot = queue.fetch_add(1, Ordering::Relaxed);
@@ -91,8 +110,38 @@ pub(crate) fn map_forest_wavefront(
                 };
                 let tree = &trees[ti];
                 let leaf_depth = |id: NodeId| leaf_arrival(normal, &depth_of, id);
-                let dp = map_tree_with(tree, options.k, options.objective, &leaf_depth, scratch)?;
-                out.push((ti, dp));
+                let key = options
+                    .cache
+                    .is_enabled()
+                    .then(|| CacheKey::of(tree, shapes[ti], &leaf_depth));
+                let cached = key.and_then(|k| match (shared, &private) {
+                    (Some(s), _) => s.get(&k),
+                    (None, Some(p)) => p.get(&k),
+                    _ => None,
+                });
+                let sol = match cached {
+                    Some(sol) => sol,
+                    None => {
+                        let sol = Arc::new(map_tree_solution(
+                            tree,
+                            options.k,
+                            options.objective,
+                            &leaf_depth,
+                            scratch,
+                        )?);
+                        match (shared, &mut private) {
+                            // First writer wins; adopt whatever landed so
+                            // racing duplicates share one allocation.
+                            (Some(s), _) => s.insert(k_unwrap(key), sol),
+                            (None, Some(p)) => {
+                                p.insert(k_unwrap(key), sol.clone());
+                                sol
+                            }
+                            _ => sol,
+                        }
+                    }
+                };
+                out.push((ti, sol, key));
             }
         };
 
@@ -100,17 +149,18 @@ pub(crate) fn map_forest_wavefront(
         if workers == 1 {
             let busy_start = telemetry.is_enabled().then(Instant::now);
             let mut out = Vec::with_capacity(wave.len());
-            run(&mut inline_scratch, &mut out)?;
+            run(&mut inline_scratch, inline_cache.as_mut(), &mut out)?;
             if let Some(t0) = busy_start {
                 claimed.push(out.len() as u64);
                 busy_s.push(t0.elapsed().as_secs_f64());
             }
-            for (ti, dp) in out {
-                dps[ti] = Some(dp);
+            for (ti, sol, key) in out {
+                sols[ti] = Some((sol, key));
             }
         } else {
             let run = &run;
             let enabled = telemetry.is_enabled();
+            let private_caches = options.cache == CacheMode::Tree;
             let results = std::thread::scope(|s| {
                 let handles: Vec<_> = (0..workers)
                     .map(|_| {
@@ -118,10 +168,11 @@ pub(crate) fn map_forest_wavefront(
                             let busy_start = enabled.then(Instant::now);
                             let mut scratch = DpScratch::new();
                             scratch.counting = enabled;
+                            let mut cache = private_caches.then(TreeCache::new);
                             let mut out = Vec::new();
-                            let r = run(&mut scratch, &mut out);
+                            let r = run(&mut scratch, cache.as_mut(), &mut out);
                             let busy = busy_start.map(|t0| t0.elapsed().as_secs_f64());
-                            r.map(|()| (out, scratch.counters.take(), busy))
+                            r.map(|()| (out, busy))
                         })
                     })
                     .collect();
@@ -131,16 +182,13 @@ pub(crate) fn map_forest_wavefront(
                     .collect::<Vec<_>>()
             });
             for result in results {
-                let (out, counters, busy) = result?;
-                // Fold every worker's kernel tallies into the inline
-                // arena's; one flush at the end covers both paths.
-                inline_scratch.counters.add(&counters);
+                let (out, busy) = result?;
                 if let Some(b) = busy {
                     claimed.push(out.len() as u64);
                     busy_s.push(b);
                 }
-                for (ti, dp) in out {
-                    dps[ti] = Some(dp);
+                for (ti, sol, key) in out {
+                    sols[ti] = Some((sol, key));
                 }
             }
         }
@@ -158,17 +206,25 @@ pub(crate) fn map_forest_wavefront(
         // Publish this wavefront's root depths, in tree order, before the
         // next wavefront reads them.
         for &ti in wave {
-            let dp = dps[ti].as_ref().expect("wavefront mapped every tree");
-            depth_of.insert(trees[ti].root, dp.tree_depth(&trees[ti]));
+            let (sol, _) = sols[ti].as_ref().expect("wavefront mapped every tree");
+            depth_of.insert(trees[ti].root, sol.dp.tree_depth(&trees[ti]));
         }
     }
-    flush_dp_counters(telemetry, &mut inline_scratch.counters);
 
     Ok(trees
         .into_iter()
-        .zip(dps)
-        .map(|(tree, dp)| (tree, dp.expect("every wavefront tree mapped")))
+        .zip(sols)
+        .map(|(tree, sol)| {
+            let (sol, key) = sol.expect("every wavefront tree mapped");
+            MappedTree { tree, sol, key }
+        })
         .collect())
+}
+
+/// Unwraps a cache key on the insert path, where the mode being enabled
+/// guarantees it was computed.
+fn k_unwrap(key: Option<CacheKey>) -> CacheKey {
+    key.expect("caching modes key every tree")
 }
 
 #[cfg(test)]
@@ -197,15 +253,19 @@ mod tests {
 
     #[test]
     fn parallel_matches_sequential_exactly() {
+        use crate::dp::Objective;
         let net = layered_network();
         for k in 2..=5 {
-            for objective in [
-                MapOptions::new(k),
-                MapOptions::new(k).with_depth_objective(),
-            ] {
-                let seq = map_network(&net, &objective).unwrap();
+            for objective in [Objective::Area, Objective::Depth] {
+                let opts = MapOptions::builder(k).objective(objective).build().unwrap();
+                let seq = map_network(&net, &opts).unwrap();
                 for jobs in [2, 3, 8] {
-                    let par = map_network(&net, &objective.clone().with_jobs(jobs)).unwrap();
+                    let par_opts = MapOptions::builder(k)
+                        .objective(objective)
+                        .jobs(jobs)
+                        .build()
+                        .unwrap();
+                    let par = map_network(&net, &par_opts).unwrap();
                     assert_eq!(seq.circuit, par.circuit, "k={k} jobs={jobs}");
                     assert_eq!(seq.report, par.report, "k={k} jobs={jobs}");
                 }
@@ -215,10 +275,10 @@ mod tests {
 
     #[test]
     fn jobs_zero_selects_host_parallelism() {
-        let opts = MapOptions::new(4).with_jobs(0);
+        let opts = MapOptions::builder(4).jobs(0).build().unwrap();
         assert!(opts.jobs >= 1);
         let net = layered_network();
-        let seq = map_network(&net, &MapOptions::new(4)).unwrap();
+        let seq = map_network(&net, &MapOptions::builder(4).build().unwrap()).unwrap();
         let par = map_network(&net, &opts).unwrap();
         assert_eq!(seq.circuit, par.circuit);
     }

@@ -9,7 +9,113 @@
 //! roots — matching the paper's introduction of duplicate nodes (`n`,
 //! `n'`) at fanout points.
 
-use chortle_netlist::{Network, NodeId, NodeOp, Signal};
+use chortle_netlist::{mix64, Network, NodeId, NodeOp, Signal};
+
+/// A 128-bit structural fingerprint of a fanout-free tree.
+///
+/// Two trees receive the same fingerprint exactly when they are
+/// *isomorphic as shapes*: same operations, same arrangement of gate and
+/// leaf children (children compare as unordered multisets, because AND
+/// and OR commute), and same edge polarities — but leaf *identities* are
+/// anonymized, so renaming the signals a tree reads never changes its
+/// fingerprint. The converse direction holds up to a 2⁻¹²⁸ hash-collision
+/// probability.
+///
+/// Fingerprints are the keys of [`Forest::shape_histogram`] and of the
+/// mapper's cross-tree DP-result cache (see `CacheMode`): the subset DP
+/// is a pure function of the shape (plus leaf depths), so trees sharing a
+/// fingerprint share their whole `minmap` solution.
+///
+/// Built bottom-up from the in-repo SplitMix64 finalizer
+/// ([`mix64`]) — no external hashing dependencies.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Fingerprint {
+    /// High 64 bits.
+    pub hi: u64,
+    /// Low 64 bits.
+    pub lo: u64,
+}
+
+impl Fingerprint {
+    /// Seeds a fingerprint from a domain tag.
+    const fn tagged(tag: u64) -> Fingerprint {
+        Fingerprint {
+            hi: mix64(tag),
+            lo: mix64(tag ^ 0xA5A5_A5A5_A5A5_A5A5),
+        }
+    }
+
+    /// [`Fingerprint::absorb`] as a value-returning `const fn`, so token
+    /// constants can be folded at compile time.
+    const fn absorbed(self, token: Fingerprint) -> Fingerprint {
+        Fingerprint {
+            hi: mix64(self.hi ^ token.hi).wrapping_add(token.lo),
+            lo: mix64(self.lo ^ token.lo).wrapping_add(mix64(token.hi)),
+        }
+    }
+
+    /// Absorbs one 128-bit token; order-sensitive (callers sort tokens
+    /// first where commutativity is wanted).
+    fn absorb(&mut self, token: Fingerprint) {
+        *self = self.absorbed(token);
+    }
+}
+
+impl std::fmt::Display for Fingerprint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:016x}{:016x}", self.hi, self.lo)
+    }
+}
+
+/// Reusable buffers for [`Tree::fingerprint_with`]: per-node fingerprints
+/// and one node's sorted child tokens.
+#[derive(Default)]
+pub struct FingerprintScratch {
+    fps: Vec<Fingerprint>,
+    tokens: Vec<Fingerprint>,
+}
+
+/// Domain tags keeping leaf tokens, edge tokens, and node fingerprints in
+/// disjoint hash families.
+const TAG_LEAF: u64 = 0x1EAF;
+const TAG_EDGE: u64 = 0xED9E;
+const TAG_AND: u64 = 0xA17D;
+const TAG_OR: u64 = 0x0B0B;
+
+/// A leaf child's token depends only on its edge polarity (leaves are
+/// anonymous), so both values fold to compile-time constants — leaf-heavy
+/// trees fingerprint without a single runtime `mix64` per leaf.
+const LEAF_TOKENS: [Fingerprint; 2] = [
+    Fingerprint::tagged(TAG_EDGE).absorbed(Fingerprint::tagged(TAG_LEAF)),
+    Fingerprint::tagged(TAG_EDGE ^ 1).absorbed(Fingerprint::tagged(TAG_LEAF)),
+];
+
+/// The token a child contributes to its parent's fingerprint: the
+/// child's own fingerprint (anonymous for leaves) mixed with the edge
+/// polarity.
+fn child_token(fps: &[Fingerprint], child: &TreeChild) -> Fingerprint {
+    match *child {
+        TreeChild::Leaf(sig) => LEAF_TOKENS[usize::from(sig.is_inverted())],
+        TreeChild::Node { index, inverted } => {
+            Fingerprint::tagged(TAG_EDGE ^ u64::from(inverted)).absorbed(fps[index])
+        }
+    }
+}
+
+/// Combines a node's operation with its child tokens (already in
+/// canonical order) into the node's fingerprint.
+fn node_fingerprint(op: NodeOp, tokens: &[Fingerprint]) -> Fingerprint {
+    let tag = match op {
+        NodeOp::And => TAG_AND,
+        NodeOp::Or => TAG_OR,
+        _ => unreachable!("tree nodes are gates"),
+    };
+    let mut fp = Fingerprint::tagged(tag ^ ((tokens.len() as u64) << 16));
+    for t in tokens {
+        fp.absorb(*t);
+    }
+    fp
+}
 
 /// A child of a tree node.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -72,6 +178,111 @@ impl Tree {
             .map(|n| n.children.len())
             .max()
             .unwrap_or(0)
+    }
+
+    /// Computes the tree's canonical structural [`Fingerprint`] without
+    /// modifying the tree.
+    ///
+    /// Children are hashed as a *sorted* token multiset, so any
+    /// permutation of a node's children — and any renaming of leaf
+    /// signals — yields the same fingerprint; operations and edge
+    /// polarities are preserved. See [`Fingerprint`] for the exact
+    /// equivalence.
+    pub fn fingerprint(&self) -> Fingerprint {
+        self.fingerprint_with(&mut FingerprintScratch::default())
+    }
+
+    /// [`Tree::fingerprint`] with caller-owned scratch buffers, for
+    /// tight loops over many (typically small) trees where the two
+    /// allocations per call would dominate the hashing itself.
+    pub fn fingerprint_with(&self, scratch: &mut FingerprintScratch) -> Fingerprint {
+        let FingerprintScratch { fps, tokens } = scratch;
+        fps.clear();
+        fps.reserve(self.nodes.len());
+        for node in &self.nodes {
+            tokens.clear();
+            tokens.extend(node.children.iter().map(|c| child_token(fps, c)));
+            tokens.sort_unstable();
+            fps.push(node_fingerprint(node.op, tokens));
+        }
+        fps[self.root_index()]
+    }
+
+    /// Rewrites the tree into its canonical form and returns its
+    /// [`Fingerprint`].
+    ///
+    /// Two transformations, both function-preserving:
+    ///
+    /// 1. every node's children are reordered by their structural token
+    ///    (AND/OR commute, so any child order computes the same
+    ///    function); ties keep their original relative order, which is
+    ///    irrelevant because equal tokens mean isomorphic sub-shapes;
+    /// 2. the node array is renumbered into the post-order walk of the
+    ///    reordered tree, so isomorphic trees end up with *identical*
+    ///    node arrays (up to leaf signal identities).
+    ///
+    /// After canonicalization the subset DP — whose tie-breaks depend on
+    /// child and node order — visits isomorphic trees identically, which
+    /// is what lets a cached `minmap` solution be replayed verbatim onto
+    /// any tree with the same fingerprint.
+    pub fn canonicalize(&mut self) -> Fingerprint {
+        // Pass 1: sort every node's children by structural token,
+        // recording each node's fingerprint.
+        let mut fps: Vec<Fingerprint> = Vec::with_capacity(self.nodes.len());
+        let mut keyed: Vec<(Fingerprint, TreeChild)> = Vec::new();
+        for i in 0..self.nodes.len() {
+            keyed.clear();
+            keyed.extend(
+                self.nodes[i]
+                    .children
+                    .iter()
+                    .map(|c| (child_token(&fps, c), *c)),
+            );
+            keyed.sort_by_key(|entry| entry.0);
+            for (slot, (_, child)) in keyed.iter().enumerate() {
+                self.nodes[i].children[slot] = *child;
+            }
+            let tokens: Vec<Fingerprint> = keyed.iter().map(|(t, _)| *t).collect();
+            fps.push(node_fingerprint(self.nodes[i].op, &tokens));
+        }
+        // Pass 2: renumber into the post-order walk of the sorted tree.
+        fn walk(nodes: &[TreeNode], i: usize, order: &mut Vec<usize>) {
+            for c in &nodes[i].children {
+                if let TreeChild::Node { index, .. } = c {
+                    walk(nodes, *index, order);
+                }
+            }
+            order.push(i);
+        }
+        let mut order = Vec::with_capacity(self.nodes.len());
+        walk(&self.nodes, self.root_index(), &mut order);
+        debug_assert_eq!(order.len(), self.nodes.len(), "every node is reachable");
+        let mut new_index = vec![0usize; self.nodes.len()];
+        for (new, &old) in order.iter().enumerate() {
+            new_index[old] = new;
+        }
+        let mut nodes = std::mem::take(&mut self.nodes);
+        let mut remapped: Vec<TreeNode> = order
+            .iter()
+            .map(|&old| {
+                std::mem::replace(
+                    &mut nodes[old],
+                    TreeNode {
+                        op: NodeOp::And,
+                        children: Vec::new(),
+                    },
+                )
+            })
+            .collect();
+        for node in &mut remapped {
+            for c in &mut node.children {
+                if let TreeChild::Node { index, .. } = c {
+                    *index = new_index[*index];
+                }
+            }
+        }
+        self.nodes = remapped;
+        fps[order[self.nodes.len() - 1]]
     }
 
     /// Splits every node with more than `threshold` children into a
@@ -246,6 +457,34 @@ impl Forest {
             .map(|t| t.split_wide_nodes(threshold))
             .sum()
     }
+
+    /// Applies [`Tree::canonicalize`] to every tree; returns the
+    /// fingerprints in tree order.
+    pub fn canonicalize(&mut self) -> Vec<Fingerprint> {
+        self.trees.iter_mut().map(Tree::canonicalize).collect()
+    }
+
+    /// Counts the forest's trees by structural shape.
+    ///
+    /// Returns `(fingerprint, count)` pairs sorted by descending count
+    /// (ties by fingerprint), so the head of the list is the forest's
+    /// most repeated shape. `Σ count == trees.len()`; the number of
+    /// entries is the number of *distinct* shapes — the fraction
+    /// `1 - entries / trees` predicts the hit rate of the mapper's
+    /// shape cache on this forest.
+    pub fn shape_histogram(&self) -> Vec<(Fingerprint, usize)> {
+        let mut counts: std::collections::HashMap<Fingerprint, usize> =
+            std::collections::HashMap::new();
+        let mut scratch = FingerprintScratch::default();
+        for tree in &self.trees {
+            *counts
+                .entry(tree.fingerprint_with(&mut scratch))
+                .or_insert(0) += 1;
+        }
+        let mut histogram: Vec<(Fingerprint, usize)> = counts.into_iter().collect();
+        histogram.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        histogram
+    }
 }
 
 /// Extracts the fanout-free tree rooted at `root` (a gate).
@@ -415,5 +654,127 @@ mod tests {
             // OR(!g1, a) with g1 = AND(!a, b) simplifies to a || !b.
             assert_eq!(t.eval(&leaf), av || !bv);
         }
+    }
+
+    /// Builds OR(AND(x, y), !z) with the AND's fanins in the given order
+    /// and the named primary inputs — the canonical specimen for the
+    /// fingerprint tests below.
+    fn specimen(names: [&str; 3], swap_and: bool) -> Tree {
+        let mut net = Network::new();
+        let x = net.add_input(names[0]);
+        let y = net.add_input(names[1]);
+        let z = net.add_input(names[2]);
+        let and_fanins = if swap_and {
+            vec![y.into(), x.into()]
+        } else {
+            vec![x.into(), y.into()]
+        };
+        let g = net.add_gate(NodeOp::And, and_fanins);
+        let r = net.add_gate(NodeOp::Or, vec![Signal::inverted(z), g.into()]);
+        net.add_output("o", r.into());
+        Forest::of(&net).trees.remove(0)
+    }
+
+    #[test]
+    fn fingerprint_ignores_child_order_and_leaf_names() {
+        let base = specimen(["a", "b", "c"], false);
+        let swapped = specimen(["a", "b", "c"], true);
+        let renamed = specimen(["p", "q", "r"], false);
+        assert_eq!(base.fingerprint(), swapped.fingerprint());
+        assert_eq!(base.fingerprint(), renamed.fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_sees_ops_and_polarity() {
+        let base = specimen(["a", "b", "c"], false);
+        // Flip the inverted leaf edge.
+        let mut straight = base.clone();
+        for n in &mut straight.nodes {
+            for c in &mut n.children {
+                if let TreeChild::Leaf(s) = c {
+                    if s.is_inverted() {
+                        *c = TreeChild::Leaf(!*s);
+                    }
+                }
+            }
+        }
+        assert_ne!(base.fingerprint(), straight.fingerprint());
+        // Swap the inner gate's operation.
+        let mut other_op = base.clone();
+        other_op.nodes[0].op = NodeOp::Or;
+        assert_ne!(base.fingerprint(), other_op.fingerprint());
+    }
+
+    #[test]
+    fn canonicalize_preserves_function_and_is_idempotent() {
+        let net = figure3_like();
+        let mut forest = Forest::of(&net);
+        let originals = forest.trees.clone();
+        let fps = forest.canonicalize();
+        let funcs = net.node_functions().unwrap();
+        for (tree, original) in forest.trees.iter().zip(&originals) {
+            for bits in 0..8u32 {
+                let leaf = |id: NodeId| funcs[id.index()].eval(bits);
+                assert_eq!(tree.eval(&leaf), original.eval(&leaf), "bits={bits:b}");
+            }
+        }
+        // Canonicalizing again is a no-op with the same fingerprints.
+        let mut again = forest.clone();
+        assert_eq!(again.canonicalize(), fps);
+        assert_eq!(again, forest);
+        // And the returned fingerprints match the non-mutating hash.
+        for (tree, fp) in forest.trees.iter().zip(&fps) {
+            assert_eq!(tree.fingerprint(), *fp);
+        }
+    }
+
+    #[test]
+    fn isomorphic_trees_canonicalize_to_identical_shapes() {
+        let mut a = specimen(["a", "b", "c"], false);
+        let mut b = specimen(["p", "q", "r"], true);
+        a.canonicalize();
+        b.canonicalize();
+        assert_eq!(a.nodes.len(), b.nodes.len());
+        for (na, nb) in a.nodes.iter().zip(&b.nodes) {
+            assert_eq!(na.op, nb.op);
+            assert_eq!(na.children.len(), nb.children.len());
+            for (ca, cb) in na.children.iter().zip(&nb.children) {
+                match (ca, cb) {
+                    (
+                        TreeChild::Node {
+                            index: ia,
+                            inverted: va,
+                        },
+                        TreeChild::Node {
+                            index: ib,
+                            inverted: vb,
+                        },
+                    ) => {
+                        assert_eq!(ia, ib);
+                        assert_eq!(va, vb);
+                    }
+                    (TreeChild::Leaf(sa), TreeChild::Leaf(sb)) => {
+                        assert_eq!(sa.is_inverted(), sb.is_inverted());
+                    }
+                    _ => panic!("child kinds diverged"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shape_histogram_groups_isomorphic_trees() {
+        let net = figure3_like();
+        let forest = Forest::of(&net);
+        // Trees a = OR(n, i2) and b = AND(n, i2) differ only in operation;
+        // n = AND(i0, i1) shares b's shape (2-input AND of leaves).
+        let hist = forest.shape_histogram();
+        assert_eq!(hist.len(), 2);
+        assert_eq!(hist[0].1, 2);
+        assert_eq!(hist[1].1, 1);
+        assert_eq!(
+            hist.iter().map(|(_, c)| c).sum::<usize>(),
+            forest.trees.len()
+        );
     }
 }

@@ -2,7 +2,8 @@
 //! report fields, tree accessors and error displays.
 
 use chortle::{
-    crf_network_cost, map_network, tree_lut_cost, Forest, MapOptions, Objective, TreeChild,
+    crf_network_cost, map_network, tree_lut_cost, CacheMode, Forest, MapOptions, Objective,
+    TreeChild,
 };
 use chortle_netlist::{Network, NodeOp, Signal};
 
@@ -19,23 +20,56 @@ fn demo_network() -> Network {
 
 #[test]
 fn options_builders_compose() {
-    let opts = MapOptions::new(5)
-        .with_split_threshold(12)
-        .with_depth_objective();
+    let opts = MapOptions::builder(5)
+        .split_threshold(12)
+        .expect("in range")
+        .objective(Objective::Depth)
+        .cache(CacheMode::Tree)
+        .build()
+        .expect("valid K");
     assert_eq!(opts.k, 5);
     assert_eq!(opts.split_threshold, 12);
     assert_eq!(opts.objective, Objective::Depth);
+    assert_eq!(opts.cache, CacheMode::Tree);
     assert_eq!(Objective::default(), Objective::Area);
+    assert_eq!(CacheMode::default(), CacheMode::Shared);
+}
+
+#[test]
+fn builder_rejects_out_of_range_knobs() {
+    assert!(MapOptions::builder(1).build().is_err());
+    assert!(MapOptions::builder(9).build().is_err());
+    assert!(MapOptions::builder(4).split_threshold(17).is_err());
+    assert!(MapOptions::builder(4).split_threshold(1).is_err());
+}
+
+// The deprecated panicking constructors stay behaviorally intact until
+// removal; this is their one remaining compatibility test.
+#[test]
+#[allow(deprecated)]
+fn deprecated_constructors_still_work() {
+    let opts = MapOptions::new(5)
+        .with_split_threshold(12)
+        .with_depth_objective()
+        .with_jobs(2);
+    assert_eq!(opts.k, 5);
+    assert_eq!(opts.split_threshold, 12);
+    assert_eq!(opts.objective, Objective::Depth);
+    assert_eq!(opts.jobs, 2);
+    assert_eq!(opts.cache, CacheMode::Shared);
+    assert!(MapOptions::try_new(9).is_err());
 }
 
 #[test]
 #[should_panic(expected = "K must be between 2 and 8")]
+#[allow(deprecated)]
 fn k_out_of_range_panics() {
     let _ = MapOptions::new(1);
 }
 
 #[test]
 #[should_panic(expected = "split threshold")]
+#[allow(deprecated)]
 fn threshold_out_of_range_panics() {
     let _ = MapOptions::new(4).with_split_threshold(17);
 }
@@ -43,7 +77,8 @@ fn threshold_out_of_range_panics() {
 #[test]
 fn report_fields_are_consistent() {
     let net = demo_network();
-    let mapped = map_network(&net, &MapOptions::new(3)).expect("maps");
+    let opts = MapOptions::builder(3).build().unwrap();
+    let mapped = map_network(&net, &opts).expect("maps");
     assert_eq!(mapped.report.luts, mapped.circuit.num_luts());
     assert_eq!(mapped.report.trees, 1);
     assert!(mapped.report.tree_nodes >= 2);
@@ -93,7 +128,7 @@ fn map_error_displays() {
 #[test]
 fn mapping_is_cloneable_and_debuggable() {
     let net = demo_network();
-    let mapped = map_network(&net, &MapOptions::new(4)).expect("maps");
+    let mapped = map_network(&net, &MapOptions::builder(4).build().unwrap()).expect("maps");
     let cloned = mapped.clone();
     assert_eq!(cloned.report.luts, mapped.report.luts);
     let dbg = format!("{:?}", cloned.report);

@@ -1,0 +1,245 @@
+//! Contracts of the cross-tree DP-result cache: canonical fingerprints
+//! capture structural isomorphism exactly, and no cache mode — at any
+//! worker count — may change a single bit of the mapped circuit or any
+//! work tally. Random cases come from the in-repo [`SplitMix64`]
+//! generator, so the suite runs fully offline.
+
+use chortle::{map_network, stats, CacheMode, Forest, MapOptions, Telemetry, Tree, TreeChild};
+use chortle_netlist::{Network, NodeId, NodeOp, Signal, SplitMix64};
+
+fn random_network(seed: u64, inputs: usize, gates: usize, max_arity: usize) -> Network {
+    let mut rng = SplitMix64::new(seed);
+    let mut net = Network::new();
+    let mut signals: Vec<Signal> = (0..inputs)
+        .map(|i| Signal::new(net.add_input(format!("i{i}"))))
+        .collect();
+    for g in 0..gates {
+        let arity = rng.next_range(2, max_arity + 1);
+        let mut fanins: Vec<Signal> = Vec::new();
+        let mut used = std::collections::HashSet::new();
+        let mut guard = 0;
+        while fanins.len() < arity && guard < 60 {
+            guard += 1;
+            let s = signals[rng.choose_index(&signals)];
+            if used.insert(s.node()) {
+                fanins.push(if rng.next_bool(1, 3) { !s } else { s });
+            }
+        }
+        if fanins.len() < 2 {
+            continue;
+        }
+        let op = if g % 2 == 0 { NodeOp::And } else { NodeOp::Or };
+        signals.push(Signal::new(net.add_gate(op, fanins)));
+    }
+    for o in 0..rng.next_range(1, 4) {
+        let s = signals[rng.choose_index(&signals)];
+        net.add_output(format!("o{o}"), if rng.next_bool(1, 4) { !s } else { s });
+    }
+    net
+}
+
+/// Builds a single random fanout-free tree.
+fn random_tree(seed: u64, leaves: usize, max_arity: usize) -> Tree {
+    let mut rng = SplitMix64::new(seed);
+    let mut net = Network::new();
+    let mut pool: Vec<Signal> = (0..leaves)
+        .map(|i| Signal::new(net.add_input(format!("i{i}"))))
+        .collect();
+    while pool.len() > 1 {
+        let take = rng.next_range(2, (max_arity + 1).min(pool.len() + 1));
+        let mut fanins = Vec::with_capacity(take);
+        for _ in 0..take {
+            let idx = rng.choose_index(&pool);
+            let mut s = pool.swap_remove(idx);
+            if rng.next_bool(1, 4) {
+                s = !s;
+            }
+            fanins.push(s);
+        }
+        let op = if rng.next_bool(1, 2) {
+            NodeOp::And
+        } else {
+            NodeOp::Or
+        };
+        pool.push(Signal::new(net.add_gate(op, fanins)));
+    }
+    net.add_output("z", pool[0]);
+    Forest::of(&net).trees.remove(0)
+}
+
+/// An isomorphic copy: every node's children reversed (a permutation the
+/// fingerprint must not see) and every leaf renamed to a fresh signal
+/// (identities the fingerprint must not see), polarities kept.
+fn permuted_renamed(tree: &Tree) -> Tree {
+    let mut copy = tree.clone();
+    for node in &mut copy.nodes {
+        node.children.reverse();
+        for c in &mut node.children {
+            if let TreeChild::Leaf(sig) = c {
+                let renamed = NodeId::from_index(sig.node().index() + 4096);
+                *c = TreeChild::Leaf(if sig.is_inverted() {
+                    Signal::inverted(renamed)
+                } else {
+                    Signal::new(renamed)
+                });
+            }
+        }
+    }
+    copy
+}
+
+#[test]
+fn fingerprints_match_exactly_the_isomorphic_pairs() {
+    let mut rng = SplitMix64::new(0xcace_0001);
+    for round in 0..64 {
+        let seed = rng.next_u64();
+        let tree = random_tree(seed, 4 + (seed % 9) as usize, 5);
+        let iso = permuted_renamed(&tree);
+        assert_eq!(
+            tree.fingerprint(),
+            iso.fingerprint(),
+            "permutation/renaming changed the fingerprint (round={round})"
+        );
+
+        // Canonicalizing both must produce bit-identical shapes — that is
+        // the property DP-result replay relies on.
+        let (mut a, mut b) = (tree.clone(), iso.clone());
+        a.canonicalize();
+        b.canonicalize();
+        assert_eq!(a.nodes.len(), b.nodes.len());
+        for (na, nb) in a.nodes.iter().zip(&b.nodes) {
+            assert_eq!(na.op, nb.op, "ops diverged (round={round})");
+            let ka: Vec<_> = na.children.iter().map(child_kind).collect();
+            let kb: Vec<_> = nb.children.iter().map(child_kind).collect();
+            assert_eq!(ka, kb, "shapes diverged (round={round})");
+        }
+
+        // Any structural mutation must (with overwhelming probability)
+        // change the fingerprint: flip one leaf's polarity.
+        let mut mutated = tree.clone();
+        'outer: for node in &mut mutated.nodes {
+            for c in &mut node.children {
+                if let TreeChild::Leaf(sig) = c {
+                    *c = TreeChild::Leaf(!*sig);
+                    break 'outer;
+                }
+            }
+        }
+        assert_ne!(
+            tree.fingerprint(),
+            mutated.fingerprint(),
+            "polarity flip kept the fingerprint (round={round})"
+        );
+    }
+}
+
+/// A child's shape-relevant content: `(is_leaf, node index or 0, edge
+/// polarity)` — everything except leaf identity.
+fn child_kind(c: &TreeChild) -> (bool, usize, bool) {
+    match *c {
+        TreeChild::Node { index, inverted } => (false, index, inverted),
+        TreeChild::Leaf(sig) => (true, 0, sig.is_inverted()),
+    }
+}
+
+/// Maps `net` under the given cache mode and worker count, returning the
+/// mapping plus the telemetry counters that tally *work* (the
+/// configuration echo `cache.shards` and the `cache.*` hit statistics
+/// exist only when caching is on, so they are excluded from the
+/// cross-mode comparison).
+fn map_with(
+    net: &Network,
+    k: usize,
+    jobs: usize,
+    cache: CacheMode,
+) -> (chortle::Mapping, Vec<(String, u64)>) {
+    let telemetry = Telemetry::enabled();
+    let options = MapOptions::builder(k)
+        .jobs(jobs)
+        .cache(cache)
+        .telemetry(telemetry.clone())
+        .build()
+        .expect("valid options");
+    let mapping = map_network(net, &options).expect("maps");
+    let counters = telemetry
+        .snapshot()
+        .counters
+        .iter()
+        .filter(|c| !c.name.starts_with("cache."))
+        .map(|c| (c.name.clone(), c.value))
+        .collect();
+    (mapping, counters)
+}
+
+#[test]
+fn every_cache_mode_is_bit_identical_at_every_worker_count() {
+    let mut rng = SplitMix64::new(0xcace_0002);
+    for round in 0..6 {
+        let net = random_network(rng.next_u64(), 8, 24, 5);
+        for k in 2..=6 {
+            let (reference, ref_counters) = map_with(&net, k, 1, CacheMode::Off);
+            for jobs in [1, 2, 8] {
+                for cache in [CacheMode::Off, CacheMode::Tree, CacheMode::Shared] {
+                    let (mapping, counters) = map_with(&net, k, jobs, cache);
+                    assert_eq!(
+                        reference.circuit, mapping.circuit,
+                        "circuit diverged (round={round} k={k} jobs={jobs} {cache:?})"
+                    );
+                    assert_eq!(
+                        reference.report, mapping.report,
+                        "report diverged (round={round} k={k} jobs={jobs} {cache:?})"
+                    );
+                    assert_eq!(
+                        ref_counters, counters,
+                        "work tallies diverged (round={round} k={k} jobs={jobs} {cache:?})"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn cache_counters_add_up() {
+    // On a forest with repeated shapes, hits + misses == trees, misses ==
+    // distinct (shape, depth) keys, and every hit replays whole LUTs.
+    let net = random_network(0xcace_0003, 8, 30, 4);
+    let telemetry = Telemetry::enabled();
+    let options = MapOptions::builder(4)
+        .telemetry(telemetry.clone())
+        .build()
+        .unwrap();
+    map_network(&net, &options).expect("maps");
+    let report = telemetry.snapshot();
+    let hits = report.counter(stats::CACHE_HITS).expect("hits reported");
+    let misses = report
+        .counter(stats::CACHE_MISSES)
+        .expect("misses reported");
+    let trees = report.counter(stats::MAP_TREES).unwrap();
+    assert_eq!(hits + misses, trees);
+    assert!(misses >= 1, "at least one shape must be computed");
+    if hits > 0 {
+        assert!(report.counter(stats::CACHE_REPLAYED_LUTS).unwrap() >= hits);
+    }
+
+    // Mode Off reports no cache counters at all.
+    let telemetry = Telemetry::enabled();
+    let options = MapOptions::builder(4)
+        .cache(CacheMode::Off)
+        .telemetry(telemetry.clone())
+        .build()
+        .unwrap();
+    map_network(&net, &options).expect("maps");
+    let report = telemetry.snapshot();
+    for counter in [
+        stats::CACHE_HITS,
+        stats::CACHE_MISSES,
+        stats::CACHE_SHARDS,
+        stats::CACHE_REPLAYED_LUTS,
+    ] {
+        assert!(
+            report.counter(counter).is_none(),
+            "{counter} with cache off"
+        );
+    }
+}

@@ -4,7 +4,7 @@
 //! the identical [`MapReport`]. Randomized networks come from the in-repo
 //! [`SplitMix64`] generator, so the suite runs fully offline.
 
-use chortle::{map_network, MapOptions};
+use chortle::{map_network, MapOptions, Objective};
 use chortle_netlist::{check_equivalence, Network, NodeOp, Signal, SplitMix64};
 
 fn random_network(seed: u64, inputs: usize, gates: usize, max_arity: usize) -> Network {
@@ -45,12 +45,17 @@ fn parallel_mapping_is_bit_identical_across_k_and_objectives() {
         let net = random_network(rng.next_u64(), 8, 18, 5);
         for k in 2..=5 {
             for base in [
-                MapOptions::new(k),
-                MapOptions::new(k).with_depth_objective(),
+                MapOptions::builder(k).build().unwrap(),
+                MapOptions::builder(k)
+                    .objective(Objective::Depth)
+                    .build()
+                    .unwrap(),
             ] {
                 let seq = map_network(&net, &base).unwrap();
                 for jobs in [2, 4] {
-                    let par = map_network(&net, &base.clone().with_jobs(jobs)).unwrap();
+                    let mut with_jobs = base.clone();
+                    with_jobs.jobs = jobs;
+                    let par = map_network(&net, &with_jobs).unwrap();
                     assert_eq!(
                         seq.report, par.report,
                         "report diverged (k={k} jobs={jobs} {:?})",
@@ -74,7 +79,8 @@ fn parallel_mapping_is_equivalent_to_the_source_network() {
         let net = random_network(rng.next_u64(), 7, 14, 5);
         let k = rng.next_range(2, 7);
         let jobs = rng.next_range(2, 9);
-        let mapped = map_network(&net, &MapOptions::new(k).with_jobs(jobs)).unwrap();
+        let mapped =
+            map_network(&net, &MapOptions::builder(k).jobs(jobs).build().unwrap()).unwrap();
         check_equivalence(&net, &mapped.circuit).unwrap();
         assert!(mapped.circuit.luts().iter().all(|l| l.utilization() <= k));
     }
@@ -86,8 +92,8 @@ fn oversubscribed_workers_are_harmless() {
     let mut rng = SplitMix64::new(0x9a11_0003);
     for _ in 0..8 {
         let net = random_network(rng.next_u64(), 6, 8, 4);
-        let seq = map_network(&net, &MapOptions::new(4)).unwrap();
-        let par = map_network(&net, &MapOptions::new(4).with_jobs(64)).unwrap();
+        let seq = map_network(&net, &MapOptions::builder(4).build().unwrap()).unwrap();
+        let par = map_network(&net, &MapOptions::builder(4).jobs(64).build().unwrap()).unwrap();
         assert_eq!(seq.circuit, par.circuit);
         assert_eq!(seq.report, par.report);
     }

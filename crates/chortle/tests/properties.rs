@@ -7,7 +7,7 @@
 //! and reproduces bit-for-bit.
 
 use chortle::reference::reference_tree_cost;
-use chortle::{map_network, tree_lut_cost, Forest, MapOptions};
+use chortle::{map_network, tree_lut_cost, Forest, MapOptions, Objective};
 use chortle_netlist::{check_equivalence, Network, NodeOp, Signal, SplitMix64};
 
 fn random_network(seed: u64, inputs: usize, gates: usize, max_arity: usize) -> Network {
@@ -76,7 +76,7 @@ fn mapping_is_always_equivalent() {
     for _ in 0..64 {
         let net = random_network(rng.next_u64(), 7, 14, 5);
         let k = rng.next_range(2, 7);
-        let mapped = map_network(&net, &MapOptions::new(k)).unwrap();
+        let mapped = map_network(&net, &MapOptions::builder(k).build().unwrap()).unwrap();
         check_equivalence(&net, &mapped.circuit).unwrap();
         assert!(mapped.circuit.luts().iter().all(|l| l.utilization() <= k));
         assert_eq!(mapped.report.luts, mapped.circuit.num_luts());
@@ -108,7 +108,7 @@ fn lut_count_monotone_in_k() {
         let net = random_network(rng.next_u64(), 7, 12, 5);
         let mut last = usize::MAX;
         for k in 2..=7 {
-            let mapped = map_network(&net, &MapOptions::new(k)).unwrap();
+            let mapped = map_network(&net, &MapOptions::builder(k).build().unwrap()).unwrap();
             assert!(mapped.report.luts <= last);
             last = mapped.report.luts;
         }
@@ -123,8 +123,24 @@ fn splitting_never_beats_exhaustive() {
     for _ in 0..64 {
         let net = random_network(rng.next_u64(), 8, 10, 7);
         let k = rng.next_range(2, 6);
-        let fine = map_network(&net, &MapOptions::new(k).with_split_threshold(16)).unwrap();
-        let coarse = map_network(&net, &MapOptions::new(k).with_split_threshold(2)).unwrap();
+        let fine = map_network(
+            &net,
+            &MapOptions::builder(k)
+                .split_threshold(16)
+                .unwrap()
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        let coarse = map_network(
+            &net,
+            &MapOptions::builder(k)
+                .split_threshold(2)
+                .unwrap()
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
         assert!(fine.report.luts <= coarse.report.luts);
         check_equivalence(&net, &coarse.circuit).unwrap();
     }
@@ -171,8 +187,8 @@ fn mapping_unsimplified_equals_mapping_simplified() {
     let mut rng = SplitMix64::new(0xc0_0007);
     for _ in 0..64 {
         let net = random_network(rng.next_u64(), 6, 10, 4);
-        let a = map_network(&net, &MapOptions::new(4)).unwrap();
-        let b = map_network(&net.simplified(), &MapOptions::new(4)).unwrap();
+        let a = map_network(&net, &MapOptions::builder(4).build().unwrap()).unwrap();
+        let b = map_network(&net.simplified(), &MapOptions::builder(4).build().unwrap()).unwrap();
         assert_eq!(a.report.luts, b.report.luts);
     }
 }
@@ -183,8 +199,15 @@ fn depth_objective_is_equivalent_and_shallower() {
     for _ in 0..48 {
         let net = random_network(rng.next_u64(), 7, 14, 5);
         let k = rng.next_range(2, 6);
-        let area = map_network(&net, &MapOptions::new(k)).unwrap();
-        let depth = map_network(&net, &MapOptions::new(k).with_depth_objective()).unwrap();
+        let area = map_network(&net, &MapOptions::builder(k).build().unwrap()).unwrap();
+        let depth = map_network(
+            &net,
+            &MapOptions::builder(k)
+                .objective(Objective::Depth)
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
         check_equivalence(&net, &depth.circuit).unwrap();
         // Depth mode minimizes every tree's output depth given minimal
         // leaf depths, so the whole circuit can never end up deeper.
@@ -205,8 +228,9 @@ fn duplication_best_is_equivalent_and_no_worse() {
     for _ in 0..48 {
         let net = random_network(rng.next_u64(), 6, 10, 4);
         let k = rng.next_range(2, 6);
-        let plain = map_network(&net, &MapOptions::new(k)).unwrap();
-        let best = chortle::map_network_best(&net, &MapOptions::new(k)).unwrap();
+        let plain = map_network(&net, &MapOptions::builder(k).build().unwrap()).unwrap();
+        let best =
+            chortle::map_network_best(&net, &MapOptions::builder(k).build().unwrap()).unwrap();
         check_equivalence(&net, &best.circuit).unwrap();
         assert!(best.report.luts <= plain.report.luts);
     }

@@ -92,6 +92,7 @@ fn mapper_reports_every_documented_stage_and_counter() {
         stats::STAGE_NORMALIZE,
         stats::STAGE_FOREST,
         stats::STAGE_SPLIT,
+        stats::STAGE_CANON,
         stats::STAGE_DP,
         stats::STAGE_EMIT,
     ] {
@@ -110,6 +111,10 @@ fn mapper_reports_every_documented_stage_and_counter() {
         stats::DP_SCRATCH_GROWS,
         stats::MAP_NODES_SPLIT,
         stats::MAP_TREES,
+        stats::CACHE_HITS,
+        stats::CACHE_MISSES,
+        stats::CACHE_SHARDS,
+        stats::CACHE_REPLAYED_LUTS,
     ] {
         assert!(
             report.counter(counter).is_some(),
@@ -131,8 +136,19 @@ fn counters_are_identical_for_any_worker_count() {
         let baseline = mapped_report(&net, k, 1);
         for jobs in [2, 8] {
             let parallel = mapped_report(&net, k, jobs);
+            // `cache.shards` is a configuration echo (shard count of the
+            // store actually used), not a work tally, so it is the one
+            // counter allowed to vary with the worker count.
+            let tallies = |r: &chortle::MapStats| {
+                r.counters
+                    .iter()
+                    .filter(|c| c.name != stats::CACHE_SHARDS)
+                    .map(|c| (c.name.clone(), c.value))
+                    .collect::<Vec<_>>()
+            };
             assert_eq!(
-                baseline.counters, parallel.counters,
+                tallies(&baseline),
+                tallies(&parallel),
                 "counters diverged (round={round} k={k} jobs={jobs})"
             );
         }
@@ -160,7 +176,10 @@ fn wavefront_occupancy_is_consistent() {
 #[test]
 fn disabled_telemetry_reports_nothing() {
     let telemetry = Telemetry::disabled();
-    let options = MapOptions::new(4).with_telemetry(telemetry.clone());
+    let options = MapOptions::builder(4)
+        .telemetry(telemetry.clone())
+        .build()
+        .unwrap();
     map_network(&layered_network(), &options).expect("maps");
     let report = telemetry.snapshot();
     assert!(!report.enabled);

@@ -23,7 +23,7 @@
 //! .end
 //! ";
 //! let mut options = FlowOptions::default();
-//! options.map = MapOptions::new(4); // mapper knobs live in the core type
+//! options.map = MapOptions::builder(4).build()?; // mapper knobs live in the core type
 //! let result = run_flow(blif, &options)?;
 //! assert_eq!(result.luts, 1);
 //! assert!(result.output_blif.contains(".names"));
@@ -46,12 +46,12 @@ use chortle_netlist::{
 // One import serves downstream users: the core mapper types ride along
 // with the flow API.
 pub use chortle::{
-    map_network, MapError, MapOptions, MapOptionsBuilder, MapReport, MapStats, Mapping, Objective,
-    Telemetry,
+    map_network, CacheMode, Fingerprint, MapError, MapOptions, MapOptionsBuilder, MapReport,
+    MapStats, Mapping, Objective, Telemetry,
 };
 
 /// Names of the flow-level stages [`run_flow`] reports into the sink
-/// attached via [`MapOptions::with_telemetry`] (nested mapper and
+/// attached via [`MapOptionsBuilder::telemetry`] (nested mapper and
 /// optimizer stages use the `map.*` / `dp.*` / `opt.*` names — see
 /// [`chortle::stats`] and [`chortle_logic_opt::stats`]).
 pub mod stats {
@@ -113,7 +113,9 @@ pub struct FlowOptions {
 impl Default for FlowOptions {
     fn default() -> Self {
         FlowOptions {
-            map: MapOptions::new(4),
+            map: MapOptions::builder(4)
+                .build()
+                .expect("the default K is valid"),
             mapper: Mapper::Chortle,
             optimize: true,
             verify: true,
@@ -135,6 +137,12 @@ pub struct FlowResult {
     pub lut_stats: LutStats,
     /// The mapped circuit serialized in the requested format.
     pub output_blif: String,
+    /// The forest's `(shape fingerprint, tree count)` pairs, most common
+    /// first — [`chortle::Forest::shape_histogram`] of the forest the
+    /// Chortle mapper saw. `1 - distinct/total` bounds the DP cache's hit
+    /// rate. Populated only when telemetry is attached and the Chortle
+    /// mapper ran; empty otherwise.
+    pub shape_histogram: Vec<(Fingerprint, usize)>,
 }
 
 /// Errors of the end-to-end flow.
@@ -221,6 +229,18 @@ pub fn run_flow(blif: &str, options: &FlowOptions) -> Result<FlowResult, FlowErr
         parsed
     };
 
+    // The shape histogram reproduces the forest the mapper sees (same
+    // normalization and splitting), so its distinct-shape count predicts
+    // the DP cache's hit rate exactly. Only computed when someone is
+    // watching: it re-extracts the forest.
+    let shape_histogram = if telemetry.is_enabled() && options.mapper == Mapper::Chortle {
+        let mut forest = chortle::Forest::of(&network.simplified());
+        forest.split_wide_nodes(options.map.split_threshold.max(options.map.k));
+        forest.shape_histogram()
+    } else {
+        Vec::new()
+    };
+
     let circuit = {
         let _s = telemetry.span(stats::STAGE_MAP);
         match options.mapper {
@@ -254,6 +274,7 @@ pub fn run_flow(blif: &str, options: &FlowOptions) -> Result<FlowResult, FlowErr
         network_stats: NetworkStats::of(&network),
         lut_stats,
         output_blif: rendered,
+        shape_histogram,
     })
 }
 
@@ -286,7 +307,7 @@ mod tests {
     fn mis_flow_also_works() {
         let options = FlowOptions {
             mapper: Mapper::Mis,
-            map: MapOptions::new(3),
+            map: MapOptions::builder(3).build().unwrap(),
             ..FlowOptions::default()
         };
         let result = run_flow(DEMO, &options).expect("flow runs");
@@ -314,7 +335,7 @@ mod tests {
         let err = run_flow(
             DEMO,
             &FlowOptions {
-                map: MapOptions::new(7),
+                map: MapOptions::builder(7).build().unwrap(),
                 mapper: Mapper::Mis,
                 ..FlowOptions::default()
             },
@@ -327,7 +348,10 @@ mod tests {
     fn flow_reports_telemetry_when_attached() {
         let telemetry = Telemetry::enabled();
         let options = FlowOptions {
-            map: MapOptions::new(4).with_telemetry(telemetry.clone()),
+            map: MapOptions::builder(4)
+                .telemetry(telemetry.clone())
+                .build()
+                .unwrap(),
             ..FlowOptions::default()
         };
         run_flow(DEMO, &options).expect("flow runs");

@@ -14,7 +14,7 @@
 use std::io::Read;
 use std::process::ExitCode;
 
-use chortle_cli::{run_flow, FlowOptions, MapOptions, Mapper, OutputFormat, Telemetry};
+use chortle_cli::{run_flow, CacheMode, FlowOptions, MapOptions, Mapper, OutputFormat, Telemetry};
 
 /// One command-line flag: its spelling(s), value placeholder (None for
 /// booleans), and help text. The table is the single source of truth for
@@ -62,6 +62,12 @@ const FLAGS: &[Flag] = &[
         alias: None,
         value: Some("N"),
         help: "mapper worker threads; 0 = all cores (default 1)",
+    },
+    Flag {
+        name: "--cache",
+        alias: None,
+        value: Some("MODE"),
+        help: "DP-result cache: shared (default), tree, or off",
     },
     Flag {
         name: "--format",
@@ -169,6 +175,7 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Option<Cli>, CliErro
     let mut k = 4usize;
     let mut split = 10usize;
     let mut jobs = 1usize;
+    let mut cache = CacheMode::default();
     let mut depth_objective = false;
     let mut cli = Cli {
         options: FlowOptions::default(),
@@ -242,6 +249,19 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Option<Cli>, CliErro
                     CliError::invalid("--jobs", format!("{value:?} is not an integer"))
                 })?;
             }
+            "--cache" => {
+                cache = match value.as_str() {
+                    "off" => CacheMode::Off,
+                    "tree" => CacheMode::Tree,
+                    "shared" => CacheMode::Shared,
+                    other => {
+                        return Err(CliError::invalid(
+                            "--cache",
+                            format!("{other:?} (expected off, tree or shared)"),
+                        ))
+                    }
+                };
+            }
             "--format" => {
                 cli.options.format = match value.as_str() {
                     "blif" => OutputFormat::Blif,
@@ -282,7 +302,7 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Option<Cli>, CliErro
         }
     }
 
-    let mut builder = MapOptions::builder(k).jobs(jobs);
+    let mut builder = MapOptions::builder(k).jobs(jobs).cache(cache);
     if depth_objective {
         builder = builder.objective(chortle_cli::Objective::Depth);
     }
@@ -295,6 +315,28 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Option<Cli>, CliErro
         .build()
         .map_err(|e| CliError::invalid("-k", e))?;
     Ok(Some(cli))
+}
+
+/// Renders the forest's shape histogram (most repeated shapes first,
+/// top 8) after the text report. `1 - distinct/trees` is the best hit
+/// rate the DP cache can reach on this forest.
+fn print_shape_histogram(histogram: &[(chortle_cli::Fingerprint, usize)]) {
+    if histogram.is_empty() {
+        return;
+    }
+    let trees: usize = histogram.iter().map(|(_, c)| c).sum();
+    println!(
+        "shapes: {} distinct across {} trees (max cache hit rate {}%)",
+        histogram.len(),
+        trees,
+        (trees - histogram.len()) * 100 / trees
+    );
+    for (fp, count) in histogram.iter().take(8) {
+        println!("  {count:>5}x {fp}");
+    }
+    if histogram.len() > 8 {
+        println!("  ... {} more shapes", histogram.len() - 8);
+    }
 }
 
 fn main() -> ExitCode {
@@ -343,7 +385,10 @@ fn main() -> ExitCode {
         let report = cli.options.map.telemetry.snapshot();
         match format {
             ReportFormat::Json => println!("{}", report.to_json()),
-            ReportFormat::Text => print!("{}", report.to_text()),
+            ReportFormat::Text => {
+                print!("{}", report.to_text());
+                print_shape_histogram(&result.shape_histogram);
+            }
         }
     }
 

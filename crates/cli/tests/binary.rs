@@ -132,7 +132,14 @@ fn help_prints_usage() {
     assert!(ok);
     assert!(stdout.contains("chortle-map"));
     // Every table flag shows up in the generated help.
-    for flag in ["-k", "--mapper", "--report", "--jobs", "--version"] {
+    for flag in [
+        "-k",
+        "--mapper",
+        "--report",
+        "--jobs",
+        "--cache",
+        "--version",
+    ] {
         assert!(stdout.contains(flag), "help lost {flag}");
     }
 }
@@ -163,6 +170,9 @@ fn invalid_values_name_the_flag() {
     let (_, stderr, ok) = run(&["--report", "xml"], DEMO);
     assert!(!ok);
     assert!(stderr.contains("invalid value for --report"), "{stderr}");
+    let (_, stderr, ok) = run(&["--cache", "ram"], DEMO);
+    assert!(!ok);
+    assert!(stderr.contains("invalid value for --cache"), "{stderr}");
 }
 
 /// A Figure-1-style network: `g2` and `g3` fan out, so the forest has
@@ -186,6 +196,21 @@ const FIGURE: &str = "\
 10 1
 .end
 ";
+
+#[test]
+fn cache_modes_do_not_change_the_circuit() {
+    let (reference, _, ok) = run(&["-k", "3", "--cache", "off"], FIGURE);
+    assert!(ok);
+    for args in [
+        &["-k", "3", "--cache", "tree"][..],
+        &["-k", "3", "--cache", "shared"],
+        &["-k", "3", "--cache", "shared", "--jobs", "4"],
+    ] {
+        let (stdout, _, ok) = run(args, FIGURE);
+        assert!(ok);
+        assert_eq!(reference, stdout, "{args:?} changed the circuit");
+    }
+}
 
 #[test]
 fn report_json_is_schema_valid_and_owns_stdout() {
@@ -217,6 +242,9 @@ fn report_text_is_human_readable() {
     assert!(ok);
     assert!(stdout.contains("stages"), "{stdout}");
     assert!(stdout.contains("flow.map"), "{stdout}");
+    // The Chortle report ends with the forest's shape histogram.
+    assert!(stdout.contains("shapes:"), "{stdout}");
+    assert!(stdout.contains("distinct across"), "{stdout}");
 }
 
 #[test]

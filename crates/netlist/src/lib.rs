@@ -56,7 +56,7 @@ pub use dot::{lut_circuit_to_dot, network_to_dot};
 pub use error::{LutError, NetworkError, ParseBlifError};
 pub use lut::{Lut, LutCircuit, LutId, LutOutput, LutSource};
 pub use network::{Network, Node, NodeId, NodeOp, Output, Signal};
-pub use rng::SplitMix64;
+pub use rng::{mix64, SplitMix64};
 pub use sim::{simulate, simulate_outputs};
 pub use stats::{LutStats, NetworkStats};
 pub use truth_table::{TruthTable, MAX_VARS};

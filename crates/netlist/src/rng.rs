@@ -5,6 +5,29 @@
 //! evolving `rand` API this crate ships the SplitMix64 generator — a small,
 //! well-studied mixer with a 64-bit state (Steele, Lea & Flood, OOPSLA'14).
 
+/// The SplitMix64 finalizer: a fixed bijective mixer of 64 bits.
+///
+/// This is the stateless core of [`SplitMix64`]: every input bit affects
+/// every output bit (full avalanche), and the map is invertible, so it
+/// doubles as a high-quality hash-combining step for structural
+/// fingerprints.
+///
+/// # Examples
+///
+/// ```
+/// use chortle_netlist::mix64;
+///
+/// assert_ne!(mix64(1), mix64(2));
+/// assert_eq!(mix64(42), mix64(42));
+/// ```
+#[must_use]
+pub const fn mix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 /// A SplitMix64 pseudo-random number generator.
 ///
 /// # Examples
@@ -32,11 +55,9 @@ impl SplitMix64 {
 
     /// Next 64 uniformly distributed bits.
     pub fn next_u64(&mut self) -> u64 {
+        let out = mix64(self.state);
         self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        let mut z = self.state;
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^ (z >> 31)
+        out
     }
 
     /// A uniform value in `0..bound`.

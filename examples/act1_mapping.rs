@@ -18,7 +18,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for name in ["9symml", "alu2", "apex7", "count", "frg1"] {
         let raw = benchmark(name).expect("known benchmark");
         let (net, _) = optimize(&raw)?;
-        let luts = map_network(&net, &MapOptions::new(4))?;
+        let luts = map_network(&net, &MapOptions::builder(4).build()?)?;
         let modules = lib_map(&net, &act1, &MisOptions::new(ACT1_MAX_VARS))?;
         check_equivalence(&net, &modules.circuit)?;
         println!(

@@ -31,7 +31,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let mis = mis_map(&net, &lib, &MisOptions::new(k).with_fanout_duplication())?;
         let t_mis = t0.elapsed();
         let t1 = Instant::now();
-        let ch = map_network(&net, &MapOptions::new(k))?;
+        let ch = map_network(&net, &MapOptions::builder(k).build()?)?;
         let t_ch = t1.elapsed();
         check_equivalence(&net, &mis.circuit)?;
         check_equivalence(&net, &ch.circuit)?;

@@ -17,7 +17,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for name in ["9symml", "alu2", "alu4", "apex7", "count", "frg1", "k2"] {
         let raw = benchmark(name).expect("known benchmark");
         let (net, _) = optimize(&raw)?;
-        let mapped = map_network(&net, &MapOptions::new(4))?;
+        let mapped = map_network(&net, &MapOptions::builder(4).build()?)?;
         let packing = pack_clbs(&mapped.circuit, &ClbOptions::xc3000());
         let luts = mapped.report.luts;
         let clbs = packing.block_count();

@@ -11,7 +11,7 @@ use chortle_netlist::LutSource;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Figure 1 / Figure 2: a five-input network mapped into three 3-LUTs.
     let net = figure1_network();
-    let mapped = map_network(&net, &MapOptions::new(3))?;
+    let mapped = map_network(&net, &MapOptions::builder(3).build()?)?;
     println!(
         "Figure 1 network: {} gates over inputs a..e",
         net.num_gates()
@@ -53,7 +53,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let fig7 = figure7_network();
     println!("\nFigure 7: a 6-input OR node under different K");
     for k in [2usize, 3, 4, 5, 6] {
-        let m = map_network(&fig7, &MapOptions::new(k))?;
+        let m = map_network(&fig7, &MapOptions::builder(k).build()?)?;
         println!("  K={k}: {} LUTs", m.report.luts);
     }
     Ok(())

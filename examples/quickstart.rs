@@ -27,7 +27,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // Map into 4-input lookup tables.
-    let mapped = map_network(&net, &MapOptions::new(4))?;
+    let mapped = map_network(&net, &MapOptions::builder(4).build()?)?;
     println!(
         "Mapped into {} LUTs across {} fanout-free trees",
         mapped.report.luts, mapped.report.trees

@@ -6,7 +6,7 @@
 //!
 //! Run with `cargo run -p chortle --example sweep_k --release`.
 
-use chortle::{map_network, MapOptions};
+use chortle::{map_network, MapOptions, Objective};
 use chortle_circuits::benchmark;
 use chortle_logic_opt::optimize;
 use chortle_netlist::LutStats;
@@ -24,8 +24,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "K", "LUTs", "depth", "utilization", "d-depth", "d-LUTs"
         );
         for k in 2..=8 {
-            let area = map_network(&net, &MapOptions::new(k))?;
-            let depth = map_network(&net, &MapOptions::new(k).with_depth_objective())?;
+            let area = map_network(&net, &MapOptions::builder(k).build()?)?;
+            let depth = map_network(
+                &net,
+                &MapOptions::builder(k).objective(Objective::Depth).build()?,
+            )?;
             let stats = LutStats::of(&area.circuit);
             println!(
                 "  {:<4} {:>7} {:>7} {:>9}.{:02} {:>9} {:>9}",

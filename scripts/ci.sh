@@ -24,9 +24,24 @@ fi
 echo "==> cargo test -q"
 cargo test -q
 
+smoke_blif='.model smoke\n.inputs a b c\n.outputs y\n.names a b t\n11 1\n.names t c y\n1- 1\n-1 1\n.end\n'
+
 echo "==> telemetry report smoke (--report json | report-check)"
-printf '.model smoke\n.inputs a b c\n.outputs y\n.names a b t\n11 1\n.names t c y\n1- 1\n-1 1\n.end\n' \
-  | cargo run -q -p chortle-cli --bin chortle-map -- --report json --jobs 2 \
-  | cargo run -q -p chortle-cli --bin report-check
+report="$(printf "$smoke_blif" \
+  | cargo run -q -p chortle-cli --bin chortle-map -- --report json --jobs 2)"
+printf '%s\n' "$report" | cargo run -q -p chortle-cli --bin report-check
+printf '%s' "$report" | grep -q '"cache.hits"' \
+  || { echo "ci: report is missing the cache counters" >&2; exit 1; }
+
+echo "==> cache identity smoke (--cache off vs shared, jobs 1 vs 4)"
+ref="$(printf "$smoke_blif" \
+  | cargo run -q -p chortle-cli --bin chortle-map -- --cache off)"
+for mode_jobs in "tree 1" "shared 1" "shared 4"; do
+  set -- $mode_jobs
+  out="$(printf "$smoke_blif" \
+    | cargo run -q -p chortle-cli --bin chortle-map -- --cache "$1" --jobs "$2")"
+  [[ "$out" == "$ref" ]] \
+    || { echo "ci: --cache $1 --jobs $2 changed the circuit" >&2; exit 1; }
+done
 
 echo "ci: all green"

@@ -32,7 +32,7 @@ fn chortle_maps_all_test_circuits_at_every_k() {
         let net = benchmark(name).expect("known");
         let (optimized, _) = optimize(&net).expect("acyclic");
         for k in 2..=5 {
-            let mapped = map_network(&optimized, &MapOptions::new(k))
+            let mapped = map_network(&optimized, &MapOptions::builder(k).build().unwrap())
                 .unwrap_or_else(|e| panic!("{name} K={k}: {e}"));
             check_equivalence(&optimized, &mapped.circuit)
                 .unwrap_or_else(|e| panic!("{name} K={k}: {e}"));
@@ -63,7 +63,8 @@ fn chortle_lut_count_is_monotone_in_k() {
         let (optimized, _) = optimize(&net).expect("acyclic");
         let mut last = usize::MAX;
         for k in 2..=6 {
-            let mapped = map_network(&optimized, &MapOptions::new(k)).expect("maps");
+            let mapped =
+                map_network(&optimized, &MapOptions::builder(k).build().unwrap()).expect("maps");
             assert!(
                 mapped.report.luts <= last,
                 "{name}: K={k} used more LUTs than K={}",
@@ -106,7 +107,7 @@ fn mapped_circuits_report_sane_stats() {
     let net = benchmark("alu4").expect("known");
     let (optimized, _) = optimize(&net).expect("acyclic");
     let before = NetworkStats::of(&optimized);
-    let mapped = map_network(&optimized, &MapOptions::new(4)).expect("maps");
+    let mapped = map_network(&optimized, &MapOptions::builder(4).build().unwrap()).expect("maps");
     let stats = LutStats::of(&mapped.circuit);
     assert_eq!(stats.luts, mapped.report.luts);
     assert!(stats.depth >= 1);
@@ -131,7 +132,7 @@ fn blif_roundtrip_of_mapped_circuit() {
     // tool would consume.
     let net = benchmark("alu2").expect("known");
     let (optimized, _) = optimize(&net).expect("acyclic");
-    let mapped = map_network(&optimized, &MapOptions::new(4)).expect("maps");
+    let mapped = map_network(&optimized, &MapOptions::builder(4).build().unwrap()).expect("maps");
     let text = chortle_netlist::write_lut_blif(&optimized, &mapped.circuit, "alu2_mapped");
     let reread = chortle_netlist::parse_blif(&text).expect("parses");
     check_networks(&optimized, &reread).expect("round trip preserves functions");
@@ -143,7 +144,7 @@ fn unoptimized_networks_also_map_correctly() {
     // output goes straight through `simplified()` inside the mappers.
     for name in ["alu2", "count"] {
         let net = benchmark(name).expect("known");
-        let mapped = map_network(&net, &MapOptions::new(4)).expect("maps");
+        let mapped = map_network(&net, &MapOptions::builder(4).build().unwrap()).expect("maps");
         check_equivalence(&net, &mapped.circuit).unwrap_or_else(|e| panic!("{name}: {e}"));
     }
 }

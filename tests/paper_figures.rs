@@ -8,7 +8,7 @@ use chortle_netlist::check_equivalence;
 #[test]
 fn figure1_and_2_network_maps_into_three_3luts() {
     let net = figure1_network();
-    let mapped = map_network(&net, &MapOptions::new(3)).expect("maps");
+    let mapped = map_network(&net, &MapOptions::builder(3).build().unwrap()).expect("maps");
     assert_eq!(
         mapped.report.luts, 3,
         "Figure 2 shows a 3-LUT implementation"
@@ -43,7 +43,7 @@ fn figure5_utilization_divisions_exist_for_k4() {
     let g = net.add_gate(NodeOp::And, vec![a.into(), b.into(), c.into()]);
     let z = net.add_gate(NodeOp::Or, vec![g.into(), d.into()]);
     net.add_output("z", z.into());
-    let mapped = map_network(&net, &MapOptions::new(4)).expect("maps");
+    let mapped = map_network(&net, &MapOptions::builder(4).build().unwrap()).expect("maps");
     assert_eq!(mapped.report.luts, 1);
     assert_eq!(mapped.circuit.luts()[0].utilization(), 4);
 }
@@ -63,7 +63,7 @@ fn figure6_child_root_lut_elimination() {
     );
     let z = net.add_gate(NodeOp::Or, vec![g1.into(), g2.into()]);
     net.add_output("z", z.into());
-    let mapped = map_network(&net, &MapOptions::new(4)).expect("maps");
+    let mapped = map_network(&net, &MapOptions::builder(4).build().unwrap()).expect("maps");
     assert_eq!(mapped.report.luts, 2);
     check_equivalence(&net, &mapped.circuit).expect("equivalent");
 }
@@ -74,7 +74,7 @@ fn figure7_decomposition_of_a_wide_node() {
     // 6-input node at K=4: must introduce an intermediate node (2 LUTs);
     // at K=6 one LUT suffices; at K=2 a full binary decomposition (5).
     for (k, expect) in [(2usize, 5usize), (4, 2), (6, 1)] {
-        let mapped = map_network(&net, &MapOptions::new(k)).expect("maps");
+        let mapped = map_network(&net, &MapOptions::builder(k).build().unwrap()).expect("maps");
         assert_eq!(mapped.report.luts, expect, "k={k}");
         check_equivalence(&net, &mapped.circuit).expect("equivalent");
     }
@@ -85,7 +85,7 @@ fn figure4_dynamic_programming_postorder_is_deterministic() {
     // The pseudo-code's postorder DP must be deterministic: mapping the
     // same network twice yields the identical circuit.
     let net = figure1_network();
-    let a = map_network(&net, &MapOptions::new(3)).expect("maps");
-    let b = map_network(&net, &MapOptions::new(3)).expect("maps");
+    let a = map_network(&net, &MapOptions::builder(3).build().unwrap()).expect("maps");
+    let b = map_network(&net, &MapOptions::builder(3).build().unwrap()).expect("maps");
     assert_eq!(a.circuit, b.circuit);
 }

@@ -26,7 +26,7 @@ fn mis_beats_chortle_on_xor_at_k2() {
     let net = xor_network(4);
     let lib = Library::for_paper(2);
     let mis = mis_map(&net, &lib, &MisOptions::new(2)).expect("maps");
-    let ch = map_network(&net, &MapOptions::new(2)).expect("maps");
+    let ch = map_network(&net, &MapOptions::builder(2).build().unwrap()).expect("maps");
     check_equivalence(&net, &mis.circuit).expect("equivalent");
     check_equivalence(&net, &ch.circuit).expect("equivalent");
     // One XOR cell per pair for MIS; three 2-LUTs per pair for Chortle.
@@ -41,7 +41,7 @@ fn the_gap_closes_at_k4() {
     let net = xor_network(4);
     let lib = Library::for_paper(4);
     let mis = mis_map(&net, &lib, &MisOptions::new(4)).expect("maps");
-    let ch = map_network(&net, &MapOptions::new(4)).expect("maps");
+    let ch = map_network(&net, &MapOptions::builder(4).build().unwrap()).expect("maps");
     assert_eq!(mis.report.luts, ch.report.luts);
     assert_eq!(ch.report.luts, 4);
 }
@@ -66,7 +66,7 @@ fn sop_shaped_reconvergence_is_matched_per_tree() {
 
     let lib = Library::for_paper(3);
     let mis = mis_map(&net, &lib, &MisOptions::new(3)).expect("maps");
-    let ch = map_network(&net, &MapOptions::new(3)).expect("maps");
+    let ch = map_network(&net, &MapOptions::builder(3).build().unwrap()).expect("maps");
     check_equivalence(&net, &mis.circuit).expect("equivalent");
     check_equivalence(&net, &ch.circuit).expect("equivalent");
     // Each mux is a two-level SOP shape, so the structural matcher
@@ -94,7 +94,7 @@ fn non_sop_shaped_reconvergence_is_rejected_structurally() {
 
     let lib = Library::for_paper(3);
     let mis = mis_map(&net, &lib, &MisOptions::new(3)).expect("maps");
-    let ch = map_network(&net, &MapOptions::new(3)).expect("maps");
+    let ch = map_network(&net, &MapOptions::builder(3).build().unwrap()).expect("maps");
     check_equivalence(&net, &mis.circuit).expect("equivalent");
     check_equivalence(&net, &ch.circuit).expect("equivalent");
     assert!(
@@ -132,7 +132,7 @@ fn parity_chain_gap_shrinks_with_k() {
     for k in [2usize, 3, 4] {
         let lib = Library::for_paper(k);
         let mis = mis_map(&optimized, &lib, &MisOptions::new(k)).expect("maps");
-        let ch = map_network(&optimized, &MapOptions::new(k)).expect("maps");
+        let ch = map_network(&optimized, &MapOptions::builder(k).build().unwrap()).expect("maps");
         check_equivalence(&optimized, &ch.circuit).expect("equivalent");
         gaps.push(ch.report.luts as isize - mis.report.luts as isize);
     }

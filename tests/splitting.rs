@@ -33,7 +33,15 @@ fn split_mapping_stays_optimal_on_plain_wide_gates() {
     // splitting at ten must still reach it.
     let net = wide_gate_bank();
     for k in 2..=6 {
-        let split = map_network(&net, &MapOptions::new(k).with_split_threshold(10)).expect("maps");
+        let split = map_network(
+            &net,
+            &MapOptions::builder(k)
+                .split_threshold(10)
+                .unwrap()
+                .build()
+                .unwrap(),
+        )
+        .expect("maps");
         check_equivalence(&net, &split.circuit).expect("equivalent");
         let expect: usize = (11..=16usize).map(|w| (w - 1).div_ceil(k - 1)).sum();
         assert_eq!(split.report.luts, expect, "k={k}");
@@ -47,8 +55,24 @@ fn split_thresholds_agree_on_structured_logic() {
     // LUT counts must match — the paper's empirical claim.
     let net = control(0x51DE, 24, 8, 40, (8, 14), (2, 4));
     for k in [3usize, 5] {
-        let at10 = map_network(&net, &MapOptions::new(k).with_split_threshold(10)).expect("maps");
-        let at16 = map_network(&net, &MapOptions::new(k).with_split_threshold(16)).expect("maps");
+        let at10 = map_network(
+            &net,
+            &MapOptions::builder(k)
+                .split_threshold(10)
+                .unwrap()
+                .build()
+                .unwrap(),
+        )
+        .expect("maps");
+        let at16 = map_network(
+            &net,
+            &MapOptions::builder(k)
+                .split_threshold(16)
+                .unwrap()
+                .build()
+                .unwrap(),
+        )
+        .expect("maps");
         check_equivalence(&net, &at10.circuit).expect("equivalent");
         // The paper's observation is empirical ("the mapping of a split
         // node uses no more lookup tables ... We believe [this is]
@@ -71,8 +95,24 @@ fn aggressive_splitting_can_cost_luts() {
     // binarization before mapping) may cost LUTs relative to 10 — this is
     // the quality/runtime trade-off the threshold controls.
     let net = control(0x51DF, 20, 6, 30, (6, 12), (2, 4));
-    let fine = map_network(&net, &MapOptions::new(5).with_split_threshold(10)).expect("maps");
-    let coarse = map_network(&net, &MapOptions::new(5).with_split_threshold(2)).expect("maps");
+    let fine = map_network(
+        &net,
+        &MapOptions::builder(5)
+            .split_threshold(10)
+            .unwrap()
+            .build()
+            .unwrap(),
+    )
+    .expect("maps");
+    let coarse = map_network(
+        &net,
+        &MapOptions::builder(5)
+            .split_threshold(2)
+            .unwrap()
+            .build()
+            .unwrap(),
+    )
+    .expect("maps");
     check_equivalence(&net, &coarse.circuit).expect("equivalent");
     assert!(
         fine.report.luts <= coarse.report.luts,
@@ -83,9 +123,25 @@ fn aggressive_splitting_can_cost_luts() {
 #[test]
 fn report_tracks_splitting() {
     let net = wide_gate_bank();
-    let mapped = map_network(&net, &MapOptions::new(4).with_split_threshold(10)).expect("maps");
+    let mapped = map_network(
+        &net,
+        &MapOptions::builder(4)
+            .split_threshold(10)
+            .unwrap()
+            .build()
+            .unwrap(),
+    )
+    .expect("maps");
     assert!(mapped.report.max_fanin <= 10);
-    let unsplit = map_network(&net, &MapOptions::new(4).with_split_threshold(16)).expect("maps");
+    let unsplit = map_network(
+        &net,
+        &MapOptions::builder(4)
+            .split_threshold(16)
+            .unwrap()
+            .build()
+            .unwrap(),
+    )
+    .expect("maps");
     assert!(unsplit.report.max_fanin == 16);
     assert!(unsplit.report.tree_nodes <= mapped.report.tree_nodes);
 }
