@@ -1,0 +1,325 @@
+//! `loadgen` — std-only load generator for the `chortle-serve` daemon.
+//!
+//! ```text
+//! cargo run --release -p chortle-bench --bin loadgen [-- OUTPUT.json]
+//! ```
+//!
+//! Starts an in-process server on an ephemeral loopback port and drives
+//! it with concurrent clients over real TCP, measuring what the offline
+//! `perf` harness cannot: request throughput, latency percentiles, and
+//! the effect of the process-wide warm DP cache across requests.
+//!
+//! Three phases, all asserting byte-identical netlists throughout:
+//!
+//! 1. **cold** — the warm cache is flushed before every pass, so each
+//!    pass pays the full subset-DP cost for every distinct tree shape.
+//! 2. **warm** — the same passes without flushing: requests replay DP
+//!    solutions cached by earlier requests (including the cold phase),
+//!    which is the speedup a resident daemon exists to provide.
+//! 3. **overload** — a one-worker, capacity-1-queue server fed a burst
+//!    of pipelined requests; records how many got typed `queue_full`
+//!    rejections and that every request was answered.
+//!
+//! Requests are sent with `optimize: false` against pre-optimized
+//! networks — the MIS-style script is not cached (it runs before the
+//! forest is even built), so leaving it in would bury the cache effect
+//! under identical optimization time in both phases. The suite is padded
+//! with wide ripple ALUs whose per-bit cones share a handful of shapes:
+//! the datapath-regular workload the warm cache targets.
+//!
+//! The JSON report (default `results/BENCH_serve.json`) embeds the
+//! server's final aggregate `chortle-telemetry/v1.2` report.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use chortle_bench::optimized_suite;
+use chortle_circuits::alu;
+use chortle_logic_opt::optimize;
+use chortle_netlist::write_blif;
+use chortle_server::{Client, MapRequest, Response, ServeConfig, Server};
+
+/// Passes over the workload per phase (cold flushes before each pass).
+const PASSES: usize = 3;
+/// Requests pipelined into the overload server's 1-slot queue.
+const OVERLOAD_BURST: usize = 24;
+
+/// One timed phase: request latencies (seconds) and the wall time.
+struct Phase {
+    latencies: Vec<f64>,
+    wall_s: f64,
+}
+
+impl Phase {
+    fn requests(&self) -> usize {
+        self.latencies.len()
+    }
+
+    fn throughput(&self) -> f64 {
+        self.requests() as f64 / self.wall_s
+    }
+
+    /// Interpolation-free percentile (nearest-rank) in milliseconds.
+    fn percentile_ms(&self, p: f64) -> f64 {
+        let mut sorted = self.latencies.clone();
+        sorted.sort_by(f64::total_cmp);
+        let rank = ((p / 100.0 * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len()) - 1;
+        sorted[rank] * 1e3
+    }
+}
+
+fn request(blif: &str, k: usize) -> MapRequest {
+    MapRequest {
+        blif: blif.to_owned(),
+        k,
+        jobs: 1,
+        cache: chortle::CacheMode::Shared,
+        objective: chortle::Objective::Area,
+        optimize: false,
+        deadline_ms: None,
+    }
+}
+
+fn expect_netlist(response: Response, what: &str) -> String {
+    match response {
+        Response::MapOk { netlist, .. } => netlist,
+        other => panic!("{what}: expected MapOk, got {other:?}"),
+    }
+}
+
+/// Runs `PASSES` passes of the workload across `clients` concurrent
+/// connections; `flush_between` turns the warm phase into the cold one.
+fn run_phase(
+    addr: &str,
+    workload: &[(String, usize, String)],
+    expected: &[String],
+    clients: usize,
+    flush_between: bool,
+) -> Phase {
+    let start = Instant::now();
+    let mut latencies = Vec::new();
+    for pass in 0..PASSES {
+        if flush_between {
+            let mut admin = Client::connect(addr).expect("connect for flush");
+            match admin.flush("loadgen-flush").expect("flush roundtrip") {
+                Response::FlushOk { .. } => {}
+                other => panic!("expected FlushOk, got {other:?}"),
+            }
+        }
+        // Deal the workload round-robin to the client threads.
+        let results: Vec<Vec<(usize, f64)>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..clients)
+                .map(|c| {
+                    scope.spawn(move || {
+                        let mut client = Client::connect(addr).expect("connect client");
+                        let mut timed = Vec::new();
+                        for (i, (name, k, blif)) in workload.iter().enumerate() {
+                            if i % clients != c {
+                                continue;
+                            }
+                            let t = Instant::now();
+                            let response = client
+                                .map(&format!("{name}-p{pass}"), &request(blif, *k))
+                                .expect("map roundtrip");
+                            timed.push((i, t.elapsed().as_secs_f64()));
+                            let netlist = expect_netlist(response, name);
+                            assert_eq!(netlist, expected[i], "{name}: netlist diverged");
+                        }
+                        timed
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("client"))
+                .collect()
+        });
+        latencies.extend(results.into_iter().flatten().map(|(_, s)| s));
+    }
+    Phase {
+        latencies,
+        wall_s: start.elapsed().as_secs_f64(),
+    }
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "results/BENCH_serve.json".to_owned());
+    let cores = std::thread::available_parallelism().map_or(1, usize::from);
+    let clients = cores.clamp(2, 4);
+
+    // Workload: the pre-optimized table suite at k=4 plus two wide
+    // ripple ALUs (k=4 and k=5 — distinct warm-cache segments).
+    let mut workload: Vec<(String, usize, String)> = optimized_suite()
+        .into_iter()
+        .map(|(name, net, _)| {
+            let blif = write_blif(&net, &name);
+            (name, 4, blif)
+        })
+        .collect();
+    for (bits, k) in [(192usize, 4usize), (192, 5)] {
+        let (net, _) = optimize(&alu(bits)).expect("alu is acyclic");
+        workload.push((format!("alu{bits}k{k}"), k, write_blif(&net, "alu")));
+    }
+    eprintln!(
+        "loadgen: {} circuits, {clients} clients on {cores} core(s), {PASSES} passes/phase",
+        workload.len()
+    );
+
+    let server = Server::bind(0, &ServeConfig::default()).expect("bind ephemeral port");
+    let addr = server.local_addr().expect("bound address").to_string();
+    let run = std::thread::spawn(move || server.run());
+
+    // Ground truth once per circuit, through the same server (its own
+    // responses must be self-consistent across phases and cache states).
+    let mut seed = Client::connect(&addr).expect("connect seed client");
+    let expected: Vec<String> = workload
+        .iter()
+        .map(|(name, k, blif)| {
+            expect_netlist(
+                seed.map(&format!("seed-{name}"), &request(blif, *k))
+                    .expect("seed roundtrip"),
+                name,
+            )
+        })
+        .collect();
+
+    let cold = run_phase(&addr, &workload, &expected, clients, true);
+    eprintln!(
+        "loadgen: cold  {:>4} requests in {:.3}s  ({:.1} req/s, p50 {:.2}ms p95 {:.2}ms p99 {:.2}ms)",
+        cold.requests(),
+        cold.wall_s,
+        cold.throughput(),
+        cold.percentile_ms(50.0),
+        cold.percentile_ms(95.0),
+        cold.percentile_ms(99.0),
+    );
+    let warm = run_phase(&addr, &workload, &expected, clients, false);
+    eprintln!(
+        "loadgen: warm  {:>4} requests in {:.3}s  ({:.1} req/s, p50 {:.2}ms p95 {:.2}ms p99 {:.2}ms)",
+        warm.requests(),
+        warm.wall_s,
+        warm.throughput(),
+        warm.percentile_ms(50.0),
+        warm.percentile_ms(95.0),
+        warm.percentile_ms(99.0),
+    );
+    let speedup = warm.throughput() / cold.throughput();
+    eprintln!("loadgen: warm-cache throughput speedup {speedup:.2}x");
+
+    let mut shutdown = Client::connect(&addr).expect("connect for shutdown");
+    match shutdown
+        .shutdown("loadgen-done")
+        .expect("shutdown roundtrip")
+    {
+        Response::ShutdownOk { .. } => {}
+        other => panic!("expected ShutdownOk, got {other:?}"),
+    }
+    let summary = run.join().expect("server exits cleanly");
+    chortle_telemetry::schema::validate_report(&summary.report.to_json())
+        .expect("final server report validates");
+
+    // Overload: one worker, one queue slot, a pipelined burst.
+    let overload_server = Server::bind(
+        0,
+        &ServeConfig {
+            workers: 1,
+            queue_capacity: 1,
+        },
+    )
+    .expect("bind overload server");
+    let overload_addr = overload_server
+        .local_addr()
+        .expect("bound address")
+        .to_string();
+    let overload_run = std::thread::spawn(move || overload_server.run());
+    let (_, big_k, big_blif) = &workload[workload.len() - 1];
+    let (completed, queue_full) = {
+        use std::io::{BufRead, BufReader, Write};
+        let stream = std::net::TcpStream::connect(&overload_addr).expect("connect");
+        let mut writer = stream.try_clone().expect("clone");
+        let mut burst = String::new();
+        for i in 0..OVERLOAD_BURST {
+            // Cache off: every admitted request costs the full pipeline,
+            // so the one worker stays busy while the burst piles up.
+            let mut req = request(big_blif, *big_k);
+            req.cache = chortle::CacheMode::Off;
+            burst.push_str(&chortle_server::proto::render_map_request(
+                &format!("burst{i}"),
+                &req,
+            ));
+            burst.push('\n');
+        }
+        writer.write_all(burst.as_bytes()).expect("write burst");
+        writer.flush().expect("flush burst");
+        let mut completed = 0usize;
+        let mut queue_full = 0usize;
+        for line in BufReader::new(stream).lines().take(OVERLOAD_BURST) {
+            let line = line.expect("every burst request gets an answer");
+            match chortle_server::parse_response(&line).expect("well-formed response") {
+                Response::MapOk { .. } => completed += 1,
+                Response::Rejected { reason, .. } => {
+                    assert_eq!(reason, "queue_full", "only overload rejections expected");
+                    queue_full += 1;
+                }
+                other => panic!("unexpected burst response {other:?}"),
+            }
+        }
+        (completed, queue_full)
+    };
+    assert_eq!(
+        completed + queue_full,
+        OVERLOAD_BURST,
+        "no dropped requests"
+    );
+    assert!(queue_full > 0, "the burst must overflow the 1-slot queue");
+    eprintln!(
+        "loadgen: overload  {OVERLOAD_BURST} pipelined -> {completed} completed, {queue_full} queue_full, 0 dropped"
+    );
+    let mut closer = Client::connect(&overload_addr).expect("connect overload shutdown");
+    let _ = closer
+        .shutdown("overload-done")
+        .expect("shutdown roundtrip");
+    let _ = overload_run.join().expect("overload server exits");
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(
+        json,
+        "  \"host\": {{ \"cores\": {cores}, \"clients\": {clients} }},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"workload\": {{ \"circuits\": {}, \"passes\": {PASSES}, \"optimize\": false }},",
+        workload.len()
+    );
+    for (name, phase) in [("cold", &cold), ("warm", &warm)] {
+        let _ = writeln!(
+            json,
+            "  \"{name}\": {{ \"requests\": {}, \"wall_s\": {:.6}, \"throughput_rps\": {:.3}, \
+             \"p50_ms\": {:.4}, \"p95_ms\": {:.4}, \"p99_ms\": {:.4} }},",
+            phase.requests(),
+            phase.wall_s,
+            phase.throughput(),
+            phase.percentile_ms(50.0),
+            phase.percentile_ms(95.0),
+            phase.percentile_ms(99.0),
+        );
+    }
+    let _ = writeln!(json, "  \"warm_speedup\": {speedup:.3},");
+    let _ = writeln!(
+        json,
+        "  \"overload\": {{ \"burst\": {OVERLOAD_BURST}, \"completed\": {completed}, \
+         \"queue_full\": {queue_full}, \"dropped\": 0 }},"
+    );
+    let _ = writeln!(json, "  \"server_report\": {}", summary.report.to_json());
+    let _ = writeln!(json, "}}");
+
+    if let Some(dir) = std::path::Path::new(&out_path).parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    std::fs::write(&out_path, &json).expect("write report");
+    eprintln!("loadgen: report -> {out_path}");
+    print!("{json}");
+}

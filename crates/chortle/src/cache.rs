@@ -23,11 +23,13 @@
 //! `CacheMode::Off` for every `jobs` value.
 
 use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use chortle_netlist::{mix64, NodeId};
 
-use crate::dp::ShapeSolution;
+use crate::dp::{Objective, ShapeSolution};
 use crate::tree::{Fingerprint, Tree, TreeChild};
 
 /// How the mapper memoizes DP results across trees.
@@ -160,6 +162,107 @@ impl SharedCache {
             .or_insert(sol)
             .clone()
     }
+
+    /// Cached solutions across all shards.
+    pub(crate) fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard poisoned").len())
+            .sum()
+    }
+}
+
+/// A process-lifetime DP cache reused *across* mapping runs.
+///
+/// A [`CacheKey`] fingerprints a tree's canonical shape and leaf depths
+/// but deliberately not the options it was mapped under, so solutions
+/// mapped with different `k` or [`Objective`] must never share a store.
+/// The warm cache therefore keeps one [`SharedCache`] *segment per
+/// `(k, objective)` pair*; a mapping run attached to the handle (via
+/// `MapOptionsBuilder::warm_cache`) checks its segment out and both
+/// reads and populates it, so the next run with the same options starts
+/// warm. `split_threshold` needs no segment: trees are split *before*
+/// canonicalization, so an identical canonical shape is an identical DP
+/// problem regardless of how it was produced.
+///
+/// Runs only consult the handle under [`CacheMode::Shared`] — the other
+/// modes keep their per-run/per-worker semantics unchanged — and every
+/// mode still produces the bit-identical circuit (replays are verbatim
+/// and first-writer-wins keeps racing duplicates harmless, exactly as
+/// within one run).
+///
+/// Clones share the underlying store. [`WarmCache::flush`] empties every
+/// segment and bumps a monotonically increasing *generation*, which
+/// long-lived servers echo to clients so cache-sensitive benchmarks can
+/// tell a warm answer from a cold one.
+#[derive(Clone, Default)]
+pub struct WarmCache {
+    inner: Arc<WarmInner>,
+}
+
+#[derive(Default)]
+struct WarmInner {
+    segments: Mutex<HashMap<(usize, Objective), Arc<SharedCache>>>,
+    generation: AtomicU64,
+}
+
+impl WarmCache {
+    /// An empty cache at generation 0.
+    pub fn new() -> Self {
+        WarmCache::default()
+    }
+
+    /// The segment for one `(k, objective)` configuration, created empty
+    /// on first use.
+    pub(crate) fn segment(&self, k: usize, objective: Objective) -> Arc<SharedCache> {
+        self.inner
+            .segments
+            .lock()
+            .expect("warm cache poisoned")
+            .entry((k, objective))
+            .or_insert_with(|| Arc::new(SharedCache::new()))
+            .clone()
+    }
+
+    /// Discards every cached solution and returns the new generation.
+    ///
+    /// In-flight runs holding a segment finish against the old store
+    /// (their results stay correct — the store never changes answers,
+    /// only availability); runs attached afterwards start cold.
+    pub fn flush(&self) -> u64 {
+        self.inner
+            .segments
+            .lock()
+            .expect("warm cache poisoned")
+            .clear();
+        self.inner.generation.fetch_add(1, Ordering::AcqRel) + 1
+    }
+
+    /// The current generation: 0 at creation, +1 per [`WarmCache::flush`].
+    pub fn generation(&self) -> u64 {
+        self.inner.generation.load(Ordering::Acquire)
+    }
+
+    /// Total cached shape solutions across all segments (an
+    /// observability figure; racy under concurrent inserts).
+    pub fn shapes(&self) -> usize {
+        self.inner
+            .segments
+            .lock()
+            .expect("warm cache poisoned")
+            .values()
+            .map(|s| s.len())
+            .sum()
+    }
+}
+
+impl fmt::Debug for WarmCache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("WarmCache")
+            .field("generation", &self.generation())
+            .field("shapes", &self.shapes())
+            .finish()
+    }
 }
 
 #[cfg(test)]
@@ -216,6 +319,29 @@ mod tests {
         assert_ne!(flat, deep);
         // Same depths, same key — the hash is a pure function.
         assert_eq!(flat, CacheKey::of(&tree, shape, &|_| 0));
+    }
+
+    #[test]
+    fn warm_cache_segments_by_k_and_objective() {
+        let warm = WarmCache::new();
+        let mut tree = two_input_tree();
+        let shape = tree.canonicalize();
+        let key = CacheKey::of(&tree, shape, &|_| 0);
+
+        warm.segment(4, Objective::Area)
+            .insert(key, dummy_solution(&tree, 4));
+        assert_eq!(warm.shapes(), 1);
+        // Different k or objective sees a different (empty) segment …
+        assert!(warm.segment(5, Objective::Area).get(&key).is_none());
+        assert!(warm.segment(4, Objective::Depth).get(&key).is_none());
+        // … while the same configuration (via a clone of the handle) hits.
+        assert!(warm.clone().segment(4, Objective::Area).get(&key).is_some());
+
+        assert_eq!(warm.generation(), 0);
+        assert_eq!(warm.flush(), 1);
+        assert_eq!(warm.generation(), 1);
+        assert_eq!(warm.shapes(), 0);
+        assert!(warm.segment(4, Objective::Area).get(&key).is_none());
     }
 
     #[test]

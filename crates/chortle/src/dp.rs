@@ -36,7 +36,7 @@ use crate::tree::{Tree, TreeChild};
 pub(crate) const INF: u32 = 1_000_000_000;
 
 /// What the mapper minimizes (the secondary component breaks ties).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
 pub enum Objective {
     /// Minimize LUT count; break ties toward shallower circuits. This is
     /// the paper's cost function.

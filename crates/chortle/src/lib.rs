@@ -48,6 +48,7 @@
 #![forbid(unsafe_code)]
 
 mod cache;
+mod cancel;
 pub mod clb;
 mod cover;
 mod crf;
@@ -59,7 +60,8 @@ mod parallel;
 pub mod reference;
 mod tree;
 
-pub use cache::CacheMode;
+pub use cache::{CacheMode, WarmCache};
+pub use cancel::CancelToken;
 pub use crf::{crf_network_cost, crf_tree_cost, CrfTreeCost};
 pub use dp::Objective;
 pub use duplication::{duplicate_fanout_gates, map_network_best};

@@ -9,7 +9,8 @@ use std::collections::{HashMap, HashSet};
 use chortle_netlist::{LutCircuit, LutError, LutSource, Network, NodeId, NodeOp};
 use chortle_telemetry::Telemetry;
 
-use crate::cache::{CacheKey, CacheMode, TreeCache, SHARED_CACHE_SHARDS};
+use crate::cache::{CacheKey, CacheMode, SharedCache, TreeCache, WarmCache, SHARED_CACHE_SHARDS};
+use crate::cancel::CancelToken;
 use crate::cover::emit_forest;
 use crate::dp::{map_tree_solution, DpCounters, DpScratch, Objective, ShapeSolution};
 use crate::tree::{Fingerprint, Forest, Tree};
@@ -130,33 +131,19 @@ pub struct MapOptions {
     /// default). Every mode produces the identical circuit — see the
     /// bit-identity contract on [`CacheMode`].
     pub cache: CacheMode,
+    /// Cooperative cancellation, polled at tree boundaries by both
+    /// mapping drivers. The default token is inert; a fired token makes
+    /// [`map_network`] return [`MapError::Cancelled`] with all partial
+    /// work discarded.
+    pub cancel: CancelToken,
+    /// A process-lifetime [`WarmCache`] consulted (and populated) under
+    /// [`CacheMode::Shared`], so repeated runs over recurring shapes skip
+    /// the subset DP entirely. `None` (the default) keeps caches scoped
+    /// to a single run.
+    pub warm_cache: Option<WarmCache>,
 }
 
 impl MapOptions {
-    /// Options for `k`-input lookup tables with the paper's split
-    /// threshold of 10.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `k < 2` or `k > 8` (truth tables of mapped LUTs are
-    /// materialized; 8 covers every commercial LUT architecture). Use
-    /// [`MapOptions::builder`] to handle the error instead.
-    #[deprecated(note = "use the fallible `MapOptions::builder(k).build()` instead")]
-    pub fn new(k: usize) -> Self {
-        #[allow(deprecated)]
-        Self::try_new(k).expect("K must be between 2 and 8")
-    }
-
-    /// Fallible variant of [`MapOptions::new`].
-    ///
-    /// # Errors
-    ///
-    /// Returns [`MapError::InvalidK`] if `k` is outside `2..=8`.
-    #[deprecated(note = "use `MapOptions::builder(k).build()` instead")]
-    pub fn try_new(k: usize) -> Result<Self, MapError> {
-        MapOptions::builder(k).build()
-    }
-
     /// Starts a fallible builder over every mapper knob.
     ///
     /// Validation happens as each knob is set (`split_threshold`) or at
@@ -171,64 +158,10 @@ impl MapOptions {
                 jobs: 1,
                 telemetry: Telemetry::disabled(),
                 cache: CacheMode::Shared,
+                cancel: CancelToken::default(),
+                warm_cache: None,
             },
         }
-    }
-
-    /// Switches the objective to depth-first (lexicographic depth, then
-    /// LUT count).
-    #[deprecated(note = "use `MapOptions::builder(k).objective(Objective::Depth)` instead")]
-    pub fn with_depth_objective(mut self) -> Self {
-        self.objective = Objective::Depth;
-        self
-    }
-
-    /// Overrides the node-splitting threshold (clamped below by 2; values
-    /// above 16 are rejected to bound the subset search).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `threshold` is outside `2..=16`. Use
-    /// [`MapOptionsBuilder::split_threshold`] to handle the error
-    /// instead.
-    #[deprecated(note = "use the fallible `MapOptionsBuilder::split_threshold` instead")]
-    pub fn with_split_threshold(self, threshold: usize) -> Self {
-        #[allow(deprecated)]
-        self.try_with_split_threshold(threshold)
-            .expect("split threshold must be between 2 and 16")
-    }
-
-    /// Fallible variant of [`MapOptions::with_split_threshold`].
-    ///
-    /// # Errors
-    ///
-    /// Returns [`MapError::InvalidSplitThreshold`] if `threshold` is
-    /// outside `2..=16`.
-    #[deprecated(note = "use `MapOptionsBuilder::split_threshold` instead")]
-    pub fn try_with_split_threshold(mut self, threshold: usize) -> Result<Self, MapError> {
-        if !(2..=16).contains(&threshold) {
-            return Err(MapError::InvalidSplitThreshold { threshold });
-        }
-        self.split_threshold = threshold;
-        Ok(self)
-    }
-
-    /// Sets the number of worker threads for forest mapping. Zero selects
-    /// the host's available parallelism; 1 (the default) maps
-    /// sequentially. The produced circuit is identical for every value.
-    #[deprecated(note = "use `MapOptionsBuilder::jobs` instead")]
-    pub fn with_jobs(mut self, jobs: usize) -> Self {
-        self.jobs = resolve_jobs(jobs);
-        self
-    }
-
-    /// Attaches a telemetry sink the mapper reports into. Pass
-    /// [`Telemetry::enabled`] to collect, [`Telemetry::disabled`] (the
-    /// default) to turn observability off at zero cost.
-    #[deprecated(note = "use `MapOptionsBuilder::telemetry` instead")]
-    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
-        self.telemetry = telemetry;
-        self
     }
 }
 
@@ -291,6 +224,20 @@ impl MapOptionsBuilder {
         self
     }
 
+    /// Attaches a cancellation token; see [`MapOptions::cancel`].
+    pub fn cancel(mut self, cancel: CancelToken) -> Self {
+        self.opts.cancel = cancel;
+        self
+    }
+
+    /// Attaches a process-lifetime warm cache; see
+    /// [`MapOptions::warm_cache`]. Only consulted under
+    /// [`CacheMode::Shared`].
+    pub fn warm_cache(mut self, warm: WarmCache) -> Self {
+        self.opts.warm_cache = Some(warm);
+        self
+    }
+
     /// Validates the remaining invariants and returns the options.
     ///
     /// # Errors
@@ -332,6 +279,10 @@ pub enum MapError {
         /// The rejected value.
         threshold: usize,
     },
+    /// The run's [`CancelToken`](crate::CancelToken) fired (explicit
+    /// cancellation or an expired deadline) before mapping finished.
+    /// All partial work was discarded.
+    Cancelled,
 }
 
 impl fmt::Display for MapError {
@@ -351,6 +302,9 @@ impl fmt::Display for MapError {
                     f,
                     "split threshold {threshold} out of range (must be 2..=16)"
                 )
+            }
+            MapError::Cancelled => {
+                write!(f, "mapping cancelled before completion")
             }
         }
     }
@@ -430,6 +384,9 @@ pub struct Mapping {
 /// # Ok::<(), chortle::MapError>(())
 /// ```
 pub fn map_network(network: &Network, options: &MapOptions) -> Result<Mapping, MapError> {
+    if options.cancel.is_cancelled() {
+        return Err(MapError::Cancelled);
+    }
     let telemetry = &options.telemetry;
     let normal = {
         let _s = telemetry.span(stats::STAGE_NORMALIZE);
@@ -563,12 +520,27 @@ pub(crate) fn leaf_arrival(normal: &Network, depth_of: &HashMap<NodeId, u32>, id
     }
 }
 
+/// Selects the warm-cache segment for a run, when one applies: the
+/// options carry a [`WarmCache`] handle *and* the mode is
+/// [`CacheMode::Shared`] (the other modes keep their run-scoped
+/// semantics).
+pub(crate) fn warm_segment(options: &MapOptions) -> Option<Arc<SharedCache>> {
+    if options.cache != CacheMode::Shared {
+        return None;
+    }
+    options
+        .warm_cache
+        .as_ref()
+        .map(|w| w.segment(options.k, options.objective))
+}
+
 /// Maps every tree of the forest in order on the calling thread, one
 /// [`DpScratch`] arena reused throughout. The forest is topologically
 /// ordered, so leaves of a tree are always mapped first. Caching modes
 /// use one unsharded, unsynchronized [`TreeCache`] — the single-threaded
 /// fast path ([`CacheMode::Tree`] and [`CacheMode::Shared`] coincide
-/// here).
+/// here) — unless a warm cross-run segment is attached, which wins so
+/// repeated runs share solutions. Cancellation is polled per tree.
 fn map_forest_sequential(
     normal: &Network,
     trees: Vec<Tree>,
@@ -578,14 +550,23 @@ fn map_forest_sequential(
     let mut mapped: Vec<MappedTree> = Vec::with_capacity(trees.len());
     let mut scratch = DpScratch::new();
     scratch.counting = options.telemetry.is_enabled();
-    let mut cache = options.cache.is_enabled().then(TreeCache::new);
+    let warm = warm_segment(options);
+    let mut cache = (options.cache.is_enabled() && warm.is_none()).then(TreeCache::new);
     let mut depth_of: HashMap<NodeId, u32> = HashMap::new();
     for (ti, tree) in trees.into_iter().enumerate() {
+        if options.cancel.is_cancelled() {
+            return Err(MapError::Cancelled);
+        }
         let leaf_depth = |id: NodeId| leaf_arrival(normal, &depth_of, id);
-        let key = cache
-            .is_some()
+        let key = options
+            .cache
+            .is_enabled()
             .then(|| CacheKey::of(&tree, shapes[ti], &leaf_depth));
-        let cached = key.and_then(|k| cache.as_ref().and_then(|c| c.get(&k)));
+        let cached = key.and_then(|k| match (&warm, &cache) {
+            (Some(w), _) => w.get(&k),
+            (None, Some(c)) => c.get(&k),
+            _ => None,
+        });
         let sol = match cached {
             Some(sol) => sol,
             None => {
@@ -596,10 +577,16 @@ fn map_forest_sequential(
                     &leaf_depth,
                     &mut scratch,
                 )?);
-                if let (Some(k), Some(c)) = (key, cache.as_mut()) {
-                    c.insert(k, sol.clone());
+                match (&warm, &mut cache) {
+                    // First writer wins; adopt whatever landed so a
+                    // concurrent run's duplicate shares one allocation.
+                    (Some(w), _) => w.insert(key.expect("caching modes key every tree"), sol),
+                    (None, Some(c)) => {
+                        c.insert(key.expect("caching modes key every tree"), sol.clone());
+                        sol
+                    }
+                    _ => sol,
                 }
-                sol
             }
         };
         depth_of.insert(tree.root, sol.dp.tree_depth(&tree));

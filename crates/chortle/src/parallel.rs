@@ -81,9 +81,11 @@ pub(crate) fn map_forest_wavefront(
     // Scratch (and, under CacheMode::Tree, a private cache) for
     // wavefronts mapped inline — a single-tree wavefront is cheaper on
     // the calling thread than across a spawn. The shared cache, when
-    // selected, spans the whole run: inline and spawned workers alike.
+    // selected, spans the whole run (inline and spawned workers alike) —
+    // or, when the options carry a warm handle, outlives it entirely.
     let mut inline_scratch = DpScratch::new();
-    let shared = (options.cache == CacheMode::Shared).then(SharedCache::new);
+    let shared = (options.cache == CacheMode::Shared)
+        .then(|| crate::map::warm_segment(options).unwrap_or_else(|| Arc::new(SharedCache::new())));
     let mut inline_cache = (options.cache == CacheMode::Tree).then(TreeCache::new);
 
     let telemetry = &options.telemetry;
@@ -95,15 +97,21 @@ pub(crate) fn map_forest_wavefront(
         let mut claimed: Vec<u64> = Vec::new();
         let mut busy_s: Vec<f64> = Vec::new();
         let queue = AtomicUsize::new(0);
-        let shared = shared.as_ref();
+        let shared = shared.as_deref();
         // A worker: drain the wavefront cursor, mapping each claimed tree
         // with a thread-private scratch arena, replaying cached shape
-        // solutions where the mode allows.
+        // solutions where the mode allows. Cancellation is polled per
+        // claimed tree: one fired check stops this worker, the error
+        // propagates at join, and sibling workers stop at their own next
+        // claim — partial results are dropped with the wavefront.
         let run = |scratch: &mut DpScratch,
                    mut private: Option<&mut TreeCache>,
                    out: &mut Vec<(usize, Arc<ShapeSolution>, Option<CacheKey>)>|
          -> Result<(), MapError> {
             loop {
+                if options.cancel.is_cancelled() {
+                    return Err(MapError::Cancelled);
+                }
                 let slot = queue.fetch_add(1, Ordering::Relaxed);
                 let Some(&ti) = wave.get(slot) else {
                     return Ok(());

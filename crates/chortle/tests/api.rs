@@ -43,35 +43,35 @@ fn builder_rejects_out_of_range_knobs() {
     assert!(MapOptions::builder(4).split_threshold(1).is_err());
 }
 
-// The deprecated panicking constructors stay behaviorally intact until
-// removal; this is their one remaining compatibility test.
+// The builder is the only construction path (the panicking
+// `MapOptions::new`/`with_*` chainers were removed after a deprecation
+// cycle); these assertions absorb what their compat test used to pin.
 #[test]
-#[allow(deprecated)]
-fn deprecated_constructors_still_work() {
-    let opts = MapOptions::new(5)
-        .with_split_threshold(12)
-        .with_depth_objective()
-        .with_jobs(2);
+fn builder_covers_every_removed_chainer() {
+    let opts = MapOptions::builder(5)
+        .split_threshold(12)
+        .expect("in range")
+        .objective(Objective::Depth)
+        .jobs(2)
+        .build()
+        .expect("valid K");
     assert_eq!(opts.k, 5);
     assert_eq!(opts.split_threshold, 12);
     assert_eq!(opts.objective, Objective::Depth);
     assert_eq!(opts.jobs, 2);
     assert_eq!(opts.cache, CacheMode::Shared);
-    assert!(MapOptions::try_new(9).is_err());
-}
-
-#[test]
-#[should_panic(expected = "K must be between 2 and 8")]
-#[allow(deprecated)]
-fn k_out_of_range_panics() {
-    let _ = MapOptions::new(1);
-}
-
-#[test]
-#[should_panic(expected = "split threshold")]
-#[allow(deprecated)]
-fn threshold_out_of_range_panics() {
-    let _ = MapOptions::new(4).with_split_threshold(17);
+    // Defaults of the knobs the chainers never covered.
+    assert!(!opts.cancel.is_cancelled());
+    assert!(opts.warm_cache.is_none());
+    // Out-of-range knobs are typed errors, never panics.
+    assert!(matches!(
+        MapOptions::builder(9).build(),
+        Err(chortle::MapError::InvalidK { k: 9 })
+    ));
+    assert!(matches!(
+        MapOptions::builder(4).split_threshold(17),
+        Err(chortle::MapError::InvalidSplitThreshold { threshold: 17 })
+    ));
 }
 
 #[test]

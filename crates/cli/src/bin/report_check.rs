@@ -1,7 +1,7 @@
 //! `report-check` — validate a `chortle-map --report json` document.
 //!
 //! Reads one JSON telemetry report from stdin and checks it against the
-//! `chortle-telemetry/v1.1` schema: exact key layout, value kinds, and
+//! `chortle-telemetry/v1.2` schema: exact key layout, value kinds, and
 //! internal consistency (per-worker arrays sized to the worker count).
 //! Exits 0 and prints `ok` on success; exits 1 with the first deviation
 //! on stderr otherwise. Used by `scripts/ci.sh` as the report smoke test:

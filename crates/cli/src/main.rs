@@ -10,6 +10,10 @@
 //! Reads from stdin when no input file is given. With `--report`, the
 //! telemetry report goes to stdout and the mapped circuit is only written
 //! when `-o FILE` is given.
+//!
+//! `chortle-map serve` hands off to the resident daemon in
+//! `chortle-server` — same mapper, same output bytes, kept warm across
+//! requests.
 
 use std::io::Read;
 use std::process::ExitCode;
@@ -133,6 +137,7 @@ fn print_help() {
     println!("chortle-map — map a BLIF network into K-input lookup tables");
     println!();
     println!("Usage: chortle-map [OPTIONS] [INPUT.blif]");
+    println!("       chortle-map serve [SERVE-OPTIONS]");
     println!();
     println!("Reads BLIF from stdin when INPUT.blif is omitted. With --report,");
     println!("the report goes to stdout and the circuit only to -o FILE.");
@@ -145,6 +150,20 @@ fn print_help() {
             left.push_str(", ");
             left.push_str(alias);
         }
+        if let Some(value) = flag.value {
+            left.push(' ');
+            left.push_str(value);
+        }
+        println!("{left:<22}{}", flag.help);
+    }
+    println!();
+    println!("Subcommands:");
+    println!("  serve               run the resident mapping daemon (newline-delimited");
+    println!("                      JSON over localhost TCP or --stdio; same mapper,");
+    println!("                      same output bytes); `chortle-map serve --help` lists:");
+    for flag in chortle_server::SERVE_FLAGS {
+        let mut left = String::from("    ");
+        left.push_str(flag.name);
         if let Some(value) = flag.value {
             left.push(' ');
             left.push_str(value);
@@ -340,7 +359,12 @@ fn print_shape_histogram(histogram: &[(chortle_cli::Fingerprint, usize)]) {
 }
 
 fn main() -> ExitCode {
-    let cli = match parse_args(std::env::args().skip(1)) {
+    let mut args = std::env::args().skip(1).peekable();
+    if args.peek().map(String::as_str) == Some("serve") {
+        args.next();
+        return chortle_server::run_daemon("chortle-map serve", args);
+    }
+    let cli = match parse_args(args) {
         Ok(Some(cli)) => cli,
         Ok(None) => return ExitCode::SUCCESS,
         Err(CliError(msg)) => {

@@ -128,20 +128,66 @@ fn bad_blif_fails_cleanly() {
 
 #[test]
 fn help_prints_usage() {
+    // The FULL help text, asserted verbatim: any flag added, removed,
+    // or reworded (including the serve subcommand block) must update
+    // this golden string in the same change — help can no longer drift
+    // from the flag tables silently.
+    let golden = "\
+chortle-map — map a BLIF network into K-input lookup tables
+
+Usage: chortle-map [OPTIONS] [INPUT.blif]
+       chortle-map serve [SERVE-OPTIONS]
+
+Reads BLIF from stdin when INPUT.blif is omitted. With --report,
+the report goes to stdout and the circuit only to -o FILE.
+
+Options:
+  -k N                LUT input count, 2..=8 (default 4)
+  -o FILE             write the mapped circuit to FILE (default stdout)
+  --mapper NAME       mapper to run: chortle (default) or mis
+  --objective GOAL    what Chortle minimizes: area (default) or depth
+  --split N           Chortle node-splitting threshold, 2..=16 (default 10)
+  --jobs N            mapper worker threads; 0 = all cores (default 1)
+  --cache MODE        DP-result cache: shared (default), tree, or off
+  --format F          output format: blif (default), verilog, dot
+  --report F          print a telemetry report to stdout: json or text
+  --no-optimize       skip the MIS-style optimization script
+  --no-verify         skip the functional equivalence check
+  --stats             print statistics to stderr
+  --help, -h          print this help and exit
+  --version, -V       print the version and exit
+
+Subcommands:
+  serve               run the resident mapping daemon (newline-delimited
+                      JSON over localhost TCP or --stdio; same mapper,
+                      same output bytes); `chortle-map serve --help` lists:
+    --port N          TCP port on 127.0.0.1; 0 picks an ephemeral port (default 0)
+    --workers N       worker threads executing map requests; 0 = all cores (default 0)
+    --queue N         admission queue capacity before queue_full rejections (default 64)
+    --stdio           serve newline-delimited JSON on stdin/stdout instead of TCP
+    --help            print this help and exit
+";
     let (stdout, _, ok) = run(&["--help"], "");
     assert!(ok);
-    assert!(stdout.contains("chortle-map"));
-    // Every table flag shows up in the generated help.
-    for flag in [
-        "-k",
-        "--mapper",
-        "--report",
-        "--jobs",
-        "--cache",
-        "--version",
-    ] {
-        assert!(stdout.contains(flag), "help lost {flag}");
+    assert_eq!(stdout, golden, "--help text drifted from the golden copy");
+}
+
+#[test]
+fn serve_subcommand_help_lists_the_daemon_flags() {
+    let (stdout, _, ok) = run(&["serve", "--help"], "");
+    assert!(ok);
+    assert!(stdout.contains("chortle-map serve — resident chortle mapping daemon"));
+    for flag in ["--port", "--workers", "--queue", "--stdio"] {
+        assert!(stdout.contains(flag), "serve help lost {flag}");
     }
+}
+
+#[test]
+fn serve_subcommand_rejects_unknown_flags() {
+    let (_, stderr, ok) = run(&["serve", "--frobnicate"], "");
+    assert!(!ok);
+    assert!(stderr.contains("chortle-map serve"));
+    assert!(stderr.contains("unknown argument"));
 }
 
 #[test]

@@ -61,6 +61,7 @@ pub fn parse_blif(text: &str) -> Result<Network, ParseBlifError> {
     let mut outputs: Vec<String> = Vec::new();
     let mut blocks: Vec<NamesBlock> = Vec::new();
     let mut current: Option<NamesBlock> = None;
+    let mut saw_model = false;
     let mut saw_end = false;
 
     // Join continuation lines first.
@@ -102,7 +103,19 @@ pub fn parse_blif(text: &str) -> Result<Network, ParseBlifError> {
             continue; // ignore anything after .end (e.g. extra models)
         }
         match first {
-            ".model" => {}
+            // One model per parse: a second .model before .end means the
+            // file lost its .end (or two models were concatenated), and
+            // silently merging their blocks would build a chimera net.
+            // Models *after* .end are still skipped above, as before.
+            ".model" => {
+                if saw_model {
+                    return Err(ParseBlifError::Syntax {
+                        line: line_no,
+                        message: "duplicate .model before .end".into(),
+                    });
+                }
+                saw_model = true;
+            }
             ".inputs" => inputs.extend(tokens.map(str::to_owned)),
             ".outputs" => outputs.extend(tokens.map(str::to_owned)),
             ".names" => {
@@ -652,6 +665,67 @@ mod tests {
     fn rejects_latches() {
         let src = ".model l\n.inputs a\n.outputs z\n.latch a z re clk 0\n.end\n";
         assert!(parse_blif(src).is_err());
+    }
+
+    /// Asserts `src` fails with a [`ParseBlifError::Syntax`] whose
+    /// message contains `needle` and names `line` — servers surface
+    /// these verbatim, so both coordinates matter.
+    fn assert_syntax_error(src: &str, needle: &str, want_line: usize) {
+        match parse_blif(src).unwrap_err() {
+            ParseBlifError::Syntax { line, message } => {
+                assert!(
+                    message.contains(needle),
+                    "message {message:?} vs {needle:?}"
+                );
+                assert_eq!(line, want_line, "error line for {needle:?}");
+            }
+            other => panic!("expected a syntax error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_names_directive_is_rejected() {
+        assert_syntax_error(
+            ".model t\n.inputs a\n.outputs z\n.names\n.end\n",
+            "at least an output signal",
+            4,
+        );
+        // A cube row truncated before its output column.
+        assert_syntax_error(
+            ".model t\n.inputs a b\n.outputs z\n.names a b z\n11\n.end\n",
+            "missing the output column",
+            5,
+        );
+    }
+
+    #[test]
+    fn duplicate_model_is_rejected() {
+        assert_syntax_error(
+            ".model one\n.inputs a\n.outputs z\n.names a z\n1 1\n.model two\n.end\n",
+            "duplicate .model",
+            6,
+        );
+        // After .end a second model is skipped, not merged — unchanged.
+        let tail = ".model one\n.inputs a\n.outputs z\n.names a z\n1 1\n.end\n.model two\n";
+        let net = parse_blif(tail).expect("models after .end are ignored");
+        assert_eq!(net.num_inputs(), 1);
+    }
+
+    #[test]
+    fn garbage_cover_lines_are_rejected() {
+        let wrap = |cover: &str| {
+            format!(".model g\n.inputs a b\n.outputs z\n.names a b z\n{cover}\n.end\n")
+        };
+        assert_syntax_error(&wrap("1x 1"), "invalid cube character", 5);
+        assert_syntax_error(&wrap("11 2"), "invalid output column", 5);
+        assert_syntax_error(&wrap("111 1"), "columns but .names has", 5);
+        assert_syntax_error(&wrap("11 1\n00 0"), "mixed on-set and off-set", 6);
+        // A cover row with no block to belong to.
+        assert_syntax_error(
+            ".model g\n.inputs a\n.outputs z\n11 1\n.names a z\n1 1\n.end\n",
+            "outside a .names block",
+            4,
+        );
     }
 
     #[test]

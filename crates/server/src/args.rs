@@ -1,0 +1,220 @@
+//! Daemon flags, shared by the `chortle-serve` binary and the
+//! `chortle-map serve` subcommand so the two spellings cannot drift.
+//!
+//! Follows the CLI's declarative-flag-table idiom: [`SERVE_FLAGS`]
+//! drives parsing, help generation, and unknown-flag rejection.
+
+use crate::server::ServeConfig;
+
+/// One daemon flag: spelling, value placeholder (`None` for booleans),
+/// and help text.
+pub struct ServeFlag {
+    /// The flag's spelling, e.g. `--port`.
+    pub name: &'static str,
+    /// Placeholder for the value in help output; `None` for booleans.
+    pub value: Option<&'static str>,
+    /// One-line help text.
+    pub help: &'static str,
+}
+
+/// Every flag the daemon understands — the single source of truth for
+/// `chortle-serve` and `chortle-map serve`.
+pub const SERVE_FLAGS: &[ServeFlag] = &[
+    ServeFlag {
+        name: "--port",
+        value: Some("N"),
+        help: "TCP port on 127.0.0.1; 0 picks an ephemeral port (default 0)",
+    },
+    ServeFlag {
+        name: "--workers",
+        value: Some("N"),
+        help: "worker threads executing map requests; 0 = all cores (default 0)",
+    },
+    ServeFlag {
+        name: "--queue",
+        value: Some("N"),
+        help: "admission queue capacity before queue_full rejections (default 64)",
+    },
+    ServeFlag {
+        name: "--stdio",
+        value: None,
+        help: "serve newline-delimited JSON on stdin/stdout instead of TCP",
+    },
+    ServeFlag {
+        name: "--help",
+        value: None,
+        help: "print this help and exit",
+    },
+];
+
+/// Parsed daemon arguments.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ServeArgs {
+    /// TCP port (0 = ephemeral).
+    pub port: u16,
+    /// Worker threads (0 = host parallelism).
+    pub workers: usize,
+    /// Admission queue capacity.
+    pub queue: usize,
+    /// Serve stdin/stdout instead of TCP.
+    pub stdio: bool,
+}
+
+impl Default for ServeArgs {
+    fn default() -> Self {
+        let config = ServeConfig::default();
+        ServeArgs {
+            port: 0,
+            workers: config.workers,
+            queue: config.queue_capacity,
+            stdio: false,
+        }
+    }
+}
+
+impl ServeArgs {
+    /// Parses daemon arguments against [`SERVE_FLAGS`]. Returns
+    /// `Ok(None)` when `--help` was printed (via `print_serve_help`
+    /// with `invocation`).
+    ///
+    /// # Errors
+    ///
+    /// A message for stderr on unknown flags, missing values, or
+    /// unparseable numbers.
+    pub fn parse(
+        invocation: &str,
+        args: impl Iterator<Item = String>,
+    ) -> Result<Option<ServeArgs>, String> {
+        let mut parsed = ServeArgs::default();
+        let mut args = args;
+        while let Some(arg) = args.next() {
+            let Some(flag) = SERVE_FLAGS.iter().find(|f| f.name == arg) else {
+                return Err(format!("unknown argument {arg:?}"));
+            };
+            let value = if flag.value.is_some() {
+                match args.next() {
+                    Some(v) => v,
+                    None => {
+                        return Err(format!(
+                            "{} requires a value {}",
+                            flag.name,
+                            flag.value.unwrap_or("")
+                        ))
+                    }
+                }
+            } else {
+                String::new()
+            };
+            let number = |flag: &str| {
+                value
+                    .parse::<usize>()
+                    .map_err(|_| format!("invalid value for {flag}: {value:?} is not an integer"))
+            };
+            match flag.name {
+                "--port" => {
+                    parsed.port = value.parse().map_err(|_| {
+                        format!("invalid value for --port: {value:?} is not a port number")
+                    })?;
+                }
+                "--workers" => parsed.workers = number("--workers")?,
+                "--queue" => parsed.queue = number("--queue")?,
+                "--stdio" => parsed.stdio = true,
+                "--help" => {
+                    print_serve_help(invocation);
+                    return Ok(None);
+                }
+                _ => unreachable!("every table entry is handled"),
+            }
+        }
+        Ok(Some(parsed))
+    }
+
+    /// The [`ServeConfig`] these arguments describe.
+    pub fn config(&self) -> ServeConfig {
+        ServeConfig {
+            workers: self.workers,
+            queue_capacity: self.queue,
+        }
+    }
+}
+
+/// Prints the daemon's help, titled for whichever spelling invoked it
+/// (`chortle-serve` or `chortle-map serve`).
+pub fn print_serve_help(invocation: &str) {
+    println!("{invocation} — resident chortle mapping daemon (chortle-serve/v1)");
+    println!();
+    println!("Usage: {invocation} [OPTIONS]");
+    println!();
+    println!("Speaks newline-delimited JSON on localhost TCP (or stdin/stdout");
+    println!("with --stdio); prints \"listening on ADDR\" to stderr once bound,");
+    println!("and the final aggregate telemetry report to stdout on shutdown.");
+    println!();
+    println!("Options:");
+    for flag in SERVE_FLAGS {
+        let mut left = String::from("  ");
+        left.push_str(flag.name);
+        if let Some(value) = flag.value {
+            left.push(' ');
+            left.push_str(value);
+        }
+        println!("{left:<22}{}", flag.help);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strings(args: &[&str]) -> impl Iterator<Item = String> {
+        args.iter()
+            .map(|s| (*s).to_owned())
+            .collect::<Vec<_>>()
+            .into_iter()
+    }
+
+    #[test]
+    fn parses_defaults_and_every_flag() {
+        let parsed = ServeArgs::parse("chortle-serve", strings(&[]))
+            .expect("parses")
+            .expect("not help");
+        assert_eq!(parsed, ServeArgs::default());
+        assert_eq!(parsed.queue, 64, "default queue matches ServeConfig");
+
+        let parsed = ServeArgs::parse(
+            "chortle-serve",
+            strings(&[
+                "--port",
+                "7643",
+                "--workers",
+                "2",
+                "--queue",
+                "1",
+                "--stdio",
+            ]),
+        )
+        .expect("parses")
+        .expect("not help");
+        assert_eq!(
+            parsed,
+            ServeArgs {
+                port: 7643,
+                workers: 2,
+                queue: 1,
+                stdio: true,
+            }
+        );
+        assert_eq!(parsed.config().queue_capacity, 1);
+    }
+
+    #[test]
+    fn rejects_unknown_flags_and_bad_values() {
+        let err = ServeArgs::parse("x", strings(&["--prot", "1"])).unwrap_err();
+        assert!(err.contains("unknown argument"), "{err}");
+        let err = ServeArgs::parse("x", strings(&["--port"])).unwrap_err();
+        assert!(err.contains("requires a value"), "{err}");
+        let err = ServeArgs::parse("x", strings(&["--port", "high"])).unwrap_err();
+        assert!(err.contains("not a port number"), "{err}");
+        let err = ServeArgs::parse("x", strings(&["--queue", "-3"])).unwrap_err();
+        assert!(err.contains("not an integer"), "{err}");
+    }
+}

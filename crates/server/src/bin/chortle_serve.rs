@@ -1,0 +1,243 @@
+//! `chortle-serve` — the resident chortle mapping daemon, plus a small
+//! built-in client (`--connect`) so shell scripts and CI can speak the
+//! protocol without writing JSON by hand.
+//!
+//! Daemon mode (the default) binds localhost TCP, prints
+//! `listening on ADDR` to stderr once bound, and prints the final
+//! aggregate telemetry report to stdout after a graceful shutdown —
+//! so `chortle-serve > report.json` composes with `report-check`.
+//! With `--stdio` the protocol itself owns stdout, and the final report
+//! goes to stderr instead.
+//!
+//! Client mode (`--connect HOST:PORT`) reads BLIF from a file argument
+//! or stdin, sends one `map` request, and prints the mapped netlist to
+//! stdout — byte-identical to `chortle-map` with the same flags. Admin
+//! requests: `--flush`, `--stats`, `--shutdown`. Exit code 1 on any
+//! `rejected` response.
+
+use std::io::Read;
+use std::process::ExitCode;
+
+use chortle_server::{print_serve_help, run_daemon, Client, MapRequest, Response};
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1).peekable();
+    match args.peek().map(String::as_str) {
+        Some("--version" | "-V") => {
+            println!("chortle-serve {}", env!("CARGO_PKG_VERSION"));
+            ExitCode::SUCCESS
+        }
+        Some("--connect") => {
+            args.next();
+            client_main(args)
+        }
+        Some("--help" | "-h") => {
+            print_serve_help("chortle-serve");
+            print_client_help();
+            ExitCode::SUCCESS
+        }
+        _ => run_daemon("chortle-serve", args),
+    }
+}
+
+/// What client mode should do once connected.
+enum ClientOp {
+    Map(Box<MapRequest>, Option<String>),
+    Flush,
+    Stats,
+    Shutdown,
+}
+
+struct ClientArgs {
+    addr: String,
+    id: String,
+    op: ClientOp,
+}
+
+fn print_client_help() {
+    println!();
+    println!("Client mode: chortle-serve --connect HOST:PORT [OPTIONS] [INPUT.blif]");
+    println!();
+    println!("Sends one request to a running daemon. BLIF is read from INPUT.blif");
+    println!("or stdin; the mapped netlist goes to stdout. Exit code 1 on any");
+    println!("rejected response.");
+    println!();
+    println!("Client options:");
+    println!("  -k N                LUT input count (default 4)");
+    println!("  --jobs N            mapper worker threads; 0 = all cores (default 1)");
+    println!("  --cache MODE        DP cache: shared (default), tree, or off");
+    println!("  --objective GOAL    area (default) or depth");
+    println!("  --no-optimize       skip the MIS-style optimization script");
+    println!("  --deadline-ms N     per-request deadline in milliseconds");
+    println!("  --id ID             correlation id echoed in the response");
+    println!("  --flush             discard the server's warm cache instead of mapping");
+    println!("  --stats             print the server's aggregate report instead of mapping");
+    println!("  --shutdown          ask the server to drain and exit instead of mapping");
+}
+
+fn parse_client_args(
+    addr: Option<String>,
+    args: impl Iterator<Item = String>,
+) -> Result<Option<ClientArgs>, String> {
+    let Some(addr) = addr else {
+        return Err("--connect requires a value HOST:PORT".into());
+    };
+    let mut req = MapRequest {
+        blif: String::new(),
+        k: 4,
+        jobs: 1,
+        cache: chortle::CacheMode::Shared,
+        objective: chortle::Objective::Area,
+        optimize: true,
+        deadline_ms: None,
+    };
+    let mut id = String::new();
+    let mut input = None;
+    let mut admin = None;
+    let mut args = args;
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| {
+            args.next()
+                .ok_or_else(|| format!("{flag} requires a value"))
+        };
+        match arg.as_str() {
+            "-k" => req.k = parse_number(&value("-k")?, "-k")?,
+            "--jobs" => req.jobs = parse_number(&value("--jobs")?, "--jobs")?,
+            "--cache" => {
+                req.cache = match value("--cache")?.as_str() {
+                    "off" => chortle::CacheMode::Off,
+                    "tree" => chortle::CacheMode::Tree,
+                    "shared" => chortle::CacheMode::Shared,
+                    other => {
+                        return Err(format!(
+                            "invalid value for --cache: {other:?} (expected off, tree or shared)"
+                        ))
+                    }
+                }
+            }
+            "--objective" => {
+                req.objective = match value("--objective")?.as_str() {
+                    "area" => chortle::Objective::Area,
+                    "depth" => chortle::Objective::Depth,
+                    other => {
+                        return Err(format!(
+                            "invalid value for --objective: {other:?} (expected area or depth)"
+                        ))
+                    }
+                }
+            }
+            "--no-optimize" => req.optimize = false,
+            "--deadline-ms" => {
+                req.deadline_ms = Some(
+                    value("--deadline-ms")?
+                        .parse()
+                        .map_err(|_| "invalid value for --deadline-ms".to_owned())?,
+                )
+            }
+            "--id" => id = value("--id")?,
+            "--flush" => admin = Some(ClientOp::Flush),
+            "--stats" => admin = Some(ClientOp::Stats),
+            "--shutdown" => admin = Some(ClientOp::Shutdown),
+            "--help" | "-h" => {
+                print_serve_help("chortle-serve");
+                print_client_help();
+                return Ok(None);
+            }
+            other if !other.starts_with('-') && input.is_none() => input = Some(arg),
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    let op = admin.unwrap_or(ClientOp::Map(Box::new(req), input));
+    Ok(Some(ClientArgs { addr, id, op }))
+}
+
+fn parse_number(value: &str, flag: &str) -> Result<usize, String> {
+    value
+        .parse()
+        .map_err(|_| format!("invalid value for {flag}: {value:?} is not an integer"))
+}
+
+fn client_main(mut args: impl Iterator<Item = String>) -> ExitCode {
+    let addr = args.next();
+    let parsed = match parse_client_args(addr, args) {
+        Ok(Some(parsed)) => parsed,
+        Ok(None) => return ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("chortle-serve: {msg} (try --help)");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut client = match Client::connect(&parsed.addr) {
+        Ok(client) => client,
+        Err(e) => {
+            eprintln!("chortle-serve: cannot connect to {}: {e}", parsed.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+    let response = match parsed.op {
+        ClientOp::Map(mut req, input) => {
+            req.blif = match read_input(input.as_deref()) {
+                Ok(blif) => blif,
+                Err(msg) => {
+                    eprintln!("chortle-serve: {msg}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            client.map(&parsed.id, &req)
+        }
+        ClientOp::Flush => client.flush(&parsed.id),
+        ClientOp::Stats => client.stats(&parsed.id),
+        ClientOp::Shutdown => client.shutdown(&parsed.id),
+    };
+    let response = match response {
+        Ok(response) => response,
+        Err(e) => {
+            eprintln!("chortle-serve: request failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match response {
+        Response::MapOk {
+            luts,
+            depth,
+            cache_generation,
+            netlist,
+            ..
+        } => {
+            eprintln!("mapped: {luts} LUTs, depth {depth} (cache generation {cache_generation})");
+            print!("{netlist}");
+            ExitCode::SUCCESS
+        }
+        Response::FlushOk {
+            cache_generation, ..
+        } => {
+            eprintln!("cache flushed; generation {cache_generation}");
+            ExitCode::SUCCESS
+        }
+        Response::StatsOk { report_json, .. } => {
+            println!("{report_json}");
+            ExitCode::SUCCESS
+        }
+        Response::ShutdownOk { .. } => {
+            eprintln!("server is draining and will exit");
+            ExitCode::SUCCESS
+        }
+        Response::Rejected { reason, detail, .. } => {
+            eprintln!("chortle-serve: rejected ({reason}): {detail}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn read_input(path: Option<&str>) -> Result<String, String> {
+    match path {
+        Some(path) => std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}")),
+        None => {
+            let mut s = String::new();
+            std::io::stdin()
+                .read_to_string(&mut s)
+                .map_err(|e| format!("cannot read stdin: {e}"))?;
+            Ok(s)
+        }
+    }
+}

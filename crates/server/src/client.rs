@@ -1,0 +1,249 @@
+//! A small blocking client for `chortle-serve/v1` — used by the
+//! `chortle-serve --connect` CLI mode, the load generator, and the
+//! server's own integration tests.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+use chortle_telemetry::json::{self, Value};
+
+use crate::proto::{render_admin_request, render_map_request, MapRequest, Op, PROTOCOL};
+
+/// A parsed `chortle-serve/v1` response line.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Response {
+    /// `status: "ok"` for `op: "map"`.
+    MapOk {
+        /// Echoed correlation id.
+        id: String,
+        /// LUTs in the mapped circuit.
+        luts: usize,
+        /// LUT levels on the longest path.
+        depth: usize,
+        /// Warm-cache generation that served this request.
+        cache_generation: u64,
+        /// The mapped netlist (BLIF, model `mapped`).
+        netlist: String,
+        /// The embedded per-request telemetry report, re-serialized.
+        report_json: String,
+    },
+    /// `status: "ok"` for `op: "flush"`.
+    FlushOk {
+        /// Echoed correlation id.
+        id: String,
+        /// The new (post-flush) cache generation.
+        cache_generation: u64,
+    },
+    /// `status: "ok"` for `op: "stats"`.
+    StatsOk {
+        /// Echoed correlation id.
+        id: String,
+        /// Current cache generation.
+        cache_generation: u64,
+        /// The aggregate server report, re-serialized.
+        report_json: String,
+    },
+    /// `status: "ok"` for `op: "shutdown"`.
+    ShutdownOk {
+        /// Echoed correlation id.
+        id: String,
+    },
+    /// `status: "rejected"` — any op.
+    Rejected {
+        /// Echoed (possibly recovered) correlation id.
+        id: String,
+        /// The typed reason (`queue_full`, `deadline_exceeded`,
+        /// `bad_request`, `shutting_down`, `internal`).
+        reason: String,
+        /// Human-readable detail.
+        detail: String,
+    },
+}
+
+/// Parses one response line into a [`Response`].
+///
+/// # Errors
+///
+/// Returns a description of the first deviation when the line is not a
+/// well-formed `chortle-serve/v1` response.
+pub fn parse_response(line: &str) -> Result<Response, String> {
+    let value = json::parse(line).map_err(|e| format!("invalid JSON in response: {e}"))?;
+    let str_field = |key: &str| -> Result<String, String> {
+        value
+            .get(key)
+            .and_then(Value::as_str)
+            .map(str::to_owned)
+            .ok_or_else(|| format!("response is missing string field {key:?}"))
+    };
+    let u64_field = |key: &str| -> Result<u64, String> {
+        value
+            .get(key)
+            .and_then(Value::as_u64)
+            .ok_or_else(|| format!("response is missing integer field {key:?}"))
+    };
+    let proto = str_field("proto")?;
+    if proto != PROTOCOL {
+        return Err(format!("unexpected protocol {proto:?}"));
+    }
+    let id = str_field("id")?;
+    match str_field("status")?.as_str() {
+        "rejected" => Ok(Response::Rejected {
+            id,
+            reason: str_field("reason")?,
+            detail: str_field("detail")?,
+        }),
+        "ok" => match str_field("op")?.as_str() {
+            "map" => Ok(Response::MapOk {
+                id,
+                luts: u64_field("luts")? as usize,
+                depth: u64_field("depth")? as usize,
+                cache_generation: u64_field("cache_generation")?,
+                netlist: str_field("netlist")?,
+                report_json: value
+                    .get("report")
+                    .map(Value::to_json)
+                    .ok_or("response is missing \"report\"")?,
+            }),
+            "flush" => Ok(Response::FlushOk {
+                id,
+                cache_generation: u64_field("cache_generation")?,
+            }),
+            "stats" => Ok(Response::StatsOk {
+                id,
+                cache_generation: u64_field("cache_generation")?,
+                report_json: value
+                    .get("report")
+                    .map(Value::to_json)
+                    .ok_or("response is missing \"report\"")?,
+            }),
+            "shutdown" => Ok(Response::ShutdownOk { id }),
+            other => Err(format!("unknown response op {other:?}")),
+        },
+        other => Err(format!("unknown status {other:?}")),
+    }
+}
+
+/// A blocking connection to a running `chortle-serve` daemon. One
+/// request/response round trip at a time; open several clients for
+/// concurrency.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects to `addr` (e.g. `"127.0.0.1:7643"`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the connection failure.
+    pub fn connect(addr: &str) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        // One request, one response: disable Nagle so small request
+        // lines are not held back waiting for delayed ACKs.
+        stream.set_nodelay(true)?;
+        let writer = stream.try_clone()?;
+        Ok(Client {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    fn roundtrip(&mut self, line: &str) -> io::Result<Response> {
+        let mut framed = String::with_capacity(line.len() + 1);
+        framed.push_str(line);
+        framed.push('\n');
+        self.writer.write_all(framed.as_bytes())?;
+        self.writer.flush()?;
+        let mut response = String::new();
+        let n = self.reader.read_line(&mut response)?;
+        if n == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection before responding",
+            ));
+        }
+        parse_response(response.trim_end()).map_err(io::Error::other)
+    }
+
+    /// Sends a `map` request and waits for its response.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures and malformed response lines.
+    pub fn map(&mut self, id: &str, req: &MapRequest) -> io::Result<Response> {
+        self.roundtrip(&render_map_request(id, req))
+    }
+
+    /// Sends a `flush` request and waits for its response.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures and malformed response lines.
+    pub fn flush(&mut self, id: &str) -> io::Result<Response> {
+        self.roundtrip(&render_admin_request(id, &Op::Flush))
+    }
+
+    /// Sends a `stats` request and waits for its response.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures and malformed response lines.
+    pub fn stats(&mut self, id: &str) -> io::Result<Response> {
+        self.roundtrip(&render_admin_request(id, &Op::Stats))
+    }
+
+    /// Sends a `shutdown` request and waits for its acknowledgement.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures and malformed response lines.
+    pub fn shutdown(&mut self, id: &str) -> io::Result<Response> {
+        self.roundtrip(&render_admin_request(id, &Op::Shutdown))
+    }
+
+    /// Sends a raw request line verbatim (for protocol tests).
+    ///
+    /// # Errors
+    ///
+    /// I/O failures and malformed response lines.
+    pub fn send_raw(&mut self, line: &str) -> io::Result<Response> {
+        self.roundtrip(line)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proto::{render_map_ok, render_rejected, RejectReason};
+
+    #[test]
+    fn parses_rendered_responses() {
+        let ok = render_map_ok("q", 9, 3, 2, ".model mapped\n.end\n", "{\"a\":1}");
+        match parse_response(&ok).expect("parses") {
+            Response::MapOk {
+                id,
+                luts,
+                depth,
+                cache_generation,
+                netlist,
+                report_json,
+            } => {
+                assert_eq!((id.as_str(), luts, depth, cache_generation), ("q", 9, 3, 2));
+                assert_eq!(netlist, ".model mapped\n.end\n");
+                assert_eq!(report_json, "{\"a\":1}");
+            }
+            other => panic!("expected MapOk, got {other:?}"),
+        }
+        let rej = render_rejected("r", RejectReason::DeadlineExceeded, "too slow");
+        assert_eq!(
+            parse_response(&rej).expect("parses"),
+            Response::Rejected {
+                id: "r".into(),
+                reason: "deadline_exceeded".into(),
+                detail: "too slow".into(),
+            }
+        );
+        assert!(parse_response("{}").is_err());
+    }
+}

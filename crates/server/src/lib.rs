@@ -1,0 +1,44 @@
+//! `chortle-server` — a resident technology-mapping service around the
+//! [`chortle`] mapper.
+//!
+//! The library behind the `chortle-serve` binary (and the
+//! `chortle-map serve` subcommand). It serves the newline-delimited
+//! JSON protocol `chortle-serve/v1` ([`proto`]) over localhost TCP
+//! ([`Server`]) or stdin/stdout ([`serve_stdio`]), with:
+//!
+//! - a fixed worker pool fed by a **bounded admission queue** —
+//!   overload turns into immediate typed `rejected: queue_full`
+//!   responses, never unbounded buffering;
+//! - **per-request deadlines** (`deadline_ms`) enforced cooperatively
+//!   at tree boundaries inside the mapper, answering
+//!   `rejected: deadline_exceeded` with partial work discarded;
+//! - a process-wide **warm DP cache** ([`chortle::WarmCache`]) shared
+//!   across requests in `cache: "shared"` mode, observable through the
+//!   `cache_generation` response field and resettable with a `flush`
+//!   request;
+//! - **graceful shutdown**: a `shutdown` request stops admission,
+//!   drains in-flight work, and yields a final aggregate telemetry
+//!   report (`serve.*` counters, schema `chortle-telemetry/v1.2`).
+//!
+//! Responses are byte-identical to the offline `chortle-map` CLI for
+//! the same `(BLIF, k, jobs, cache, objective, optimize)` — the server
+//! is a faster way to run the same mapper, not a different mapper.
+//!
+//! Everything is `std`-only, like the rest of the workspace.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod client;
+pub mod proto;
+pub mod queue;
+mod server;
+mod service;
+
+pub use args::{print_serve_help, ServeArgs, SERVE_FLAGS};
+pub use client::{parse_response, Client, Response};
+pub use proto::{MapRequest, Op, RejectReason, Request, PROTOCOL};
+pub use server::{
+    run_daemon, serve_stdio, stats, ServeConfig, Server, ServerHandle, ServerSummary,
+};

@@ -1,0 +1,577 @@
+//! The `chortle-serve/v1` wire protocol.
+//!
+//! One request per line, one response per line, both JSON objects —
+//! newline-delimited so clients can speak it with a buffered reader and
+//! no framing layer. Parsing reuses the hand-rolled RFC 8259 parser of
+//! `chortle_telemetry::json`; serialization is hand-written in the same
+//! style (`write_string` for escaping), so the whole protocol stays
+//! std-only.
+//!
+//! ## Grammar (see DESIGN.md §12 for the full semantics)
+//!
+//! Request keys: `proto` (required, `"chortle-serve/v1"`), `id`
+//! (optional string, echoed verbatim), `op` (`"map"` default, `"flush"`,
+//! `"stats"`, `"shutdown"`); for `op: "map"` also `blif` (required),
+//! `k` (default 4), `jobs` (default 1), `cache`
+//! (`"shared"`/`"tree"`/`"off"`, default shared), `objective`
+//! (`"area"`/`"depth"`, default area), `optimize` (default true) and
+//! `deadline_ms` (optional). Unknown keys, unknown enum values, and
+//! admin requests carrying map-only keys are rejected — a versioned
+//! protocol fails loudly instead of guessing.
+//!
+//! Responses carry `status: "ok"` with per-op payloads, or
+//! `status: "rejected"` with a typed `reason` ([`RejectReason`]) and a
+//! human-readable `detail`.
+
+use chortle::{CacheMode, Objective};
+use chortle_telemetry::json::{self, write_string, Value};
+
+/// The protocol version tag every request and response carries.
+pub const PROTOCOL: &str = "chortle-serve/v1";
+
+/// A parsed request: the echoed `id` plus the operation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Request {
+    /// Client-chosen correlation id, echoed verbatim in the response
+    /// (empty when absent).
+    pub id: String,
+    /// The requested operation.
+    pub op: Op,
+}
+
+/// The operations of `chortle-serve/v1`.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Op {
+    /// Map an inline BLIF network into K-input LUTs.
+    Map(MapRequest),
+    /// Discard the warm cross-request DP cache and bump its generation.
+    Flush,
+    /// Return the aggregate server telemetry report so far.
+    Stats,
+    /// Stop accepting work, drain in-flight requests, exit.
+    Shutdown,
+}
+
+/// The payload of a `map` request.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MapRequest {
+    /// The network to map, as inline BLIF text.
+    pub blif: String,
+    /// LUT input count (the mapper validates the 2..=8 range).
+    pub k: usize,
+    /// Mapper worker threads (0 = host parallelism). Identical output
+    /// for every value — parallelism is a latency knob only.
+    pub jobs: usize,
+    /// DP memoization mode; `Shared` (the default) additionally taps the
+    /// server's warm cross-request cache.
+    pub cache: CacheMode,
+    /// Mapping objective.
+    pub objective: Objective,
+    /// Run the MIS-style optimization script before mapping (default
+    /// true — matching the offline CLI's default flow).
+    pub optimize: bool,
+    /// Per-request deadline in milliseconds from admission. `None` means
+    /// unbounded.
+    pub deadline_ms: Option<u64>,
+}
+
+/// Typed rejection reasons — the `reason` field of a
+/// `status: "rejected"` response.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RejectReason {
+    /// The bounded admission queue was full; retry later.
+    QueueFull,
+    /// The request's `deadline_ms` expired before mapping finished
+    /// (partial work discarded).
+    DeadlineExceeded,
+    /// The request was malformed: bad JSON, bad protocol fields, or
+    /// BLIF that does not parse.
+    BadRequest,
+    /// The server is shutting down and no longer admits work.
+    ShuttingDown,
+    /// The mapper failed internally (never expected; the detail says
+    /// how).
+    Internal,
+}
+
+impl RejectReason {
+    /// The wire spelling of the reason.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RejectReason::QueueFull => "queue_full",
+            RejectReason::DeadlineExceeded => "deadline_exceeded",
+            RejectReason::BadRequest => "bad_request",
+            RejectReason::ShuttingDown => "shutting_down",
+            RejectReason::Internal => "internal",
+        }
+    }
+}
+
+/// A protocol-level parse failure: the rejection detail plus whatever
+/// `id` could still be recovered for the response.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ProtoError {
+    /// Best-effort recovered correlation id (empty if the line was not
+    /// even JSON).
+    pub id: String,
+    /// Human-readable description of the first deviation.
+    pub detail: String,
+}
+
+/// Every key `chortle-serve/v1` knows; anything else is rejected.
+const KNOWN_KEYS: &[&str] = &[
+    "proto",
+    "id",
+    "op",
+    "blif",
+    "k",
+    "jobs",
+    "cache",
+    "objective",
+    "optimize",
+    "deadline_ms",
+];
+
+/// Keys that only make sense on `op: "map"`.
+const MAP_KEYS: &[&str] = &[
+    "blif",
+    "k",
+    "jobs",
+    "cache",
+    "objective",
+    "optimize",
+    "deadline_ms",
+];
+
+/// Parses one request line.
+///
+/// # Errors
+///
+/// Returns a [`ProtoError`] (maps to `rejected: bad_request`) on
+/// malformed JSON, a wrong or missing protocol tag, unknown keys or
+/// ops, wrong value kinds, or admin ops carrying map-only keys.
+pub fn parse_request(line: &str) -> Result<Request, ProtoError> {
+    let fail = |id: &str, detail: String| ProtoError {
+        id: id.to_owned(),
+        detail,
+    };
+    let value = json::parse(line).map_err(|e| fail("", format!("invalid JSON: {e}")))?;
+    let members = value
+        .as_object()
+        .ok_or_else(|| fail("", "request must be a JSON object".into()))?;
+    // Recover the id first so even rejections correlate.
+    let id = match value.get("id") {
+        None => String::new(),
+        Some(v) => v
+            .as_str()
+            .ok_or_else(|| fail("", "\"id\" must be a string".into()))?
+            .to_owned(),
+    };
+    for (key, _) in members {
+        if !KNOWN_KEYS.contains(&key.as_str()) {
+            return Err(fail(&id, format!("unknown key {key:?}")));
+        }
+    }
+    let proto = value
+        .get("proto")
+        .ok_or_else(|| fail(&id, format!("missing \"proto\" (expected {PROTOCOL:?})")))?
+        .as_str()
+        .ok_or_else(|| fail(&id, "\"proto\" must be a string".into()))?;
+    if proto != PROTOCOL {
+        return Err(fail(
+            &id,
+            format!("unsupported protocol {proto:?} (this server speaks {PROTOCOL:?})"),
+        ));
+    }
+    let op = match value.get("op") {
+        None => "map",
+        Some(v) => v
+            .as_str()
+            .ok_or_else(|| fail(&id, "\"op\" must be a string".into()))?,
+    };
+    if op != "map" {
+        if let Some((key, _)) = members.iter().find(|(k, _)| MAP_KEYS.contains(&k.as_str())) {
+            return Err(fail(
+                &id,
+                format!("key {key:?} is only valid for op \"map\", not {op:?}"),
+            ));
+        }
+    }
+    let op = match op {
+        "map" => Op::Map(parse_map_request(&value, &id)?),
+        "flush" => Op::Flush,
+        "stats" => Op::Stats,
+        "shutdown" => Op::Shutdown,
+        other => {
+            return Err(fail(
+                &id,
+                format!("unknown op {other:?} (expected map, flush, stats or shutdown)"),
+            ))
+        }
+    };
+    Ok(Request { id, op })
+}
+
+fn parse_map_request(value: &Value, id: &str) -> Result<MapRequest, ProtoError> {
+    let fail = |detail: String| ProtoError {
+        id: id.to_owned(),
+        detail,
+    };
+    let blif = value
+        .get("blif")
+        .ok_or_else(|| fail("op \"map\" requires a \"blif\" string".into()))?
+        .as_str()
+        .ok_or_else(|| fail("\"blif\" must be a string".into()))?
+        .to_owned();
+    let k = opt_u64(value, "k", id)?.map_or(4, |v| v as usize);
+    let jobs = opt_u64(value, "jobs", id)?.map_or(1, |v| v as usize);
+    let cache = match value.get("cache") {
+        None => CacheMode::Shared,
+        Some(v) => match v.as_str() {
+            Some("off") => CacheMode::Off,
+            Some("tree") => CacheMode::Tree,
+            Some("shared") => CacheMode::Shared,
+            _ => {
+                return Err(fail(format!(
+                    "\"cache\" must be \"off\", \"tree\" or \"shared\", found {}",
+                    describe(v)
+                )))
+            }
+        },
+    };
+    let objective = match value.get("objective") {
+        None => Objective::Area,
+        Some(v) => match v.as_str() {
+            Some("area") => Objective::Area,
+            Some("depth") => Objective::Depth,
+            _ => {
+                return Err(fail(format!(
+                    "\"objective\" must be \"area\" or \"depth\", found {}",
+                    describe(v)
+                )))
+            }
+        },
+    };
+    let optimize = match value.get("optimize") {
+        None => true,
+        Some(Value::Bool(b)) => *b,
+        Some(v) => {
+            return Err(fail(format!(
+                "\"optimize\" must be a boolean, found {}",
+                v.kind()
+            )))
+        }
+    };
+    let deadline_ms = opt_u64(value, "deadline_ms", id)?;
+    Ok(MapRequest {
+        blif,
+        k,
+        jobs,
+        cache,
+        objective,
+        optimize,
+        deadline_ms,
+    })
+}
+
+fn opt_u64(value: &Value, key: &str, id: &str) -> Result<Option<u64>, ProtoError> {
+    match value.get(key) {
+        None => Ok(None),
+        Some(v) => v.as_u64().map(Some).ok_or_else(|| ProtoError {
+            id: id.to_owned(),
+            detail: format!("{key:?} must be a non-negative integer, found {}", v.kind()),
+        }),
+    }
+}
+
+/// Renders an enum-valued field for error messages: the string content
+/// when it is a string, the kind otherwise.
+fn describe(v: &Value) -> String {
+    match v.as_str() {
+        Some(s) => format!("{s:?}"),
+        None => v.kind().to_owned(),
+    }
+}
+
+/// Renders a `map` request line (the client side of the protocol).
+/// Every knob is spelled out explicitly — request lines are
+/// self-describing rather than relying on server defaults.
+pub fn render_map_request(id: &str, req: &MapRequest) -> String {
+    let mut out = String::with_capacity(req.blif.len() + 160);
+    out.push_str("{\"proto\":");
+    write_string(&mut out, PROTOCOL);
+    out.push_str(",\"id\":");
+    write_string(&mut out, id);
+    out.push_str(",\"op\":\"map\",\"blif\":");
+    write_string(&mut out, &req.blif);
+    let cache = match req.cache {
+        CacheMode::Off => "off",
+        CacheMode::Tree => "tree",
+        CacheMode::Shared => "shared",
+    };
+    let objective = match req.objective {
+        Objective::Area => "area",
+        Objective::Depth => "depth",
+    };
+    out.push_str(&format!(
+        ",\"k\":{},\"jobs\":{},\"cache\":\"{cache}\",\"objective\":\"{objective}\",\"optimize\":{}",
+        req.k, req.jobs, req.optimize
+    ));
+    if let Some(ms) = req.deadline_ms {
+        out.push_str(&format!(",\"deadline_ms\":{ms}"));
+    }
+    out.push('}');
+    out
+}
+
+/// Renders an admin request line (`flush`, `stats` or `shutdown`).
+pub fn render_admin_request(id: &str, op: &Op) -> String {
+    let name = match op {
+        Op::Flush => "flush",
+        Op::Stats => "stats",
+        Op::Shutdown => "shutdown",
+        Op::Map(_) => unreachable!("map requests use render_map_request"),
+    };
+    let mut out = String::new();
+    out.push_str("{\"proto\":");
+    write_string(&mut out, PROTOCOL);
+    out.push_str(",\"id\":");
+    write_string(&mut out, id);
+    out.push_str(&format!(",\"op\":\"{name}\"}}"));
+    out
+}
+
+fn response_header(out: &mut String, id: &str, status: &str) {
+    out.push_str("{\"proto\":");
+    write_string(out, PROTOCOL);
+    out.push_str(",\"id\":");
+    write_string(out, id);
+    out.push_str(",\"status\":");
+    write_string(out, status);
+}
+
+/// Renders the success response of a `map` request. `report_json` is the
+/// embedded per-request telemetry report (already-serialized JSON,
+/// spliced in verbatim).
+pub fn render_map_ok(
+    id: &str,
+    luts: usize,
+    depth: usize,
+    cache_generation: u64,
+    netlist: &str,
+    report_json: &str,
+) -> String {
+    let mut out = String::with_capacity(netlist.len() + report_json.len() + 128);
+    response_header(&mut out, id, "ok");
+    out.push_str(",\"op\":\"map\"");
+    out.push_str(&format!(
+        ",\"luts\":{luts},\"depth\":{depth},\"cache_generation\":{cache_generation}"
+    ));
+    out.push_str(",\"netlist\":");
+    write_string(&mut out, netlist);
+    out.push_str(",\"report\":");
+    out.push_str(report_json);
+    out.push('}');
+    out
+}
+
+/// Renders the success response of a `flush` request.
+pub fn render_flush_ok(id: &str, cache_generation: u64) -> String {
+    let mut out = String::new();
+    response_header(&mut out, id, "ok");
+    out.push_str(&format!(
+        ",\"op\":\"flush\",\"cache_generation\":{cache_generation}}}"
+    ));
+    out
+}
+
+/// Renders the success response of a `stats` request: the aggregate
+/// server report plus the current cache generation.
+pub fn render_stats_ok(id: &str, cache_generation: u64, report_json: &str) -> String {
+    let mut out = String::with_capacity(report_json.len() + 96);
+    response_header(&mut out, id, "ok");
+    out.push_str(&format!(
+        ",\"op\":\"stats\",\"cache_generation\":{cache_generation},\"report\":"
+    ));
+    out.push_str(report_json);
+    out.push('}');
+    out
+}
+
+/// Renders the success response of a `shutdown` request (sent before the
+/// drain starts).
+pub fn render_shutdown_ok(id: &str) -> String {
+    let mut out = String::new();
+    response_header(&mut out, id, "ok");
+    out.push_str(",\"op\":\"shutdown\"}");
+    out
+}
+
+/// Renders a typed rejection.
+pub fn render_rejected(id: &str, reason: RejectReason, detail: &str) -> String {
+    let mut out = String::new();
+    response_header(&mut out, id, "rejected");
+    out.push_str(",\"reason\":");
+    write_string(&mut out, reason.as_str());
+    out.push_str(",\"detail\":");
+    write_string(&mut out, detail);
+    out.push('}');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn map_line(extra: &str) -> String {
+        format!(r#"{{"proto":"chortle-serve/v1","id":"r1","blif":".model m\n.end\n"{extra}}}"#)
+    }
+
+    #[test]
+    fn parses_map_defaults() {
+        let req = parse_request(&map_line("")).expect("parses");
+        assert_eq!(req.id, "r1");
+        let Op::Map(m) = req.op else {
+            panic!("expected map")
+        };
+        assert_eq!(m.k, 4);
+        assert_eq!(m.jobs, 1);
+        assert_eq!(m.cache, CacheMode::Shared);
+        assert_eq!(m.objective, Objective::Area);
+        assert!(m.optimize);
+        assert_eq!(m.deadline_ms, None);
+    }
+
+    #[test]
+    fn parses_every_map_knob() {
+        let req = parse_request(&map_line(
+            r#","k":5,"jobs":3,"cache":"off","objective":"depth","optimize":false,"deadline_ms":250"#,
+        ))
+        .expect("parses");
+        let Op::Map(m) = req.op else {
+            panic!("expected map")
+        };
+        assert_eq!(
+            (m.k, m.jobs, m.cache, m.objective, m.optimize, m.deadline_ms),
+            (5, 3, CacheMode::Off, Objective::Depth, false, Some(250))
+        );
+    }
+
+    #[test]
+    fn parses_admin_ops() {
+        for (name, op) in [
+            ("flush", Op::Flush),
+            ("stats", Op::Stats),
+            ("shutdown", Op::Shutdown),
+        ] {
+            let line = format!(r#"{{"proto":"chortle-serve/v1","op":"{name}"}}"#);
+            let req = parse_request(&line).expect("parses");
+            assert_eq!(req.op, op);
+            assert_eq!(req.id, "");
+        }
+    }
+
+    #[test]
+    fn rejects_protocol_violations_with_recovered_id() {
+        for (line, needle, id) in [
+            ("not json", "invalid JSON", ""),
+            ("[1,2]", "must be a JSON object", ""),
+            (r#"{"id":"x","blif":""}"#, "missing \"proto\"", "x"),
+            (
+                r#"{"proto":"chortle-serve/v9","id":"x","blif":""}"#,
+                "unsupported protocol",
+                "x",
+            ),
+            (
+                r#"{"proto":"chortle-serve/v1","id":"x","zap":1}"#,
+                "unknown key",
+                "x",
+            ),
+            (
+                r#"{"proto":"chortle-serve/v1","id":"x","op":"fold"}"#,
+                "unknown op",
+                "x",
+            ),
+            (
+                r#"{"proto":"chortle-serve/v1","id":"x"}"#,
+                "requires a \"blif\"",
+                "x",
+            ),
+            (
+                r#"{"proto":"chortle-serve/v1","id":"x","op":"flush","blif":""}"#,
+                "only valid for op \"map\"",
+                "x",
+            ),
+            (
+                r#"{"proto":"chortle-serve/v1","id":"x","blif":"","k":-1}"#,
+                "non-negative integer",
+                "x",
+            ),
+            (
+                r#"{"proto":"chortle-serve/v1","id":"x","blif":"","cache":"ram"}"#,
+                "\"cache\" must be",
+                "x",
+            ),
+        ] {
+            let err = parse_request(line).unwrap_err();
+            assert!(err.detail.contains(needle), "{line}: {}", err.detail);
+            assert_eq!(err.id, id, "{line}");
+        }
+    }
+
+    #[test]
+    fn rendered_requests_round_trip_through_the_parser() {
+        let req = MapRequest {
+            blif: ".model m\n.inputs a\n.outputs y\n.names a y\n1 1\n.end\n".into(),
+            k: 5,
+            jobs: 2,
+            cache: CacheMode::Tree,
+            objective: Objective::Depth,
+            optimize: false,
+            deadline_ms: Some(125),
+        };
+        let line = render_map_request("rt", &req);
+        assert!(!line.contains('\n'));
+        let parsed = parse_request(&line).expect("round trips");
+        assert_eq!(parsed.id, "rt");
+        assert_eq!(parsed.op, Op::Map(req));
+
+        for op in [Op::Flush, Op::Stats, Op::Shutdown] {
+            let line = render_admin_request("a1", &op);
+            let parsed = parse_request(&line).expect("round trips");
+            assert_eq!((parsed.id.as_str(), parsed.op), ("a1", op));
+        }
+    }
+
+    #[test]
+    fn responses_are_one_line_and_reparse() {
+        let cases = [
+            render_map_ok("a", 3, 2, 7, ".model mapped\n.end\n", "{\"schema\":\"x\"}"),
+            render_flush_ok("b", 8),
+            render_stats_ok("", 0, "{\"schema\":\"x\"}"),
+            render_shutdown_ok("c"),
+            render_rejected("d", RejectReason::QueueFull, "queue is full"),
+        ];
+        for line in &cases {
+            assert!(!line.contains('\n'), "{line}");
+            let value = chortle_telemetry::json::parse(line).expect("reparses");
+            assert_eq!(
+                value.get("proto").and_then(Value::as_str),
+                Some(PROTOCOL),
+                "{line}"
+            );
+        }
+        // Netlist newlines survive the JSON round trip.
+        let map = chortle_telemetry::json::parse(&cases[0]).unwrap();
+        assert_eq!(
+            map.get("netlist").and_then(Value::as_str),
+            Some(".model mapped\n.end\n")
+        );
+        assert_eq!(map.get("cache_generation").and_then(Value::as_u64), Some(7));
+        let rej = chortle_telemetry::json::parse(&cases[4]).unwrap();
+        assert_eq!(
+            rej.get("reason").and_then(Value::as_str),
+            Some("queue_full")
+        );
+    }
+}

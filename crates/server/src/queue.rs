@@ -1,0 +1,162 @@
+//! The bounded admission queue between connection readers and the
+//! worker pool.
+//!
+//! Admission is the server's backpressure point: [`BoundedQueue::try_push`]
+//! never blocks and never buffers beyond the configured capacity —
+//! when the queue is full the job comes straight back
+//! ([`PushError::Full`]) and the connection thread answers
+//! `rejected: queue_full` immediately. A client therefore always learns
+//! the server's state within one round trip; nothing silently piles up.
+//!
+//! Workers block in [`BoundedQueue::pop`] on a condvar. Closing the
+//! queue ([`BoundedQueue::close`]) starts the drain: pushes fail with
+//! [`PushError::Closed`], pops keep returning queued jobs until the
+//! queue is empty, then return `None` — which is each worker's signal
+//! to exit. That ordering is what makes shutdown graceful: admitted
+//! work always completes.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Why a push was refused; both variants hand the job back to the
+/// caller so a typed rejection can be sent without cloning.
+#[derive(Debug)]
+pub enum PushError<T> {
+    /// Capacity reached — overload backpressure.
+    Full(T),
+    /// The queue was closed (shutdown in progress).
+    Closed(T),
+}
+
+struct State<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A Mutex + Condvar bounded MPMC queue (std-only).
+pub struct BoundedQueue<T> {
+    capacity: usize,
+    state: Mutex<State<T>>,
+    available: Condvar,
+}
+
+impl<T> BoundedQueue<T> {
+    /// A queue admitting at most `capacity` jobs (clamped to at least 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        BoundedQueue {
+            capacity,
+            state: Mutex::new(State {
+                items: VecDeque::with_capacity(capacity),
+                closed: false,
+            }),
+            available: Condvar::new(),
+        }
+    }
+
+    /// Non-blocking admission.
+    ///
+    /// # Errors
+    ///
+    /// [`PushError::Full`] when at capacity, [`PushError::Closed`] after
+    /// [`BoundedQueue::close`]; both return the job.
+    pub fn try_push(&self, item: T) -> Result<(), PushError<T>> {
+        let mut state = self.state.lock().expect("queue poisoned");
+        if state.closed {
+            return Err(PushError::Closed(item));
+        }
+        if state.items.len() >= self.capacity {
+            return Err(PushError::Full(item));
+        }
+        state.items.push_back(item);
+        drop(state);
+        self.available.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until a job is available (returns it) or the queue is
+    /// closed *and* drained (returns `None` — the worker's exit signal).
+    pub fn pop(&self) -> Option<T> {
+        let mut state = self.state.lock().expect("queue poisoned");
+        loop {
+            if let Some(item) = state.items.pop_front() {
+                return Some(item);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.available.wait(state).expect("queue poisoned");
+        }
+    }
+
+    /// Closes the queue: future pushes fail, queued jobs still drain,
+    /// idle workers wake up to observe the close.
+    pub fn close(&self) {
+        self.state.lock().expect("queue poisoned").closed = true;
+        self.available.notify_all();
+    }
+
+    /// Jobs currently queued (racy; for observability only).
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("queue poisoned").items.len()
+    }
+
+    /// Whether no jobs are queued right now.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn capacity_bounds_admission() {
+        let q = BoundedQueue::new(2);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        match q.try_push(3) {
+            Err(PushError::Full(3)) => {}
+            other => panic!("expected Full(3), got {other:?}"),
+        }
+        assert_eq!(q.pop(), Some(1));
+        q.try_push(3).unwrap();
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn close_drains_then_stops() {
+        let q = BoundedQueue::new(4);
+        q.try_push(1).unwrap();
+        q.close();
+        match q.try_push(2) {
+            Err(PushError::Closed(2)) => {}
+            other => panic!("expected Closed(2), got {other:?}"),
+        }
+        assert_eq!(q.pop(), Some(1), "queued jobs drain after close");
+        assert_eq!(q.pop(), None, "then pops signal exit");
+    }
+
+    #[test]
+    fn close_wakes_blocked_workers() {
+        let q = Arc::new(BoundedQueue::<u32>::new(1));
+        let waiter = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.pop())
+        };
+        // No sleep needed for correctness: close() notifies whether or
+        // not the waiter reached the condvar yet.
+        q.close();
+        assert_eq!(waiter.join().expect("no panic"), None);
+    }
+
+    #[test]
+    fn zero_capacity_clamps_to_one() {
+        let q = BoundedQueue::new(0);
+        q.try_push(7).unwrap();
+        assert!(matches!(q.try_push(8), Err(PushError::Full(8))));
+        assert!(!q.is_empty());
+    }
+}

@@ -1,0 +1,501 @@
+//! The `chortle-serve` runtime: listener, connection readers, worker
+//! pool, warm cache, and graceful shutdown.
+//!
+//! ## Threading model
+//!
+//! One accept loop (the caller's thread in [`Server::run`]) spawns a
+//! detached reader thread per connection. Readers parse requests and
+//! either answer immediately (admin ops, rejections) or push a job into
+//! the bounded [`BoundedQueue`]; a fixed pool of worker threads pops
+//! jobs and runs the mapping pipeline. Responses go back through a
+//! per-connection mutexed writer, so a client may pipeline requests and
+//! receives exactly one line per request (order may interleave across
+//! *worker* completion, which is why responses echo the request `id`).
+//!
+//! ## Shutdown
+//!
+//! A `shutdown` request (or stdin EOF in `--stdio` mode) flips the
+//! stopping flag, closes the queue, and wakes the accept loop with a
+//! loopback self-connection. From that point new work is rejected with
+//! `shutting_down`, queued and in-flight jobs drain to completion
+//! (counted as `serve.drained`), workers exit on the drained queue, and
+//! [`Server::run`] returns the final aggregate [`ServerSummary`].
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{Ipv4Addr, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use chortle::WarmCache;
+use chortle_telemetry::{Report, Telemetry};
+
+use crate::proto::{
+    parse_request, render_flush_ok, render_map_ok, render_rejected, render_shutdown_ok,
+    render_stats_ok, MapRequest, Op, RejectReason,
+};
+use crate::queue::{BoundedQueue, PushError};
+use crate::service;
+
+/// Names of the aggregate counters and stages the server reports —
+/// the closed `serve.*` namespace of telemetry schema v1.2 (see
+/// [`chortle_telemetry::schema::SERVE_COUNTERS`]).
+pub mod stats {
+    /// Counter: TCP connections accepted (absent in `--stdio` mode).
+    pub const CONNECTIONS: &str = "serve.connections";
+    /// Counter: map requests admitted to the queue.
+    pub const ACCEPTED: &str = "serve.accepted";
+    /// Counter: map requests completed successfully.
+    pub const COMPLETED: &str = "serve.completed";
+    /// Counter: map requests refused because the queue was full.
+    pub const REJECTED_QUEUE_FULL: &str = "serve.rejected_queue_full";
+    /// Counter: map requests whose deadline expired (queued or mid-map).
+    pub const REJECTED_DEADLINE: &str = "serve.rejected_deadline";
+    /// Counter: malformed requests (protocol or BLIF).
+    pub const REJECTED_BAD_REQUEST: &str = "serve.rejected_bad_request";
+    /// Counter: map requests refused during shutdown.
+    pub const REJECTED_SHUTDOWN: &str = "serve.rejected_shutdown";
+    /// Counter: admitted requests completed *after* shutdown began —
+    /// the graceful-drain guarantee, made visible.
+    pub const DRAINED: &str = "serve.drained";
+    /// Counter: warm-cache flush requests served.
+    pub const FLUSHES: &str = "serve.flushes";
+    /// Stage: wall time of each worker-executed request (queue wait
+    /// excluded).
+    pub const STAGE_REQUEST: &str = "serve.request";
+}
+
+/// Server configuration (transport-independent).
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Worker threads executing map requests (0 = host parallelism).
+    pub workers: usize,
+    /// Admission queue capacity; pushes beyond it answer `queue_full`.
+    pub queue_capacity: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 0,
+            queue_capacity: 64,
+        }
+    }
+}
+
+/// What [`Server::run`] (and [`serve_stdio`]) return after the drain.
+#[derive(Clone, Debug)]
+pub struct ServerSummary {
+    /// The aggregate server telemetry report (`serve.*` counters, the
+    /// per-request stage) — schema-valid `chortle-telemetry/v1.2`.
+    pub report: Report,
+    /// Final warm-cache generation.
+    pub cache_generation: u64,
+    /// Distinct shape solutions left in the warm cache.
+    pub cache_shapes: usize,
+}
+
+/// One queued map job: the request plus everything needed to answer it.
+struct Job {
+    id: String,
+    req: MapRequest,
+    deadline: Option<Instant>,
+    out: Responder,
+}
+
+/// A clonable, mutexed line writer shared by all responders of one
+/// connection.
+#[derive(Clone)]
+struct Responder {
+    sink: Arc<Mutex<Box<dyn Write + Send>>>,
+}
+
+impl Responder {
+    fn new(sink: Box<dyn Write + Send>) -> Self {
+        Responder {
+            sink: Arc::new(Mutex::new(sink)),
+        }
+    }
+
+    /// Writes one response line. A single write call per response —
+    /// split writes on a TCP stream invite Nagle/delayed-ACK stalls.
+    /// Write errors are swallowed: a client that hung up forfeits its
+    /// answers, never the server.
+    fn send(&self, line: &str) {
+        let mut framed = String::with_capacity(line.len() + 1);
+        framed.push_str(line);
+        framed.push('\n');
+        let mut sink = self.sink.lock().expect("responder poisoned");
+        let _ = sink.write_all(framed.as_bytes());
+        let _ = sink.flush();
+    }
+}
+
+/// State shared by the accept loop, connection readers, and workers.
+struct Shared {
+    queue: BoundedQueue<Job>,
+    warm: WarmCache,
+    telemetry: Telemetry,
+    stopping: AtomicBool,
+    /// The listener's address, used to self-connect and wake the accept
+    /// loop on shutdown (`None` in stdio mode — nothing to wake).
+    addr: Option<SocketAddr>,
+}
+
+impl Shared {
+    fn new(config: &ServeConfig, addr: Option<SocketAddr>) -> Self {
+        Shared {
+            queue: BoundedQueue::new(config.queue_capacity),
+            warm: WarmCache::new(),
+            telemetry: Telemetry::enabled(),
+            stopping: AtomicBool::new(false),
+            addr,
+        }
+    }
+
+    fn stopping(&self) -> bool {
+        self.stopping.load(Ordering::Acquire)
+    }
+
+    /// Flips into drain mode exactly once: stop admitting, close the
+    /// queue, wake the accept loop.
+    fn initiate_shutdown(&self) {
+        if self.stopping.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        self.queue.close();
+        if let Some(addr) = self.addr {
+            // The accept loop is (probably) parked in accept(); a
+            // loopback connection wakes it to observe the flag. Failure
+            // is harmless — the loop also checks per accepted stream.
+            let _ = TcpStream::connect_timeout(&addr, Duration::from_secs(1));
+        }
+    }
+
+    fn summary(&self) -> ServerSummary {
+        ServerSummary {
+            report: self.telemetry.snapshot(),
+            cache_generation: self.warm.generation(),
+            cache_shapes: self.warm.shapes(),
+        }
+    }
+}
+
+/// Handles one request line; `Break` means "stop reading this input"
+/// (after a shutdown request).
+fn dispatch(shared: &Shared, line: &str, out: &Responder) -> std::ops::ControlFlow<()> {
+    use std::ops::ControlFlow::{Break, Continue};
+    let telemetry = &shared.telemetry;
+    let request = match parse_request(line) {
+        Ok(request) => request,
+        Err(e) => {
+            telemetry.add_counter(stats::REJECTED_BAD_REQUEST, 1);
+            out.send(&render_rejected(&e.id, RejectReason::BadRequest, &e.detail));
+            return Continue(());
+        }
+    };
+    match request.op {
+        Op::Map(req) => {
+            if shared.stopping() {
+                telemetry.add_counter(stats::REJECTED_SHUTDOWN, 1);
+                out.send(&render_rejected(
+                    &request.id,
+                    RejectReason::ShuttingDown,
+                    "server is draining and no longer admits work",
+                ));
+                return Continue(());
+            }
+            // The deadline clock starts at admission: time spent queued
+            // counts against it.
+            let deadline = req
+                .deadline_ms
+                .map(|ms| Instant::now() + Duration::from_millis(ms));
+            let job = Job {
+                id: request.id,
+                req,
+                deadline,
+                out: out.clone(),
+            };
+            match shared.queue.try_push(job) {
+                Ok(()) => telemetry.add_counter(stats::ACCEPTED, 1),
+                Err(PushError::Full(job)) => {
+                    telemetry.add_counter(stats::REJECTED_QUEUE_FULL, 1);
+                    job.out.send(&render_rejected(
+                        &job.id,
+                        RejectReason::QueueFull,
+                        "admission queue is full; retry later",
+                    ));
+                }
+                Err(PushError::Closed(job)) => {
+                    telemetry.add_counter(stats::REJECTED_SHUTDOWN, 1);
+                    job.out.send(&render_rejected(
+                        &job.id,
+                        RejectReason::ShuttingDown,
+                        "server is draining and no longer admits work",
+                    ));
+                }
+            }
+            Continue(())
+        }
+        Op::Flush => {
+            let generation = shared.warm.flush();
+            telemetry.add_counter(stats::FLUSHES, 1);
+            out.send(&render_flush_ok(&request.id, generation));
+            Continue(())
+        }
+        Op::Stats => {
+            out.send(&render_stats_ok(
+                &request.id,
+                shared.warm.generation(),
+                &shared.telemetry.snapshot().to_json(),
+            ));
+            Continue(())
+        }
+        Op::Shutdown => {
+            out.send(&render_shutdown_ok(&request.id));
+            shared.initiate_shutdown();
+            Break(())
+        }
+    }
+}
+
+/// One worker: pop, execute, respond — until the queue closes and
+/// drains.
+fn worker_loop(shared: &Shared) {
+    while let Some(job) = shared.queue.pop() {
+        let draining = shared.stopping();
+        let start = Instant::now();
+        let expired = job.deadline.is_some_and(|d| Instant::now() >= d);
+        let result = if expired {
+            Err((
+                RejectReason::DeadlineExceeded,
+                "deadline expired while queued".to_owned(),
+            ))
+        } else {
+            service::execute_map(&job.req, &shared.warm, service::cancel_for(job.deadline))
+        };
+        match result {
+            Ok(outcome) => {
+                shared.telemetry.add_counter(stats::COMPLETED, 1);
+                if draining {
+                    shared.telemetry.add_counter(stats::DRAINED, 1);
+                }
+                job.out.send(&render_map_ok(
+                    &job.id,
+                    outcome.luts,
+                    outcome.depth,
+                    shared.warm.generation(),
+                    &outcome.netlist,
+                    &outcome.report_json,
+                ));
+            }
+            Err((reason, detail)) => {
+                let counter = match reason {
+                    RejectReason::DeadlineExceeded => Some(stats::REJECTED_DEADLINE),
+                    RejectReason::BadRequest => Some(stats::REJECTED_BAD_REQUEST),
+                    _ => None,
+                };
+                if let Some(name) = counter {
+                    shared.telemetry.add_counter(name, 1);
+                }
+                job.out.send(&render_rejected(&job.id, reason, &detail));
+            }
+        }
+        shared
+            .telemetry
+            .record_stage(stats::STAGE_REQUEST, start.elapsed().as_secs_f64());
+    }
+}
+
+fn spawn_workers(shared: &Arc<Shared>, count: usize) -> Vec<std::thread::JoinHandle<()>> {
+    (0..count)
+        .map(|i| {
+            let shared = Arc::clone(shared);
+            std::thread::Builder::new()
+                .name(format!("chortle-serve-worker-{i}"))
+                .spawn(move || worker_loop(&shared))
+                .expect("spawn worker thread")
+        })
+        .collect()
+}
+
+fn resolve_workers(requested: usize) -> usize {
+    if requested == 0 {
+        std::thread::available_parallelism().map_or(1, usize::from)
+    } else {
+        requested
+    }
+}
+
+/// Reads one connection until EOF/shutdown, dispatching each line.
+fn serve_connection(shared: Arc<Shared>, stream: TcpStream) {
+    // Responses are small (or single bulk writes); latency matters more
+    // than segment coalescing on a request/response protocol.
+    let _ = stream.set_nodelay(true);
+    let Ok(writer) = stream.try_clone() else {
+        return;
+    };
+    let out = Responder::new(Box::new(writer));
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        if dispatch(&shared, &line, &out).is_break() {
+            break;
+        }
+    }
+}
+
+/// A bound, not-yet-running server. Construct with [`Server::bind`],
+/// inspect [`Server::local_addr`], then consume with [`Server::run`].
+pub struct Server {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+    workers: usize,
+}
+
+/// A clonable remote control for a running [`Server`] — lets tests and
+/// embedders trigger the same graceful shutdown a `shutdown` request
+/// does, and watch the warm cache.
+#[derive(Clone)]
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+}
+
+impl ServerHandle {
+    /// Initiates graceful shutdown (idempotent).
+    pub fn shutdown(&self) {
+        self.shared.initiate_shutdown();
+    }
+
+    /// Current warm-cache generation.
+    pub fn cache_generation(&self) -> u64 {
+        self.shared.warm.generation()
+    }
+}
+
+impl Server {
+    /// Binds `127.0.0.1:port` (`port` 0 picks an ephemeral port —
+    /// read it back via [`Server::local_addr`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure (port in use, no loopback, …).
+    pub fn bind(port: u16, config: &ServeConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind((Ipv4Addr::LOCALHOST, port))?;
+        let addr = listener.local_addr()?;
+        Ok(Server {
+            listener,
+            shared: Arc::new(Shared::new(config, Some(addr))),
+            workers: resolve_workers(config.workers),
+        })
+    }
+
+    /// The bound address (loopback; the port is the interesting part).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket introspection failure (never expected on a
+    /// bound listener).
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A remote control valid for this server's whole lifetime.
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Serves until a `shutdown` request (or [`ServerHandle::shutdown`])
+    /// completes the drain; returns the aggregate summary.
+    pub fn run(self) -> ServerSummary {
+        let workers = spawn_workers(&self.shared, self.workers);
+        for stream in self.listener.incoming() {
+            if self.shared.stopping() {
+                break; // woken (possibly by the self-connection)
+            }
+            let Ok(stream) = stream else { continue };
+            self.shared.telemetry.add_counter(stats::CONNECTIONS, 1);
+            let shared = Arc::clone(&self.shared);
+            // Detached on purpose: a reader blocked on a quiet client
+            // must not block the drain. Workers finishing admitted jobs
+            // are what shutdown waits for.
+            let _ = std::thread::Builder::new()
+                .name("chortle-serve-conn".to_owned())
+                .spawn(move || serve_connection(shared, stream));
+        }
+        // The queue is closed (initiate_shutdown); wait for the drain.
+        for handle in workers {
+            handle.join().expect("worker panicked");
+        }
+        self.shared.summary()
+    }
+}
+
+/// The shared daemon entry point behind `chortle-serve` and
+/// `chortle-map serve`: parses `args` against the serve flag table,
+/// binds (or goes stdio), prints `listening on ADDR` to stderr, serves
+/// until shutdown, and prints the final aggregate report — to stdout in
+/// TCP mode, to stderr in stdio mode (where the protocol owns stdout).
+///
+/// Returns the process exit code. `invocation` titles the help text.
+pub fn run_daemon(invocation: &str, args: impl Iterator<Item = String>) -> std::process::ExitCode {
+    use std::process::ExitCode;
+    let parsed = match crate::args::ServeArgs::parse(invocation, args) {
+        Ok(Some(parsed)) => parsed,
+        Ok(None) => return ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("{invocation}: {msg} (try --help)");
+            return ExitCode::FAILURE;
+        }
+    };
+    if parsed.stdio {
+        let summary = serve_stdio(&parsed.config());
+        eprintln!("{}", summary.report.to_json());
+        return ExitCode::SUCCESS;
+    }
+    let server = match Server::bind(parsed.port, &parsed.config()) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("{invocation}: cannot bind 127.0.0.1:{}: {e}", parsed.port);
+            return ExitCode::FAILURE;
+        }
+    };
+    match server.local_addr() {
+        Ok(addr) => eprintln!("listening on {addr}"),
+        Err(e) => {
+            eprintln!("{invocation}: cannot read bound address: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    let summary = server.run();
+    println!("{}", summary.report.to_json());
+    ExitCode::SUCCESS
+}
+
+/// Serves newline-delimited JSON on stdin/stdout — same protocol, same
+/// worker pool, no socket. EOF on stdin (or a `shutdown` request)
+/// starts the drain. Useful under process supervisors and for piping.
+pub fn serve_stdio(config: &ServeConfig) -> ServerSummary {
+    let shared = Arc::new(Shared::new(config, None));
+    let workers = spawn_workers(&shared, resolve_workers(config.workers));
+    let out = Responder::new(Box::new(io::stdout()));
+    for line in io::stdin().lock().lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        if dispatch(&shared, &line, &out).is_break() {
+            break;
+        }
+    }
+    shared.initiate_shutdown();
+    for handle in workers {
+        handle.join().expect("worker panicked");
+    }
+    shared.summary()
+}

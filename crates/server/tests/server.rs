@@ -1,0 +1,326 @@
+//! Integration tests for the `chortle-serve` runtime: byte-identity
+//! with the offline pipeline, deadlines, backpressure, the warm cache,
+//! and graceful shutdown — all against a real in-process TCP server.
+
+use std::thread;
+
+use chortle::{CacheMode, Objective};
+use chortle_circuits::{alu, benchmark};
+use chortle_netlist::write_blif;
+use chortle_server::{Client, MapRequest, Response, ServeConfig, Server, ServerSummary};
+
+/// Starts a server on an ephemeral port; returns its address and the
+/// thread that will yield the final summary after shutdown.
+fn start(config: ServeConfig) -> (String, thread::JoinHandle<ServerSummary>) {
+    let server = Server::bind(0, &config).expect("bind ephemeral port");
+    let addr = server.local_addr().expect("bound address").to_string();
+    let run = thread::spawn(move || server.run());
+    (addr, run)
+}
+
+fn request(blif: &str) -> MapRequest {
+    MapRequest {
+        blif: blif.to_owned(),
+        k: 4,
+        jobs: 1,
+        cache: CacheMode::Shared,
+        objective: Objective::Area,
+        optimize: true,
+        deadline_ms: None,
+    }
+}
+
+/// The offline ground truth: the same parse → optimize → map → render
+/// pipeline the CLI runs, at `jobs: 1` with the cache off.
+fn offline(blif: &str, k: usize, objective: Objective, optimize: bool) -> String {
+    let parsed = chortle_netlist::parse_blif(blif).expect("test circuit parses");
+    let network = if optimize {
+        chortle_logic_opt::optimize(&parsed).expect("optimizes").0
+    } else {
+        parsed
+    };
+    let options = chortle::MapOptions::builder(k)
+        .objective(objective)
+        .cache(CacheMode::Off)
+        .build()
+        .expect("valid options");
+    let mapping = chortle::map_network(&network, &options).expect("maps");
+    chortle_netlist::write_lut_blif(&network, &mapping.circuit, "mapped")
+}
+
+fn expect_map_ok(response: Response) -> (usize, usize, u64, String) {
+    match response {
+        Response::MapOk {
+            luts,
+            depth,
+            cache_generation,
+            netlist,
+            ..
+        } => (luts, depth, cache_generation, netlist),
+        other => panic!("expected MapOk, got {other:?}"),
+    }
+}
+
+fn shut_down(addr: &str, run: thread::JoinHandle<ServerSummary>) -> ServerSummary {
+    let mut client = Client::connect(addr).expect("connect for shutdown");
+    match client.shutdown("bye").expect("shutdown acked") {
+        Response::ShutdownOk { id } => assert_eq!(id, "bye"),
+        other => panic!("expected ShutdownOk, got {other:?}"),
+    }
+    run.join().expect("server thread exits cleanly")
+}
+
+#[test]
+fn responses_are_byte_identical_to_the_offline_pipeline() {
+    let circuits: Vec<(&str, String)> = vec![
+        ("count", write_blif(&benchmark("count").unwrap(), "count")),
+        ("frg1", write_blif(&benchmark("frg1").unwrap(), "frg1")),
+        ("alu8", write_blif(&alu(8), "alu8")),
+    ];
+    let (addr, run) = start(ServeConfig::default());
+    let mut client = Client::connect(&addr).expect("connect");
+
+    for (name, blif) in &circuits {
+        // The identity property: every (jobs, cache) combination — and a
+        // warm-cache repeat — produces the same bytes as the offline
+        // jobs=1/cache-off pipeline.
+        let baseline = offline(blif, 4, Objective::Area, true);
+        let mut sent = 0;
+        for jobs in [1, 4] {
+            for cache in [CacheMode::Off, CacheMode::Tree, CacheMode::Shared] {
+                let mut req = request(blif);
+                req.jobs = jobs;
+                req.cache = cache;
+                let id = format!("{name}-j{jobs}-{cache:?}");
+                let (_, _, _, netlist) = expect_map_ok(client.map(&id, &req).expect("roundtrip"));
+                assert_eq!(netlist, baseline, "{id} diverged from the offline pipeline");
+                sent += 1;
+            }
+        }
+        assert_eq!(sent, 6);
+
+        // Warm repeat (shared cache already populated by the loop above).
+        let (_, _, _, netlist) = expect_map_ok(
+            client
+                .map(&format!("{name}-warm"), &request(blif))
+                .expect("roundtrip"),
+        );
+        assert_eq!(netlist, baseline, "{name}: warm-cache run diverged");
+
+        // A different option mix, to show identity is not k=4-specific.
+        let variant = offline(blif, 5, Objective::Depth, false);
+        let mut req = request(blif);
+        req.k = 5;
+        req.objective = Objective::Depth;
+        req.optimize = false;
+        let (luts, depth, _, netlist) =
+            expect_map_ok(client.map(&format!("{name}-k5"), &req).expect("roundtrip"));
+        assert_eq!(netlist, variant, "{name}: k=5/depth/no-optimize diverged");
+        assert!(luts > 0 && depth > 0);
+    }
+
+    let summary = shut_down(&addr, run);
+    assert_eq!(summary.report.counter("serve.completed"), Some(24));
+    assert_eq!(summary.report.counter("serve.accepted"), Some(24));
+}
+
+#[test]
+fn zero_deadline_is_rejected_with_work_discarded() {
+    let (addr, run) = start(ServeConfig::default());
+    let mut client = Client::connect(&addr).expect("connect");
+    let blif = write_blif(&alu(64), "alu64");
+    let mut req = request(&blif);
+    req.deadline_ms = Some(0);
+    match client.map("late", &req).expect("roundtrip") {
+        Response::Rejected { id, reason, detail } => {
+            assert_eq!(id, "late");
+            assert_eq!(reason, "deadline_exceeded");
+            assert!(detail.contains("deadline expired"), "{detail}");
+        }
+        other => panic!("expected deadline rejection, got {other:?}"),
+    }
+    // An unexpired deadline on the same connection still completes —
+    // the token is per-request, not per-connection.
+    let mut req = request(&write_blif(&benchmark("count").unwrap(), "count"));
+    req.deadline_ms = Some(60_000);
+    expect_map_ok(client.map("fine", &req).expect("roundtrip"));
+
+    let summary = shut_down(&addr, run);
+    assert_eq!(summary.report.counter("serve.rejected_deadline"), Some(1));
+    assert_eq!(summary.report.counter("serve.completed"), Some(1));
+}
+
+#[test]
+fn overload_yields_typed_queue_full_rejections_and_no_drops() {
+    use std::io::{BufRead, BufReader, Write};
+    // One worker, queue capacity 1: pipelining several slow requests on
+    // one connection must overflow the queue deterministically.
+    let (addr, run) = start(ServeConfig {
+        workers: 1,
+        queue_capacity: 1,
+    });
+    let blif = write_blif(&alu(96), "alu96");
+    let total = 6;
+
+    let stream = std::net::TcpStream::connect(&addr).expect("connect");
+    let mut writer = stream.try_clone().expect("clone");
+    let mut lines = String::new();
+    for i in 0..total {
+        lines.push_str(&chortle_server::proto::render_map_request(
+            &format!("r{i}"),
+            &request(&blif),
+        ));
+        lines.push('\n');
+    }
+    writer.write_all(lines.as_bytes()).expect("write burst");
+    writer.flush().expect("flush");
+
+    let reader = BufReader::new(stream);
+    let mut ok = 0usize;
+    let mut queue_full = 0usize;
+    let mut seen = std::collections::BTreeSet::new();
+    for line in reader.lines().take(total) {
+        let line = line.expect("every request gets a response line");
+        match chortle_server::parse_response(&line).expect("well-formed response") {
+            Response::MapOk { id, .. } => {
+                ok += 1;
+                seen.insert(id);
+            }
+            Response::Rejected { id, reason, .. } => {
+                assert_eq!(reason, "queue_full", "only overload rejections expected");
+                queue_full += 1;
+                seen.insert(id);
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+    assert_eq!(seen.len(), total, "every request answered exactly once");
+    assert_eq!(ok + queue_full, total);
+    // How many slip in before the worker drains depends on scheduling;
+    // the guarantees are "admitted implies completed" (ok ≥ 1 since the
+    // first push always lands in the empty queue) and "overflow is a
+    // typed rejection, not a hang or a drop".
+    assert!(ok >= 1, "the admitted requests complete");
+    assert!(queue_full >= 1, "overload must surface as queue_full");
+    drop(writer);
+
+    let summary = shut_down(&addr, run);
+    assert_eq!(
+        summary.report.counter("serve.rejected_queue_full"),
+        Some(queue_full as u64)
+    );
+    assert_eq!(summary.report.counter("serve.completed"), Some(ok as u64));
+}
+
+#[test]
+fn flush_bumps_the_generation_and_empties_the_warm_cache() {
+    let (addr, run) = start(ServeConfig::default());
+    let mut client = Client::connect(&addr).expect("connect");
+    let blif = write_blif(&benchmark("frg1").unwrap(), "frg1");
+
+    let (_, _, g0, first) = expect_map_ok(client.map("m0", &request(&blif)).expect("roundtrip"));
+    let flushed = match client.flush("f0").expect("roundtrip") {
+        Response::FlushOk {
+            cache_generation, ..
+        } => cache_generation,
+        other => panic!("expected FlushOk, got {other:?}"),
+    };
+    assert_eq!(flushed, g0 + 1, "flush bumps the generation");
+    let (_, _, g1, second) = expect_map_ok(client.map("m1", &request(&blif)).expect("roundtrip"));
+    assert_eq!(g1, flushed, "post-flush requests see the new generation");
+    assert_eq!(first, second, "flushing never changes mapping results");
+
+    let summary = shut_down(&addr, run);
+    assert_eq!(summary.report.counter("serve.flushes"), Some(1));
+    assert_eq!(summary.cache_generation, flushed);
+}
+
+#[test]
+fn malformed_requests_are_rejected_as_bad_request() {
+    let (addr, run) = start(ServeConfig::default());
+    let mut client = Client::connect(&addr).expect("connect");
+
+    // Protocol-level garbage.
+    for raw in [
+        "this is not json",
+        r#"{"proto":"chortle-serve/v1","id":"x","zap":true}"#,
+    ] {
+        match client.send_raw(raw).expect("roundtrip") {
+            Response::Rejected { reason, .. } => assert_eq!(reason, "bad_request", "{raw}"),
+            other => panic!("expected bad_request for {raw}, got {other:?}"),
+        }
+    }
+    // BLIF that does not parse (truncated .names) and an out-of-range k
+    // both map to bad_request, with the parser's own diagnostic.
+    let truncated = request(".model m\n.inputs a\n.outputs y\n.names\n.end\n");
+    match client.map("t", &truncated).expect("roundtrip") {
+        Response::Rejected { reason, detail, .. } => {
+            assert_eq!(reason, "bad_request");
+            assert!(detail.contains("cannot parse input"), "{detail}");
+        }
+        other => panic!("expected bad_request, got {other:?}"),
+    }
+    let mut bad_k = request(".model m\n.inputs a\n.outputs y\n.names a y\n1 1\n.end\n");
+    bad_k.k = 20;
+    match client.map("k", &bad_k).expect("roundtrip") {
+        Response::Rejected { reason, .. } => assert_eq!(reason, "bad_request"),
+        other => panic!("expected bad_request, got {other:?}"),
+    }
+
+    let summary = shut_down(&addr, run);
+    assert_eq!(
+        summary.report.counter("serve.rejected_bad_request"),
+        Some(4)
+    );
+    assert_eq!(summary.report.counter("serve.completed"), None);
+}
+
+#[test]
+fn shutdown_drains_refuses_new_work_and_reports_schema_valid_telemetry() {
+    let (addr, run) = start(ServeConfig::default());
+    let blif = write_blif(&benchmark("count").unwrap(), "count");
+
+    // A second connection opened *before* shutdown: its reader survives
+    // the drain and must refuse post-shutdown work with a typed reason.
+    let mut survivor = Client::connect(&addr).expect("connect survivor");
+    let mut client = Client::connect(&addr).expect("connect");
+    expect_map_ok(client.map("before", &request(&blif)).expect("roundtrip"));
+
+    match client.stats("s").expect("roundtrip") {
+        Response::StatsOk {
+            report_json,
+            cache_generation,
+            ..
+        } => {
+            assert_eq!(cache_generation, 0);
+            chortle_telemetry::schema::validate_report(&report_json)
+                .expect("mid-run stats report validates against the schema");
+        }
+        other => panic!("expected StatsOk, got {other:?}"),
+    }
+
+    match client.shutdown("bye").expect("roundtrip") {
+        Response::ShutdownOk { .. } => {}
+        other => panic!("expected ShutdownOk, got {other:?}"),
+    }
+    match survivor.map("after", &request(&blif)).expect("roundtrip") {
+        Response::Rejected { reason, .. } => assert_eq!(reason, "shutting_down"),
+        other => panic!("expected shutting_down, got {other:?}"),
+    }
+
+    let summary = run.join().expect("server exits");
+    assert_eq!(summary.report.counter("serve.completed"), Some(1));
+    // The survivor's rejection may land after the final snapshot (its
+    // reader thread outlives the drain), so only bound the counter; the
+    // typed response above is the real contract.
+    assert!(
+        summary
+            .report
+            .counter("serve.rejected_shutdown")
+            .unwrap_or(0)
+            <= 1
+    );
+    assert!(summary.report.counter("serve.connections").unwrap_or(0) >= 2);
+    chortle_telemetry::schema::validate_report(&summary.report.to_json())
+        .expect("final aggregate report validates against the schema");
+}

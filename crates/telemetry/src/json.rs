@@ -87,6 +87,45 @@ impl Value {
             Value::Object(_) => "object",
         }
     }
+
+    /// Serializes the value back to compact JSON. Object keys keep
+    /// their source order, so `parse` → `to_json` is deterministic.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        self.write_to(&mut out);
+        out
+    }
+
+    fn write_to(&self, out: &mut String) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Number(n) => write_f64(out, *n),
+            Value::String(s) => write_string(out, s),
+            Value::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_to(out);
+                }
+                out.push(']');
+            }
+            Value::Object(members) => {
+                out.push('{');
+                for (i, (key, value)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_string(out, key);
+                    out.push(':');
+                    value.write_to(out);
+                }
+                out.push('}');
+            }
+        }
+    }
 }
 
 /// Error produced by [`parse`], with a byte offset into the input.
@@ -280,13 +319,24 @@ impl Parser<'_> {
                 }
                 Some(c) if c < 0x20 => return Err(self.err("control character in string")),
                 Some(_) => {
-                    // Copy one UTF-8 scalar (input is a &str, so the
-                    // bytes are valid UTF-8).
-                    let rest = &self.bytes[self.pos..];
-                    let s = std::str::from_utf8(rest).expect("input was a str");
-                    let ch = s.chars().next().expect("non-empty");
-                    out.push(ch);
-                    self.pos += ch.len_utf8();
+                    // Bulk-copy the whole run up to the next delimiter
+                    // instead of one scalar at a time — a run only ends
+                    // at an ASCII byte (quote, backslash, control), which
+                    // never occurs inside a multi-byte UTF-8 sequence, so
+                    // the chunk is valid UTF-8 on its own. Per-character
+                    // copying re-validated the entire remaining buffer
+                    // each step, turning large embedded strings (inline
+                    // BLIF in serve requests) quadratic.
+                    let start = self.pos;
+                    while let Some(&b) = self.bytes.get(self.pos) {
+                        if b == b'"' || b == b'\\' || b < 0x20 {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                    let chunk =
+                        std::str::from_utf8(&self.bytes[start..self.pos]).expect("input was a str");
+                    out.push_str(chunk);
                 }
             }
         }
@@ -368,6 +418,14 @@ pub fn write_f64(out: &mut String, v: f64) {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn to_json_round_trips() {
+        let src = r#"{"z":[1,2.5,null,true],"a":"x\n\"q\"","b":{"nested":false}}"#;
+        let v = parse(src).unwrap();
+        assert_eq!(v.to_json(), src, "compact re-serialization is stable");
+        assert_eq!(parse(&v.to_json()).unwrap(), v);
+    }
 
     #[test]
     fn parses_scalars() {

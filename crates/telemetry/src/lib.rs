@@ -50,7 +50,7 @@ use std::time::Instant;
 
 /// Identifier of the report layout, embedded in every JSON report and
 /// checked by [`schema::validate_report`].
-pub const SCHEMA: &str = "chortle-telemetry/v1.1";
+pub const SCHEMA: &str = "chortle-telemetry/v1.2";
 
 #[derive(Default)]
 struct StageAgg {

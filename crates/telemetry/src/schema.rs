@@ -9,6 +9,22 @@
 
 use crate::json::{self, Value};
 
+/// The documented counters of the reserved `serve.` namespace — the
+/// aggregate report the `chortle-serve` daemon emits at shutdown (and on
+/// `stats` requests). Closed since schema v1.2: [`validate_report`]
+/// rejects any other `serve.*` name.
+pub const SERVE_COUNTERS: &[&str] = &[
+    "serve.connections",
+    "serve.accepted",
+    "serve.completed",
+    "serve.rejected_queue_full",
+    "serve.rejected_deadline",
+    "serve.rejected_bad_request",
+    "serve.rejected_shutdown",
+    "serve.drained",
+    "serve.flushes",
+];
+
 /// Validates that `input` is a schema-conformant telemetry report.
 ///
 /// # Errors
@@ -46,8 +62,18 @@ pub fn validate_report(input: &str) -> Result<(), String> {
     for (i, counter) in expect_array(&value, "counters")?.iter().enumerate() {
         let path = format!("$.counters[{i}]");
         let members = expect_keys(counter, &path, &["name", "value"])?;
-        expect_string(&members[0].1, &format!("{path}.name"))?;
+        let name = expect_string(&members[0].1, &format!("{path}.name"))?;
         expect_u64(&members[1].1, &format!("{path}.value"))?;
+        // Schema v1.2: `serve.` is a *closed* namespace — the aggregate
+        // report of the `chortle-serve` daemon may only use the
+        // documented counter set, so a typo'd server counter fails
+        // validation instead of shipping silently.
+        if name.starts_with("serve.") && !SERVE_COUNTERS.contains(&name) {
+            return Err(format!(
+                "{path}.name {name:?} is not a documented serve.* counter \
+                 (expected one of {SERVE_COUNTERS:?})"
+            ));
+        }
     }
 
     for (i, wave) in expect_array(&value, "wavefronts")?.iter().enumerate() {
@@ -201,7 +227,7 @@ mod tests {
 
     #[test]
     fn rejects_wrong_schema_tag() {
-        let json = sample_report().replace("chortle-telemetry/v1.1", "bogus/v0");
+        let json = sample_report().replace("chortle-telemetry/v1.2", "bogus/v0");
         let err = validate_report(&json).unwrap_err();
         assert!(err.contains("$.schema"), "{err}");
     }
@@ -209,7 +235,7 @@ mod tests {
     #[test]
     fn rejects_missing_and_extra_keys() {
         let err =
-            validate_report(r#"{"schema":"chortle-telemetry/v1.1","enabled":true}"#).unwrap_err();
+            validate_report(r#"{"schema":"chortle-telemetry/v1.2","enabled":true}"#).unwrap_err();
         assert!(err.contains("expected"), "{err}");
         let json = sample_report().replace("\"counters\":", "\"extras\":");
         assert!(validate_report(&json).is_err());
@@ -227,6 +253,25 @@ mod tests {
         let json = sample_report().replace("\"value\":10", "\"value\":\"10\"");
         let err = validate_report(&json).unwrap_err();
         assert!(err.contains("value"), "{err}");
+    }
+
+    #[test]
+    fn serve_namespace_is_closed() {
+        // Every documented serve.* counter passes …
+        let t = Telemetry::enabled();
+        for name in SERVE_COUNTERS {
+            t.add_counter(name, 1);
+        }
+        validate_report(&t.snapshot().to_json()).expect("documented serve counters validate");
+        // … while an undocumented one (e.g. a typo) is rejected by name.
+        let t = Telemetry::enabled();
+        t.add_counter("serve.rejected_deadlin", 1);
+        let err = validate_report(&t.snapshot().to_json()).unwrap_err();
+        assert!(err.contains("serve.rejected_deadlin"), "{err}");
+        // Other namespaces remain open (mapper counters come and go).
+        let t = Telemetry::enabled();
+        t.add_counter("dp.some_future_counter", 1);
+        validate_report(&t.snapshot().to_json()).expect("non-serve namespaces stay open");
     }
 
     #[test]

@@ -44,4 +44,64 @@ for mode_jobs in "tree 1" "shared 1" "shared 4"; do
     || { echo "ci: --cache $1 --jobs $2 changed the circuit" >&2; exit 1; }
 done
 
+echo "==> serve smoke (daemon on an ephemeral port vs offline CLI)"
+serve_tmp="$(mktemp -d)"
+serve_pid=""
+cleanup_serve() {
+  [[ -n "$serve_pid" ]] && kill "$serve_pid" 2>/dev/null
+  rm -rf "$serve_tmp"
+}
+trap cleanup_serve EXIT
+
+cargo run -q -p chortle-server --bin chortle-serve -- --port 0 --workers 2 \
+  > "$serve_tmp/report.json" 2> "$serve_tmp/daemon.log" &
+serve_pid=$!
+addr=""
+for _ in $(seq 1 100); do
+  addr="$(sed -n 's/^listening on //p' "$serve_tmp/daemon.log" | head -n1)"
+  [[ -n "$addr" ]] && break
+  sleep 0.1
+done
+[[ -n "$addr" ]] \
+  || { echo "ci: chortle-serve never reported a listening address" >&2; exit 1; }
+
+# Three concurrent clients with different option mixes; each response
+# netlist must be byte-identical to the offline CLI under the same flags.
+client_flags=("-k 4 --cache shared --jobs 1" \
+              "-k 5 --cache off --jobs 2 --objective depth" \
+              "-k 4 --cache tree --no-optimize")
+client_pids=()
+for i in 0 1 2; do
+  printf "$smoke_blif" | cargo run -q -p chortle-server --bin chortle-serve -- \
+    --connect "$addr" ${client_flags[$i]} \
+    > "$serve_tmp/serve_$i.blif" 2>/dev/null &
+  client_pids+=($!)
+done
+for pid in "${client_pids[@]}"; do
+  wait "$pid" || { echo "ci: a serve client failed" >&2; exit 1; }
+done
+for i in 0 1 2; do
+  printf "$smoke_blif" | cargo run -q -p chortle-cli --bin chortle-map -- \
+    ${client_flags[$i]} > "$serve_tmp/cli_$i.blif"
+  cmp -s "$serve_tmp/serve_$i.blif" "$serve_tmp/cli_$i.blif" \
+    || { echo "ci: serve response $i (${client_flags[$i]}) differs from the CLI" >&2; exit 1; }
+done
+
+# Graceful shutdown: the daemon must drain, print a schema-valid final
+# report to stdout, and exit 0 within the timeout.
+cargo run -q -p chortle-server --bin chortle-serve -- --connect "$addr" --shutdown 2>/dev/null
+for _ in $(seq 1 100); do
+  kill -0 "$serve_pid" 2>/dev/null || break
+  sleep 0.1
+done
+if kill -0 "$serve_pid" 2>/dev/null; then
+  echo "ci: chortle-serve did not exit after --shutdown" >&2; exit 1
+fi
+wait "$serve_pid" \
+  || { echo "ci: chortle-serve exited non-zero" >&2; exit 1; }
+serve_pid=""
+cargo run -q -p chortle-cli --bin report-check < "$serve_tmp/report.json"
+grep -q '"serve.completed","value":3' "$serve_tmp/report.json" \
+  || { echo "ci: final serve report did not count 3 completed requests" >&2; exit 1; }
+
 echo "ci: all green"
