@@ -27,8 +27,16 @@
 //! with wide ripple ALUs whose per-bit cones share a handful of shapes:
 //! the datapath-regular workload the warm cache targets.
 //!
+//! Latencies go into the same log-bucketed
+//! [`chortle_telemetry::Histogram`] the server uses for its
+//! `serve.run_ns`/`serve.queue_ns` sections, so the percentiles in
+//! `BENCH_serve.json` and the ones derivable from `op: "stats"` share
+//! one bucketing scheme. The harness also rebuilds the server's
+//! run-time histogram from the `run_ns` echoed in every response and
+//! asserts it matches the live `op: "stats"` report bucket-for-bucket.
+//!
 //! The JSON report (default `results/BENCH_serve.json`) embeds the
-//! server's final aggregate `chortle-telemetry/v1.2` report.
+//! server's final aggregate `chortle-telemetry/v1.3` report.
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -38,33 +46,36 @@ use chortle_circuits::alu;
 use chortle_logic_opt::optimize;
 use chortle_netlist::write_blif;
 use chortle_server::{Client, MapRequest, Response, ServeConfig, Server};
+use chortle_telemetry::{json, Histogram};
 
 /// Passes over the workload per phase (cold flushes before each pass).
 const PASSES: usize = 3;
 /// Requests pipelined into the overload server's 1-slot queue.
 const OVERLOAD_BURST: usize = 24;
 
-/// One timed phase: request latencies (seconds) and the wall time.
+/// One timed phase: client-side request latencies (log-bucketed
+/// nanoseconds, same [`Histogram`] the server reports) and wall time.
 struct Phase {
-    latencies: Vec<f64>,
+    latency: Histogram,
     wall_s: f64,
 }
 
 impl Phase {
     fn requests(&self) -> usize {
-        self.latencies.len()
+        self.latency.count() as usize
     }
 
+    #[allow(clippy::cast_precision_loss)]
     fn throughput(&self) -> f64 {
         self.requests() as f64 / self.wall_s
     }
 
-    /// Interpolation-free percentile (nearest-rank) in milliseconds.
+    /// Nearest-rank percentile in milliseconds — the lower bound of the
+    /// sample's bucket, so the number is a pure function of the bucket
+    /// counts and reproducible from the embedded histogram.
+    #[allow(clippy::cast_precision_loss)]
     fn percentile_ms(&self, p: f64) -> f64 {
-        let mut sorted = self.latencies.clone();
-        sorted.sort_by(f64::total_cmp);
-        let rank = ((p / 100.0 * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len()) - 1;
-        sorted[rank] * 1e3
+        self.latency.quantile(p / 100.0) as f64 / 1e6
     }
 }
 
@@ -80,24 +91,30 @@ fn request(blif: &str, k: usize) -> MapRequest {
     }
 }
 
-fn expect_netlist(response: Response, what: &str) -> String {
+fn expect_map(response: Response, what: &str) -> (String, u64) {
     match response {
-        Response::MapOk { netlist, .. } => netlist,
+        Response::MapOk {
+            netlist, run_ns, ..
+        } => (netlist, run_ns),
         other => panic!("{what}: expected MapOk, got {other:?}"),
     }
 }
 
 /// Runs `PASSES` passes of the workload across `clients` concurrent
 /// connections; `flush_between` turns the warm phase into the cold one.
+/// Returns the phase plus a histogram of the server-echoed `run_ns`
+/// values (merged from the per-thread partials — merge order cannot
+/// change the buckets).
 fn run_phase(
     addr: &str,
     workload: &[(String, usize, String)],
     expected: &[String],
     clients: usize,
     flush_between: bool,
-) -> Phase {
+) -> (Phase, Histogram) {
     let start = Instant::now();
-    let mut latencies = Vec::new();
+    let mut latency = Histogram::new();
+    let mut run_hist = Histogram::new();
     for pass in 0..PASSES {
         if flush_between {
             let mut admin = Client::connect(addr).expect("connect for flush");
@@ -107,12 +124,13 @@ fn run_phase(
             }
         }
         // Deal the workload round-robin to the client threads.
-        let results: Vec<Vec<(usize, f64)>> = std::thread::scope(|scope| {
+        let results: Vec<(Histogram, Histogram)> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..clients)
                 .map(|c| {
                     scope.spawn(move || {
                         let mut client = Client::connect(addr).expect("connect client");
-                        let mut timed = Vec::new();
+                        let mut lat = Histogram::new();
+                        let mut run = Histogram::new();
                         for (i, (name, k, blif)) in workload.iter().enumerate() {
                             if i % clients != c {
                                 continue;
@@ -121,11 +139,12 @@ fn run_phase(
                             let response = client
                                 .map(&format!("{name}-p{pass}"), &request(blif, *k))
                                 .expect("map roundtrip");
-                            timed.push((i, t.elapsed().as_secs_f64()));
-                            let netlist = expect_netlist(response, name);
+                            lat.record_duration(t.elapsed());
+                            let (netlist, run_ns) = expect_map(response, name);
+                            run.record(run_ns);
                             assert_eq!(netlist, expected[i], "{name}: netlist diverged");
                         }
-                        timed
+                        (lat, run)
                     })
                 })
                 .collect();
@@ -134,12 +153,32 @@ fn run_phase(
                 .map(|h| h.join().expect("client"))
                 .collect()
         });
-        latencies.extend(results.into_iter().flatten().map(|(_, s)| s));
+        for (lat, run) in &results {
+            latency.merge(lat);
+            run_hist.merge(run);
+        }
     }
-    Phase {
-        latencies,
-        wall_s: start.elapsed().as_secs_f64(),
-    }
+    (
+        Phase {
+            latency,
+            wall_s: start.elapsed().as_secs_f64(),
+        },
+        run_hist,
+    )
+}
+
+/// Pulls the named histogram out of a serialized telemetry report.
+fn report_histogram(report_json: &str, name: &str) -> Histogram {
+    let report = json::parse(report_json).expect("stats report parses");
+    let hists = report
+        .get("histograms")
+        .and_then(json::Value::as_array)
+        .expect("report has a histograms section");
+    let entry = hists
+        .iter()
+        .find(|h| h.get("name").and_then(json::Value::as_str) == Some(name))
+        .unwrap_or_else(|| panic!("report is missing histogram {name:?}"));
+    Histogram::from_value(entry).expect("histogram entry parses")
 }
 
 fn main() {
@@ -174,18 +213,21 @@ fn main() {
     // Ground truth once per circuit, through the same server (its own
     // responses must be self-consistent across phases and cache states).
     let mut seed = Client::connect(&addr).expect("connect seed client");
+    let mut server_run = Histogram::new();
     let expected: Vec<String> = workload
         .iter()
         .map(|(name, k, blif)| {
-            expect_netlist(
+            let (netlist, run_ns) = expect_map(
                 seed.map(&format!("seed-{name}"), &request(blif, *k))
                     .expect("seed roundtrip"),
                 name,
-            )
+            );
+            server_run.record(run_ns);
+            netlist
         })
         .collect();
 
-    let cold = run_phase(&addr, &workload, &expected, clients, true);
+    let (cold, cold_run) = run_phase(&addr, &workload, &expected, clients, true);
     eprintln!(
         "loadgen: cold  {:>4} requests in {:.3}s  ({:.1} req/s, p50 {:.2}ms p95 {:.2}ms p99 {:.2}ms)",
         cold.requests(),
@@ -195,7 +237,7 @@ fn main() {
         cold.percentile_ms(95.0),
         cold.percentile_ms(99.0),
     );
-    let warm = run_phase(&addr, &workload, &expected, clients, false);
+    let (warm, warm_run) = run_phase(&addr, &workload, &expected, clients, false);
     eprintln!(
         "loadgen: warm  {:>4} requests in {:.3}s  ({:.1} req/s, p50 {:.2}ms p95 {:.2}ms p99 {:.2}ms)",
         warm.requests(),
@@ -207,6 +249,35 @@ fn main() {
     );
     let speedup = warm.throughput() / cold.throughput();
     eprintln!("loadgen: warm-cache throughput speedup {speedup:.2}x");
+
+    // The introspection contract: the run-time histogram the live
+    // `op: "stats"` report carries must equal, bucket for bucket, the
+    // one rebuilt from the `run_ns` echoed in every map response —
+    // both sides bucket with the same exact integer scheme.
+    server_run.merge(&cold_run);
+    server_run.merge(&warm_run);
+    let mut stats_client = Client::connect(&addr).expect("connect for stats");
+    match stats_client
+        .stats("loadgen-stats")
+        .expect("stats roundtrip")
+    {
+        Response::StatsOk {
+            report_json,
+            queue_high_water,
+            ..
+        } => {
+            let live = report_histogram(&report_json, "serve.run_ns");
+            assert_eq!(
+                live, server_run,
+                "op:\"stats\" run_ns histogram diverged from the echoed run_ns values"
+            );
+            eprintln!(
+                "loadgen: stats histogram verified ({} samples, queue high water {queue_high_water})",
+                live.count()
+            );
+        }
+        other => panic!("expected StatsOk, got {other:?}"),
+    }
 
     let mut shutdown = Client::connect(&addr).expect("connect for shutdown");
     match shutdown
@@ -226,6 +297,7 @@ fn main() {
         &ServeConfig {
             workers: 1,
             queue_capacity: 1,
+            ..ServeConfig::default()
         },
     )
     .expect("bind overload server");
@@ -295,10 +367,10 @@ fn main() {
         workload.len()
     );
     for (name, phase) in [("cold", &cold), ("warm", &warm)] {
-        let _ = writeln!(
+        let _ = write!(
             json,
             "  \"{name}\": {{ \"requests\": {}, \"wall_s\": {:.6}, \"throughput_rps\": {:.3}, \
-             \"p50_ms\": {:.4}, \"p95_ms\": {:.4}, \"p99_ms\": {:.4} }},",
+             \"p50_ms\": {:.4}, \"p95_ms\": {:.4}, \"p99_ms\": {:.4}, \"latency_ns\": ",
             phase.requests(),
             phase.wall_s,
             phase.throughput(),
@@ -306,6 +378,11 @@ fn main() {
             phase.percentile_ms(95.0),
             phase.percentile_ms(99.0),
         );
+        // The full latency histogram, in the same log-bucketed layout
+        // the server's op:"stats" report uses — the percentiles above
+        // are derivable from it.
+        phase.latency.write_json(&mut json);
+        let _ = writeln!(json, " }},");
     }
     let _ = writeln!(json, "  \"warm_speedup\": {speedup:.3},");
     let _ = writeln!(

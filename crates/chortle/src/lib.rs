@@ -70,7 +70,10 @@ pub use tree::{Fingerprint, FingerprintScratch, Forest, Tree, TreeChild, TreeNod
 
 // Observability: re-exported so downstream crates need no direct
 // dependency on the telemetry crate for the common path.
-pub use chortle_telemetry::{Report as MapStats, Telemetry, WavefrontStat};
+pub use chortle_telemetry::{
+    Histogram, Report as MapStats, Telemetry, Trace, TraceEvent, TraceKind, TraceScope,
+    WavefrontStat,
+};
 
 /// Cost of the optimal mapping of a single tree (exposed for benches and
 /// tests; [`map_network`] is the end-to-end API).

@@ -3,11 +3,12 @@
 use std::error::Error;
 use std::fmt;
 use std::sync::Arc;
+use std::time::Instant;
 
 use std::collections::{HashMap, HashSet};
 
 use chortle_netlist::{LutCircuit, LutError, LutSource, Network, NodeId, NodeOp};
-use chortle_telemetry::Telemetry;
+use chortle_telemetry::{Histogram, Telemetry, TraceScope};
 
 use crate::cache::{CacheKey, CacheMode, SharedCache, TreeCache, WarmCache, SHARED_CACHE_SHARDS};
 use crate::cancel::CancelToken;
@@ -67,6 +68,31 @@ pub mod stats {
     pub const CACHE_SHARDS: &str = "cache.shards";
     /// Counter: LUTs emitted from replayed (cache-hit) solutions.
     pub const CACHE_REPLAYED_LUTS: &str = "cache.replayed_luts";
+    /// Trace span: one tree's DP mapping (`Tree` scope, index = tree
+    /// order; begin arg = tree node count, end arg = the tree's LUT
+    /// cost). Emitted by both drivers with identical sequences — only
+    /// the worker id and timestamps differ between `jobs` settings.
+    pub const TRACE_TREE: &str = "map.tree";
+    /// Trace instant: the tree is the *first* occurrence of its cache
+    /// key in tree order — it pays for a full subset-DP solve (arg =
+    /// LUT cost). Derived from the forest, like [`CACHE_HITS`], so the
+    /// classification is identical for every `jobs` and cache mode.
+    pub const TRACE_SOLVE: &str = "dp.solve";
+    /// Trace instant: the tree replays a key seen earlier in tree order
+    /// (arg = LUT cost). See [`TRACE_SOLVE`].
+    pub const TRACE_REPLAY: &str = "dp.replay";
+    /// Trace span: one worker draining one wavefront (`Sched` scope,
+    /// index = wavefront; end arg = trees claimed). Schedule-dependent
+    /// by nature — excluded from the deterministic trace identity.
+    pub const TRACE_WORKER: &str = "sched.worker";
+    /// Histogram: per-tree mapping wall time, nanoseconds. Bucketing is
+    /// exact and merging is associative, but wall time itself varies
+    /// run to run.
+    pub const HIST_TREE_NS: &str = "map.tree_ns";
+    /// Histogram: per-tree DP work, measured in utilization divisions
+    /// (not nanoseconds) — a deterministic work distribution that is
+    /// bit-identical for every `jobs` value and cache mode.
+    pub const HIST_TREE_WORK: &str = "dp.tree_work";
 }
 
 /// Flushes a scratch arena's accumulated kernel counters into a
@@ -439,6 +465,8 @@ pub fn map_network(network: &Network, options: &MapOptions) -> Result<Mapping, M
     }
     flush_dp_counters(telemetry, &mut kernel_tally);
     report_cache_counters(telemetry, options, &mapped);
+    record_tree_work(telemetry, &mapped);
+    trace_classification(telemetry, &normal, &shapes, &mapped);
 
     // Primary inputs survive normalization in order; translate the
     // normal-form ids back to the caller's network ids.
@@ -508,6 +536,64 @@ fn report_cache_counters(telemetry: &Telemetry, options: &MapOptions, mapped: &[
     telemetry.add_counter(stats::CACHE_SHARDS, shards as u64);
 }
 
+/// Records the deterministic per-tree work histogram
+/// ([`stats::HIST_TREE_WORK`]): one sample per tree, in tree order, of
+/// the utilization divisions its solution cost. Replayed trees carry
+/// the tally of the shape they share, so the distribution is identical
+/// for every `jobs` value and every cache mode.
+fn record_tree_work(telemetry: &Telemetry, mapped: &[MappedTree]) {
+    if !telemetry.is_enabled() {
+        return;
+    }
+    let mut work = Histogram::new();
+    for m in mapped {
+        work.record(m.sol.tally.divisions);
+    }
+    if !work.is_empty() {
+        telemetry.merge_histogram(stats::HIST_TREE_WORK, &work);
+    }
+}
+
+/// Emits the solve-vs-replay classification instants
+/// ([`stats::TRACE_SOLVE`] / [`stats::TRACE_REPLAY`]) for a tracing
+/// sink. Classification uses the same deterministic first-occurrence
+/// definition as [`report_cache_counters`], but recomputes the keys
+/// here so [`CacheMode::Off`] runs classify identically to caching runs
+/// — the trace identity is a pure function of the forest.
+fn trace_classification(
+    telemetry: &Telemetry,
+    normal: &Network,
+    shapes: &[Fingerprint],
+    mapped: &[MappedTree],
+) {
+    if !telemetry.is_tracing() {
+        return;
+    }
+    let mut buf = telemetry.trace_buffer(0);
+    let mut depth_of: HashMap<NodeId, u32> = HashMap::new();
+    let mut seen: HashSet<CacheKey> = HashSet::with_capacity(mapped.len());
+    for (ti, m) in mapped.iter().enumerate() {
+        let key = m.key.unwrap_or_else(|| {
+            CacheKey::of(&m.tree, shapes[ti], &|id| {
+                leaf_arrival(normal, &depth_of, id)
+            })
+        });
+        let name = if seen.insert(key) {
+            stats::TRACE_SOLVE
+        } else {
+            stats::TRACE_REPLAY
+        };
+        buf.instant(
+            TraceScope::Tree,
+            ti as u64,
+            name,
+            u64::from(m.sol.dp.tree_cost(&m.tree)),
+        );
+        depth_of.insert(m.tree.root, m.sol.dp.tree_depth(&m.tree));
+    }
+    telemetry.trace_flush(&mut buf);
+}
+
 /// Arrival depth of a tree leaf: primary inputs and constants arrive at
 /// 0; gate leaves are other trees' roots and arrive at their mapped
 /// depth, which must already be recorded in `depth_of`.
@@ -547,15 +633,31 @@ fn map_forest_sequential(
     shapes: &[Fingerprint],
     options: &MapOptions,
 ) -> Result<Vec<MappedTree>, MapError> {
+    let telemetry = &options.telemetry;
+    let enabled = telemetry.is_enabled();
     let mut mapped: Vec<MappedTree> = Vec::with_capacity(trees.len());
     let mut scratch = DpScratch::new();
-    scratch.counting = options.telemetry.is_enabled();
+    scratch.counting = enabled;
     let warm = warm_segment(options);
     let mut cache = (options.cache.is_enabled() && warm.is_none()).then(TreeCache::new);
     let mut depth_of: HashMap<NodeId, u32> = HashMap::new();
+    let mut buf = telemetry.trace_buffer(0);
+    let mut tree_ns = Histogram::new();
     for (ti, tree) in trees.into_iter().enumerate() {
         if options.cancel.is_cancelled() {
+            // A fired token stops *between* trees, so no tree span is
+            // open: the trace flushes with every begin already closed.
+            telemetry.trace_flush(&mut buf);
             return Err(MapError::Cancelled);
+        }
+        let t0 = enabled.then(Instant::now);
+        if buf.is_enabled() {
+            buf.begin(
+                TraceScope::Tree,
+                ti as u64,
+                stats::TRACE_TREE,
+                tree.nodes.len() as u64,
+            );
         }
         let leaf_depth = |id: NodeId| leaf_arrival(normal, &depth_of, id);
         let key = options
@@ -570,13 +672,23 @@ fn map_forest_sequential(
         let sol = match cached {
             Some(sol) => sol,
             None => {
-                let sol = Arc::new(map_tree_solution(
+                let sol = match map_tree_solution(
                     &tree,
                     options.k,
                     options.objective,
                     &leaf_depth,
                     &mut scratch,
-                )?);
+                ) {
+                    Ok(sol) => Arc::new(sol),
+                    Err(e) => {
+                        // The tree span is open: close it explicitly so
+                        // every begin stays matched even on the error
+                        // path.
+                        buf.cancelled(TraceScope::Tree, ti as u64, stats::TRACE_TREE, 0);
+                        telemetry.trace_flush(&mut buf);
+                        return Err(e);
+                    }
+                };
                 match (&warm, &mut cache) {
                     // First writer wins; adopt whatever landed so a
                     // concurrent run's duplicate shares one allocation.
@@ -589,8 +701,23 @@ fn map_forest_sequential(
                 }
             }
         };
+        if buf.is_enabled() {
+            buf.end(
+                TraceScope::Tree,
+                ti as u64,
+                stats::TRACE_TREE,
+                u64::from(sol.dp.tree_cost(&tree)),
+            );
+        }
+        if let Some(t0) = t0 {
+            tree_ns.record_duration(t0.elapsed());
+        }
         depth_of.insert(tree.root, sol.dp.tree_depth(&tree));
         mapped.push(MappedTree { tree, sol, key });
+    }
+    telemetry.trace_flush(&mut buf);
+    if !tree_ns.is_empty() {
+        telemetry.merge_histogram(stats::HIST_TREE_NS, &tree_ns);
     }
     Ok(mapped)
 }

@@ -31,11 +31,11 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use chortle_netlist::{Network, NodeId};
-use chortle_telemetry::WavefrontStat;
+use chortle_telemetry::{Histogram, TraceBuffer, TraceScope, WavefrontStat};
 
 use crate::cache::{CacheKey, CacheMode, SharedCache, TreeCache};
 use crate::dp::{map_tree_solution, DpScratch, ShapeSolution};
-use crate::map::{leaf_arrival, MapError, MapOptions, MappedTree};
+use crate::map::{leaf_arrival, stats, MapError, MapOptions, MappedTree};
 use crate::tree::{Fingerprint, Tree, TreeChild};
 
 /// Maps the forest with `options.jobs` worker threads, wavefront by
@@ -89,7 +89,13 @@ pub(crate) fn map_forest_wavefront(
     let mut inline_cache = (options.cache == CacheMode::Tree).then(TreeCache::new);
 
     let telemetry = &options.telemetry;
-    inline_scratch.counting = telemetry.is_enabled();
+    let enabled = telemetry.is_enabled();
+    inline_scratch.counting = enabled;
+    // The inline worker's trace buffer and wall-time histogram persist
+    // across wavefronts; spawned workers keep their own and flush per
+    // wave (histogram merging is associative, so the split is free).
+    let mut inline_buf = telemetry.trace_buffer(0);
+    let mut inline_hist = Histogram::new();
     for (wi, wave) in waves.iter().enumerate() {
         // Timing is gated on the sink being enabled: the disabled path
         // never touches the clock.
@@ -106,10 +112,14 @@ pub(crate) fn map_forest_wavefront(
         // claim — partial results are dropped with the wavefront.
         let run = |scratch: &mut DpScratch,
                    mut private: Option<&mut TreeCache>,
-                   out: &mut Vec<(usize, Arc<ShapeSolution>, Option<CacheKey>)>|
+                   out: &mut Vec<(usize, Arc<ShapeSolution>, Option<CacheKey>)>,
+                   buf: &mut TraceBuffer,
+                   hist: &mut Histogram|
          -> Result<(), MapError> {
             loop {
                 if options.cancel.is_cancelled() {
+                    // Cancellation lands between tree boundaries: no
+                    // tree span is open when this worker stops.
                     return Err(MapError::Cancelled);
                 }
                 let slot = queue.fetch_add(1, Ordering::Relaxed);
@@ -117,6 +127,15 @@ pub(crate) fn map_forest_wavefront(
                     return Ok(());
                 };
                 let tree = &trees[ti];
+                let t0 = enabled.then(Instant::now);
+                if buf.is_enabled() {
+                    buf.begin(
+                        TraceScope::Tree,
+                        ti as u64,
+                        stats::TRACE_TREE,
+                        tree.nodes.len() as u64,
+                    );
+                }
                 let leaf_depth = |id: NodeId| leaf_arrival(normal, &depth_of, id);
                 let key = options
                     .cache
@@ -130,13 +149,22 @@ pub(crate) fn map_forest_wavefront(
                 let sol = match cached {
                     Some(sol) => sol,
                     None => {
-                        let sol = Arc::new(map_tree_solution(
+                        let sol = match map_tree_solution(
                             tree,
                             options.k,
                             options.objective,
                             &leaf_depth,
                             scratch,
-                        )?);
+                        ) {
+                            Ok(sol) => Arc::new(sol),
+                            Err(e) => {
+                                // A mid-tree error leaves the span open;
+                                // close it explicitly so every begin
+                                // stays matched.
+                                buf.cancelled(TraceScope::Tree, ti as u64, stats::TRACE_TREE, 0);
+                                return Err(e);
+                            }
+                        };
                         match (shared, &mut private) {
                             // First writer wins; adopt whatever landed so
                             // racing duplicates share one allocation.
@@ -149,15 +177,43 @@ pub(crate) fn map_forest_wavefront(
                         }
                     }
                 };
+                if buf.is_enabled() {
+                    buf.end(
+                        TraceScope::Tree,
+                        ti as u64,
+                        stats::TRACE_TREE,
+                        u64::from(sol.dp.tree_cost(tree)),
+                    );
+                }
+                if let Some(t0) = t0 {
+                    hist.record_duration(t0.elapsed());
+                }
                 out.push((ti, sol, key));
             }
         };
 
         let workers = options.jobs.min(wave.len()).max(1);
         if workers == 1 {
-            let busy_start = telemetry.is_enabled().then(Instant::now);
+            let busy_start = enabled.then(Instant::now);
             let mut out = Vec::with_capacity(wave.len());
-            run(&mut inline_scratch, inline_cache.as_mut(), &mut out)?;
+            inline_buf.begin(TraceScope::Sched, wi as u64, stats::TRACE_WORKER, 0);
+            let r = run(
+                &mut inline_scratch,
+                inline_cache.as_mut(),
+                &mut out,
+                &mut inline_buf,
+                &mut inline_hist,
+            );
+            inline_buf.end(
+                TraceScope::Sched,
+                wi as u64,
+                stats::TRACE_WORKER,
+                out.len() as u64,
+            );
+            // Flush before propagating any error, so a cancelled run
+            // still snapshots a well-formed (begin-matched) trace.
+            telemetry.trace_flush(&mut inline_buf);
+            r?;
             if let Some(t0) = busy_start {
                 claimed.push(out.len() as u64);
                 busy_s.push(t0.elapsed().as_secs_f64());
@@ -167,18 +223,35 @@ pub(crate) fn map_forest_wavefront(
             }
         } else {
             let run = &run;
-            let enabled = telemetry.is_enabled();
             let private_caches = options.cache == CacheMode::Tree;
             let results = std::thread::scope(|s| {
                 let handles: Vec<_> = (0..workers)
-                    .map(|_| {
+                    .map(|w| {
                         s.spawn(move || {
                             let busy_start = enabled.then(Instant::now);
                             let mut scratch = DpScratch::new();
                             scratch.counting = enabled;
                             let mut cache = private_caches.then(TreeCache::new);
                             let mut out = Vec::new();
-                            let r = run(&mut scratch, cache.as_mut(), &mut out);
+                            // Worker 0 is the driver thread; spawned
+                            // workers are 1-based in the trace.
+                            let mut buf = telemetry.trace_buffer(w as u32 + 1);
+                            let mut hist = Histogram::new();
+                            buf.begin(TraceScope::Sched, wi as u64, stats::TRACE_WORKER, 0);
+                            let r =
+                                run(&mut scratch, cache.as_mut(), &mut out, &mut buf, &mut hist);
+                            buf.end(
+                                TraceScope::Sched,
+                                wi as u64,
+                                stats::TRACE_WORKER,
+                                out.len() as u64,
+                            );
+                            // Flush even on error — a cancelled worker's
+                            // events are all begin-matched (see `run`).
+                            telemetry.trace_flush(&mut buf);
+                            if !hist.is_empty() {
+                                telemetry.merge_histogram(stats::HIST_TREE_NS, &hist);
+                            }
                             let busy = busy_start.map(|t0| t0.elapsed().as_secs_f64());
                             r.map(|()| (out, busy))
                         })
@@ -217,6 +290,9 @@ pub(crate) fn map_forest_wavefront(
             let (sol, _) = sols[ti].as_ref().expect("wavefront mapped every tree");
             depth_of.insert(trees[ti].root, sol.dp.tree_depth(&trees[ti]));
         }
+    }
+    if !inline_hist.is_empty() {
+        telemetry.merge_histogram(stats::HIST_TREE_NS, &inline_hist);
     }
 
     Ok(trees

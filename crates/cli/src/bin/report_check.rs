@@ -1,25 +1,44 @@
-//! `report-check` — validate a `chortle-map --report json` document.
+//! `report-check` — validate `chortle-map` observability output.
 //!
-//! Reads one JSON telemetry report from stdin and checks it against the
-//! `chortle-telemetry/v1.2` schema: exact key layout, value kinds, and
-//! internal consistency (per-worker arrays sized to the worker count).
-//! Exits 0 and prints `ok` on success; exits 1 with the first deviation
-//! on stderr otherwise. Used by `scripts/ci.sh` as the report smoke test:
+//! Default mode reads one JSON telemetry report from stdin and checks it
+//! against the `chortle-telemetry/v1.3` schema: exact key layout, value
+//! kinds, and internal consistency (per-worker arrays sized to the
+//! worker count, histogram bucket counts summing to the sample count).
+//! With `--chrome-trace` it instead validates a `chortle-map --trace`
+//! file: well-formed Chrome trace-event JSON with `B`/`E` events
+//! balanced per thread. Exits 0 and prints `ok` on success; exits 1
+//! with the first deviation on stderr otherwise. Used by
+//! `scripts/ci.sh` as the observability smoke test:
 //!
 //! ```text
 //! chortle-map --report json design.blif | report-check
+//! chortle-map --trace run.json design.blif >/dev/null && report-check --chrome-trace < run.json
 //! ```
 
 use std::io::Read;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let chrome = match args.as_slice() {
+        [] => false,
+        [flag] if flag == "--chrome-trace" => true,
+        other => {
+            eprintln!("report-check: unknown arguments {other:?} (only --chrome-trace is known)");
+            return ExitCode::FAILURE;
+        }
+    };
     let mut input = String::new();
     if let Err(e) = std::io::stdin().read_to_string(&mut input) {
         eprintln!("report-check: cannot read stdin: {e}");
         return ExitCode::FAILURE;
     }
-    match chortle_telemetry::schema::validate_report(&input) {
+    let result = if chrome {
+        chortle_telemetry::validate_chrome_trace(&input)
+    } else {
+        chortle_telemetry::schema::validate_report(&input)
+    };
+    match result {
         Ok(()) => {
             println!("ok");
             ExitCode::SUCCESS

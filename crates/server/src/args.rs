@@ -36,6 +36,11 @@ pub const SERVE_FLAGS: &[ServeFlag] = &[
         help: "admission queue capacity before queue_full rejections (default 64)",
     },
     ServeFlag {
+        name: "--trace-capacity",
+        value: Some("N"),
+        help: "completed requests the op:\"trace\" ring remembers (default 128)",
+    },
+    ServeFlag {
         name: "--stdio",
         value: None,
         help: "serve newline-delimited JSON on stdin/stdout instead of TCP",
@@ -56,6 +61,8 @@ pub struct ServeArgs {
     pub workers: usize,
     /// Admission queue capacity.
     pub queue: usize,
+    /// `op: "trace"` ring capacity.
+    pub trace_capacity: usize,
     /// Serve stdin/stdout instead of TCP.
     pub stdio: bool,
 }
@@ -67,6 +74,7 @@ impl Default for ServeArgs {
             port: 0,
             workers: config.workers,
             queue: config.queue_capacity,
+            trace_capacity: config.trace_capacity,
             stdio: false,
         }
     }
@@ -118,6 +126,7 @@ impl ServeArgs {
                 }
                 "--workers" => parsed.workers = number("--workers")?,
                 "--queue" => parsed.queue = number("--queue")?,
+                "--trace-capacity" => parsed.trace_capacity = number("--trace-capacity")?,
                 "--stdio" => parsed.stdio = true,
                 "--help" => {
                     print_serve_help(invocation);
@@ -134,6 +143,7 @@ impl ServeArgs {
         ServeConfig {
             workers: self.workers,
             queue_capacity: self.queue,
+            trace_capacity: self.trace_capacity,
         }
     }
 }
@@ -189,6 +199,8 @@ mod tests {
                 "2",
                 "--queue",
                 "1",
+                "--trace-capacity",
+                "16",
                 "--stdio",
             ]),
         )
@@ -200,10 +212,12 @@ mod tests {
                 port: 7643,
                 workers: 2,
                 queue: 1,
+                trace_capacity: 16,
                 stdio: true,
             }
         );
         assert_eq!(parsed.config().queue_capacity, 1);
+        assert_eq!(parsed.config().trace_capacity, 16);
     }
 
     #[test]

@@ -12,8 +12,8 @@
 //! Client mode (`--connect HOST:PORT`) reads BLIF from a file argument
 //! or stdin, sends one `map` request, and prints the mapped netlist to
 //! stdout — byte-identical to `chortle-map` with the same flags. Admin
-//! requests: `--flush`, `--stats`, `--shutdown`. Exit code 1 on any
-//! `rejected` response.
+//! requests: `--flush`, `--stats`, `--trace`, `--shutdown`. Exit code 1
+//! on any `rejected` response.
 
 use std::io::Read;
 use std::process::ExitCode;
@@ -45,6 +45,7 @@ enum ClientOp {
     Map(Box<MapRequest>, Option<String>),
     Flush,
     Stats,
+    Trace,
     Shutdown,
 }
 
@@ -72,6 +73,7 @@ fn print_client_help() {
     println!("  --id ID             correlation id echoed in the response");
     println!("  --flush             discard the server's warm cache instead of mapping");
     println!("  --stats             print the server's aggregate report instead of mapping");
+    println!("  --trace             print the server's recent-request trace ring instead");
     println!("  --shutdown          ask the server to drain and exit instead of mapping");
 }
 
@@ -137,6 +139,7 @@ fn parse_client_args(
             "--id" => id = value("--id")?,
             "--flush" => admin = Some(ClientOp::Flush),
             "--stats" => admin = Some(ClientOp::Stats),
+            "--trace" => admin = Some(ClientOp::Trace),
             "--shutdown" => admin = Some(ClientOp::Shutdown),
             "--help" | "-h" => {
                 print_serve_help("chortle-serve");
@@ -187,6 +190,7 @@ fn client_main(mut args: impl Iterator<Item = String>) -> ExitCode {
         }
         ClientOp::Flush => client.flush(&parsed.id),
         ClientOp::Stats => client.stats(&parsed.id),
+        ClientOp::Trace => client.trace(&parsed.id),
         ClientOp::Shutdown => client.shutdown(&parsed.id),
     };
     let response = match response {
@@ -214,8 +218,29 @@ fn client_main(mut args: impl Iterator<Item = String>) -> ExitCode {
             eprintln!("cache flushed; generation {cache_generation}");
             ExitCode::SUCCESS
         }
-        Response::StatsOk { report_json, .. } => {
+        Response::StatsOk {
+            report_json,
+            uptime_s,
+            queue_depth,
+            queue_high_water,
+            ..
+        } => {
+            eprintln!(
+                "uptime {uptime_s}s, queue depth {queue_depth} (high water {queue_high_water})"
+            );
             println!("{report_json}");
+            ExitCode::SUCCESS
+        }
+        Response::TraceOk {
+            capacity, requests, ..
+        } => {
+            eprintln!("{} of {capacity} remembered requests", requests.len());
+            for r in requests {
+                println!(
+                    "{}\t{}\tqueue {}ns\trun {}ns\t{} LUTs depth {}",
+                    r.id, r.outcome, r.queue_ns, r.run_ns, r.luts, r.depth
+                );
+            }
             ExitCode::SUCCESS
         }
         Response::ShutdownOk { .. } => {

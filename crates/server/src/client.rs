@@ -7,7 +7,9 @@ use std::net::TcpStream;
 
 use chortle_telemetry::json::{self, Value};
 
-use crate::proto::{render_admin_request, render_map_request, MapRequest, Op, PROTOCOL};
+use crate::proto::{
+    render_admin_request, render_map_request, MapRequest, Op, RequestTrace, PROTOCOL,
+};
 
 /// A parsed `chortle-serve/v1` response line.
 #[derive(Clone, Debug, PartialEq)]
@@ -22,6 +24,9 @@ pub enum Response {
         depth: usize,
         /// Warm-cache generation that served this request.
         cache_generation: u64,
+        /// Server-measured execution time in nanoseconds — the exact
+        /// value the server bucketed into its `serve.run_ns` histogram.
+        run_ns: u64,
         /// The mapped netlist (BLIF, model `mapped`).
         netlist: String,
         /// The embedded per-request telemetry report, re-serialized.
@@ -40,8 +45,24 @@ pub enum Response {
         id: String,
         /// Current cache generation.
         cache_generation: u64,
+        /// Whole seconds since the server started.
+        uptime_s: u64,
+        /// Jobs queued at the moment of the snapshot.
+        queue_depth: usize,
+        /// The deepest the admission queue has ever been.
+        queue_high_water: usize,
         /// The aggregate server report, re-serialized.
         report_json: String,
+    },
+    /// `status: "ok"` for `op: "trace"` — the ring of recently
+    /// completed requests, oldest first.
+    TraceOk {
+        /// Echoed correlation id.
+        id: String,
+        /// The configured ring capacity.
+        capacity: usize,
+        /// The remembered request traces.
+        requests: Vec<RequestTrace>,
     },
     /// `status: "ok"` for `op: "shutdown"`.
     ShutdownOk {
@@ -98,6 +119,7 @@ pub fn parse_response(line: &str) -> Result<Response, String> {
                 luts: u64_field("luts")? as usize,
                 depth: u64_field("depth")? as usize,
                 cache_generation: u64_field("cache_generation")?,
+                run_ns: u64_field("run_ns")?,
                 netlist: str_field("netlist")?,
                 report_json: value
                     .get("report")
@@ -111,16 +133,55 @@ pub fn parse_response(line: &str) -> Result<Response, String> {
             "stats" => Ok(Response::StatsOk {
                 id,
                 cache_generation: u64_field("cache_generation")?,
+                uptime_s: u64_field("uptime_s")?,
+                queue_depth: u64_field("queue_depth")? as usize,
+                queue_high_water: u64_field("queue_high_water")? as usize,
                 report_json: value
                     .get("report")
                     .map(Value::to_json)
                     .ok_or("response is missing \"report\"")?,
+            }),
+            "trace" => Ok(Response::TraceOk {
+                id,
+                capacity: u64_field("capacity")? as usize,
+                requests: parse_trace_entries(&value)?,
             }),
             "shutdown" => Ok(Response::ShutdownOk { id }),
             other => Err(format!("unknown response op {other:?}")),
         },
         other => Err(format!("unknown status {other:?}")),
     }
+}
+
+fn parse_trace_entries(value: &Value) -> Result<Vec<RequestTrace>, String> {
+    let items = value
+        .get("requests")
+        .and_then(Value::as_array)
+        .ok_or("trace response is missing the \"requests\" array")?;
+    items
+        .iter()
+        .map(|e| {
+            let text = |key: &str| {
+                e.get(key)
+                    .and_then(Value::as_str)
+                    .map(str::to_owned)
+                    .ok_or_else(|| format!("trace entry is missing string field {key:?}"))
+            };
+            let number = |key: &str| {
+                e.get(key)
+                    .and_then(Value::as_u64)
+                    .ok_or_else(|| format!("trace entry is missing integer field {key:?}"))
+            };
+            Ok(RequestTrace {
+                id: text("id")?,
+                outcome: text("outcome")?,
+                queue_ns: number("queue_ns")?,
+                run_ns: number("run_ns")?,
+                luts: number("luts")? as usize,
+                depth: number("depth")? as usize,
+            })
+        })
+        .collect()
 }
 
 /// A blocking connection to a running `chortle-serve` daemon. One
@@ -193,6 +254,15 @@ impl Client {
         self.roundtrip(&render_admin_request(id, &Op::Stats))
     }
 
+    /// Sends a `trace` request and waits for its response.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures and malformed response lines.
+    pub fn trace(&mut self, id: &str) -> io::Result<Response> {
+        self.roundtrip(&render_admin_request(id, &Op::Trace))
+    }
+
     /// Sends a `shutdown` request and waits for its acknowledgement.
     ///
     /// # Errors
@@ -219,21 +289,51 @@ mod tests {
 
     #[test]
     fn parses_rendered_responses() {
-        let ok = render_map_ok("q", 9, 3, 2, ".model mapped\n.end\n", "{\"a\":1}");
+        let ok = render_map_ok("q", 9, 3, 2, 5_000, ".model mapped\n.end\n", "{\"a\":1}");
         match parse_response(&ok).expect("parses") {
             Response::MapOk {
                 id,
                 luts,
                 depth,
                 cache_generation,
+                run_ns,
                 netlist,
                 report_json,
             } => {
                 assert_eq!((id.as_str(), luts, depth, cache_generation), ("q", 9, 3, 2));
+                assert_eq!(run_ns, 5_000);
                 assert_eq!(netlist, ".model mapped\n.end\n");
                 assert_eq!(report_json, "{\"a\":1}");
             }
             other => panic!("expected MapOk, got {other:?}"),
+        }
+        let stats = crate::proto::render_stats_ok("s", 1, 9, 0, 4, "{\"a\":1}");
+        match parse_response(&stats).expect("parses") {
+            Response::StatsOk {
+                uptime_s,
+                queue_depth,
+                queue_high_water,
+                ..
+            } => assert_eq!((uptime_s, queue_depth, queue_high_water), (9, 0, 4)),
+            other => panic!("expected StatsOk, got {other:?}"),
+        }
+        let ring = [RequestTrace {
+            id: "m7".into(),
+            outcome: "deadline_exceeded".into(),
+            queue_ns: 10,
+            run_ns: 20,
+            luts: 0,
+            depth: 0,
+        }];
+        let trace = crate::proto::render_trace_ok("t", 4, &ring);
+        match parse_response(&trace).expect("parses") {
+            Response::TraceOk {
+                capacity, requests, ..
+            } => {
+                assert_eq!(capacity, 4);
+                assert_eq!(requests, ring);
+            }
+            other => panic!("expected TraceOk, got {other:?}"),
         }
         let rej = render_rejected("r", RejectReason::DeadlineExceeded, "too slow");
         assert_eq!(

@@ -18,7 +18,14 @@
 //!   request;
 //! - **graceful shutdown**: a `shutdown` request stops admission,
 //!   drains in-flight work, and yields a final aggregate telemetry
-//!   report (`serve.*` counters, schema `chortle-telemetry/v1.2`).
+//!   report (`serve.*` counters plus the `serve.queue_ns` and
+//!   `serve.run_ns` latency histograms, schema
+//!   `chortle-telemetry/v1.3`);
+//! - **live introspection**: `op: "stats"` answers uptime, per-op
+//!   request counters, queue depth and high-water mark, and the latency
+//!   histograms without disturbing the workers; `op: "trace"` dumps a
+//!   bounded ring of recently completed request traces
+//!   (`--trace-capacity` sizes it).
 //!
 //! Responses are byte-identical to the offline `chortle-map` CLI for
 //! the same `(BLIF, k, jobs, cache, objective, optimize)` — the server
@@ -38,7 +45,7 @@ mod service;
 
 pub use args::{print_serve_help, ServeArgs, SERVE_FLAGS};
 pub use client::{parse_response, Client, Response};
-pub use proto::{MapRequest, Op, RejectReason, Request, PROTOCOL};
+pub use proto::{MapRequest, Op, RejectReason, Request, RequestTrace, PROTOCOL};
 pub use server::{
     run_daemon, serve_stdio, stats, ServeConfig, Server, ServerHandle, ServerSummary,
 };

@@ -11,7 +11,7 @@
 //!
 //! Request keys: `proto` (required, `"chortle-serve/v1"`), `id`
 //! (optional string, echoed verbatim), `op` (`"map"` default, `"flush"`,
-//! `"stats"`, `"shutdown"`); for `op: "map"` also `blif` (required),
+//! `"stats"`, `"trace"`, `"shutdown"`); for `op: "map"` also `blif` (required),
 //! `k` (default 4), `jobs` (default 1), `cache`
 //! (`"shared"`/`"tree"`/`"off"`, default shared), `objective`
 //! (`"area"`/`"depth"`, default area), `optimize` (default true) and
@@ -48,8 +48,29 @@ pub enum Op {
     Flush,
     /// Return the aggregate server telemetry report so far.
     Stats,
+    /// Return the ring buffer of recently completed request traces.
+    Trace,
     /// Stop accepting work, drain in-flight requests, exit.
     Shutdown,
+}
+
+/// One completed request as remembered by the server's bounded trace
+/// ring — the payload of an `op: "trace"` response.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RequestTrace {
+    /// The request's correlation id, echoed as the client sent it.
+    pub id: String,
+    /// How the request ended: `"ok"` or a [`RejectReason`] spelling.
+    pub outcome: String,
+    /// Nanoseconds spent queued between admission and a worker
+    /// picking the job up.
+    pub queue_ns: u64,
+    /// Nanoseconds the worker spent executing the request.
+    pub run_ns: u64,
+    /// Mapped LUT count (0 for rejected or admin outcomes).
+    pub luts: usize,
+    /// Mapped circuit depth (0 for rejected or admin outcomes).
+    pub depth: usize,
 }
 
 /// The payload of a `map` request.
@@ -201,11 +222,12 @@ pub fn parse_request(line: &str) -> Result<Request, ProtoError> {
         "map" => Op::Map(parse_map_request(&value, &id)?),
         "flush" => Op::Flush,
         "stats" => Op::Stats,
+        "trace" => Op::Trace,
         "shutdown" => Op::Shutdown,
         other => {
             return Err(fail(
                 &id,
-                format!("unknown op {other:?} (expected map, flush, stats or shutdown)"),
+                format!("unknown op {other:?} (expected map, flush, stats, trace or shutdown)"),
             ))
         }
     };
@@ -324,11 +346,13 @@ pub fn render_map_request(id: &str, req: &MapRequest) -> String {
     out
 }
 
-/// Renders an admin request line (`flush`, `stats` or `shutdown`).
+/// Renders an admin request line (`flush`, `stats`, `trace` or
+/// `shutdown`).
 pub fn render_admin_request(id: &str, op: &Op) -> String {
     let name = match op {
         Op::Flush => "flush",
         Op::Stats => "stats",
+        Op::Trace => "trace",
         Op::Shutdown => "shutdown",
         Op::Map(_) => unreachable!("map requests use render_map_request"),
     };
@@ -352,20 +376,23 @@ fn response_header(out: &mut String, id: &str, status: &str) {
 
 /// Renders the success response of a `map` request. `report_json` is the
 /// embedded per-request telemetry report (already-serialized JSON,
-/// spliced in verbatim).
+/// spliced in verbatim). `run_ns` is the server-measured execution time
+/// — the same number the server buckets into its `serve.run_ns`
+/// histogram, so clients can reproduce the server's view exactly.
 pub fn render_map_ok(
     id: &str,
     luts: usize,
     depth: usize,
     cache_generation: u64,
+    run_ns: u64,
     netlist: &str,
     report_json: &str,
 ) -> String {
-    let mut out = String::with_capacity(netlist.len() + report_json.len() + 128);
+    let mut out = String::with_capacity(netlist.len() + report_json.len() + 144);
     response_header(&mut out, id, "ok");
     out.push_str(",\"op\":\"map\"");
     out.push_str(&format!(
-        ",\"luts\":{luts},\"depth\":{depth},\"cache_generation\":{cache_generation}"
+        ",\"luts\":{luts},\"depth\":{depth},\"cache_generation\":{cache_generation},\"run_ns\":{run_ns}"
     ));
     out.push_str(",\"netlist\":");
     write_string(&mut out, netlist);
@@ -385,16 +412,52 @@ pub fn render_flush_ok(id: &str, cache_generation: u64) -> String {
     out
 }
 
-/// Renders the success response of a `stats` request: the aggregate
-/// server report plus the current cache generation.
-pub fn render_stats_ok(id: &str, cache_generation: u64, report_json: &str) -> String {
-    let mut out = String::with_capacity(report_json.len() + 96);
+/// Renders the success response of a `stats` request: uptime, the
+/// current queue depth and its high-water mark, the cache generation,
+/// and the aggregate server report (which carries the per-op request
+/// counters and the `serve.queue_ns`/`serve.run_ns` latency
+/// histograms).
+pub fn render_stats_ok(
+    id: &str,
+    cache_generation: u64,
+    uptime_s: u64,
+    queue_depth: usize,
+    queue_high_water: usize,
+    report_json: &str,
+) -> String {
+    let mut out = String::with_capacity(report_json.len() + 144);
     response_header(&mut out, id, "ok");
     out.push_str(&format!(
-        ",\"op\":\"stats\",\"cache_generation\":{cache_generation},\"report\":"
+        ",\"op\":\"stats\",\"cache_generation\":{cache_generation},\"uptime_s\":{uptime_s}\
+         ,\"queue_depth\":{queue_depth},\"queue_high_water\":{queue_high_water},\"report\":"
     ));
     out.push_str(report_json);
     out.push('}');
+    out
+}
+
+/// Renders the success response of a `trace` request: the configured
+/// ring capacity and the remembered request traces, oldest first.
+pub fn render_trace_ok(id: &str, capacity: usize, entries: &[RequestTrace]) -> String {
+    let mut out = String::with_capacity(96 + entries.len() * 96);
+    response_header(&mut out, id, "ok");
+    out.push_str(&format!(
+        ",\"op\":\"trace\",\"capacity\":{capacity},\"requests\":["
+    ));
+    for (i, e) in entries.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"id\":");
+        write_string(&mut out, &e.id);
+        out.push_str(",\"outcome\":");
+        write_string(&mut out, &e.outcome);
+        out.push_str(&format!(
+            ",\"queue_ns\":{},\"run_ns\":{},\"luts\":{},\"depth\":{}}}",
+            e.queue_ns, e.run_ns, e.luts, e.depth
+        ));
+    }
+    out.push_str("]}");
     out
 }
 
@@ -462,6 +525,7 @@ mod tests {
         for (name, op) in [
             ("flush", Op::Flush),
             ("stats", Op::Stats),
+            ("trace", Op::Trace),
             ("shutdown", Op::Shutdown),
         ] {
             let line = format!(r#"{{"proto":"chortle-serve/v1","op":"{name}"}}"#);
@@ -503,6 +567,16 @@ mod tests {
                 "x",
             ),
             (
+                r#"{"proto":"chortle-serve/v1","id":"x","op":"stats","jobs":2}"#,
+                "only valid for op \"map\"",
+                "x",
+            ),
+            (
+                r#"{"proto":"chortle-serve/v1","id":"x","op":"trace","deadline_ms":5}"#,
+                "only valid for op \"map\"",
+                "x",
+            ),
+            (
                 r#"{"proto":"chortle-serve/v1","id":"x","blif":"","k":-1}"#,
                 "non-negative integer",
                 "x",
@@ -536,7 +610,7 @@ mod tests {
         assert_eq!(parsed.id, "rt");
         assert_eq!(parsed.op, Op::Map(req));
 
-        for op in [Op::Flush, Op::Stats, Op::Shutdown] {
+        for op in [Op::Flush, Op::Stats, Op::Trace, Op::Shutdown] {
             let line = render_admin_request("a1", &op);
             let parsed = parse_request(&line).expect("round trips");
             assert_eq!((parsed.id.as_str(), parsed.op), ("a1", op));
@@ -545,12 +619,29 @@ mod tests {
 
     #[test]
     fn responses_are_one_line_and_reparse() {
+        let ring = [RequestTrace {
+            id: "m1".into(),
+            outcome: "ok".into(),
+            queue_ns: 1200,
+            run_ns: 34000,
+            luts: 5,
+            depth: 2,
+        }];
         let cases = [
-            render_map_ok("a", 3, 2, 7, ".model mapped\n.end\n", "{\"schema\":\"x\"}"),
+            render_map_ok(
+                "a",
+                3,
+                2,
+                7,
+                41_000,
+                ".model mapped\n.end\n",
+                "{\"schema\":\"x\"}",
+            ),
             render_flush_ok("b", 8),
-            render_stats_ok("", 0, "{\"schema\":\"x\"}"),
+            render_stats_ok("", 0, 12, 1, 3, "{\"schema\":\"x\"}"),
             render_shutdown_ok("c"),
             render_rejected("d", RejectReason::QueueFull, "queue is full"),
+            render_trace_ok("e", 128, &ring),
         ];
         for line in &cases {
             assert!(!line.contains('\n'), "{line}");
@@ -568,10 +659,24 @@ mod tests {
             Some(".model mapped\n.end\n")
         );
         assert_eq!(map.get("cache_generation").and_then(Value::as_u64), Some(7));
+        assert_eq!(map.get("run_ns").and_then(Value::as_u64), Some(41_000));
+        let stats = chortle_telemetry::json::parse(&cases[2]).unwrap();
+        assert_eq!(stats.get("uptime_s").and_then(Value::as_u64), Some(12));
+        assert_eq!(stats.get("queue_depth").and_then(Value::as_u64), Some(1));
+        assert_eq!(
+            stats.get("queue_high_water").and_then(Value::as_u64),
+            Some(3)
+        );
         let rej = chortle_telemetry::json::parse(&cases[4]).unwrap();
         assert_eq!(
             rej.get("reason").and_then(Value::as_str),
             Some("queue_full")
         );
+        let trace = chortle_telemetry::json::parse(&cases[5]).unwrap();
+        assert_eq!(trace.get("capacity").and_then(Value::as_u64), Some(128));
+        let reqs = trace.get("requests").and_then(Value::as_array).unwrap();
+        assert_eq!(reqs.len(), 1);
+        assert_eq!(reqs[0].get("outcome").and_then(Value::as_str), Some("ok"));
+        assert_eq!(reqs[0].get("queue_ns").and_then(Value::as_u64), Some(1200));
     }
 }

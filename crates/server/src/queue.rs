@@ -16,6 +16,7 @@
 //! work always completes.
 
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex};
 
 /// Why a push was refused; both variants hand the job back to the
@@ -38,6 +39,7 @@ pub struct BoundedQueue<T> {
     capacity: usize,
     state: Mutex<State<T>>,
     available: Condvar,
+    high_water: AtomicUsize,
 }
 
 impl<T> BoundedQueue<T> {
@@ -51,6 +53,7 @@ impl<T> BoundedQueue<T> {
                 closed: false,
             }),
             available: Condvar::new(),
+            high_water: AtomicUsize::new(0),
         }
     }
 
@@ -69,7 +72,11 @@ impl<T> BoundedQueue<T> {
             return Err(PushError::Full(item));
         }
         state.items.push_back(item);
+        let depth = state.items.len();
         drop(state);
+        // Updated only under a successful push (while we still observe
+        // the post-push depth), so the mark is exact, not racy.
+        self.high_water.fetch_max(depth, Ordering::Relaxed);
         self.available.notify_one();
         Ok(())
     }
@@ -105,6 +112,12 @@ impl<T> BoundedQueue<T> {
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// The deepest the queue has ever been — the backpressure headroom
+    /// signal surfaced by `op: "stats"`.
+    pub fn high_water(&self) -> usize {
+        self.high_water.load(Ordering::Relaxed)
+    }
 }
 
 #[cfg(test)]
@@ -124,6 +137,20 @@ mod tests {
         assert_eq!(q.pop(), Some(1));
         q.try_push(3).unwrap();
         assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn high_water_tracks_the_deepest_point_only() {
+        let q = BoundedQueue::new(4);
+        assert_eq!(q.high_water(), 0);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        assert_eq!(q.high_water(), 2);
+        q.pop();
+        q.pop();
+        assert_eq!(q.high_water(), 2, "draining never lowers the mark");
+        q.try_push(3).unwrap();
+        assert_eq!(q.high_water(), 2, "shallower pushes never raise it");
     }
 
     #[test]

@@ -21,6 +21,7 @@
 //! (counted as `serve.drained`), workers exit on the drained queue, and
 //! [`Server::run`] returns the final aggregate [`ServerSummary`].
 
+use std::collections::VecDeque;
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{Ipv4Addr, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -32,14 +33,14 @@ use chortle_telemetry::{Report, Telemetry};
 
 use crate::proto::{
     parse_request, render_flush_ok, render_map_ok, render_rejected, render_shutdown_ok,
-    render_stats_ok, MapRequest, Op, RejectReason,
+    render_stats_ok, render_trace_ok, MapRequest, Op, RejectReason, RequestTrace,
 };
 use crate::queue::{BoundedQueue, PushError};
 use crate::service;
 
-/// Names of the aggregate counters and stages the server reports —
-/// the closed `serve.*` namespace of telemetry schema v1.2 (see
-/// [`chortle_telemetry::schema::SERVE_COUNTERS`]).
+/// Names of the aggregate counters, stages and histograms the server
+/// reports — the closed `serve.*` counter namespace of telemetry schema
+/// v1.3 (see [`chortle_telemetry::schema::SERVE_COUNTERS`]).
 pub mod stats {
     /// Counter: TCP connections accepted (absent in `--stdio` mode).
     pub const CONNECTIONS: &str = "serve.connections";
@@ -60,9 +61,20 @@ pub mod stats {
     pub const DRAINED: &str = "serve.drained";
     /// Counter: warm-cache flush requests served.
     pub const FLUSHES: &str = "serve.flushes";
+    /// Counter: `stats` introspection requests served.
+    pub const STATS_REQUESTS: &str = "serve.stats_requests";
+    /// Counter: `trace` introspection requests served.
+    pub const TRACE_REQUESTS: &str = "serve.trace_requests";
     /// Stage: wall time of each worker-executed request (queue wait
     /// excluded).
     pub const STAGE_REQUEST: &str = "serve.request";
+    /// Histogram: nanoseconds each admitted job waited in the queue
+    /// before a worker picked it up.
+    pub const HIST_QUEUE_NS: &str = "serve.queue_ns";
+    /// Histogram: nanoseconds each job spent executing on its worker —
+    /// the same values echoed per response as `run_ns`, so clients can
+    /// rebuild this histogram bucket-for-bucket.
+    pub const HIST_RUN_NS: &str = "serve.run_ns";
 }
 
 /// Server configuration (transport-independent).
@@ -72,6 +84,9 @@ pub struct ServeConfig {
     pub workers: usize,
     /// Admission queue capacity; pushes beyond it answer `queue_full`.
     pub queue_capacity: usize,
+    /// How many completed requests the `op: "trace"` ring remembers;
+    /// older entries are evicted, so memory stays bounded.
+    pub trace_capacity: usize,
 }
 
 impl Default for ServeConfig {
@@ -79,6 +94,7 @@ impl Default for ServeConfig {
         ServeConfig {
             workers: 0,
             queue_capacity: 64,
+            trace_capacity: 128,
         }
     }
 }
@@ -87,7 +103,8 @@ impl Default for ServeConfig {
 #[derive(Clone, Debug)]
 pub struct ServerSummary {
     /// The aggregate server telemetry report (`serve.*` counters, the
-    /// per-request stage) — schema-valid `chortle-telemetry/v1.2`.
+    /// per-request stage, the queue-wait and run-time histograms) —
+    /// schema-valid `chortle-telemetry/v1.3`.
     pub report: Report,
     /// Final warm-cache generation.
     pub cache_generation: u64,
@@ -100,6 +117,9 @@ struct Job {
     id: String,
     req: MapRequest,
     deadline: Option<Instant>,
+    /// When the job entered the queue — the start of its queue-wait
+    /// measurement.
+    admitted: Instant,
     out: Responder,
 }
 
@@ -137,6 +157,12 @@ struct Shared {
     warm: WarmCache,
     telemetry: Telemetry,
     stopping: AtomicBool,
+    /// When the server started — the `uptime_s` baseline of `stats`.
+    started: Instant,
+    /// The `op: "trace"` ring: the last `trace_capacity` completed
+    /// requests, oldest first.
+    ring: Mutex<VecDeque<RequestTrace>>,
+    trace_capacity: usize,
     /// The listener's address, used to self-connect and wake the accept
     /// loop on shutdown (`None` in stdio mode — nothing to wake).
     addr: Option<SocketAddr>,
@@ -149,8 +175,20 @@ impl Shared {
             warm: WarmCache::new(),
             telemetry: Telemetry::enabled(),
             stopping: AtomicBool::new(false),
+            started: Instant::now(),
+            ring: Mutex::new(VecDeque::with_capacity(config.trace_capacity.min(1024))),
+            trace_capacity: config.trace_capacity.max(1),
             addr,
         }
+    }
+
+    /// Remembers one completed request in the bounded trace ring.
+    fn remember(&self, entry: RequestTrace) {
+        let mut ring = self.ring.lock().expect("trace ring poisoned");
+        if ring.len() == self.trace_capacity {
+            ring.pop_front();
+        }
+        ring.push_back(entry);
     }
 
     fn stopping(&self) -> bool {
@@ -214,6 +252,7 @@ fn dispatch(shared: &Shared, line: &str, out: &Responder) -> std::ops::ControlFl
                 id: request.id,
                 req,
                 deadline,
+                admitted: Instant::now(),
                 out: out.clone(),
             };
             match shared.queue.try_push(job) {
@@ -244,10 +283,27 @@ fn dispatch(shared: &Shared, line: &str, out: &Responder) -> std::ops::ControlFl
             Continue(())
         }
         Op::Stats => {
+            telemetry.add_counter(stats::STATS_REQUESTS, 1);
             out.send(&render_stats_ok(
                 &request.id,
                 shared.warm.generation(),
+                shared.started.elapsed().as_secs(),
+                shared.queue.len(),
+                shared.queue.high_water(),
                 &shared.telemetry.snapshot().to_json(),
+            ));
+            Continue(())
+        }
+        Op::Trace => {
+            telemetry.add_counter(stats::TRACE_REQUESTS, 1);
+            let entries: Vec<RequestTrace> = {
+                let ring = shared.ring.lock().expect("trace ring poisoned");
+                ring.iter().cloned().collect()
+            };
+            out.send(&render_trace_ok(
+                &request.id,
+                shared.trace_capacity,
+                &entries,
             ));
             Continue(())
         }
@@ -265,6 +321,7 @@ fn worker_loop(shared: &Shared) {
     while let Some(job) = shared.queue.pop() {
         let draining = shared.stopping();
         let start = Instant::now();
+        let queue_wait = start.duration_since(job.admitted);
         let expired = job.deadline.is_some_and(|d| Instant::now() >= d);
         let result = if expired {
             Err((
@@ -274,17 +331,29 @@ fn worker_loop(shared: &Shared) {
         } else {
             service::execute_map(&job.req, &shared.warm, service::cancel_for(job.deadline))
         };
+        let run = start.elapsed();
+        let run_ns = u64::try_from(run.as_nanos()).unwrap_or(u64::MAX);
+        let queue_ns = u64::try_from(queue_wait.as_nanos()).unwrap_or(u64::MAX);
         match result {
             Ok(outcome) => {
                 shared.telemetry.add_counter(stats::COMPLETED, 1);
                 if draining {
                     shared.telemetry.add_counter(stats::DRAINED, 1);
                 }
+                shared.remember(RequestTrace {
+                    id: job.id.clone(),
+                    outcome: "ok".to_owned(),
+                    queue_ns,
+                    run_ns,
+                    luts: outcome.luts,
+                    depth: outcome.depth,
+                });
                 job.out.send(&render_map_ok(
                     &job.id,
                     outcome.luts,
                     outcome.depth,
                     shared.warm.generation(),
+                    run_ns,
                     &outcome.netlist,
                     &outcome.report_json,
                 ));
@@ -298,12 +367,24 @@ fn worker_loop(shared: &Shared) {
                 if let Some(name) = counter {
                     shared.telemetry.add_counter(name, 1);
                 }
+                shared.remember(RequestTrace {
+                    id: job.id.clone(),
+                    outcome: reason.as_str().to_owned(),
+                    queue_ns,
+                    run_ns,
+                    luts: 0,
+                    depth: 0,
+                });
                 job.out.send(&render_rejected(&job.id, reason, &detail));
             }
         }
         shared
             .telemetry
-            .record_stage(stats::STAGE_REQUEST, start.elapsed().as_secs_f64());
+            .record_value(stats::HIST_QUEUE_NS, queue_ns);
+        shared.telemetry.record_value(stats::HIST_RUN_NS, run_ns);
+        shared
+            .telemetry
+            .record_stage(stats::STAGE_REQUEST, run.as_secs_f64());
     }
 }
 

@@ -158,6 +158,7 @@ fn overload_yields_typed_queue_full_rejections_and_no_drops() {
     let (addr, run) = start(ServeConfig {
         workers: 1,
         queue_capacity: 1,
+        ..ServeConfig::default()
     });
     let blif = write_blif(&alu(96), "alu96");
     let total = 6;
@@ -236,6 +237,84 @@ fn flush_bumps_the_generation_and_empties_the_warm_cache() {
 }
 
 #[test]
+fn stats_and_trace_expose_live_introspection() {
+    let (addr, run) = start(ServeConfig {
+        trace_capacity: 2,
+        ..ServeConfig::default()
+    });
+    let mut client = Client::connect(&addr).expect("connect");
+    let blif = write_blif(&benchmark("count").unwrap(), "count");
+
+    // Rebuild the server's run-time histogram client-side from the
+    // `run_ns` echoed in each response: because both sides use the same
+    // bucketing, the reconstruction must match bucket-for-bucket.
+    let mut run_hist = chortle_telemetry::Histogram::new();
+    for i in 0..3 {
+        match client
+            .map(&format!("m{i}"), &request(&blif))
+            .expect("roundtrip")
+        {
+            Response::MapOk { run_ns, .. } => run_hist.record(run_ns),
+            other => panic!("expected MapOk, got {other:?}"),
+        }
+    }
+
+    match client.stats("s").expect("roundtrip") {
+        Response::StatsOk {
+            id,
+            queue_depth,
+            report_json,
+            ..
+        } => {
+            assert_eq!(id, "s");
+            assert_eq!(queue_depth, 0, "nothing queued between round trips");
+            chortle_telemetry::schema::validate_report(&report_json).expect("schema-valid");
+            for needle in [
+                "\"serve.queue_ns\"",
+                "\"serve.run_ns\"",
+                "serve.stats_requests",
+            ] {
+                assert!(report_json.contains(needle), "stats report lost {needle}");
+            }
+        }
+        other => panic!("expected StatsOk, got {other:?}"),
+    }
+
+    // The ring holds `trace_capacity` entries: the oldest request has
+    // been evicted, the survivors arrive oldest first.
+    match client.trace("t").expect("roundtrip") {
+        Response::TraceOk {
+            id,
+            capacity,
+            requests,
+        } => {
+            assert_eq!((id.as_str(), capacity), ("t", 2));
+            let ids: Vec<&str> = requests.iter().map(|r| r.id.as_str()).collect();
+            assert_eq!(ids, ["m1", "m2"], "bounded ring evicts oldest first");
+            for r in &requests {
+                assert_eq!(r.outcome, "ok");
+                assert!(r.luts > 0 && r.depth > 0);
+            }
+        }
+        other => panic!("expected TraceOk, got {other:?}"),
+    }
+
+    let summary = shut_down(&addr, run);
+    assert_eq!(summary.report.counter("serve.stats_requests"), Some(1));
+    assert_eq!(summary.report.counter("serve.trace_requests"), Some(1));
+    assert_eq!(
+        summary.report.histogram("serve.run_ns"),
+        Some(&run_hist),
+        "echoed run_ns values rebuild the server histogram exactly"
+    );
+    let queue_hist = summary
+        .report
+        .histogram("serve.queue_ns")
+        .expect("queue-wait histogram present");
+    assert_eq!(queue_hist.count(), 3, "one queue-wait sample per map");
+}
+
+#[test]
 fn malformed_requests_are_rejected_as_bad_request() {
     let (addr, run) = start(ServeConfig::default());
     let mut client = Client::connect(&addr).expect("connect");
@@ -290,9 +369,11 @@ fn shutdown_drains_refuses_new_work_and_reports_schema_valid_telemetry() {
         Response::StatsOk {
             report_json,
             cache_generation,
+            queue_high_water,
             ..
         } => {
             assert_eq!(cache_generation, 0);
+            assert!(queue_high_water >= 1, "the map request was queued");
             chortle_telemetry::schema::validate_report(&report_json)
                 .expect("mid-run stats report validates against the schema");
         }

@@ -1,0 +1,376 @@
+//! Exact log-bucketed histograms (HDR-style, powers-of-√2).
+//!
+//! A [`Histogram`] counts `u64` samples (nanoseconds by convention) into
+//! [`BUCKETS`] buckets whose boundaries are the powers of √2: bucket `i`
+//! covers `[√2ⁱ, √2ⁱ⁺¹)`, so two buckets per octave and a worst-case
+//! relative error of √2 ≈ 41% on any quantile estimate. Bucketing is
+//! exact integer math (no floating point), so the bucket a sample lands
+//! in is a pure function of its value — identical on every platform and
+//! every run. [`Histogram::merge`] adds bucket counts element-wise,
+//! which makes merging **associative, commutative, and
+//! partition-invariant**: splitting a sample stream across any number of
+//! workers and merging the partial histograms in any order yields
+//! bit-identical bucket counts.
+//!
+//! # Examples
+//!
+//! ```
+//! use chortle_telemetry::hist::Histogram;
+//!
+//! let mut h = Histogram::new();
+//! h.record(900);
+//! h.record(1_100);
+//! assert_eq!(h.count(), 2);
+//! assert_eq!(h.total(), 2_000);
+//! // Quantiles report the lower bound of the sample's bucket.
+//! assert_eq!(h.quantile(0.5), 725); // ⌈√2¹⁹⌉ ≤ 900 < √2²⁰
+//! ```
+
+use std::time::Duration;
+
+use crate::json::{self, Value};
+
+/// Number of buckets: two per octave over the full `u64` range
+/// (`2 · 64 = 128`), so every sample has a bucket and none saturate.
+pub const BUCKETS: usize = 128;
+
+/// An exact, mergeable, log-bucketed histogram of `u64` samples.
+///
+/// See the [module docs](self) for the bucketing scheme and merge
+/// guarantees. Equality compares bucket counts, sample count, and total
+/// — two histograms of the same sample multiset are always equal.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; BUCKETS],
+    count: u64,
+    total: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: [0; BUCKETS],
+            count: 0,
+            total: 0,
+        }
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count)
+            .field("total", &self.total)
+            .field("nonzero", &self.nonzero().collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+/// The bucket a sample lands in: `i` such that `√2ⁱ ≤ value < √2ⁱ⁺¹`
+/// (with 0 in bucket 0). Exact — the √2 comparison is done as an
+/// integer square compare in `u128`, never floating point.
+pub fn bucket_index(value: u64) -> usize {
+    if value == 0 {
+        return 0;
+    }
+    let floor_log2 = 63 - value.leading_zeros() as usize;
+    let base = 2 * floor_log2;
+    // value ≥ √2 · 2^l  ⇔  value² ≥ 2^(2l+1)
+    if u128::from(value) * u128::from(value) >= 1u128 << (2 * floor_log2 + 1) {
+        base + 1
+    } else {
+        base
+    }
+}
+
+/// The smallest sample value that lands in bucket `index` — the
+/// bucket's inclusive lower bound, computed exactly.
+pub fn bucket_lower_bound(index: usize) -> u64 {
+    assert!(index < BUCKETS, "bucket index out of range");
+    let l = index / 2;
+    if index.is_multiple_of(2) {
+        1u64 << l
+    } else {
+        // Smallest v with v² ≥ 2^(2l+1): ceil(2^l · √2) via integer sqrt.
+        let target = 1u128 << (2 * l + 1);
+        let mut v = isqrt(target);
+        if v * v < target {
+            v += 1;
+        }
+        v as u64
+    }
+}
+
+/// Integer square root (largest `r` with `r² ≤ n`).
+fn isqrt(n: u128) -> u128 {
+    if n < 2 {
+        return n;
+    }
+    let mut r = 1u128 << (n.ilog2() / 2 + 1);
+    loop {
+        let next = (r + n / r) / 2;
+        if next >= r {
+            return r;
+        }
+        r = next;
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.buckets[bucket_index(value)] += 1;
+        self.count += 1;
+        self.total = self.total.saturating_add(value);
+    }
+
+    /// Records one duration as nanoseconds (saturating at `u64::MAX`).
+    pub fn record_duration(&mut self, d: Duration) {
+        self.record(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Adds `other`'s bucket counts element-wise. Associative,
+    /// commutative, and partition-invariant (see the module docs).
+    pub fn merge(&mut self, other: &Histogram) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.total = self.total.saturating_add(other.total);
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all recorded sample values (saturating).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Whether no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Exact count in one bucket.
+    pub fn bucket_count(&self, index: usize) -> u64 {
+        self.buckets[index]
+    }
+
+    /// The nonzero buckets, in ascending index order.
+    pub fn nonzero(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (i, c))
+    }
+
+    /// Nearest-rank quantile estimate: the lower bound of the bucket
+    /// holding the sample of rank `⌈q·count⌉`. Zero on an empty
+    /// histogram. Exact integer math, so reproducible run-to-run for
+    /// the same bucket counts.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        #[allow(clippy::cast_precision_loss, clippy::cast_sign_loss)]
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, c) in self.nonzero() {
+            seen += c;
+            if seen >= rank {
+                return bucket_lower_bound(i);
+            }
+        }
+        bucket_lower_bound(BUCKETS - 1)
+    }
+
+    /// Mean sample value (0 on an empty histogram).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            #[allow(clippy::cast_precision_loss)]
+            {
+                self.total as f64 / self.count as f64
+            }
+        }
+    }
+
+    /// Writes the histogram's JSON body: `{"count":…,"total_ns":…,`
+    /// `"buckets":[{"index":…,"count":…},…]}` with only nonzero buckets
+    /// listed, ascending. This fragment is what reports and bench JSONs
+    /// embed, so the two always agree on layout.
+    pub fn write_json(&self, out: &mut String) {
+        out.push('{');
+        self.write_json_fields(out);
+        out.push('}');
+    }
+
+    /// The object body of [`write_json`](Histogram::write_json), without
+    /// the surrounding braces (so callers can prepend sibling keys).
+    pub(crate) fn write_json_fields(&self, out: &mut String) {
+        use std::fmt::Write as _;
+        let _ = write!(
+            out,
+            "\"count\":{},\"total_ns\":{},\"buckets\":[",
+            self.count, self.total
+        );
+        for (n, (i, c)) in self.nonzero().enumerate() {
+            if n > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{{\"index\":{i},\"count\":{c}}}");
+        }
+        out.push(']');
+    }
+
+    /// Parses a histogram from a JSON value shaped like
+    /// [`write_json`](Histogram::write_json)'s output (extra sibling
+    /// keys, e.g. `name`, are ignored).
+    ///
+    /// # Errors
+    ///
+    /// Describes the first missing key, wrong kind, or out-of-range
+    /// bucket index.
+    pub fn from_value(value: &Value) -> Result<Histogram, String> {
+        let mut h = Histogram::new();
+        h.count = value
+            .get("count")
+            .and_then(Value::as_u64)
+            .ok_or("histogram.count must be a non-negative integer")?;
+        h.total = value
+            .get("total_ns")
+            .and_then(Value::as_u64)
+            .ok_or("histogram.total_ns must be a non-negative integer")?;
+        let buckets = value
+            .get("buckets")
+            .and_then(Value::as_array)
+            .ok_or("histogram.buckets must be an array")?;
+        for b in buckets {
+            let index = b
+                .get("index")
+                .and_then(Value::as_u64)
+                .ok_or("bucket.index must be a non-negative integer")?;
+            let count = b
+                .get("count")
+                .and_then(Value::as_u64)
+                .ok_or("bucket.count must be a non-negative integer")?;
+            let index = usize::try_from(index)
+                .ok()
+                .filter(|&i| i < BUCKETS)
+                .ok_or_else(|| format!("bucket.index {index} out of range"))?;
+            h.buckets[index] += count;
+        }
+        Ok(h)
+    }
+
+    /// Parses a histogram from JSON text (see
+    /// [`from_value`](Histogram::from_value)).
+    ///
+    /// # Errors
+    ///
+    /// Parse errors or the deviations `from_value` reports.
+    pub fn from_json(input: &str) -> Result<Histogram, String> {
+        let value = json::parse(input).map_err(|e| format!("not valid JSON: {e}"))?;
+        Histogram::from_value(&value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_exact() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 0);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 3);
+        assert_eq!(bucket_index(4), 4);
+        assert_eq!(bucket_index(5), 4);
+        assert_eq!(bucket_index(6), 5);
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+        // Every bucket's lower bound lands in that bucket, and the value
+        // just below it lands strictly lower.
+        for i in 0..BUCKETS {
+            let lo = bucket_lower_bound(i);
+            if i >= 2 {
+                assert_eq!(bucket_index(lo), i, "lower bound of bucket {i}");
+                assert!(bucket_index(lo - 1) < i, "below bucket {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn bucketing_matches_the_float_definition() {
+        // Spot-check against the real-number definition √2ⁱ ≤ v < √2ⁱ⁺¹
+        // away from boundary rounding.
+        for v in [10u64, 100, 1_000, 12_345, 1 << 40] {
+            let i = bucket_index(v);
+            let lo = 2f64.powf(i as f64 / 2.0);
+            let hi = 2f64.powf((i as f64 + 1.0) / 2.0);
+            assert!(lo <= v as f64 * 1.000_001 && (v as f64) < hi * 1.000_001);
+        }
+    }
+
+    #[test]
+    fn merge_is_associative_and_partition_invariant() {
+        let samples: Vec<u64> = (0..1_000).map(|i| (i * 7919) % 100_000).collect();
+        let mut whole = Histogram::new();
+        for &s in &samples {
+            whole.record(s);
+        }
+        // Any partition of the stream merges back to the same histogram,
+        // in any association order.
+        for parts in [2, 3, 7] {
+            let mut partials: Vec<Histogram> = vec![Histogram::new(); parts];
+            for (i, &s) in samples.iter().enumerate() {
+                partials[i % parts].record(s);
+            }
+            let mut left = Histogram::new();
+            for p in &partials {
+                left.merge(p);
+            }
+            let mut right = Histogram::new();
+            for p in partials.iter().rev() {
+                right.merge(p);
+            }
+            assert_eq!(left, whole, "{parts} partitions, left fold");
+            assert_eq!(right, whole, "{parts} partitions, reverse fold");
+        }
+    }
+
+    #[test]
+    fn quantiles_walk_bucket_bounds() {
+        let mut h = Histogram::new();
+        for v in [1u64, 1, 1, 1_000, 1_000_000] {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.5), 1);
+        assert_eq!(h.quantile(0.8), bucket_lower_bound(bucket_index(1_000)));
+        assert_eq!(h.quantile(1.0), bucket_lower_bound(bucket_index(1_000_000)));
+        assert_eq!(Histogram::new().quantile(0.5), 0);
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_buckets() {
+        let mut h = Histogram::new();
+        for v in [0u64, 3, 900, 1_100, u64::MAX] {
+            h.record(v);
+        }
+        let mut out = String::new();
+        h.write_json(&mut out);
+        let back = Histogram::from_json(&out).expect("parses");
+        assert_eq!(back, h);
+        assert!(Histogram::from_json("{}").is_err());
+    }
+}

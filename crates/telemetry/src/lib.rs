@@ -21,6 +21,17 @@
 //! ([`Report::to_json`], validated by [`schema::validate_report`]) or a
 //! human summary ([`Report::to_text`]).
 //!
+//! Since schema v1.3 a handle also carries:
+//!
+//! * **histograms** — exact log-bucketed duration distributions
+//!   ([`Telemetry::record_value`], [`Telemetry::merge_histogram`]; see
+//!   [`hist`]) that merge associatively across workers,
+//! * **structured traces** — typed begin/end/instant events with a
+//!   deterministic merge order ([`Telemetry::traced`],
+//!   [`Telemetry::trace_snapshot`]; see [`trace`]), exportable as
+//!   Chrome trace-event JSON. A handle only pays for tracing when
+//!   created with [`Telemetry::traced`].
+//!
 //! # Examples
 //!
 //! ```
@@ -40,17 +51,26 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod hist;
 pub mod json;
 pub mod schema;
+pub mod trace;
 
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+pub use hist::Histogram;
+pub use trace::{validate_chrome_trace, Trace, TraceBuffer, TraceEvent, TraceKind, TraceScope};
 
 /// Identifier of the report layout, embedded in every JSON report and
 /// checked by [`schema::validate_report`].
-pub const SCHEMA: &str = "chortle-telemetry/v1.2";
+pub const SCHEMA: &str = "chortle-telemetry/v1.3";
+
+/// Default capacity (in events) of a traced handle's event store.
+pub const DEFAULT_TRACE_CAPACITY: usize = 1 << 20;
 
 #[derive(Default)]
 struct StageAgg {
@@ -65,8 +85,46 @@ struct Inner {
     stages: Mutex<Vec<StageAgg>>,
     /// Counters, name-sorted for deterministic reports.
     counters: Mutex<BTreeMap<&'static str, u64>>,
+    /// Histograms, name-sorted for deterministic reports.
+    histograms: Mutex<BTreeMap<&'static str, Histogram>>,
     /// Wavefront events in recording order.
     wavefronts: Mutex<Vec<WavefrontStat>>,
+    /// Trace recorder; present only on handles built with
+    /// [`Telemetry::traced`].
+    trace: Option<TraceShared>,
+}
+
+/// The trace side of an [`Inner`]: a capacity-bounded event store plus
+/// the epoch all timestamps are measured from.
+struct TraceShared {
+    epoch: Instant,
+    capacity: usize,
+    /// Allocator for `Stage`-scope span indices (driver-side spans are
+    /// created in a deterministic program order, so this sequence is
+    /// schedule-independent).
+    stage_seq: AtomicU64,
+    state: Mutex<TraceState>,
+}
+
+#[derive(Default)]
+struct TraceState {
+    events: Vec<TraceEvent>,
+    dropped: u64,
+}
+
+impl TraceShared {
+    fn now_ns(&self) -> u64 {
+        u64::try_from(self.epoch.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    fn push(&self, event: TraceEvent) {
+        let mut state = self.state.lock().expect("telemetry lock");
+        if state.events.len() < self.capacity {
+            state.events.push(event);
+        } else {
+            state.dropped += 1;
+        }
+    }
 }
 
 /// A cloneable handle the pipeline reports into.
@@ -101,23 +159,69 @@ impl Telemetry {
         Telemetry { inner: None }
     }
 
+    /// A recording handle that additionally captures structured trace
+    /// events (capacity [`DEFAULT_TRACE_CAPACITY`]).
+    pub fn traced() -> Self {
+        Telemetry::traced_with_capacity(DEFAULT_TRACE_CAPACITY)
+    }
+
+    /// A recording, tracing handle holding at most `capacity` events;
+    /// further events are counted as dropped, never buffered.
+    pub fn traced_with_capacity(capacity: usize) -> Self {
+        Telemetry {
+            inner: Some(Arc::new(Inner {
+                trace: Some(TraceShared {
+                    epoch: Instant::now(),
+                    capacity,
+                    stage_seq: AtomicU64::new(0),
+                    state: Mutex::new(TraceState::default()),
+                }),
+                ..Inner::default()
+            })),
+        }
+    }
+
     /// Whether this handle records anything. Instrumented code may use
     /// this to skip preparing data that only feeds telemetry.
     pub fn is_enabled(&self) -> bool {
         self.inner.is_some()
     }
 
+    /// Whether this handle captures trace events.
+    pub fn is_tracing(&self) -> bool {
+        self.inner.as_ref().is_some_and(|i| i.trace.is_some())
+    }
+
     /// Starts timing the named stage; the elapsed wall time is recorded
     /// when the returned guard drops. Repeated spans of the same name
     /// accumulate (`calls` counts them). Disabled handles never read the
-    /// clock.
+    /// clock. On a tracing handle the span also emits `Stage`-scope
+    /// begin/end trace events.
     #[must_use = "the span records on drop; binding it to _ drops immediately"]
     pub fn span(&self, name: &'static str) -> Span {
+        let Some(inner) = &self.inner else {
+            return Span {
+                rec: None,
+                trace_index: None,
+            };
+        };
+        let trace_index = inner.trace.as_ref().map(|tr| {
+            let index = tr.stage_seq.fetch_add(1, Ordering::Relaxed);
+            tr.push(TraceEvent {
+                scope: TraceScope::Stage,
+                index,
+                step: trace::STEP_BEGIN,
+                name,
+                kind: TraceKind::Begin,
+                worker: 0,
+                arg: 0,
+                t_ns: tr.now_ns(),
+            });
+            index
+        });
         Span {
-            rec: self
-                .inner
-                .as_ref()
-                .map(|inner| (Arc::clone(inner), name, Instant::now())),
+            rec: Some((Arc::clone(inner), name, Instant::now())),
+            trace_index,
         }
     }
 
@@ -137,11 +241,99 @@ impl Telemetry {
         }
     }
 
+    /// Records one sample into the named histogram (created empty on
+    /// first use). Values are nanoseconds by convention.
+    pub fn record_value(&self, name: &'static str, value: u64) {
+        if let Some(inner) = &self.inner {
+            let mut hists = inner.histograms.lock().expect("telemetry lock");
+            hists.entry(name).or_default().record(value);
+        }
+    }
+
+    /// Records one duration into the named histogram, as nanoseconds.
+    pub fn record_duration(&self, name: &'static str, d: Duration) {
+        self.record_value(name, u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Merges a worker-local histogram into the named histogram — one
+    /// lock acquisition for any number of samples. Merging is
+    /// associative and partition-invariant (see [`hist`]).
+    pub fn merge_histogram(&self, name: &'static str, h: &Histogram) {
+        if let Some(inner) = &self.inner {
+            let mut hists = inner.histograms.lock().expect("telemetry lock");
+            hists.entry(name).or_default().merge(h);
+        }
+    }
+
     /// Records one wavefront of the parallel forest mapper.
     pub fn record_wavefront(&self, stat: WavefrontStat) {
         if let Some(inner) = &self.inner {
             inner.wavefronts.lock().expect("telemetry lock").push(stat);
         }
+    }
+
+    /// A per-worker trace buffer bound to this handle's epoch; inert
+    /// (records nothing) unless the handle is tracing.
+    pub fn trace_buffer(&self, worker: u32) -> TraceBuffer {
+        TraceBuffer {
+            worker,
+            epoch: self
+                .inner
+                .as_ref()
+                .and_then(|i| i.trace.as_ref())
+                .map(|tr| tr.epoch),
+            events: Vec::new(),
+        }
+    }
+
+    /// Moves a buffer's events into the handle's bounded event store
+    /// (one lock acquisition); the buffer is left empty and reusable.
+    pub fn trace_flush(&self, buf: &mut TraceBuffer) {
+        let Some(tr) = self.inner.as_ref().and_then(|i| i.trace.as_ref()) else {
+            buf.events.clear();
+            return;
+        };
+        let mut state = tr.state.lock().expect("telemetry lock");
+        for event in buf.events.drain(..) {
+            if state.events.len() < tr.capacity {
+                state.events.push(event);
+            } else {
+                state.dropped += 1;
+            }
+        }
+    }
+
+    /// Records one already-built trace event directly (drivers use this
+    /// for post-hoc instants; hot paths should batch via
+    /// [`trace_buffer`](Telemetry::trace_buffer)).
+    pub fn trace_event(&self, event: TraceEvent) {
+        if let Some(tr) = self.inner.as_ref().and_then(|i| i.trace.as_ref()) {
+            tr.push(event);
+        }
+    }
+
+    /// Monotonic nanoseconds since the handle's trace epoch (0 when not
+    /// tracing).
+    pub fn trace_now_ns(&self) -> u64 {
+        self.inner
+            .as_ref()
+            .and_then(|i| i.trace.as_ref())
+            .map_or(0, TraceShared::now_ns)
+    }
+
+    /// Freezes the recorded trace events into a [`Trace`], merged into
+    /// the deterministic key order (see [`trace`]). Empty when the
+    /// handle is not tracing.
+    pub fn trace_snapshot(&self) -> Trace {
+        let Some(tr) = self.inner.as_ref().and_then(|i| i.trace.as_ref()) else {
+            return Trace::default();
+        };
+        let state = tr.state.lock().expect("telemetry lock");
+        let mut events = state.events.clone();
+        let dropped = state.dropped;
+        drop(state);
+        events.sort_by_key(TraceEvent::key);
+        Trace { events, dropped }
     }
 
     /// Freezes everything recorded so far into a [`Report`]. The handle
@@ -161,14 +353,36 @@ impl Telemetry {
                 seconds: s.seconds,
             })
             .collect();
-        let counters = inner
+        let mut counters: BTreeMap<&'static str, u64> = inner
             .counters
             .lock()
             .expect("telemetry lock")
             .iter()
-            .map(|(&name, &value)| CounterStat {
+            .map(|(&name, &value)| (name, value))
+            .collect();
+        if let Some(tr) = &inner.trace {
+            // Observation echoes, not workload counters: how much trace
+            // data this handle captured (schedule-dependent — scheduler
+            // events vary with the worker count).
+            let state = tr.state.lock().expect("telemetry lock");
+            counters.insert("trace.events", state.events.len() as u64);
+            counters.insert("trace.dropped", state.dropped);
+        }
+        let counters = counters
+            .into_iter()
+            .map(|(name, value)| CounterStat {
                 name: name.to_owned(),
                 value,
+            })
+            .collect();
+        let histograms = inner
+            .histograms
+            .lock()
+            .expect("telemetry lock")
+            .iter()
+            .map(|(&name, hist)| HistogramStat {
+                name: name.to_owned(),
+                hist: hist.clone(),
             })
             .collect();
         let wavefronts = inner.wavefronts.lock().expect("telemetry lock").clone();
@@ -176,6 +390,7 @@ impl Telemetry {
             enabled: true,
             stages,
             counters,
+            histograms,
             wavefronts,
         }
     }
@@ -198,10 +413,12 @@ impl Inner {
 }
 
 /// Guard returned by [`Telemetry::span`]; records the elapsed stage time
-/// when dropped.
+/// (and, on tracing handles, the closing trace event) when dropped.
 #[derive(Debug)]
 pub struct Span {
     rec: Option<(Arc<Inner>, &'static str, Instant)>,
+    /// The `Stage`-scope trace index this span opened, if tracing.
+    trace_index: Option<u64>,
 }
 
 impl fmt::Debug for Inner {
@@ -214,6 +431,18 @@ impl Drop for Span {
     fn drop(&mut self) {
         if let Some((inner, name, start)) = self.rec.take() {
             inner.add_stage(name, start.elapsed().as_secs_f64());
+            if let (Some(index), Some(tr)) = (self.trace_index, &inner.trace) {
+                tr.push(TraceEvent {
+                    scope: TraceScope::Stage,
+                    index,
+                    step: trace::STEP_END,
+                    name,
+                    kind: TraceKind::End,
+                    worker: 0,
+                    arg: 0,
+                    t_ns: tr.now_ns(),
+                });
+            }
         }
     }
 }
@@ -236,6 +465,15 @@ pub struct CounterStat {
     pub name: String,
     /// Accumulated value.
     pub value: u64,
+}
+
+/// Final state of one named histogram.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramStat {
+    /// Histogram name (e.g. `map.tree_ns`).
+    pub name: String,
+    /// The bucket counts (see [`hist::Histogram`]).
+    pub hist: Histogram,
 }
 
 /// Worker occupancy of one wavefront of the parallel forest mapper.
@@ -284,8 +522,14 @@ pub struct Report {
     pub stages: Vec<StageStat>,
     /// Counters, sorted by name. Producers guarantee these are
     /// scheduling-independent: the same workload yields bit-identical
-    /// values for any `jobs` setting.
+    /// values for any `jobs` setting (`cache.shards` and `trace.*` are
+    /// the documented configuration/observation-echo exceptions).
     pub counters: Vec<CounterStat>,
+    /// Histograms, sorted by name. Bucket *boundaries* are exact, so
+    /// histograms of deterministic quantities (e.g. per-tree DP work)
+    /// are bit-identical across worker counts; wall-time histograms
+    /// vary with the run but always merge consistently.
+    pub histograms: Vec<HistogramStat>,
     /// Wavefront occupancy events, in wavefront order per mapping call.
     pub wavefronts: Vec<WavefrontStat>,
 }
@@ -297,6 +541,14 @@ impl Report {
             .iter()
             .find(|c| c.name == name)
             .map(|c| c.value)
+    }
+
+    /// Looks up a histogram by name.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms
+            .iter()
+            .find(|h| h.name == name)
+            .map(|h| &h.hist)
     }
 
     /// Looks up a stage by name.
@@ -334,6 +586,17 @@ impl Report {
             json::write_string(&mut out, &c.name);
             out.push_str(",\"value\":");
             out.push_str(&c.value.to_string());
+            out.push('}');
+        }
+        out.push_str("],\"histograms\":[");
+        for (i, h) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"name\":");
+            json::write_string(&mut out, &h.name);
+            out.push(',');
+            h.hist.write_json_fields(&mut out);
             out.push('}');
         }
         out.push_str("],\"wavefronts\":[");
@@ -404,6 +667,29 @@ impl Report {
             .max(5);
         for c in &self.counters {
             let _ = writeln!(out, "  {:<cwidth$}  {:>12}", c.name, c.value);
+        }
+        if !self.histograms.is_empty() {
+            let _ = writeln!(out, "histograms:");
+            let hwidth = self
+                .histograms
+                .iter()
+                .map(|h| h.name.len())
+                .max()
+                .unwrap_or(0)
+                .max(5);
+            for h in &self.histograms {
+                let ms = 1e-6;
+                let _ = writeln!(
+                    out,
+                    "  {:<hwidth$}  n={:<8} mean={:>10.4}ms  p50={:>10.4}ms  p95={:>10.4}ms  p99={:>10.4}ms",
+                    h.name,
+                    h.hist.count(),
+                    h.hist.mean() * ms,
+                    h.hist.quantile(0.5) as f64 * ms,
+                    h.hist.quantile(0.95) as f64 * ms,
+                    h.hist.quantile(0.99) as f64 * ms,
+                );
+            }
         }
         if !self.wavefronts.is_empty() {
             let _ = writeln!(out, "wavefronts:");

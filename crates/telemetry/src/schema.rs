@@ -23,7 +23,15 @@ pub const SERVE_COUNTERS: &[&str] = &[
     "serve.rejected_shutdown",
     "serve.drained",
     "serve.flushes",
+    "serve.stats_requests",
+    "serve.trace_requests",
 ];
+
+/// The documented counters of the reserved `trace.` namespace —
+/// observation echoes a tracing handle adds to its own report. Closed
+/// since schema v1.3: [`validate_report`] rejects any other `trace.*`
+/// name.
+pub const TRACE_COUNTERS: &[&str] = &["trace.events", "trace.dropped"];
 
 /// Validates that `input` is a schema-conformant telemetry report.
 ///
@@ -37,7 +45,14 @@ pub fn validate_report(input: &str) -> Result<(), String> {
     let root = expect_keys(
         &value,
         "$",
-        &["schema", "enabled", "stages", "counters", "wavefronts"],
+        &[
+            "schema",
+            "enabled",
+            "stages",
+            "counters",
+            "histograms",
+            "wavefronts",
+        ],
     )?;
 
     let tag = root[0]
@@ -67,11 +82,54 @@ pub fn validate_report(input: &str) -> Result<(), String> {
         // Schema v1.2: `serve.` is a *closed* namespace — the aggregate
         // report of the `chortle-serve` daemon may only use the
         // documented counter set, so a typo'd server counter fails
-        // validation instead of shipping silently.
+        // validation instead of shipping silently. v1.3 closes the
+        // `trace.` observation-echo namespace the same way.
         if name.starts_with("serve.") && !SERVE_COUNTERS.contains(&name) {
             return Err(format!(
                 "{path}.name {name:?} is not a documented serve.* counter \
                  (expected one of {SERVE_COUNTERS:?})"
+            ));
+        }
+        if name.starts_with("trace.") && !TRACE_COUNTERS.contains(&name) {
+            return Err(format!(
+                "{path}.name {name:?} is not a documented trace.* counter \
+                 (expected one of {TRACE_COUNTERS:?})"
+            ));
+        }
+    }
+
+    for (i, hist) in expect_array(&value, "histograms")?.iter().enumerate() {
+        let path = format!("$.histograms[{i}]");
+        let members = expect_keys(hist, &path, &["name", "count", "total_ns", "buckets"])?;
+        expect_string(&members[0].1, &format!("{path}.name"))?;
+        let count = expect_u64(&members[1].1, &format!("{path}.count"))?;
+        expect_u64(&members[2].1, &format!("{path}.total_ns"))?;
+        let buckets = members[3]
+            .1
+            .as_array()
+            .ok_or_else(|| format!("{path}.buckets must be an array"))?;
+        let mut sum = 0u64;
+        let mut last_index: Option<u64> = None;
+        for (j, bucket) in buckets.iter().enumerate() {
+            let bpath = format!("{path}.buckets[{j}]");
+            let fields = expect_keys(bucket, &bpath, &["index", "count"])?;
+            let index = expect_u64(&fields[0].1, &format!("{bpath}.index"))?;
+            let c = expect_u64(&fields[1].1, &format!("{bpath}.count"))?;
+            if index >= crate::hist::BUCKETS as u64 {
+                return Err(format!("{bpath}.index is {index}, expected < 128"));
+            }
+            if last_index.is_some_and(|prev| index <= prev) {
+                return Err(format!("{bpath}.index {index} is not strictly ascending"));
+            }
+            if c == 0 {
+                return Err(format!("{bpath}.count is 0; zero buckets must be elided"));
+            }
+            last_index = Some(index);
+            sum += c;
+        }
+        if sum != count {
+            return Err(format!(
+                "{path}.count is {count} but the bucket counts sum to {sum}"
             ));
         }
     }
@@ -208,6 +266,8 @@ mod tests {
         let t = Telemetry::enabled();
         t.record_stage("map.dp", 0.25);
         t.add_counter("dp.divisions", 10);
+        t.record_value("map.tree_ns", 900);
+        t.record_value("map.tree_ns", 1_100);
         t.record_wavefront(WavefrontStat {
             index: 0,
             trees: 2,
@@ -227,7 +287,7 @@ mod tests {
 
     #[test]
     fn rejects_wrong_schema_tag() {
-        let json = sample_report().replace("chortle-telemetry/v1.2", "bogus/v0");
+        let json = sample_report().replace("chortle-telemetry/v1.3", "bogus/v0");
         let err = validate_report(&json).unwrap_err();
         assert!(err.contains("$.schema"), "{err}");
     }
@@ -235,10 +295,50 @@ mod tests {
     #[test]
     fn rejects_missing_and_extra_keys() {
         let err =
-            validate_report(r#"{"schema":"chortle-telemetry/v1.2","enabled":true}"#).unwrap_err();
+            validate_report(r#"{"schema":"chortle-telemetry/v1.3","enabled":true}"#).unwrap_err();
         assert!(err.contains("expected"), "{err}");
         let json = sample_report().replace("\"counters\":", "\"extras\":");
         assert!(validate_report(&json).is_err());
+    }
+
+    #[test]
+    fn validates_histogram_sections() {
+        // Bucket counts must sum to the sample count …
+        let json = sample_report().replace(
+            "\"count\":2,\"total_ns\":2000",
+            "\"count\":3,\"total_ns\":2000",
+        );
+        let err = validate_report(&json).unwrap_err();
+        assert!(err.contains("sum"), "{err}");
+        // … indices must be strictly ascending and in range …
+        let t = Telemetry::enabled();
+        t.record_value("h", 1);
+        let json = t
+            .snapshot()
+            .to_json()
+            .replace("{\"index\":0,\"count\":1}", "{\"index\":200,\"count\":1}");
+        let err = validate_report(&json).unwrap_err();
+        assert!(err.contains("expected < 128"), "{err}");
+        // … and zero-count buckets must be elided.
+        let json = t
+            .snapshot()
+            .to_json()
+            .replace("{\"index\":0,\"count\":1}", "{\"index\":0,\"count\":0}");
+        let err = validate_report(&json).unwrap_err();
+        assert!(err.contains("elided") || err.contains("sum"), "{err}");
+    }
+
+    #[test]
+    fn trace_namespace_is_closed() {
+        // The counters a tracing handle emits about itself validate …
+        let t = Telemetry::traced();
+        drop(t.span("s"));
+        validate_report(&t.snapshot().to_json()).expect("trace echo counters validate");
+        // … while any other trace.* name is rejected.
+        let t = Telemetry::enabled();
+        t.add_counter("trace.evnets", 1);
+        let err = validate_report(&t.snapshot().to_json()).unwrap_err();
+        assert!(err.contains("trace.evnets"), "{err}");
     }
 
     #[test]

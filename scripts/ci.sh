@@ -33,6 +33,16 @@ printf '%s\n' "$report" | cargo run -q -p chortle-cli --bin report-check
 printf '%s' "$report" | grep -q '"cache.hits"' \
   || { echo "ci: report is missing the cache counters" >&2; exit 1; }
 
+echo "==> chrome trace smoke (--trace | report-check --chrome-trace)"
+trace_tmp="$(mktemp -d)"
+printf "$smoke_blif" | cargo run -q -p chortle-cli --bin chortle-map -- \
+  --trace "$trace_tmp/run.json" --jobs 2 > /dev/null
+cargo run -q -p chortle-cli --bin report-check -- --chrome-trace \
+  < "$trace_tmp/run.json"
+grep -q '"ph":"B"' "$trace_tmp/run.json" \
+  || { echo "ci: trace file has no begin events" >&2; exit 1; }
+rm -rf "$trace_tmp"
+
 echo "==> cache identity smoke (--cache off vs shared, jobs 1 vs 4)"
 ref="$(printf "$smoke_blif" \
   | cargo run -q -p chortle-cli --bin chortle-map -- --cache off)"
@@ -85,6 +95,17 @@ for i in 0 1 2; do
     ${client_flags[$i]} > "$serve_tmp/cli_$i.blif"
   cmp -s "$serve_tmp/serve_$i.blif" "$serve_tmp/cli_$i.blif" \
     || { echo "ci: serve response $i (${client_flags[$i]}) differs from the CLI" >&2; exit 1; }
+done
+
+# Live introspection: op:"stats" must answer a schema-valid aggregate
+# report with the latency histograms, without disturbing the workers.
+cargo run -q -p chortle-server --bin chortle-serve -- --connect "$addr" --stats \
+  > "$serve_tmp/stats.json" 2>/dev/null \
+  || { echo "ci: the stats request was rejected" >&2; exit 1; }
+cargo run -q -p chortle-cli --bin report-check < "$serve_tmp/stats.json"
+for needle in '"serve.run_ns"' '"serve.queue_ns"' '"serve.stats_requests"'; do
+  grep -q "$needle" "$serve_tmp/stats.json" \
+    || { echo "ci: live stats report is missing $needle" >&2; exit 1; }
 done
 
 # Graceful shutdown: the daemon must drain, print a schema-valid final
