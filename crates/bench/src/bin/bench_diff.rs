@@ -17,7 +17,13 @@
 //! (tree/LUT counts, host facts, near-zero ratios like
 //! `overhead_vs_parallel` whose relative deltas are pure noise) is
 //! informational only, so a changed workload reads as a changed
-//! workload, not a failed gate.
+//! workload, not a failed gate. Per-element rows (`kernel[k=3].…`)
+//! and phase latency percentiles (`warm.p50_ms`) are likewise
+//! informational: the former time milliseconds of work and the latter
+//! quantize to histogram buckets of a small sample, so their
+//! run-to-run swing on a loaded host dwarfs real effects — the gate
+//! rides on the section totals and phase throughputs, which a real
+//! regression moves too.
 //!
 //! Embedded telemetry reports and latency histograms are skipped —
 //! their headline numbers (percentiles, stage seconds) already surface
@@ -41,10 +47,26 @@ enum Direction {
 
 /// Classifies a metric by the last component of its path.
 fn direction(path: &str) -> Direction {
+    // Per-element rows (`kernel[k=3].baseline_s`, …) time single-digit
+    // milliseconds of work: on a loaded host their run-to-run swing
+    // routinely exceeds any sane threshold. They print as diagnostics,
+    // but the gate rides on the section totals and the top-level
+    // ratios, which aggregate enough work to be noise-robust — a real
+    // regression moves the totals too.
+    if path.contains('[') {
+        return Direction::Neutral;
+    }
     let leaf = path.rsplit('.').next().unwrap_or(path);
     if leaf == "speedup" || leaf == "warm_speedup" || leaf == "throughput_rps" || leaf == "hit_rate"
     {
         Direction::HigherIsBetter
+    } else if leaf.starts_with('p') && leaf.ends_with("_ms") {
+        // Latency percentiles (`p50_ms`, `p99_ms`) are read off the
+        // 128-bucket log histogram of a dozens-of-requests phase: one
+        // sample landing a bucket over moves them ~30% at a step.
+        // `wall_s`/`throughput_rps` aggregate the same phase and are
+        // the guarded signal.
+        Direction::Neutral
     } else if leaf.ends_with("_s") || leaf.ends_with("_ms") || leaf.ends_with("_ns") {
         Direction::LowerIsBetter
     } else {
@@ -285,8 +307,7 @@ mod tests {
     fn directions_follow_the_naming_convention() {
         assert_eq!(direction("kernel_total.speedup"), Direction::HigherIsBetter);
         assert_eq!(direction("warm.throughput_rps"), Direction::HigherIsBetter);
-        assert_eq!(direction("kernel[k=2].hit_rate"), Direction::HigherIsBetter);
-        assert_eq!(direction("cold.p95_ms"), Direction::LowerIsBetter);
+        assert_eq!(direction("cold.wall_s"), Direction::LowerIsBetter);
         assert_eq!(
             direction("mapping_total.parallel_s"),
             Direction::LowerIsBetter
@@ -297,6 +318,18 @@ mod tests {
         );
         assert_eq!(direction("kernel[k=2].luts"), Direction::Neutral);
         assert_eq!(direction("host.cores"), Direction::Neutral);
+        // Per-element rows are diagnostics, never gated — even for
+        // metrics that would be guarded at the section level.
+        assert_eq!(direction("kernel[k=2].hit_rate"), Direction::Neutral);
+        assert_eq!(direction("kernel[k=3].baseline_s"), Direction::Neutral);
+        assert_eq!(
+            direction("mapping_chunked[k=2].speedup"),
+            Direction::Neutral
+        );
+        // Histogram-derived phase percentiles quantize to buckets and
+        // are likewise informational.
+        assert_eq!(direction("cold.p95_ms"), Direction::Neutral);
+        assert_eq!(direction("warm.p50_ms"), Direction::Neutral);
     }
 
     #[test]

@@ -9,14 +9,19 @@
 //! `perf` harness cannot: request throughput, latency percentiles, and
 //! the effect of the process-wide warm DP cache across requests.
 //!
-//! Three phases, all asserting byte-identical netlists throughout:
+//! Four phases, all asserting byte-identical netlists throughout:
 //!
 //! 1. **cold** — the warm cache is flushed before every pass, so each
 //!    pass pays the full subset-DP cost for every distinct tree shape.
 //! 2. **warm** — the same passes without flushing: requests replay DP
 //!    solutions cached by earlier requests (including the cold phase),
-//!    which is the speedup a resident daemon exists to provide.
-//! 3. **overload** — a one-worker, capacity-1-queue server fed a burst
+//!    which is the speedup a resident daemon exists to provide. On a
+//!    multi-core host warm throughput must exceed cold (asserted).
+//! 3. **concurrent** — the warm workload with more clients than cores:
+//!    several requests in flight at once, their wavefront chunks
+//!    interleaving on the mapper's process-wide work-stealing pool
+//!    (requests are sent with `jobs: 0` = host parallelism).
+//! 4. **overload** — a one-worker, capacity-1-queue server fed a burst
 //!    of pipelined requests; records how many got typed `queue_full`
 //!    rejections and that every request was answered.
 //!
@@ -83,7 +88,11 @@ fn request(blif: &str, k: usize) -> MapRequest {
     MapRequest {
         blif: blif.to_owned(),
         k,
-        jobs: 1,
+        // 0 = host parallelism: each request's wavefront chunks go into
+        // the mapper's process-wide pool, where concurrent requests
+        // interleave (the wire default since chortle-serve gained the
+        // shared scheduler).
+        jobs: 0,
         cache: chortle::CacheMode::Shared,
         objective: chortle::Objective::Area,
         optimize: false,
@@ -249,6 +258,36 @@ fn main() {
     );
     let speedup = warm.throughput() / cold.throughput();
     eprintln!("loadgen: warm-cache throughput speedup {speedup:.2}x");
+    if cores > 1 {
+        assert!(
+            speedup >= 1.0,
+            "warm serving must beat cold on a multi-core host (got {speedup:.2}x)"
+        );
+    } else if speedup < 1.0 {
+        eprintln!("loadgen: WARNING: warm < cold on a 1-core host ({speedup:.2}x)");
+    }
+
+    // Concurrent-clients phase: the warm workload again, but with more
+    // clients than cores, so several requests are in flight at once and
+    // their wavefront chunks interleave on the mapper's shared pool.
+    // Cross-request parallelism shows up as this phase's throughput not
+    // collapsing below the warm phase's (and exceeding it when the host
+    // has cores to spare).
+    let concurrency = (cores * 2).clamp(4, 8);
+    let (concurrent, concurrent_run) = run_phase(&addr, &workload, &expected, concurrency, false);
+    eprintln!(
+        "loadgen: conc  {:>4} requests in {:.3}s  ({:.1} req/s, p50 {:.2}ms p95 {:.2}ms p99 {:.2}ms, {concurrency} clients)",
+        concurrent.requests(),
+        concurrent.wall_s,
+        concurrent.throughput(),
+        concurrent.percentile_ms(50.0),
+        concurrent.percentile_ms(95.0),
+        concurrent.percentile_ms(99.0),
+    );
+    let concurrent_scaling = concurrent.throughput() / warm.throughput();
+    eprintln!(
+        "loadgen: concurrent scaling {concurrent_scaling:.2}x over warm ({concurrency} vs {clients} clients)"
+    );
 
     // The introspection contract: the run-time histogram the live
     // `op: "stats"` report carries must equal, bucket for bucket, the
@@ -256,6 +295,7 @@ fn main() {
     // both sides bucket with the same exact integer scheme.
     server_run.merge(&cold_run);
     server_run.merge(&warm_run);
+    server_run.merge(&concurrent_run);
     let mut stats_client = Client::connect(&addr).expect("connect for stats");
     match stats_client
         .stats("loadgen-stats")
@@ -366,7 +406,11 @@ fn main() {
         "  \"workload\": {{ \"circuits\": {}, \"passes\": {PASSES}, \"optimize\": false }},",
         workload.len()
     );
-    for (name, phase) in [("cold", &cold), ("warm", &warm)] {
+    for (name, phase) in [
+        ("cold", &cold),
+        ("warm", &warm),
+        ("concurrent", &concurrent),
+    ] {
         let _ = write!(
             json,
             "  \"{name}\": {{ \"requests\": {}, \"wall_s\": {:.6}, \"throughput_rps\": {:.3}, \
@@ -385,6 +429,10 @@ fn main() {
         let _ = writeln!(json, " }},");
     }
     let _ = writeln!(json, "  \"warm_speedup\": {speedup:.3},");
+    let _ = writeln!(
+        json,
+        "  \"concurrent_scaling\": {{ \"clients\": {concurrency}, \"vs_warm\": {concurrent_scaling:.3} }},"
+    );
     let _ = writeln!(
         json,
         "  \"overload\": {{ \"burst\": {OVERLOAD_BURST}, \"completed\": {completed}, \

@@ -16,8 +16,12 @@
 //!    section, speedup measured against the optimized kernel on the same
 //!    extended tree set, hashing cost included.
 //! 3. **Forest mapping**: [`chortle::map_network`] sequential (`jobs = 1`)
-//!    against the parallel wavefront scheduler, full circuits compared
-//!    for equality.
+//!    against the parallel wavefront scheduler at the host's resolved
+//!    auto job count (`--jobs 0`), full circuits compared for equality.
+//! 4. **Chunked mapping** (`mapping_chunked`): sequential against the
+//!    chunked work-stealing scheduler at a *forced* `>= 2` worker count
+//!    on the suite plus a 256-bit ALU, with the run's `sched.*`
+//!    echoes (chunks, steals, pooled/inline waves) recorded per row.
 //!
 //! Timings use [`std::time::Instant`] — no external benchmarking crate —
 //! taking the best of several rounds. The JSON report (default
@@ -72,6 +76,21 @@ struct ForestRow {
     parallel_s: f64,
 }
 
+struct ChunkedRow {
+    k: usize,
+    luts: u64,
+    sequential_s: f64,
+    /// The chunked work-stealing scheduler at the forced worker count
+    /// (`chunked_jobs`), chunk policy `auto`.
+    chunked_s: f64,
+    /// The `sched.*` echoes of one telemetry pass over the same
+    /// workload: how the scheduler actually carved and moved the work.
+    chunks: u64,
+    steals: u64,
+    pooled_waves: u64,
+    inline_waves: u64,
+}
+
 struct TelemetryRow {
     k: usize,
     /// One suite pass with an enabled sink (same jobs as the parallel
@@ -99,11 +118,22 @@ fn main() {
         .nth(1)
         .unwrap_or_else(|| "results/BENCH_map.json".to_owned());
     let cores = std::thread::available_parallelism().map_or(1, usize::from);
-    let jobs = cores.max(2); // exercise the wavefront scheduler even on 1 core
-    eprintln!("perf: host cores = {cores}, parallel jobs = {jobs}");
+    // What `--jobs 0` (the CLI/daemon default) resolves to on this host;
+    // on a 1-core box this is 1 and the "parallel" rows honestly measure
+    // the sequential fall-through instead of oversubscription.
+    let jobs = chortle::resolve_jobs(0);
+    // The chunked section forces >= 2 workers so the pooled scheduler is
+    // exercised even on a 1-core host — its rows are labeled with the
+    // forced count, so they cannot masquerade as a host speedup.
+    let chunked_jobs = cores.clamp(2, 16);
+    eprintln!("perf: host cores = {cores}, auto jobs = {jobs}, chunked jobs = {chunked_jobs}");
 
     let suite = optimized_suite();
     eprintln!("perf: {} benchmark networks", suite.len());
+    // The 256-bit ripple ALU, optimized once: the datapath workload of
+    // the cached-kernel and chunked-mapping sections (hundreds of
+    // per-bit cones in wide wavefronts).
+    let (alu_net, _) = optimize(&alu(256)).expect("alu is acyclic");
 
     // Pre-extract the forests once per K; the kernel benchmark times the
     // DP alone, not forest construction.
@@ -111,6 +141,7 @@ fn main() {
     let mut cached_rows = Vec::new();
     let mut forest_rows = Vec::new();
     let mut telemetry_rows = Vec::new();
+    let mut chunked_rows: Vec<ChunkedRow> = Vec::new();
     for &k in &KS {
         let mut trees: Vec<Tree> = Vec::new();
         for (_, net, _) in &suite {
@@ -170,8 +201,7 @@ fn main() {
         // depths are all zero here, so the shape alone is the full key.)
         let mut cached_trees = trees.clone();
         {
-            let (net, _) = optimize(&alu(256)).expect("alu is acyclic");
-            let mut forest = Forest::of(&net.simplified());
+            let mut forest = Forest::of(&alu_net.simplified());
             forest.split_wide_nodes(10.max(k));
             cached_trees.extend(forest.trees);
         }
@@ -281,6 +311,69 @@ fn main() {
             enabled_s,
             report_json: report.to_json(),
         });
+
+        // The chunked work-stealing scheduler against sequential on a
+        // datapath-heavy workload (suite + the 256-bit ALU, whose wide
+        // per-bit wavefronts are what chunking exists for). Workers are
+        // forced to `chunked_jobs` so the pooled path runs even on a
+        // 1-core host; circuits are asserted identical either way.
+        let chunked_nets: Vec<&chortle_netlist::Network> = suite
+            .iter()
+            .map(|(_, net, _)| net)
+            .chain(std::iter::once(&alu_net))
+            .collect();
+        let chunked_opts = MapOptions::builder(k).jobs(chunked_jobs).build().unwrap();
+        let (cseq_maps, chunk_seq_s) = best_of(MAP_ROUNDS, || {
+            chunked_nets
+                .iter()
+                .map(|net| map_network(net, &seq_opts).expect("maps"))
+                .collect::<Vec<_>>()
+        });
+        let (cpar_maps, chunked_s) = best_of(MAP_ROUNDS, || {
+            chunked_nets
+                .iter()
+                .map(|net| map_network(net, &chunked_opts).expect("maps"))
+                .collect::<Vec<_>>()
+        });
+        let mut chunked_luts = 0u64;
+        for (seq, par) in cseq_maps.iter().zip(&cpar_maps) {
+            assert_eq!(seq.report, par.report, "chunked report diverged at k={k}");
+            assert_eq!(
+                seq.circuit, par.circuit,
+                "chunked circuit diverged at k={k}"
+            );
+            chunked_luts += seq.report.luts as u64;
+        }
+        // One telemetry pass over the same workload for the `sched.*`
+        // echoes — how the scheduler actually carved and moved the work.
+        let sched_telemetry = Telemetry::enabled();
+        let sched_opts = MapOptions::builder(k)
+            .jobs(chunked_jobs)
+            .telemetry(sched_telemetry.clone())
+            .build()
+            .expect("valid options");
+        for net in &chunked_nets {
+            map_network(net, &sched_opts).expect("maps");
+        }
+        let sched_report = sched_telemetry.snapshot();
+        let sched = |name| sched_report.counter(name).unwrap_or(0);
+        chunked_rows.push(ChunkedRow {
+            k,
+            luts: chunked_luts,
+            sequential_s: chunk_seq_s,
+            chunked_s,
+            chunks: sched(chortle::stats::SCHED_CHUNKS),
+            steals: sched(chortle::stats::SCHED_STEALS),
+            pooled_waves: sched(chortle::stats::SCHED_POOLED_WAVES),
+            inline_waves: sched(chortle::stats::SCHED_INLINE_WAVES),
+        });
+        eprintln!(
+            "perf: chunked k={k} {:>6} LUTs  sequential {:.4}s  chunked({chunked_jobs}) {:.4}s  ({:.2}x)",
+            chunked_luts,
+            chunk_seq_s,
+            chunked_s,
+            chunk_seq_s / chunked_s
+        );
     }
 
     let kernel_base: f64 = kernel_rows.iter().map(|r| r.baseline_s).sum();
@@ -289,12 +382,14 @@ fn main() {
     let kernel_cached_plain: f64 = cached_rows.iter().map(|r| r.optimized_s).sum();
     let map_seq: f64 = forest_rows.iter().map(|r| r.sequential_s).sum();
     let map_par: f64 = forest_rows.iter().map(|r| r.parallel_s).sum();
+    let chunk_seq: f64 = chunked_rows.iter().map(|r| r.sequential_s).sum();
+    let chunk_par: f64 = chunked_rows.iter().map(|r| r.chunked_s).sum();
 
     let mut json = String::new();
     let _ = writeln!(json, "{{");
     let _ = writeln!(
         json,
-        "  \"host\": {{ \"cores\": {cores}, \"jobs\": {jobs} }},"
+        "  \"host\": {{ \"cores\": {cores}, \"jobs\": {jobs}, \"chunked_jobs\": {chunked_jobs} }},"
     );
     let _ = writeln!(
         json,
@@ -369,6 +464,33 @@ fn main() {
         map_par,
         map_seq / map_par
     );
+    let _ = writeln!(json, "  \"mapping_chunked\": [");
+    for (i, r) in chunked_rows.iter().enumerate() {
+        let comma = if i + 1 < chunked_rows.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{ \"k\": {}, \"luts\": {}, \"sequential_s\": {:.6}, \"chunked_s\": {:.6}, \
+             \"speedup\": {:.3}, \"sched\": {{ \"chunks\": {}, \"steals\": {}, \
+             \"pooled_waves\": {}, \"inline_waves\": {} }} }}{comma}",
+            r.k,
+            r.luts,
+            r.sequential_s,
+            r.chunked_s,
+            r.sequential_s / r.chunked_s,
+            r.chunks,
+            r.steals,
+            r.pooled_waves,
+            r.inline_waves
+        );
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(
+        json,
+        "  \"mapping_chunked_total\": {{ \"sequential_s\": {:.6}, \"chunked_s\": {:.6}, \"speedup\": {:.3} }},",
+        chunk_seq,
+        chunk_par,
+        chunk_seq / chunk_par
+    );
     let _ = writeln!(json, "  \"telemetry\": [");
     for (i, r) in telemetry_rows.iter().enumerate() {
         let comma = if i + 1 < telemetry_rows.len() {
@@ -395,10 +517,11 @@ fn main() {
     }
     std::fs::write(&out_path, &json).expect("write report");
     eprintln!(
-        "perf: kernel {:.2}x, cached {:.2}x, mapping {:.2}x on {cores} core(s); report -> {out_path}",
+        "perf: kernel {:.2}x, cached {:.2}x, mapping {:.2}x, chunked {:.2}x on {cores} core(s); report -> {out_path}",
         kernel_base / kernel_opt,
         kernel_cached_plain / kernel_cached,
-        map_seq / map_par
+        map_seq / map_par,
+        chunk_seq / chunk_par
     );
     print!("{json}");
 }

@@ -58,6 +58,7 @@ pub mod figures;
 mod map;
 mod parallel;
 pub mod reference;
+mod sched;
 mod tree;
 
 pub use cache::{CacheMode, WarmCache};
@@ -65,7 +66,10 @@ pub use cancel::CancelToken;
 pub use crf::{crf_network_cost, crf_tree_cost, CrfTreeCost};
 pub use dp::Objective;
 pub use duplication::{duplicate_fanout_gates, map_network_best};
-pub use map::{map_network, stats, MapError, MapOptions, MapOptionsBuilder, MapReport, Mapping};
+pub use map::{
+    map_network, resolve_jobs, stats, MapError, MapOptions, MapOptionsBuilder, MapReport, Mapping,
+};
+pub use sched::ChunkPolicy;
 pub use tree::{Fingerprint, FingerprintScratch, Forest, Tree, TreeChild, TreeNode};
 
 // Observability: re-exported so downstream crates need no direct

@@ -14,6 +14,7 @@ use crate::cache::{CacheKey, CacheMode, SharedCache, TreeCache, WarmCache, SHARE
 use crate::cancel::CancelToken;
 use crate::cover::emit_forest;
 use crate::dp::{map_tree_solution, DpCounters, DpScratch, Objective, ShapeSolution};
+use crate::sched::ChunkPolicy;
 use crate::tree::{Fingerprint, Forest, Tree};
 
 /// Names of the stages and counters the mapper reports into its
@@ -63,8 +64,9 @@ pub mod stats {
     /// for a full subset-DP run. `hits + misses == map.trees`.
     pub const CACHE_MISSES: &str = "cache.misses";
     /// Counter: shards of the DP-result cache. A configuration echo (16
-    /// for the shared cache under parallel mapping, 1 otherwise) — the
-    /// one counter *excluded* from the any-`jobs`-identical contract.
+    /// for the shared cache under parallel mapping, 1 otherwise) —
+    /// excluded, like the `sched.*` family, from the
+    /// any-`jobs`-identical contract.
     pub const CACHE_SHARDS: &str = "cache.shards";
     /// Counter: LUTs emitted from replayed (cache-hit) solutions.
     pub const CACHE_REPLAYED_LUTS: &str = "cache.replayed_luts";
@@ -81,10 +83,29 @@ pub mod stats {
     /// Trace instant: the tree replays a key seen earlier in tree order
     /// (arg = LUT cost). See [`TRACE_SOLVE`].
     pub const TRACE_REPLAY: &str = "dp.replay";
-    /// Trace span: one worker draining one wavefront (`Sched` scope,
-    /// index = wavefront; end arg = trees claimed). Schedule-dependent
-    /// by nature — excluded from the deterministic trace identity.
+    /// Trace span: one executor running one chunk of one wavefront
+    /// (`Sched` scope, index = wavefront; end arg = trees claimed).
+    /// Schedule-dependent by nature — excluded from the deterministic
+    /// trace identity.
     pub const TRACE_WORKER: &str = "sched.worker";
+    /// Counter: chunks submitted to the work-stealing pool (inline
+    /// wavefronts contribute none). Deterministic given the options and
+    /// the host, but — like every `sched.*` counter — a *schedule*
+    /// echo, excluded from the any-`jobs`-identical counter contract
+    /// (the parallel driver emits the family, the sequential driver
+    /// does not).
+    pub const SCHED_CHUNKS: &str = "sched.chunks";
+    /// Counter: chunks taken from a deque other than their owner's —
+    /// the work-stealing traffic. Nondeterministic by nature; see
+    /// [`SCHED_CHUNKS`] for the exclusion.
+    pub const SCHED_STEALS: &str = "sched.steals";
+    /// Counter: wavefronts that fell through to the inline sequential
+    /// path (too little estimated work, or a single chunk or executor).
+    /// See [`SCHED_CHUNKS`] for the exclusion.
+    pub const SCHED_INLINE_WAVES: &str = "sched.inline_waves";
+    /// Counter: wavefronts executed on the process-wide chunk pool.
+    /// See [`SCHED_CHUNKS`] for the exclusion.
+    pub const SCHED_POOLED_WAVES: &str = "sched.pooled_waves";
     /// Histogram: per-tree mapping wall time, nanoseconds. Bucketing is
     /// exact and merging is associative, but wall time itself varies
     /// run to run.
@@ -146,9 +167,16 @@ pub struct MapOptions {
     /// tie-break) or LUT depth (with an area tie-break).
     pub objective: Objective,
     /// Worker threads for mapping the forest (1 = sequential). Trees are
-    /// scheduled in dependency wavefronts; any value produces a circuit
-    /// identical to the sequential one.
+    /// scheduled in dependency wavefronts on the process-wide chunk
+    /// pool; any value produces a circuit identical to the sequential
+    /// one. The builder resolves 0 to the host's available parallelism,
+    /// capped — see [`resolve_jobs`].
     pub jobs: usize,
+    /// How the wavefront scheduler groups trees into chunks
+    /// ([`ChunkPolicy::Auto`] by default). Every policy produces the
+    /// identical circuit, counters, and trace identity — the knob only
+    /// trades scheduling overhead against load balance.
+    pub chunk: ChunkPolicy,
     /// Observability sink the mapper reports stages, counters, and
     /// wavefront occupancy into. Disabled by default (zero overhead);
     /// see [`Telemetry::enabled`] and the [`stats`] name catalogue.
@@ -182,6 +210,7 @@ impl MapOptions {
                 split_threshold: 10,
                 objective: Objective::Area,
                 jobs: 1,
+                chunk: ChunkPolicy::Auto,
                 telemetry: Telemetry::disabled(),
                 cache: CacheMode::Shared,
                 cancel: CancelToken::default(),
@@ -192,10 +221,13 @@ impl MapOptions {
 }
 
 /// Resolves a user-facing `jobs` request: 0 means "use the host's
-/// available parallelism".
-fn resolve_jobs(jobs: usize) -> usize {
+/// available parallelism", capped at the scheduler pool's size (16) so
+/// auto-sizing never outruns the chunk hand-off cost. An explicit
+/// nonzero request is honored verbatim — the scheduler's inline
+/// fall-through still protects wavefronts too small to pay for it.
+pub fn resolve_jobs(jobs: usize) -> usize {
     if jobs == 0 {
-        std::thread::available_parallelism().map_or(1, usize::from)
+        crate::sched::pool_size()
     } else {
         jobs
     }
@@ -234,6 +266,23 @@ impl MapOptionsBuilder {
     pub fn jobs(mut self, jobs: usize) -> Self {
         self.opts.jobs = resolve_jobs(jobs);
         self
+    }
+
+    /// Sets the wavefront scheduler's chunking policy (the default is
+    /// [`ChunkPolicy::Auto`]). Every policy produces the identical
+    /// circuit, counters, and trace identity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MapError::InvalidChunk`] for
+    /// [`ChunkPolicy::Fixed`]`(0)` — a chunk must hold at least one
+    /// tree.
+    pub fn chunk(mut self, chunk: ChunkPolicy) -> Result<Self, MapError> {
+        if chunk == ChunkPolicy::Fixed(0) {
+            return Err(MapError::InvalidChunk);
+        }
+        self.opts.chunk = chunk;
+        Ok(self)
     }
 
     /// Attaches a telemetry sink.
@@ -305,6 +354,10 @@ pub enum MapError {
         /// The rejected value.
         threshold: usize,
     },
+    /// A fixed chunk size of 0 was requested — a scheduler chunk must
+    /// hold at least one tree (use [`ChunkPolicy::Auto`] for adaptive
+    /// sizing).
+    InvalidChunk,
     /// The run's [`CancelToken`](crate::CancelToken) fired (explicit
     /// cancellation or an expired deadline) before mapping finished.
     /// All partial work was discarded.
@@ -328,6 +381,9 @@ impl fmt::Display for MapError {
                     f,
                     "split threshold {threshold} out of range (must be 2..=16)"
                 )
+            }
+            MapError::InvalidChunk => {
+                write!(f, "chunk size must be at least 1 tree (or \"auto\")")
             }
             MapError::Cancelled => {
                 write!(f, "mapping cancelled before completion")
@@ -414,9 +470,12 @@ pub fn map_network(network: &Network, options: &MapOptions) -> Result<Mapping, M
         return Err(MapError::Cancelled);
     }
     let telemetry = &options.telemetry;
+    // Arc-wrapped so the wavefront driver can share it with the
+    // process-wide chunk pool without copying; the sequential driver
+    // borrows straight through.
     let normal = {
         let _s = telemetry.span(stats::STAGE_NORMALIZE);
-        network.simplified()
+        Arc::new(network.simplified())
     };
     let mut forest = {
         let _s = telemetry.span(stats::STAGE_FOREST);
@@ -436,7 +495,7 @@ pub fn map_network(network: &Network, options: &MapOptions) -> Result<Mapping, M
     // never of the cache mode (the bit-identity contract of `CacheMode`).
     let shapes = {
         let _s = telemetry.span(stats::STAGE_CANON);
-        forest.canonicalize()
+        Arc::new(forest.canonicalize())
     };
 
     let mut report = MapReport {

@@ -9,42 +9,48 @@
 //! Within one wavefront every tree's leaf depths are already published,
 //! so the trees are independent and map concurrently.
 //!
-//! Workers pull tree indices from a shared atomic cursor
-//! ([`std::thread::scope`] — no external crates) and keep a private
-//! [`DpScratch`] arena each. Results land in a slot-per-tree vector and
-//! root depths are published between wavefronts in tree order, so the
-//! outcome is bit-identical to the sequential mapper for any worker
-//! count: the per-tree DP is deterministic given leaf depths, and leaf
-//! depths never depend on intra-wavefront completion order.
+//! Scheduling is the adaptive chunked work-stealer of [`crate::sched`]:
+//! each wavefront's trees are grouped into contiguous chunks sized from
+//! a static DP-work estimate, distributed over the process-wide pool's
+//! per-worker deques (idle workers steal from the tail), and helped
+//! along by the submitting thread — or, when the wavefront is too small
+//! to pay for a hand-off, mapped inline with no synchronization at all.
 //!
-//! Under [`CacheMode::Shared`] every worker consults one sharded
-//! [`SharedCache`] spanning the whole wavefront run; under
-//! [`CacheMode::Tree`] each worker keeps a private [`TreeCache`]. Either
-//! way a hit replays the shape's solution verbatim (trees are
-//! canonicalized before mapping), and a lost insert race merely discards
-//! a duplicate of an identical solution — so caching never perturbs the
-//! bit-identity guarantee above.
+//! Results land in a slot-per-tree vector and root depths are published
+//! between wavefronts in tree order, so the outcome is bit-identical to
+//! the sequential mapper for any worker count and any chunk policy: the
+//! per-tree DP is deterministic given leaf depths, and leaf depths never
+//! depend on intra-wavefront completion order.
+//!
+//! Under [`CacheMode::Shared`] every chunk consults one sharded
+//! [`SharedCache`](crate::cache::SharedCache) spanning the whole run;
+//! under [`CacheMode::Tree`] each chunk keeps a private
+//! [`TreeCache`](crate::cache::TreeCache). Either way a hit replays the
+//! shape's solution verbatim (trees are canonicalized before mapping),
+//! and a lost insert race merely discards a duplicate of an identical
+//! solution — so caching never perturbs the bit-identity guarantee.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use chortle_netlist::{Network, NodeId};
-use chortle_telemetry::{Histogram, TraceBuffer, TraceScope, WavefrontStat};
+use chortle_telemetry::WavefrontStat;
 
-use crate::cache::{CacheKey, CacheMode, SharedCache, TreeCache};
-use crate::dp::{map_tree_solution, DpScratch, ShapeSolution};
-use crate::map::{leaf_arrival, stats, MapError, MapOptions, MappedTree};
+use crate::cache::{CacheKey, CacheMode, SharedCache};
+use crate::dp::{DpScratch, ShapeSolution};
+use crate::map::{stats, MapError, MapOptions, MappedTree};
+use crate::sched::{self, Latch, Pool, WaveCache, WaveCtx};
 use crate::tree::{Fingerprint, Tree, TreeChild};
 
-/// Maps the forest with `options.jobs` worker threads, wavefront by
-/// wavefront. Produces exactly the [`MappedTree`] sequence of the
-/// sequential mapper.
+/// Maps the forest wavefront by wavefront on the process-wide chunk
+/// pool (up to `options.jobs` executors per wavefront). Produces
+/// exactly the [`MappedTree`] sequence of the sequential mapper.
 pub(crate) fn map_forest_wavefront(
-    normal: &Network,
+    normal: &Arc<Network>,
     trees: Vec<Tree>,
-    shapes: &[Fingerprint],
+    shapes: &Arc<Vec<Fingerprint>>,
     options: &MapOptions,
 ) -> Result<Vec<MappedTree>, MapError> {
     let mut tree_of_root: HashMap<NodeId, usize> = HashMap::with_capacity(trees.len());
@@ -75,226 +81,133 @@ pub(crate) fn map_forest_wavefront(
         waves[lv as usize].push(i);
     }
 
+    // Static per-tree work estimates drive chunk sizing and the inline
+    // fall-through; computed once for the whole forest.
+    let est: Vec<u64> = trees
+        .iter()
+        .map(|t| sched::estimate_tree_work(t, options.k))
+        .collect();
+    let trees = Arc::new(trees);
+
     let mut sols: Vec<Option<(Arc<ShapeSolution>, Option<CacheKey>)>> =
         (0..trees.len()).map(|_| None).collect();
-    let mut depth_of: HashMap<NodeId, u32> = HashMap::new();
-    // Scratch (and, under CacheMode::Tree, a private cache) for
-    // wavefronts mapped inline — a single-tree wavefront is cheaper on
-    // the calling thread than across a spawn. The shared cache, when
-    // selected, spans the whole run (inline and spawned workers alike) —
-    // or, when the options carry a warm handle, outlives it entirely.
-    let mut inline_scratch = DpScratch::new();
+    // Leaf arrival depths, indexed by NodeId: primary inputs and
+    // constants stay 0, mapped roots are published between wavefronts
+    // in tree order. Same values `crate::map::leaf_arrival` derives for
+    // the sequential driver, so cache keys agree across drivers.
+    let mut arrivals: Arc<Vec<u32>> = Arc::new(vec![0u32; normal.len()]);
     let shared = (options.cache == CacheMode::Shared)
         .then(|| crate::map::warm_segment(options).unwrap_or_else(|| Arc::new(SharedCache::new())));
-    let mut inline_cache = (options.cache == CacheMode::Tree).then(TreeCache::new);
+    // Scratch for chunks run on this thread (inline wavefronts and
+    // helping); pool workers keep their own thread-persistent arenas.
+    let mut inline_scratch = DpScratch::new();
 
     let telemetry = &options.telemetry;
     let enabled = telemetry.is_enabled();
-    inline_scratch.counting = enabled;
-    // The inline worker's trace buffer and wall-time histogram persist
-    // across wavefronts; spawned workers keep their own and flush per
-    // wave (histogram merging is associative, so the split is free).
-    let mut inline_buf = telemetry.trace_buffer(0);
-    let mut inline_hist = Histogram::new();
+    // Executors a wavefront can occupy: the requested jobs, bounded by
+    // the pool plus this thread. An explicit `--jobs N` is honored even
+    // on a small host (the fall-through below still protects small
+    // wavefronts); only `--jobs 0` auto-sizing caps at the host.
+    let fanout = options.jobs.min(Pool::global().size() + 1);
+    let (mut chunks_built, mut steals, mut inline_waves, mut pooled_waves) =
+        (0u64, 0u64, 0u64, 0u64);
     for (wi, wave) in waves.iter().enumerate() {
         // Timing is gated on the sink being enabled: the disabled path
         // never touches the clock.
-        let wave_start = telemetry.is_enabled().then(Instant::now);
-        let mut claimed: Vec<u64> = Vec::new();
-        let mut busy_s: Vec<f64> = Vec::new();
-        let queue = AtomicUsize::new(0);
-        let shared = shared.as_deref();
-        // A worker: drain the wavefront cursor, mapping each claimed tree
-        // with a thread-private scratch arena, replaying cached shape
-        // solutions where the mode allows. Cancellation is polled per
-        // claimed tree: one fired check stops this worker, the error
-        // propagates at join, and sibling workers stop at their own next
-        // claim — partial results are dropped with the wavefront.
-        let run = |scratch: &mut DpScratch,
-                   mut private: Option<&mut TreeCache>,
-                   out: &mut Vec<(usize, Arc<ShapeSolution>, Option<CacheKey>)>,
-                   buf: &mut TraceBuffer,
-                   hist: &mut Histogram|
-         -> Result<(), MapError> {
-            loop {
-                if options.cancel.is_cancelled() {
-                    // Cancellation lands between tree boundaries: no
-                    // tree span is open when this worker stops.
-                    return Err(MapError::Cancelled);
-                }
-                let slot = queue.fetch_add(1, Ordering::Relaxed);
-                let Some(&ti) = wave.get(slot) else {
-                    return Ok(());
-                };
-                let tree = &trees[ti];
-                let t0 = enabled.then(Instant::now);
-                if buf.is_enabled() {
-                    buf.begin(
-                        TraceScope::Tree,
-                        ti as u64,
-                        stats::TRACE_TREE,
-                        tree.nodes.len() as u64,
-                    );
-                }
-                let leaf_depth = |id: NodeId| leaf_arrival(normal, &depth_of, id);
-                let key = options
-                    .cache
-                    .is_enabled()
-                    .then(|| CacheKey::of(tree, shapes[ti], &leaf_depth));
-                let cached = key.and_then(|k| match (shared, &private) {
-                    (Some(s), _) => s.get(&k),
-                    (None, Some(p)) => p.get(&k),
-                    _ => None,
-                });
-                let sol = match cached {
-                    Some(sol) => sol,
-                    None => {
-                        let sol = match map_tree_solution(
-                            tree,
-                            options.k,
-                            options.objective,
-                            &leaf_depth,
-                            scratch,
-                        ) {
-                            Ok(sol) => Arc::new(sol),
-                            Err(e) => {
-                                // A mid-tree error leaves the span open;
-                                // close it explicitly so every begin
-                                // stays matched.
-                                buf.cancelled(TraceScope::Tree, ti as u64, stats::TRACE_TREE, 0);
-                                return Err(e);
-                            }
-                        };
-                        match (shared, &mut private) {
-                            // First writer wins; adopt whatever landed so
-                            // racing duplicates share one allocation.
-                            (Some(s), _) => s.insert(k_unwrap(key), sol),
-                            (None, Some(p)) => {
-                                p.insert(k_unwrap(key), sol.clone());
-                                sol
-                            }
-                            _ => sol,
-                        }
-                    }
-                };
-                if buf.is_enabled() {
-                    buf.end(
-                        TraceScope::Tree,
-                        ti as u64,
-                        stats::TRACE_TREE,
-                        u64::from(sol.dp.tree_cost(tree)),
-                    );
-                }
-                if let Some(t0) = t0 {
-                    hist.record_duration(t0.elapsed());
-                }
-                out.push((ti, sol, key));
+        let wave_start = enabled.then(Instant::now);
+        let chunks = sched::build_chunks(wave, &est, options.chunk);
+        let total_work: u64 = wave.iter().map(|&ti| est[ti]).sum();
+        let pooled = fanout >= 2 && chunks.len() >= 2 && total_work >= sched::MIN_POOLED_WAVE_WORK;
+        let ctx = Arc::new(WaveCtx {
+            normal: Arc::clone(normal),
+            trees: Arc::clone(&trees),
+            shapes: Arc::clone(shapes),
+            arrivals: Arc::clone(&arrivals),
+            indices: wave.clone(),
+            wave_index: wi,
+            k: options.k,
+            objective: options.objective,
+            keyed: options.cache.is_enabled(),
+            cache: match (&shared, options.cache) {
+                (Some(s), _) => WaveCache::Shared(Arc::clone(s)),
+                (None, CacheMode::Tree) => WaveCache::PerChunk,
+                (None, _) => WaveCache::Off,
+            },
+            cancel: options.cancel.clone(),
+            telemetry: telemetry.clone(),
+            results: Mutex::new((0..wave.len()).map(|_| None).collect()),
+            error: Mutex::new(None),
+            failed: std::sync::atomic::AtomicBool::new(false),
+            steals: std::sync::atomic::AtomicU64::new(0),
+            occupancy: Mutex::new(Vec::new()),
+        });
+        if pooled {
+            pooled_waves += 1;
+            chunks_built += chunks.len() as u64;
+            let pool = Pool::global();
+            let latch = Arc::new(Latch::new(chunks.len()));
+            pool.submit(&ctx, &latch, &chunks, fanout - 1);
+            // Help drain our own wavefront, newest chunk first, then
+            // wait for chunks still running on the pool.
+            while let Some(task) = pool.grab_wave(&ctx) {
+                sched::run_task(task, &mut inline_scratch, 0);
             }
-        };
-
-        let workers = options.jobs.min(wave.len()).max(1);
-        if workers == 1 {
-            let busy_start = enabled.then(Instant::now);
-            let mut out = Vec::with_capacity(wave.len());
-            inline_buf.begin(TraceScope::Sched, wi as u64, stats::TRACE_WORKER, 0);
-            let r = run(
-                &mut inline_scratch,
-                inline_cache.as_mut(),
-                &mut out,
-                &mut inline_buf,
-                &mut inline_hist,
-            );
-            inline_buf.end(
-                TraceScope::Sched,
-                wi as u64,
-                stats::TRACE_WORKER,
-                out.len() as u64,
-            );
-            // Flush before propagating any error, so a cancelled run
-            // still snapshots a well-formed (begin-matched) trace.
-            telemetry.trace_flush(&mut inline_buf);
-            r?;
-            if let Some(t0) = busy_start {
-                claimed.push(out.len() as u64);
-                busy_s.push(t0.elapsed().as_secs_f64());
-            }
-            for (ti, sol, key) in out {
-                sols[ti] = Some((sol, key));
-            }
+            latch.wait();
+            steals += ctx.steals.load(Ordering::Relaxed);
         } else {
-            let run = &run;
-            let private_caches = options.cache == CacheMode::Tree;
-            let results = std::thread::scope(|s| {
-                let handles: Vec<_> = (0..workers)
-                    .map(|w| {
-                        s.spawn(move || {
-                            let busy_start = enabled.then(Instant::now);
-                            let mut scratch = DpScratch::new();
-                            scratch.counting = enabled;
-                            let mut cache = private_caches.then(TreeCache::new);
-                            let mut out = Vec::new();
-                            // Worker 0 is the driver thread; spawned
-                            // workers are 1-based in the trace.
-                            let mut buf = telemetry.trace_buffer(w as u32 + 1);
-                            let mut hist = Histogram::new();
-                            buf.begin(TraceScope::Sched, wi as u64, stats::TRACE_WORKER, 0);
-                            let r =
-                                run(&mut scratch, cache.as_mut(), &mut out, &mut buf, &mut hist);
-                            buf.end(
-                                TraceScope::Sched,
-                                wi as u64,
-                                stats::TRACE_WORKER,
-                                out.len() as u64,
-                            );
-                            // Flush even on error — a cancelled worker's
-                            // events are all begin-matched (see `run`).
-                            telemetry.trace_flush(&mut buf);
-                            if !hist.is_empty() {
-                                telemetry.merge_histogram(stats::HIST_TREE_NS, &hist);
-                            }
-                            let busy = busy_start.map(|t0| t0.elapsed().as_secs_f64());
-                            r.map(|()| (out, busy))
-                        })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("mapper worker panicked"))
-                    .collect::<Vec<_>>()
-            });
-            for result in results {
-                let (out, busy) = result?;
-                if let Some(b) = busy {
-                    claimed.push(out.len() as u64);
-                    busy_s.push(b);
-                }
-                for (ti, sol, key) in out {
-                    sols[ti] = Some((sol, key));
-                }
+            // Inline fall-through: the whole wavefront as one chunk on
+            // this thread — no hand-off, no wake-ups.
+            inline_waves += 1;
+            sched::run_chunk(&ctx, (0, wave.len()), &mut inline_scratch, 0);
+        }
+        if let Some(e) = ctx.error.lock().expect("wave error slot poisoned").take() {
+            // Partial results are dropped with the wavefront.
+            return Err(e);
+        }
+        {
+            let mut results = ctx.results.lock().expect("wave results poisoned");
+            for (pos, slot) in results.iter_mut().enumerate() {
+                sols[wave[pos]] = Some(slot.take().expect("wavefront mapped every tree"));
             }
         }
         if let Some(t0) = wave_start {
+            let mut occ = std::mem::take(&mut *ctx.occupancy.lock().expect("occupancy poisoned"));
+            occ.sort_by_key(|o| o.worker);
             telemetry.record_wavefront(WavefrontStat {
                 index: wi,
                 trees: wave.len(),
-                workers,
+                workers: occ.len().max(1),
                 seconds: t0.elapsed().as_secs_f64(),
-                claimed,
-                busy_s,
+                claimed: occ.iter().map(|o| o.claimed).collect(),
+                busy_s: occ.iter().map(|o| o.busy_s).collect(),
             });
         }
+        // Drop the wavefront context before publishing depths: the
+        // arrivals array is then uniquely owned again and `make_mut`
+        // updates it in place.
+        drop(ctx);
 
-        // Publish this wavefront's root depths, in tree order, before the
-        // next wavefront reads them.
+        // Publish this wavefront's root depths, in tree order, before
+        // the next wavefront reads them.
+        let published = Arc::make_mut(&mut arrivals);
         for &ti in wave {
             let (sol, _) = sols[ti].as_ref().expect("wavefront mapped every tree");
-            depth_of.insert(trees[ti].root, sol.dp.tree_depth(&trees[ti]));
+            published[trees[ti].root.index()] = sol.dp.tree_depth(&trees[ti]);
         }
     }
-    if !inline_hist.is_empty() {
-        telemetry.merge_histogram(stats::HIST_TREE_NS, &inline_hist);
+    if enabled {
+        // Schedule echoes, like `cache.shards`: excluded from the
+        // any-`jobs`-identical counter contract (see `stats`).
+        telemetry.add_counter(stats::SCHED_CHUNKS, chunks_built);
+        telemetry.add_counter(stats::SCHED_STEALS, steals);
+        telemetry.add_counter(stats::SCHED_INLINE_WAVES, inline_waves);
+        telemetry.add_counter(stats::SCHED_POOLED_WAVES, pooled_waves);
     }
 
+    // Every chunk dropped its context before arriving at its latch, so
+    // the driver holds the only strong reference by now; the fallback
+    // clone only runs if a worker was still tearing down mid-unwind.
+    let trees = Arc::try_unwrap(trees).unwrap_or_else(|arc| (*arc).clone());
     Ok(trees
         .into_iter()
         .zip(sols)
@@ -305,15 +218,9 @@ pub(crate) fn map_forest_wavefront(
         .collect())
 }
 
-/// Unwraps a cache key on the insert path, where the mode being enabled
-/// guarantees it was computed.
-fn k_unwrap(key: Option<CacheKey>) -> CacheKey {
-    key.expect("caching modes key every tree")
-}
-
 #[cfg(test)]
 mod tests {
-    use crate::{map_network, MapOptions};
+    use crate::{map_network, ChunkPolicy, MapOptions};
     use chortle_netlist::{Network, NodeOp, Signal};
 
     /// A network with a three-level tree dependency chain plus
@@ -354,6 +261,27 @@ mod tests {
                     assert_eq!(seq.report, par.report, "k={k} jobs={jobs}");
                 }
             }
+        }
+    }
+
+    #[test]
+    fn chunk_policies_match_sequential_exactly() {
+        let net = layered_network();
+        let seq = map_network(&net, &MapOptions::builder(4).build().unwrap()).unwrap();
+        for chunk in [
+            ChunkPolicy::Auto,
+            ChunkPolicy::Fixed(1),
+            ChunkPolicy::Fixed(1 << 20),
+        ] {
+            let opts = MapOptions::builder(4)
+                .jobs(4)
+                .chunk(chunk)
+                .unwrap()
+                .build()
+                .unwrap();
+            let par = map_network(&net, &opts).unwrap();
+            assert_eq!(seq.circuit, par.circuit, "{chunk:?}");
+            assert_eq!(seq.report, par.report, "{chunk:?}");
         }
     }
 

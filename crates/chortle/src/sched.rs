@@ -1,0 +1,689 @@
+//! Adaptive chunked work-stealing scheduler (DESIGN.md §14).
+//!
+//! The wavefront driver ([`crate::parallel`]) used to hand workers one
+//! tree at a time through a shared cursor and spawn fresh threads per
+//! wavefront. Both costs dominate on real forests, where most trees are
+//! a handful of nodes: claiming a tree costs about as much as mapping
+//! it, and a 1-core host still paid for two threads. This module
+//! replaces that with three pieces:
+//!
+//! 1. **Chunks.** Trees of one wavefront are grouped, in tree order,
+//!    into contiguous chunks carrying at least [`AUTO_CHUNK_WORK`]
+//!    units of *estimated* DP work each (`ChunkPolicy::Auto`, roughly
+//!    64µs per chunk), or exactly N trees each (`ChunkPolicy::Fixed`).
+//!    The estimate is the closed-form kernel cost below — available
+//!    before mapping, unlike the exact `dp.tree_work` histogram it is
+//!    calibrated against.
+//! 2. **A process-wide pool.** One lazily-spawned set of worker
+//!    threads, sized from [`std::thread::available_parallelism`] and
+//!    capped at [`MAX_AUTO_JOBS`], owns one deque of chunks each. A
+//!    submitting thread distributes a wavefront's chunks round-robin
+//!    over the deques and then *helps*: it repeatedly pulls back
+//!    not-yet-started chunks of its own wavefront and runs them
+//!    inline. Idle workers steal from the **tail** of other deques
+//!    (owners pop the head), so contention concentrates on opposite
+//!    ends. Because the pool is process-wide, chunks of concurrent
+//!    [`crate::map_network`] calls — e.g. in-flight daemon requests —
+//!    interleave on the same threads instead of oversubscribing the
+//!    host.
+//! 3. **An inline fall-through.** A wavefront whose total estimated
+//!    work would not amortize a hand-off (fewer than two chunks, fewer
+//!    than two effective executors, or less than
+//!    [`MIN_POOLED_WAVE_WORK`] units overall) runs as a single chunk
+//!    on the submitting thread — no locks, no wake-ups.
+//!
+//! Determinism is unchanged from the per-tree scheduler: every chunk
+//! writes solutions into a slot-per-tree buffer and the driver
+//! publishes root depths in tree order between wavefronts, so the
+//! produced circuit, every telemetry counter, and the trace identity
+//! are bit-identical across `jobs × chunk × cache-mode`. The only new
+//! observable state is the `sched.*` counter family, which (like
+//! `cache.shards`) echoes the schedule rather than the work and is
+//! excluded from that contract.
+//!
+//! Failure handling: the first chunk to observe a fired cancel token
+//! or a mapping error records it in the wavefront's error slot and
+//! raises a flag; sibling chunks observe the flag at the next tree
+//! boundary and stop, so no tree span is left open. A latch counted
+//! down by a drop guard (even on unwind) releases the driver, which
+//! discards all partial results and returns the recorded error.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, Once, OnceLock};
+use std::time::Instant;
+
+use chortle_netlist::{Network, NodeId};
+use chortle_telemetry::{Histogram, Telemetry, TraceScope};
+
+use crate::cache::{CacheKey, SharedCache, TreeCache};
+use crate::cancel::CancelToken;
+use crate::dp::{map_tree_solution, DpScratch, Objective, ShapeSolution};
+use crate::map::{stats, MapError};
+use crate::tree::{Fingerprint, Tree};
+
+/// How the wavefront driver groups trees into scheduler chunks.
+///
+/// Every policy produces the identical circuit, report, counters, and
+/// trace identity — chunking only moves work between threads. See
+/// [`crate::MapOptionsBuilder::chunk`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ChunkPolicy {
+    /// Size chunks from the static per-tree work estimate so each
+    /// carries at least ~64µs of DP work ([`AUTO_CHUNK_WORK`] units).
+    #[default]
+    Auto,
+    /// Exactly N trees per chunk (the last chunk of a wavefront may be
+    /// smaller). `Fixed(1)` reproduces the historical tree-at-a-time
+    /// dispatch; a huge N degenerates to one chunk per wavefront. The
+    /// builder rejects `Fixed(0)`.
+    Fixed(usize),
+}
+
+/// Cap on auto-resolved parallelism (`jobs = 0`) and on the pool size:
+/// past ~16 workers the per-wavefront hand-off cost outgrows the tree
+/// sizes Chortle sees.
+pub(crate) const MAX_AUTO_JOBS: usize = 16;
+
+/// Target estimated work per `ChunkPolicy::Auto` chunk. Units are the
+/// estimator's (see [`estimate_tree_work`]); calibrated at ~30ns per
+/// unit on the seed bench host, 2048 units ≈ 64µs — comfortably above
+/// the cost of one deque hand-off plus a worker wake-up.
+pub(crate) const AUTO_CHUNK_WORK: u64 = 2048;
+
+/// Inline fall-through threshold: a wavefront estimated below four
+/// auto-chunks of total work (~256µs) runs on the submitting thread.
+/// At that size even a warm pool loses more to synchronization than
+/// it gains in overlap — this is what keeps a 1-core host from paying
+/// for threads it does not have.
+pub(crate) const MIN_POOLED_WAVE_WORK: u64 = 4 * AUTO_CHUNK_WORK;
+
+/// Pool worker count for this host: `available_parallelism`, capped.
+pub(crate) fn pool_size() -> usize {
+    std::thread::available_parallelism()
+        .map_or(1, usize::from)
+        .min(MAX_AUTO_JOBS)
+}
+
+/// Static estimate of one tree's DP cost, in abstract kernel units.
+///
+/// Mirrors the kernel's dominant terms: a node of fanin `f` tries
+/// `2^f` utilization subsets at each of up to `k-1` block heights
+/// (`dp.divisions`) and walks `3^f / 2` subset-over-submask block
+/// combinations (`dp.group_blocks`). The absolute scale is arbitrary —
+/// only ratios against [`AUTO_CHUNK_WORK`] matter — and fanin is
+/// clamped at 20 so a pathological unsplit node saturates instead of
+/// overflowing.
+pub(crate) fn estimate_tree_work(tree: &Tree, k: usize) -> u64 {
+    let k = k as u64;
+    let mut work: u64 = 16; // fixed per-tree overhead: key, bookkeeping
+    for node in &tree.nodes {
+        let f = node.children.len().min(20) as u32;
+        let divisions = (1u64 << f).saturating_mul(k + 1) / 2;
+        let walks = 3u64.saturating_pow(f) / 2;
+        work = work.saturating_add((k - 1).saturating_mul(divisions.saturating_add(walks)) / 4);
+    }
+    work
+}
+
+/// Groups one wavefront (tree indices, in tree order) into contiguous
+/// `(start, end)` chunk ranges over the wavefront slice. Pure function
+/// of the forest and the policy — chunk boundaries never depend on the
+/// schedule.
+pub(crate) fn build_chunks(
+    wave: &[usize],
+    est: &[u64],
+    policy: ChunkPolicy,
+) -> Vec<(usize, usize)> {
+    let n = wave.len();
+    let mut chunks = Vec::new();
+    match policy {
+        ChunkPolicy::Fixed(size) => {
+            let size = size.max(1);
+            let mut start = 0;
+            while start < n {
+                let end = (start + size).min(n);
+                chunks.push((start, end));
+                start = end;
+            }
+        }
+        ChunkPolicy::Auto => {
+            let mut start = 0;
+            let mut acc = 0u64;
+            for (i, &ti) in wave.iter().enumerate() {
+                acc = acc.saturating_add(est[ti]);
+                if acc >= AUTO_CHUNK_WORK {
+                    chunks.push((start, i + 1));
+                    start = i + 1;
+                    acc = 0;
+                }
+            }
+            if start < n {
+                chunks.push((start, n));
+            }
+        }
+    }
+    chunks
+}
+
+/// Per-executor occupancy of one wavefront, aggregated across the
+/// chunks that executor ran.
+pub(crate) struct Occupancy {
+    /// Trace worker id (0 = the submitting thread, i+1 = pool worker i).
+    pub worker: u32,
+    /// Trees this executor mapped in the wavefront.
+    pub claimed: u64,
+    /// Wall time this executor spent inside the wavefront's chunks.
+    pub busy_s: f64,
+}
+
+/// Which cache a wavefront's chunks consult. `PerChunk` is
+/// [`crate::CacheMode::Tree`] under the pool: workers are process-wide
+/// and outlive any one run, so the private cache shrinks to chunk
+/// scope — a pure hit-rate trade, invisible in the produced circuit.
+pub(crate) enum WaveCache {
+    /// No memoization.
+    Off,
+    /// A fresh private [`TreeCache`] per chunk.
+    PerChunk,
+    /// The run- (or warm-) scoped sharded cache.
+    Shared(Arc<SharedCache>),
+}
+
+/// One tree's mapped solution plus the cache key it was (re)computed
+/// under, if the run is keyed.
+pub(crate) type TreeResult = (Arc<ShapeSolution>, Option<CacheKey>);
+
+/// Everything a chunk needs to map its slice of one wavefront. Shared
+/// by `Arc` between the submitting thread and the pool; all mutation
+/// funnels through the interior locks.
+pub(crate) struct WaveCtx {
+    /// The normalized network (leaf-op lookups during key recompute).
+    #[allow(dead_code)] // retained: keeps the network alive for the tasks
+    pub normal: Arc<Network>,
+    /// The whole forest, canonicalized, in tree order.
+    pub trees: Arc<Vec<Tree>>,
+    /// Canonical shape fingerprints, indexed like `trees`.
+    pub shapes: Arc<Vec<Fingerprint>>,
+    /// Leaf arrival depths indexed by [`NodeId`]: 0 for primary inputs
+    /// and constants, the mapped root depth for earlier trees' roots.
+    /// Snapshotted per wavefront — within a wavefront it is immutable.
+    pub arrivals: Arc<Vec<u32>>,
+    /// The wavefront: tree indices in tree order.
+    pub indices: Vec<usize>,
+    /// Wavefront number (trace span index).
+    pub wave_index: usize,
+    /// LUT input count.
+    pub k: usize,
+    /// Mapping objective.
+    pub objective: Objective,
+    /// Whether trees are keyed for caching (any enabled cache mode).
+    pub keyed: bool,
+    /// The cache chunks consult.
+    pub cache: WaveCache,
+    /// Cooperative cancellation, polled at every tree boundary.
+    pub cancel: CancelToken,
+    /// The run's telemetry sink.
+    pub telemetry: Telemetry,
+    /// Slot-per-tree results, indexed by wavefront position. Buffered
+    /// here and drained by the driver in tree order — the determinism
+    /// safety rail.
+    pub results: Mutex<Vec<Option<TreeResult>>>,
+    /// First error observed by any chunk; partial results are
+    /// discarded with the wavefront.
+    pub error: Mutex<Option<MapError>>,
+    /// Raised with `error`; sibling chunks stop at the next tree.
+    pub failed: AtomicBool,
+    /// Chunks of this wavefront taken from a foreign deque.
+    pub steals: AtomicU64,
+    /// Per-executor occupancy (only written when telemetry is on).
+    pub occupancy: Mutex<Vec<Occupancy>>,
+}
+
+impl WaveCtx {
+    /// Records the first error and raises the stop flag.
+    pub(crate) fn fail(&self, e: MapError) {
+        let mut slot = self.error.lock().expect("wave error slot poisoned");
+        if slot.is_none() {
+            *slot = Some(e);
+        }
+        drop(slot);
+        self.failed.store(true, Ordering::Release);
+    }
+}
+
+/// One schedulable unit: a chunk of one wavefront. The latch lives
+/// outside the [`WaveCtx`] so an executor can drop its context `Arc`
+/// *before* arriving — after the driver's latch wait, it holds the
+/// only remaining references and can reclaim the trees without a copy.
+pub(crate) struct Task {
+    /// The wavefront this chunk belongs to.
+    pub wave: Arc<WaveCtx>,
+    latch: Arc<Latch>,
+    /// `(start, end)` positions within `wave.indices`.
+    pub range: (usize, usize),
+}
+
+/// Counts outstanding chunks of one wavefront; the driver blocks on it.
+pub(crate) struct Latch {
+    remaining: Mutex<usize>,
+    done: Condvar,
+}
+
+impl Latch {
+    pub(crate) fn new(count: usize) -> Latch {
+        Latch {
+            remaining: Mutex::new(count),
+            done: Condvar::new(),
+        }
+    }
+
+    fn arrive(&self) {
+        let mut left = self.remaining.lock().expect("latch poisoned");
+        *left -= 1;
+        if *left == 0 {
+            self.done.notify_all();
+        }
+    }
+
+    /// Blocks until every chunk has arrived.
+    pub(crate) fn wait(&self) {
+        let mut left = self.remaining.lock().expect("latch poisoned");
+        while *left > 0 {
+            left = self.done.wait(left).expect("latch poisoned");
+        }
+    }
+}
+
+/// Arrives at the latch on drop — even if the chunk body unwinds, the
+/// driver is released (and then trips over the missing result slot
+/// instead of hanging).
+struct ArriveGuard<'a>(&'a Latch);
+
+impl Drop for ArriveGuard<'_> {
+    fn drop(&mut self) {
+        self.0.arrive();
+    }
+}
+
+/// The process-wide chunk pool: one deque per worker, a pending-task
+/// count under the wake-up mutex (no lost wake-ups: submitters bump it
+/// before notifying, workers re-check it under the lock before
+/// sleeping).
+pub(crate) struct Pool {
+    deques: Vec<Mutex<VecDeque<Task>>>,
+    pending: Mutex<usize>,
+    available: Condvar,
+    /// Rotates the distribution origin so consecutive wavefronts do not
+    /// all pile onto deque 0.
+    rr: AtomicUsize,
+}
+
+static POOL: OnceLock<Pool> = OnceLock::new();
+static SPAWN: Once = Once::new();
+
+impl Pool {
+    /// The lazily-initialized process-wide pool. First call spawns the
+    /// worker threads; they park on the condvar when idle and live for
+    /// the process (detached — the process exits through them freely).
+    pub(crate) fn global() -> &'static Pool {
+        let pool = POOL.get_or_init(|| {
+            let size = pool_size();
+            Pool {
+                deques: (0..size).map(|_| Mutex::new(VecDeque::new())).collect(),
+                pending: Mutex::new(0),
+                available: Condvar::new(),
+                rr: AtomicUsize::new(0),
+            }
+        });
+        SPAWN.call_once(|| {
+            for i in 0..pool.deques.len() {
+                std::thread::Builder::new()
+                    .name(format!("chortle-sched-{i}"))
+                    .spawn(move || pool.worker_loop(i))
+                    .expect("spawn scheduler worker");
+            }
+        });
+        pool
+    }
+
+    /// Worker count (== deque count).
+    pub(crate) fn size(&self) -> usize {
+        self.deques.len()
+    }
+
+    /// Distributes a wavefront's chunks round-robin over `width`
+    /// consecutive deques, then wakes every parked worker. All chunks
+    /// are pushed before the single pending-count bump, so workers see
+    /// either nothing or a consistent batch.
+    pub(crate) fn submit(
+        &self,
+        wave: &Arc<WaveCtx>,
+        latch: &Arc<Latch>,
+        chunks: &[(usize, usize)],
+        width: usize,
+    ) {
+        let n = self.deques.len();
+        let width = width.clamp(1, n);
+        let base = self.rr.fetch_add(1, Ordering::Relaxed);
+        for (i, &range) in chunks.iter().enumerate() {
+            let task = Task {
+                wave: Arc::clone(wave),
+                latch: Arc::clone(latch),
+                range,
+            };
+            let deque = &self.deques[(base + i % width) % n];
+            deque
+                .lock()
+                .expect("scheduler deque poisoned")
+                .push_back(task);
+        }
+        let mut pending = self.pending.lock().expect("scheduler pending poisoned");
+        *pending += chunks.len();
+        drop(pending);
+        self.available.notify_all();
+    }
+
+    /// Takes the next task for worker `me`: own deque from the head,
+    /// then every other deque from the tail (a steal).
+    fn grab(&self, me: usize) -> Option<Task> {
+        let n = self.deques.len();
+        for i in 0..n {
+            let idx = (me + i) % n;
+            let task = {
+                let mut deque = self.deques[idx].lock().expect("scheduler deque poisoned");
+                if idx == me {
+                    deque.pop_front()
+                } else {
+                    deque.pop_back()
+                }
+            };
+            if let Some(task) = task {
+                if idx != me {
+                    task.wave.steals.fetch_add(1, Ordering::Relaxed);
+                }
+                self.take_pending();
+                return Some(task);
+            }
+        }
+        None
+    }
+
+    /// Pulls back a not-yet-started chunk of the caller's own wavefront
+    /// (newest first, like a thief) so the submitting thread can help
+    /// drain it. Not counted as a steal: the work never left home.
+    pub(crate) fn grab_wave(&self, wave: &Arc<WaveCtx>) -> Option<Task> {
+        for deque in &self.deques {
+            let task = {
+                let mut deque = deque.lock().expect("scheduler deque poisoned");
+                deque
+                    .iter()
+                    .rposition(|t| Arc::ptr_eq(&t.wave, wave))
+                    .and_then(|pos| deque.remove(pos))
+            };
+            if let Some(task) = task {
+                self.take_pending();
+                return Some(task);
+            }
+        }
+        None
+    }
+
+    fn take_pending(&self) {
+        *self.pending.lock().expect("scheduler pending poisoned") -= 1;
+    }
+
+    fn worker_loop(&'static self, me: usize) {
+        let mut scratch = DpScratch::new();
+        let worker = (me + 1) as u32; // 0 is the submitting thread
+        loop {
+            if let Some(task) = self.grab(me) {
+                run_task(task, &mut scratch, worker);
+                continue;
+            }
+            let pending = self.pending.lock().expect("scheduler pending poisoned");
+            if *pending == 0 {
+                // Pending is re-checked under the wake-up lock, so a
+                // submit between the failed grab and this wait cannot
+                // be missed.
+                drop(
+                    self.available
+                        .wait(pending)
+                        .expect("scheduler pending poisoned"),
+                );
+            }
+        }
+    }
+}
+
+/// Runs one task and releases the wavefront bookkeeping in the order
+/// the driver's memory reclamation relies on: results published by
+/// [`run_chunk`], context `Arc` dropped, latch arrived.
+pub(crate) fn run_task(task: Task, scratch: &mut DpScratch, worker: u32) {
+    let Task { wave, latch, range } = task;
+    let guard = ArriveGuard(&latch);
+    run_chunk(&wave, range, scratch, worker);
+    drop(wave); // before the latch: the waiting driver owns the last refs
+    drop(guard);
+}
+
+/// Maps one chunk: the trees at `wave.indices[start..end]`, in order,
+/// publishing solutions into the wavefront's slot-per-tree buffer.
+/// Identical per-tree logic to the sequential driver — cache lookup by
+/// canonical key, subset-DP solve on miss, first-writer-wins insert —
+/// so the buffered results are bit-identical to sequential mapping.
+pub(crate) fn run_chunk(
+    wave: &WaveCtx,
+    (start, end): (usize, usize),
+    scratch: &mut DpScratch,
+    worker: u32,
+) {
+    let telemetry = &wave.telemetry;
+    let enabled = telemetry.is_enabled();
+    scratch.counting = enabled;
+    let busy_start = enabled.then(Instant::now);
+    let mut buf = telemetry.trace_buffer(worker);
+    let mut hist = Histogram::new();
+    // CacheMode::Tree under the pool: one private cache per chunk.
+    let mut private = matches!(wave.cache, WaveCache::PerChunk).then(TreeCache::new);
+    let shared = match &wave.cache {
+        WaveCache::Shared(s) => Some(s.as_ref()),
+        _ => None,
+    };
+    let arrivals: &[u32] = &wave.arrivals;
+    let leaf_depth = |id: NodeId| arrivals[id.index()];
+    let mut out: Vec<(usize, Arc<ShapeSolution>, Option<CacheKey>)> =
+        Vec::with_capacity(end - start);
+    if buf.is_enabled() {
+        buf.begin(
+            TraceScope::Sched,
+            wave.wave_index as u64,
+            stats::TRACE_WORKER,
+            0,
+        );
+    }
+    for pos in start..end {
+        // Cancellation and sibling failures land between tree
+        // boundaries: no tree span is open when this chunk stops.
+        if wave.cancel.is_cancelled() {
+            wave.fail(MapError::Cancelled);
+        }
+        if wave.failed.load(Ordering::Acquire) {
+            break;
+        }
+        let ti = wave.indices[pos];
+        let tree = &wave.trees[ti];
+        let t0 = enabled.then(Instant::now);
+        if buf.is_enabled() {
+            buf.begin(
+                TraceScope::Tree,
+                ti as u64,
+                stats::TRACE_TREE,
+                tree.nodes.len() as u64,
+            );
+        }
+        let key = wave
+            .keyed
+            .then(|| CacheKey::of(tree, wave.shapes[ti], &leaf_depth));
+        let cached = key.and_then(|k| match (shared, &private) {
+            (Some(s), _) => s.get(&k),
+            (None, Some(p)) => p.get(&k),
+            _ => None,
+        });
+        let sol = match cached {
+            Some(sol) => sol,
+            None => {
+                let sol =
+                    match map_tree_solution(tree, wave.k, wave.objective, &leaf_depth, scratch) {
+                        Ok(sol) => Arc::new(sol),
+                        Err(e) => {
+                            // A mid-tree error leaves the span open; close
+                            // it explicitly so every begin stays matched.
+                            buf.cancelled(TraceScope::Tree, ti as u64, stats::TRACE_TREE, 0);
+                            wave.fail(e);
+                            break;
+                        }
+                    };
+                match (shared, &mut private) {
+                    // First writer wins; adopt whatever landed so
+                    // racing duplicates share one allocation.
+                    (Some(s), _) => s.insert(k_unwrap(key), sol),
+                    (None, Some(p)) => {
+                        p.insert(k_unwrap(key), sol.clone());
+                        sol
+                    }
+                    _ => sol,
+                }
+            }
+        };
+        if buf.is_enabled() {
+            buf.end(
+                TraceScope::Tree,
+                ti as u64,
+                stats::TRACE_TREE,
+                u64::from(sol.dp.tree_cost(tree)),
+            );
+        }
+        if let Some(t0) = t0 {
+            hist.record_duration(t0.elapsed());
+        }
+        out.push((pos, sol, key));
+    }
+    let claimed = out.len() as u64;
+    if buf.is_enabled() {
+        buf.end(
+            TraceScope::Sched,
+            wave.wave_index as u64,
+            stats::TRACE_WORKER,
+            claimed,
+        );
+    }
+    // Flush even on error — a stopped chunk's events are all matched.
+    telemetry.trace_flush(&mut buf);
+    if !hist.is_empty() {
+        telemetry.merge_histogram(stats::HIST_TREE_NS, &hist);
+    }
+    {
+        let mut results = wave.results.lock().expect("wave results poisoned");
+        for (pos, sol, key) in out {
+            results[pos] = Some((sol, key));
+        }
+    }
+    if let Some(t0) = busy_start {
+        let busy_s = t0.elapsed().as_secs_f64();
+        let mut occ = wave.occupancy.lock().expect("wave occupancy poisoned");
+        match occ.iter_mut().find(|o| o.worker == worker) {
+            Some(o) => {
+                o.claimed += claimed;
+                o.busy_s += busy_s;
+            }
+            None => occ.push(Occupancy {
+                worker,
+                claimed,
+                busy_s,
+            }),
+        }
+    }
+}
+
+/// Unwraps a cache key on the insert path, where the mode being enabled
+/// guarantees it was computed.
+fn k_unwrap(key: Option<CacheKey>) -> CacheKey {
+    key.expect("caching modes key every tree")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::Forest;
+    use chortle_netlist::{Network, NodeOp, Signal};
+
+    fn one_tree(fanins: usize) -> Tree {
+        let mut net = Network::new();
+        let inputs: Vec<Signal> = (0..fanins)
+            .map(|i| Signal::new(net.add_input(format!("i{i}"))))
+            .collect();
+        let g = Signal::new(net.add_gate(NodeOp::And, inputs));
+        net.add_output("z", g);
+        Forest::of(&net).trees.remove(0)
+    }
+
+    #[test]
+    fn work_estimate_grows_with_fanin_and_k() {
+        let narrow = estimate_tree_work(&one_tree(2), 4);
+        let wide = estimate_tree_work(&one_tree(8), 4);
+        assert!(wide > narrow, "{wide} vs {narrow}");
+        assert!(estimate_tree_work(&one_tree(8), 6) > wide);
+        // Saturates rather than overflows on absurd fanin.
+        let _ = estimate_tree_work(&one_tree(40), 8);
+    }
+
+    #[test]
+    fn fixed_chunks_partition_the_wave() {
+        let wave: Vec<usize> = (0..10).collect();
+        let est = vec![1u64; 10];
+        for size in [1, 3, 10, 99] {
+            let chunks = build_chunks(&wave, &est, ChunkPolicy::Fixed(size));
+            assert_eq!(chunks.first().map(|c| c.0), Some(0));
+            assert_eq!(chunks.last().map(|c| c.1), Some(10));
+            for pair in chunks.windows(2) {
+                assert_eq!(pair[0].1, pair[1].0, "contiguous");
+            }
+            for &(s, e) in &chunks {
+                assert!(e - s <= size);
+            }
+        }
+    }
+
+    #[test]
+    fn auto_chunks_accumulate_to_the_work_target() {
+        let wave: Vec<usize> = (0..100).collect();
+        // Each tree well under the target: chunks group many trees.
+        let est = vec![AUTO_CHUNK_WORK / 10; 100];
+        let chunks = build_chunks(&wave, &est, ChunkPolicy::Auto);
+        assert!(chunks.len() <= 10, "{}", chunks.len());
+        assert_eq!(chunks.last().unwrap().1, 100);
+        // Each tree over the target: one chunk per tree.
+        let est = vec![AUTO_CHUNK_WORK + 1; 100];
+        let chunks = build_chunks(&wave, &est, ChunkPolicy::Auto);
+        assert_eq!(chunks.len(), 100);
+    }
+
+    #[test]
+    fn latch_releases_after_all_arrivals() {
+        let latch = Arc::new(Latch::new(3));
+        let threads: Vec<_> = (0..3)
+            .map(|_| {
+                let latch = Arc::clone(&latch);
+                std::thread::spawn(move || {
+                    let guard = ArriveGuard(&latch);
+                    drop(guard);
+                })
+            })
+            .collect();
+        latch.wait(); // must not hang
+        for t in threads {
+            t.join().unwrap();
+        }
+    }
+}

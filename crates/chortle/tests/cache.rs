@@ -165,7 +165,7 @@ fn map_with(
         .snapshot()
         .counters
         .iter()
-        .filter(|c| !c.name.starts_with("cache."))
+        .filter(|c| !c.name.starts_with("cache.") && !c.name.starts_with("sched."))
         .map(|c| (c.name.clone(), c.value))
         .collect();
     (mapping, counters)

@@ -136,13 +136,14 @@ fn counters_are_identical_for_any_worker_count() {
         let baseline = mapped_report(&net, k, 1);
         for jobs in [2, 8] {
             let parallel = mapped_report(&net, k, jobs);
-            // `cache.shards` is a configuration echo (shard count of the
-            // store actually used), not a work tally, so it is the one
-            // counter allowed to vary with the worker count.
+            // `cache.shards` and the `sched.*` family are schedule echoes
+            // (shard count of the store used, chunk/steal tallies of the
+            // schedule taken), not work tallies, so they are the counters
+            // allowed to vary with the worker count.
             let tallies = |r: &chortle::MapStats| {
                 r.counters
                     .iter()
-                    .filter(|c| c.name != stats::CACHE_SHARDS)
+                    .filter(|c| c.name != stats::CACHE_SHARDS && !c.name.starts_with("sched."))
                     .map(|c| (c.name.clone(), c.value))
                     .collect::<Vec<_>>()
             };

@@ -56,7 +56,13 @@ pub const FLAGS: &[Flag] = &[
         name: "--jobs",
         alias: None,
         value: Some("N"),
-        help: "mapper worker threads; 0 = all cores (default 1)",
+        help: "mapper worker threads; 0 = all cores (default 0)",
+    },
+    Flag {
+        name: "--chunk",
+        alias: None,
+        value: Some("POLICY"),
+        help: "trees per scheduler chunk: auto (default) or N >= 1",
     },
     Flag {
         name: "--cache",

@@ -48,8 +48,8 @@ use chortle_netlist::{
 // One import serves downstream users: the core mapper types ride along
 // with the flow API.
 pub use chortle::{
-    map_network, CacheMode, Fingerprint, MapError, MapOptions, MapOptionsBuilder, MapReport,
-    MapStats, Mapping, Objective, Telemetry,
+    map_network, CacheMode, ChunkPolicy, Fingerprint, MapError, MapOptions, MapOptionsBuilder,
+    MapReport, MapStats, Mapping, Objective, Telemetry,
 };
 
 /// Names of the flow-level stages [`run_flow`] reports into the sink

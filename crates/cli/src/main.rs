@@ -19,7 +19,9 @@ use std::io::Read;
 use std::process::ExitCode;
 
 use chortle_cli::flags::{help_text, lookup};
-use chortle_cli::{run_flow, CacheMode, FlowOptions, MapOptions, Mapper, OutputFormat, Telemetry};
+use chortle_cli::{
+    run_flow, CacheMode, ChunkPolicy, FlowOptions, MapOptions, Mapper, OutputFormat, Telemetry,
+};
 
 /// Telemetry report format requested on the command line.
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -52,7 +54,8 @@ impl CliError {
 fn parse_args(args: impl Iterator<Item = String>) -> Result<Option<Cli>, CliError> {
     let mut k = 4usize;
     let mut split = 10usize;
-    let mut jobs = 1usize;
+    let mut jobs = 0usize; // 0 = all cores (resolved by the library)
+    let mut chunk = ChunkPolicy::Auto;
     let mut cache = CacheMode::default();
     let mut depth_objective = false;
     let mut cli = Cli {
@@ -128,6 +131,14 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Option<Cli>, CliErro
                     CliError::invalid("--jobs", format!("{value:?} is not an integer"))
                 })?;
             }
+            "--chunk" => {
+                chunk = match value.as_str() {
+                    "auto" => ChunkPolicy::Auto,
+                    n => ChunkPolicy::Fixed(n.parse().map_err(|_| {
+                        CliError::invalid("--chunk", format!("{n:?} (expected auto or N >= 1)"))
+                    })?),
+                };
+            }
             "--cache" => {
                 cache = match value.as_str() {
                     "off" => CacheMode::Off,
@@ -182,7 +193,11 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Option<Cli>, CliErro
         }
     }
 
-    let mut builder = MapOptions::builder(k).jobs(jobs).cache(cache);
+    let mut builder = MapOptions::builder(k)
+        .jobs(jobs)
+        .chunk(chunk)
+        .map_err(|e| CliError::invalid("--chunk", e))?
+        .cache(cache);
     if depth_objective {
         builder = builder.objective(chortle_cli::Objective::Depth);
     }

@@ -12,7 +12,7 @@
 //! Request keys: `proto` (required, `"chortle-serve/v1"`), `id`
 //! (optional string, echoed verbatim), `op` (`"map"` default, `"flush"`,
 //! `"stats"`, `"trace"`, `"shutdown"`); for `op: "map"` also `blif` (required),
-//! `k` (default 4), `jobs` (default 1), `cache`
+//! `k` (default 4), `jobs` (default 0 = host parallelism), `cache`
 //! (`"shared"`/`"tree"`/`"off"`, default shared), `objective`
 //! (`"area"`/`"depth"`, default area), `optimize` (default true) and
 //! `deadline_ms` (optional). Unknown keys, unknown enum values, and
@@ -246,7 +246,7 @@ fn parse_map_request(value: &Value, id: &str) -> Result<MapRequest, ProtoError> 
         .ok_or_else(|| fail("\"blif\" must be a string".into()))?
         .to_owned();
     let k = opt_u64(value, "k", id)?.map_or(4, |v| v as usize);
-    let jobs = opt_u64(value, "jobs", id)?.map_or(1, |v| v as usize);
+    let jobs = opt_u64(value, "jobs", id)?.map_or(0, |v| v as usize);
     let cache = match value.get("cache") {
         None => CacheMode::Shared,
         Some(v) => match v.as_str() {
@@ -498,7 +498,9 @@ mod tests {
             panic!("expected map")
         };
         assert_eq!(m.k, 4);
-        assert_eq!(m.jobs, 1);
+        // 0 = host parallelism, resolved by the mapper; identical
+        // output either way, so the default can chase throughput.
+        assert_eq!(m.jobs, 0);
         assert_eq!(m.cache, CacheMode::Shared);
         assert_eq!(m.objective, Objective::Area);
         assert!(m.optimize);

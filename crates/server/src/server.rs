@@ -12,6 +12,16 @@
 //! receives exactly one line per request (order may interleave across
 //! *worker* completion, which is why responses echo the request `id`).
 //!
+//! Mapping parallelism is *not* per-request: every worker submits its
+//! wavefront chunks into the mapper's process-wide work-stealing pool
+//! (see `chortle`'s scheduler), so chunks from concurrent in-flight
+//! requests interleave on the same deques and a burst of small requests
+//! saturates the host instead of serializing behind one request's
+//! waves. Per-request completion is tracked by each wave's latch, and
+//! the per-request `CancelToken` (deadline or shutdown) is honored
+//! cooperatively at chunk boundaries, so one cancelled request never
+//! stalls the pool for its neighbors.
+//!
 //! ## Shutdown
 //!
 //! A `shutdown` request (or stdin EOF in `--stdio` mode) flips the
@@ -127,13 +137,26 @@ struct Job {
 /// connection.
 #[derive(Clone)]
 struct Responder {
-    sink: Arc<Mutex<Box<dyn Write + Send>>>,
+    conn: Arc<Mutex<ResponderConn>>,
+}
+
+/// The per-connection write state: the sink plus one frame buffer that
+/// is reused for every response on this connection (it grows to the
+/// largest frame once, then every later send is allocation-free — the
+/// per-frame allocation used to dominate warm serving of small
+/// netlists).
+struct ResponderConn {
+    sink: Box<dyn Write + Send>,
+    frame: String,
 }
 
 impl Responder {
     fn new(sink: Box<dyn Write + Send>) -> Self {
         Responder {
-            sink: Arc::new(Mutex::new(sink)),
+            conn: Arc::new(Mutex::new(ResponderConn {
+                sink,
+                frame: String::new(),
+            })),
         }
     }
 
@@ -142,11 +165,12 @@ impl Responder {
     /// Write errors are swallowed: a client that hung up forfeits its
     /// answers, never the server.
     fn send(&self, line: &str) {
-        let mut framed = String::with_capacity(line.len() + 1);
-        framed.push_str(line);
-        framed.push('\n');
-        let mut sink = self.sink.lock().expect("responder poisoned");
-        let _ = sink.write_all(framed.as_bytes());
+        let mut conn = self.conn.lock().expect("responder poisoned");
+        let ResponderConn { sink, frame } = &mut *conn;
+        frame.clear();
+        frame.push_str(line);
+        frame.push('\n');
+        let _ = sink.write_all(frame.as_bytes());
         let _ = sink.flush();
     }
 }
@@ -334,6 +358,17 @@ fn worker_loop(shared: &Shared) {
         let run = start.elapsed();
         let run_ns = u64::try_from(run.as_nanos()).unwrap_or(u64::MAX);
         let queue_ns = u64::try_from(queue_wait.as_nanos()).unwrap_or(u64::MAX);
+        // Record the latency samples BEFORE answering: a client that
+        // has this response in hand may immediately ask op:"stats" and
+        // must find its own request already bucketed (loadgen asserts
+        // the rebuilt histogram matches bucket-for-bucket).
+        shared
+            .telemetry
+            .record_value(stats::HIST_QUEUE_NS, queue_ns);
+        shared.telemetry.record_value(stats::HIST_RUN_NS, run_ns);
+        shared
+            .telemetry
+            .record_stage(stats::STAGE_REQUEST, run.as_secs_f64());
         match result {
             Ok(outcome) => {
                 shared.telemetry.add_counter(stats::COMPLETED, 1);
@@ -378,13 +413,6 @@ fn worker_loop(shared: &Shared) {
                 job.out.send(&render_rejected(&job.id, reason, &detail));
             }
         }
-        shared
-            .telemetry
-            .record_value(stats::HIST_QUEUE_NS, queue_ns);
-        shared.telemetry.record_value(stats::HIST_RUN_NS, run_ns);
-        shared
-            .telemetry
-            .record_stage(stats::STAGE_REQUEST, run.as_secs_f64());
     }
 }
 

@@ -63,7 +63,9 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 pub use hist::Histogram;
-pub use trace::{validate_chrome_trace, Trace, TraceBuffer, TraceEvent, TraceKind, TraceScope};
+pub use trace::{
+    validate_chrome_trace, IdentityEvent, Trace, TraceBuffer, TraceEvent, TraceKind, TraceScope,
+};
 
 /// Identifier of the report layout, embedded in every JSON report and
 /// checked by [`schema::validate_report`].

@@ -54,6 +54,14 @@ for mode_jobs in "tree 1" "shared 1" "shared 4"; do
     || { echo "ci: --cache $1 --jobs $2 changed the circuit" >&2; exit 1; }
 done
 
+echo "==> chunked scheduler identity smoke (--chunk 1/auto/64, jobs 4 vs sequential)"
+for chunk in 1 auto 64; do
+  out="$(printf "$smoke_blif" \
+    | cargo run -q -p chortle-cli --bin chortle-map -- --jobs 4 --chunk "$chunk")"
+  [[ "$out" == "$ref" ]] \
+    || { echo "ci: --chunk $chunk --jobs 4 changed the circuit" >&2; exit 1; }
+done
+
 echo "==> serve smoke (daemon on an ephemeral port vs offline CLI)"
 serve_tmp="$(mktemp -d)"
 serve_pid=""
@@ -124,5 +132,21 @@ serve_pid=""
 cargo run -q -p chortle-cli --bin report-check < "$serve_tmp/report.json"
 grep -q '"serve.completed","value":3' "$serve_tmp/report.json" \
   || { echo "ci: final serve report did not count 3 completed requests" >&2; exit 1; }
+
+if [[ "$quick" == 0 ]]; then
+  echo "==> bench-diff vs committed snapshots (threshold 40%)"
+  # Regenerate both benchmark snapshots and gate them against the
+  # committed ones. The generous threshold absorbs host noise; a real
+  # scheduler regression (like the pre-chunking 0.62x mapping_total)
+  # blows well past it.
+  bench_tmp="$(mktemp -d)"
+  cargo run -q --release -p chortle-bench --bin perf -- \
+    "$bench_tmp/map.json" > /dev/null
+  ./scripts/bench-diff.sh results/BENCH_map.json "$bench_tmp/map.json" 40
+  cargo run -q --release -p chortle-bench --bin loadgen -- \
+    "$bench_tmp/serve.json" > /dev/null
+  ./scripts/bench-diff.sh results/BENCH_serve.json "$bench_tmp/serve.json" 40
+  rm -rf "$bench_tmp"
+fi
 
 echo "ci: all green"
