@@ -362,6 +362,10 @@ pub enum MapError {
     /// cancellation or an expired deadline) before mapping finished.
     /// All partial work was discarded.
     Cancelled,
+    /// A scheduler pool worker panicked while mapping a chunk. The
+    /// wavefront's partial results were discarded and the worker
+    /// survived; this indicates an internal bug, not bad input.
+    WorkerPanicked,
 }
 
 impl fmt::Display for MapError {
@@ -387,6 +391,12 @@ impl fmt::Display for MapError {
             }
             MapError::Cancelled => {
                 write!(f, "mapping cancelled before completion")
+            }
+            MapError::WorkerPanicked => {
+                write!(
+                    f,
+                    "a scheduler worker panicked while mapping; partial results discarded"
+                )
             }
         }
     }

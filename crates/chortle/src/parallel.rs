@@ -134,6 +134,10 @@ pub(crate) fn map_forest_wavefront(
                 (None, _) => WaveCache::Off,
             },
             cancel: options.cancel.clone(),
+            // `fanout` executor slots counting this thread (pre-joined):
+            // placement below seeds `fanout - 1` deques, and the budget
+            // keeps stealing from recruiting a larger crew than --jobs.
+            budget: sched::ExecutorBudget::new(fanout),
             telemetry: telemetry.clone(),
             results: Mutex::new((0..wave.len()).map(|_| None).collect()),
             error: Mutex::new(None),

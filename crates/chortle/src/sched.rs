@@ -22,10 +22,14 @@
 //!    not-yet-started chunks of its own wavefront and runs them
 //!    inline. Idle workers steal from the **tail** of other deques
 //!    (owners pop the head), so contention concentrates on opposite
-//!    ends. Because the pool is process-wide, chunks of concurrent
-//!    [`crate::map_network`] calls — e.g. in-flight daemon requests —
-//!    interleave on the same threads instead of oversubscribing the
-//!    host.
+//!    ends. Every wavefront carries an [`ExecutorBudget`] of `jobs`
+//!    slots (the submitter pre-joined): a worker may take — or steal —
+//!    a wave's chunk only while it holds or can claim a slot, so an
+//!    explicit `--jobs N` bounds the executors that actually map the
+//!    wave, not just its initial placement. Because the pool is
+//!    process-wide, chunks of concurrent [`crate::map_network`] calls —
+//!    e.g. in-flight daemon requests — interleave on the same threads
+//!    instead of oversubscribing the host.
 //! 3. **An inline fall-through.** A wavefront whose total estimated
 //!    work would not amortize a hand-off (fewer than two chunks, fewer
 //!    than two effective executors, or less than
@@ -46,11 +50,17 @@
 //! raises a flag; sibling chunks observe the flag at the next tree
 //! boundary and stop, so no tree span is left open. A latch counted
 //! down by a drop guard (even on unwind) releases the driver, which
-//! discards all partial results and returns the recorded error.
+//! discards all partial results and returns the recorded error. Pool
+//! workers additionally run each chunk under `catch_unwind`: a
+//! panicking chunk records [`MapError::WorkerPanicked`] *before* its
+//! latch arrival — so the driver returns that error instead of
+//! tripping over a missing result slot — and the worker thread
+//! survives to serve later chunks.
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, Once, OnceLock};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, Once, OnceLock};
 use std::time::Instant;
 
 use chortle_netlist::{Network, NodeId};
@@ -194,6 +204,57 @@ pub(crate) enum WaveCache {
 /// under, if the run is keyed.
 pub(crate) type TreeResult = (Arc<ShapeSolution>, Option<CacheKey>);
 
+/// Locks a mutex, proceeding through poison: the protected state here
+/// (latch counts, error slots, budgets) must stay reachable even after
+/// a sibling panicked, or the driver hangs — exactly when it most
+/// needs to observe the failure.
+fn lock_unpoisoned<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Caps how many *distinct* executors (the submitting thread plus pool
+/// workers) may map chunks of one wavefront. Placement only seeds
+/// deques; any pool worker can see any deque, so without this cap
+/// stealing would let the whole pool pile onto a `--jobs 2` run. The
+/// submitting thread (executor 0) is pre-joined — it always helps
+/// drain its own wave.
+pub(crate) struct ExecutorBudget {
+    width: usize,
+    /// Bit per executor id (0 = submitter, i+1 = pool worker i);
+    /// [`MAX_AUTO_JOBS`] keeps ids below the `u32` width.
+    joined: AtomicU32,
+}
+
+impl ExecutorBudget {
+    pub(crate) fn new(width: usize) -> ExecutorBudget {
+        ExecutorBudget {
+            width: width.max(1),
+            joined: AtomicU32::new(1),
+        }
+    }
+
+    /// True if `executor` already holds one of this wavefront's slots,
+    /// or a slot is free and it claims one now. Claims are permanent
+    /// for the wavefront's lifetime: the cap is on distinct executors,
+    /// not on how many chunks each runs.
+    pub(crate) fn try_join(&self, executor: u32) -> bool {
+        let bit = 1u32 << executor;
+        self.joined
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |mask| {
+                if mask & bit != 0 {
+                    Some(mask)
+                } else if (mask.count_ones() as usize) < self.width {
+                    Some(mask | bit)
+                } else {
+                    None
+                }
+            })
+            .is_ok()
+    }
+}
+
 /// Everything a chunk needs to map its slice of one wavefront. Shared
 /// by `Arc` between the submitting thread and the pool; all mutation
 /// funnels through the interior locks.
@@ -223,6 +284,9 @@ pub(crate) struct WaveCtx {
     pub cache: WaveCache,
     /// Cooperative cancellation, polled at every tree boundary.
     pub cancel: CancelToken,
+    /// Executor slots: `jobs` distinct executors at most, stealing
+    /// included.
+    pub budget: ExecutorBudget,
     /// The run's telemetry sink.
     pub telemetry: Telemetry,
     /// Slot-per-tree results, indexed by wavefront position. Buffered
@@ -241,9 +305,11 @@ pub(crate) struct WaveCtx {
 }
 
 impl WaveCtx {
-    /// Records the first error and raises the stop flag.
+    /// Records the first error and raises the stop flag. Proceeds
+    /// through a poisoned slot: failure must be recordable precisely
+    /// when a sibling chunk panicked.
     pub(crate) fn fail(&self, e: MapError) {
-        let mut slot = self.error.lock().expect("wave error slot poisoned");
+        let mut slot = lock_unpoisoned(&self.error);
         if slot.is_none() {
             *slot = Some(e);
         }
@@ -278,8 +344,12 @@ impl Latch {
         }
     }
 
+    // Arrival and wait proceed through poison (`lock_unpoisoned`): the
+    // latch is the only thing standing between the driver and a hang,
+    // so a chunk panicking while a sibling holds the lock must not
+    // turn the guard's arrival into a double panic (process abort).
     fn arrive(&self) {
-        let mut left = self.remaining.lock().expect("latch poisoned");
+        let mut left = lock_unpoisoned(&self.remaining);
         *left -= 1;
         if *left == 0 {
             self.done.notify_all();
@@ -288,16 +358,20 @@ impl Latch {
 
     /// Blocks until every chunk has arrived.
     pub(crate) fn wait(&self) {
-        let mut left = self.remaining.lock().expect("latch poisoned");
+        let mut left = lock_unpoisoned(&self.remaining);
         while *left > 0 {
-            left = self.done.wait(left).expect("latch poisoned");
+            left = self
+                .done
+                .wait(left)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
         }
     }
 }
 
 /// Arrives at the latch on drop — even if the chunk body unwinds, the
-/// driver is released (and then trips over the missing result slot
-/// instead of hanging).
+/// driver is released. Pool workers record the panic into the wave
+/// before this runs ([`run_task_caught`]), so the released driver
+/// finds an error, not a missing result slot.
 struct ArriveGuard<'a>(&'a Latch);
 
 impl Drop for ArriveGuard<'_> {
@@ -306,13 +380,16 @@ impl Drop for ArriveGuard<'_> {
     }
 }
 
-/// The process-wide chunk pool: one deque per worker, a pending-task
-/// count under the wake-up mutex (no lost wake-ups: submitters bump it
-/// before notifying, workers re-check it under the lock before
-/// sleeping).
+/// The process-wide chunk pool: one deque per worker plus a submission
+/// epoch under the wake-up mutex. Tasks become visible deque-by-deque
+/// (each deque has its own lock), so no counter tries to describe how
+/// many are waiting — a worker instead snapshots the epoch, scans the
+/// deques, and sleeps only if the epoch is still unchanged under the
+/// lock. A submit bumps the epoch after its pushes land and notifies,
+/// so a wake-up can never be lost; a stale scan merely loops once more.
 pub(crate) struct Pool {
     deques: Vec<Mutex<VecDeque<Task>>>,
-    pending: Mutex<usize>,
+    epoch: Mutex<u64>,
     available: Condvar,
     /// Rotates the distribution origin so consecutive wavefronts do not
     /// all pile onto deque 0.
@@ -331,7 +408,7 @@ impl Pool {
             let size = pool_size();
             Pool {
                 deques: (0..size).map(|_| Mutex::new(VecDeque::new())).collect(),
-                pending: Mutex::new(0),
+                epoch: Mutex::new(0),
                 available: Condvar::new(),
                 rr: AtomicUsize::new(0),
             }
@@ -353,9 +430,11 @@ impl Pool {
     }
 
     /// Distributes a wavefront's chunks round-robin over `width`
-    /// consecutive deques, then wakes every parked worker. All chunks
-    /// are pushed before the single pending-count bump, so workers see
-    /// either nothing or a consistent batch.
+    /// consecutive deques, then bumps the submission epoch and wakes
+    /// every parked worker. Pushed tasks are visible (and takeable)
+    /// before the bump — that is harmless, because nothing counts them:
+    /// the epoch only tells sleepy workers "the deques changed since
+    /// your last empty scan, look again".
     pub(crate) fn submit(
         &self,
         wave: &Arc<WaveCtx>,
@@ -378,31 +457,34 @@ impl Pool {
                 .expect("scheduler deque poisoned")
                 .push_back(task);
         }
-        let mut pending = self.pending.lock().expect("scheduler pending poisoned");
-        *pending += chunks.len();
-        drop(pending);
+        *lock_unpoisoned(&self.epoch) += 1;
         self.available.notify_all();
     }
 
-    /// Takes the next task for worker `me`: own deque from the head,
-    /// then every other deque from the tail (a steal).
+    /// Takes the next task worker `me` may execute: own deque from the
+    /// head, then every other deque from the tail (a steal). A task is
+    /// taken only if the worker holds — or can claim — one of its
+    /// wavefront's executor slots, so `--jobs` binds stealing too;
+    /// over-budget tasks are skipped in place for a joined executor
+    /// (the submitter included) to drain.
     fn grab(&self, me: usize) -> Option<Task> {
+        let executor = (me + 1) as u32; // 0 is the submitting thread
         let n = self.deques.len();
         for i in 0..n {
             let idx = (me + i) % n;
             let task = {
                 let mut deque = self.deques[idx].lock().expect("scheduler deque poisoned");
-                if idx == me {
-                    deque.pop_front()
+                let pos = if idx == me {
+                    deque.iter().position(|t| t.wave.budget.try_join(executor))
                 } else {
-                    deque.pop_back()
-                }
+                    deque.iter().rposition(|t| t.wave.budget.try_join(executor))
+                };
+                pos.and_then(|pos| deque.remove(pos))
             };
             if let Some(task) = task {
                 if idx != me {
                     task.wave.steals.fetch_add(1, Ordering::Relaxed);
                 }
-                self.take_pending();
                 return Some(task);
             }
         }
@@ -411,7 +493,9 @@ impl Pool {
 
     /// Pulls back a not-yet-started chunk of the caller's own wavefront
     /// (newest first, like a thief) so the submitting thread can help
-    /// drain it. Not counted as a steal: the work never left home.
+    /// drain it. Not counted as a steal (the work never left home) and
+    /// not budget-gated: the submitter holds its wave's slot 0 from
+    /// construction.
     pub(crate) fn grab_wave(&self, wave: &Arc<WaveCtx>) -> Option<Task> {
         for deque in &self.deques {
             let task = {
@@ -421,35 +505,41 @@ impl Pool {
                     .rposition(|t| Arc::ptr_eq(&t.wave, wave))
                     .and_then(|pos| deque.remove(pos))
             };
-            if let Some(task) = task {
-                self.take_pending();
-                return Some(task);
+            if task.is_some() {
+                return task;
             }
         }
         None
-    }
-
-    fn take_pending(&self) {
-        *self.pending.lock().expect("scheduler pending poisoned") -= 1;
     }
 
     fn worker_loop(&'static self, me: usize) {
         let mut scratch = DpScratch::new();
         let worker = (me + 1) as u32; // 0 is the submitting thread
         loop {
+            // Snapshot before scanning: a submit that lands after this
+            // read bumps the epoch, so the sleep check below fails and
+            // the scan reruns.
+            let seen = *lock_unpoisoned(&self.epoch);
             if let Some(task) = self.grab(me) {
-                run_task(task, &mut scratch, worker);
+                if !run_task_caught(task, &mut scratch, worker) {
+                    // The chunk panicked: its scratch arenas may be
+                    // mid-rewrite, so the next chunk starts from fresh
+                    // ones. The worker itself lives on.
+                    scratch = DpScratch::new();
+                }
                 continue;
             }
-            let pending = self.pending.lock().expect("scheduler pending poisoned");
-            if *pending == 0 {
-                // Pending is re-checked under the wake-up lock, so a
-                // submit between the failed grab and this wait cannot
-                // be missed.
+            let epoch = lock_unpoisoned(&self.epoch);
+            if *epoch == seen {
+                // Unchanged since the empty scan — sleep. Tasks may
+                // still be queued (their waves' budgets were full);
+                // those drain through their joined executors, and
+                // anything new arrives with its own bump + notify, so
+                // no wake-up is lost.
                 drop(
                     self.available
-                        .wait(pending)
-                        .expect("scheduler pending poisoned"),
+                        .wait(epoch)
+                        .unwrap_or_else(|poisoned| poisoned.into_inner()),
                 );
             }
         }
@@ -465,6 +555,30 @@ pub(crate) fn run_task(task: Task, scratch: &mut DpScratch, worker: u32) {
     run_chunk(&wave, range, scratch, worker);
     drop(wave); // before the latch: the waiting driver owns the last refs
     drop(guard);
+}
+
+/// Pool-worker variant of [`run_task`]: the chunk runs under
+/// `catch_unwind`, and a panic is recorded as
+/// [`MapError::WorkerPanicked`] *before* the latch arrival — the order
+/// matters, because the driver checks the error slot right after its
+/// latch wait, and an arrival without a recorded error would send it
+/// on to a result slot the dead chunk never filled. Returns `false` on
+/// a panic so the caller discards its scratch arenas (`AssertUnwindSafe`
+/// is sound only because they are rebuilt, never reused). The driver's
+/// own helping path keeps plain [`run_task`]: its panics propagate to
+/// the thread that would otherwise wait.
+fn run_task_caught(task: Task, scratch: &mut DpScratch, worker: u32) -> bool {
+    let Task { wave, latch, range } = task;
+    let guard = ArriveGuard(&latch);
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        run_chunk(&wave, range, scratch, worker)
+    }));
+    if outcome.is_err() {
+        wave.fail(MapError::WorkerPanicked);
+    }
+    drop(wave); // before the latch: the waiting driver owns the last refs
+    drop(guard);
+    outcome.is_ok()
 }
 
 /// Maps one chunk: the trees at `wave.indices[start..end]`, in order,
@@ -667,6 +781,70 @@ mod tests {
         let est = vec![AUTO_CHUNK_WORK + 1; 100];
         let chunks = build_chunks(&wave, &est, ChunkPolicy::Auto);
         assert_eq!(chunks.len(), 100);
+    }
+
+    #[test]
+    fn executor_budget_caps_distinct_executors() {
+        let budget = ExecutorBudget::new(3); // submitter + two more
+        assert!(budget.try_join(0), "the submitter is pre-joined");
+        assert!(budget.try_join(5));
+        assert!(budget.try_join(2));
+        assert!(!budget.try_join(7), "fourth executor must be refused");
+        assert!(budget.try_join(5), "joins are sticky");
+        assert!(budget.try_join(0));
+        assert!(!budget.try_join(16), "highest worker id also refused");
+    }
+
+    #[test]
+    fn panicking_chunk_fails_the_wave_and_releases_the_latch() {
+        let net = {
+            let mut net = Network::new();
+            let a = Signal::new(net.add_input("a"));
+            let b = Signal::new(net.add_input("b"));
+            let g = Signal::new(net.add_gate(NodeOp::And, vec![a, b]));
+            net.add_output("z", g);
+            net
+        };
+        let arrivals = vec![0u32; net.len()];
+        let trees = Forest::of(&net).trees;
+        let wave = Arc::new(WaveCtx {
+            normal: Arc::new(net),
+            trees: Arc::new(trees),
+            shapes: Arc::new(Vec::new()),
+            arrivals: Arc::new(arrivals),
+            indices: vec![0],
+            wave_index: 0,
+            k: 4,
+            objective: Objective::Area,
+            keyed: false,
+            cache: WaveCache::Off,
+            cancel: crate::cancel::CancelToken::armed(),
+            budget: ExecutorBudget::new(2),
+            telemetry: chortle_telemetry::Telemetry::disabled(),
+            results: Mutex::new(vec![None]),
+            error: Mutex::new(None),
+            failed: AtomicBool::new(false),
+            steals: AtomicU64::new(0),
+            occupancy: Mutex::new(Vec::new()),
+        });
+        let latch = Arc::new(Latch::new(1));
+        // A range past the wavefront's end makes `run_chunk` index out
+        // of bounds — standing in for any internal panic. Silence the
+        // expected panic message for the duration.
+        let task = Task {
+            wave: Arc::clone(&wave),
+            latch: Arc::clone(&latch),
+            range: (3, 4),
+        };
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let ok = run_task_caught(task, &mut DpScratch::new(), 1);
+        std::panic::set_hook(prev);
+        assert!(!ok, "the chunk must report the panic");
+        latch.wait(); // released despite the panic — must not hang
+        let err = lock_unpoisoned(&wave.error).take();
+        assert_eq!(err, Some(MapError::WorkerPanicked));
+        assert!(wave.failed.load(Ordering::Acquire));
     }
 
     #[test]

@@ -241,6 +241,42 @@ fn huge_chunks_fall_through_to_inline() {
 }
 
 #[test]
+fn jobs_cap_bounds_executors_even_with_stealing() {
+    // Placement only seeds jobs-1 deques, but every pool worker can see
+    // every deque: without the per-wave executor budget, stealing would
+    // let the whole pool pile onto a --jobs 2 run. The wavefront
+    // occupancy records one entry per distinct executor, so it must
+    // never exceed the requested jobs — one-tree chunks maximize the
+    // opportunities to over-recruit.
+    let net = wide_network(16, 6);
+    for jobs in [2, 3] {
+        let telemetry = Telemetry::enabled();
+        let options = MapOptions::builder(5)
+            .jobs(jobs)
+            .chunk(ChunkPolicy::Fixed(1))
+            .expect("valid chunk")
+            .cache(CacheMode::Off)
+            .telemetry(telemetry.clone())
+            .build()
+            .expect("valid options");
+        map_network(&net, &options).expect("maps");
+        let report = telemetry.snapshot();
+        assert!(
+            report.counter(stats::SCHED_POOLED_WAVES).unwrap_or(0) >= 1,
+            "wide wave fell through to inline (jobs={jobs})"
+        );
+        for wave in &report.wavefronts {
+            assert!(
+                wave.workers <= jobs,
+                "wavefront {} ran on {} executors with --jobs {jobs}",
+                wave.index,
+                wave.workers
+            );
+        }
+    }
+}
+
+#[test]
 fn jobs_one_never_touches_the_pool() {
     let net = wide_network(8, 6);
     let telemetry = Telemetry::enabled();
