@@ -57,7 +57,11 @@ fn direction(path: &str) -> Direction {
         return Direction::Neutral;
     }
     let leaf = path.rsplit('.').next().unwrap_or(path);
-    if leaf == "speedup" || leaf == "warm_speedup" || leaf == "throughput_rps" || leaf == "hit_rate"
+    if leaf == "speedup"
+        || leaf == "warm_speedup"
+        || leaf == "throughput_rps"
+        || leaf == "hit_rate"
+        || leaf == "completion_rate"
     {
         Direction::HigherIsBetter
     } else if leaf.starts_with('p') && leaf.ends_with("_ms") {
@@ -307,6 +311,10 @@ mod tests {
     fn directions_follow_the_naming_convention() {
         assert_eq!(direction("kernel_total.speedup"), Direction::HigherIsBetter);
         assert_eq!(direction("warm.throughput_rps"), Direction::HigherIsBetter);
+        assert_eq!(
+            direction("overload.completion_rate"),
+            Direction::HigherIsBetter
+        );
         assert_eq!(direction("cold.wall_s"), Direction::LowerIsBetter);
         assert_eq!(
             direction("mapping_total.parallel_s"),

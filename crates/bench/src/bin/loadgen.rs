@@ -5,11 +5,12 @@
 //! ```
 //!
 //! Starts an in-process server on an ephemeral loopback port and drives
-//! it with concurrent clients over real TCP, measuring what the offline
-//! `perf` harness cannot: request throughput, latency percentiles, and
-//! the effect of the process-wide warm DP cache across requests.
+//! it with concurrent clients over real TCP (protocol v2), measuring
+//! what the offline `perf` harness cannot: request throughput, latency
+//! percentiles, batching, hundreds-of-connections fan-out, and graceful
+//! overload behavior.
 //!
-//! Four phases, all asserting byte-identical netlists throughout:
+//! Six phases, all asserting byte-identical netlists throughout:
 //!
 //! 1. **cold** — the warm cache is flushed before every pass, so each
 //!    pass pays the full subset-DP cost for every distinct tree shape.
@@ -21,9 +22,20 @@
 //!    several requests in flight at once, their wavefront chunks
 //!    interleaving on the mapper's process-wide work-stealing pool
 //!    (requests are sent with `jobs: 0` = host parallelism).
-//! 4. **overload** — a one-worker, capacity-1-queue server fed a burst
-//!    of pipelined requests; records how many got typed `queue_full`
-//!    rejections and that every request was answered.
+//! 4. **batch** — the warm workload again, but shipped as v2
+//!    `map_batch` frames: many requests per round trip, one response
+//!    line per frame, entries resolved independently.
+//! 5. **fanout** — hundreds of connections arriving open-loop: every
+//!    client writes its request before anyone reads a response, so the
+//!    arrival rate is set by the generator, not by completions. Sheds
+//!    (if any) are retried per their `retry_after_ms` hints; zero loss
+//!    is asserted.
+//! 6. **overload** — a one-worker, capacity-1-queue server fed a
+//!    pipelined burst of 24 requests. The old daemon's global
+//!    `queue_full` cliff answered ~1 and refused the rest for good;
+//!    with v2 shed hints the generator backs off and retries, and the
+//!    phase reports `completion_rate` — the fraction of the burst that
+//!    eventually completed (gated HigherIsBetter by `bench-diff`).
 //!
 //! Requests are sent with `optimize: false` against pre-optimized
 //! networks — the MIS-style script is not cached (it runs before the
@@ -41,22 +53,31 @@
 //! asserts it matches the live `op: "stats"` report bucket-for-bucket.
 //!
 //! The JSON report (default `results/BENCH_serve.json`) embeds the
-//! server's final aggregate `chortle-telemetry/v1.3` report.
+//! server's final aggregate `chortle-telemetry/v1.4` report.
 
 use std::fmt::Write as _;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use chortle_bench::optimized_suite;
 use chortle_circuits::alu;
 use chortle_logic_opt::optimize;
 use chortle_netlist::write_blif;
-use chortle_server::{Client, MapRequest, Response, ServeConfig, Server};
+use chortle_server::{
+    proto, BatchReply, Client, FlushReply, MapReply, MapRequest, Mapped, ProtocolVersion, Response,
+    ServeOptions, Server, ShutdownReply, StatsReply,
+};
 use chortle_telemetry::{json, Histogram};
 
 /// Passes over the workload per phase (cold flushes before each pass).
 const PASSES: usize = 3;
+/// Requests per `map_batch` frame in the batch phase.
+const BATCH_CHUNK: usize = 8;
+/// Concurrent connections in the open-loop fan-out phase.
+const FANOUT_CONNECTIONS: usize = 200;
 /// Requests pipelined into the overload server's 1-slot queue.
 const OVERLOAD_BURST: usize = 24;
+/// Retry rounds before the overload phase gives up on its stragglers.
+const OVERLOAD_MAX_ROUNDS: usize = 100;
 
 /// One timed phase: client-side request latencies (log-bucketed
 /// nanoseconds, same [`Histogram`] the server reports) and wall time.
@@ -93,19 +114,15 @@ fn request(blif: &str, k: usize) -> MapRequest {
         // interleave (the wire default since chortle-serve gained the
         // shared scheduler).
         jobs: 0,
-        cache: chortle::CacheMode::Shared,
-        objective: chortle::Objective::Area,
         optimize: false,
-        deadline_ms: None,
+        ..MapRequest::default()
     }
 }
 
-fn expect_map(response: Response, what: &str) -> (String, u64) {
-    match response {
-        Response::MapOk {
-            netlist, run_ns, ..
-        } => (netlist, run_ns),
-        other => panic!("{what}: expected MapOk, got {other:?}"),
+fn expect_mapped(reply: MapReply, what: &str) -> Mapped {
+    match reply {
+        MapReply::Mapped(mapped) => mapped,
+        other => panic!("{what}: expected Mapped, got {other:?}"),
     }
 }
 
@@ -128,8 +145,8 @@ fn run_phase(
         if flush_between {
             let mut admin = Client::connect(addr).expect("connect for flush");
             match admin.flush("loadgen-flush").expect("flush roundtrip") {
-                Response::FlushOk { .. } => {}
-                other => panic!("expected FlushOk, got {other:?}"),
+                FlushReply::Flushed { .. } => {}
+                other => panic!("expected Flushed, got {other:?}"),
             }
         }
         // Deal the workload round-robin to the client threads.
@@ -145,13 +162,13 @@ fn run_phase(
                                 continue;
                             }
                             let t = Instant::now();
-                            let response = client
+                            let reply = client
                                 .map(&format!("{name}-p{pass}"), &request(blif, *k))
                                 .expect("map roundtrip");
                             lat.record_duration(t.elapsed());
-                            let (netlist, run_ns) = expect_map(response, name);
-                            run.record(run_ns);
-                            assert_eq!(netlist, expected[i], "{name}: netlist diverged");
+                            let mapped = expect_mapped(reply, name);
+                            run.record(mapped.run_ns);
+                            assert_eq!(mapped.netlist, expected[i], "{name}: netlist diverged");
                         }
                         (lat, run)
                     })
@@ -176,6 +193,246 @@ fn run_phase(
     )
 }
 
+/// The batch phase: the whole workload shipped as `map_batch` frames of
+/// [`BATCH_CHUNK`] requests, one pass per `PASSES`, two client threads.
+/// The latency histogram times whole frames; throughput still counts
+/// individual requests. Returns (phase, frames sent, echoed run_ns).
+fn run_batch_phase(
+    addr: &str,
+    workload: &[(String, usize, String)],
+    expected: &[String],
+) -> (Phase, usize, Histogram) {
+    let start = Instant::now();
+    let mut latency = Histogram::new();
+    let mut run_hist = Histogram::new();
+    let mut requests_sent = 0usize;
+    let mut frames = 0usize;
+    let indices: Vec<usize> = (0..workload.len()).collect();
+    for pass in 0..PASSES {
+        let results: Vec<(Histogram, Histogram, usize, usize)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..2)
+                .map(|c| {
+                    let indices = &indices;
+                    scope.spawn(move || {
+                        let mut client = Client::connect(addr).expect("connect batch client");
+                        let mut lat = Histogram::new();
+                        let mut run = Histogram::new();
+                        let mut sent = 0usize;
+                        let mut frames = 0usize;
+                        let mine: Vec<usize> =
+                            indices.iter().copied().filter(|i| i % 2 == c).collect();
+                        for chunk in mine.chunks(BATCH_CHUNK) {
+                            let reqs: Vec<MapRequest> = chunk
+                                .iter()
+                                .map(|&i| {
+                                    let (_, k, blif) = &workload[i];
+                                    request(blif, *k)
+                                })
+                                .collect();
+                            let t = Instant::now();
+                            let reply = client
+                                .map_batch(&format!("batch-c{c}-p{pass}-{frames}"), &reqs)
+                                .expect("batch roundtrip");
+                            lat.record_duration(t.elapsed());
+                            frames += 1;
+                            let results = match reply {
+                                BatchReply::Results(results) => results,
+                                other => panic!("expected Results, got {other:?}"),
+                            };
+                            assert_eq!(results.len(), chunk.len(), "one result per entry");
+                            for (&i, entry) in chunk.iter().zip(results) {
+                                let name = &workload[i].0;
+                                let mapped = expect_mapped(entry, name);
+                                run.record(mapped.run_ns);
+                                assert_eq!(
+                                    mapped.netlist, expected[i],
+                                    "{name}: batched netlist diverged"
+                                );
+                                sent += 1;
+                            }
+                        }
+                        (lat, run, sent, frames)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("batch client"))
+                .collect()
+        });
+        for (lat, run, sent, sent_frames) in &results {
+            latency.merge(lat);
+            run_hist.merge(run);
+            requests_sent += sent;
+            frames += sent_frames;
+        }
+    }
+    let phase = Phase {
+        latency,
+        wall_s: start.elapsed().as_secs_f64(),
+    };
+    assert_eq!(requests_sent, workload.len() * PASSES);
+    (phase, frames, run_hist)
+}
+
+/// The open-loop fan-out phase: `FANOUT_CONNECTIONS` clients connect,
+/// every request is written before any response is read (arrivals are
+/// generator-paced, not completion-paced), then responses are collected
+/// and sheds retried per their hints. Returns
+/// (phase, sheds retried, echoed run_ns).
+fn run_fanout_phase(addr: &str, blif: &str, k: usize, expected: &str) -> (Phase, usize, Histogram) {
+    let start = Instant::now();
+    let mut run_hist = Histogram::new();
+    let mut clients: Vec<(usize, Client)> = (0..FANOUT_CONNECTIONS)
+        .map(|i| (i, Client::connect(addr).expect("connect fanout client")))
+        .collect();
+    let mut retried = 0usize;
+    let mut latency = Histogram::new();
+    let mut round = 0usize;
+    while !clients.is_empty() {
+        assert!(round < 50, "fanout retries did not converge");
+        // Open loop: every arrival hits the server before any read.
+        let req = request(blif, k);
+        for (i, client) in &mut clients {
+            let frame = proto::render_map_request(ProtocolVersion::V2, &format!("fan{i}"), &req);
+            client.send_line(&frame).expect("write fanout request");
+        }
+        let mut next = Vec::new();
+        let mut max_wait_ms = 0u64;
+        for (i, mut client) in clients {
+            let response = client.recv_response().expect("fanout response");
+            match response {
+                Response::MapOk {
+                    netlist, run_ns, ..
+                } => {
+                    assert_eq!(netlist, expected, "fan{i}: netlist diverged");
+                    run_hist.record(run_ns);
+                    latency.record_duration(start.elapsed());
+                }
+                Response::Rejected { rejection, .. } => {
+                    let wait = rejection
+                        .retry_after_ms
+                        .expect("v2 sheds carry retry hints");
+                    max_wait_ms = max_wait_ms.max(wait);
+                    retried += 1;
+                    next.push((i, client));
+                }
+                other => panic!("fan{i}: unexpected response {other:?}"),
+            }
+        }
+        clients = next;
+        round += 1;
+        if !clients.is_empty() {
+            std::thread::sleep(Duration::from_millis(max_wait_ms.clamp(1, 1_000)));
+        }
+    }
+    let phase = Phase {
+        latency,
+        wall_s: start.elapsed().as_secs_f64(),
+    };
+    assert_eq!(
+        phase.requests(),
+        FANOUT_CONNECTIONS,
+        "zero loss: every connection's request completes"
+    );
+    (phase, retried, run_hist)
+}
+
+/// Outcome of the overload phase.
+struct Overload {
+    completed: usize,
+    shed_initial: usize,
+    retry_rounds: usize,
+    wall_s: f64,
+}
+
+impl Overload {
+    #[allow(clippy::cast_precision_loss)]
+    fn completion_rate(&self) -> f64 {
+        self.completed as f64 / OVERLOAD_BURST as f64
+    }
+}
+
+/// The overload phase: a dedicated one-worker, one-slot-queue server
+/// fed a pipelined burst of [`OVERLOAD_BURST`] requests on a single v2
+/// connection. Sheds are retried per their `retry_after_ms` hints
+/// (capped at 1s per round), so what used to be a refusal cliff becomes
+/// eventual completion. Every pipelined frame must be answered every
+/// round — zero loss.
+fn run_overload_phase(blif: &str, k: usize, expected: &str) -> Overload {
+    let server = Server::bind(&ServeOptions::builder().workers(1).queue_depth(1).build())
+        .expect("bind overload server");
+    let addr = server.local_addr().expect("bound address").to_string();
+    let run = std::thread::spawn(move || server.run());
+
+    let start = Instant::now();
+    let mut client = Client::connect(&addr).expect("connect overload client");
+    let req = request(blif, k);
+    let mut pending: Vec<usize> = (0..OVERLOAD_BURST).collect();
+    let mut completed = 0usize;
+    let mut shed_initial = 0usize;
+    let mut rounds = 0usize;
+    while !pending.is_empty() && rounds < OVERLOAD_MAX_ROUNDS {
+        for i in &pending {
+            let mut req = req.clone();
+            // Cache off: every admitted request costs the full pipeline,
+            // so the one worker stays busy while the burst piles up.
+            req.cache = chortle::CacheMode::Off;
+            let frame = proto::render_map_request(ProtocolVersion::V2, &format!("burst{i}"), &req);
+            client.send_line(&frame).expect("write burst request");
+        }
+        let mut next = Vec::new();
+        let mut max_wait_ms = 0u64;
+        for &i in &pending {
+            let response = client.recv_response().expect("burst response");
+            match response {
+                Response::MapOk { netlist, .. } => {
+                    assert_eq!(netlist, expected, "burst{i}: netlist diverged");
+                    completed += 1;
+                }
+                Response::Rejected { rejection, .. } => {
+                    assert!(
+                        rejection.reason == "queue_full" || rejection.reason == "over_quota",
+                        "only load sheds expected, got {rejection:?}"
+                    );
+                    let wait = rejection
+                        .retry_after_ms
+                        .expect("v2 sheds carry retry hints");
+                    max_wait_ms = max_wait_ms.max(wait);
+                    if rounds == 0 {
+                        shed_initial += 1;
+                    }
+                    next.push(i);
+                }
+                other => panic!("burst{i}: unexpected response {other:?}"),
+            }
+        }
+        // One answer per pipelined frame, every round — never silence.
+        pending = next;
+        rounds += 1;
+        if !pending.is_empty() {
+            std::thread::sleep(Duration::from_millis(max_wait_ms.clamp(1, 1_000)));
+        }
+    }
+    let wall_s = start.elapsed().as_secs_f64();
+
+    let mut closer = Client::connect(&addr).expect("connect overload shutdown");
+    match closer
+        .shutdown("overload-done")
+        .expect("shutdown roundtrip")
+    {
+        ShutdownReply::Draining => {}
+        other => panic!("expected Draining, got {other:?}"),
+    }
+    let _ = run.join().expect("overload server exits");
+    Overload {
+        completed,
+        shed_initial,
+        retry_rounds: rounds,
+        wall_s,
+    }
+}
+
 /// Pulls the named histogram out of a serialized telemetry report.
 fn report_histogram(report_json: &str, name: &str) -> Histogram {
     let report = json::parse(report_json).expect("stats report parses");
@@ -190,6 +447,7 @@ fn report_histogram(report_json: &str, name: &str) -> Histogram {
     Histogram::from_value(entry).expect("histogram entry parses")
 }
 
+#[allow(clippy::too_many_lines)]
 fn main() {
     let out_path = std::env::args()
         .nth(1)
@@ -215,7 +473,11 @@ fn main() {
         workload.len()
     );
 
-    let server = Server::bind(0, &ServeConfig::default()).expect("bind ephemeral port");
+    // Queue sized for the fan-out phase: 200 open-loop arrivals of one
+    // request each must fit the global queue (the per-client quota of 8
+    // is never the binding constraint there).
+    let server = Server::bind(&ServeOptions::builder().queue_depth(256).build())
+        .expect("bind ephemeral port");
     let addr = server.local_addr().expect("bound address").to_string();
     let run = std::thread::spawn(move || server.run());
 
@@ -226,13 +488,13 @@ fn main() {
     let expected: Vec<String> = workload
         .iter()
         .map(|(name, k, blif)| {
-            let (netlist, run_ns) = expect_map(
+            let mapped = expect_mapped(
                 seed.map(&format!("seed-{name}"), &request(blif, *k))
                     .expect("seed roundtrip"),
                 name,
             );
-            server_run.record(run_ns);
-            netlist
+            server_run.record(mapped.run_ns);
+            mapped.netlist
         })
         .collect();
 
@@ -289,6 +551,30 @@ fn main() {
         "loadgen: concurrent scaling {concurrent_scaling:.2}x over warm ({concurrency} vs {clients} clients)"
     );
 
+    // Batch phase: one response line per BATCH_CHUNK requests. The
+    // small-frame protocol overhead (render, syscall, parse per
+    // request) amortizes across the frame.
+    let (batch, batch_frames, batch_run) = run_batch_phase(&addr, &workload, &expected);
+    eprintln!(
+        "loadgen: batch {:>4} requests in {:.3}s  ({:.1} req/s, {batch_frames} frames of <= {BATCH_CHUNK})",
+        batch.requests(),
+        batch.wall_s,
+        batch.throughput(),
+    );
+    let batch_scaling = batch.throughput() / warm.throughput();
+
+    // Fan-out phase: hundreds of connections, open-loop arrivals. The
+    // smallest circuit keeps this a connection-scaling measurement, not
+    // a mapping benchmark.
+    let (fan_name, fan_k, fan_blif) = &workload[0];
+    let (fanout, fanout_retried, fanout_run) =
+        run_fanout_phase(&addr, fan_blif, *fan_k, &expected[0]);
+    eprintln!(
+        "loadgen: fanout {FANOUT_CONNECTIONS} connections ({fan_name}) in {:.3}s  ({:.1} req/s, {fanout_retried} retried)",
+        fanout.wall_s,
+        fanout.throughput(),
+    );
+
     // The introspection contract: the run-time histogram the live
     // `op: "stats"` report carries must equal, bucket for bucket, the
     // one rebuilt from the `run_ns` echoed in every map response —
@@ -296,12 +582,14 @@ fn main() {
     server_run.merge(&cold_run);
     server_run.merge(&warm_run);
     server_run.merge(&concurrent_run);
+    server_run.merge(&batch_run);
+    server_run.merge(&fanout_run);
     let mut stats_client = Client::connect(&addr).expect("connect for stats");
     match stats_client
         .stats("loadgen-stats")
         .expect("stats roundtrip")
     {
-        Response::StatsOk {
+        StatsReply::Stats {
             report_json,
             queue_high_water,
             ..
@@ -316,7 +604,7 @@ fn main() {
                 live.count()
             );
         }
-        other => panic!("expected StatsOk, got {other:?}"),
+        other => panic!("expected Stats, got {other:?}"),
     }
 
     let mut shutdown = Client::connect(&addr).expect("connect for shutdown");
@@ -324,76 +612,40 @@ fn main() {
         .shutdown("loadgen-done")
         .expect("shutdown roundtrip")
     {
-        Response::ShutdownOk { .. } => {}
-        other => panic!("expected ShutdownOk, got {other:?}"),
+        ShutdownReply::Draining => {}
+        other => panic!("expected Draining, got {other:?}"),
     }
     let summary = run.join().expect("server exits cleanly");
     chortle_telemetry::schema::validate_report(&summary.report.to_json())
         .expect("final server report validates");
+    assert!(
+        summary.report.counter("serve.batch_frames").unwrap_or(0) >= batch_frames as u64,
+        "the batch phase's frames are counted"
+    );
 
-    // Overload: one worker, one queue slot, a pipelined burst.
-    let overload_server = Server::bind(
-        0,
-        &ServeConfig {
-            workers: 1,
-            queue_capacity: 1,
-            ..ServeConfig::default()
-        },
-    )
-    .expect("bind overload server");
-    let overload_addr = overload_server
-        .local_addr()
-        .expect("bound address")
-        .to_string();
-    let overload_run = std::thread::spawn(move || overload_server.run());
+    // Overload: one worker, one queue slot, a pipelined burst, retried
+    // on the server's own hints until it drains.
     let (_, big_k, big_blif) = &workload[workload.len() - 1];
-    let (completed, queue_full) = {
-        use std::io::{BufRead, BufReader, Write};
-        let stream = std::net::TcpStream::connect(&overload_addr).expect("connect");
-        let mut writer = stream.try_clone().expect("clone");
-        let mut burst = String::new();
-        for i in 0..OVERLOAD_BURST {
-            // Cache off: every admitted request costs the full pipeline,
-            // so the one worker stays busy while the burst piles up.
-            let mut req = request(big_blif, *big_k);
-            req.cache = chortle::CacheMode::Off;
-            burst.push_str(&chortle_server::proto::render_map_request(
-                &format!("burst{i}"),
-                &req,
-            ));
-            burst.push('\n');
-        }
-        writer.write_all(burst.as_bytes()).expect("write burst");
-        writer.flush().expect("flush burst");
-        let mut completed = 0usize;
-        let mut queue_full = 0usize;
-        for line in BufReader::new(stream).lines().take(OVERLOAD_BURST) {
-            let line = line.expect("every burst request gets an answer");
-            match chortle_server::parse_response(&line).expect("well-formed response") {
-                Response::MapOk { .. } => completed += 1,
-                Response::Rejected { reason, .. } => {
-                    assert_eq!(reason, "queue_full", "only overload rejections expected");
-                    queue_full += 1;
-                }
-                other => panic!("unexpected burst response {other:?}"),
-            }
-        }
-        (completed, queue_full)
-    };
-    assert_eq!(
-        completed + queue_full,
-        OVERLOAD_BURST,
-        "no dropped requests"
-    );
-    assert!(queue_full > 0, "the burst must overflow the 1-slot queue");
+    let big_expected = &expected[expected.len() - 1];
+    let overload = run_overload_phase(big_blif, *big_k, big_expected);
     eprintln!(
-        "loadgen: overload  {OVERLOAD_BURST} pipelined -> {completed} completed, {queue_full} queue_full, 0 dropped"
+        "loadgen: overload  {OVERLOAD_BURST} pipelined -> {} completed over {} rounds \
+         ({} shed first round, completion rate {:.2}, {:.3}s), 0 dropped",
+        overload.completed,
+        overload.retry_rounds,
+        overload.shed_initial,
+        overload.completion_rate(),
+        overload.wall_s,
     );
-    let mut closer = Client::connect(&overload_addr).expect("connect overload shutdown");
-    let _ = closer
-        .shutdown("overload-done")
-        .expect("shutdown roundtrip");
-    let _ = overload_run.join().expect("overload server exits");
+    assert!(
+        overload.shed_initial > 0,
+        "the burst must overflow the 1-slot queue"
+    );
+    assert!(
+        overload.completed * 24 >= OVERLOAD_BURST * 20,
+        "retrying on hints must complete >= 20/24 of the burst (got {}/{OVERLOAD_BURST})",
+        overload.completed
+    );
 
     let mut json = String::new();
     let _ = writeln!(json, "{{");
@@ -410,6 +662,8 @@ fn main() {
         ("cold", &cold),
         ("warm", &warm),
         ("concurrent", &concurrent),
+        ("batch", &batch),
+        ("fanout", &fanout),
     ] {
         let _ = write!(
             json,
@@ -435,8 +689,22 @@ fn main() {
     );
     let _ = writeln!(
         json,
-        "  \"overload\": {{ \"burst\": {OVERLOAD_BURST}, \"completed\": {completed}, \
-         \"queue_full\": {queue_full}, \"dropped\": 0 }},"
+        "  \"batch_scaling\": {{ \"chunk\": {BATCH_CHUNK}, \"frames\": {batch_frames}, \"vs_warm\": {batch_scaling:.3} }},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"fanout_detail\": {{ \"connections\": {FANOUT_CONNECTIONS}, \"retried\": {fanout_retried} }},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"overload\": {{ \"burst\": {OVERLOAD_BURST}, \"completed\": {}, \
+         \"shed_initial\": {}, \"retry_rounds\": {}, \"completion_rate\": {:.4}, \
+         \"wall_s\": {:.6}, \"dropped\": 0 }},",
+        overload.completed,
+        overload.shed_initial,
+        overload.retry_rounds,
+        overload.completion_rate(),
+        overload.wall_s,
     );
     let _ = writeln!(json, "  \"server_report\": {}", summary.report.to_json());
     let _ = writeln!(json, "}}");

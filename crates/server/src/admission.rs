@@ -1,0 +1,363 @@
+//! Per-client fair admission for the event-driven serving core.
+//!
+//! Replaces the PR-4 global `BoundedQueue`'s `queue_full` cliff with
+//! a two-level policy (DESIGN.md §15):
+//!
+//! - **Per-client quotas**: each connection may have at most `quota`
+//!   requests queued + in flight. A client that pipelines past its
+//!   quota is shed with `over_quota` *without* starving anyone else —
+//!   one greedy client can no longer fill the global queue.
+//! - **Global capacity**: total queued work is still bounded
+//!   (`capacity`); past it, admission sheds with `queue_full`.
+//! - **Round-robin dispatch with priority preference**: workers pop
+//!   the highest head-of-line priority among clients with pending
+//!   work; among equal priorities, clients are served round-robin (the
+//!   served client rotates to the back), so a saturating burst from N
+//!   clients completes within one quota of each other — the fairness
+//!   property `tests/server.rs` checks.
+//! - **Shed hints instead of dead ends**: every shed carries a
+//!   [`Shed`] with `retry_after_ms`, derived from the current backlog
+//!   and an EWMA of observed service times — overload becomes "come
+//!   back in N ms", not a hard wall.
+//!
+//! Zero-loss invariant (PR 4): once [`Admission::offer`] returns `Ok`,
+//! the item *will* be popped and answered — `close()` stops admission
+//! but never discards queued work; [`Admission::pop`] drains to empty
+//! before returning `None`.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Condvar, Mutex};
+
+/// Why an offer was shed, plus the v2 hint payload.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) struct Shed {
+    /// Which limit was hit.
+    pub reason: ShedReason,
+    /// Suggested retry delay in milliseconds (backlog × EWMA service
+    /// time ÷ workers, clamped to 1..=10_000).
+    pub retry_after_ms: u64,
+    /// The offering client's queued + in-flight count at shed time.
+    pub client_queue_depth: usize,
+}
+
+/// The limit an offer ran into.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum ShedReason {
+    /// The client's own quota was exhausted.
+    OverQuota,
+    /// The global queue was at capacity.
+    QueueFull,
+    /// The server is draining and admits nothing.
+    Closed,
+}
+
+/// One popped unit of work: which client it belongs to and the item.
+pub(crate) struct Popped<T> {
+    /// The owning connection's id.
+    pub cid: u64,
+    /// The admitted item.
+    pub item: T,
+}
+
+/// Per-client bookkeeping. A record exists only while the client has
+/// queued or in-flight work — admission self-cleans, so thousands of
+/// short-lived connections leave nothing behind.
+struct ClientState<T> {
+    /// FIFO of this client's queued items with their priorities.
+    pending: VecDeque<(u8, T)>,
+    /// Items popped by workers but not yet completed.
+    in_flight: usize,
+}
+
+struct State<T> {
+    clients: HashMap<u64, ClientState<T>>,
+    /// Round-robin order over clients with non-empty `pending`; each
+    /// cid appears at most once.
+    rr: VecDeque<u64>,
+    /// Total queued items across all clients.
+    queued: usize,
+    /// Total popped-but-not-completed items.
+    in_flight: usize,
+    /// Deepest `queued` has ever been.
+    high_water: usize,
+    closed: bool,
+    /// EWMA of completed-request service time, seeding `retry_after_ms`
+    /// hints. Starts at 2 ms — roughly a small warm-cache mapping — so
+    /// the very first shed already gives a sane hint.
+    avg_service_ns: u64,
+}
+
+/// The fair admission queue. Shared between the event loop (offers,
+/// introspection) and the worker pool (pops, completions).
+pub(crate) struct Admission<T> {
+    state: Mutex<State<T>>,
+    /// Signals workers that work arrived or the queue closed.
+    ready: Condvar,
+    capacity: usize,
+    quota: usize,
+    /// Worker count, for scaling retry hints.
+    workers: usize,
+}
+
+impl<T> Admission<T> {
+    pub fn new(capacity: usize, quota: usize, workers: usize) -> Self {
+        Admission {
+            state: Mutex::new(State {
+                clients: HashMap::new(),
+                rr: VecDeque::new(),
+                queued: 0,
+                in_flight: 0,
+                high_water: 0,
+                closed: false,
+                avg_service_ns: 2_000_000,
+            }),
+            ready: Condvar::new(),
+            capacity: capacity.max(1),
+            quota: quota.max(1),
+            workers: workers.max(1),
+        }
+    }
+
+    /// Computes the current retry hint from a locked state: how long
+    /// the backlog should take to clear, spread across the workers.
+    fn hint_ms(&self, state: &State<T>) -> u64 {
+        let backlog = (state.queued + state.in_flight) as u64 + 1;
+        let per_worker = backlog.div_ceil(self.workers as u64);
+        (state.avg_service_ns.max(1_000_000) / 1_000_000)
+            .saturating_mul(per_worker)
+            .clamp(1, 10_000)
+    }
+
+    /// Offers one item on behalf of client `cid`. On admission returns
+    /// the client's queued + in-flight depth *after* the push; on shed
+    /// hands the item back with the typed reason and retry hint.
+    pub fn offer(&self, cid: u64, priority: u8, item: T) -> Result<usize, (Shed, T)> {
+        let mut state = self.state.lock().expect("admission poisoned");
+        let outstanding = state
+            .clients
+            .get(&cid)
+            .map_or(0, |c| c.pending.len() + c.in_flight);
+        let shed = |state: &State<T>, reason| Shed {
+            reason,
+            retry_after_ms: self.hint_ms(state),
+            client_queue_depth: outstanding,
+        };
+        if state.closed {
+            return Err((shed(&state, ShedReason::Closed), item));
+        }
+        if outstanding >= self.quota {
+            return Err((shed(&state, ShedReason::OverQuota), item));
+        }
+        if state.queued >= self.capacity {
+            return Err((shed(&state, ShedReason::QueueFull), item));
+        }
+        let client = state.clients.entry(cid).or_insert_with(|| ClientState {
+            pending: VecDeque::new(),
+            in_flight: 0,
+        });
+        let newly_pending = client.pending.is_empty();
+        client.pending.push_back((priority, item));
+        if newly_pending {
+            state.rr.push_back(cid);
+        }
+        state.queued += 1;
+        state.high_water = state.high_water.max(state.queued);
+        drop(state);
+        self.ready.notify_one();
+        Ok(outstanding + 1)
+    }
+
+    /// Blocks until work is available (or the queue is closed *and*
+    /// drained — `None`). Picks the highest head-of-line priority in
+    /// round-robin order and marks it in flight for its client.
+    pub fn pop(&self) -> Option<Popped<T>> {
+        let mut state = self.state.lock().expect("admission poisoned");
+        loop {
+            if state.queued > 0 {
+                // Scan the rotation for the best head-of-line priority;
+                // the earliest occurrence wins ties, so equal-priority
+                // clients are served strictly round-robin.
+                let mut best = 0usize;
+                let mut best_priority = 0u8;
+                for (i, cid) in state.rr.iter().enumerate() {
+                    let head = state.clients[cid].pending.front().map_or(0, |(p, _)| *p);
+                    if i == 0 || head > best_priority {
+                        best = i;
+                        best_priority = head;
+                    }
+                }
+                let cid = state.rr.remove(best).expect("rr index in range");
+                let client = state.clients.get_mut(&cid).expect("rr client exists");
+                let (_, item) = client.pending.pop_front().expect("rr client has work");
+                client.in_flight += 1;
+                if !client.pending.is_empty() {
+                    state.rr.push_back(cid);
+                }
+                state.queued -= 1;
+                state.in_flight += 1;
+                return Some(Popped { cid, item });
+            }
+            if state.closed {
+                return None;
+            }
+            state = self
+                .ready
+                .wait(state)
+                .expect("admission poisoned while waiting");
+        }
+    }
+
+    /// Marks one popped item finished, feeding its service time into
+    /// the EWMA behind `retry_after_ms` hints. Call *after* the item's
+    /// response frame has been queued for delivery — the event loop
+    /// uses `outstanding == 0` as "safe to drop this connection".
+    pub fn complete(&self, cid: u64, service_ns: u64) {
+        let mut state = self.state.lock().expect("admission poisoned");
+        state.avg_service_ns = (state.avg_service_ns * 7 + service_ns) / 8;
+        state.in_flight = state.in_flight.saturating_sub(1);
+        if let Some(client) = state.clients.get_mut(&cid) {
+            client.in_flight = client.in_flight.saturating_sub(1);
+            if client.pending.is_empty() && client.in_flight == 0 {
+                state.clients.remove(&cid);
+            }
+        }
+    }
+
+    /// The client's queued + in-flight count (0 once everything it
+    /// submitted has been completed).
+    pub fn outstanding(&self, cid: u64) -> usize {
+        let state = self.state.lock().expect("admission poisoned");
+        state
+            .clients
+            .get(&cid)
+            .map_or(0, |c| c.pending.len() + c.in_flight)
+    }
+
+    /// Total queued (not yet popped) items.
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("admission poisoned").queued
+    }
+
+    /// Total queued + in-flight items across all clients.
+    pub fn outstanding_total(&self) -> usize {
+        let state = self.state.lock().expect("admission poisoned");
+        state.queued + state.in_flight
+    }
+
+    /// Deepest the global queue has ever been.
+    pub fn high_water(&self) -> usize {
+        self.state.lock().expect("admission poisoned").high_water
+    }
+
+    /// Stops admission (future offers shed `Closed`); queued work still
+    /// drains through `pop`. Idempotent.
+    pub fn close(&self) {
+        let mut state = self.state.lock().expect("admission poisoned");
+        state.closed = true;
+        drop(state);
+        self.ready.notify_all();
+    }
+
+    /// The configured per-client quota.
+    pub fn quota(&self) -> usize {
+        self.quota
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quota_sheds_before_capacity() {
+        let adm: Admission<u32> = Admission::new(100, 2, 1);
+        assert_eq!(adm.offer(1, 0, 10), Ok(1));
+        assert_eq!(adm.offer(1, 0, 11), Ok(2));
+        let (shed, item) = adm.offer(1, 0, 12).unwrap_err();
+        assert_eq!(shed.reason, ShedReason::OverQuota);
+        assert_eq!(shed.client_queue_depth, 2);
+        assert!(shed.retry_after_ms >= 1);
+        assert_eq!(item, 12);
+        // A different client still gets in.
+        assert_eq!(adm.offer(2, 0, 20), Ok(1));
+        assert_eq!(adm.len(), 3);
+        assert_eq!(adm.high_water(), 3);
+    }
+
+    #[test]
+    fn capacity_sheds_across_clients() {
+        let adm: Admission<u32> = Admission::new(2, 10, 1);
+        assert!(adm.offer(1, 0, 1).is_ok());
+        assert!(adm.offer(2, 0, 2).is_ok());
+        let (shed, _) = adm.offer(3, 0, 3).unwrap_err();
+        assert_eq!(shed.reason, ShedReason::QueueFull);
+        assert_eq!(shed.client_queue_depth, 0, "client 3 had nothing queued");
+    }
+
+    #[test]
+    fn round_robin_interleaves_clients() {
+        let adm: Admission<u32> = Admission::new(100, 10, 1);
+        for i in 0..3 {
+            adm.offer(1, 0, 100 + i).unwrap();
+            adm.offer(2, 0, 200 + i).unwrap();
+        }
+        let order: Vec<u64> = (0..6).map(|_| adm.pop().unwrap().cid).collect();
+        assert_eq!(order, [1, 2, 1, 2, 1, 2], "strict alternation");
+    }
+
+    #[test]
+    fn priority_preempts_round_robin() {
+        let adm: Admission<u32> = Admission::new(100, 10, 1);
+        adm.offer(1, 0, 10).unwrap();
+        adm.offer(2, 0, 20).unwrap();
+        adm.offer(3, 5, 30).unwrap();
+        let first = adm.pop().unwrap();
+        assert_eq!((first.cid, first.item), (3, 30), "priority 5 jumps ahead");
+        assert_eq!(adm.pop().unwrap().cid, 1);
+        assert_eq!(adm.pop().unwrap().cid, 2);
+    }
+
+    #[test]
+    fn close_drains_without_loss() {
+        let adm: Admission<u32> = Admission::new(100, 10, 1);
+        adm.offer(1, 0, 1).unwrap();
+        adm.offer(1, 0, 2).unwrap();
+        adm.close();
+        assert_eq!(adm.offer(1, 0, 3).unwrap_err().0.reason, ShedReason::Closed);
+        // Everything admitted before close still comes out...
+        assert_eq!(adm.pop().unwrap().item, 1);
+        assert_eq!(adm.pop().unwrap().item, 2);
+        // ...and only then does pop report the end.
+        assert!(adm.pop().is_none());
+    }
+
+    #[test]
+    fn outstanding_tracks_in_flight_until_complete() {
+        let adm: Admission<u32> = Admission::new(100, 10, 2);
+        adm.offer(7, 0, 1).unwrap();
+        assert_eq!(adm.outstanding(7), 1);
+        let popped = adm.pop().unwrap();
+        assert_eq!(adm.len(), 0);
+        assert_eq!(adm.outstanding(7), 1, "in flight still counts");
+        assert_eq!(adm.outstanding_total(), 1);
+        adm.complete(popped.cid, 5_000_000);
+        assert_eq!(adm.outstanding(7), 0);
+        assert_eq!(adm.outstanding_total(), 0);
+    }
+
+    #[test]
+    fn hints_scale_with_backlog_and_workers() {
+        let one: Admission<u32> = Admission::new(100, 1, 1);
+        one.offer(1, 0, 1).unwrap();
+        let (shed_one, _) = one.offer(1, 0, 2).unwrap_err();
+        let many: Admission<u32> = Admission::new(100, 1, 8);
+        many.offer(1, 0, 1).unwrap();
+        let (shed_many, _) = many.offer(1, 0, 2).unwrap_err();
+        assert!(
+            shed_one.retry_after_ms >= shed_many.retry_after_ms,
+            "more workers clear the same backlog sooner ({} < {})",
+            shed_one.retry_after_ms,
+            shed_many.retry_after_ms
+        );
+    }
+}

@@ -4,7 +4,7 @@
 //! Follows the CLI's declarative-flag-table idiom: [`SERVE_FLAGS`]
 //! drives parsing, help generation, and unknown-flag rejection.
 
-use crate::server::ServeConfig;
+use crate::server::ServeOptions;
 
 /// One daemon flag: spelling, value placeholder (`None` for booleans),
 /// and help text.
@@ -36,6 +36,16 @@ pub const SERVE_FLAGS: &[ServeFlag] = &[
         help: "admission queue capacity before queue_full rejections (default 64)",
     },
     ServeFlag {
+        name: "--quota",
+        value: Some("N"),
+        help: "per-client cap on queued + in-flight requests (default 8)",
+    },
+    ServeFlag {
+        name: "--batch-limit",
+        value: Some("N"),
+        help: "max requests accepted per op:\"map_batch\" frame (default 64)",
+    },
+    ServeFlag {
         name: "--trace-capacity",
         value: Some("N"),
         help: "completed requests the op:\"trace\" ring remembers (default 128)",
@@ -61,6 +71,10 @@ pub struct ServeArgs {
     pub workers: usize,
     /// Admission queue capacity.
     pub queue: usize,
+    /// Per-client quota of queued + in-flight requests.
+    pub quota: usize,
+    /// Maximum requests per `map_batch` frame.
+    pub batch_limit: usize,
     /// `op: "trace"` ring capacity.
     pub trace_capacity: usize,
     /// Serve stdin/stdout instead of TCP.
@@ -69,12 +83,14 @@ pub struct ServeArgs {
 
 impl Default for ServeArgs {
     fn default() -> Self {
-        let config = ServeConfig::default();
+        let options = ServeOptions::default();
         ServeArgs {
-            port: 0,
-            workers: config.workers,
-            queue: config.queue_capacity,
-            trace_capacity: config.trace_capacity,
+            port: options.port,
+            workers: options.workers,
+            queue: options.queue_depth,
+            quota: options.client_quota,
+            batch_limit: options.batch_limit,
+            trace_capacity: options.trace_capacity,
             stdio: false,
         }
     }
@@ -126,6 +142,8 @@ impl ServeArgs {
                 }
                 "--workers" => parsed.workers = number("--workers")?,
                 "--queue" => parsed.queue = number("--queue")?,
+                "--quota" => parsed.quota = number("--quota")?,
+                "--batch-limit" => parsed.batch_limit = number("--batch-limit")?,
                 "--trace-capacity" => parsed.trace_capacity = number("--trace-capacity")?,
                 "--stdio" => parsed.stdio = true,
                 "--help" => {
@@ -138,20 +156,24 @@ impl ServeArgs {
         Ok(Some(parsed))
     }
 
-    /// The [`ServeConfig`] these arguments describe.
-    pub fn config(&self) -> ServeConfig {
-        ServeConfig {
-            workers: self.workers,
-            queue_capacity: self.queue,
-            trace_capacity: self.trace_capacity,
-        }
+    /// The [`ServeOptions`] these arguments describe.
+    #[must_use]
+    pub fn options(&self) -> ServeOptions {
+        ServeOptions::builder()
+            .port(self.port)
+            .workers(self.workers)
+            .queue_depth(self.queue)
+            .client_quota(self.quota)
+            .batch_limit(self.batch_limit)
+            .trace_capacity(self.trace_capacity)
+            .build()
     }
 }
 
 /// Prints the daemon's help, titled for whichever spelling invoked it
 /// (`chortle-serve` or `chortle-map serve`).
 pub fn print_serve_help(invocation: &str) {
-    println!("{invocation} — resident chortle mapping daemon (chortle-serve/v1)");
+    println!("{invocation} — resident chortle mapping daemon (chortle-serve/v1 + /v2)");
     println!();
     println!("Usage: {invocation} [OPTIONS]");
     println!();
@@ -188,7 +210,8 @@ mod tests {
             .expect("parses")
             .expect("not help");
         assert_eq!(parsed, ServeArgs::default());
-        assert_eq!(parsed.queue, 64, "default queue matches ServeConfig");
+        assert_eq!(parsed.queue, 64, "default queue matches ServeOptions");
+        assert_eq!(parsed.quota, 8, "default quota matches ServeOptions");
 
         let parsed = ServeArgs::parse(
             "chortle-serve",
@@ -199,6 +222,10 @@ mod tests {
                 "2",
                 "--queue",
                 "1",
+                "--quota",
+                "3",
+                "--batch-limit",
+                "16",
                 "--trace-capacity",
                 "16",
                 "--stdio",
@@ -212,12 +239,17 @@ mod tests {
                 port: 7643,
                 workers: 2,
                 queue: 1,
+                quota: 3,
+                batch_limit: 16,
                 trace_capacity: 16,
                 stdio: true,
             }
         );
-        assert_eq!(parsed.config().queue_capacity, 1);
-        assert_eq!(parsed.config().trace_capacity, 16);
+        let options = parsed.options();
+        assert_eq!(options.queue_depth, 1);
+        assert_eq!(options.client_quota, 3);
+        assert_eq!(options.batch_limit, 16);
+        assert_eq!(options.trace_capacity, 16);
     }
 
     #[test]

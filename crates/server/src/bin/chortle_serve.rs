@@ -9,16 +9,21 @@
 //! With `--stdio` the protocol itself owns stdout, and the final report
 //! goes to stderr instead.
 //!
-//! Client mode (`--connect HOST:PORT`) reads BLIF from a file argument
-//! or stdin, sends one `map` request, and prints the mapped netlist to
-//! stdout — byte-identical to `chortle-map` with the same flags. Admin
-//! requests: `--flush`, `--stats`, `--trace`, `--shutdown`. Exit code 1
-//! on any `rejected` response.
+//! Client mode (`--connect HOST:PORT`) reads BLIF from file arguments
+//! or stdin, sends one `map` request (or one `map_batch` frame with
+//! `--batch`), and prints the mapped netlists to stdout —
+//! byte-identical to `chortle-map` with the same flags. Admin requests:
+//! `--hello`, `--flush`, `--stats`, `--trace`, `--shutdown`. The wire
+//! version defaults to v2; `--proto v1` pins the frozen v1 shapes.
+//! Exit code 1 on any `rejected` response.
 
 use std::io::Read;
 use std::process::ExitCode;
 
-use chortle_server::{print_serve_help, run_daemon, Client, MapRequest, Response};
+use chortle_server::{
+    print_serve_help, run_daemon, BatchReply, Client, FlushReply, HelloReply, MapReply, MapRequest,
+    ProtocolVersion, Rejection, ShutdownReply, StatsReply, TraceReply, MAX_PRIORITY,
+};
 
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1).peekable();
@@ -42,7 +47,8 @@ fn main() -> ExitCode {
 
 /// What client mode should do once connected.
 enum ClientOp {
-    Map(Box<MapRequest>, Option<String>),
+    Map(Box<MapRequest>, Vec<String>, bool),
+    Hello,
     Flush,
     Stats,
     Trace,
@@ -52,16 +58,18 @@ enum ClientOp {
 struct ClientArgs {
     addr: String,
     id: String,
+    version: ProtocolVersion,
     op: ClientOp,
 }
 
 fn print_client_help() {
     println!();
-    println!("Client mode: chortle-serve --connect HOST:PORT [OPTIONS] [INPUT.blif]");
+    println!("Client mode: chortle-serve --connect HOST:PORT [OPTIONS] [INPUT.blif...]");
     println!();
     println!("Sends one request to a running daemon. BLIF is read from INPUT.blif");
-    println!("or stdin; the mapped netlist goes to stdout. Exit code 1 on any");
-    println!("rejected response.");
+    println!("or stdin; the mapped netlist goes to stdout. With --batch, every");
+    println!("INPUT.blif becomes one entry of a single op:\"map_batch\" frame and");
+    println!("the netlists print in order. Exit code 1 on any rejected response.");
     println!();
     println!("Client options:");
     println!("  -k N                LUT input count (default 4)");
@@ -70,7 +78,11 @@ fn print_client_help() {
     println!("  --objective GOAL    area (default) or depth");
     println!("  --no-optimize       skip the MIS-style optimization script");
     println!("  --deadline-ms N     per-request deadline in milliseconds");
+    println!("  --priority N        admission priority 0-9, higher first (v2; default 0)");
+    println!("  --proto VERSION     wire protocol: v2 (default) or v1");
     println!("  --id ID             correlation id echoed in the response");
+    println!("  --batch             send all inputs as one op:\"map_batch\" frame (v2)");
+    println!("  --hello             print the server's versions and limits instead");
     println!("  --flush             discard the server's warm cache instead of mapping");
     println!("  --stats             print the server's aggregate report instead of mapping");
     println!("  --trace             print the server's recent-request trace ring instead");
@@ -85,16 +97,13 @@ fn parse_client_args(
         return Err("--connect requires a value HOST:PORT".into());
     };
     let mut req = MapRequest {
-        blif: String::new(),
-        k: 4,
         jobs: 1,
-        cache: chortle::CacheMode::Shared,
-        objective: chortle::Objective::Area,
-        optimize: true,
-        deadline_ms: None,
+        ..MapRequest::default()
     };
     let mut id = String::new();
-    let mut input = None;
+    let mut version = ProtocolVersion::V2;
+    let mut inputs = Vec::new();
+    let mut batch = false;
     let mut admin = None;
     let mut args = args;
     while let Some(arg) = args.next() {
@@ -136,7 +145,29 @@ fn parse_client_args(
                         .map_err(|_| "invalid value for --deadline-ms".to_owned())?,
                 )
             }
+            "--priority" => {
+                let n = parse_number(&value("--priority")?, "--priority")?;
+                if n > usize::from(MAX_PRIORITY) {
+                    return Err(format!(
+                        "invalid value for --priority: {n} is above the maximum {MAX_PRIORITY}"
+                    ));
+                }
+                req.priority = n as u8;
+            }
+            "--proto" => {
+                version = match value("--proto")?.as_str() {
+                    "v1" | "1" => ProtocolVersion::V1,
+                    "v2" | "2" => ProtocolVersion::V2,
+                    other => {
+                        return Err(format!(
+                            "invalid value for --proto: {other:?} (expected v1 or v2)"
+                        ))
+                    }
+                }
+            }
             "--id" => id = value("--id")?,
+            "--batch" => batch = true,
+            "--hello" => admin = Some(ClientOp::Hello),
             "--flush" => admin = Some(ClientOp::Flush),
             "--stats" => admin = Some(ClientOp::Stats),
             "--trace" => admin = Some(ClientOp::Trace),
@@ -146,18 +177,50 @@ fn parse_client_args(
                 print_client_help();
                 return Ok(None);
             }
-            other if !other.starts_with('-') && input.is_none() => input = Some(arg),
+            other if !other.starts_with('-') => inputs.push(other.to_owned()),
             other => return Err(format!("unknown argument {other:?}")),
         }
     }
-    let op = admin.unwrap_or(ClientOp::Map(Box::new(req), input));
-    Ok(Some(ClientArgs { addr, id, op }))
+    if !batch && inputs.len() > 1 {
+        return Err(format!(
+            "{} input files given without --batch; a plain map takes at most one",
+            inputs.len()
+        ));
+    }
+    let op = admin.unwrap_or(ClientOp::Map(Box::new(req), inputs, batch));
+    Ok(Some(ClientArgs {
+        addr,
+        id,
+        version,
+        op,
+    }))
 }
 
 fn parse_number(value: &str, flag: &str) -> Result<usize, String> {
     value
         .parse()
         .map_err(|_| format!("invalid value for {flag}: {value:?} is not an integer"))
+}
+
+/// The reply enums are `#[non_exhaustive]`; a variant this binary does
+/// not know about means it is older than the library it links.
+fn unexpected_reply() -> ExitCode {
+    eprintln!("chortle-serve: server sent a reply this client does not understand");
+    ExitCode::FAILURE
+}
+
+fn report_rejection(rejection: &Rejection) -> ExitCode {
+    match rejection.retry_after_ms {
+        Some(ms) => eprintln!(
+            "chortle-serve: rejected ({}): {} (retry after {ms}ms)",
+            rejection.reason, rejection.detail
+        ),
+        None => eprintln!(
+            "chortle-serve: rejected ({}): {}",
+            rejection.reason, rejection.detail
+        ),
+    }
+    ExitCode::FAILURE
 }
 
 fn client_main(mut args: impl Iterator<Item = String>) -> ExitCode {
@@ -170,86 +233,184 @@ fn client_main(mut args: impl Iterator<Item = String>) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let mut client = match Client::connect(&parsed.addr) {
+    let mut client = match Client::connect_versioned(&parsed.addr, parsed.version) {
         Ok(client) => client,
         Err(e) => {
             eprintln!("chortle-serve: cannot connect to {}: {e}", parsed.addr);
             return ExitCode::FAILURE;
         }
     };
-    let response = match parsed.op {
-        ClientOp::Map(mut req, input) => {
-            req.blif = match read_input(input.as_deref()) {
-                Ok(blif) => blif,
+    let outcome = match parsed.op {
+        ClientOp::Map(req, inputs, batch) => {
+            return map_main(&mut client, &parsed.id, *req, &inputs, batch)
+        }
+        ClientOp::Hello => client.hello(&parsed.id).map(|reply| match reply {
+            HelloReply::Hello {
+                versions,
+                quota,
+                queue_depth,
+                batch_limit,
+            } => {
+                eprintln!(
+                    "server speaks {}; quota {quota}, queue {queue_depth}, batch limit {batch_limit}",
+                    versions.join(", ")
+                );
+                ExitCode::SUCCESS
+            }
+            HelloReply::Rejected(r) => report_rejection(&r),
+            _ => unexpected_reply(),
+        }),
+        ClientOp::Flush => client.flush(&parsed.id).map(|reply| match reply {
+            FlushReply::Flushed { cache_generation } => {
+                eprintln!("cache flushed; generation {cache_generation}");
+                ExitCode::SUCCESS
+            }
+            FlushReply::Rejected(r) => report_rejection(&r),
+            _ => unexpected_reply(),
+        }),
+        ClientOp::Stats => client.stats(&parsed.id).map(|reply| match reply {
+            StatsReply::Stats {
+                report_json,
+                uptime_s,
+                queue_depth,
+                queue_high_water,
+                ..
+            } => {
+                eprintln!(
+                    "uptime {uptime_s}s, queue depth {queue_depth} (high water {queue_high_water})"
+                );
+                println!("{report_json}");
+                ExitCode::SUCCESS
+            }
+            StatsReply::Rejected(r) => report_rejection(&r),
+            _ => unexpected_reply(),
+        }),
+        ClientOp::Trace => client.trace(&parsed.id).map(|reply| match reply {
+            TraceReply::Trace { capacity, requests } => {
+                eprintln!("{} of {capacity} remembered requests", requests.len());
+                for r in requests {
+                    println!(
+                        "{}\t{}\tqueue {}ns\trun {}ns\t{} LUTs depth {}",
+                        r.id, r.outcome, r.queue_ns, r.run_ns, r.luts, r.depth
+                    );
+                }
+                ExitCode::SUCCESS
+            }
+            TraceReply::Rejected(r) => report_rejection(&r),
+            _ => unexpected_reply(),
+        }),
+        ClientOp::Shutdown => client.shutdown(&parsed.id).map(|reply| match reply {
+            ShutdownReply::Draining => {
+                eprintln!("server is draining and will exit");
+                ExitCode::SUCCESS
+            }
+            ShutdownReply::Rejected(r) => report_rejection(&r),
+            _ => unexpected_reply(),
+        }),
+    };
+    match outcome {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("chortle-serve: request failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn map_main(
+    client: &mut Client,
+    id: &str,
+    template: MapRequest,
+    inputs: &[String],
+    batch: bool,
+) -> ExitCode {
+    if batch {
+        let mut requests = Vec::new();
+        for input in inputs {
+            match read_input(Some(input)) {
+                Ok(blif) => {
+                    let mut req = template.clone();
+                    req.blif = blif;
+                    requests.push(req);
+                }
                 Err(msg) => {
                     eprintln!("chortle-serve: {msg}");
                     return ExitCode::FAILURE;
                 }
-            };
-            client.map(&parsed.id, &req)
-        }
-        ClientOp::Flush => client.flush(&parsed.id),
-        ClientOp::Stats => client.stats(&parsed.id),
-        ClientOp::Trace => client.trace(&parsed.id),
-        ClientOp::Shutdown => client.shutdown(&parsed.id),
-    };
-    let response = match response {
-        Ok(response) => response,
-        Err(e) => {
-            eprintln!("chortle-serve: request failed: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
-    match response {
-        Response::MapOk {
-            luts,
-            depth,
-            cache_generation,
-            netlist,
-            ..
-        } => {
-            eprintln!("mapped: {luts} LUTs, depth {depth} (cache generation {cache_generation})");
-            print!("{netlist}");
-            ExitCode::SUCCESS
-        }
-        Response::FlushOk {
-            cache_generation, ..
-        } => {
-            eprintln!("cache flushed; generation {cache_generation}");
-            ExitCode::SUCCESS
-        }
-        Response::StatsOk {
-            report_json,
-            uptime_s,
-            queue_depth,
-            queue_high_water,
-            ..
-        } => {
-            eprintln!(
-                "uptime {uptime_s}s, queue depth {queue_depth} (high water {queue_high_water})"
-            );
-            println!("{report_json}");
-            ExitCode::SUCCESS
-        }
-        Response::TraceOk {
-            capacity, requests, ..
-        } => {
-            eprintln!("{} of {capacity} remembered requests", requests.len());
-            for r in requests {
-                println!(
-                    "{}\t{}\tqueue {}ns\trun {}ns\t{} LUTs depth {}",
-                    r.id, r.outcome, r.queue_ns, r.run_ns, r.luts, r.depth
-                );
             }
-            ExitCode::SUCCESS
         }
-        Response::ShutdownOk { .. } => {
-            eprintln!("server is draining and will exit");
-            ExitCode::SUCCESS
+        if requests.is_empty() {
+            // --batch with no file arguments: one entry from stdin.
+            match read_input(None) {
+                Ok(blif) => {
+                    let mut req = template;
+                    req.blif = blif;
+                    requests.push(req);
+                }
+                Err(msg) => {
+                    eprintln!("chortle-serve: {msg}");
+                    return ExitCode::FAILURE;
+                }
+            }
         }
-        Response::Rejected { reason, detail, .. } => {
-            eprintln!("chortle-serve: rejected ({reason}): {detail}");
-            ExitCode::FAILURE
+        let reply = match client.map_batch(id, &requests) {
+            Ok(reply) => reply,
+            Err(e) => {
+                eprintln!("chortle-serve: request failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match reply {
+            BatchReply::Results(results) => {
+                let mut code = ExitCode::SUCCESS;
+                for (i, result) in results.iter().enumerate() {
+                    match result {
+                        MapReply::Mapped(m) => {
+                            eprintln!(
+                                "mapped [{i}]: {} LUTs, depth {} (cache generation {})",
+                                m.luts, m.depth, m.cache_generation
+                            );
+                            print!("{}", m.netlist);
+                        }
+                        MapReply::Rejected(r) => {
+                            eprintln!(
+                                "chortle-serve: entry {i} rejected ({}): {}",
+                                r.reason, r.detail
+                            );
+                            code = ExitCode::FAILURE;
+                        }
+                        _ => code = unexpected_reply(),
+                    }
+                }
+                code
+            }
+            BatchReply::Rejected(r) => report_rejection(&r),
+            _ => unexpected_reply(),
+        }
+    } else {
+        let mut req = template;
+        req.blif = match read_input(inputs.first().map(String::as_str)) {
+            Ok(blif) => blif,
+            Err(msg) => {
+                eprintln!("chortle-serve: {msg}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match client.map(id, &req) {
+            Ok(MapReply::Mapped(m)) => {
+                eprintln!(
+                    "mapped: {} LUTs, depth {} (cache generation {})",
+                    m.luts, m.depth, m.cache_generation
+                );
+                print!("{}", m.netlist);
+                ExitCode::SUCCESS
+            }
+            Ok(MapReply::Rejected(r)) => report_rejection(&r),
+            Ok(_) => unexpected_reply(),
+            Err(e) => {
+                eprintln!("chortle-serve: request failed: {e}");
+                ExitCode::FAILURE
+            }
         }
     }
 }

@@ -1,6 +1,19 @@
-//! A small blocking client for `chortle-serve/v1` — used by the
-//! `chortle-serve --connect` CLI mode, the load generator, and the
+//! A blocking client for `chortle-serve` (protocol v1 and v2) — used by
+//! the `chortle-serve --connect` CLI mode, the load generator, and the
 //! server's own integration tests.
+//!
+//! Two layers:
+//!
+//! - [`parse_response`] + [`Response`]: the raw wire view — one variant
+//!   per response shape, version-agnostic. Kept for protocol-level
+//!   tests and pipelined readers.
+//! - [`Client`] with typed `map()`, `map_batch()`, `hello()`,
+//!   `stats()`, `flush()`, `trace()`, `shutdown()` methods, each
+//!   returning a small `#[non_exhaustive]` reply enum
+//!   ([`MapReply`], [`BatchReply`], …) — a rejection is a value, not an
+//!   error; `io::Error` is reserved for transport and protocol
+//!   failures. [`Client::connect`] speaks v2;
+//!   [`Client::connect_versioned`] pins v1 for compatibility testing.
 
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::TcpStream;
@@ -8,11 +21,13 @@ use std::net::TcpStream;
 use chortle_telemetry::json::{self, Value};
 
 use crate::proto::{
-    render_admin_request, render_map_request, MapRequest, Op, RequestTrace, PROTOCOL,
+    render_admin_request, render_batch_request, render_map_request, MapRequest, Op,
+    ProtocolVersion, RequestTrace, PROTOCOLS,
 };
 
-/// A parsed `chortle-serve/v1` response line.
+/// A parsed response line — the raw wire view, either version.
 #[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
 pub enum Response {
     /// `status: "ok"` for `op: "map"`.
     MapOk {
@@ -31,6 +46,27 @@ pub enum Response {
         netlist: String,
         /// The embedded per-request telemetry report, re-serialized.
         report_json: String,
+    },
+    /// `status: "ok"` for `op: "map_batch"` (v2) — one entry per
+    /// request, in request order.
+    BatchOk {
+        /// Echoed correlation id.
+        id: String,
+        /// Per-request outcomes.
+        results: Vec<MapReply>,
+    },
+    /// `status: "ok"` for `op: "hello"` (v2).
+    HelloOk {
+        /// Echoed correlation id.
+        id: String,
+        /// Protocol versions the server accepts, oldest first.
+        versions: Vec<String>,
+        /// Per-client quota of queued + in-flight requests.
+        quota: usize,
+        /// Global admission queue capacity.
+        queue_depth: usize,
+        /// Maximum requests per `map_batch` frame.
+        batch_limit: usize,
     },
     /// `status: "ok"` for `op: "flush"`.
     FlushOk {
@@ -69,26 +105,169 @@ pub enum Response {
         /// Echoed correlation id.
         id: String,
     },
-    /// `status: "rejected"` — any op.
+    /// `status: "rejected"` — any op, either version.
     Rejected {
         /// Echoed (possibly recovered) correlation id.
         id: String,
-        /// The typed reason (`queue_full`, `deadline_exceeded`,
-        /// `bad_request`, `shutting_down`, `internal`).
-        reason: String,
-        /// Human-readable detail.
-        detail: String,
+        /// The rejection payload.
+        rejection: Rejection,
     },
 }
 
-/// Parses one response line into a [`Response`].
+/// A typed rejection: the reason, human-readable detail, and — on v2
+/// load sheds — the retry hint.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct Rejection {
+    /// The typed reason (`queue_full`, `over_quota`,
+    /// `deadline_exceeded`, `bad_request`, `shutting_down`,
+    /// `internal`).
+    pub reason: String,
+    /// Human-readable detail.
+    pub detail: String,
+    /// v2 shed hint: when to retry, in milliseconds.
+    pub retry_after_ms: Option<u64>,
+    /// v2 shed hint: the client's queued + in-flight depth at shed
+    /// time.
+    pub client_queue_depth: Option<usize>,
+}
+
+/// One successfully mapped request, as the typed API returns it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct Mapped {
+    /// LUTs in the mapped circuit.
+    pub luts: usize,
+    /// LUT levels on the longest path.
+    pub depth: usize,
+    /// Warm-cache generation that served this request.
+    pub cache_generation: u64,
+    /// Server-measured execution time in nanoseconds.
+    pub run_ns: u64,
+    /// The mapped netlist (BLIF, model `mapped`), byte-identical to
+    /// offline `chortle-map` for the same parameters.
+    pub netlist: String,
+    /// The embedded per-request telemetry report, re-serialized.
+    pub report_json: String,
+}
+
+/// Outcome of [`Client::map`] — also the per-entry shape inside
+/// [`BatchReply::Results`].
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum MapReply {
+    /// The request mapped.
+    Mapped(Mapped),
+    /// The request was rejected (shed, deadline, malformed BLIF, …).
+    Rejected(Rejection),
+}
+
+/// Outcome of [`Client::map_batch`].
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum BatchReply {
+    /// The frame was accepted; per-request outcomes in request order
+    /// (individual entries may still be rejections).
+    Results(Vec<MapReply>),
+    /// The whole frame was rejected (malformed, over the batch limit,
+    /// shutdown).
+    Rejected(Rejection),
+}
+
+/// Outcome of [`Client::hello`].
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum HelloReply {
+    /// The server introduced itself.
+    Hello {
+        /// Protocol versions the server accepts, oldest first.
+        versions: Vec<String>,
+        /// Per-client quota of queued + in-flight requests.
+        quota: usize,
+        /// Global admission queue capacity.
+        queue_depth: usize,
+        /// Maximum requests per `map_batch` frame.
+        batch_limit: usize,
+    },
+    /// The handshake was rejected (e.g. sent over v1).
+    Rejected(Rejection),
+}
+
+/// Outcome of [`Client::flush`].
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum FlushReply {
+    /// The warm cache was discarded; its generation bumped.
+    Flushed {
+        /// The new (post-flush) cache generation.
+        cache_generation: u64,
+    },
+    /// The flush was rejected.
+    Rejected(Rejection),
+}
+
+/// Outcome of [`Client::stats`].
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum StatsReply {
+    /// The live introspection snapshot.
+    Stats {
+        /// Current cache generation.
+        cache_generation: u64,
+        /// Whole seconds since the server started.
+        uptime_s: u64,
+        /// Jobs queued at the moment of the snapshot.
+        queue_depth: usize,
+        /// The deepest the admission queue has ever been.
+        queue_high_water: usize,
+        /// The aggregate server report, re-serialized.
+        report_json: String,
+    },
+    /// The request was rejected.
+    Rejected(Rejection),
+}
+
+/// Outcome of [`Client::trace`].
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum TraceReply {
+    /// The recent-request ring.
+    Trace {
+        /// The configured ring capacity.
+        capacity: usize,
+        /// The remembered request traces, oldest first.
+        requests: Vec<RequestTrace>,
+    },
+    /// The request was rejected.
+    Rejected(Rejection),
+}
+
+/// Outcome of [`Client::shutdown`].
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum ShutdownReply {
+    /// The server acknowledged and is draining.
+    Draining,
+    /// The request was rejected.
+    Rejected(Rejection),
+}
+
+/// Parses one response line (either protocol version) into a
+/// [`Response`].
 ///
 /// # Errors
 ///
 /// Returns a description of the first deviation when the line is not a
-/// well-formed `chortle-serve/v1` response.
+/// well-formed `chortle-serve` response.
 pub fn parse_response(line: &str) -> Result<Response, String> {
     let value = json::parse(line).map_err(|e| format!("invalid JSON in response: {e}"))?;
+    let proto = value
+        .get("proto")
+        .and_then(Value::as_str)
+        .ok_or("response is missing string field \"proto\"")?;
+    if !PROTOCOLS.contains(&proto) {
+        return Err(format!("unexpected protocol {proto:?}"));
+    }
     let str_field = |key: &str| -> Result<String, String> {
         value
             .get(key)
@@ -102,16 +281,11 @@ pub fn parse_response(line: &str) -> Result<Response, String> {
             .and_then(Value::as_u64)
             .ok_or_else(|| format!("response is missing integer field {key:?}"))
     };
-    let proto = str_field("proto")?;
-    if proto != PROTOCOL {
-        return Err(format!("unexpected protocol {proto:?}"));
-    }
     let id = str_field("id")?;
     match str_field("status")?.as_str() {
         "rejected" => Ok(Response::Rejected {
             id,
-            reason: str_field("reason")?,
-            detail: str_field("detail")?,
+            rejection: parse_rejection(&value)?,
         }),
         "ok" => match str_field("op")?.as_str() {
             "map" => Ok(Response::MapOk {
@@ -126,6 +300,30 @@ pub fn parse_response(line: &str) -> Result<Response, String> {
                     .map(Value::to_json)
                     .ok_or("response is missing \"report\"")?,
             }),
+            "map_batch" => Ok(Response::BatchOk {
+                id,
+                results: parse_batch_results(&value)?,
+            }),
+            "hello" => {
+                let versions = value
+                    .get("versions")
+                    .and_then(Value::as_array)
+                    .ok_or("hello response is missing the \"versions\" array")?
+                    .iter()
+                    .map(|v| {
+                        v.as_str()
+                            .map(str::to_owned)
+                            .ok_or_else(|| "hello \"versions\" entries must be strings".to_owned())
+                    })
+                    .collect::<Result<Vec<String>, String>>()?;
+                Ok(Response::HelloOk {
+                    id,
+                    versions,
+                    quota: u64_field("quota")? as usize,
+                    queue_depth: u64_field("queue")? as usize,
+                    batch_limit: u64_field("batch_limit")? as usize,
+                })
+            }
             "flush" => Ok(Response::FlushOk {
                 id,
                 cache_generation: u64_field("cache_generation")?,
@@ -151,6 +349,70 @@ pub fn parse_response(line: &str) -> Result<Response, String> {
         },
         other => Err(format!("unknown status {other:?}")),
     }
+}
+
+/// Parses a rejection body — the top-level `status: "rejected"` shape
+/// and the per-entry batch shape are identical.
+fn parse_rejection(value: &Value) -> Result<Rejection, String> {
+    let text = |key: &str| {
+        value
+            .get(key)
+            .and_then(Value::as_str)
+            .map(str::to_owned)
+            .ok_or_else(|| format!("rejection is missing string field {key:?}"))
+    };
+    Ok(Rejection {
+        reason: text("reason")?,
+        detail: text("detail")?,
+        retry_after_ms: value.get("retry_after_ms").and_then(Value::as_u64),
+        client_queue_depth: value
+            .get("client_queue_depth")
+            .and_then(Value::as_u64)
+            .map(|v| v as usize),
+    })
+}
+
+fn parse_batch_results(value: &Value) -> Result<Vec<MapReply>, String> {
+    let items = value
+        .get("results")
+        .and_then(Value::as_array)
+        .ok_or("batch response is missing the \"results\" array")?;
+    items
+        .iter()
+        .map(|entry| {
+            let status = entry
+                .get("status")
+                .and_then(Value::as_str)
+                .ok_or("batch entry is missing string field \"status\"")?;
+            match status {
+                "rejected" => Ok(MapReply::Rejected(parse_rejection(entry)?)),
+                "ok" => {
+                    let number = |key: &str| {
+                        entry
+                            .get(key)
+                            .and_then(Value::as_u64)
+                            .ok_or_else(|| format!("batch entry is missing integer field {key:?}"))
+                    };
+                    Ok(MapReply::Mapped(Mapped {
+                        luts: number("luts")? as usize,
+                        depth: number("depth")? as usize,
+                        cache_generation: number("cache_generation")?,
+                        run_ns: number("run_ns")?,
+                        netlist: entry
+                            .get("netlist")
+                            .and_then(Value::as_str)
+                            .map(str::to_owned)
+                            .ok_or("batch entry is missing string field \"netlist\"")?,
+                        report_json: entry
+                            .get("report")
+                            .map(Value::to_json)
+                            .ok_or("batch entry is missing \"report\"")?,
+                    }))
+                }
+                other => Err(format!("unknown batch entry status {other:?}")),
+            }
+        })
+        .collect()
 }
 
 fn parse_trace_entries(value: &Value) -> Result<Vec<RequestTrace>, String> {
@@ -184,38 +446,102 @@ fn parse_trace_entries(value: &Value) -> Result<Vec<RequestTrace>, String> {
         .collect()
 }
 
+fn mapped_from(response: Response) -> io::Result<MapReply> {
+    match response {
+        Response::MapOk {
+            luts,
+            depth,
+            cache_generation,
+            run_ns,
+            netlist,
+            report_json,
+            ..
+        } => Ok(MapReply::Mapped(Mapped {
+            luts,
+            depth,
+            cache_generation,
+            run_ns,
+            netlist,
+            report_json,
+        })),
+        Response::Rejected { rejection, .. } => Ok(MapReply::Rejected(rejection)),
+        other => Err(unexpected("map", &other)),
+    }
+}
+
+fn unexpected(op: &str, response: &Response) -> io::Error {
+    io::Error::other(format!(
+        "server answered op \"{op}\" with an unrelated response: {response:?}"
+    ))
+}
+
 /// A blocking connection to a running `chortle-serve` daemon. One
-/// request/response round trip at a time; open several clients for
-/// concurrency.
+/// request/response round trip at a time; pipeline with
+/// [`Client::send_line`] + [`Client::recv_response`], or open several
+/// clients for concurrency.
 pub struct Client {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
+    version: ProtocolVersion,
 }
 
 impl Client {
-    /// Connects to `addr` (e.g. `"127.0.0.1:7643"`).
+    /// Connects to `addr` (e.g. `"127.0.0.1:7643"`) speaking protocol
+    /// v2.
     ///
     /// # Errors
     ///
     /// Propagates the connection failure.
     pub fn connect(addr: &str) -> io::Result<Client> {
+        Client::connect_versioned(addr, ProtocolVersion::V2)
+    }
+
+    /// Connects speaking a specific protocol version — v1 keeps old
+    /// deployments testable against new servers.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the connection failure.
+    pub fn connect_versioned(addr: &str, version: ProtocolVersion) -> io::Result<Client> {
         let stream = TcpStream::connect(addr)?;
-        // One request, one response: disable Nagle so small request
-        // lines are not held back waiting for delayed ACKs.
+        // Request/response over localhost: disable Nagle so small
+        // request lines are not held back waiting for delayed ACKs.
         stream.set_nodelay(true)?;
         let writer = stream.try_clone()?;
         Ok(Client {
             reader: BufReader::new(stream),
             writer,
+            version,
         })
     }
 
-    fn roundtrip(&mut self, line: &str) -> io::Result<Response> {
+    /// The protocol version this client renders requests in.
+    #[must_use]
+    pub fn version(&self) -> ProtocolVersion {
+        self.version
+    }
+
+    /// Writes one request line without waiting for the response —
+    /// pipelining building block.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures.
+    pub fn send_line(&mut self, line: &str) -> io::Result<()> {
         let mut framed = String::with_capacity(line.len() + 1);
         framed.push_str(line);
         framed.push('\n');
         self.writer.write_all(framed.as_bytes())?;
-        self.writer.flush()?;
+        self.writer.flush()
+    }
+
+    /// Reads and parses the next response line — pipelining building
+    /// block.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures, EOF, and malformed response lines.
+    pub fn recv_response(&mut self) -> io::Result<Response> {
         let mut response = String::new();
         let n = self.reader.read_line(&mut response)?;
         if n == 0 {
@@ -227,52 +553,137 @@ impl Client {
         parse_response(response.trim_end()).map_err(io::Error::other)
     }
 
-    /// Sends a `map` request and waits for its response.
+    fn roundtrip(&mut self, line: &str) -> io::Result<Response> {
+        self.send_line(line)?;
+        self.recv_response()
+    }
+
+    /// Maps one netlist.
     ///
     /// # Errors
     ///
-    /// I/O failures and malformed response lines.
-    pub fn map(&mut self, id: &str, req: &MapRequest) -> io::Result<Response> {
-        self.roundtrip(&render_map_request(id, req))
+    /// I/O failures and malformed or unrelated response lines; a
+    /// rejection is a [`MapReply::Rejected`] value, not an error.
+    pub fn map(&mut self, id: &str, req: &MapRequest) -> io::Result<MapReply> {
+        let response = self.roundtrip(&render_map_request(self.version, id, req))?;
+        mapped_from(response)
     }
 
-    /// Sends a `flush` request and waits for its response.
+    /// Maps many netlists in one `map_batch` frame (v2 only — a v1
+    /// client gets a protocol rejection back from the server).
     ///
     /// # Errors
     ///
-    /// I/O failures and malformed response lines.
-    pub fn flush(&mut self, id: &str) -> io::Result<Response> {
-        self.roundtrip(&render_admin_request(id, &Op::Flush))
+    /// I/O failures and malformed or unrelated response lines.
+    pub fn map_batch(&mut self, id: &str, requests: &[MapRequest]) -> io::Result<BatchReply> {
+        let response = self.roundtrip(&render_batch_request(id, requests))?;
+        match response {
+            Response::BatchOk { results, .. } => Ok(BatchReply::Results(results)),
+            Response::Rejected { rejection, .. } => Ok(BatchReply::Rejected(rejection)),
+            other => Err(unexpected("map_batch", &other)),
+        }
     }
 
-    /// Sends a `stats` request and waits for its response.
+    /// Performs the v2 version-negotiation handshake.
     ///
     /// # Errors
     ///
-    /// I/O failures and malformed response lines.
-    pub fn stats(&mut self, id: &str) -> io::Result<Response> {
-        self.roundtrip(&render_admin_request(id, &Op::Stats))
+    /// I/O failures and malformed or unrelated response lines.
+    pub fn hello(&mut self, id: &str) -> io::Result<HelloReply> {
+        let line = render_admin_request(self.version, id, &Op::Hello);
+        match self.roundtrip(&line)? {
+            Response::HelloOk {
+                versions,
+                quota,
+                queue_depth,
+                batch_limit,
+                ..
+            } => Ok(HelloReply::Hello {
+                versions,
+                quota,
+                queue_depth,
+                batch_limit,
+            }),
+            Response::Rejected { rejection, .. } => Ok(HelloReply::Rejected(rejection)),
+            other => Err(unexpected("hello", &other)),
+        }
     }
 
-    /// Sends a `trace` request and waits for its response.
+    /// Discards the server's warm cache.
     ///
     /// # Errors
     ///
-    /// I/O failures and malformed response lines.
-    pub fn trace(&mut self, id: &str) -> io::Result<Response> {
-        self.roundtrip(&render_admin_request(id, &Op::Trace))
+    /// I/O failures and malformed or unrelated response lines.
+    pub fn flush(&mut self, id: &str) -> io::Result<FlushReply> {
+        let line = render_admin_request(self.version, id, &Op::Flush);
+        match self.roundtrip(&line)? {
+            Response::FlushOk {
+                cache_generation, ..
+            } => Ok(FlushReply::Flushed { cache_generation }),
+            Response::Rejected { rejection, .. } => Ok(FlushReply::Rejected(rejection)),
+            other => Err(unexpected("flush", &other)),
+        }
     }
 
-    /// Sends a `shutdown` request and waits for its acknowledgement.
+    /// Fetches the live introspection snapshot.
     ///
     /// # Errors
     ///
-    /// I/O failures and malformed response lines.
-    pub fn shutdown(&mut self, id: &str) -> io::Result<Response> {
-        self.roundtrip(&render_admin_request(id, &Op::Shutdown))
+    /// I/O failures and malformed or unrelated response lines.
+    pub fn stats(&mut self, id: &str) -> io::Result<StatsReply> {
+        let line = render_admin_request(self.version, id, &Op::Stats);
+        match self.roundtrip(&line)? {
+            Response::StatsOk {
+                cache_generation,
+                uptime_s,
+                queue_depth,
+                queue_high_water,
+                report_json,
+                ..
+            } => Ok(StatsReply::Stats {
+                cache_generation,
+                uptime_s,
+                queue_depth,
+                queue_high_water,
+                report_json,
+            }),
+            Response::Rejected { rejection, .. } => Ok(StatsReply::Rejected(rejection)),
+            other => Err(unexpected("stats", &other)),
+        }
     }
 
-    /// Sends a raw request line verbatim (for protocol tests).
+    /// Fetches the recent-request trace ring.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures and malformed or unrelated response lines.
+    pub fn trace(&mut self, id: &str) -> io::Result<TraceReply> {
+        let line = render_admin_request(self.version, id, &Op::Trace);
+        match self.roundtrip(&line)? {
+            Response::TraceOk {
+                capacity, requests, ..
+            } => Ok(TraceReply::Trace { capacity, requests }),
+            Response::Rejected { rejection, .. } => Ok(TraceReply::Rejected(rejection)),
+            other => Err(unexpected("trace", &other)),
+        }
+    }
+
+    /// Asks the server to drain and exit.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures and malformed or unrelated response lines.
+    pub fn shutdown(&mut self, id: &str) -> io::Result<ShutdownReply> {
+        let line = render_admin_request(self.version, id, &Op::Shutdown);
+        match self.roundtrip(&line)? {
+            Response::ShutdownOk { .. } => Ok(ShutdownReply::Draining),
+            Response::Rejected { rejection, .. } => Ok(ShutdownReply::Rejected(rejection)),
+            other => Err(unexpected("shutdown", &other)),
+        }
+    }
+
+    /// Sends a raw request line verbatim and parses the wire response
+    /// (for protocol tests).
     ///
     /// # Errors
     ///
@@ -285,29 +696,46 @@ impl Client {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::proto::{render_map_ok, render_rejected, RejectReason};
+    use crate::proto::{
+        render_batch_ok, render_hello_ok, render_map_ok, render_rejected, BatchItem, MapPayload,
+        RejectReason, ServerLimits, ShedHint,
+    };
+    use ProtocolVersion::{V1, V2};
+
+    fn payload() -> MapPayload {
+        MapPayload {
+            luts: 9,
+            depth: 3,
+            cache_generation: 2,
+            run_ns: 5_000,
+            netlist: ".model mapped\n.end\n".into(),
+            report_json: "{\"a\":1}".into(),
+        }
+    }
 
     #[test]
-    fn parses_rendered_responses() {
-        let ok = render_map_ok("q", 9, 3, 2, 5_000, ".model mapped\n.end\n", "{\"a\":1}");
-        match parse_response(&ok).expect("parses") {
-            Response::MapOk {
-                id,
-                luts,
-                depth,
-                cache_generation,
-                run_ns,
-                netlist,
-                report_json,
-            } => {
-                assert_eq!((id.as_str(), luts, depth, cache_generation), ("q", 9, 3, 2));
-                assert_eq!(run_ns, 5_000);
-                assert_eq!(netlist, ".model mapped\n.end\n");
-                assert_eq!(report_json, "{\"a\":1}");
+    fn parses_rendered_responses_both_versions() {
+        for version in [V1, V2] {
+            let ok = render_map_ok(version, "q", &payload());
+            match parse_response(&ok).expect("parses") {
+                Response::MapOk {
+                    id,
+                    luts,
+                    depth,
+                    cache_generation,
+                    run_ns,
+                    netlist,
+                    report_json,
+                } => {
+                    assert_eq!((id.as_str(), luts, depth, cache_generation), ("q", 9, 3, 2));
+                    assert_eq!(run_ns, 5_000);
+                    assert_eq!(netlist, ".model mapped\n.end\n");
+                    assert_eq!(report_json, "{\"a\":1}");
+                }
+                other => panic!("expected MapOk, got {other:?}"),
             }
-            other => panic!("expected MapOk, got {other:?}"),
         }
-        let stats = crate::proto::render_stats_ok("s", 1, 9, 0, 4, "{\"a\":1}");
+        let stats = crate::proto::render_stats_ok(V1, "s", 1, 9, 0, 4, "{\"a\":1}");
         match parse_response(&stats).expect("parses") {
             Response::StatsOk {
                 uptime_s,
@@ -325,7 +753,7 @@ mod tests {
             luts: 0,
             depth: 0,
         }];
-        let trace = crate::proto::render_trace_ok("t", 4, &ring);
+        let trace = crate::proto::render_trace_ok(V2, "t", 4, &ring);
         match parse_response(&trace).expect("parses") {
             Response::TraceOk {
                 capacity, requests, ..
@@ -335,15 +763,95 @@ mod tests {
             }
             other => panic!("expected TraceOk, got {other:?}"),
         }
-        let rej = render_rejected("r", RejectReason::DeadlineExceeded, "too slow");
-        assert_eq!(
-            parse_response(&rej).expect("parses"),
-            Response::Rejected {
-                id: "r".into(),
-                reason: "deadline_exceeded".into(),
-                detail: "too slow".into(),
-            }
-        );
         assert!(parse_response("{}").is_err());
+    }
+
+    #[test]
+    fn parses_v1_rejections_without_hints() {
+        let rej = render_rejected(V1, "r", RejectReason::DeadlineExceeded, "too slow", None);
+        match parse_response(&rej).expect("parses") {
+            Response::Rejected { id, rejection } => {
+                assert_eq!(id, "r");
+                assert_eq!(rejection.reason, "deadline_exceeded");
+                assert_eq!(rejection.detail, "too slow");
+                assert_eq!(rejection.retry_after_ms, None);
+                assert_eq!(rejection.client_queue_depth, None);
+            }
+            other => panic!("expected Rejected, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_v2_rejections_with_hints() {
+        let hint = ShedHint {
+            retry_after_ms: 25,
+            client_queue_depth: 8,
+        };
+        let rej = render_rejected(V2, "r", RejectReason::OverQuota, "busy", Some(&hint));
+        match parse_response(&rej).expect("parses") {
+            Response::Rejected { rejection, .. } => {
+                assert_eq!(rejection.reason, "over_quota");
+                assert_eq!(rejection.retry_after_ms, Some(25));
+                assert_eq!(rejection.client_queue_depth, Some(8));
+            }
+            other => panic!("expected Rejected, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_batch_and_hello_responses() {
+        let frame = render_batch_ok(
+            "b",
+            &[
+                BatchItem::Mapped(payload()),
+                BatchItem::Rejected {
+                    reason: RejectReason::QueueFull,
+                    detail: "full".into(),
+                    hint: Some(ShedHint {
+                        retry_after_ms: 7,
+                        client_queue_depth: 3,
+                    }),
+                },
+            ],
+        );
+        match parse_response(&frame).expect("parses") {
+            Response::BatchOk { id, results } => {
+                assert_eq!(id, "b");
+                assert_eq!(results.len(), 2);
+                match &results[0] {
+                    MapReply::Mapped(m) => assert_eq!((m.luts, m.depth), (9, 3)),
+                    other => panic!("expected Mapped, got {other:?}"),
+                }
+                match &results[1] {
+                    MapReply::Rejected(r) => {
+                        assert_eq!(r.reason, "queue_full");
+                        assert_eq!(r.retry_after_ms, Some(7));
+                    }
+                    other => panic!("expected Rejected, got {other:?}"),
+                }
+            }
+            other => panic!("expected BatchOk, got {other:?}"),
+        }
+        let hello = render_hello_ok(
+            "h",
+            &ServerLimits {
+                quota: 8,
+                queue_depth: 64,
+                batch_limit: 32,
+            },
+        );
+        match parse_response(&hello).expect("parses") {
+            Response::HelloOk {
+                versions,
+                quota,
+                queue_depth,
+                batch_limit,
+                ..
+            } => {
+                assert_eq!(versions, PROTOCOLS);
+                assert_eq!((quota, queue_depth, batch_limit), (8, 64, 32));
+            }
+            other => panic!("expected HelloOk, got {other:?}"),
+        }
     }
 }

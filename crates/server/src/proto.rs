@@ -1,4 +1,4 @@
-//! The `chortle-serve/v1` wire protocol.
+//! The `chortle-serve` wire protocol, versions 1 and 2.
 //!
 //! One request per line, one response per line, both JSON objects —
 //! newline-delimited so clients can speak it with a buffered reader and
@@ -7,43 +7,101 @@
 //! style (`write_string` for escaping), so the whole protocol stays
 //! std-only.
 //!
-//! ## Grammar (see DESIGN.md §12 for the full semantics)
+//! ## Versioning
 //!
-//! Request keys: `proto` (required, `"chortle-serve/v1"`), `id`
-//! (optional string, echoed verbatim), `op` (`"map"` default, `"flush"`,
-//! `"stats"`, `"trace"`, `"shutdown"`); for `op: "map"` also `blif` (required),
-//! `k` (default 4), `jobs` (default 0 = host parallelism), `cache`
-//! (`"shared"`/`"tree"`/`"off"`, default shared), `objective`
-//! (`"area"`/`"depth"`, default area), `optimize` (default true) and
-//! `deadline_ms` (optional). Unknown keys, unknown enum values, and
-//! admin requests carrying map-only keys are rejected — a versioned
-//! protocol fails loudly instead of guessing.
+//! Every frame carries a `proto` tag. The server accepts both
+//! `chortle-serve/v1` and `chortle-serve/v2` on the same connection,
+//! decides per frame, and always answers in the shape of the version
+//! the request spoke — a v1 client sees exactly the v1 responses it
+//! always saw, byte for byte. A client can discover what the server
+//! speaks with the v2 `op: "hello"` handshake instead of guessing.
 //!
-//! Responses carry `status: "ok"` with per-op payloads, or
-//! `status: "rejected"` with a typed `reason` ([`RejectReason`]) and a
-//! human-readable `detail`.
+//! ## v1 grammar (unchanged; see DESIGN.md §12)
+//!
+//! Request keys: `proto` (required), `id` (optional string, echoed
+//! verbatim), `op` (`"map"` default, `"flush"`, `"stats"`, `"trace"`,
+//! `"shutdown"`); for `op: "map"` also `blif` (required), `k` (default
+//! 4), `jobs` (default 0 = host parallelism), `cache`
+//! (`"shared"`/`"tree"`/`"off"`), `objective` (`"area"`/`"depth"`),
+//! `optimize` (default true) and `deadline_ms`. Unknown keys, unknown
+//! enum values, and admin requests carrying map-only keys are rejected
+//! — a versioned protocol fails loudly instead of guessing.
+//!
+//! ## v2 additions (see DESIGN.md §15)
+//!
+//! - `op: "hello"` — version negotiation: the response lists the
+//!   protocol versions the server accepts plus its admission limits
+//!   (`quota`, `queue`, `batch_limit`).
+//! - `op: "map_batch"` — many netlists in one frame: a `requests`
+//!   array of per-netlist objects (same knobs as a v1 `map`, plus
+//!   `priority`); the response is a single frame with a `results`
+//!   array in request order, so parse/serialize cost is amortized per
+//!   frame instead of per request.
+//! - `priority` (0 = default .. 9 = most urgent) on `map`, on
+//!   `map_batch` frames (a default for their entries), and on batch
+//!   entries.
+//! - Structured rejections: v2 `status: "rejected"` frames caused by
+//!   load-shedding additionally carry `retry_after_ms` (when the
+//!   client should retry) and `client_queue_depth` (how much of its
+//!   quota the client was using), so overload is a *hint*, not a
+//!   dead-end.
 
 use chortle::{CacheMode, Objective};
 use chortle_telemetry::json::{self, write_string, Value};
 
-/// The protocol version tag every request and response carries.
-pub const PROTOCOL: &str = "chortle-serve/v1";
+/// The version-1 protocol tag.
+pub const PROTOCOL_V1: &str = "chortle-serve/v1";
+/// The version-2 protocol tag.
+pub const PROTOCOL_V2: &str = "chortle-serve/v2";
+/// Every protocol version this build accepts, oldest first.
+pub const PROTOCOLS: &[&str] = &[PROTOCOL_V1, PROTOCOL_V2];
 
-/// A parsed request: the echoed `id` plus the operation.
+/// The highest request priority (`priority` is `0..=MAX_PRIORITY`).
+pub const MAX_PRIORITY: u8 = 9;
+
+/// Which protocol version a frame spoke. Responses always mirror the
+/// request's version.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ProtocolVersion {
+    /// `chortle-serve/v1`: single-request frames only.
+    V1,
+    /// `chortle-serve/v2`: hello, batching, priorities, shed hints.
+    V2,
+}
+
+impl ProtocolVersion {
+    /// The wire spelling of the version tag.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ProtocolVersion::V1 => PROTOCOL_V1,
+            ProtocolVersion::V2 => PROTOCOL_V2,
+        }
+    }
+}
+
+/// A parsed request: the echoed `id`, the version it spoke, and the
+/// operation.
 #[derive(Clone, Debug, PartialEq)]
 pub struct Request {
     /// Client-chosen correlation id, echoed verbatim in the response
     /// (empty when absent).
     pub id: String,
+    /// Which protocol version the frame spoke (responses mirror it).
+    pub version: ProtocolVersion,
     /// The requested operation.
     pub op: Op,
 }
 
-/// The operations of `chortle-serve/v1`.
+/// The operations of the protocol.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Op {
-    /// Map an inline BLIF network into K-input LUTs.
+    /// Version negotiation (v2): list the versions and limits.
+    Hello,
+    /// Map one inline BLIF network into K-input LUTs.
     Map(MapRequest),
+    /// Map many netlists in one frame (v2).
+    MapBatch(BatchRequest),
     /// Discard the warm cross-request DP cache and bump its generation.
     Flush,
     /// Return the aggregate server telemetry report so far.
@@ -73,7 +131,7 @@ pub struct RequestTrace {
     pub depth: usize,
 }
 
-/// The payload of a `map` request.
+/// The payload of a `map` request (also one entry of a `map_batch`).
 #[derive(Clone, Debug, PartialEq)]
 pub struct MapRequest {
     /// The network to map, as inline BLIF text.
@@ -94,14 +152,44 @@ pub struct MapRequest {
     /// Per-request deadline in milliseconds from admission. `None` means
     /// unbounded.
     pub deadline_ms: Option<u64>,
+    /// Dispatch priority, `0` (default) to [`MAX_PRIORITY`] (most
+    /// urgent). v2 only on the wire; v1 frames always parse as 0.
+    pub priority: u8,
+}
+
+impl Default for MapRequest {
+    fn default() -> Self {
+        MapRequest {
+            blif: String::new(),
+            k: 4,
+            jobs: 0,
+            cache: CacheMode::Shared,
+            objective: Objective::Area,
+            optimize: true,
+            deadline_ms: None,
+            priority: 0,
+        }
+    }
+}
+
+/// The payload of a v2 `map_batch` request.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BatchRequest {
+    /// The netlists to map, answered in this order in one frame.
+    pub requests: Vec<MapRequest>,
 }
 
 /// Typed rejection reasons — the `reason` field of a
 /// `status: "rejected"` response.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum RejectReason {
-    /// The bounded admission queue was full; retry later.
+    /// The global admission queue was at capacity; retry later (v2
+    /// rejections carry a `retry_after_ms` hint).
     QueueFull,
+    /// The connection already had its full per-client quota of requests
+    /// queued or in flight (v2 only; v1 responses spell this
+    /// `queue_full` because v1 predates per-client admission).
+    OverQuota,
     /// The request's `deadline_ms` expired before mapping finished
     /// (partial work discarded).
     DeadlineExceeded,
@@ -117,9 +205,11 @@ pub enum RejectReason {
 
 impl RejectReason {
     /// The wire spelling of the reason.
+    #[must_use]
     pub fn as_str(self) -> &'static str {
         match self {
             RejectReason::QueueFull => "queue_full",
+            RejectReason::OverQuota => "over_quota",
             RejectReason::DeadlineExceeded => "deadline_exceeded",
             RejectReason::BadRequest => "bad_request",
             RejectReason::ShuttingDown => "shutting_down",
@@ -128,19 +218,81 @@ impl RejectReason {
     }
 }
 
+/// The load-shedding hint attached to v2 admission rejections.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShedHint {
+    /// When the client should retry, in milliseconds — derived from the
+    /// current backlog and the server's moving average service time.
+    pub retry_after_ms: u64,
+    /// How many of the client's own requests were queued or in flight
+    /// when the shed happened.
+    pub client_queue_depth: usize,
+}
+
+/// The mapped-request payload every successful `map` response (and
+/// every successful `map_batch` entry) carries.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MapPayload {
+    /// LUTs in the mapped circuit.
+    pub luts: usize,
+    /// LUT levels on the longest path.
+    pub depth: usize,
+    /// Warm-cache generation that served the request.
+    pub cache_generation: u64,
+    /// Server-measured execution time in nanoseconds — the exact value
+    /// the server buckets into its `serve.run_ns` histogram.
+    pub run_ns: u64,
+    /// The mapped netlist (BLIF, model `mapped`), byte-identical to the
+    /// offline CLI's stdout for the same request parameters.
+    pub netlist: String,
+    /// The embedded per-request telemetry report (serialized JSON).
+    pub report_json: String,
+}
+
+/// One entry of a `map_batch` response, in request order.
+#[derive(Clone, Debug, PartialEq)]
+pub enum BatchItem {
+    /// This netlist mapped successfully.
+    Mapped(MapPayload),
+    /// This netlist was rejected (shed at admission, deadline, …).
+    Rejected {
+        /// The typed reason.
+        reason: RejectReason,
+        /// Human-readable detail.
+        detail: String,
+        /// The shed hint, when admission (not the request itself) was
+        /// the cause.
+        hint: Option<ShedHint>,
+    },
+}
+
+/// The server limits a `hello` response advertises.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ServerLimits {
+    /// Per-client quota of queued + in-flight requests.
+    pub quota: usize,
+    /// Global admission queue capacity.
+    pub queue_depth: usize,
+    /// Maximum netlists per `map_batch` frame.
+    pub batch_limit: usize,
+}
+
 /// A protocol-level parse failure: the rejection detail plus whatever
-/// `id` could still be recovered for the response.
+/// `id` and version could still be recovered for the response.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ProtoError {
     /// Best-effort recovered correlation id (empty if the line was not
     /// even JSON).
     pub id: String,
+    /// Best-effort recovered protocol version (defaults to v1 so error
+    /// responses are parseable by the oldest clients).
+    pub version: ProtocolVersion,
     /// Human-readable description of the first deviation.
     pub detail: String,
 }
 
-/// Every key `chortle-serve/v1` knows; anything else is rejected.
-const KNOWN_KEYS: &[&str] = &[
+/// Keys valid on every v1 frame; anything else is rejected.
+const V1_KEYS: &[&str] = &[
     "proto",
     "id",
     "op",
@@ -153,7 +305,23 @@ const KNOWN_KEYS: &[&str] = &[
     "deadline_ms",
 ];
 
-/// Keys that only make sense on `op: "map"`.
+/// Keys valid on every v2 frame: the v1 set plus batching/priority.
+const V2_KEYS: &[&str] = &[
+    "proto",
+    "id",
+    "op",
+    "blif",
+    "k",
+    "jobs",
+    "cache",
+    "objective",
+    "optimize",
+    "deadline_ms",
+    "priority",
+    "requests",
+];
+
+/// Keys that only make sense on `op: "map"` (v1 and v2).
 const MAP_KEYS: &[&str] = &[
     "blif",
     "k",
@@ -164,7 +332,7 @@ const MAP_KEYS: &[&str] = &[
     "deadline_ms",
 ];
 
-/// Parses one request line.
+/// Parses one request line, accepting both protocol versions.
 ///
 /// # Errors
 ///
@@ -172,71 +340,124 @@ const MAP_KEYS: &[&str] = &[
 /// malformed JSON, a wrong or missing protocol tag, unknown keys or
 /// ops, wrong value kinds, or admin ops carrying map-only keys.
 pub fn parse_request(line: &str) -> Result<Request, ProtoError> {
-    let fail = |id: &str, detail: String| ProtoError {
+    let fail = |id: &str, version: ProtocolVersion, detail: String| ProtoError {
         id: id.to_owned(),
+        version,
         detail,
     };
-    let value = json::parse(line).map_err(|e| fail("", format!("invalid JSON: {e}")))?;
+    use ProtocolVersion::{V1, V2};
+    let value = json::parse(line).map_err(|e| fail("", V1, format!("invalid JSON: {e}")))?;
     let members = value
         .as_object()
-        .ok_or_else(|| fail("", "request must be a JSON object".into()))?;
+        .ok_or_else(|| fail("", V1, "request must be a JSON object".into()))?;
     // Recover the id first so even rejections correlate.
     let id = match value.get("id") {
         None => String::new(),
         Some(v) => v
             .as_str()
-            .ok_or_else(|| fail("", "\"id\" must be a string".into()))?
+            .ok_or_else(|| fail("", V1, "\"id\" must be a string".into()))?
             .to_owned(),
     };
-    for (key, _) in members {
-        if !KNOWN_KEYS.contains(&key.as_str()) {
-            return Err(fail(&id, format!("unknown key {key:?}")));
-        }
-    }
     let proto = value
         .get("proto")
-        .ok_or_else(|| fail(&id, format!("missing \"proto\" (expected {PROTOCOL:?})")))?
+        .ok_or_else(|| {
+            fail(
+                &id,
+                V1,
+                format!("missing \"proto\" (expected one of {PROTOCOLS:?})"),
+            )
+        })?
         .as_str()
-        .ok_or_else(|| fail(&id, "\"proto\" must be a string".into()))?;
-    if proto != PROTOCOL {
-        return Err(fail(
-            &id,
-            format!("unsupported protocol {proto:?} (this server speaks {PROTOCOL:?})"),
-        ));
+        .ok_or_else(|| fail(&id, V1, "\"proto\" must be a string".into()))?;
+    let version = match proto {
+        PROTOCOL_V1 => V1,
+        PROTOCOL_V2 => V2,
+        other => {
+            return Err(fail(
+                &id,
+                V1,
+                format!("unsupported protocol {other:?} (this server speaks {PROTOCOLS:?})"),
+            ))
+        }
+    };
+    let known: &[&str] = match version {
+        V1 => V1_KEYS,
+        V2 => V2_KEYS,
+    };
+    for (key, _) in members {
+        if !known.contains(&key.as_str()) {
+            return Err(fail(&id, version, format!("unknown key {key:?}")));
+        }
     }
     let op = match value.get("op") {
         None => "map",
         Some(v) => v
             .as_str()
-            .ok_or_else(|| fail(&id, "\"op\" must be a string".into()))?,
+            .ok_or_else(|| fail(&id, version, "\"op\" must be a string".into()))?,
     };
     if op != "map" {
         if let Some((key, _)) = members.iter().find(|(k, _)| MAP_KEYS.contains(&k.as_str())) {
             return Err(fail(
                 &id,
+                version,
                 format!("key {key:?} is only valid for op \"map\", not {op:?}"),
             ));
         }
     }
+    if op != "map_batch" && members.iter().any(|(k, _)| k == "requests") {
+        return Err(fail(
+            &id,
+            version,
+            format!("key \"requests\" is only valid for op \"map_batch\", not {op:?}"),
+        ));
+    }
+    if !matches!(op, "map" | "map_batch") && members.iter().any(|(k, _)| k == "priority") {
+        return Err(fail(
+            &id,
+            version,
+            format!("key \"priority\" is only valid for op \"map\" or \"map_batch\", not {op:?}"),
+        ));
+    }
+    if version == V1 && matches!(op, "hello" | "map_batch") {
+        return Err(fail(
+            &id,
+            version,
+            format!("op {op:?} requires {PROTOCOL_V2:?} (this frame spoke {PROTOCOL_V1:?})"),
+        ));
+    }
     let op = match op {
-        "map" => Op::Map(parse_map_request(&value, &id)?),
+        "map" => Op::Map(parse_map_fields(&value, &id, version)?),
+        "map_batch" => Op::MapBatch(parse_batch(&value, &id)?),
+        "hello" => Op::Hello,
         "flush" => Op::Flush,
         "stats" => Op::Stats,
         "trace" => Op::Trace,
         "shutdown" => Op::Shutdown,
         other => {
+            let expected = match version {
+                V1 => "map, flush, stats, trace or shutdown",
+                V2 => "hello, map, map_batch, flush, stats, trace or shutdown",
+            };
             return Err(fail(
                 &id,
-                format!("unknown op {other:?} (expected map, flush, stats, trace or shutdown)"),
-            ))
+                version,
+                format!("unknown op {other:?} (expected {expected})"),
+            ));
         }
     };
-    Ok(Request { id, op })
+    Ok(Request { id, version, op })
 }
 
-fn parse_map_request(value: &Value, id: &str) -> Result<MapRequest, ProtoError> {
+/// Parses the map knobs out of `value` — a top-level `map` frame or one
+/// entry of a v2 `requests` array (the grammar is identical).
+fn parse_map_fields(
+    value: &Value,
+    id: &str,
+    version: ProtocolVersion,
+) -> Result<MapRequest, ProtoError> {
     let fail = |detail: String| ProtoError {
         id: id.to_owned(),
+        version,
         detail,
     };
     let blif = value
@@ -245,8 +466,8 @@ fn parse_map_request(value: &Value, id: &str) -> Result<MapRequest, ProtoError> 
         .as_str()
         .ok_or_else(|| fail("\"blif\" must be a string".into()))?
         .to_owned();
-    let k = opt_u64(value, "k", id)?.map_or(4, |v| v as usize);
-    let jobs = opt_u64(value, "jobs", id)?.map_or(0, |v| v as usize);
+    let k = opt_u64(value, "k", id, version)?.map_or(4, |v| v as usize);
+    let jobs = opt_u64(value, "jobs", id, version)?.map_or(0, |v| v as usize);
     let cache = match value.get("cache") {
         None => CacheMode::Shared,
         Some(v) => match v.as_str() {
@@ -284,7 +505,8 @@ fn parse_map_request(value: &Value, id: &str) -> Result<MapRequest, ProtoError> 
             )))
         }
     };
-    let deadline_ms = opt_u64(value, "deadline_ms", id)?;
+    let deadline_ms = opt_u64(value, "deadline_ms", id, version)?;
+    let priority = parse_priority(value, id, version)?.unwrap_or(0);
     Ok(MapRequest {
         blif,
         k,
@@ -293,14 +515,76 @@ fn parse_map_request(value: &Value, id: &str) -> Result<MapRequest, ProtoError> 
         objective,
         optimize,
         deadline_ms,
+        priority,
     })
 }
 
-fn opt_u64(value: &Value, key: &str, id: &str) -> Result<Option<u64>, ProtoError> {
+/// Parses a v2 `map_batch` frame: a non-empty `requests` array whose
+/// entries use the map-request grammar (minus `proto`/`id`/`op`), with
+/// the frame-level `priority` as each entry's default.
+fn parse_batch(value: &Value, id: &str) -> Result<BatchRequest, ProtoError> {
+    let version = ProtocolVersion::V2;
+    let fail = |detail: String| ProtoError {
+        id: id.to_owned(),
+        version,
+        detail,
+    };
+    let frame_priority = parse_priority(value, id, version)?;
+    let entries = value
+        .get("requests")
+        .ok_or_else(|| fail("op \"map_batch\" requires a \"requests\" array".into()))?
+        .as_array()
+        .ok_or_else(|| fail("\"requests\" must be an array".into()))?;
+    if entries.is_empty() {
+        return Err(fail("\"requests\" must not be empty".into()));
+    }
+    let mut requests = Vec::with_capacity(entries.len());
+    for (i, entry) in entries.iter().enumerate() {
+        let members = entry
+            .as_object()
+            .ok_or_else(|| fail(format!("requests[{i}] must be an object")))?;
+        for (key, _) in members {
+            if !MAP_KEYS.contains(&key.as_str()) && key != "priority" {
+                return Err(fail(format!("requests[{i}] has unknown key {key:?}")));
+            }
+        }
+        let mut req = parse_map_fields(entry, id, version)
+            .map_err(|e| fail(format!("requests[{i}]: {}", e.detail)))?;
+        if entry.get("priority").is_none() {
+            req.priority = frame_priority.unwrap_or(0);
+        }
+        requests.push(req);
+    }
+    Ok(BatchRequest { requests })
+}
+
+fn parse_priority(
+    value: &Value,
+    id: &str,
+    version: ProtocolVersion,
+) -> Result<Option<u8>, ProtoError> {
+    match opt_u64(value, "priority", id, version)? {
+        None => Ok(None),
+        Some(p) if p <= u64::from(MAX_PRIORITY) => Ok(Some(p as u8)),
+        Some(p) => Err(ProtoError {
+            id: id.to_owned(),
+            version,
+            detail: format!("\"priority\" must be 0..={MAX_PRIORITY}, found {p}"),
+        }),
+    }
+}
+
+fn opt_u64(
+    value: &Value,
+    key: &str,
+    id: &str,
+    version: ProtocolVersion,
+) -> Result<Option<u64>, ProtoError> {
     match value.get(key) {
         None => Ok(None),
         Some(v) => v.as_u64().map(Some).ok_or_else(|| ProtoError {
             id: id.to_owned(),
+            version,
             detail: format!("{key:?} must be a non-negative integer, found {}", v.kind()),
         }),
     }
@@ -315,17 +599,19 @@ fn describe(v: &Value) -> String {
     }
 }
 
-/// Renders a `map` request line (the client side of the protocol).
-/// Every knob is spelled out explicitly — request lines are
-/// self-describing rather than relying on server defaults.
-pub fn render_map_request(id: &str, req: &MapRequest) -> String {
-    let mut out = String::with_capacity(req.blif.len() + 160);
+fn request_header(out: &mut String, version: ProtocolVersion, id: &str) {
     out.push_str("{\"proto\":");
-    write_string(&mut out, PROTOCOL);
+    write_string(out, version.as_str());
     out.push_str(",\"id\":");
-    write_string(&mut out, id);
-    out.push_str(",\"op\":\"map\",\"blif\":");
-    write_string(&mut out, &req.blif);
+    write_string(out, id);
+}
+
+/// Writes the map knobs of `req` (everything but `blif`) — shared by
+/// single-request frames and batch entries. Every knob is spelled out
+/// explicitly, so request lines are self-describing rather than relying
+/// on server defaults. `priority` is a v2-only key.
+fn write_map_knobs(out: &mut String, req: &MapRequest, version: ProtocolVersion) {
+    use std::fmt::Write as _;
     let cache = match req.cache {
         CacheMode::Off => "off",
         CacheMode::Tree => "tree",
@@ -335,77 +621,171 @@ pub fn render_map_request(id: &str, req: &MapRequest) -> String {
         Objective::Area => "area",
         Objective::Depth => "depth",
     };
-    out.push_str(&format!(
+    let _ = write!(
+        out,
         ",\"k\":{},\"jobs\":{},\"cache\":\"{cache}\",\"objective\":\"{objective}\",\"optimize\":{}",
         req.k, req.jobs, req.optimize
-    ));
+    );
     if let Some(ms) = req.deadline_ms {
-        out.push_str(&format!(",\"deadline_ms\":{ms}"));
+        let _ = write!(out, ",\"deadline_ms\":{ms}");
     }
+    if version == ProtocolVersion::V2 {
+        let _ = write!(out, ",\"priority\":{}", req.priority);
+    }
+}
+
+/// Renders a `map` request line (the client side of the protocol).
+pub fn render_map_request(version: ProtocolVersion, id: &str, req: &MapRequest) -> String {
+    let mut out = String::with_capacity(req.blif.len() + 176);
+    request_header(&mut out, version, id);
+    out.push_str(",\"op\":\"map\",\"blif\":");
+    write_string(&mut out, &req.blif);
+    write_map_knobs(&mut out, req, version);
     out.push('}');
     out
 }
 
-/// Renders an admin request line (`flush`, `stats`, `trace` or
-/// `shutdown`).
-pub fn render_admin_request(id: &str, op: &Op) -> String {
+/// Renders a v2 `map_batch` request line: every entry spelled out with
+/// its own knobs (including its priority), in answer order.
+pub fn render_batch_request(id: &str, requests: &[MapRequest]) -> String {
+    let blif_len: usize = requests.iter().map(|r| r.blif.len() + 128).sum();
+    let mut out = String::with_capacity(blif_len + 96);
+    request_header(&mut out, ProtocolVersion::V2, id);
+    out.push_str(",\"op\":\"map_batch\",\"requests\":[");
+    for (i, req) in requests.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"blif\":");
+        write_string(&mut out, &req.blif);
+        write_map_knobs(&mut out, req, ProtocolVersion::V2);
+        out.push('}');
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Renders an admin request line (`hello`, `flush`, `stats`, `trace` or
+/// `shutdown`). `hello` requires v2.
+pub fn render_admin_request(version: ProtocolVersion, id: &str, op: &Op) -> String {
     let name = match op {
+        Op::Hello => "hello",
         Op::Flush => "flush",
         Op::Stats => "stats",
         Op::Trace => "trace",
         Op::Shutdown => "shutdown",
-        Op::Map(_) => unreachable!("map requests use render_map_request"),
+        Op::Map(_) | Op::MapBatch(_) => {
+            unreachable!("map requests use render_map_request / render_batch_request")
+        }
     };
     let mut out = String::new();
-    out.push_str("{\"proto\":");
-    write_string(&mut out, PROTOCOL);
-    out.push_str(",\"id\":");
-    write_string(&mut out, id);
+    request_header(&mut out, version, id);
     out.push_str(&format!(",\"op\":\"{name}\"}}"));
     out
 }
 
-fn response_header(out: &mut String, id: &str, status: &str) {
+fn response_header(out: &mut String, version: ProtocolVersion, id: &str, status: &str) {
     out.push_str("{\"proto\":");
-    write_string(out, PROTOCOL);
+    write_string(out, version.as_str());
     out.push_str(",\"id\":");
     write_string(out, id);
     out.push_str(",\"status\":");
     write_string(out, status);
 }
 
-/// Renders the success response of a `map` request. `report_json` is the
-/// embedded per-request telemetry report (already-serialized JSON,
-/// spliced in verbatim). `run_ns` is the server-measured execution time
-/// — the same number the server buckets into its `serve.run_ns`
-/// histogram, so clients can reproduce the server's view exactly.
-pub fn render_map_ok(
-    id: &str,
-    luts: usize,
-    depth: usize,
-    cache_generation: u64,
-    run_ns: u64,
-    netlist: &str,
-    report_json: &str,
-) -> String {
-    let mut out = String::with_capacity(netlist.len() + report_json.len() + 144);
-    response_header(&mut out, id, "ok");
-    out.push_str(",\"op\":\"map\"");
-    out.push_str(&format!(
-        ",\"luts\":{luts},\"depth\":{depth},\"cache_generation\":{cache_generation},\"run_ns\":{run_ns}"
-    ));
+/// Writes the body of one successful map payload (everything after
+/// `"op":…` / inside a batch entry).
+fn write_map_payload(out: &mut String, payload: &MapPayload) {
+    use std::fmt::Write as _;
+    let _ = write!(
+        out,
+        "\"luts\":{},\"depth\":{},\"cache_generation\":{},\"run_ns\":{}",
+        payload.luts, payload.depth, payload.cache_generation, payload.run_ns
+    );
     out.push_str(",\"netlist\":");
-    write_string(&mut out, netlist);
+    write_string(out, &payload.netlist);
     out.push_str(",\"report\":");
-    out.push_str(report_json);
+    out.push_str(&payload.report_json);
+}
+
+/// Renders the success response of a `map` request, in the shape of the
+/// version the request spoke.
+pub fn render_map_ok(version: ProtocolVersion, id: &str, payload: &MapPayload) -> String {
+    let mut out = String::with_capacity(payload.netlist.len() + payload.report_json.len() + 144);
+    response_header(&mut out, version, id, "ok");
+    out.push_str(",\"op\":\"map\",");
+    write_map_payload(&mut out, payload);
     out.push('}');
     out
 }
 
-/// Renders the success response of a `flush` request.
-pub fn render_flush_ok(id: &str, cache_generation: u64) -> String {
+/// Renders the single-frame response of a v2 `map_batch` request:
+/// `results` in request order, each entry either a map payload or a
+/// structured rejection.
+pub fn render_batch_ok(id: &str, results: &[BatchItem]) -> String {
+    let body: usize = results
+        .iter()
+        .map(|r| match r {
+            BatchItem::Mapped(p) => p.netlist.len() + p.report_json.len() + 128,
+            BatchItem::Rejected { detail, .. } => detail.len() + 96,
+        })
+        .sum();
+    let mut out = String::with_capacity(body + 96);
+    response_header(&mut out, ProtocolVersion::V2, id, "ok");
+    out.push_str(",\"op\":\"map_batch\",\"results\":[");
+    for (i, item) in results.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        match item {
+            BatchItem::Mapped(payload) => {
+                out.push_str("{\"status\":\"ok\",");
+                write_map_payload(&mut out, payload);
+                out.push('}');
+            }
+            BatchItem::Rejected {
+                reason,
+                detail,
+                hint,
+            } => {
+                out.push_str("{\"status\":\"rejected\",\"reason\":");
+                write_string(&mut out, reason.as_str());
+                out.push_str(",\"detail\":");
+                write_string(&mut out, detail);
+                write_hint(&mut out, hint.as_ref());
+                out.push('}');
+            }
+        }
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Renders the success response of a v2 `hello` request: the accepted
+/// protocol versions (oldest first) and the server's admission limits.
+pub fn render_hello_ok(id: &str, limits: &ServerLimits) -> String {
+    use std::fmt::Write as _;
     let mut out = String::new();
-    response_header(&mut out, id, "ok");
+    response_header(&mut out, ProtocolVersion::V2, id, "ok");
+    out.push_str(",\"op\":\"hello\",\"versions\":[");
+    for (i, proto) in PROTOCOLS.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write_string(&mut out, proto);
+    }
+    let _ = write!(
+        out,
+        "],\"quota\":{},\"queue\":{},\"batch_limit\":{}}}",
+        limits.quota, limits.queue_depth, limits.batch_limit
+    );
+    out
+}
+
+/// Renders the success response of a `flush` request.
+pub fn render_flush_ok(version: ProtocolVersion, id: &str, cache_generation: u64) -> String {
+    let mut out = String::new();
+    response_header(&mut out, version, id, "ok");
     out.push_str(&format!(
         ",\"op\":\"flush\",\"cache_generation\":{cache_generation}}}"
     ));
@@ -418,6 +798,7 @@ pub fn render_flush_ok(id: &str, cache_generation: u64) -> String {
 /// counters and the `serve.queue_ns`/`serve.run_ns` latency
 /// histograms).
 pub fn render_stats_ok(
+    version: ProtocolVersion,
     id: &str,
     cache_generation: u64,
     uptime_s: u64,
@@ -426,7 +807,7 @@ pub fn render_stats_ok(
     report_json: &str,
 ) -> String {
     let mut out = String::with_capacity(report_json.len() + 144);
-    response_header(&mut out, id, "ok");
+    response_header(&mut out, version, id, "ok");
     out.push_str(&format!(
         ",\"op\":\"stats\",\"cache_generation\":{cache_generation},\"uptime_s\":{uptime_s}\
          ,\"queue_depth\":{queue_depth},\"queue_high_water\":{queue_high_water},\"report\":"
@@ -438,9 +819,14 @@ pub fn render_stats_ok(
 
 /// Renders the success response of a `trace` request: the configured
 /// ring capacity and the remembered request traces, oldest first.
-pub fn render_trace_ok(id: &str, capacity: usize, entries: &[RequestTrace]) -> String {
+pub fn render_trace_ok(
+    version: ProtocolVersion,
+    id: &str,
+    capacity: usize,
+    entries: &[RequestTrace],
+) -> String {
     let mut out = String::with_capacity(96 + entries.len() * 96);
-    response_header(&mut out, id, "ok");
+    response_header(&mut out, version, id, "ok");
     out.push_str(&format!(
         ",\"op\":\"trace\",\"capacity\":{capacity},\"requests\":["
     ));
@@ -463,21 +849,48 @@ pub fn render_trace_ok(id: &str, capacity: usize, entries: &[RequestTrace]) -> S
 
 /// Renders the success response of a `shutdown` request (sent before the
 /// drain starts).
-pub fn render_shutdown_ok(id: &str) -> String {
+pub fn render_shutdown_ok(version: ProtocolVersion, id: &str) -> String {
     let mut out = String::new();
-    response_header(&mut out, id, "ok");
+    response_header(&mut out, version, id, "ok");
     out.push_str(",\"op\":\"shutdown\"}");
     out
 }
 
-/// Renders a typed rejection.
-pub fn render_rejected(id: &str, reason: RejectReason, detail: &str) -> String {
+fn write_hint(out: &mut String, hint: Option<&ShedHint>) {
+    use std::fmt::Write as _;
+    if let Some(hint) = hint {
+        let _ = write!(
+            out,
+            ",\"retry_after_ms\":{},\"client_queue_depth\":{}",
+            hint.retry_after_ms, hint.client_queue_depth
+        );
+    }
+}
+
+/// Renders a typed rejection in the shape of the version the request
+/// spoke. v1 frames keep their historical shape exactly: no hint keys,
+/// and [`RejectReason::OverQuota`] downgraded to the `queue_full`
+/// spelling v1 clients already understand.
+pub fn render_rejected(
+    version: ProtocolVersion,
+    id: &str,
+    reason: RejectReason,
+    detail: &str,
+    hint: Option<&ShedHint>,
+) -> String {
+    let reason = match (version, reason) {
+        (ProtocolVersion::V1, RejectReason::OverQuota) => RejectReason::QueueFull,
+        (_, reason) => reason,
+    };
     let mut out = String::new();
-    response_header(&mut out, id, "rejected");
+    response_header(&mut out, version, id, "rejected");
     out.push_str(",\"reason\":");
     write_string(&mut out, reason.as_str());
     out.push_str(",\"detail\":");
     write_string(&mut out, detail);
+    if version == ProtocolVersion::V2 {
+        write_hint(&mut out, hint);
+    }
     out.push('}');
     out
 }
@@ -485,31 +898,37 @@ pub fn render_rejected(id: &str, reason: RejectReason, detail: &str) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ProtocolVersion::{V1, V2};
 
-    fn map_line(extra: &str) -> String {
-        format!(r#"{{"proto":"chortle-serve/v1","id":"r1","blif":".model m\n.end\n"{extra}}}"#)
+    fn map_line(proto: &str, extra: &str) -> String {
+        format!(r#"{{"proto":"{proto}","id":"r1","blif":".model m\n.end\n"{extra}}}"#)
     }
 
     #[test]
-    fn parses_map_defaults() {
-        let req = parse_request(&map_line("")).expect("parses");
-        assert_eq!(req.id, "r1");
-        let Op::Map(m) = req.op else {
-            panic!("expected map")
-        };
-        assert_eq!(m.k, 4);
-        // 0 = host parallelism, resolved by the mapper; identical
-        // output either way, so the default can chase throughput.
-        assert_eq!(m.jobs, 0);
-        assert_eq!(m.cache, CacheMode::Shared);
-        assert_eq!(m.objective, Objective::Area);
-        assert!(m.optimize);
-        assert_eq!(m.deadline_ms, None);
+    fn parses_map_defaults_in_both_versions() {
+        for (proto, version) in [(PROTOCOL_V1, V1), (PROTOCOL_V2, V2)] {
+            let req = parse_request(&map_line(proto, "")).expect("parses");
+            assert_eq!(req.id, "r1");
+            assert_eq!(req.version, version);
+            let Op::Map(m) = req.op else {
+                panic!("expected map")
+            };
+            assert_eq!(m.k, 4);
+            // 0 = host parallelism, resolved by the mapper; identical
+            // output either way, so the default can chase throughput.
+            assert_eq!(m.jobs, 0);
+            assert_eq!(m.cache, chortle::CacheMode::Shared);
+            assert_eq!(m.objective, chortle::Objective::Area);
+            assert!(m.optimize);
+            assert_eq!(m.deadline_ms, None);
+            assert_eq!(m.priority, 0);
+        }
     }
 
     #[test]
     fn parses_every_map_knob() {
         let req = parse_request(&map_line(
+            PROTOCOL_V1,
             r#","k":5,"jobs":3,"cache":"off","objective":"depth","optimize":false,"deadline_ms":250"#,
         ))
         .expect("parses");
@@ -518,23 +937,63 @@ mod tests {
         };
         assert_eq!(
             (m.k, m.jobs, m.cache, m.objective, m.optimize, m.deadline_ms),
-            (5, 3, CacheMode::Off, Objective::Depth, false, Some(250))
+            (
+                5,
+                3,
+                chortle::CacheMode::Off,
+                chortle::Objective::Depth,
+                false,
+                Some(250)
+            )
         );
+        let req = parse_request(&map_line(PROTOCOL_V2, r#","priority":7"#)).expect("parses");
+        let Op::Map(m) = req.op else {
+            panic!("expected map")
+        };
+        assert_eq!(m.priority, 7);
     }
 
     #[test]
-    fn parses_admin_ops() {
-        for (name, op) in [
-            ("flush", Op::Flush),
-            ("stats", Op::Stats),
-            ("trace", Op::Trace),
-            ("shutdown", Op::Shutdown),
-        ] {
-            let line = format!(r#"{{"proto":"chortle-serve/v1","op":"{name}"}}"#);
-            let req = parse_request(&line).expect("parses");
-            assert_eq!(req.op, op);
-            assert_eq!(req.id, "");
+    fn parses_admin_ops_in_both_versions() {
+        for (proto, version) in [(PROTOCOL_V1, V1), (PROTOCOL_V2, V2)] {
+            for (name, op) in [
+                ("flush", Op::Flush),
+                ("stats", Op::Stats),
+                ("trace", Op::Trace),
+                ("shutdown", Op::Shutdown),
+            ] {
+                let line = format!(r#"{{"proto":"{proto}","op":"{name}"}}"#);
+                let req = parse_request(&line).expect("parses");
+                assert_eq!(req.op, op);
+                assert_eq!(req.version, version);
+                assert_eq!(req.id, "");
+            }
         }
+        let line = format!(r#"{{"proto":"{PROTOCOL_V2}","op":"hello","id":"h"}}"#);
+        let req = parse_request(&line).expect("parses");
+        assert_eq!(req.op, Op::Hello);
+        assert_eq!(req.version, V2);
+    }
+
+    #[test]
+    fn parses_map_batch_with_priority_defaults() {
+        let line = format!(
+            r#"{{"proto":"{PROTOCOL_V2}","id":"b","op":"map_batch","priority":3,"requests":[
+                {{"blif":".model a\n.end\n"}},
+                {{"blif":".model b\n.end\n","k":5,"priority":9}}
+            ]}}"#
+        )
+        .replace('\n', "")
+        .replace("                ", "");
+        let req = parse_request(&line).expect("parses");
+        let Op::MapBatch(batch) = req.op else {
+            panic!("expected map_batch")
+        };
+        assert_eq!(batch.requests.len(), 2);
+        // Entry 0 inherits the frame priority; entry 1 overrides it.
+        assert_eq!(batch.requests[0].priority, 3);
+        assert_eq!(batch.requests[1].priority, 9);
+        assert_eq!(batch.requests[1].k, 5);
     }
 
     #[test]
@@ -596,27 +1055,182 @@ mod tests {
     }
 
     #[test]
-    fn rendered_requests_round_trip_through_the_parser() {
+    fn v2_ops_and_keys_are_rejected_on_v1_frames() {
+        for (line, needle) in [
+            (
+                r#"{"proto":"chortle-serve/v1","id":"x","op":"hello"}"#,
+                "requires \"chortle-serve/v2\"",
+            ),
+            (
+                r#"{"proto":"chortle-serve/v1","id":"x","op":"map_batch"}"#,
+                "unknown key", // "requests" missing, but op itself needs none; rejected below
+            ),
+            (
+                r#"{"proto":"chortle-serve/v1","id":"x","blif":"","priority":1}"#,
+                "unknown key \"priority\"",
+            ),
+            (
+                r#"{"proto":"chortle-serve/v1","id":"x","op":"map_batch","requests":[]}"#,
+                "unknown key \"requests\"",
+            ),
+        ] {
+            let err = parse_request(line).unwrap_err();
+            assert_eq!(err.version, V1, "{line}");
+            // The second case has no unknown keys; it fails on the op.
+            if line.contains("\"op\":\"map_batch\"}") {
+                assert!(err.detail.contains("requires"), "{line}: {}", err.detail);
+            } else {
+                assert!(err.detail.contains(needle), "{line}: {}", err.detail);
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_v2_batches() {
+        let frame = |body: &str| format!(r#"{{"proto":"{PROTOCOL_V2}","id":"b",{body}}}"#);
+        for (body, needle) in [
+            (r#""op":"map_batch""#, "requires a \"requests\" array"),
+            (r#""op":"map_batch","requests":[]"#, "must not be empty"),
+            (
+                r#""op":"map_batch","requests":[{"k":4}]"#,
+                "requests[0]: op \"map\" requires a \"blif\"",
+            ),
+            (
+                r#""op":"map_batch","requests":[{"blif":"","id":"inner"}]"#,
+                "requests[0] has unknown key \"id\"",
+            ),
+            (
+                r#""op":"map_batch","requests":[{"blif":"","priority":99}]"#,
+                "\"priority\" must be 0..=9",
+            ),
+            (
+                r#""op":"map","requests":[{"blif":""}],"blif":"""#,
+                "only valid for op \"map_batch\"",
+            ),
+            (r#""op":"hello","priority":2"#, "\"priority\""),
+        ] {
+            let err = parse_request(&frame(body)).unwrap_err();
+            assert!(err.detail.contains(needle), "{body}: {}", err.detail);
+        }
+    }
+
+    /// Golden v1 frames: the renderer must keep producing exactly these
+    /// bytes — v1 clients parse positionally-fragile hand-rolled JSON,
+    /// so the v1 wire image is frozen.
+    #[test]
+    fn golden_v1_frames_round_trip() {
         let req = MapRequest {
-            blif: ".model m\n.inputs a\n.outputs y\n.names a y\n1 1\n.end\n".into(),
+            blif: ".model m\n.end\n".into(),
             k: 5,
             jobs: 2,
-            cache: CacheMode::Tree,
-            objective: Objective::Depth,
+            cache: chortle::CacheMode::Tree,
+            objective: chortle::Objective::Depth,
             optimize: false,
             deadline_ms: Some(125),
+            priority: 0,
         };
-        let line = render_map_request("rt", &req);
-        assert!(!line.contains('\n'));
+        let line = render_map_request(V1, "rt", &req);
+        assert_eq!(
+            line,
+            "{\"proto\":\"chortle-serve/v1\",\"id\":\"rt\",\"op\":\"map\",\
+             \"blif\":\".model m\\n.end\\n\",\"k\":5,\"jobs\":2,\"cache\":\"tree\",\
+             \"objective\":\"depth\",\"optimize\":false,\"deadline_ms\":125}"
+        );
         let parsed = parse_request(&line).expect("round trips");
         assert_eq!(parsed.id, "rt");
+        assert_eq!(parsed.version, V1);
         assert_eq!(parsed.op, Op::Map(req));
 
+        let rejected = render_rejected(V1, "d", RejectReason::QueueFull, "queue is full", None);
+        assert_eq!(
+            rejected,
+            "{\"proto\":\"chortle-serve/v1\",\"id\":\"d\",\"status\":\"rejected\",\
+             \"reason\":\"queue_full\",\"detail\":\"queue is full\"}"
+        );
+        // v1 never grows hint keys, and over_quota is downgraded to the
+        // spelling v1 clients know.
+        let hint = ShedHint {
+            retry_after_ms: 9,
+            client_queue_depth: 4,
+        };
+        let rejected = render_rejected(V1, "d", RejectReason::OverQuota, "over quota", Some(&hint));
+        assert!(!rejected.contains("retry_after_ms"), "{rejected}");
+        assert!(rejected.contains("\"reason\":\"queue_full\""), "{rejected}");
+
         for op in [Op::Flush, Op::Stats, Op::Trace, Op::Shutdown] {
-            let line = render_admin_request("a1", &op);
+            let line = render_admin_request(V1, "a1", &op);
             let parsed = parse_request(&line).expect("round trips");
             assert_eq!((parsed.id.as_str(), parsed.op), ("a1", op));
+            assert_eq!(parsed.version, V1);
         }
+    }
+
+    /// Golden v2 frames: pinned the same way so v2 cannot drift either.
+    #[test]
+    fn golden_v2_frames_round_trip() {
+        let mut req = MapRequest {
+            blif: ".model m\n.end\n".into(),
+            priority: 7,
+            ..MapRequest::default()
+        };
+        req.deadline_ms = Some(50);
+        let line = render_map_request(V2, "rt", &req);
+        assert_eq!(
+            line,
+            "{\"proto\":\"chortle-serve/v2\",\"id\":\"rt\",\"op\":\"map\",\
+             \"blif\":\".model m\\n.end\\n\",\"k\":4,\"jobs\":0,\"cache\":\"shared\",\
+             \"objective\":\"area\",\"optimize\":true,\"deadline_ms\":50,\"priority\":7}"
+        );
+        let parsed = parse_request(&line).expect("round trips");
+        assert_eq!(parsed.version, V2);
+        assert_eq!(parsed.op, Op::Map(req.clone()));
+
+        let batch = render_batch_request("b1", std::slice::from_ref(&req));
+        assert_eq!(
+            batch,
+            "{\"proto\":\"chortle-serve/v2\",\"id\":\"b1\",\"op\":\"map_batch\",\
+             \"requests\":[{\"blif\":\".model m\\n.end\\n\",\"k\":4,\"jobs\":0,\
+             \"cache\":\"shared\",\"objective\":\"area\",\"optimize\":true,\
+             \"deadline_ms\":50,\"priority\":7}]}"
+        );
+        let parsed = parse_request(&batch).expect("round trips");
+        assert_eq!(
+            parsed.op,
+            Op::MapBatch(BatchRequest {
+                requests: vec![req]
+            })
+        );
+
+        let hint = ShedHint {
+            retry_after_ms: 12,
+            client_queue_depth: 8,
+        };
+        let rejected = render_rejected(V2, "d", RejectReason::OverQuota, "try later", Some(&hint));
+        assert_eq!(
+            rejected,
+            "{\"proto\":\"chortle-serve/v2\",\"id\":\"d\",\"status\":\"rejected\",\
+             \"reason\":\"over_quota\",\"detail\":\"try later\",\
+             \"retry_after_ms\":12,\"client_queue_depth\":8}"
+        );
+
+        let hello = render_hello_ok(
+            "h",
+            &ServerLimits {
+                quota: 8,
+                queue_depth: 64,
+                batch_limit: 64,
+            },
+        );
+        assert_eq!(
+            hello,
+            "{\"proto\":\"chortle-serve/v2\",\"id\":\"h\",\"status\":\"ok\",\"op\":\"hello\",\
+             \"versions\":[\"chortle-serve/v1\",\"chortle-serve/v2\"],\
+             \"quota\":8,\"queue\":64,\"batch_limit\":64}"
+        );
+
+        let line = render_admin_request(V2, "h", &Op::Hello);
+        let parsed = parse_request(&line).expect("round trips");
+        assert_eq!(parsed.op, Op::Hello);
     }
 
     #[test]
@@ -629,30 +1243,41 @@ mod tests {
             luts: 5,
             depth: 2,
         }];
+        let payload = MapPayload {
+            luts: 3,
+            depth: 2,
+            cache_generation: 7,
+            run_ns: 41_000,
+            netlist: ".model mapped\n.end\n".into(),
+            report_json: "{\"schema\":\"x\"}".into(),
+        };
         let cases = [
-            render_map_ok(
-                "a",
-                3,
-                2,
-                7,
-                41_000,
-                ".model mapped\n.end\n",
-                "{\"schema\":\"x\"}",
+            render_map_ok(V1, "a", &payload),
+            render_flush_ok(V1, "b", 8),
+            render_stats_ok(V2, "", 0, 12, 1, 3, "{\"schema\":\"x\"}"),
+            render_shutdown_ok(V1, "c"),
+            render_rejected(V1, "d", RejectReason::QueueFull, "queue is full", None),
+            render_trace_ok(V2, "e", 128, &ring),
+            render_batch_ok(
+                "f",
+                &[
+                    BatchItem::Mapped(payload.clone()),
+                    BatchItem::Rejected {
+                        reason: RejectReason::OverQuota,
+                        detail: "quota".into(),
+                        hint: Some(ShedHint {
+                            retry_after_ms: 4,
+                            client_queue_depth: 2,
+                        }),
+                    },
+                ],
             ),
-            render_flush_ok("b", 8),
-            render_stats_ok("", 0, 12, 1, 3, "{\"schema\":\"x\"}"),
-            render_shutdown_ok("c"),
-            render_rejected("d", RejectReason::QueueFull, "queue is full"),
-            render_trace_ok("e", 128, &ring),
         ];
         for line in &cases {
             assert!(!line.contains('\n'), "{line}");
             let value = chortle_telemetry::json::parse(line).expect("reparses");
-            assert_eq!(
-                value.get("proto").and_then(Value::as_str),
-                Some(PROTOCOL),
-                "{line}"
-            );
+            let proto = value.get("proto").and_then(Value::as_str).unwrap();
+            assert!(PROTOCOLS.contains(&proto), "{line}");
         }
         // Netlist newlines survive the JSON round trip.
         let map = chortle_telemetry::json::parse(&cases[0]).unwrap();
@@ -680,5 +1305,13 @@ mod tests {
         assert_eq!(reqs.len(), 1);
         assert_eq!(reqs[0].get("outcome").and_then(Value::as_str), Some("ok"));
         assert_eq!(reqs[0].get("queue_ns").and_then(Value::as_u64), Some(1200));
+        let batch = chortle_telemetry::json::parse(&cases[6]).unwrap();
+        let results = batch.get("results").and_then(Value::as_array).unwrap();
+        assert_eq!(results.len(), 2);
+        assert_eq!(results[0].get("status").and_then(Value::as_str), Some("ok"));
+        assert_eq!(
+            results[1].get("retry_after_ms").and_then(Value::as_u64),
+            Some(4)
+        );
     }
 }

@@ -1,39 +1,48 @@
-//! The `chortle-serve` runtime: listener, connection readers, worker
-//! pool, warm cache, and graceful shutdown.
+//! The `chortle-serve` runtime: event loop, worker pool, warm cache,
+//! fair admission, and graceful shutdown.
 //!
 //! ## Threading model
 //!
-//! One accept loop (the caller's thread in [`Server::run`]) spawns a
-//! detached reader thread per connection. Readers parse requests and
-//! either answer immediately (admin ops, rejections) or push a job into
-//! the bounded [`BoundedQueue`]; a fixed pool of worker threads pops
-//! jobs and runs the mapping pipeline. Responses go back through a
-//! per-connection mutexed writer, so a client may pipeline requests and
-//! receives exactly one line per request (order may interleave across
-//! *worker* completion, which is why responses echo the request `id`).
+//! One event-loop thread (the caller's thread in [`Server::run`]) owns
+//! every connection: it accepts, reads, parses, admits, and writes —
+//! see [`crate::event_loop`]. A fixed pool of worker threads pops
+//! admitted jobs from the fair [`crate::admission::Admission`] queue,
+//! runs the mapping pipeline, renders the response, and hands the
+//! finished frame back to the loop. A client may pipeline requests
+//! freely and receives exactly one line per request — or one line per
+//! `map_batch` frame — with responses coalesced per poll iteration
+//! into single writes (order may interleave across worker completion,
+//! which is why responses echo the request `id`).
 //!
 //! Mapping parallelism is *not* per-request: every worker submits its
 //! wavefront chunks into the mapper's process-wide work-stealing pool
 //! (see `chortle`'s scheduler), so chunks from concurrent in-flight
 //! requests interleave on the same deques and a burst of small requests
 //! saturates the host instead of serializing behind one request's
-//! waves. Per-request completion is tracked by each wave's latch, and
-//! the per-request `CancelToken` (deadline or shutdown) is honored
+//! waves. The per-request `CancelToken` (deadline) is honored
 //! cooperatively at chunk boundaries, so one cancelled request never
 //! stalls the pool for its neighbors.
 //!
+//! ## Admission
+//!
+//! Each connection may have at most `client_quota` requests queued or
+//! in flight; total queued work is bounded by `queue_depth`. Workers
+//! serve clients round-robin, preferring higher `priority` requests.
+//! Sheds answer immediately — v2 rejections carry `retry_after_ms` and
+//! `client_queue_depth` so clients back off instead of hammering.
+//!
 //! ## Shutdown
 //!
-//! A `shutdown` request (or stdin EOF in `--stdio` mode) flips the
-//! stopping flag, closes the queue, and wakes the accept loop with a
-//! loopback self-connection. From that point new work is rejected with
+//! A `shutdown` request (or stdin EOF in `--stdio` mode, or
+//! [`ServerHandle::shutdown`]) flips the stopping flag and closes
+//! admission. From that point new work is rejected with
 //! `shutting_down`, queued and in-flight jobs drain to completion
-//! (counted as `serve.drained`), workers exit on the drained queue, and
+//! (counted as `serve.drained`), their responses are delivered, and
 //! [`Server::run`] returns the final aggregate [`ServerSummary`].
 
 use std::collections::VecDeque;
-use std::io::{self, BufRead, BufReader, Write};
-use std::net::{Ipv4Addr, SocketAddr, TcpListener, TcpStream};
+use std::io::{self, BufRead};
+use std::net::{Ipv4Addr, SocketAddr, TcpListener};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
@@ -41,24 +50,25 @@ use std::time::{Duration, Instant};
 use chortle::WarmCache;
 use chortle_telemetry::{Report, Telemetry};
 
-use crate::proto::{
-    parse_request, render_flush_ok, render_map_ok, render_rejected, render_shutdown_ok,
-    render_stats_ok, render_trace_ok, MapRequest, Op, RejectReason, RequestTrace,
-};
-use crate::queue::{BoundedQueue, PushError};
+use crate::admission::Admission;
+use crate::event_loop::{self, Completions, Job};
+use crate::proto::{self, BatchItem, MapPayload, RejectReason, RequestTrace, ServerLimits};
 use crate::service;
 
 /// Names of the aggregate counters, stages and histograms the server
 /// reports — the closed `serve.*` counter namespace of telemetry schema
-/// v1.3 (see [`chortle_telemetry::schema::SERVE_COUNTERS`]).
+/// v1.4 (see [`chortle_telemetry::schema::SERVE_COUNTERS`]).
 pub mod stats {
     /// Counter: TCP connections accepted (absent in `--stdio` mode).
     pub const CONNECTIONS: &str = "serve.connections";
-    /// Counter: map requests admitted to the queue.
+    /// Counter: map requests admitted to the queue (batch entries count
+    /// individually).
     pub const ACCEPTED: &str = "serve.accepted";
     /// Counter: map requests completed successfully.
     pub const COMPLETED: &str = "serve.completed";
-    /// Counter: map requests refused because the queue was full.
+    /// Counter: map requests shed at admission — the whole family
+    /// (global `queue_full` plus per-client `over_quota`), keeping the
+    /// pre-v1.4 meaning of "refused for load" intact.
     pub const REJECTED_QUEUE_FULL: &str = "serve.rejected_queue_full";
     /// Counter: map requests whose deadline expired (queued or mid-map).
     pub const REJECTED_DEADLINE: &str = "serve.rejected_deadline";
@@ -75,6 +85,23 @@ pub mod stats {
     pub const STATS_REQUESTS: &str = "serve.stats_requests";
     /// Counter: `trace` introspection requests served.
     pub const TRACE_REQUESTS: &str = "serve.trace_requests";
+    /// Counter: `hello` version-negotiation requests served (v2).
+    pub const HELLO_REQUESTS: &str = "serve.hello_requests";
+    /// Counter: `map_batch` frames received (v2).
+    pub const BATCH_FRAMES: &str = "serve.batch_frames";
+    /// Counter: individual requests carried inside `map_batch` frames.
+    pub const BATCH_REQUESTS: &str = "serve.batch_requests";
+    /// Counter: response frames that shared a write with frames already
+    /// buffered for the same connection (the small-frame fix).
+    pub const COALESCED_FRAMES: &str = "serve.coalesced_frames";
+    /// Counter: offers admitted by the fair admission queue.
+    pub const ADMISSION_ADMITTED: &str = "serve.admission.admitted";
+    /// Counter: offers shed because the client's quota was in use.
+    pub const ADMISSION_SHED_OVER_QUOTA: &str = "serve.admission.shed_over_quota";
+    /// Counter: offers shed because the global queue was at capacity.
+    pub const ADMISSION_SHED_QUEUE_FULL: &str = "serve.admission.shed_queue_full";
+    /// Counter: v2 rejections that carried a `retry_after_ms` hint.
+    pub const ADMISSION_HINTED: &str = "serve.admission.hinted";
     /// Stage: wall time of each worker-executed request (queue wait
     /// excluded).
     pub const STAGE_REQUEST: &str = "serve.request";
@@ -85,27 +112,118 @@ pub mod stats {
     /// the same values echoed per response as `run_ns`, so clients can
     /// rebuild this histogram bucket-for-bucket.
     pub const HIST_RUN_NS: &str = "serve.run_ns";
+    /// Histogram: the admitting client's queued + in-flight depth at
+    /// each successful admission.
+    pub const HIST_CLIENT_DEPTH: &str = "serve.admission.client_depth";
 }
 
-/// Server configuration (transport-independent).
+/// Server configuration. `#[non_exhaustive]` with a
+/// [`ServeOptions::builder`], mirroring `MapOptions` — new knobs can
+/// land without breaking embedders.
 #[derive(Clone, Debug)]
-pub struct ServeConfig {
+#[non_exhaustive]
+pub struct ServeOptions {
+    /// TCP port on 127.0.0.1 (0 picks an ephemeral port; ignored by
+    /// [`serve_stdio`]).
+    pub port: u16,
     /// Worker threads executing map requests (0 = host parallelism).
     pub workers: usize,
-    /// Admission queue capacity; pushes beyond it answer `queue_full`.
-    pub queue_capacity: usize,
+    /// Global admission queue capacity.
+    pub queue_depth: usize,
+    /// Per-client quota of queued + in-flight requests.
+    pub client_quota: usize,
+    /// Maximum requests per `map_batch` frame.
+    pub batch_limit: usize,
     /// How many completed requests the `op: "trace"` ring remembers;
     /// older entries are evicted, so memory stays bounded.
     pub trace_capacity: usize,
 }
 
-impl Default for ServeConfig {
+impl Default for ServeOptions {
     fn default() -> Self {
-        ServeConfig {
+        ServeOptions {
+            port: 0,
             workers: 0,
-            queue_capacity: 64,
+            queue_depth: 64,
+            client_quota: 8,
+            batch_limit: 64,
             trace_capacity: 128,
         }
+    }
+}
+
+impl ServeOptions {
+    /// Starts a builder at the defaults (ephemeral port, host-sized
+    /// worker pool, queue 64, quota 8, batch limit 64, trace ring 128).
+    #[must_use]
+    pub fn builder() -> ServeOptionsBuilder {
+        ServeOptionsBuilder {
+            options: ServeOptions::default(),
+        }
+    }
+}
+
+/// Builder for [`ServeOptions`] — the serving-side sibling of
+/// `MapOptions::builder()`.
+#[derive(Clone, Debug)]
+pub struct ServeOptionsBuilder {
+    options: ServeOptions,
+}
+
+impl ServeOptionsBuilder {
+    /// TCP port on 127.0.0.1; 0 picks an ephemeral port.
+    #[must_use]
+    pub fn port(mut self, port: u16) -> Self {
+        self.options.port = port;
+        self
+    }
+
+    /// Worker threads executing map requests; 0 = host parallelism.
+    #[must_use]
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.options.workers = workers;
+        self
+    }
+
+    /// Global admission queue capacity (clamped to at least 1).
+    #[must_use]
+    pub fn queue_depth(mut self, depth: usize) -> Self {
+        self.options.queue_depth = depth;
+        self
+    }
+
+    /// Per-client quota of queued + in-flight requests (clamped to at
+    /// least 1).
+    #[must_use]
+    pub fn client_quota(mut self, quota: usize) -> Self {
+        self.options.client_quota = quota;
+        self
+    }
+
+    /// Maximum requests per `map_batch` frame (clamped to at least 1).
+    #[must_use]
+    pub fn batch_limit(mut self, limit: usize) -> Self {
+        self.options.batch_limit = limit;
+        self
+    }
+
+    /// `op: "trace"` ring capacity (clamped to at least 1).
+    #[must_use]
+    pub fn trace_capacity(mut self, capacity: usize) -> Self {
+        self.options.trace_capacity = capacity;
+        self
+    }
+
+    /// Finalizes the options. Size knobs are clamped to at least 1 —
+    /// a zero-capacity queue or quota would admit nothing, which is
+    /// never what a caller means.
+    #[must_use]
+    pub fn build(mut self) -> ServeOptions {
+        self.options.queue_depth = self.options.queue_depth.max(1);
+        self.options.client_quota = self.options.client_quota.max(1);
+        self.options.batch_limit = self.options.batch_limit.max(1);
+        self.options.trace_capacity = self.options.trace_capacity.max(1);
+        self.options
     }
 }
 
@@ -113,8 +231,8 @@ impl Default for ServeConfig {
 #[derive(Clone, Debug)]
 pub struct ServerSummary {
     /// The aggregate server telemetry report (`serve.*` counters, the
-    /// per-request stage, the queue-wait and run-time histograms) —
-    /// schema-valid `chortle-telemetry/v1.3`.
+    /// per-request stage, the latency and client-depth histograms) —
+    /// schema-valid `chortle-telemetry/v1.4`.
     pub report: Report,
     /// Final warm-cache generation.
     pub cache_generation: u64,
@@ -122,87 +240,45 @@ pub struct ServerSummary {
     pub cache_shapes: usize,
 }
 
-/// One queued map job: the request plus everything needed to answer it.
-struct Job {
-    id: String,
-    req: MapRequest,
-    deadline: Option<Instant>,
-    /// When the job entered the queue — the start of its queue-wait
-    /// measurement.
-    admitted: Instant,
-    out: Responder,
-}
-
-/// A clonable, mutexed line writer shared by all responders of one
-/// connection.
-#[derive(Clone)]
-struct Responder {
-    conn: Arc<Mutex<ResponderConn>>,
-}
-
-/// The per-connection write state: the sink plus one frame buffer that
-/// is reused for every response on this connection (it grows to the
-/// largest frame once, then every later send is allocation-free — the
-/// per-frame allocation used to dominate warm serving of small
-/// netlists).
-struct ResponderConn {
-    sink: Box<dyn Write + Send>,
-    frame: String,
-}
-
-impl Responder {
-    fn new(sink: Box<dyn Write + Send>) -> Self {
-        Responder {
-            conn: Arc::new(Mutex::new(ResponderConn {
-                sink,
-                frame: String::new(),
-            })),
-        }
-    }
-
-    /// Writes one response line. A single write call per response —
-    /// split writes on a TCP stream invite Nagle/delayed-ACK stalls.
-    /// Write errors are swallowed: a client that hung up forfeits its
-    /// answers, never the server.
-    fn send(&self, line: &str) {
-        let mut conn = self.conn.lock().expect("responder poisoned");
-        let ResponderConn { sink, frame } = &mut *conn;
-        frame.clear();
-        frame.push_str(line);
-        frame.push('\n');
-        let _ = sink.write_all(frame.as_bytes());
-        let _ = sink.flush();
-    }
-}
-
-/// State shared by the accept loop, connection readers, and workers.
-struct Shared {
-    queue: BoundedQueue<Job>,
-    warm: WarmCache,
-    telemetry: Telemetry,
+/// State shared by the event loop and the workers.
+pub(crate) struct Shared {
+    /// The fair admission queue feeding the workers.
+    pub admission: Admission<Job>,
+    /// Finished response frames travelling back to the delivery thread.
+    pub completions: Completions,
+    /// The process-wide warm DP cache.
+    pub warm: WarmCache,
+    pub telemetry: Telemetry,
     stopping: AtomicBool,
     /// When the server started — the `uptime_s` baseline of `stats`.
-    started: Instant,
+    pub started: Instant,
     /// The `op: "trace"` ring: the last `trace_capacity` completed
     /// requests, oldest first.
-    ring: Mutex<VecDeque<RequestTrace>>,
-    trace_capacity: usize,
-    /// The listener's address, used to self-connect and wake the accept
-    /// loop on shutdown (`None` in stdio mode — nothing to wake).
-    addr: Option<SocketAddr>,
+    pub ring: Mutex<VecDeque<RequestTrace>>,
+    pub trace_capacity: usize,
+    /// The limits `hello` advertises (also the batch-size gate).
+    pub limits: ServerLimits,
 }
 
 impl Shared {
-    fn new(config: &ServeConfig, addr: Option<SocketAddr>) -> Self {
+    fn new(options: &ServeOptions, workers: usize) -> Self {
+        let queue_depth = options.queue_depth.max(1);
+        let quota = options.client_quota.max(1);
+        let batch_limit = options.batch_limit.max(1);
         Shared {
-            queue: BoundedQueue::new(config.queue_capacity),
+            admission: Admission::new(queue_depth, quota, workers),
+            completions: Completions::new(),
             warm: WarmCache::new(),
             telemetry: Telemetry::enabled(),
             stopping: AtomicBool::new(false),
             started: Instant::now(),
-            ring: Mutex::new(VecDeque::with_capacity(config.trace_capacity.min(1024))),
-            trace_capacity: config.trace_capacity.max(1),
-            addr,
+            ring: Mutex::new(VecDeque::with_capacity(options.trace_capacity.min(1024))),
+            trace_capacity: options.trace_capacity.max(1),
+            limits: ServerLimits {
+                quota,
+                queue_depth,
+                batch_limit,
+            },
         }
     }
 
@@ -215,23 +291,18 @@ impl Shared {
         ring.push_back(entry);
     }
 
-    fn stopping(&self) -> bool {
+    pub fn stopping(&self) -> bool {
         self.stopping.load(Ordering::Acquire)
     }
 
     /// Flips into drain mode exactly once: stop admitting, close the
-    /// queue, wake the accept loop.
-    fn initiate_shutdown(&self) {
+    /// queue, wake the workers and the delivery thread.
+    pub fn initiate_shutdown(&self) {
         if self.stopping.swap(true, Ordering::AcqRel) {
             return;
         }
-        self.queue.close();
-        if let Some(addr) = self.addr {
-            // The accept loop is (probably) parked in accept(); a
-            // loopback connection wakes it to observe the flag. Failure
-            // is harmless — the loop also checks per accepted stream.
-            let _ = TcpStream::connect_timeout(&addr, Duration::from_secs(1));
-        }
+        self.admission.close();
+        self.completions.notify();
     }
 
     fn summary(&self) -> ServerSummary {
@@ -243,106 +314,11 @@ impl Shared {
     }
 }
 
-/// Handles one request line; `Break` means "stop reading this input"
-/// (after a shutdown request).
-fn dispatch(shared: &Shared, line: &str, out: &Responder) -> std::ops::ControlFlow<()> {
-    use std::ops::ControlFlow::{Break, Continue};
-    let telemetry = &shared.telemetry;
-    let request = match parse_request(line) {
-        Ok(request) => request,
-        Err(e) => {
-            telemetry.add_counter(stats::REJECTED_BAD_REQUEST, 1);
-            out.send(&render_rejected(&e.id, RejectReason::BadRequest, &e.detail));
-            return Continue(());
-        }
-    };
-    match request.op {
-        Op::Map(req) => {
-            if shared.stopping() {
-                telemetry.add_counter(stats::REJECTED_SHUTDOWN, 1);
-                out.send(&render_rejected(
-                    &request.id,
-                    RejectReason::ShuttingDown,
-                    "server is draining and no longer admits work",
-                ));
-                return Continue(());
-            }
-            // The deadline clock starts at admission: time spent queued
-            // counts against it.
-            let deadline = req
-                .deadline_ms
-                .map(|ms| Instant::now() + Duration::from_millis(ms));
-            let job = Job {
-                id: request.id,
-                req,
-                deadline,
-                admitted: Instant::now(),
-                out: out.clone(),
-            };
-            match shared.queue.try_push(job) {
-                Ok(()) => telemetry.add_counter(stats::ACCEPTED, 1),
-                Err(PushError::Full(job)) => {
-                    telemetry.add_counter(stats::REJECTED_QUEUE_FULL, 1);
-                    job.out.send(&render_rejected(
-                        &job.id,
-                        RejectReason::QueueFull,
-                        "admission queue is full; retry later",
-                    ));
-                }
-                Err(PushError::Closed(job)) => {
-                    telemetry.add_counter(stats::REJECTED_SHUTDOWN, 1);
-                    job.out.send(&render_rejected(
-                        &job.id,
-                        RejectReason::ShuttingDown,
-                        "server is draining and no longer admits work",
-                    ));
-                }
-            }
-            Continue(())
-        }
-        Op::Flush => {
-            let generation = shared.warm.flush();
-            telemetry.add_counter(stats::FLUSHES, 1);
-            out.send(&render_flush_ok(&request.id, generation));
-            Continue(())
-        }
-        Op::Stats => {
-            telemetry.add_counter(stats::STATS_REQUESTS, 1);
-            out.send(&render_stats_ok(
-                &request.id,
-                shared.warm.generation(),
-                shared.started.elapsed().as_secs(),
-                shared.queue.len(),
-                shared.queue.high_water(),
-                &shared.telemetry.snapshot().to_json(),
-            ));
-            Continue(())
-        }
-        Op::Trace => {
-            telemetry.add_counter(stats::TRACE_REQUESTS, 1);
-            let entries: Vec<RequestTrace> = {
-                let ring = shared.ring.lock().expect("trace ring poisoned");
-                ring.iter().cloned().collect()
-            };
-            out.send(&render_trace_ok(
-                &request.id,
-                shared.trace_capacity,
-                &entries,
-            ));
-            Continue(())
-        }
-        Op::Shutdown => {
-            out.send(&render_shutdown_ok(&request.id));
-            shared.initiate_shutdown();
-            Break(())
-        }
-    }
-}
-
-/// One worker: pop, execute, respond — until the queue closes and
-/// drains.
+/// One worker: pop, execute, render, deliver, complete — until the
+/// queue closes and drains.
 fn worker_loop(shared: &Shared) {
-    while let Some(job) = shared.queue.pop() {
+    while let Some(popped) = shared.admission.pop() {
+        let job = popped.item;
         let draining = shared.stopping();
         let start = Instant::now();
         let queue_wait = start.duration_since(job.admitted);
@@ -358,10 +334,11 @@ fn worker_loop(shared: &Shared) {
         let run = start.elapsed();
         let run_ns = u64::try_from(run.as_nanos()).unwrap_or(u64::MAX);
         let queue_ns = u64::try_from(queue_wait.as_nanos()).unwrap_or(u64::MAX);
-        // Record the latency samples BEFORE answering: a client that
-        // has this response in hand may immediately ask op:"stats" and
-        // must find its own request already bucketed (loadgen asserts
-        // the rebuilt histogram matches bucket-for-bucket).
+        // Record the latency samples BEFORE queueing the response: a
+        // client that has this response in hand may immediately ask
+        // op:"stats" and must find its own request already bucketed
+        // (loadgen asserts the rebuilt histogram matches
+        // bucket-for-bucket).
         shared
             .telemetry
             .record_value(stats::HIST_QUEUE_NS, queue_ns);
@@ -369,7 +346,7 @@ fn worker_loop(shared: &Shared) {
         shared
             .telemetry
             .record_stage(stats::STAGE_REQUEST, run.as_secs_f64());
-        match result {
+        let item = match result {
             Ok(outcome) => {
                 shared.telemetry.add_counter(stats::COMPLETED, 1);
                 if draining {
@@ -383,15 +360,14 @@ fn worker_loop(shared: &Shared) {
                     luts: outcome.luts,
                     depth: outcome.depth,
                 });
-                job.out.send(&render_map_ok(
-                    &job.id,
-                    outcome.luts,
-                    outcome.depth,
-                    shared.warm.generation(),
+                BatchItem::Mapped(MapPayload {
+                    luts: outcome.luts,
+                    depth: outcome.depth,
+                    cache_generation: shared.warm.generation(),
                     run_ns,
-                    &outcome.netlist,
-                    &outcome.report_json,
-                ));
+                    netlist: outcome.netlist,
+                    report_json: outcome.report_json,
+                })
             }
             Err((reason, detail)) => {
                 let counter = match reason {
@@ -410,9 +386,40 @@ fn worker_loop(shared: &Shared) {
                     luts: 0,
                     depth: 0,
                 });
-                job.out.send(&render_rejected(&job.id, reason, &detail));
+                BatchItem::Rejected {
+                    reason,
+                    detail,
+                    hint: None,
+                }
+            }
+        };
+        // Deliver the frame BEFORE completing: the event loop treats
+        // "no outstanding work" as "every frame already pushed" when it
+        // decides a connection is safe to drop.
+        match &job.batch {
+            None => {
+                let frame = match &item {
+                    BatchItem::Mapped(payload) => {
+                        proto::render_map_ok(job.version, &job.id, payload)
+                    }
+                    BatchItem::Rejected {
+                        reason,
+                        detail,
+                        hint,
+                    } => {
+                        proto::render_rejected(job.version, &job.id, *reason, detail, hint.as_ref())
+                    }
+                };
+                shared.completions.push(job.cid, frame);
+            }
+            Some((state, index)) => {
+                if state.store(*index, item) {
+                    let frame = state.render();
+                    shared.completions.push(state.cid, frame);
+                }
             }
         }
+        shared.admission.complete(popped.cid, run_ns);
     }
 }
 
@@ -433,27 +440,6 @@ fn resolve_workers(requested: usize) -> usize {
         std::thread::available_parallelism().map_or(1, usize::from)
     } else {
         requested
-    }
-}
-
-/// Reads one connection until EOF/shutdown, dispatching each line.
-fn serve_connection(shared: Arc<Shared>, stream: TcpStream) {
-    // Responses are small (or single bulk writes); latency matters more
-    // than segment coalescing on a request/response protocol.
-    let _ = stream.set_nodelay(true);
-    let Ok(writer) = stream.try_clone() else {
-        return;
-    };
-    let out = Responder::new(Box::new(writer));
-    let reader = BufReader::new(stream);
-    for line in reader.lines() {
-        let Ok(line) = line else { break };
-        if line.trim().is_empty() {
-            continue;
-        }
-        if dispatch(&shared, &line, &out).is_break() {
-            break;
-        }
     }
 }
 
@@ -486,19 +472,19 @@ impl ServerHandle {
 }
 
 impl Server {
-    /// Binds `127.0.0.1:port` (`port` 0 picks an ephemeral port —
+    /// Binds `127.0.0.1:options.port` (port 0 picks an ephemeral port —
     /// read it back via [`Server::local_addr`]).
     ///
     /// # Errors
     ///
     /// Propagates the bind failure (port in use, no loopback, …).
-    pub fn bind(port: u16, config: &ServeConfig) -> io::Result<Server> {
-        let listener = TcpListener::bind((Ipv4Addr::LOCALHOST, port))?;
-        let addr = listener.local_addr()?;
+    pub fn bind(options: &ServeOptions) -> io::Result<Server> {
+        let listener = TcpListener::bind((Ipv4Addr::LOCALHOST, options.port))?;
+        let workers = resolve_workers(options.workers);
         Ok(Server {
             listener,
-            shared: Arc::new(Shared::new(config, Some(addr))),
-            workers: resolve_workers(config.workers),
+            shared: Arc::new(Shared::new(options, workers)),
+            workers,
         })
     }
 
@@ -523,20 +509,7 @@ impl Server {
     /// completes the drain; returns the aggregate summary.
     pub fn run(self) -> ServerSummary {
         let workers = spawn_workers(&self.shared, self.workers);
-        for stream in self.listener.incoming() {
-            if self.shared.stopping() {
-                break; // woken (possibly by the self-connection)
-            }
-            let Ok(stream) = stream else { continue };
-            self.shared.telemetry.add_counter(stats::CONNECTIONS, 1);
-            let shared = Arc::clone(&self.shared);
-            // Detached on purpose: a reader blocked on a quiet client
-            // must not block the drain. Workers finishing admitted jobs
-            // are what shutdown waits for.
-            let _ = std::thread::Builder::new()
-                .name("chortle-serve-conn".to_owned())
-                .spawn(move || serve_connection(shared, stream));
-        }
+        event_loop::run(&self.listener, &self.shared);
         // The queue is closed (initiate_shutdown); wait for the drain.
         for handle in workers {
             handle.join().expect("worker panicked");
@@ -562,15 +535,16 @@ pub fn run_daemon(invocation: &str, args: impl Iterator<Item = String>) -> std::
             return ExitCode::FAILURE;
         }
     };
+    let options = parsed.options();
     if parsed.stdio {
-        let summary = serve_stdio(&parsed.config());
+        let summary = serve_stdio(&options);
         eprintln!("{}", summary.report.to_json());
         return ExitCode::SUCCESS;
     }
-    let server = match Server::bind(parsed.port, &parsed.config()) {
+    let server = match Server::bind(&options) {
         Ok(server) => server,
         Err(e) => {
-            eprintln!("{invocation}: cannot bind 127.0.0.1:{}: {e}", parsed.port);
+            eprintln!("{invocation}: cannot bind 127.0.0.1:{}: {e}", options.port);
             return ExitCode::FAILURE;
         }
     };
@@ -586,19 +560,32 @@ pub fn run_daemon(invocation: &str, args: impl Iterator<Item = String>) -> std::
     ExitCode::SUCCESS
 }
 
-/// Serves newline-delimited JSON on stdin/stdout — same protocol, same
-/// worker pool, no socket. EOF on stdin (or a `shutdown` request)
-/// starts the drain. Useful under process supervisors and for piping.
-pub fn serve_stdio(config: &ServeConfig) -> ServerSummary {
-    let shared = Arc::new(Shared::new(config, None));
-    let workers = spawn_workers(&shared, resolve_workers(config.workers));
-    let out = Responder::new(Box::new(io::stdout()));
+/// Serves newline-delimited JSON on stdin/stdout — same protocol (both
+/// versions), same admission, same worker pool, no socket. EOF on stdin
+/// (or a `shutdown` request) starts the drain. Useful under process
+/// supervisors and for piping.
+///
+/// Implementation: the caller's thread reads stdin (connection id 0); a
+/// writer thread drains the completions queue to stdout, so pipelined
+/// and batched requests stream answers as they finish, exactly like the
+/// TCP loop.
+pub fn serve_stdio(options: &ServeOptions) -> ServerSummary {
+    let shared = Arc::new(Shared::new(options, resolve_workers(options.workers)));
+    let workers = spawn_workers(&shared, resolve_workers(options.workers));
+    let writer = {
+        let shared = Arc::clone(&shared);
+        std::thread::Builder::new()
+            .name("chortle-serve-stdout".to_owned())
+            .spawn(move || stdio_writer(&shared))
+            .expect("spawn stdout writer")
+    };
     for line in io::stdin().lock().lines() {
         let Ok(line) = line else { break };
         if line.trim().is_empty() {
             continue;
         }
-        if dispatch(&shared, &line, &out).is_break() {
+        event_loop::dispatch(&shared, 0, &line);
+        if shared.stopping() {
             break;
         }
     }
@@ -606,5 +593,38 @@ pub fn serve_stdio(config: &ServeConfig) -> ServerSummary {
     for handle in workers {
         handle.join().expect("worker panicked");
     }
+    // All frames are pushed (workers joined); wake the writer so it
+    // observes the drained state and exits after the final flush.
+    shared.completions.notify();
+    writer.join().expect("stdout writer panicked");
     shared.summary()
+}
+
+/// Drains completed frames to stdout until shutdown finishes.
+fn stdio_writer(shared: &Shared) {
+    use std::io::Write as _;
+    let stdout = io::stdout();
+    loop {
+        let frames = shared.completions.drain();
+        if !frames.is_empty() {
+            let mut out = stdout.lock();
+            for (_, frame) in &frames {
+                let _ = out.write_all(frame.as_bytes());
+                let _ = out.write_all(b"\n");
+            }
+            let _ = out.flush();
+            continue;
+        }
+        // Order matters: outstanding first, queue second. Workers push
+        // a job's frame before completing it, so once outstanding hits
+        // zero every frame is either drained already or visible to the
+        // emptiness check here.
+        if shared.stopping()
+            && shared.admission.outstanding_total() == 0
+            && shared.completions.is_empty()
+        {
+            break;
+        }
+        shared.completions.wait(Duration::from_millis(2));
+    }
 }

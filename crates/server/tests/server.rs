@@ -1,18 +1,26 @@
 //! Integration tests for the `chortle-serve` runtime: byte-identity
-//! with the offline pipeline, deadlines, backpressure, the warm cache,
-//! and graceful shutdown — all against a real in-process TCP server.
+//! with the offline pipeline (v1, v2, and batched), deadlines, fair
+//! admission with retry hints, the warm cache, and graceful shutdown —
+//! all against a real in-process TCP server.
 
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
 use std::thread;
 
 use chortle::{CacheMode, Objective};
 use chortle_circuits::{alu, benchmark};
 use chortle_netlist::write_blif;
-use chortle_server::{Client, MapRequest, Response, ServeConfig, Server, ServerSummary};
+use chortle_server::{
+    parse_response, proto, Client, FlushReply, HelloReply, MapReply, MapRequest, Mapped,
+    ProtocolVersion, Response, ServeOptions, Server, ServerSummary, ShutdownReply, StatsReply,
+    TraceReply,
+};
 
 /// Starts a server on an ephemeral port; returns its address and the
 /// thread that will yield the final summary after shutdown.
-fn start(config: ServeConfig) -> (String, thread::JoinHandle<ServerSummary>) {
-    let server = Server::bind(0, &config).expect("bind ephemeral port");
+fn start(options: ServeOptions) -> (String, thread::JoinHandle<ServerSummary>) {
+    let server = Server::bind(&options).expect("bind ephemeral port");
     let addr = server.local_addr().expect("bound address").to_string();
     let run = thread::spawn(move || server.run());
     (addr, run)
@@ -21,12 +29,8 @@ fn start(config: ServeConfig) -> (String, thread::JoinHandle<ServerSummary>) {
 fn request(blif: &str) -> MapRequest {
     MapRequest {
         blif: blif.to_owned(),
-        k: 4,
         jobs: 1,
-        cache: CacheMode::Shared,
-        objective: Objective::Area,
-        optimize: true,
-        deadline_ms: None,
+        ..MapRequest::default()
     }
 }
 
@@ -48,26 +52,59 @@ fn offline(blif: &str, k: usize, objective: Objective, optimize: bool) -> String
     chortle_netlist::write_lut_blif(&network, &mapping.circuit, "mapped")
 }
 
-fn expect_map_ok(response: Response) -> (usize, usize, u64, String) {
-    match response {
-        Response::MapOk {
-            luts,
-            depth,
-            cache_generation,
-            netlist,
-            ..
-        } => (luts, depth, cache_generation, netlist),
-        other => panic!("expected MapOk, got {other:?}"),
+fn expect_mapped(reply: MapReply) -> Mapped {
+    match reply {
+        MapReply::Mapped(mapped) => mapped,
+        other => panic!("expected Mapped, got {other:?}"),
     }
 }
 
 fn shut_down(addr: &str, run: thread::JoinHandle<ServerSummary>) -> ServerSummary {
     let mut client = Client::connect(addr).expect("connect for shutdown");
     match client.shutdown("bye").expect("shutdown acked") {
-        Response::ShutdownOk { id } => assert_eq!(id, "bye"),
-        other => panic!("expected ShutdownOk, got {other:?}"),
+        ShutdownReply::Draining => {}
+        other => panic!("expected Draining, got {other:?}"),
     }
     run.join().expect("server thread exits cleanly")
+}
+
+/// Writes `frames` as one pipelined burst (a single `write` call, so the
+/// server sees them together) and reads exactly `expect` response lines,
+/// parsed and indexed by id.
+fn burst(stream: &TcpStream, frames: &[String], expect: usize) -> BTreeMap<String, Response> {
+    let mut writer = stream.try_clone().expect("clone stream");
+    let mut bytes = String::new();
+    for frame in frames {
+        bytes.push_str(frame);
+        bytes.push('\n');
+    }
+    writer.write_all(bytes.as_bytes()).expect("write burst");
+    writer.flush().expect("flush burst");
+    let mut responses = BTreeMap::new();
+    let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
+    for _ in 0..expect {
+        let mut line = String::new();
+        let n = reader.read_line(&mut line).expect("read response");
+        assert!(n > 0, "server closed before answering every frame");
+        let response = parse_response(line.trim_end()).expect("well-formed response");
+        let id = match &response {
+            Response::MapOk { id, .. }
+            | Response::BatchOk { id, .. }
+            | Response::HelloOk { id, .. }
+            | Response::FlushOk { id, .. }
+            | Response::StatsOk { id, .. }
+            | Response::TraceOk { id, .. }
+            | Response::ShutdownOk { id }
+            | Response::Rejected { id, .. } => id.clone(),
+            other => panic!("unknown response shape {other:?}"),
+        };
+        let prior = responses.insert(id.clone(), (line, response));
+        assert!(prior.is_none(), "id {id:?} answered more than once");
+    }
+    responses
+        .into_iter()
+        .map(|(id, (_, response))| (id, response))
+        .collect()
 }
 
 #[test]
@@ -77,7 +114,7 @@ fn responses_are_byte_identical_to_the_offline_pipeline() {
         ("frg1", write_blif(&benchmark("frg1").unwrap(), "frg1")),
         ("alu8", write_blif(&alu(8), "alu8")),
     ];
-    let (addr, run) = start(ServeConfig::default());
+    let (addr, run) = start(ServeOptions::default());
     let mut client = Client::connect(&addr).expect("connect");
 
     for (name, blif) in &circuits {
@@ -92,20 +129,23 @@ fn responses_are_byte_identical_to_the_offline_pipeline() {
                 req.jobs = jobs;
                 req.cache = cache;
                 let id = format!("{name}-j{jobs}-{cache:?}");
-                let (_, _, _, netlist) = expect_map_ok(client.map(&id, &req).expect("roundtrip"));
-                assert_eq!(netlist, baseline, "{id} diverged from the offline pipeline");
+                let mapped = expect_mapped(client.map(&id, &req).expect("roundtrip"));
+                assert_eq!(
+                    mapped.netlist, baseline,
+                    "{id} diverged from the offline pipeline"
+                );
                 sent += 1;
             }
         }
         assert_eq!(sent, 6);
 
         // Warm repeat (shared cache already populated by the loop above).
-        let (_, _, _, netlist) = expect_map_ok(
+        let mapped = expect_mapped(
             client
                 .map(&format!("{name}-warm"), &request(blif))
                 .expect("roundtrip"),
         );
-        assert_eq!(netlist, baseline, "{name}: warm-cache run diverged");
+        assert_eq!(mapped.netlist, baseline, "{name}: warm-cache run diverged");
 
         // A different option mix, to show identity is not k=4-specific.
         let variant = offline(blif, 5, Objective::Depth, false);
@@ -113,29 +153,140 @@ fn responses_are_byte_identical_to_the_offline_pipeline() {
         req.k = 5;
         req.objective = Objective::Depth;
         req.optimize = false;
-        let (luts, depth, _, netlist) =
-            expect_map_ok(client.map(&format!("{name}-k5"), &req).expect("roundtrip"));
-        assert_eq!(netlist, variant, "{name}: k=5/depth/no-optimize diverged");
-        assert!(luts > 0 && depth > 0);
+        let mapped = expect_mapped(client.map(&format!("{name}-k5"), &req).expect("roundtrip"));
+        assert_eq!(
+            mapped.netlist, variant,
+            "{name}: k=5/depth/no-optimize diverged"
+        );
+        assert!(mapped.luts > 0 && mapped.depth > 0);
     }
 
     let summary = shut_down(&addr, run);
     assert_eq!(summary.report.counter("serve.completed"), Some(24));
     assert_eq!(summary.report.counter("serve.accepted"), Some(24));
+    assert_eq!(summary.report.counter("serve.admission.admitted"), Some(24));
+}
+
+#[test]
+fn mixed_v1_and_v2_sessions_share_one_connection_and_identical_bytes() {
+    let blif = write_blif(&benchmark("count").unwrap(), "count");
+    let baseline = offline(&blif, 4, Objective::Area, true);
+    let (addr, run) = start(ServeOptions::default());
+
+    // One connection, one pipelined write, five frames across both
+    // protocol versions: the server answers each in the version it was
+    // asked in, and every netlist matches the offline pipeline.
+    let stream = TcpStream::connect(&addr).expect("connect");
+    let frames = vec![
+        proto::render_map_request(ProtocolVersion::V1, "old-map", &request(&blif)),
+        proto::render_map_request(ProtocolVersion::V2, "new-map", &request(&blif)),
+        proto::render_batch_request("batch", &[request(&blif), request(&blif)]),
+        proto::render_admin_request(ProtocolVersion::V2, "hi", &proto::Op::Hello),
+        proto::render_admin_request(ProtocolVersion::V1, "old-stats", &proto::Op::Stats),
+    ];
+    let responses = burst(&stream, &frames, 5);
+
+    match &responses["old-map"] {
+        Response::MapOk { netlist, .. } => assert_eq!(netlist, &baseline, "v1 map diverged"),
+        other => panic!("expected MapOk, got {other:?}"),
+    }
+    match &responses["new-map"] {
+        Response::MapOk { netlist, .. } => assert_eq!(netlist, &baseline, "v2 map diverged"),
+        other => panic!("expected MapOk, got {other:?}"),
+    }
+    match &responses["batch"] {
+        Response::BatchOk { results, .. } => {
+            assert_eq!(results.len(), 2);
+            for (i, result) in results.iter().enumerate() {
+                match result {
+                    MapReply::Mapped(m) => {
+                        assert_eq!(m.netlist, baseline, "batch entry {i} diverged");
+                    }
+                    other => panic!("expected Mapped for entry {i}, got {other:?}"),
+                }
+            }
+        }
+        other => panic!("expected BatchOk, got {other:?}"),
+    }
+    match &responses["hi"] {
+        Response::HelloOk {
+            versions,
+            quota,
+            queue_depth,
+            batch_limit,
+            ..
+        } => {
+            assert_eq!(versions, &["chortle-serve/v1", "chortle-serve/v2"]);
+            assert_eq!((*quota, *queue_depth, *batch_limit), (8, 64, 64));
+        }
+        other => panic!("expected HelloOk, got {other:?}"),
+    }
+    match &responses["old-stats"] {
+        Response::StatsOk { report_json, .. } => {
+            chortle_telemetry::schema::validate_report(report_json).expect("schema-valid");
+        }
+        other => panic!("expected StatsOk, got {other:?}"),
+    }
+
+    let summary = shut_down(&addr, run);
+    assert_eq!(summary.report.counter("serve.completed"), Some(4));
+    assert_eq!(summary.report.counter("serve.batch_frames"), Some(1));
+    assert_eq!(summary.report.counter("serve.batch_requests"), Some(2));
+    assert_eq!(summary.report.counter("serve.hello_requests"), Some(1));
+}
+
+#[test]
+fn mixed_session_responses_carry_the_request_version_on_the_wire() {
+    let blif = write_blif(&benchmark("count").unwrap(), "count");
+    let (addr, run) = start(ServeOptions::default());
+    let stream = TcpStream::connect(&addr).expect("connect");
+    let frames = vec![
+        proto::render_map_request(ProtocolVersion::V1, "v1", &request(&blif)),
+        proto::render_map_request(ProtocolVersion::V2, "v2", &request(&blif)),
+    ];
+
+    // Read raw lines (not parsed) to pin the wire-level `proto` tag.
+    let mut writer = stream.try_clone().expect("clone");
+    let mut bytes = String::new();
+    for frame in &frames {
+        bytes.push_str(frame);
+        bytes.push('\n');
+    }
+    writer.write_all(bytes.as_bytes()).expect("write");
+    let mut reader = BufReader::new(stream);
+    for _ in 0..2 {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("read");
+        if line.contains("\"id\":\"v1\"") {
+            assert!(
+                line.contains("\"proto\":\"chortle-serve/v1\""),
+                "v1 request answered in the wrong version: {line}"
+            );
+        } else {
+            assert!(
+                line.contains("\"proto\":\"chortle-serve/v2\""),
+                "v2 request answered in the wrong version: {line}"
+            );
+        }
+    }
+
+    shut_down(&addr, run);
 }
 
 #[test]
 fn zero_deadline_is_rejected_with_work_discarded() {
-    let (addr, run) = start(ServeConfig::default());
+    let (addr, run) = start(ServeOptions::default());
     let mut client = Client::connect(&addr).expect("connect");
     let blif = write_blif(&alu(64), "alu64");
     let mut req = request(&blif);
     req.deadline_ms = Some(0);
     match client.map("late", &req).expect("roundtrip") {
-        Response::Rejected { id, reason, detail } => {
-            assert_eq!(id, "late");
-            assert_eq!(reason, "deadline_exceeded");
-            assert!(detail.contains("deadline expired"), "{detail}");
+        MapReply::Rejected(rejection) => {
+            assert_eq!(rejection.reason, "deadline_exceeded");
+            assert!(
+                rejection.detail.contains("deadline expired"),
+                "{rejection:?}"
+            );
         }
         other => panic!("expected deadline rejection, got {other:?}"),
     }
@@ -143,7 +294,7 @@ fn zero_deadline_is_rejected_with_work_discarded() {
     // the token is per-request, not per-connection.
     let mut req = request(&write_blif(&benchmark("count").unwrap(), "count"));
     req.deadline_ms = Some(60_000);
-    expect_map_ok(client.map("fine", &req).expect("roundtrip"));
+    expect_mapped(client.map("fine", &req).expect("roundtrip"));
 
     let summary = shut_down(&addr, run);
     assert_eq!(summary.report.counter("serve.rejected_deadline"), Some(1));
@@ -152,50 +303,47 @@ fn zero_deadline_is_rejected_with_work_discarded() {
 
 #[test]
 fn overload_yields_typed_queue_full_rejections_and_no_drops() {
-    use std::io::{BufRead, BufReader, Write};
-    // One worker, queue capacity 1: pipelining several slow requests on
-    // one connection must overflow the queue deterministically.
-    let (addr, run) = start(ServeConfig {
-        workers: 1,
-        queue_capacity: 1,
-        ..ServeConfig::default()
-    });
+    // One worker, queue capacity 1, roomy quota: pipelining several slow
+    // requests on one v1 connection must overflow the global queue.
+    let (addr, run) = start(
+        ServeOptions::builder()
+            .workers(1)
+            .queue_depth(1)
+            .client_quota(32)
+            .build(),
+    );
     let blif = write_blif(&alu(96), "alu96");
     let total = 6;
+    let frames: Vec<String> = (0..total)
+        .map(|i| proto::render_map_request(ProtocolVersion::V1, &format!("r{i}"), &request(&blif)))
+        .collect();
+    let stream = TcpStream::connect(&addr).expect("connect");
+    let responses = burst(&stream, &frames, total);
 
-    let stream = std::net::TcpStream::connect(&addr).expect("connect");
-    let mut writer = stream.try_clone().expect("clone");
-    let mut lines = String::new();
-    for i in 0..total {
-        lines.push_str(&chortle_server::proto::render_map_request(
-            &format!("r{i}"),
-            &request(&blif),
-        ));
-        lines.push('\n');
-    }
-    writer.write_all(lines.as_bytes()).expect("write burst");
-    writer.flush().expect("flush");
-
-    let reader = BufReader::new(stream);
     let mut ok = 0usize;
     let mut queue_full = 0usize;
-    let mut seen = std::collections::BTreeSet::new();
-    for line in reader.lines().take(total) {
-        let line = line.expect("every request gets a response line");
-        match chortle_server::parse_response(&line).expect("well-formed response") {
-            Response::MapOk { id, .. } => {
-                ok += 1;
-                seen.insert(id);
-            }
-            Response::Rejected { id, reason, .. } => {
-                assert_eq!(reason, "queue_full", "only overload rejections expected");
+    for (id, response) in &responses {
+        match response {
+            Response::MapOk { .. } => ok += 1,
+            Response::Rejected { rejection, .. } => {
+                assert_eq!(
+                    rejection.reason, "queue_full",
+                    "only overload rejections expected for {id}"
+                );
+                assert_eq!(
+                    rejection.retry_after_ms, None,
+                    "v1 rejections never carry hints"
+                );
                 queue_full += 1;
-                seen.insert(id);
             }
             other => panic!("unexpected response {other:?}"),
         }
     }
-    assert_eq!(seen.len(), total, "every request answered exactly once");
+    assert_eq!(
+        responses.len(),
+        total,
+        "every request answered exactly once"
+    );
     assert_eq!(ok + queue_full, total);
     // How many slip in before the worker drains depends on scheduling;
     // the guarantees are "admitted implies completed" (ok ≥ 1 since the
@@ -203,33 +351,215 @@ fn overload_yields_typed_queue_full_rejections_and_no_drops() {
     // typed rejection, not a hang or a drop".
     assert!(ok >= 1, "the admitted requests complete");
     assert!(queue_full >= 1, "overload must surface as queue_full");
-    drop(writer);
 
     let summary = shut_down(&addr, run);
     assert_eq!(
         summary.report.counter("serve.rejected_queue_full"),
         Some(queue_full as u64)
     );
+    assert_eq!(
+        summary.report.counter("serve.admission.shed_queue_full"),
+        Some(queue_full as u64)
+    );
+    assert_eq!(
+        summary.report.counter("serve.admission.hinted"),
+        None,
+        "v1 sheds are never hinted"
+    );
     assert_eq!(summary.report.counter("serve.completed"), Some(ok as u64));
 }
 
 #[test]
+fn quota_sheds_carry_retry_hints_on_v2_but_not_v1() {
+    // Quota 1: the second of two pipelined maps is over_quota while the
+    // first is still queued or in flight.
+    let (addr, run) = start(ServeOptions::builder().workers(1).client_quota(1).build());
+    let blif = write_blif(&alu(32), "alu32");
+
+    let v2 = TcpStream::connect(&addr).expect("connect v2");
+    let frames: Vec<String> = (0..2)
+        .map(|i| proto::render_map_request(ProtocolVersion::V2, &format!("a{i}"), &request(&blif)))
+        .collect();
+    let responses = burst(&v2, &frames, 2);
+    let mut hinted = 0;
+    let mut mapped = 0;
+    for response in responses.values() {
+        match response {
+            Response::MapOk { .. } => mapped += 1,
+            Response::Rejected { rejection, .. } => {
+                assert_eq!(rejection.reason, "over_quota");
+                assert!(
+                    rejection.detail.contains("quota of 1"),
+                    "detail names the quota: {rejection:?}"
+                );
+                let wait = rejection.retry_after_ms.expect("v2 shed carries a hint");
+                assert!((1..=10_000).contains(&wait), "hint {wait}ms out of range");
+                assert!(rejection.client_queue_depth.expect("depth hint") >= 1);
+                hinted += 1;
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+    assert_eq!((mapped, hinted), (1, 1));
+
+    // The same burst over v1: the shed downgrades to the frozen v1
+    // vocabulary — reason "queue_full", no hint fields.
+    let v1 = TcpStream::connect(&addr).expect("connect v1");
+    let frames: Vec<String> = (0..2)
+        .map(|i| proto::render_map_request(ProtocolVersion::V1, &format!("b{i}"), &request(&blif)))
+        .collect();
+    let responses = burst(&v1, &frames, 2);
+    let rejected: Vec<_> = responses
+        .values()
+        .filter_map(|r| match r {
+            Response::Rejected { rejection, .. } => Some(rejection.clone()),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(rejected.len(), 1);
+    assert_eq!(rejected[0].reason, "queue_full");
+    assert_eq!(rejected[0].retry_after_ms, None);
+    assert_eq!(rejected[0].client_queue_depth, None);
+
+    let summary = shut_down(&addr, run);
+    assert_eq!(
+        summary.report.counter("serve.admission.shed_over_quota"),
+        Some(2)
+    );
+    assert_eq!(summary.report.counter("serve.admission.hinted"), Some(1));
+    assert_eq!(summary.report.counter("serve.rejected_queue_full"), Some(2));
+}
+
+#[test]
+fn admission_is_fair_across_bursting_clients() {
+    const CLIENTS: usize = 4;
+    const BURST: usize = 8;
+    const QUOTA: usize = 3;
+    let (addr, run) = start(
+        ServeOptions::builder()
+            .workers(1)
+            .queue_depth(64)
+            .client_quota(QUOTA)
+            .build(),
+    );
+
+    // Plug the single worker with a slow request so the bursts below
+    // race admission, not completion.
+    let plug = TcpStream::connect(&addr).expect("connect plug");
+    let slow = write_blif(&alu(96), "alu96");
+    {
+        let mut writer = plug.try_clone().expect("clone plug");
+        let mut frame = proto::render_map_request(ProtocolVersion::V2, "plug", &request(&slow));
+        frame.push('\n');
+        writer.write_all(frame.as_bytes()).expect("write plug");
+    }
+    // Wait until the worker picked the plug up (queue drained to 0).
+    let mut admin = Client::connect(&addr).expect("connect admin");
+    loop {
+        match admin.stats("poll").expect("stats") {
+            StatsReply::Stats { queue_depth: 0, .. } => break,
+            StatsReply::Stats { .. } => thread::sleep(std::time::Duration::from_millis(1)),
+            other => panic!("expected Stats, got {other:?}"),
+        }
+    }
+
+    // Saturating burst from every client while the worker is busy.
+    let blif = write_blif(&benchmark("count").unwrap(), "count");
+    let streams: Vec<TcpStream> = (0..CLIENTS)
+        .map(|_| TcpStream::connect(&addr).expect("connect client"))
+        .collect();
+    let mut completed = Vec::new();
+    for (c, stream) in streams.iter().enumerate() {
+        let frames: Vec<String> = (0..BURST)
+            .map(|i| {
+                proto::render_map_request(
+                    ProtocolVersion::V2,
+                    &format!("c{c}-{i}"),
+                    &request(&blif),
+                )
+            })
+            .collect();
+        let responses = burst(stream, &frames, BURST);
+        assert_eq!(responses.len(), BURST, "zero loss: every id answered once");
+        let mut ok = 0usize;
+        let mut shed = 0usize;
+        for (id, response) in &responses {
+            match response {
+                Response::MapOk { .. } => ok += 1,
+                Response::Rejected { rejection, .. } => {
+                    assert!(
+                        rejection.reason == "over_quota" || rejection.reason == "queue_full",
+                        "{id}: unexpected shed {rejection:?}"
+                    );
+                    assert!(
+                        rejection.retry_after_ms.is_some(),
+                        "{id}: v2 shed must carry a retry hint"
+                    );
+                    shed += 1;
+                }
+                other => panic!("{id}: unexpected response {other:?}"),
+            }
+        }
+        assert_eq!(ok + shed, BURST, "client {c}: zero-loss invariant");
+        assert!(ok >= 1, "client {c}: at least the quota head is admitted");
+        completed.push(ok);
+    }
+
+    // Fairness: no client outruns another by more than the quota.
+    let most = *completed.iter().max().expect("clients");
+    let least = *completed.iter().min().expect("clients");
+    assert!(
+        most - least <= QUOTA,
+        "per-client completions {completed:?} spread wider than the quota {QUOTA}"
+    );
+
+    let summary = shut_down(&addr, run);
+    let total: usize = completed.iter().sum();
+    // +1 for the plug request.
+    assert_eq!(
+        summary.report.counter("serve.completed"),
+        Some(total as u64 + 1)
+    );
+    assert!(
+        summary
+            .report
+            .counter("serve.coalesced_frames")
+            .unwrap_or(0)
+            >= 1,
+        "burst rejections coalesce into shared writes"
+    );
+    let depth_hist = summary
+        .report
+        .histogram("serve.admission.client_depth")
+        .expect("client-depth histogram present");
+    assert_eq!(depth_hist.count() as usize, total + 1);
+}
+
+#[test]
 fn flush_bumps_the_generation_and_empties_the_warm_cache() {
-    let (addr, run) = start(ServeConfig::default());
+    let (addr, run) = start(ServeOptions::default());
     let mut client = Client::connect(&addr).expect("connect");
     let blif = write_blif(&benchmark("frg1").unwrap(), "frg1");
 
-    let (_, _, g0, first) = expect_map_ok(client.map("m0", &request(&blif)).expect("roundtrip"));
+    let first = expect_mapped(client.map("m0", &request(&blif)).expect("roundtrip"));
     let flushed = match client.flush("f0").expect("roundtrip") {
-        Response::FlushOk {
-            cache_generation, ..
-        } => cache_generation,
-        other => panic!("expected FlushOk, got {other:?}"),
+        FlushReply::Flushed { cache_generation } => cache_generation,
+        other => panic!("expected Flushed, got {other:?}"),
     };
-    assert_eq!(flushed, g0 + 1, "flush bumps the generation");
-    let (_, _, g1, second) = expect_map_ok(client.map("m1", &request(&blif)).expect("roundtrip"));
-    assert_eq!(g1, flushed, "post-flush requests see the new generation");
-    assert_eq!(first, second, "flushing never changes mapping results");
+    assert_eq!(
+        flushed,
+        first.cache_generation + 1,
+        "flush bumps the generation"
+    );
+    let second = expect_mapped(client.map("m1", &request(&blif)).expect("roundtrip"));
+    assert_eq!(
+        second.cache_generation, flushed,
+        "post-flush requests see the new generation"
+    );
+    assert_eq!(
+        first.netlist, second.netlist,
+        "flushing never changes mapping results"
+    );
 
     let summary = shut_down(&addr, run);
     assert_eq!(summary.report.counter("serve.flushes"), Some(1));
@@ -238,10 +568,7 @@ fn flush_bumps_the_generation_and_empties_the_warm_cache() {
 
 #[test]
 fn stats_and_trace_expose_live_introspection() {
-    let (addr, run) = start(ServeConfig {
-        trace_capacity: 2,
-        ..ServeConfig::default()
-    });
+    let (addr, run) = start(ServeOptions::builder().trace_capacity(2).build());
     let mut client = Client::connect(&addr).expect("connect");
     let blif = write_blif(&benchmark("count").unwrap(), "count");
 
@@ -250,45 +577,40 @@ fn stats_and_trace_expose_live_introspection() {
     // bucketing, the reconstruction must match bucket-for-bucket.
     let mut run_hist = chortle_telemetry::Histogram::new();
     for i in 0..3 {
-        match client
-            .map(&format!("m{i}"), &request(&blif))
-            .expect("roundtrip")
-        {
-            Response::MapOk { run_ns, .. } => run_hist.record(run_ns),
-            other => panic!("expected MapOk, got {other:?}"),
-        }
+        let mapped = expect_mapped(
+            client
+                .map(&format!("m{i}"), &request(&blif))
+                .expect("roundtrip"),
+        );
+        run_hist.record(mapped.run_ns);
     }
 
     match client.stats("s").expect("roundtrip") {
-        Response::StatsOk {
-            id,
+        StatsReply::Stats {
             queue_depth,
             report_json,
             ..
         } => {
-            assert_eq!(id, "s");
             assert_eq!(queue_depth, 0, "nothing queued between round trips");
             chortle_telemetry::schema::validate_report(&report_json).expect("schema-valid");
             for needle in [
                 "\"serve.queue_ns\"",
                 "\"serve.run_ns\"",
+                "\"serve.admission.client_depth\"",
                 "serve.stats_requests",
+                "serve.admission.admitted",
             ] {
                 assert!(report_json.contains(needle), "stats report lost {needle}");
             }
         }
-        other => panic!("expected StatsOk, got {other:?}"),
+        other => panic!("expected Stats, got {other:?}"),
     }
 
     // The ring holds `trace_capacity` entries: the oldest request has
     // been evicted, the survivors arrive oldest first.
     match client.trace("t").expect("roundtrip") {
-        Response::TraceOk {
-            id,
-            capacity,
-            requests,
-        } => {
-            assert_eq!((id.as_str(), capacity), ("t", 2));
+        TraceReply::Trace { capacity, requests } => {
+            assert_eq!(capacity, 2);
             let ids: Vec<&str> = requests.iter().map(|r| r.id.as_str()).collect();
             assert_eq!(ids, ["m1", "m2"], "bounded ring evicts oldest first");
             for r in &requests {
@@ -296,7 +618,7 @@ fn stats_and_trace_expose_live_introspection() {
                 assert!(r.luts > 0 && r.depth > 0);
             }
         }
-        other => panic!("expected TraceOk, got {other:?}"),
+        other => panic!("expected Trace, got {other:?}"),
     }
 
     let summary = shut_down(&addr, run);
@@ -315,17 +637,81 @@ fn stats_and_trace_expose_live_introspection() {
 }
 
 #[test]
+fn batches_resolve_entries_independently_and_respect_the_limit() {
+    let (addr, run) = start(ServeOptions::builder().batch_limit(3).build());
+    let mut client = Client::connect(&addr).expect("connect");
+    let count = write_blif(&benchmark("count").unwrap(), "count");
+    let frg1 = write_blif(&benchmark("frg1").unwrap(), "frg1");
+    let count_baseline = offline(&count, 4, Objective::Area, true);
+    let frg1_baseline = offline(&frg1, 4, Objective::Area, true);
+
+    match client.hello("hi").expect("roundtrip") {
+        HelloReply::Hello { batch_limit, .. } => assert_eq!(batch_limit, 3),
+        other => panic!("expected Hello, got {other:?}"),
+    }
+
+    // One good, one broken, one good: the frame succeeds as a whole and
+    // the bad entry is a per-entry rejection in its slot.
+    let requests = vec![
+        request(&count),
+        request(".model m\n.inputs a\n.outputs y\n.names\n.end\n"),
+        request(&frg1),
+    ];
+    match client.map_batch("mixed", &requests).expect("roundtrip") {
+        chortle_server::BatchReply::Results(results) => {
+            assert_eq!(results.len(), 3);
+            match &results[0] {
+                MapReply::Mapped(m) => assert_eq!(m.netlist, count_baseline),
+                other => panic!("entry 0: expected Mapped, got {other:?}"),
+            }
+            match &results[1] {
+                MapReply::Rejected(r) => {
+                    assert_eq!(r.reason, "bad_request");
+                    assert!(r.detail.contains("cannot parse input"), "{r:?}");
+                }
+                other => panic!("entry 1: expected Rejected, got {other:?}"),
+            }
+            match &results[2] {
+                MapReply::Mapped(m) => assert_eq!(m.netlist, frg1_baseline),
+                other => panic!("entry 2: expected Mapped, got {other:?}"),
+            }
+        }
+        other => panic!("expected Results, got {other:?}"),
+    }
+
+    // Over the limit: the whole frame is rejected before admission.
+    let oversized = vec![request(&count); 4];
+    match client.map_batch("big", &oversized).expect("roundtrip") {
+        chortle_server::BatchReply::Rejected(rejection) => {
+            assert_eq!(rejection.reason, "bad_request");
+            assert!(rejection.detail.contains("batch_limit"), "{rejection:?}");
+        }
+        other => panic!("expected Rejected, got {other:?}"),
+    }
+
+    let summary = shut_down(&addr, run);
+    assert_eq!(summary.report.counter("serve.batch_frames"), Some(2));
+    assert_eq!(summary.report.counter("serve.batch_requests"), Some(7));
+    assert_eq!(summary.report.counter("serve.completed"), Some(2));
+    assert_eq!(summary.report.counter("serve.hello_requests"), Some(1));
+}
+
+#[test]
 fn malformed_requests_are_rejected_as_bad_request() {
-    let (addr, run) = start(ServeConfig::default());
+    let (addr, run) = start(ServeOptions::default());
     let mut client = Client::connect(&addr).expect("connect");
 
-    // Protocol-level garbage.
+    // Protocol-level garbage, v1 and v2 violations alike.
     for raw in [
         "this is not json",
         r#"{"proto":"chortle-serve/v1","id":"x","zap":true}"#,
+        r#"{"proto":"chortle-serve/v1","id":"x","op":"hello"}"#,
+        r#"{"proto":"chortle-serve/v1","id":"x","op":"map","blif":".end\n","priority":3}"#,
     ] {
         match client.send_raw(raw).expect("roundtrip") {
-            Response::Rejected { reason, .. } => assert_eq!(reason, "bad_request", "{raw}"),
+            Response::Rejected { rejection, .. } => {
+                assert_eq!(rejection.reason, "bad_request", "{raw}");
+            }
             other => panic!("expected bad_request for {raw}, got {other:?}"),
         }
     }
@@ -333,75 +719,82 @@ fn malformed_requests_are_rejected_as_bad_request() {
     // both map to bad_request, with the parser's own diagnostic.
     let truncated = request(".model m\n.inputs a\n.outputs y\n.names\n.end\n");
     match client.map("t", &truncated).expect("roundtrip") {
-        Response::Rejected { reason, detail, .. } => {
-            assert_eq!(reason, "bad_request");
-            assert!(detail.contains("cannot parse input"), "{detail}");
+        MapReply::Rejected(rejection) => {
+            assert_eq!(rejection.reason, "bad_request");
+            assert!(
+                rejection.detail.contains("cannot parse input"),
+                "{rejection:?}"
+            );
         }
         other => panic!("expected bad_request, got {other:?}"),
     }
     let mut bad_k = request(".model m\n.inputs a\n.outputs y\n.names a y\n1 1\n.end\n");
     bad_k.k = 20;
     match client.map("k", &bad_k).expect("roundtrip") {
-        Response::Rejected { reason, .. } => assert_eq!(reason, "bad_request"),
+        MapReply::Rejected(rejection) => assert_eq!(rejection.reason, "bad_request"),
         other => panic!("expected bad_request, got {other:?}"),
     }
 
     let summary = shut_down(&addr, run);
     assert_eq!(
         summary.report.counter("serve.rejected_bad_request"),
-        Some(4)
+        Some(6)
     );
     assert_eq!(summary.report.counter("serve.completed"), None);
 }
 
 #[test]
 fn shutdown_drains_refuses_new_work_and_reports_schema_valid_telemetry() {
-    let (addr, run) = start(ServeConfig::default());
+    let (addr, run) = start(ServeOptions::default());
     let blif = write_blif(&benchmark("count").unwrap(), "count");
 
-    // A second connection opened *before* shutdown: its reader survives
-    // the drain and must refuse post-shutdown work with a typed reason.
-    let mut survivor = Client::connect(&addr).expect("connect survivor");
-    let mut client = Client::connect(&addr).expect("connect");
-    expect_map_ok(client.map("before", &request(&blif)).expect("roundtrip"));
+    // One pipelined write: map, stats, shutdown, then another map. The
+    // server must answer all four — the trailing map with a typed
+    // `shutting_down`, never silence (frames behind a shutdown are
+    // answered, not dropped).
+    let stream = TcpStream::connect(&addr).expect("connect");
+    let frames = vec![
+        proto::render_map_request(ProtocolVersion::V2, "before", &request(&blif)),
+        proto::render_admin_request(ProtocolVersion::V2, "mid-stats", &proto::Op::Stats),
+        proto::render_admin_request(ProtocolVersion::V2, "bye", &proto::Op::Shutdown),
+        proto::render_map_request(ProtocolVersion::V2, "after", &request(&blif)),
+    ];
+    let responses = burst(&stream, &frames, 4);
 
-    match client.stats("s").expect("roundtrip") {
+    match &responses["before"] {
+        Response::MapOk { .. } => {}
+        other => panic!("expected MapOk, got {other:?}"),
+    }
+    match &responses["mid-stats"] {
         Response::StatsOk {
             report_json,
             cache_generation,
             queue_high_water,
             ..
         } => {
-            assert_eq!(cache_generation, 0);
-            assert!(queue_high_water >= 1, "the map request was queued");
-            chortle_telemetry::schema::validate_report(&report_json)
+            assert_eq!(*cache_generation, 0);
+            assert!(*queue_high_water >= 1, "the map request was queued");
+            chortle_telemetry::schema::validate_report(report_json)
                 .expect("mid-run stats report validates against the schema");
         }
         other => panic!("expected StatsOk, got {other:?}"),
     }
-
-    match client.shutdown("bye").expect("roundtrip") {
+    match &responses["bye"] {
         Response::ShutdownOk { .. } => {}
         other => panic!("expected ShutdownOk, got {other:?}"),
     }
-    match survivor.map("after", &request(&blif)).expect("roundtrip") {
-        Response::Rejected { reason, .. } => assert_eq!(reason, "shutting_down"),
+    match &responses["after"] {
+        Response::Rejected { rejection, .. } => {
+            assert_eq!(rejection.reason, "shutting_down");
+            assert!(rejection.detail.contains("draining"), "{rejection:?}");
+        }
         other => panic!("expected shutting_down, got {other:?}"),
     }
 
     let summary = run.join().expect("server exits");
     assert_eq!(summary.report.counter("serve.completed"), Some(1));
-    // The survivor's rejection may land after the final snapshot (its
-    // reader thread outlives the drain), so only bound the counter; the
-    // typed response above is the real contract.
-    assert!(
-        summary
-            .report
-            .counter("serve.rejected_shutdown")
-            .unwrap_or(0)
-            <= 1
-    );
-    assert!(summary.report.counter("serve.connections").unwrap_or(0) >= 2);
+    assert_eq!(summary.report.counter("serve.rejected_shutdown"), Some(1));
+    assert!(summary.report.counter("serve.connections").unwrap_or(0) >= 1);
     chortle_telemetry::schema::validate_report(&summary.report.to_json())
         .expect("final aggregate report validates against the schema");
 }

@@ -25,6 +25,15 @@ pub const SERVE_COUNTERS: &[&str] = &[
     "serve.flushes",
     "serve.stats_requests",
     "serve.trace_requests",
+    // Schema v1.4: the event-driven serving core (protocol v2).
+    "serve.hello_requests",
+    "serve.batch_frames",
+    "serve.batch_requests",
+    "serve.coalesced_frames",
+    "serve.admission.admitted",
+    "serve.admission.shed_over_quota",
+    "serve.admission.shed_queue_full",
+    "serve.admission.hinted",
 ];
 
 /// The documented counters of the reserved `trace.` namespace —
@@ -287,7 +296,7 @@ mod tests {
 
     #[test]
     fn rejects_wrong_schema_tag() {
-        let json = sample_report().replace("chortle-telemetry/v1.3", "bogus/v0");
+        let json = sample_report().replace("chortle-telemetry/v1.4", "bogus/v0");
         let err = validate_report(&json).unwrap_err();
         assert!(err.contains("$.schema"), "{err}");
     }
@@ -295,7 +304,7 @@ mod tests {
     #[test]
     fn rejects_missing_and_extra_keys() {
         let err =
-            validate_report(r#"{"schema":"chortle-telemetry/v1.3","enabled":true}"#).unwrap_err();
+            validate_report(r#"{"schema":"chortle-telemetry/v1.4","enabled":true}"#).unwrap_err();
         assert!(err.contains("expected"), "{err}");
         let json = sample_report().replace("\"counters\":", "\"extras\":");
         assert!(validate_report(&json).is_err());

@@ -105,6 +105,29 @@ for i in 0 1 2; do
     || { echo "ci: serve response $i (${client_flags[$i]}) differs from the CLI" >&2; exit 1; }
 done
 
+# Mixed-version session against the same live daemon: a v1 client (the
+# frozen wire shape) and a v2 op:"map_batch" frame, each byte-identical
+# to the offline CLI under the same flags.
+printf "$smoke_blif" > "$serve_tmp/smoke.blif"
+printf "$smoke_blif" | cargo run -q -p chortle-server --bin chortle-serve -- \
+  --connect "$addr" --proto v1 ${client_flags[0]} \
+  > "$serve_tmp/serve_v1.blif" 2>/dev/null \
+  || { echo "ci: the v1 client failed" >&2; exit 1; }
+cmp -s "$serve_tmp/serve_v1.blif" "$serve_tmp/cli_0.blif" \
+  || { echo "ci: the v1 response differs from the CLI" >&2; exit 1; }
+cargo run -q -p chortle-server --bin chortle-serve -- \
+  --connect "$addr" --batch ${client_flags[1]} \
+  "$serve_tmp/smoke.blif" "$serve_tmp/smoke.blif" \
+  > "$serve_tmp/serve_batch.blif" 2>/dev/null \
+  || { echo "ci: the map_batch client failed" >&2; exit 1; }
+cat "$serve_tmp/cli_1.blif" "$serve_tmp/cli_1.blif" > "$serve_tmp/cli_batch.blif"
+cmp -s "$serve_tmp/serve_batch.blif" "$serve_tmp/cli_batch.blif" \
+  || { echo "ci: the batched responses differ from the CLI" >&2; exit 1; }
+# The negotiation summary is human chatter, so it lands on stderr.
+cargo run -q -p chortle-server --bin chortle-serve -- --connect "$addr" --hello \
+  2>&1 | grep -q 'chortle-serve/v2' \
+  || { echo "ci: op:\"hello\" did not negotiate v2" >&2; exit 1; }
+
 # Live introspection: op:"stats" must answer a schema-valid aggregate
 # report with the latency histograms, without disturbing the workers.
 cargo run -q -p chortle-server --bin chortle-serve -- --connect "$addr" --stats \
@@ -130,8 +153,10 @@ wait "$serve_pid" \
   || { echo "ci: chortle-serve exited non-zero" >&2; exit 1; }
 serve_pid=""
 cargo run -q -p chortle-cli --bin report-check < "$serve_tmp/report.json"
-grep -q '"serve.completed","value":3' "$serve_tmp/report.json" \
-  || { echo "ci: final serve report did not count 3 completed requests" >&2; exit 1; }
+grep -q '"serve.completed","value":6' "$serve_tmp/report.json" \
+  || { echo "ci: final serve report did not count 6 completed requests" >&2; exit 1; }
+grep -q '"serve.batch_frames","value":1' "$serve_tmp/report.json" \
+  || { echo "ci: final serve report did not count the map_batch frame" >&2; exit 1; }
 
 if [[ "$quick" == 0 ]]; then
   echo "==> bench-diff vs committed snapshots (threshold 40%)"
