@@ -53,7 +53,7 @@
 //! asserts it matches the live `op: "stats"` report bucket-for-bucket.
 //!
 //! The JSON report (default `results/BENCH_serve.json`) embeds the
-//! server's final aggregate `chortle-telemetry/v1.4` report.
+//! server's final aggregate `chortle-telemetry/v1.5` report.
 
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
@@ -115,6 +115,10 @@ fn request(blif: &str, k: usize) -> MapRequest {
         // shared scheduler).
         jobs: 0,
         optimize: false,
+        // Two-tier warm cache (functional in front of structural) —
+        // the widest reuse the daemon offers, and byte-identical to
+        // every other cache mode by construction.
+        cache: chortle::CacheMode::Fn,
         ..MapRequest::default()
     }
 }
@@ -520,6 +524,29 @@ fn main() {
     );
     let speedup = warm.throughput() / cold.throughput();
     eprintln!("loadgen: warm-cache throughput speedup {speedup:.2}x");
+
+    // The live per-tier view right after the warm passes: the stats
+    // "cache" object, with the rates computed client-side from the raw
+    // counters.
+    let mut warm_stats = Client::connect(&addr).expect("connect for warm stats");
+    let warm_cache = match warm_stats
+        .stats("loadgen-warm-stats")
+        .expect("stats roundtrip")
+    {
+        StatsReply::Stats { warm, .. } => warm,
+        other => panic!("expected Stats, got {other:?}"),
+    };
+    eprintln!(
+        "loadgen: warm cache {} shapes ({:.1}% structural hit), {} fn classes ({:.1}% fn hit)",
+        warm_cache.shapes,
+        warm_cache.hit_rate() * 100.0,
+        warm_cache.fn_entries,
+        warm_cache.fn_hit_rate() * 100.0
+    );
+    assert!(
+        warm_cache.fn_hits > 0,
+        "the fn-mode passes must hit the functional tier"
+    );
     if cores > 1 {
         assert!(
             speedup >= 1.0,
@@ -683,6 +710,24 @@ fn main() {
         let _ = writeln!(json, " }},");
     }
     let _ = writeln!(json, "  \"warm_speedup\": {speedup:.3},");
+    // Snapshot of the two warm-cache tiers right after the warm phase
+    // (the counts keep growing in later phases; this is the warm
+    // steady state). Both `hit_rate` leaves are bench-diff-gated as
+    // higher-is-better.
+    let _ = writeln!(
+        json,
+        "  \"warm_cache\": {{ \"structural\": {{ \"shapes\": {}, \"hits\": {}, \"misses\": {}, \
+         \"hit_rate\": {:.3} }}, \"fn\": {{ \"classes\": {}, \"hits\": {}, \"misses\": {}, \
+         \"hit_rate\": {:.3} }} }},",
+        warm_cache.shapes,
+        warm_cache.hits,
+        warm_cache.misses,
+        warm_cache.hit_rate(),
+        warm_cache.fn_entries,
+        warm_cache.fn_hits,
+        warm_cache.fn_misses,
+        warm_cache.fn_hit_rate()
+    );
     let _ = writeln!(
         json,
         "  \"concurrent_scaling\": {{ \"clients\": {concurrency}, \"vs_warm\": {concurrent_scaling:.3} }},"

@@ -45,12 +45,30 @@ pub enum CacheMode {
     /// default): a shape mapped by any worker is a hit for all of them.
     #[default]
     Shared,
+    /// [`CacheMode::Shared`] plus a *functional* tier in front of it:
+    /// small subtrees (≤ 6 leaves) additionally key their solution on
+    /// the NPN class of their truth table and their blind skeleton, so
+    /// trees that differ only in gate operations or edge polarities —
+    /// structural misses — still reuse each other's DP results.
+    /// Lookup order is functional → structural → solve.
+    Fn,
 }
 
 impl CacheMode {
     /// Whether this mode caches at all.
     pub(crate) fn is_enabled(self) -> bool {
         !matches!(self, CacheMode::Off)
+    }
+
+    /// Whether this mode uses the wavefront/process-shared structural
+    /// store (as opposed to per-run or per-worker private stores).
+    pub(crate) fn uses_shared(self) -> bool {
+        matches!(self, CacheMode::Shared | CacheMode::Fn)
+    }
+
+    /// Whether this mode adds the functional (NPN) tier.
+    pub(crate) fn uses_fn(self) -> bool {
+        matches!(self, CacheMode::Fn)
     }
 }
 
@@ -96,65 +114,142 @@ impl CacheKey {
     }
 }
 
-/// An unsynchronized shape cache: the sequential fast path and the
-/// per-worker store of [`CacheMode::Tree`].
-#[derive(Default)]
-pub(crate) struct TreeCache {
-    map: HashMap<CacheKey, Arc<ShapeSolution>>,
+/// The functional-tier memoization key: the NPN class of the subtree's
+/// packed truth table, its blind skeleton fingerprint, and the leaf
+/// arrival-depth hash.
+///
+/// Only trees of ≤ 6 leaves get one (`Tree::packed_truth_table`). The
+/// blind component pins the exact skeleton — the DP is a pure function
+/// of the skeleton plus depths and reads neither gate operations nor
+/// edge polarities, so two trees with equal blind fingerprints and
+/// equal depth sequences have *bit-identical* `ShapeSolution`s and the
+/// cached solution replays verbatim at cover emission (which takes
+/// operations and polarities from the member tree itself). The NPN
+/// class scopes sharing to functionally-equivalent trees and is what
+/// the tier is segmented on observationally; the N/P/N transform that
+/// witnesses the equivalence is recomputable via
+/// `chortle_mis::canonical_npn_with_transform`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub(crate) struct FnKey {
+    /// Leaf-slot count of the subtree (≤ 6).
+    pub vars: u8,
+    /// NPN canonical form of the packed truth table.
+    pub canon: u64,
+    /// [`Tree::blind_fingerprint`] of the canonicalized tree.
+    pub blind: Fingerprint,
+    /// Hash of the leaf depths in canonical traversal order (shared
+    /// with [`CacheKey::depths`]).
+    pub depths: Fingerprint,
 }
 
-impl TreeCache {
+/// Hash-partitioning for the sharded stores: which shard owns a key.
+pub(crate) trait ShardKey: std::hash::Hash + Eq {
+    /// A well-mixed 64-bit digest of the key.
+    fn shard_hash(&self) -> u64;
+}
+
+impl ShardKey for CacheKey {
+    fn shard_hash(&self) -> u64 {
+        self.shape.lo ^ self.depths.lo.rotate_left(17)
+    }
+}
+
+impl ShardKey for FnKey {
+    fn shard_hash(&self) -> u64 {
+        mix64(self.canon ^ u64::from(self.vars))
+            ^ self.blind.lo.rotate_left(11)
+            ^ self.depths.lo.rotate_left(29)
+    }
+}
+
+/// An unsynchronized solution store: the sequential fast path and the
+/// per-worker store of [`CacheMode::Tree`].
+#[derive(Default)]
+pub(crate) struct TreeStore<K> {
+    map: HashMap<K, Arc<ShapeSolution>>,
+}
+
+/// The structural [`TreeStore`].
+pub(crate) type TreeCache = TreeStore<CacheKey>;
+
+/// The functional-tier [`TreeStore`].
+pub(crate) type FnTreeCache = TreeStore<FnKey>;
+
+impl<K: std::hash::Hash + Eq> TreeStore<K> {
     pub(crate) fn new() -> Self {
-        TreeCache::default()
+        TreeStore {
+            map: HashMap::new(),
+        }
     }
 
-    pub(crate) fn get(&self, key: &CacheKey) -> Option<Arc<ShapeSolution>> {
+    pub(crate) fn get(&self, key: &K) -> Option<Arc<ShapeSolution>> {
         self.map.get(key).cloned()
     }
 
-    pub(crate) fn insert(&mut self, key: CacheKey, sol: Arc<ShapeSolution>) {
+    pub(crate) fn insert(&mut self, key: K, sol: Arc<ShapeSolution>) {
         self.map.entry(key).or_insert(sol);
     }
 }
 
-/// Shard count of [`SharedCache`]. Sixteen shards keep lock contention
+/// Shard count of [`SharedStore`]. Sixteen shards keep lock contention
 /// negligible for any plausible worker count while the per-shard maps
 /// stay dense; reported as the `cache.shards` telemetry counter.
 pub(crate) const SHARED_CACHE_SHARDS: usize = 16;
 
-/// The wavefront-shared, hash-partitioned shape cache.
-pub(crate) struct SharedCache {
-    shards: Vec<Mutex<HashMap<CacheKey, Arc<ShapeSolution>>>>,
+/// A wavefront-shared, hash-partitioned solution store with relaxed
+/// lookup tallies (read back by [`WarmCache::stats`] for the daemon's
+/// per-tier hit rates).
+pub(crate) struct SharedStore<K> {
+    shards: Vec<Mutex<HashMap<K, Arc<ShapeSolution>>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
 }
 
-impl SharedCache {
+/// The structural shared store ([`CacheMode::Shared`] and up).
+pub(crate) type SharedCache = SharedStore<CacheKey>;
+
+/// The functional-tier shared store ([`CacheMode::Fn`]).
+pub(crate) type SharedFnCache = SharedStore<FnKey>;
+
+impl<K: ShardKey> SharedStore<K> {
     pub(crate) fn new() -> Self {
-        SharedCache {
+        SharedStore {
             shards: (0..SHARED_CACHE_SHARDS)
                 .map(|_| Mutex::new(HashMap::new()))
                 .collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
         }
     }
 
-    /// Which shard owns a key. Fingerprint bits are already avalanche-
-    /// mixed, so the low bits partition uniformly.
-    fn shard(&self, key: &CacheKey) -> &Mutex<HashMap<CacheKey, Arc<ShapeSolution>>> {
-        let h = key.shape.lo ^ key.depths.lo.rotate_left(17);
-        &self.shards[(h as usize) % self.shards.len()]
+    /// Which shard owns a key. Key digests are already avalanche-mixed,
+    /// so the low bits partition uniformly.
+    fn shard(&self, key: &K) -> &Mutex<HashMap<K, Arc<ShapeSolution>>> {
+        &self.shards[(key.shard_hash() as usize) % self.shards.len()]
     }
 
-    pub(crate) fn get(&self, key: &CacheKey) -> Option<Arc<ShapeSolution>> {
-        self.shard(key)
+    pub(crate) fn get(&self, key: &K) -> Option<Arc<ShapeSolution>> {
+        let found = self
+            .shard(key)
             .lock()
             .expect("cache shard poisoned")
             .get(key)
-            .cloned()
+            .cloned();
+        // Observational tallies only (relaxed; never part of the
+        // deterministic per-run counters, which are derived in tree
+        // order by the mapping driver).
+        if found.is_some() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        }
+        found
     }
 
     /// First-writer-wins insert: returns the `Arc` that ended up in the
     /// cache (the existing one on a race, since all writers computed
     /// identical solutions).
-    pub(crate) fn insert(&self, key: CacheKey, sol: Arc<ShapeSolution>) -> Arc<ShapeSolution> {
+    pub(crate) fn insert(&self, key: K, sol: Arc<ShapeSolution>) -> Arc<ShapeSolution> {
         self.shard(&key)
             .lock()
             .expect("cache shard poisoned")
@@ -169,6 +264,16 @@ impl SharedCache {
             .iter()
             .map(|s| s.lock().expect("cache shard poisoned").len())
             .sum()
+    }
+
+    /// Lifetime lookup hits (relaxed tally).
+    pub(crate) fn hit_count(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lifetime lookup misses (relaxed tally).
+    pub(crate) fn miss_count(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
     }
 }
 
@@ -203,7 +308,51 @@ pub struct WarmCache {
 #[derive(Default)]
 struct WarmInner {
     segments: Mutex<HashMap<(usize, Objective), Arc<SharedCache>>>,
+    fn_segments: Mutex<HashMap<(usize, Objective), Arc<SharedFnCache>>>,
     generation: AtomicU64,
+}
+
+/// Per-tier entry counts and lookup tallies of a [`WarmCache`],
+/// aggregated across its `(k, objective)` segments since the last
+/// flush. Lookup tallies are relaxed observational counters bumped at
+/// the warm lookup sites; they are *not* the deterministic per-run
+/// `cache.*` report counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WarmStats {
+    /// Structural-tier entries (canonical shape × depth profile).
+    pub shapes: usize,
+    /// Functional-tier entries (NPN class × blind skeleton × depths).
+    pub fn_entries: usize,
+    /// Structural-tier lookup hits.
+    pub hits: u64,
+    /// Structural-tier lookup misses.
+    pub misses: u64,
+    /// Functional-tier lookup hits.
+    pub fn_hits: u64,
+    /// Functional-tier lookup misses.
+    pub fn_misses: u64,
+}
+
+impl WarmStats {
+    /// Structural hit rate in [0, 1]; 0 when no lookups happened.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Functional hit rate in [0, 1]; 0 when no lookups happened.
+    pub fn fn_hit_rate(&self) -> f64 {
+        let total = self.fn_hits + self.fn_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.fn_hits as f64 / total as f64
+        }
+    }
 }
 
 impl WarmCache {
@@ -212,8 +361,8 @@ impl WarmCache {
         WarmCache::default()
     }
 
-    /// The segment for one `(k, objective)` configuration, created empty
-    /// on first use.
+    /// The structural segment for one `(k, objective)` configuration,
+    /// created empty on first use.
     pub(crate) fn segment(&self, k: usize, objective: Objective) -> Arc<SharedCache> {
         self.inner
             .segments
@@ -224,7 +373,23 @@ impl WarmCache {
             .clone()
     }
 
-    /// Discards every cached solution and returns the new generation.
+    /// The functional-tier segment for one `(k, objective)`
+    /// configuration, created empty on first use. Segmented identically
+    /// to the structural tier: an `FnKey` fingerprints neither `k` nor
+    /// the objective, and solutions under different options must never
+    /// mix.
+    pub(crate) fn fn_segment(&self, k: usize, objective: Objective) -> Arc<SharedFnCache> {
+        self.inner
+            .fn_segments
+            .lock()
+            .expect("warm cache poisoned")
+            .entry((k, objective))
+            .or_insert_with(|| Arc::new(SharedFnCache::new()))
+            .clone()
+    }
+
+    /// Discards every cached solution in both tiers and returns the new
+    /// generation.
     ///
     /// In-flight runs holding a segment finish against the old store
     /// (their results stay correct — the store never changes answers,
@@ -232,6 +397,11 @@ impl WarmCache {
     pub fn flush(&self) -> u64 {
         self.inner
             .segments
+            .lock()
+            .expect("warm cache poisoned")
+            .clear();
+        self.inner
+            .fn_segments
             .lock()
             .expect("warm cache poisoned")
             .clear();
@@ -243,8 +413,10 @@ impl WarmCache {
         self.inner.generation.load(Ordering::Acquire)
     }
 
-    /// Total cached shape solutions across all segments (an
-    /// observability figure; racy under concurrent inserts).
+    /// Total cached *structural* shape solutions across all segments
+    /// (an observability figure; racy under concurrent inserts). The
+    /// functional tier's entries are reported separately by
+    /// [`WarmCache::stats`].
     pub fn shapes(&self) -> usize {
         self.inner
             .segments
@@ -254,13 +426,43 @@ impl WarmCache {
             .map(|s| s.len())
             .sum()
     }
+
+    /// Per-tier entry counts and hit rates, aggregated across segments.
+    pub fn stats(&self) -> WarmStats {
+        let mut stats = WarmStats::default();
+        for s in self
+            .inner
+            .segments
+            .lock()
+            .expect("warm cache poisoned")
+            .values()
+        {
+            stats.shapes += s.len();
+            stats.hits += s.hit_count();
+            stats.misses += s.miss_count();
+        }
+        for s in self
+            .inner
+            .fn_segments
+            .lock()
+            .expect("warm cache poisoned")
+            .values()
+        {
+            stats.fn_entries += s.len();
+            stats.fn_hits += s.hit_count();
+            stats.fn_misses += s.miss_count();
+        }
+        stats
+    }
 }
 
 impl fmt::Debug for WarmCache {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let stats = self.stats();
         f.debug_struct("WarmCache")
             .field("generation", &self.generation())
-            .field("shapes", &self.shapes())
+            .field("shapes", &stats.shapes)
+            .field("fn_entries", &stats.fn_entries)
             .finish()
     }
 }
@@ -342,6 +544,75 @@ mod tests {
         assert_eq!(warm.generation(), 1);
         assert_eq!(warm.shapes(), 0);
         assert!(warm.segment(4, Objective::Area).get(&key).is_none());
+    }
+
+    fn fn_key_of(tree: &Tree, depths: Fingerprint) -> FnKey {
+        let (table, vars) = tree.packed_truth_table().expect("small tree");
+        FnKey {
+            vars: vars as u8,
+            canon: chortle_mis::canonical_npn_u64(table, vars),
+            blind: tree.blind_fingerprint(),
+            depths,
+        }
+    }
+
+    #[test]
+    fn fn_keys_unite_npn_variants_and_separate_skeletons() {
+        use chortle_netlist::{Network, NodeOp};
+        let mut tree = two_input_tree();
+        let shape = tree.canonicalize();
+        let key = CacheKey::of(&tree, shape, &|_| 0);
+        // The OR variant: structural miss, functional hit.
+        let mut or_net = Network::new();
+        let a = or_net.add_input("a");
+        let b = or_net.add_input("b");
+        let g = or_net.add_gate(NodeOp::Or, vec![a.into(), b.into()]);
+        or_net.add_output("z", g.into());
+        let mut or_tree = crate::tree::Forest::of(&or_net).trees.remove(0);
+        let or_shape = or_tree.canonicalize();
+        let or_key = CacheKey::of(&or_tree, or_shape, &|_| 0);
+        assert_ne!(key, or_key, "AND and OR are structural misses");
+        assert_eq!(
+            fn_key_of(&tree, key.depths),
+            fn_key_of(&or_tree, or_key.depths),
+            "AND and OR share one functional key"
+        );
+        // A different depth profile separates functional keys too.
+        let deep = CacheKey::of(&tree, shape, &|_| 3);
+        assert_ne!(fn_key_of(&tree, key.depths), fn_key_of(&tree, deep.depths));
+    }
+
+    #[test]
+    fn warm_cache_reports_per_tier_stats() {
+        let warm = WarmCache::new();
+        let mut tree = two_input_tree();
+        let shape = tree.canonicalize();
+        let key = CacheKey::of(&tree, shape, &|_| 0);
+        let fnk = fn_key_of(&tree, key.depths);
+        let sol = dummy_solution(&tree, 4);
+
+        let seg = warm.segment(4, Objective::Area);
+        let fseg = warm.fn_segment(4, Objective::Area);
+        assert!(seg.get(&key).is_none()); // one structural miss
+        seg.insert(key, sol.clone());
+        assert!(seg.get(&key).is_some()); // one structural hit
+        assert!(fseg.get(&fnk).is_none()); // one functional miss
+        fseg.insert(fnk, sol);
+        assert!(fseg.get(&fnk).is_some()); // one functional hit
+
+        let stats = warm.stats();
+        assert_eq!(stats.shapes, 1);
+        assert_eq!(stats.fn_entries, 1);
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+        assert_eq!((stats.fn_hits, stats.fn_misses), (1, 1));
+        assert_eq!(stats.hit_rate(), 0.5);
+        assert_eq!(stats.fn_hit_rate(), 0.5);
+        assert_eq!(warm.shapes(), 1, "shapes() stays structural-only");
+
+        // Flush empties both tiers and resets the tallies.
+        warm.flush();
+        let stats = warm.stats();
+        assert_eq!(stats, WarmStats::default());
     }
 
     #[test]

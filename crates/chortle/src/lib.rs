@@ -56,12 +56,13 @@ mod dp;
 mod duplication;
 pub mod figures;
 mod map;
+mod pack;
 mod parallel;
 pub mod reference;
 mod sched;
 mod tree;
 
-pub use cache::{CacheMode, WarmCache};
+pub use cache::{CacheMode, WarmCache, WarmStats};
 pub use cancel::CancelToken;
 pub use crf::{crf_network_cost, crf_tree_cost, CrfTreeCost};
 pub use dp::Objective;
@@ -69,6 +70,7 @@ pub use duplication::{duplicate_fanout_gates, map_network_best};
 pub use map::{
     map_network, resolve_jobs, stats, MapError, MapOptions, MapOptionsBuilder, MapReport, Mapping,
 };
+pub use pack::PackMode;
 pub use sched::ChunkPolicy;
 pub use tree::{Fingerprint, FingerprintScratch, Forest, Tree, TreeChild, TreeNode};
 

@@ -7,15 +7,21 @@ use std::time::Instant;
 
 use std::collections::{HashMap, HashSet};
 
-use chortle_netlist::{LutCircuit, LutError, LutSource, Network, NodeId, NodeOp};
+use chortle_netlist::{
+    check_equivalence, LutCircuit, LutError, LutSource, Network, NodeId, NodeOp,
+};
 use chortle_telemetry::{Histogram, Telemetry, TraceScope};
 
-use crate::cache::{CacheKey, CacheMode, SharedCache, TreeCache, WarmCache, SHARED_CACHE_SHARDS};
+use crate::cache::{
+    CacheKey, CacheMode, FnKey, FnTreeCache, SharedCache, SharedFnCache, TreeCache, WarmCache,
+    SHARED_CACHE_SHARDS,
+};
 use crate::cancel::CancelToken;
 use crate::cover::emit_forest;
 use crate::dp::{map_tree_solution, DpCounters, DpScratch, Objective, ShapeSolution};
+use crate::pack::PackMode;
 use crate::sched::ChunkPolicy;
-use crate::tree::{Fingerprint, Forest, Tree};
+use crate::tree::{Fingerprint, FingerprintScratch, Forest, Tree};
 
 /// Names of the stages and counters the mapper reports into its
 /// [`Telemetry`] sink (see `DESIGN.md` §10 for the full catalogue and
@@ -35,8 +41,23 @@ pub mod stats {
     /// Stage: the subset-DP mapping of every tree (sequential or
     /// wavefront-parallel).
     pub const STAGE_DP: &str = "map.dp";
+    /// Stage: functional-tier key material — packed truth tables and
+    /// their NPN canonical forms (memoized per distinct table) plus
+    /// blind skeleton fingerprints. Runs only under
+    /// [`crate::CacheMode::Fn`].
+    pub const STAGE_FNMETA: &str = "map.fnmeta";
     /// Stage: LUT-circuit reconstruction and emission.
     pub const STAGE_EMIT: &str = "map.emit";
+    /// Stage: the opt-in don't-care packing post-pass plus its
+    /// per-circuit equivalence verification (`--pack dc` only).
+    pub const STAGE_PACK: &str = "map.pack";
+    /// Counter: LUT inputs dropped by the don't-care packing post-pass
+    /// (emitted only under [`crate::PackMode::Dc`]).
+    pub const PACK_DROPPED_INPUTS: &str = "pack.dropped_inputs";
+    /// Counter: LUTs removed by the packing post-pass — constants,
+    /// buffers collapsed into their source, and exact duplicates merged
+    /// (emitted only under [`crate::PackMode::Dc`]).
+    pub const PACK_REMOVED_LUTS: &str = "pack.removed_luts";
     /// Counter: utilization divisions enumerated by the DP kernels.
     pub const DP_DIVISIONS: &str = "dp.divisions";
     /// Counter: intermediate-node blocks examined by the submask walks.
@@ -70,6 +91,20 @@ pub mod stats {
     pub const CACHE_SHARDS: &str = "cache.shards";
     /// Counter: LUTs emitted from replayed (cache-hit) solutions.
     pub const CACHE_REPLAYED_LUTS: &str = "cache.replayed_luts";
+    /// Counter: trees served by the *functional* tier — a structural
+    /// miss whose `(NPN class, blind skeleton, depths)` key was seen
+    /// earlier in tree order. Derived like [`CACHE_HITS`] (a pure
+    /// function of the forest, identical for any `jobs`); emitted only
+    /// under [`crate::CacheMode::Fn`]. In that mode
+    /// `cache.hits + cache.fn_hits + cache.misses == map.trees`.
+    pub const CACHE_FN_HITS: &str = "cache.fn_hits";
+    /// Counter: functional-tier-eligible trees (≤ 6 leaves) that missed
+    /// both tiers and paid for a full solve. Emitted only under
+    /// [`crate::CacheMode::Fn`]; `fn_misses <= misses`.
+    pub const CACHE_FN_MISSES: &str = "cache.fn_misses";
+    /// Counter: LUTs emitted from functional-tier replays. Emitted only
+    /// under [`crate::CacheMode::Fn`].
+    pub const CACHE_FN_REPLAYED_LUTS: &str = "cache.fn_replayed_luts";
     /// Trace span: one tree's DP mapping (`Tree` scope, index = tree
     /// order; begin arg = tree node count, end arg = the tree's LUT
     /// cost). Emitted by both drivers with identical sequences — only
@@ -191,10 +226,15 @@ pub struct MapOptions {
     /// work discarded.
     pub cancel: CancelToken,
     /// A process-lifetime [`WarmCache`] consulted (and populated) under
-    /// [`CacheMode::Shared`], so repeated runs over recurring shapes skip
-    /// the subset DP entirely. `None` (the default) keeps caches scoped
-    /// to a single run.
+    /// [`CacheMode::Shared`] and [`CacheMode::Fn`], so repeated runs
+    /// over recurring shapes skip the subset DP entirely. `None` (the
+    /// default) keeps caches scoped to a single run.
     pub warm_cache: Option<WarmCache>,
+    /// The opt-in don't-care packing post-pass ([`PackMode::Off`] by
+    /// default). [`PackMode::Dc`] shrinks and merges emitted LUTs using
+    /// satisfiability don't-cares at LUT boundaries, then verifies the
+    /// packed circuit against the source network — see [`PackMode`].
+    pub pack: PackMode,
 }
 
 impl MapOptions {
@@ -215,6 +255,7 @@ impl MapOptions {
                 cache: CacheMode::Shared,
                 cancel: CancelToken::default(),
                 warm_cache: None,
+                pack: PackMode::Off,
             },
         }
     }
@@ -307,9 +348,16 @@ impl MapOptionsBuilder {
 
     /// Attaches a process-lifetime warm cache; see
     /// [`MapOptions::warm_cache`]. Only consulted under
-    /// [`CacheMode::Shared`].
+    /// [`CacheMode::Shared`] and [`CacheMode::Fn`].
     pub fn warm_cache(mut self, warm: WarmCache) -> Self {
         self.opts.warm_cache = Some(warm);
+        self
+    }
+
+    /// Selects the don't-care packing post-pass (the default is
+    /// [`PackMode::Off`]); see [`MapOptions::pack`].
+    pub fn pack(mut self, pack: PackMode) -> Self {
+        self.opts.pack = pack;
         self
     }
 
@@ -366,6 +414,14 @@ pub enum MapError {
     /// wavefront's partial results were discarded and the worker
     /// survived; this indicates an internal bug, not bad input.
     WorkerPanicked,
+    /// The don't-care packing post-pass produced a circuit that failed
+    /// equivalence verification against the source network. The packed
+    /// circuit was discarded; this indicates an internal bug in the
+    /// pack pass, never bad input.
+    PackVerification {
+        /// Name of the first mismatching output.
+        output: String,
+    },
 }
 
 impl fmt::Display for MapError {
@@ -396,6 +452,12 @@ impl fmt::Display for MapError {
                 write!(
                     f,
                     "a scheduler worker panicked while mapping; partial results discarded"
+                )
+            }
+            MapError::PackVerification { output } => {
+                write!(
+                    f,
+                    "don't-care packing broke output {output:?}; packed circuit discarded"
                 )
             }
         }
@@ -508,6 +570,18 @@ pub fn map_network(network: &Network, options: &MapOptions) -> Result<Mapping, M
         Arc::new(forest.canonicalize())
     };
 
+    // Functional-tier key material: depths-independent, so it is
+    // computed once here (sequentially, with the NPN canonicalization
+    // memoized per distinct packed table) and the per-tree `FnKey` is
+    // assembled at DP time from this plus the depth hash the structural
+    // key already carries. Empty outside `CacheMode::Fn`.
+    let fn_metas: Arc<Vec<Option<FnMeta>>> = if options.cache.uses_fn() {
+        let _s = telemetry.span(stats::STAGE_FNMETA);
+        Arc::new(compute_fn_metas(&forest.trees))
+    } else {
+        Arc::new(Vec::new())
+    };
+
     let mut report = MapReport {
         trees: forest.trees.len(),
         ..MapReport::default()
@@ -515,9 +589,15 @@ pub fn map_network(network: &Network, options: &MapOptions) -> Result<Mapping, M
     let mapped = {
         let _s = telemetry.span(stats::STAGE_DP);
         if options.jobs > 1 {
-            crate::parallel::map_forest_wavefront(&normal, forest.trees, &shapes, options)?
+            crate::parallel::map_forest_wavefront(
+                &normal,
+                forest.trees,
+                &shapes,
+                &fn_metas,
+                options,
+            )?
         } else {
-            map_forest_sequential(&normal, forest.trees, &shapes, options)?
+            map_forest_sequential(&normal, forest.trees, &shapes, &fn_metas, options)?
         }
     };
     // Kernel tallies are summed here, once per tree in tree order —
@@ -546,7 +626,7 @@ pub fn map_network(network: &Network, options: &MapOptions) -> Result<Mapping, M
     }
     let input_source = |id: NodeId| LutSource::Input(orig_input[id.index()]);
 
-    let circuit: LutCircuit = {
+    let mut circuit: LutCircuit = {
         let _s = telemetry.span(stats::STAGE_EMIT);
         emit_forest(&normal, &mapped, &input_source, options.k)?
     };
@@ -555,7 +635,70 @@ pub fn map_network(network: &Network, options: &MapOptions) -> Result<Mapping, M
         report.luts as u64, predicted,
         "DP predicted cost must match the emitted circuit"
     );
+    if options.pack == PackMode::Dc {
+        let _s = telemetry.span(stats::STAGE_PACK);
+        let (packed, pstats) = crate::pack::pack_circuit(&circuit)?;
+        // Every packed circuit is verified against the source network
+        // before it replaces the exact one — the pass is allowed to be
+        // clever precisely because it is never trusted.
+        check_equivalence(network, &packed)
+            .map_err(|e| MapError::PackVerification { output: e.output })?;
+        debug_assert!(packed.num_luts() <= report.luts, "packing never adds LUTs");
+        telemetry.add_counter(stats::PACK_DROPPED_INPUTS, pstats.dropped_inputs);
+        telemetry.add_counter(stats::PACK_REMOVED_LUTS, pstats.removed_luts);
+        report.luts = packed.num_luts();
+        circuit = packed;
+    }
     Ok(Mapping { circuit, report })
+}
+
+/// The depths-independent part of a functional-tier key: leaf-slot
+/// count, NPN canonical form of the packed truth table, and the blind
+/// skeleton fingerprint. `None` for trees wider than
+/// `chortle_mis::MAX_CANON_VARS` leaves, which only the structural tier
+/// serves.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct FnMeta {
+    /// Leaf-slot count (≤ 6).
+    pub vars: u8,
+    /// NPN canonical form of the tree's packed truth table.
+    pub canon: u64,
+    /// [`Tree::blind_fingerprint`] of the canonicalized tree.
+    pub blind: Fingerprint,
+}
+
+impl FnMeta {
+    /// Assembles the full functional key by adding the depth hash the
+    /// structural key already computed.
+    pub(crate) fn key(&self, structural: &CacheKey) -> FnKey {
+        FnKey {
+            vars: self.vars,
+            canon: self.canon,
+            blind: self.blind,
+            depths: structural.depths,
+        }
+    }
+}
+
+/// Computes every tree's [`FnMeta`]. NPN canonicalization goes through
+/// the process-wide memo ([`chortle_mis::canonical_npn_u64_cached`]) —
+/// real forests repeat a handful of small functions constantly, and the
+/// 6-variable canonical search (720 permutations × a 64-step Gray walk)
+/// is far too expensive to rerun per tree, or even per request in the
+/// daemon.
+fn compute_fn_metas(trees: &[Tree]) -> Vec<Option<FnMeta>> {
+    let mut scratch = FingerprintScratch::default();
+    trees
+        .iter()
+        .map(|tree| {
+            let (table, vars) = tree.packed_truth_table()?;
+            Some(FnMeta {
+                vars: vars as u8,
+                canon: chortle_mis::canonical_npn_u64_cached(table, vars),
+                blind: tree.blind_fingerprint_with(&mut scratch),
+            })
+        })
+        .collect()
 }
 
 /// One mapped tree: the concrete (canonicalized) tree, the DP solution it
@@ -571,6 +714,9 @@ pub(crate) struct MappedTree {
     pub sol: Arc<ShapeSolution>,
     /// The tree's cache key; `None` under [`CacheMode::Off`].
     pub key: Option<CacheKey>,
+    /// The tree's functional-tier key; `None` outside
+    /// [`CacheMode::Fn`] and for trees wider than 6 leaves.
+    pub fn_key: Option<FnKey>,
 }
 
 /// Derives the deterministic `cache.*` counters from the per-tree key
@@ -584,20 +730,43 @@ fn report_cache_counters(telemetry: &Telemetry, options: &MapOptions, mapped: &[
         return;
     }
     let mut seen: HashSet<CacheKey> = HashSet::with_capacity(mapped.len());
+    let mut seen_fn: HashSet<FnKey> = HashSet::new();
     let (mut hits, mut misses, mut replayed) = (0u64, 0u64, 0u64);
+    let (mut fn_hits, mut fn_misses, mut fn_replayed) = (0u64, 0u64, 0u64);
     for m in mapped {
         let key = m.key.expect("caching modes key every tree");
-        if seen.insert(key) {
-            misses += 1;
-        } else {
+        // Attribution is structural-first: a tree both tiers could
+        // serve counts as a structural hit, so `cache.hits` is
+        // unchanged from `CacheMode::Shared` and `cache.fn_hits` is
+        // exactly the *additional* reuse the functional tier unlocks.
+        // (The runtime lookup order is functional-first, which is
+        // equivalent work-wise: either tier's hit skips the solve.)
+        if seen.contains(&key) {
             hits += 1;
             replayed += u64::from(m.sol.dp.tree_cost(&m.tree));
+        } else if m.fn_key.is_some_and(|fk| seen_fn.contains(&fk)) {
+            fn_hits += 1;
+            fn_replayed += u64::from(m.sol.dp.tree_cost(&m.tree));
+        } else {
+            misses += 1;
+            if m.fn_key.is_some() {
+                fn_misses += 1;
+            }
+        }
+        seen.insert(key);
+        if let Some(fk) = m.fn_key {
+            seen_fn.insert(fk);
         }
     }
     telemetry.add_counter(stats::CACHE_HITS, hits);
     telemetry.add_counter(stats::CACHE_MISSES, misses);
     telemetry.add_counter(stats::CACHE_REPLAYED_LUTS, replayed);
-    let shards = if options.cache == CacheMode::Shared && options.jobs > 1 {
+    if options.cache.uses_fn() {
+        telemetry.add_counter(stats::CACHE_FN_HITS, fn_hits);
+        telemetry.add_counter(stats::CACHE_FN_MISSES, fn_misses);
+        telemetry.add_counter(stats::CACHE_FN_REPLAYED_LUTS, fn_replayed);
+    }
+    let shards = if options.cache.uses_shared() && options.jobs > 1 {
         SHARED_CACHE_SHARDS
     } else {
         1
@@ -675,12 +844,12 @@ pub(crate) fn leaf_arrival(normal: &Network, depth_of: &HashMap<NodeId, u32>, id
     }
 }
 
-/// Selects the warm-cache segment for a run, when one applies: the
-/// options carry a [`WarmCache`] handle *and* the mode is
-/// [`CacheMode::Shared`] (the other modes keep their run-scoped
-/// semantics).
+/// Selects the warm-cache structural segment for a run, when one
+/// applies: the options carry a [`WarmCache`] handle *and* the mode
+/// shares across runs ([`CacheMode::Shared`] or [`CacheMode::Fn`]; the
+/// other modes keep their run-scoped semantics).
 pub(crate) fn warm_segment(options: &MapOptions) -> Option<Arc<SharedCache>> {
-    if options.cache != CacheMode::Shared {
+    if !options.cache.uses_shared() {
         return None;
     }
     options
@@ -689,17 +858,33 @@ pub(crate) fn warm_segment(options: &MapOptions) -> Option<Arc<SharedCache>> {
         .map(|w| w.segment(options.k, options.objective))
 }
 
+/// Selects the warm-cache *functional* segment for a run: only under
+/// [`CacheMode::Fn`] with a [`WarmCache`] attached.
+pub(crate) fn warm_fn_segment(options: &MapOptions) -> Option<Arc<SharedFnCache>> {
+    if !options.cache.uses_fn() {
+        return None;
+    }
+    options
+        .warm_cache
+        .as_ref()
+        .map(|w| w.fn_segment(options.k, options.objective))
+}
+
 /// Maps every tree of the forest in order on the calling thread, one
 /// [`DpScratch`] arena reused throughout. The forest is topologically
 /// ordered, so leaves of a tree are always mapped first. Caching modes
 /// use one unsharded, unsynchronized [`TreeCache`] — the single-threaded
 /// fast path ([`CacheMode::Tree`] and [`CacheMode::Shared`] coincide
 /// here) — unless a warm cross-run segment is attached, which wins so
-/// repeated runs share solutions. Cancellation is polled per tree.
+/// repeated runs share solutions. Under [`CacheMode::Fn`] a functional
+/// store (warm segment or run-private) is consulted *before* the
+/// structural one; a structural hit back-fills the functional store so
+/// later N/P/N variants hit. Cancellation is polled per tree.
 fn map_forest_sequential(
     normal: &Network,
     trees: Vec<Tree>,
     shapes: &[Fingerprint],
+    fn_metas: &[Option<FnMeta>],
     options: &MapOptions,
 ) -> Result<Vec<MappedTree>, MapError> {
     let telemetry = &options.telemetry;
@@ -709,6 +894,8 @@ fn map_forest_sequential(
     scratch.counting = enabled;
     let warm = warm_segment(options);
     let mut cache = (options.cache.is_enabled() && warm.is_none()).then(TreeCache::new);
+    let warm_fn = warm_fn_segment(options);
+    let mut fn_cache = (options.cache.uses_fn() && warm_fn.is_none()).then(FnTreeCache::new);
     let mut depth_of: HashMap<NodeId, u32> = HashMap::new();
     let mut buf = telemetry.trace_buffer(0);
     let mut tree_ns = Histogram::new();
@@ -733,13 +920,41 @@ fn map_forest_sequential(
             .cache
             .is_enabled()
             .then(|| CacheKey::of(&tree, shapes[ti], &leaf_depth));
-        let cached = key.and_then(|k| match (&warm, &cache) {
-            (Some(w), _) => w.get(&k),
-            (None, Some(c)) => c.get(&k),
+        let fn_key = match (fn_metas.get(ti).and_then(Option::as_ref), &key) {
+            (Some(meta), Some(k)) => Some(meta.key(k)),
+            _ => None,
+        };
+        // Functional tier first, then structural, then solve.
+        let cached_fn = fn_key.and_then(|fk| match (&warm_fn, &fn_cache) {
+            (Some(w), _) => w.get(&fk),
+            (None, Some(c)) => c.get(&fk),
             _ => None,
         });
+        let via_fn = cached_fn.is_some();
+        let cached = cached_fn.or_else(|| {
+            key.and_then(|k| match (&warm, &cache) {
+                (Some(w), _) => w.get(&k),
+                (None, Some(c)) => c.get(&k),
+                _ => None,
+            })
+        });
         let sol = match cached {
-            Some(sol) => sol,
+            Some(sol) => {
+                // A structural hit back-fills the functional tier (a
+                // functional hit implies the key is already present).
+                if !via_fn {
+                    if let Some(fk) = fn_key {
+                        match (&warm_fn, &mut fn_cache) {
+                            (Some(w), _) => {
+                                w.insert(fk, sol.clone());
+                            }
+                            (None, Some(c)) => c.insert(fk, sol.clone()),
+                            _ => {}
+                        }
+                    }
+                }
+                sol
+            }
             None => {
                 let sol = match map_tree_solution(
                     &tree,
@@ -758,7 +973,7 @@ fn map_forest_sequential(
                         return Err(e);
                     }
                 };
-                match (&warm, &mut cache) {
+                let sol = match (&warm, &mut cache) {
                     // First writer wins; adopt whatever landed so a
                     // concurrent run's duplicate shares one allocation.
                     (Some(w), _) => w.insert(key.expect("caching modes key every tree"), sol),
@@ -767,7 +982,17 @@ fn map_forest_sequential(
                         sol
                     }
                     _ => sol,
+                };
+                if let Some(fk) = fn_key {
+                    match (&warm_fn, &mut fn_cache) {
+                        (Some(w), _) => {
+                            w.insert(fk, sol.clone());
+                        }
+                        (None, Some(c)) => c.insert(fk, sol.clone()),
+                        _ => {}
+                    }
                 }
+                sol
             }
         };
         if buf.is_enabled() {
@@ -782,7 +1007,12 @@ fn map_forest_sequential(
             tree_ns.record_duration(t0.elapsed());
         }
         depth_of.insert(tree.root, sol.dp.tree_depth(&tree));
-        mapped.push(MappedTree { tree, sol, key });
+        mapped.push(MappedTree {
+            tree,
+            sol,
+            key,
+            fn_key,
+        });
     }
     telemetry.trace_flush(&mut buf);
     if !tree_ns.is_empty() {

@@ -38,10 +38,10 @@ use std::time::Instant;
 use chortle_netlist::{Network, NodeId};
 use chortle_telemetry::WavefrontStat;
 
-use crate::cache::{CacheKey, CacheMode, SharedCache};
-use crate::dp::{DpScratch, ShapeSolution};
-use crate::map::{stats, MapError, MapOptions, MappedTree};
-use crate::sched::{self, Latch, Pool, WaveCache, WaveCtx};
+use crate::cache::{CacheMode, SharedCache, SharedFnCache};
+use crate::dp::DpScratch;
+use crate::map::{stats, FnMeta, MapError, MapOptions, MappedTree};
+use crate::sched::{self, Latch, Pool, TreeResult, WaveCache, WaveCtx};
 use crate::tree::{Fingerprint, Tree, TreeChild};
 
 /// Maps the forest wavefront by wavefront on the process-wide chunk
@@ -51,6 +51,7 @@ pub(crate) fn map_forest_wavefront(
     normal: &Arc<Network>,
     trees: Vec<Tree>,
     shapes: &Arc<Vec<Fingerprint>>,
+    fn_metas: &Arc<Vec<Option<FnMeta>>>,
     options: &MapOptions,
 ) -> Result<Vec<MappedTree>, MapError> {
     let mut tree_of_root: HashMap<NodeId, usize> = HashMap::with_capacity(trees.len());
@@ -89,15 +90,22 @@ pub(crate) fn map_forest_wavefront(
         .collect();
     let trees = Arc::new(trees);
 
-    let mut sols: Vec<Option<(Arc<ShapeSolution>, Option<CacheKey>)>> =
-        (0..trees.len()).map(|_| None).collect();
+    let mut sols: Vec<Option<TreeResult>> = (0..trees.len()).map(|_| None).collect();
     // Leaf arrival depths, indexed by NodeId: primary inputs and
     // constants stay 0, mapped roots are published between wavefronts
     // in tree order. Same values `crate::map::leaf_arrival` derives for
     // the sequential driver, so cache keys agree across drivers.
     let mut arrivals: Arc<Vec<u32>> = Arc::new(vec![0u32; normal.len()]);
-    let shared = (options.cache == CacheMode::Shared)
+    let shared = options
+        .cache
+        .uses_shared()
         .then(|| crate::map::warm_segment(options).unwrap_or_else(|| Arc::new(SharedCache::new())));
+    // The functional tier is always run-shared under `CacheMode::Fn`
+    // (the mode implies shared semantics): one sharded store spanning
+    // every chunk, warm-backed when a handle is attached.
+    let shared_fn = options.cache.uses_fn().then(|| {
+        crate::map::warm_fn_segment(options).unwrap_or_else(|| Arc::new(SharedFnCache::new()))
+    });
     // Scratch for chunks run on this thread (inline wavefronts and
     // helping); pool workers keep their own thread-persistent arenas.
     let mut inline_scratch = DpScratch::new();
@@ -133,6 +141,8 @@ pub(crate) fn map_forest_wavefront(
                 (None, CacheMode::Tree) => WaveCache::PerChunk,
                 (None, _) => WaveCache::Off,
             },
+            fn_metas: Arc::clone(fn_metas),
+            fn_cache: shared_fn.as_ref().map(Arc::clone),
             cancel: options.cancel.clone(),
             // `fanout` executor slots counting this thread (pre-joined):
             // placement below seeds `fanout - 1` deques, and the budget
@@ -195,7 +205,7 @@ pub(crate) fn map_forest_wavefront(
         // the next wavefront reads them.
         let published = Arc::make_mut(&mut arrivals);
         for &ti in wave {
-            let (sol, _) = sols[ti].as_ref().expect("wavefront mapped every tree");
+            let (sol, ..) = sols[ti].as_ref().expect("wavefront mapped every tree");
             published[trees[ti].root.index()] = sol.dp.tree_depth(&trees[ti]);
         }
     }
@@ -216,8 +226,13 @@ pub(crate) fn map_forest_wavefront(
         .into_iter()
         .zip(sols)
         .map(|(tree, sol)| {
-            let (sol, key) = sol.expect("every wavefront tree mapped");
-            MappedTree { tree, sol, key }
+            let (sol, key, fn_key) = sol.expect("every wavefront tree mapped");
+            MappedTree {
+                tree,
+                sol,
+                key,
+                fn_key,
+            }
         })
         .collect())
 }

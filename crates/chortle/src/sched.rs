@@ -66,10 +66,10 @@ use std::time::Instant;
 use chortle_netlist::{Network, NodeId};
 use chortle_telemetry::{Histogram, Telemetry, TraceScope};
 
-use crate::cache::{CacheKey, SharedCache, TreeCache};
+use crate::cache::{CacheKey, FnKey, SharedCache, SharedFnCache, TreeCache};
 use crate::cancel::CancelToken;
 use crate::dp::{map_tree_solution, DpScratch, Objective, ShapeSolution};
-use crate::map::{stats, MapError};
+use crate::map::{stats, FnMeta, MapError};
 use crate::tree::{Fingerprint, Tree};
 
 /// How the wavefront driver groups trees into scheduler chunks.
@@ -200,9 +200,9 @@ pub(crate) enum WaveCache {
     Shared(Arc<SharedCache>),
 }
 
-/// One tree's mapped solution plus the cache key it was (re)computed
-/// under, if the run is keyed.
-pub(crate) type TreeResult = (Arc<ShapeSolution>, Option<CacheKey>);
+/// One tree's mapped solution plus the structural and functional cache
+/// keys it was (re)computed under, if the run is keyed.
+pub(crate) type TreeResult = (Arc<ShapeSolution>, Option<CacheKey>, Option<FnKey>);
 
 /// Locks a mutex, proceeding through poison: the protected state here
 /// (latch counts, error slots, budgets) must stay reachable even after
@@ -282,6 +282,14 @@ pub(crate) struct WaveCtx {
     pub keyed: bool,
     /// The cache chunks consult.
     pub cache: WaveCache,
+    /// Per-tree functional metadata (truth-table canon, blind shape),
+    /// indexed like `trees`; empty unless the run's mode has a
+    /// functional tier.
+    pub fn_metas: Arc<Vec<Option<FnMeta>>>,
+    /// The run-shared functional tier, present under
+    /// [`crate::CacheMode::Fn`]. Never per-chunk: the mode implies
+    /// shared semantics.
+    pub fn_cache: Option<Arc<SharedFnCache>>,
     /// Cooperative cancellation, polled at every tree boundary.
     pub cancel: CancelToken,
     /// Executor slots: `jobs` distinct executors at most, stealing
@@ -606,8 +614,11 @@ pub(crate) fn run_chunk(
     };
     let arrivals: &[u32] = &wave.arrivals;
     let leaf_depth = |id: NodeId| arrivals[id.index()];
-    let mut out: Vec<(usize, Arc<ShapeSolution>, Option<CacheKey>)> =
-        Vec::with_capacity(end - start);
+    let fn_cache = wave.fn_cache.as_deref();
+    // One buffered result per tree: slot index, the (shared) solution,
+    // and the structural/functional keys it was stored under.
+    type ChunkResult = (usize, Arc<ShapeSolution>, Option<CacheKey>, Option<FnKey>);
+    let mut out: Vec<ChunkResult> = Vec::with_capacity(end - start);
     if buf.is_enabled() {
         buf.begin(
             TraceScope::Sched,
@@ -639,13 +650,38 @@ pub(crate) fn run_chunk(
         let key = wave
             .keyed
             .then(|| CacheKey::of(tree, wave.shapes[ti], &leaf_depth));
-        let cached = key.and_then(|k| match (shared, &private) {
-            (Some(s), _) => s.get(&k),
-            (None, Some(p)) => p.get(&k),
+        // The fn-tier lookup must mirror the sequential driver exactly
+        // here: functional first, then structural, then solve; a
+        // structural hit back-fills the functional tier; a solve
+        // inserts into both. `fn_metas` is indexed by the *global*
+        // tree index, like `shapes`.
+        let fn_key = match (wave.fn_metas.get(ti).and_then(Option::as_ref), &key) {
+            (Some(meta), Some(k)) => Some(meta.key(k)),
             _ => None,
+        };
+        let cached_fn = match (fn_key, fn_cache) {
+            (Some(fk), Some(f)) => f.get(&fk),
+            _ => None,
+        };
+        let via_fn = cached_fn.is_some();
+        let cached = cached_fn.or_else(|| {
+            key.and_then(|k| match (shared, &private) {
+                (Some(s), _) => s.get(&k),
+                (None, Some(p)) => p.get(&k),
+                _ => None,
+            })
         });
         let sol = match cached {
-            Some(sol) => sol,
+            Some(sol) => {
+                // A structural hit back-fills the functional tier (a
+                // functional hit implies the key is already present).
+                if !via_fn {
+                    if let (Some(fk), Some(f)) = (fn_key, fn_cache) {
+                        f.insert(fk, sol.clone());
+                    }
+                }
+                sol
+            }
             None => {
                 let sol =
                     match map_tree_solution(tree, wave.k, wave.objective, &leaf_depth, scratch) {
@@ -658,7 +694,7 @@ pub(crate) fn run_chunk(
                             break;
                         }
                     };
-                match (shared, &mut private) {
+                let sol = match (shared, &mut private) {
                     // First writer wins; adopt whatever landed so
                     // racing duplicates share one allocation.
                     (Some(s), _) => s.insert(k_unwrap(key), sol),
@@ -667,7 +703,11 @@ pub(crate) fn run_chunk(
                         sol
                     }
                     _ => sol,
+                };
+                if let (Some(fk), Some(f)) = (fn_key, fn_cache) {
+                    f.insert(fk, sol.clone());
                 }
+                sol
             }
         };
         if buf.is_enabled() {
@@ -681,7 +721,7 @@ pub(crate) fn run_chunk(
         if let Some(t0) = t0 {
             hist.record_duration(t0.elapsed());
         }
-        out.push((pos, sol, key));
+        out.push((pos, sol, key, fn_key));
     }
     let claimed = out.len() as u64;
     if buf.is_enabled() {
@@ -699,8 +739,8 @@ pub(crate) fn run_chunk(
     }
     {
         let mut results = wave.results.lock().expect("wave results poisoned");
-        for (pos, sol, key) in out {
-            results[pos] = Some((sol, key));
+        for (pos, sol, key, fn_key) in out {
+            results[pos] = Some((sol, key, fn_key));
         }
     }
     if let Some(t0) = busy_start {
@@ -818,6 +858,8 @@ mod tests {
             objective: Objective::Area,
             keyed: false,
             cache: WaveCache::Off,
+            fn_metas: Arc::new(Vec::new()),
+            fn_cache: None,
             cancel: crate::cancel::CancelToken::armed(),
             budget: ExecutorBudget::new(2),
             telemetry: chortle_telemetry::Telemetry::disabled(),

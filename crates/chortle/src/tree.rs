@@ -81,6 +81,9 @@ const TAG_LEAF: u64 = 0x1EAF;
 const TAG_EDGE: u64 = 0xED9E;
 const TAG_AND: u64 = 0xA17D;
 const TAG_OR: u64 = 0x0B0B;
+/// Tag of a *blind* gate node: used by the op-and-polarity-blind
+/// skeleton fingerprint, where AND and OR hash identically.
+const TAG_GATE: u64 = 0x9A7E;
 
 /// A leaf child's token depends only on its edge polarity (leaves are
 /// anonymous), so both values fold to compile-time constants — leaf-heavy
@@ -116,6 +119,41 @@ fn node_fingerprint(op: NodeOp, tokens: &[Fingerprint]) -> Fingerprint {
     }
     fp
 }
+
+/// The *blind* token of a leaf child: edge polarity is ignored, so it is
+/// a single compile-time constant (equal to `LEAF_TOKENS[0]`).
+const BLIND_LEAF_TOKEN: Fingerprint =
+    Fingerprint::tagged(TAG_EDGE).absorbed(Fingerprint::tagged(TAG_LEAF));
+
+/// The blind token a child contributes to its parent's blind skeleton
+/// fingerprint: like [`child_token`] but with edge polarity erased.
+fn blind_child_token(blind: &[Fingerprint], child: &TreeChild) -> Fingerprint {
+    match *child {
+        TreeChild::Leaf(_) => BLIND_LEAF_TOKEN,
+        TreeChild::Node { index, .. } => Fingerprint::tagged(TAG_EDGE).absorbed(blind[index]),
+    }
+}
+
+/// Combines a node's *blind* child tokens (already sorted) into the
+/// node's blind skeleton fingerprint; the gate operation is erased.
+fn blind_node_fingerprint(tokens: &[Fingerprint]) -> Fingerprint {
+    let mut fp = Fingerprint::tagged(TAG_GATE ^ ((tokens.len() as u64) << 16));
+    for t in tokens {
+        fp.absorb(*t);
+    }
+    fp
+}
+
+/// Bit patterns of the first six truth-table variables within a 64-bit
+/// word (variable `i` is true on the minterms whose bit `i` is set).
+const PT_VAR_MASKS: [u64; 6] = [
+    0xAAAA_AAAA_AAAA_AAAA,
+    0xCCCC_CCCC_CCCC_CCCC,
+    0xF0F0_F0F0_F0F0_F0F0,
+    0xFF00_FF00_FF00_FF00,
+    0xFFFF_0000_FFFF_0000,
+    0xFFFF_FFFF_0000_0000,
+];
 
 /// A child of a tree node.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -208,41 +246,159 @@ impl Tree {
         fps[self.root_index()]
     }
 
+    /// Computes the tree's *blind* skeleton [`Fingerprint`]: like
+    /// [`Tree::fingerprint`] but with gate operations and edge
+    /// polarities erased.
+    ///
+    /// Two trees share a blind fingerprint exactly when their skeletons
+    /// — the arrangement of gate and leaf children, ignoring which gates
+    /// they are and which edges invert — are isomorphic. The subset DP
+    /// reads nothing else of a tree beyond this skeleton (plus leaf
+    /// depths), so blind-equal trees share their whole `minmap`
+    /// solution; this is the structural half of the functional cache
+    /// tier's key.
+    pub fn blind_fingerprint(&self) -> Fingerprint {
+        self.blind_fingerprint_with(&mut FingerprintScratch::default())
+    }
+
+    /// [`Tree::blind_fingerprint`] with caller-owned scratch buffers —
+    /// the blind counterpart of [`Tree::fingerprint_with`], for tight
+    /// loops where per-call allocation would dominate.
+    pub fn blind_fingerprint_with(&self, scratch: &mut FingerprintScratch) -> Fingerprint {
+        let FingerprintScratch { fps, tokens } = scratch;
+        fps.clear();
+        fps.reserve(self.nodes.len());
+        for node in &self.nodes {
+            tokens.clear();
+            tokens.extend(node.children.iter().map(|c| blind_child_token(fps, c)));
+            tokens.sort_unstable();
+            fps.push(blind_node_fingerprint(tokens));
+        }
+        fps[self.root_index()]
+    }
+
+    /// Extracts the tree's function as a packed `u64` truth table over
+    /// its leaf *slots*, or `None` if the tree has more than
+    /// [`chortle_mis::MAX_CANON_VARS`] leaves.
+    ///
+    /// Variable `i` is the `i`-th leaf occurrence in node/child
+    /// traversal order (the same order the cache key hashes leaf
+    /// depths in); duplicate references to one source signal get
+    /// distinct variables, matching how the DP treats them as distinct
+    /// slots. Edge polarities are folded in, so the table is the tree's
+    /// function of the *non-inverted* leaf sources.
+    pub fn packed_truth_table(&self) -> Option<(u64, usize)> {
+        // Count leaves with an early bail-out: wide trees (the common
+        // reject) leave after their seventh leaf instead of paying a
+        // full `leaf_count` walk — this sits on the mapper's per-tree
+        // hot path under `--cache fn`.
+        let mut vars = 0usize;
+        for node in &self.nodes {
+            for c in &node.children {
+                if matches!(c, TreeChild::Leaf(_)) {
+                    vars += 1;
+                    if vars > chortle_mis::MAX_CANON_VARS {
+                        return None;
+                    }
+                }
+            }
+        }
+        let mut next = 0usize;
+        let mut values: Vec<u64> = Vec::with_capacity(self.nodes.len());
+        for node in &self.nodes {
+            let mut acc: u64 = match node.op {
+                NodeOp::And => u64::MAX,
+                NodeOp::Or => 0,
+                _ => unreachable!("tree nodes are gates"),
+            };
+            for c in &node.children {
+                let v = match *c {
+                    TreeChild::Node { index, inverted } => {
+                        if inverted {
+                            !values[index]
+                        } else {
+                            values[index]
+                        }
+                    }
+                    TreeChild::Leaf(sig) => {
+                        let w = PT_VAR_MASKS[next];
+                        next += 1;
+                        if sig.is_inverted() {
+                            !w
+                        } else {
+                            w
+                        }
+                    }
+                };
+                acc = match node.op {
+                    NodeOp::And => acc & v,
+                    NodeOp::Or => acc | v,
+                    _ => unreachable!("tree nodes are gates"),
+                };
+            }
+            values.push(acc);
+        }
+        let mask = if vars >= 6 {
+            u64::MAX
+        } else {
+            (1u64 << (1usize << vars)) - 1
+        };
+        Some((values[self.root_index()] & mask, vars))
+    }
+
     /// Rewrites the tree into its canonical form and returns its
     /// [`Fingerprint`].
     ///
     /// Two transformations, both function-preserving:
     ///
-    /// 1. every node's children are reordered by their structural token
-    ///    (AND/OR commute, so any child order computes the same
-    ///    function); ties keep their original relative order, which is
-    ///    irrelevant because equal tokens mean isomorphic sub-shapes;
+    /// 1. every node's children are reordered by their *blind* skeleton
+    ///    token first and their full structural token second (AND/OR
+    ///    commute, so any child order computes the same function); ties
+    ///    keep their original relative order, which is irrelevant
+    ///    because equal tokens mean isomorphic sub-shapes. The
+    ///    blind-primary order means trees that differ only in gate
+    ///    operations or edge polarities place their subtrees and leaf
+    ///    slots *identically* — the alignment the functional cache tier
+    ///    relies on to reuse DP solutions across N/P/N variants;
     /// 2. the node array is renumbered into the post-order walk of the
     ///    reordered tree, so isomorphic trees end up with *identical*
     ///    node arrays (up to leaf signal identities).
     ///
+    /// The returned fingerprint hashes each node's child tokens as a
+    /// fully-sorted multiset, so its *value* is independent of the
+    /// blind-primary child order and identical to [`Tree::fingerprint`].
+    ///
     /// After canonicalization the subset DP — whose tie-breaks depend on
     /// child and node order — visits isomorphic trees identically, which
     /// is what lets a cached `minmap` solution be replayed verbatim onto
-    /// any tree with the same fingerprint.
+    /// any tree with the same fingerprint (and, because the DP never
+    /// reads operations or polarities, onto any tree with the same
+    /// blind skeleton — see [`Tree::blind_fingerprint`]).
     pub fn canonicalize(&mut self) -> Fingerprint {
-        // Pass 1: sort every node's children by structural token,
-        // recording each node's fingerprint.
+        // Pass 1: sort every node's children by (blind token, full
+        // token), recording each node's full and blind fingerprints.
         let mut fps: Vec<Fingerprint> = Vec::with_capacity(self.nodes.len());
-        let mut keyed: Vec<(Fingerprint, TreeChild)> = Vec::new();
+        let mut blind: Vec<Fingerprint> = Vec::with_capacity(self.nodes.len());
+        let mut keyed: Vec<((Fingerprint, Fingerprint), TreeChild)> = Vec::new();
         for i in 0..self.nodes.len() {
             keyed.clear();
             keyed.extend(
                 self.nodes[i]
                     .children
                     .iter()
-                    .map(|c| (child_token(&fps, c), *c)),
+                    .map(|c| ((blind_child_token(&blind, c), child_token(&fps, c)), *c)),
             );
             keyed.sort_by_key(|entry| entry.0);
             for (slot, (_, child)) in keyed.iter().enumerate() {
                 self.nodes[i].children[slot] = *child;
             }
-            let tokens: Vec<Fingerprint> = keyed.iter().map(|(t, _)| *t).collect();
+            // Blind tokens are already sorted (they are the primary sort
+            // key); full tokens must be re-sorted so the fingerprint
+            // value matches the order-insensitive `fingerprint()` hash.
+            let btokens: Vec<Fingerprint> = keyed.iter().map(|((b, _), _)| *b).collect();
+            blind.push(blind_node_fingerprint(&btokens));
+            let mut tokens: Vec<Fingerprint> = keyed.iter().map(|((_, t), _)| *t).collect();
+            tokens.sort_unstable();
             fps.push(node_fingerprint(self.nodes[i].op, &tokens));
         }
         // Pass 2: renumber into the post-order walk of the sorted tree.
@@ -760,6 +916,134 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn blind_fingerprint_erases_ops_and_polarity_but_not_structure() {
+        let base = specimen(["a", "b", "c"], false);
+        // Op and polarity variants share the blind skeleton.
+        let mut other_op = base.clone();
+        other_op.nodes[0].op = NodeOp::Or;
+        let mut straight = base.clone();
+        for n in &mut straight.nodes {
+            for c in &mut n.children {
+                if let TreeChild::Leaf(s) = c {
+                    *c = TreeChild::Leaf(!*s);
+                }
+            }
+        }
+        assert_eq!(base.blind_fingerprint(), other_op.blind_fingerprint());
+        assert_eq!(base.blind_fingerprint(), straight.blind_fingerprint());
+        assert_ne!(base.fingerprint(), other_op.fingerprint());
+        // A different skeleton gets a different blind fingerprint.
+        let mut net = Network::new();
+        let a = net.add_input("a");
+        let b = net.add_input("b");
+        let g = net.add_gate(NodeOp::And, vec![a.into(), b.into()]);
+        net.add_output("z", g.into());
+        let flat = Forest::of(&net).trees.remove(0);
+        assert_ne!(base.blind_fingerprint(), flat.blind_fingerprint());
+    }
+
+    #[test]
+    fn blind_variants_canonicalize_to_aligned_slots() {
+        // OR(AND(x, y), !z) vs AND(OR(!x, y), z): same skeleton, all
+        // ops and polarities scrambled. After canonicalization the
+        // child kinds must align slot-for-slot and the leaf traversal
+        // order must match.
+        let mut base = specimen(["a", "b", "c"], false);
+        let mut variant = base.clone();
+        variant.nodes[0].op = NodeOp::Or;
+        variant.nodes[1].op = NodeOp::And;
+        for n in &mut variant.nodes {
+            for c in &mut n.children {
+                if let TreeChild::Leaf(s) = c {
+                    if !s.is_inverted() {
+                        *c = TreeChild::Leaf(!*s);
+                    }
+                }
+            }
+        }
+        base.canonicalize();
+        variant.canonicalize();
+        assert_eq!(base.blind_fingerprint(), variant.blind_fingerprint());
+        assert_eq!(base.nodes.len(), variant.nodes.len());
+        for (na, nb) in base.nodes.iter().zip(&variant.nodes) {
+            assert_eq!(na.children.len(), nb.children.len());
+            for (ca, cb) in na.children.iter().zip(&nb.children) {
+                match (ca, cb) {
+                    (TreeChild::Node { index: ia, .. }, TreeChild::Node { index: ib, .. }) => {
+                        assert_eq!(ia, ib)
+                    }
+                    (TreeChild::Leaf(_), TreeChild::Leaf(_)) => {}
+                    _ => panic!("child kinds diverged between blind variants"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn packed_truth_table_matches_eval() {
+        // Duplicate leaves get distinct variables, so use a tree whose
+        // slots map 1:1 onto distinct inputs and check against eval.
+        let tree = specimen(["a", "b", "c"], false);
+        let (table, vars) = tree.packed_truth_table().unwrap();
+        assert_eq!(vars, 3);
+        // Recover the slot → NodeId order (traversal order).
+        let slots: Vec<NodeId> = tree
+            .nodes
+            .iter()
+            .flat_map(|n| &n.children)
+            .filter_map(|c| match c {
+                TreeChild::Leaf(s) => Some(s.node()),
+                _ => None,
+            })
+            .collect();
+        for bits in 0..(1u64 << vars) {
+            let leaf = |id: NodeId| {
+                let pos = slots.iter().position(|&s| s == id).unwrap();
+                (bits >> pos) & 1 == 1
+            };
+            assert_eq!((table >> bits) & 1 == 1, tree.eval(&leaf), "minterm {bits}");
+        }
+    }
+
+    #[test]
+    fn packed_truth_table_rejects_wide_trees() {
+        let mut net = Network::new();
+        let inputs: Vec<_> = (0..7).map(|i| net.add_input(format!("i{i}"))).collect();
+        let g = net.add_gate(
+            NodeOp::And,
+            inputs.iter().map(|&i| Signal::new(i)).collect(),
+        );
+        net.add_output("z", g.into());
+        let forest = Forest::of(&net);
+        assert!(forest.trees[0].packed_truth_table().is_none());
+    }
+
+    #[test]
+    fn npn_variants_share_a_canonical_class() {
+        // AND(a, b) and OR(a, b) are NPN-equivalent; their packed tables
+        // must land in one canonical class.
+        let mut and_net = Network::new();
+        let a = and_net.add_input("a");
+        let b = and_net.add_input("b");
+        let g = and_net.add_gate(NodeOp::And, vec![a.into(), b.into()]);
+        and_net.add_output("z", g.into());
+        let and_tree = Forest::of(&and_net).trees.remove(0);
+        let mut or_net = Network::new();
+        let a = or_net.add_input("a");
+        let b = or_net.add_input("b");
+        let g = or_net.add_gate(NodeOp::Or, vec![a.into(), b.into()]);
+        or_net.add_output("z", g.into());
+        let or_tree = Forest::of(&or_net).trees.remove(0);
+        let (ta, va) = and_tree.packed_truth_table().unwrap();
+        let (to, vo) = or_tree.packed_truth_table().unwrap();
+        assert_ne!(ta, to);
+        assert_eq!(
+            chortle_mis::canonical_npn_u64(ta, va),
+            chortle_mis::canonical_npn_u64(to, vo)
+        );
     }
 
     #[test]

@@ -179,7 +179,12 @@ fn every_cache_mode_is_bit_identical_at_every_worker_count() {
         for k in 2..=6 {
             let (reference, ref_counters) = map_with(&net, k, 1, CacheMode::Off);
             for jobs in [1, 2, 8] {
-                for cache in [CacheMode::Off, CacheMode::Tree, CacheMode::Shared] {
+                for cache in [
+                    CacheMode::Off,
+                    CacheMode::Tree,
+                    CacheMode::Shared,
+                    CacheMode::Fn,
+                ] {
                     let (mapping, counters) = map_with(&net, k, jobs, cache);
                     assert_eq!(
                         reference.circuit, mapping.circuit,
@@ -236,10 +241,143 @@ fn cache_counters_add_up() {
         stats::CACHE_MISSES,
         stats::CACHE_SHARDS,
         stats::CACHE_REPLAYED_LUTS,
+        stats::CACHE_FN_HITS,
+        stats::CACHE_FN_MISSES,
+        stats::CACHE_FN_REPLAYED_LUTS,
     ] {
         assert!(
             report.counter(counter).is_none(),
             "{counter} with cache off"
         );
+    }
+}
+
+/// Runs `net` under `cache` and returns the full counter snapshot.
+fn counters_under(net: &Network, cache: CacheMode, jobs: usize) -> chortle::MapStats {
+    let telemetry = Telemetry::enabled();
+    let options = MapOptions::builder(4)
+        .cache(cache)
+        .jobs(jobs)
+        .telemetry(telemetry.clone())
+        .build()
+        .unwrap();
+    map_network(net, &options).expect("maps");
+    telemetry.snapshot()
+}
+
+#[test]
+fn fn_tier_counters_add_up_and_only_add_reuse() {
+    // Polarity variants of shared shapes make the functional tier win
+    // where the structural one cannot.
+    let mut rng = SplitMix64::new(0xcace_0004);
+    let mut fn_hit_seen = false;
+    for round in 0..8 {
+        let net = random_network(rng.next_u64(), 8, 40, 4);
+        for jobs in [1, 4] {
+            let shared = counters_under(&net, CacheMode::Shared, jobs);
+            let fnr = counters_under(&net, CacheMode::Fn, jobs);
+            let trees = fnr.counter(stats::MAP_TREES).unwrap();
+            let hits = fnr.counter(stats::CACHE_HITS).unwrap();
+            let misses = fnr.counter(stats::CACHE_MISSES).unwrap();
+            let fn_hits = fnr.counter(stats::CACHE_FN_HITS).unwrap();
+            let fn_misses = fnr.counter(stats::CACHE_FN_MISSES).unwrap();
+            // Attribution is structural-first: cache.hits is identical
+            // to the Shared-mode value, and fn_hits is the *additional*
+            // reuse the functional tier found.
+            assert_eq!(
+                hits,
+                shared.counter(stats::CACHE_HITS).unwrap(),
+                "structural hits changed under Fn (round={round} jobs={jobs})"
+            );
+            assert_eq!(
+                hits + fn_hits + misses,
+                trees,
+                "counter contract broken (round={round} jobs={jobs})"
+            );
+            // fn_misses counts fn-eligible trees that fully solved.
+            assert!(fn_misses <= misses, "(round={round} jobs={jobs})");
+            if fn_hits > 0 {
+                fn_hit_seen = true;
+                assert!(fnr.counter(stats::CACHE_FN_REPLAYED_LUTS).unwrap() >= fn_hits);
+            }
+        }
+    }
+    assert!(
+        fn_hit_seen,
+        "the functional tier never beat the structural one across 8 random forests"
+    );
+}
+
+#[test]
+fn shared_mode_reports_no_fn_counters() {
+    let net = random_network(0xcace_0005, 8, 30, 4);
+    for cache in [CacheMode::Tree, CacheMode::Shared] {
+        let report = counters_under(&net, cache, 1);
+        for counter in [
+            stats::CACHE_FN_HITS,
+            stats::CACHE_FN_MISSES,
+            stats::CACHE_FN_REPLAYED_LUTS,
+        ] {
+            assert!(
+                report.counter(counter).is_none(),
+                "{counter} reported under {cache:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn warm_cache_segments_both_tiers() {
+    use chortle::WarmCache;
+    let net = random_network(0xcace_0006, 8, 40, 4);
+    let warm = WarmCache::new();
+    let options = MapOptions::builder(4)
+        .cache(CacheMode::Fn)
+        .warm_cache(warm.clone())
+        .build()
+        .unwrap();
+    map_network(&net, &options).expect("maps");
+    let after_first = warm.stats();
+    assert!(after_first.shapes > 0, "structural tier stayed empty");
+    assert!(after_first.fn_entries > 0, "functional tier stayed empty");
+    assert_eq!(after_first.fn_entries, warm.stats().fn_entries);
+
+    // A warm re-run of the same network hits on every tree: the second
+    // run's misses add nothing.
+    map_network(&net, &options).expect("maps again");
+    let after_second = warm.stats();
+    assert_eq!(after_second.shapes, after_first.shapes);
+    assert_eq!(after_second.fn_entries, after_first.fn_entries);
+    assert!(after_second.hits + after_second.fn_hits > after_first.hits + after_first.fn_hits);
+    assert!(after_second.hit_rate() > 0.0);
+
+    warm.flush();
+    let flushed = warm.stats();
+    assert_eq!(flushed.shapes, 0);
+    assert_eq!(flushed.fn_entries, 0);
+}
+
+#[test]
+fn dc_packing_is_equivalent_and_never_adds_luts() {
+    use chortle::PackMode;
+    use chortle_netlist::check_equivalence;
+    let mut rng = SplitMix64::new(0xcace_0007);
+    for round in 0..8 {
+        let net = random_network(rng.next_u64(), 7, 24, 4);
+        for k in [3, 4, 5] {
+            let plain = map_network(&net, &MapOptions::builder(k).build().unwrap()).unwrap();
+            let packed = map_network(
+                &net,
+                &MapOptions::builder(k).pack(PackMode::Dc).build().unwrap(),
+            )
+            .unwrap();
+            assert!(
+                packed.report.luts <= plain.report.luts,
+                "packing added LUTs (round={round} k={k})"
+            );
+            assert_eq!(packed.report.luts, packed.circuit.num_luts());
+            check_equivalence(&net, &packed.circuit)
+                .unwrap_or_else(|e| panic!("round={round} k={k}: {e:?}"));
+        }
     }
 }

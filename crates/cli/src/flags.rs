@@ -68,7 +68,13 @@ pub const FLAGS: &[Flag] = &[
         name: "--cache",
         alias: None,
         value: Some("MODE"),
-        help: "DP-result cache: shared (default), tree, or off",
+        help: "DP-result cache: shared (default), tree, off, or fn",
+    },
+    Flag {
+        name: "--pack",
+        alias: None,
+        value: Some("MODE"),
+        help: "don't-care LUT packing post-pass: off (default) or dc",
     },
     Flag {
         name: "--format",

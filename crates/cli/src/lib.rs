@@ -49,7 +49,7 @@ use chortle_netlist::{
 // with the flow API.
 pub use chortle::{
     map_network, CacheMode, ChunkPolicy, Fingerprint, MapError, MapOptions, MapOptionsBuilder,
-    MapReport, MapStats, Mapping, Objective, Telemetry,
+    MapReport, MapStats, Mapping, Objective, PackMode, Telemetry,
 };
 
 /// Names of the flow-level stages [`run_flow`] reports into the sink

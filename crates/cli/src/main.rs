@@ -20,7 +20,8 @@ use std::process::ExitCode;
 
 use chortle_cli::flags::{help_text, lookup};
 use chortle_cli::{
-    run_flow, CacheMode, ChunkPolicy, FlowOptions, MapOptions, Mapper, OutputFormat, Telemetry,
+    run_flow, CacheMode, ChunkPolicy, FlowOptions, MapOptions, Mapper, OutputFormat, PackMode,
+    Telemetry,
 };
 
 /// Telemetry report format requested on the command line.
@@ -57,6 +58,7 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Option<Cli>, CliErro
     let mut jobs = 0usize; // 0 = all cores (resolved by the library)
     let mut chunk = ChunkPolicy::Auto;
     let mut cache = CacheMode::default();
+    let mut pack = PackMode::default();
     let mut depth_objective = false;
     let mut cli = Cli {
         options: FlowOptions::default(),
@@ -144,10 +146,23 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Option<Cli>, CliErro
                     "off" => CacheMode::Off,
                     "tree" => CacheMode::Tree,
                     "shared" => CacheMode::Shared,
+                    "fn" => CacheMode::Fn,
                     other => {
                         return Err(CliError::invalid(
                             "--cache",
-                            format!("{other:?} (expected off, tree or shared)"),
+                            format!("{other:?} (expected off, tree, shared or fn)"),
+                        ))
+                    }
+                };
+            }
+            "--pack" => {
+                pack = match value.as_str() {
+                    "off" => PackMode::Off,
+                    "dc" => PackMode::Dc,
+                    other => {
+                        return Err(CliError::invalid(
+                            "--pack",
+                            format!("{other:?} (expected off or dc)"),
                         ))
                     }
                 };
@@ -197,7 +212,8 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Option<Cli>, CliErro
         .jobs(jobs)
         .chunk(chunk)
         .map_err(|e| CliError::invalid("--chunk", e))?
-        .cache(cache);
+        .cache(cache)
+        .pack(pack);
     if depth_objective {
         builder = builder.objective(chortle_cli::Objective::Depth);
     }

@@ -52,6 +52,17 @@ fn swap_adjacent(t: u64, i: usize) -> u64 {
     (t & !(hi | lo)) | ((t & hi) << shift) | ((t & lo) >> shift)
 }
 
+/// Swaps arbitrary variables `i < j` of a packed table: minterms with
+/// var `j` set and var `i` clear trade places with their var-`i`-set,
+/// var-`j`-clear partners, a distance of `2^j - 2^i` index positions.
+fn swap_vars(t: u64, i: usize, j: usize) -> u64 {
+    debug_assert!(i < j);
+    let down = VAR_MASKS[j] & !VAR_MASKS[i]; // var j set, var i clear
+    let up = VAR_MASKS[i] & !VAR_MASKS[j]; // var i set, var j clear
+    let shift = (1u32 << j) - (1u32 << i);
+    (t & !(down | up)) | ((t & down) >> shift) | ((t & up) << shift)
+}
+
 /// Applies a variable permutation (`perm[i]` = new position of old
 /// variable `i`) via adjacent transpositions.
 fn apply_perm(mut t: u64, perm: &[usize]) -> u64 {
@@ -109,11 +120,159 @@ pub fn canonical_npn_u64(table: u64, vars: usize) -> u64 {
         "NPN canonicalization supports at most {MAX_CANON_VARS} variables"
     );
     let mask = table_mask(vars);
+    // Gray-code walk over the input-complementation lattice of one
+    // permuted table, folding both output polarities into the running
+    // minimum.
+    let flips_min = |p: u64, best: &mut u64| {
+        let mut cur = p;
+        let mut gray_prev = 0u32;
+        for g in 0..(1u32 << vars) {
+            let gray = g ^ (g >> 1);
+            let diff = gray ^ gray_prev;
+            if diff != 0 {
+                cur = flip_input(cur, diff.trailing_zeros() as usize);
+            }
+            gray_prev = gray;
+            let a = cur & mask;
+            let b = !cur & mask;
+            if a < *best {
+                *best = a;
+            }
+            if b < *best {
+                *best = b;
+            }
+        }
+    };
+    // Heap's algorithm visits every variable permutation with a single
+    // pair swap between consecutive ones, applied directly to the packed
+    // table — no permutation vectors, no per-permutation re-expansion.
+    let mut best = u64::MAX;
+    let mut cur = table & mask;
+    flips_min(cur, &mut best);
+    let mut c = [0usize; MAX_CANON_VARS];
+    let mut i = 1;
+    while i < vars {
+        if c[i] < i {
+            let a = if i % 2 == 0 { 0 } else { c[i] };
+            cur = swap_vars(cur, a.min(i), a.max(i));
+            flips_min(cur, &mut best);
+            c[i] += 1;
+            i = 1;
+        } else {
+            c[i] = 0;
+            i += 1;
+        }
+    }
+    best
+}
+
+/// [`canonical_npn_u64`] behind a process-wide memo.
+///
+/// Canonicalization is a pure function of `(table, vars)` and real
+/// netlists draw their small-cone functions from a modest pool, so one
+/// bounded, process-lifetime table turns the repeat cost into a hash
+/// probe — across the trees of one run, across runs, and across daemon
+/// requests alike. The memo stops growing at a fixed cap (further
+/// misses are computed but not stored), so a pathological table stream
+/// cannot balloon resident memory.
+pub fn canonical_npn_u64_cached(table: u64, vars: usize) -> u64 {
+    use std::collections::HashMap;
+    use std::sync::{OnceLock, RwLock};
+    const MEMO_CAP: usize = 1 << 20;
+    static MEMO: OnceLock<RwLock<HashMap<(u64, u8), u64>>> = OnceLock::new();
+    let memo = MEMO.get_or_init(|| RwLock::new(HashMap::new()));
+    let key = (table, vars as u8);
+    if let Some(&canon) = memo.read().expect("canon memo poisoned").get(&key) {
+        return canon;
+    }
+    let canon = canonical_npn_u64(table, vars);
+    let mut write = memo.write().expect("canon memo poisoned");
+    if write.len() < MEMO_CAP {
+        write.insert(key, canon);
+    }
+    canon
+}
+
+/// A recorded element of the NPN group: the transform that carries a
+/// table onto its canonical form.
+///
+/// The action is `output_flip ∘ input_flips ∘ perm`: the permutation is
+/// applied first, then each input `i` with bit `i` set in `input_flips`
+/// is complemented (indices are *post-permutation* positions), and
+/// finally the output is complemented if `output_flip` is set. This is
+/// exactly the order [`canonical_npn_with_transform`] searches in, so
+/// `apply_npn_u64(table, &t) == canon` holds for the returned pair.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct NpnTransform {
+    /// Number of variables the transform acts on.
+    pub vars: u8,
+    /// `perm[i]` = new position of old variable `i`; only the first
+    /// `vars` entries are meaningful.
+    pub perm: [u8; MAX_CANON_VARS],
+    /// Bit `i` set = complement post-permutation input `i`.
+    pub input_flips: u8,
+    /// Complement the output.
+    pub output_flip: bool,
+}
+
+impl NpnTransform {
+    /// The identity transform on `vars` variables.
+    pub fn identity(vars: usize) -> Self {
+        assert!(vars <= MAX_CANON_VARS);
+        let mut perm = [0u8; MAX_CANON_VARS];
+        for (i, p) in perm.iter_mut().enumerate() {
+            *p = i as u8;
+        }
+        NpnTransform {
+            vars: vars as u8,
+            perm,
+            input_flips: 0,
+            output_flip: false,
+        }
+    }
+}
+
+/// Applies a recorded N/P/N transform to a packed table.
+pub fn apply_npn_u64(table: u64, t: &NpnTransform) -> u64 {
+    let vars = t.vars as usize;
+    let mask = table_mask(vars);
+    let perm: Vec<usize> = t.perm[..vars].iter().map(|&p| p as usize).collect();
+    let mut cur = apply_perm(table & mask, &perm);
+    for i in 0..vars {
+        if t.input_flips & (1 << i) != 0 {
+            cur = flip_input(cur, i);
+        }
+    }
+    if t.output_flip {
+        !cur & mask
+    } else {
+        cur & mask
+    }
+}
+
+/// Like [`canonical_npn_u64`], but also returns the transform that maps
+/// `table` onto the canonical form (useful for replaying cached
+/// decisions and for observability; the canonical value itself is what
+/// cache keys use).
+///
+/// # Panics
+///
+/// Panics if `vars > MAX_CANON_VARS`.
+pub fn canonical_npn_with_transform(table: u64, vars: usize) -> (u64, NpnTransform) {
+    assert!(
+        vars <= MAX_CANON_VARS,
+        "NPN canonicalization supports at most {MAX_CANON_VARS} variables"
+    );
+    let mask = table_mask(vars);
     let table = table & mask;
     let mut best = u64::MAX;
+    let mut best_t = NpnTransform::identity(vars);
     for perm in permutations(vars) {
         let p = apply_perm(table, &perm);
-        // Gray-code walk over the input-complementation lattice.
+        let mut perm_u8 = [0u8; MAX_CANON_VARS];
+        for (i, &v) in perm.iter().enumerate() {
+            perm_u8[i] = v as u8;
+        }
         let mut cur = p;
         let mut gray_prev = 0u32;
         for g in 0..(1u32 << vars) {
@@ -127,13 +286,25 @@ pub fn canonical_npn_u64(table: u64, vars: usize) -> u64 {
             let b = !cur & mask;
             if a < best {
                 best = a;
+                best_t = NpnTransform {
+                    vars: vars as u8,
+                    perm: perm_u8,
+                    input_flips: gray as u8,
+                    output_flip: false,
+                };
             }
             if b < best {
                 best = b;
+                best_t = NpnTransform {
+                    vars: vars as u8,
+                    perm: perm_u8,
+                    input_flips: gray as u8,
+                    output_flip: true,
+                };
             }
         }
     }
-    best
+    (best, best_t)
 }
 
 /// The NPN canonical form of a [`TruthTable`] (must have at most
@@ -235,6 +406,118 @@ mod tests {
             .map(|&t| canonical_npn_u64(t, 3))
             .collect();
         assert_eq!(cs.len(), 3);
+    }
+
+    /// SplitMix64 — deterministic, dependency-free PRNG for the
+    /// property tests below.
+    struct Rng(u64);
+
+    impl Rng {
+        fn next(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        fn below(&mut self, n: u64) -> u64 {
+            self.next() % n
+        }
+    }
+
+    fn random_transform(rng: &mut Rng, vars: usize) -> NpnTransform {
+        let mut perm = [0u8; MAX_CANON_VARS];
+        for (i, p) in perm.iter_mut().enumerate() {
+            *p = i as u8;
+        }
+        // Fisher–Yates over the first `vars` slots.
+        for i in (1..vars).rev() {
+            let j = rng.below(i as u64 + 1) as usize;
+            perm.swap(i, j);
+        }
+        NpnTransform {
+            vars: vars as u8,
+            perm,
+            input_flips: (rng.next() & ((1 << vars) - 1)) as u8,
+            output_flip: rng.next() & 1 == 1,
+        }
+    }
+
+    #[test]
+    fn canonical_is_invariant_under_random_npn_transforms() {
+        let mut rng = Rng(0xC0FF_EE00_D15E_A5E1);
+        for vars in 1..=4usize {
+            let mask = table_mask(vars);
+            for _ in 0..200 {
+                let table = rng.next() & mask;
+                let canon = canonical_npn_u64(table, vars);
+                let t = random_transform(&mut rng, vars);
+                let image = apply_npn_u64(table, &t);
+                assert_eq!(
+                    canonical_npn_u64(image, vars),
+                    canon,
+                    "canonical form changed under {t:?} for table {table:#x} ({vars} vars)"
+                );
+                // The canonical form is itself canonical (idempotence).
+                assert_eq!(canonical_npn_u64(canon, vars), canon);
+            }
+        }
+    }
+
+    #[test]
+    fn canonical_is_true_lexicographic_minimum_exhaustive() {
+        // At ≤3 vars the whole group and the whole function space are
+        // small enough to enumerate: 2^(2^3) tables × 3!·2^3·2 images.
+        for vars in 0..=3usize {
+            let mask = table_mask(vars);
+            let perms = permutations(vars);
+            for table in 0..=mask {
+                let mut min = u64::MAX;
+                for perm in &perms {
+                    let p = apply_perm(table, perm);
+                    for flips in 0..(1u64 << vars) {
+                        let mut cur = p;
+                        for i in 0..vars {
+                            if flips & (1 << i) != 0 {
+                                cur = flip_input(cur, i);
+                            }
+                        }
+                        min = min.min(cur & mask).min(!cur & mask);
+                    }
+                }
+                assert_eq!(
+                    canonical_npn_u64(table, vars),
+                    min,
+                    "not the lexicographic minimum for table {table:#x} ({vars} vars)"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn recorded_transform_reproduces_the_canonical_form() {
+        let mut rng = Rng(0x5EED_0F00_BA5E_BA11);
+        for vars in 0..=4usize {
+            let mask = table_mask(vars);
+            for _ in 0..100 {
+                let table = rng.next() & mask;
+                let (canon, t) = canonical_npn_with_transform(table, vars);
+                assert_eq!(canon, canonical_npn_u64(table, vars));
+                assert_eq!(
+                    apply_npn_u64(table, &t),
+                    canon,
+                    "transform {t:?} does not carry {table:#x} onto its canonical form"
+                );
+                assert_eq!(t.vars as usize, vars);
+            }
+        }
+    }
+
+    #[test]
+    fn identity_transform_is_a_no_op() {
+        let t = NpnTransform::identity(3);
+        assert_eq!(apply_npn_u64(0b1001_0110, &t), 0b1001_0110);
     }
 
     #[test]

@@ -74,7 +74,7 @@ fn print_client_help() {
     println!("Client options:");
     println!("  -k N                LUT input count (default 4)");
     println!("  --jobs N            mapper worker threads; 0 = all cores (default 1)");
-    println!("  --cache MODE        DP cache: shared (default), tree, or off");
+    println!("  --cache MODE        DP cache: shared (default), fn, tree, or off");
     println!("  --objective GOAL    area (default) or depth");
     println!("  --no-optimize       skip the MIS-style optimization script");
     println!("  --deadline-ms N     per-request deadline in milliseconds");
@@ -119,10 +119,11 @@ fn parse_client_args(
                     "off" => chortle::CacheMode::Off,
                     "tree" => chortle::CacheMode::Tree,
                     "shared" => chortle::CacheMode::Shared,
+                    "fn" => chortle::CacheMode::Fn,
                     other => {
                         return Err(format!(
-                            "invalid value for --cache: {other:?} (expected off, tree or shared)"
-                        ))
+                        "invalid value for --cache: {other:?} (expected off, tree, shared or fn)"
+                    ))
                     }
                 }
             }
@@ -274,10 +275,18 @@ fn client_main(mut args: impl Iterator<Item = String>) -> ExitCode {
                 uptime_s,
                 queue_depth,
                 queue_high_water,
+                warm,
                 ..
             } => {
                 eprintln!(
                     "uptime {uptime_s}s, queue depth {queue_depth} (high water {queue_high_water})"
+                );
+                eprintln!(
+                    "warm cache: {} shapes ({:.1}% hit), {} fn classes ({:.1}% hit)",
+                    warm.shapes,
+                    warm.hit_rate() * 100.0,
+                    warm.fn_entries,
+                    warm.fn_hit_rate() * 100.0
                 );
                 println!("{report_json}");
                 ExitCode::SUCCESS

@@ -18,6 +18,7 @@
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::TcpStream;
 
+use chortle::WarmStats;
 use chortle_telemetry::json::{self, Value};
 
 use crate::proto::{
@@ -87,6 +88,8 @@ pub enum Response {
         queue_depth: usize,
         /// The deepest the admission queue has ever been.
         queue_high_water: usize,
+        /// Per-tier warm-cache entry counts and lookup tallies.
+        warm: WarmStats,
         /// The aggregate server report, re-serialized.
         report_json: String,
     },
@@ -220,6 +223,10 @@ pub enum StatsReply {
         queue_depth: usize,
         /// The deepest the admission queue has ever been.
         queue_high_water: usize,
+        /// Per-tier warm-cache entry counts and lookup tallies
+        /// (hit rates via [`WarmStats::hit_rate`] /
+        /// [`WarmStats::fn_hit_rate`]).
+        warm: WarmStats,
         /// The aggregate server report, re-serialized.
         report_json: String,
     },
@@ -250,6 +257,25 @@ pub enum ShutdownReply {
     Draining,
     /// The request was rejected.
     Rejected(Rejection),
+}
+
+/// Parses the `"cache"` object of a `stats` response into the typed
+/// per-tier tallies.
+fn parse_warm_stats(tiers: &Value) -> Result<WarmStats, String> {
+    let field = |key: &str| -> Result<u64, String> {
+        tiers
+            .get(key)
+            .and_then(Value::as_u64)
+            .ok_or_else(|| format!("stats \"cache\" is missing integer field {key:?}"))
+    };
+    Ok(WarmStats {
+        shapes: field("shapes")? as usize,
+        fn_entries: field("fn_entries")? as usize,
+        hits: field("hits")?,
+        misses: field("misses")?,
+        fn_hits: field("fn_hits")?,
+        fn_misses: field("fn_misses")?,
+    })
 }
 
 /// Parses one response line (either protocol version) into a
@@ -334,6 +360,7 @@ pub fn parse_response(line: &str) -> Result<Response, String> {
                 uptime_s: u64_field("uptime_s")?,
                 queue_depth: u64_field("queue_depth")? as usize,
                 queue_high_water: u64_field("queue_high_water")? as usize,
+                warm: parse_warm_stats(value.get("cache").ok_or("response is missing \"cache\"")?)?,
                 report_json: value
                     .get("report")
                     .map(Value::to_json)
@@ -638,6 +665,7 @@ impl Client {
                 uptime_s,
                 queue_depth,
                 queue_high_water,
+                warm,
                 report_json,
                 ..
             } => Ok(StatsReply::Stats {
@@ -645,6 +673,7 @@ impl Client {
                 uptime_s,
                 queue_depth,
                 queue_high_water,
+                warm,
                 report_json,
             }),
             Response::Rejected { rejection, .. } => Ok(StatsReply::Rejected(rejection)),
@@ -735,14 +764,34 @@ mod tests {
                 other => panic!("expected MapOk, got {other:?}"),
             }
         }
-        let stats = crate::proto::render_stats_ok(V1, "s", 1, 9, 0, 4, "{\"a\":1}");
+        let tiers = WarmStats {
+            shapes: 6,
+            fn_entries: 3,
+            hits: 8,
+            misses: 2,
+            fn_hits: 5,
+            fn_misses: 5,
+        };
+        let gauges = crate::proto::StatsGauges {
+            cache_generation: 1,
+            uptime_s: 9,
+            queue_depth: 0,
+            queue_high_water: 4,
+        };
+        let stats = crate::proto::render_stats_ok(V1, "s", &gauges, &tiers, "{\"a\":1}");
         match parse_response(&stats).expect("parses") {
             Response::StatsOk {
                 uptime_s,
                 queue_depth,
                 queue_high_water,
+                warm,
                 ..
-            } => assert_eq!((uptime_s, queue_depth, queue_high_water), (9, 0, 4)),
+            } => {
+                assert_eq!((uptime_s, queue_depth, queue_high_water), (9, 0, 4));
+                assert_eq!(warm, tiers);
+                assert!((warm.hit_rate() - 0.8).abs() < 1e-12);
+                assert!((warm.fn_hit_rate() - 0.5).abs() < 1e-12);
+            }
             other => panic!("expected StatsOk, got {other:?}"),
         }
         let ring = [RequestTrace {

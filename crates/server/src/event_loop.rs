@@ -356,10 +356,13 @@ pub(crate) fn dispatch(shared: &Arc<Shared>, cid: u64, line: &str) {
             let frame = proto::render_stats_ok(
                 version,
                 &request.id,
-                shared.warm.generation(),
-                shared.started.elapsed().as_secs(),
-                shared.admission.len(),
-                shared.admission.high_water(),
+                &proto::StatsGauges {
+                    cache_generation: shared.warm.generation(),
+                    uptime_s: shared.started.elapsed().as_secs(),
+                    queue_depth: shared.admission.len(),
+                    queue_high_water: shared.admission.high_water(),
+                },
+                &shared.warm.stats(),
                 &shared.telemetry.snapshot().to_json(),
             );
             shared.completions.push(cid, frame);

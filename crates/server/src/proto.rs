@@ -22,7 +22,7 @@
 //! verbatim), `op` (`"map"` default, `"flush"`, `"stats"`, `"trace"`,
 //! `"shutdown"`); for `op: "map"` also `blif` (required), `k` (default
 //! 4), `jobs` (default 0 = host parallelism), `cache`
-//! (`"shared"`/`"tree"`/`"off"`), `objective` (`"area"`/`"depth"`),
+//! (`"shared"`/`"tree"`/`"off"`/`"fn"`), `objective` (`"area"`/`"depth"`),
 //! `optimize` (default true) and `deadline_ms`. Unknown keys, unknown
 //! enum values, and admin requests carrying map-only keys are rejected
 //! — a versioned protocol fails loudly instead of guessing.
@@ -46,7 +46,7 @@
 //!   quota the client was using), so overload is a *hint*, not a
 //!   dead-end.
 
-use chortle::{CacheMode, Objective};
+use chortle::{CacheMode, Objective, WarmStats};
 use chortle_telemetry::json::{self, write_string, Value};
 
 /// The version-1 protocol tag.
@@ -474,9 +474,10 @@ fn parse_map_fields(
             Some("off") => CacheMode::Off,
             Some("tree") => CacheMode::Tree,
             Some("shared") => CacheMode::Shared,
+            Some("fn") => CacheMode::Fn,
             _ => {
                 return Err(fail(format!(
-                    "\"cache\" must be \"off\", \"tree\" or \"shared\", found {}",
+                    "\"cache\" must be \"off\", \"tree\", \"shared\" or \"fn\", found {}",
                     describe(v)
                 )))
             }
@@ -616,6 +617,7 @@ fn write_map_knobs(out: &mut String, req: &MapRequest, version: ProtocolVersion)
         CacheMode::Off => "off",
         CacheMode::Tree => "tree",
         CacheMode::Shared => "shared",
+        CacheMode::Fn => "fn",
     };
     let objective = match req.objective {
         Objective::Area => "area",
@@ -792,25 +794,50 @@ pub fn render_flush_ok(version: ProtocolVersion, id: &str, cache_generation: u64
     out
 }
 
-/// Renders the success response of a `stats` request: uptime, the
-/// current queue depth and its high-water mark, the cache generation,
-/// and the aggregate server report (which carries the per-op request
-/// counters and the `serve.queue_ns`/`serve.run_ns` latency
-/// histograms).
+/// The live gauge values a `stats` response carries alongside the
+/// warm-cache tallies and the aggregate report.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StatsGauges {
+    /// Current shared-cache generation (bumped by `op:"flush"`).
+    pub cache_generation: u64,
+    /// Whole seconds since the daemon started serving.
+    pub uptime_s: u64,
+    /// Requests queued (admitted, not yet running) right now.
+    pub queue_depth: usize,
+    /// Highest queue depth observed since startup.
+    pub queue_high_water: usize,
+}
+
+/// Renders the success response of a `stats` request: the live gauges
+/// (uptime, queue depth and its high-water mark, cache generation),
+/// the per-tier warm-cache tallies (`cache`: entry counts plus lookup
+/// hits/misses for the structural and functional tiers — hit rates are
+/// the obvious ratios, computed client-side via
+/// [`chortle::WarmStats::hit_rate`] and
+/// [`chortle::WarmStats::fn_hit_rate`]), and the aggregate server
+/// report (which carries the per-op request counters and the
+/// `serve.queue_ns`/`serve.run_ns` latency histograms).
 pub fn render_stats_ok(
     version: ProtocolVersion,
     id: &str,
-    cache_generation: u64,
-    uptime_s: u64,
-    queue_depth: usize,
-    queue_high_water: usize,
+    gauges: &StatsGauges,
+    warm: &WarmStats,
     report_json: &str,
 ) -> String {
-    let mut out = String::with_capacity(report_json.len() + 144);
+    let StatsGauges {
+        cache_generation,
+        uptime_s,
+        queue_depth,
+        queue_high_water,
+    } = *gauges;
+    let mut out = String::with_capacity(report_json.len() + 240);
     response_header(&mut out, version, id, "ok");
     out.push_str(&format!(
         ",\"op\":\"stats\",\"cache_generation\":{cache_generation},\"uptime_s\":{uptime_s}\
-         ,\"queue_depth\":{queue_depth},\"queue_high_water\":{queue_high_water},\"report\":"
+         ,\"queue_depth\":{queue_depth},\"queue_high_water\":{queue_high_water}\
+         ,\"cache\":{{\"shapes\":{},\"fn_entries\":{},\"hits\":{},\"misses\":{}\
+         ,\"fn_hits\":{},\"fn_misses\":{}}},\"report\":",
+        warm.shapes, warm.fn_entries, warm.hits, warm.misses, warm.fn_hits, warm.fn_misses
     ));
     out.push_str(report_json);
     out.push('}');
@@ -1254,7 +1281,25 @@ mod tests {
         let cases = [
             render_map_ok(V1, "a", &payload),
             render_flush_ok(V1, "b", 8),
-            render_stats_ok(V2, "", 0, 12, 1, 3, "{\"schema\":\"x\"}"),
+            render_stats_ok(
+                V2,
+                "",
+                &StatsGauges {
+                    cache_generation: 0,
+                    uptime_s: 12,
+                    queue_depth: 1,
+                    queue_high_water: 3,
+                },
+                &WarmStats {
+                    shapes: 5,
+                    fn_entries: 2,
+                    hits: 10,
+                    misses: 4,
+                    fn_hits: 3,
+                    fn_misses: 1,
+                },
+                "{\"schema\":\"x\"}",
+            ),
             render_shutdown_ok(V1, "c"),
             render_rejected(V1, "d", RejectReason::QueueFull, "queue is full", None),
             render_trace_ok(V2, "e", 128, &ring),
@@ -1294,6 +1339,13 @@ mod tests {
             stats.get("queue_high_water").and_then(Value::as_u64),
             Some(3)
         );
+        let tiers = stats.get("cache").expect("stats carries a cache object");
+        assert_eq!(tiers.get("shapes").and_then(Value::as_u64), Some(5));
+        assert_eq!(tiers.get("fn_entries").and_then(Value::as_u64), Some(2));
+        assert_eq!(tiers.get("hits").and_then(Value::as_u64), Some(10));
+        assert_eq!(tiers.get("misses").and_then(Value::as_u64), Some(4));
+        assert_eq!(tiers.get("fn_hits").and_then(Value::as_u64), Some(3));
+        assert_eq!(tiers.get("fn_misses").and_then(Value::as_u64), Some(1));
         let rej = chortle_telemetry::json::parse(&cases[4]).unwrap();
         assert_eq!(
             rej.get("reason").and_then(Value::as_str),

@@ -232,7 +232,7 @@ impl ServeOptionsBuilder {
 pub struct ServerSummary {
     /// The aggregate server telemetry report (`serve.*` counters, the
     /// per-request stage, the latency and client-depth histograms) —
-    /// schema-valid `chortle-telemetry/v1.4`.
+    /// schema-valid `chortle-telemetry/v1.5`.
     pub report: Report,
     /// Final warm-cache generation.
     pub cache_generation: u64,

@@ -567,6 +567,41 @@ fn flush_bumps_the_generation_and_empties_the_warm_cache() {
 }
 
 #[test]
+fn fn_cache_requests_reuse_the_functional_tier_across_requests() {
+    let (addr, run) = start(ServeOptions::default());
+    let mut client = Client::connect(&addr).expect("connect");
+    let blif = write_blif(&benchmark("frg1").unwrap(), "frg1");
+
+    let shared = expect_mapped(client.map("m0", &request(&blif)).expect("roundtrip"));
+    let req = MapRequest {
+        cache: CacheMode::Fn,
+        ..request(&blif)
+    };
+    let first = expect_mapped(client.map("m1", &req).expect("roundtrip"));
+    assert_eq!(
+        first.netlist, shared.netlist,
+        "the functional tier never changes the mapping"
+    );
+    let second = expect_mapped(client.map("m2", &req).expect("roundtrip"));
+    assert_eq!(second.netlist, shared.netlist);
+
+    match client.stats("s").expect("roundtrip") {
+        StatsReply::Stats { warm, .. } => {
+            assert!(warm.shapes > 0, "structural tier populated: {warm:?}");
+            assert!(warm.fn_entries > 0, "functional tier populated: {warm:?}");
+            assert!(
+                warm.fn_hits > 0,
+                "repeat fn requests replay warm functional entries: {warm:?}"
+            );
+            assert!(warm.hit_rate() > 0.0);
+            assert!(warm.fn_hit_rate() > 0.0);
+        }
+        other => panic!("expected Stats, got {other:?}"),
+    }
+    shut_down(&addr, run);
+}
+
+#[test]
 fn stats_and_trace_expose_live_introspection() {
     let (addr, run) = start(ServeOptions::builder().trace_capacity(2).build());
     let mut client = Client::connect(&addr).expect("connect");

@@ -42,6 +42,22 @@ pub const SERVE_COUNTERS: &[&str] = &[
 /// name.
 pub const TRACE_COUNTERS: &[&str] = &["trace.events", "trace.dropped"];
 
+/// The documented counters of the reserved `cache.` namespace — the
+/// mapper's DP-result cache statistics. Closed since schema v1.5,
+/// which added the functional (`cache.fn_*`) tier: [`validate_report`]
+/// rejects any other `cache.*` name, so a mistyped or undocumented
+/// cache counter fails validation instead of shipping silently.
+pub const CACHE_COUNTERS: &[&str] = &[
+    "cache.hits",
+    "cache.misses",
+    "cache.shards",
+    "cache.replayed_luts",
+    // Schema v1.5: the NPN-canonical functional tier (CacheMode::Fn).
+    "cache.fn_hits",
+    "cache.fn_misses",
+    "cache.fn_replayed_luts",
+];
+
 /// Validates that `input` is a schema-conformant telemetry report.
 ///
 /// # Errors
@@ -103,6 +119,15 @@ pub fn validate_report(input: &str) -> Result<(), String> {
             return Err(format!(
                 "{path}.name {name:?} is not a documented trace.* counter \
                  (expected one of {TRACE_COUNTERS:?})"
+            ));
+        }
+        // Schema v1.5 closes the mapper's `cache.` namespace too: the
+        // counter set doubles as the compatibility contract between
+        // the two cache tiers and every report consumer.
+        if name.starts_with("cache.") && !CACHE_COUNTERS.contains(&name) {
+            return Err(format!(
+                "{path}.name {name:?} is not a documented cache.* counter \
+                 (expected one of {CACHE_COUNTERS:?})"
             ));
         }
     }
@@ -296,7 +321,7 @@ mod tests {
 
     #[test]
     fn rejects_wrong_schema_tag() {
-        let json = sample_report().replace("chortle-telemetry/v1.4", "bogus/v0");
+        let json = sample_report().replace("chortle-telemetry/v1.5", "bogus/v0");
         let err = validate_report(&json).unwrap_err();
         assert!(err.contains("$.schema"), "{err}");
     }
@@ -304,7 +329,7 @@ mod tests {
     #[test]
     fn rejects_missing_and_extra_keys() {
         let err =
-            validate_report(r#"{"schema":"chortle-telemetry/v1.4","enabled":true}"#).unwrap_err();
+            validate_report(r#"{"schema":"chortle-telemetry/v1.5","enabled":true}"#).unwrap_err();
         assert!(err.contains("expected"), "{err}");
         let json = sample_report().replace("\"counters\":", "\"extras\":");
         assert!(validate_report(&json).is_err());
@@ -381,6 +406,25 @@ mod tests {
         let t = Telemetry::enabled();
         t.add_counter("dp.some_future_counter", 1);
         validate_report(&t.snapshot().to_json()).expect("non-serve namespaces stay open");
+    }
+
+    #[test]
+    fn cache_namespace_is_closed() {
+        // Every documented cache.* counter passes …
+        let t = Telemetry::enabled();
+        for name in CACHE_COUNTERS {
+            t.add_counter(name, 1);
+        }
+        validate_report(&t.snapshot().to_json()).expect("documented cache counters validate");
+        // … while an undocumented one (e.g. a typo) is rejected by name.
+        let t = Telemetry::enabled();
+        t.add_counter("cache.fn_hit", 1);
+        let err = validate_report(&t.snapshot().to_json()).unwrap_err();
+        assert!(err.contains("cache.fn_hit"), "{err}");
+        // pack.* remains open alongside the closed namespaces.
+        let t = Telemetry::enabled();
+        t.add_counter("pack.dropped_inputs", 1);
+        validate_report(&t.snapshot().to_json()).expect("pack namespace stays open");
     }
 
     #[test]

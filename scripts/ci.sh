@@ -43,16 +43,27 @@ grep -q '"ph":"B"' "$trace_tmp/run.json" \
   || { echo "ci: trace file has no begin events" >&2; exit 1; }
 rm -rf "$trace_tmp"
 
-echo "==> cache identity smoke (--cache off vs shared, jobs 1 vs 4)"
+echo "==> cache identity smoke (--cache off vs tree/shared/fn, jobs 1 vs 4)"
 ref="$(printf "$smoke_blif" \
   | cargo run -q -p chortle-cli --bin chortle-map -- --cache off)"
-for mode_jobs in "tree 1" "shared 1" "shared 4"; do
+for mode_jobs in "tree 1" "shared 1" "shared 4" "fn 1" "fn 4"; do
   set -- $mode_jobs
   out="$(printf "$smoke_blif" \
     | cargo run -q -p chortle-cli --bin chortle-map -- --cache "$1" --jobs "$2")"
   [[ "$out" == "$ref" ]] \
     || { echo "ci: --cache $1 --jobs $2 changed the circuit" >&2; exit 1; }
 done
+
+echo "==> don't-care packing smoke (--pack dc, equivalence-checked in-process)"
+# The dc post-pass proves equivalence internally (it refuses to emit an
+# unproven merge); here we check the other contract: it never increases
+# the LUT count.
+packed="$(printf "$smoke_blif" \
+  | cargo run -q -p chortle-cli --bin chortle-map -- --cache fn --pack dc)"
+ref_luts="$(printf '%s\n' "$ref" | grep -c '^\.names')"
+packed_luts="$(printf '%s\n' "$packed" | grep -c '^\.names')"
+[[ "$packed_luts" -le "$ref_luts" ]] \
+  || { echo "ci: --pack dc grew the circuit ($ref_luts -> $packed_luts LUTs)" >&2; exit 1; }
 
 echo "==> chunked scheduler identity smoke (--chunk 1/auto/64, jobs 4 vs sequential)"
 for chunk in 1 auto 64; do
