@@ -10,7 +10,7 @@
 //! percentiles, batching, hundreds-of-connections fan-out, and graceful
 //! overload behavior.
 //!
-//! Six phases, all asserting byte-identical netlists throughout:
+//! Seven phases, all asserting byte-identical netlists throughout:
 //!
 //! 1. **cold** — the warm cache is flushed before every pass, so each
 //!    pass pays the full subset-DP cost for every distinct tree shape.
@@ -25,12 +25,18 @@
 //! 4. **batch** — the warm workload again, but shipped as v2
 //!    `map_batch` frames: many requests per round trip, one response
 //!    line per frame, entries resolved independently.
-//! 5. **fanout** — hundreds of connections arriving open-loop: every
+//! 5. **design** — sequential designs (`.latch`, `.subckt`, multiple
+//!    `.model` blocks) shipped as v2 `op: "map_design"` frames: the
+//!    server cuts each at its register boundaries and maps the clouds
+//!    on the shared pool (DESIGN.md §17). Every response is asserted
+//!    byte-identical to a seed pass, and the echoed `run_ns` values
+//!    join the bucket-for-bucket `op: "stats"` histogram check.
+//! 6. **fanout** — hundreds of connections arriving open-loop: every
 //!    client writes its request before anyone reads a response, so the
 //!    arrival rate is set by the generator, not by completions. Sheds
 //!    (if any) are retried per their `retry_after_ms` hints; zero loss
 //!    is asserted.
-//! 6. **overload** — a one-worker, capacity-1-queue server fed a
+//! 7. **overload** — a one-worker, capacity-1-queue server fed a
 //!    pipelined burst of 24 requests. The old daemon's global
 //!    `queue_full` cliff answered ~1 and refused the rest for good;
 //!    with v2 shed hints the generator backs off and retries, and the
@@ -53,12 +59,12 @@
 //! asserts it matches the live `op: "stats"` report bucket-for-bucket.
 //!
 //! The JSON report (default `results/BENCH_serve.json`) embeds the
-//! server's final aggregate `chortle-telemetry/v1.5` report.
+//! server's final aggregate `chortle-telemetry/v1.6` report.
 
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
 
-use chortle_bench::optimized_suite;
+use chortle_bench::{optimized_suite, pipelined_design};
 use chortle_circuits::alu;
 use chortle_logic_opt::optimize;
 use chortle_netlist::write_blif;
@@ -437,6 +443,78 @@ fn run_overload_phase(blif: &str, k: usize, expected: &str) -> Overload {
     }
 }
 
+/// A hierarchical sequential fixture for the design phase: two models,
+/// one `.subckt` instantiation, one register boundary.
+const HIER_DESIGN: &str = "\
+.model hier
+.inputs a b c
+.outputs z w
+.latch d q re clk 0
+.subckt and2 p=a q=b r=d
+.names q c z
+11 1
+.names a w
+1 1
+.end
+.model and2
+.inputs p q
+.outputs r
+.names p q r
+11 1
+.end
+";
+
+/// The design phase: `PASSES` passes of the sequential workload as
+/// `map_design` frames on one connection, each response asserted
+/// byte-identical to the seed pass. Returns the phase plus the echoed
+/// `run_ns` histogram.
+fn run_design_phase(
+    addr: &str,
+    designs: &[(String, String)],
+    expected: &[String],
+) -> (Phase, Histogram) {
+    let start = Instant::now();
+    let mut latency = Histogram::new();
+    let mut run_hist = Histogram::new();
+    for pass in 0..PASSES {
+        let mut client = Client::connect(addr).expect("connect design client");
+        for (i, (name, blif)) in designs.iter().enumerate() {
+            let t = Instant::now();
+            let reply = client
+                .map_design(&format!("{name}-d{pass}"), &request(blif, 4))
+                .expect("map_design roundtrip");
+            latency.record_duration(t.elapsed());
+            let mapped = expect_mapped(reply, name);
+            run_hist.record(mapped.run_ns);
+            assert_eq!(
+                mapped.netlist, expected[i],
+                "{name}: design netlist diverged"
+            );
+        }
+    }
+    (
+        Phase {
+            latency,
+            wall_s: start.elapsed().as_secs_f64(),
+        },
+        run_hist,
+    )
+}
+
+/// Pulls the named counter out of a serialized telemetry report.
+fn report_counter(report_json: &str, name: &str) -> u64 {
+    let report = json::parse(report_json).expect("design report parses");
+    let counters = report
+        .get("counters")
+        .and_then(json::Value::as_array)
+        .expect("report has a counters section");
+    counters
+        .iter()
+        .find(|c| c.get("name").and_then(json::Value::as_str) == Some(name))
+        .and_then(|c| c.get("value").and_then(json::Value::as_u64))
+        .unwrap_or_else(|| panic!("report is missing counter {name:?}"))
+}
+
 /// Pulls the named histogram out of a serialized telemetry report.
 fn report_histogram(report_json: &str, name: &str) -> Histogram {
     let report = json::parse(report_json).expect("stats report parses");
@@ -590,6 +668,47 @@ fn main() {
     );
     let batch_scaling = batch.throughput() / warm.throughput();
 
+    // Design phase: sequential designs through op:"map_design". The
+    // pipelines' latch-bounded clouds are the server's coarse work axis;
+    // the hierarchical fixture exercises `.subckt` flattening on the
+    // wire. Seed responses are the ground truth the passes must match
+    // byte for byte.
+    let designs: Vec<(String, String)> = vec![
+        ("hier".to_owned(), HIER_DESIGN.to_owned()),
+        ("pipe4x16".to_owned(), pipelined_design("pipe4x16", 4, 16)),
+        ("pipe8x24".to_owned(), pipelined_design("pipe8x24", 8, 24)),
+    ];
+    let mut design_seed = Client::connect(&addr).expect("connect design seed");
+    let mut design_clouds = 0u64;
+    let design_expected: Vec<String> = designs
+        .iter()
+        .map(|(name, blif)| {
+            let mapped = expect_mapped(
+                design_seed
+                    .map_design(&format!("seed-{name}"), &request(blif, 4))
+                    .expect("design seed roundtrip"),
+                name,
+            );
+            server_run.record(mapped.run_ns);
+            design_clouds += report_counter(&mapped.report_json, "design.clouds");
+            mapped.netlist
+        })
+        .collect();
+    let (design, design_run) = run_design_phase(&addr, &designs, &design_expected);
+    eprintln!(
+        "loadgen: design {:>3} requests in {:.3}s  ({:.1} req/s, {} designs, {design_clouds} clouds, p50 {:.2}ms p95 {:.2}ms)",
+        design.requests(),
+        design.wall_s,
+        design.throughput(),
+        designs.len(),
+        design.percentile_ms(50.0),
+        design.percentile_ms(95.0),
+    );
+    assert!(
+        design_clouds >= designs.len() as u64,
+        "every design cuts into at least one cloud"
+    );
+
     // Fan-out phase: hundreds of connections, open-loop arrivals. The
     // smallest circuit keeps this a connection-scaling measurement, not
     // a mapping benchmark.
@@ -610,6 +729,7 @@ fn main() {
     server_run.merge(&warm_run);
     server_run.merge(&concurrent_run);
     server_run.merge(&batch_run);
+    server_run.merge(&design_run);
     server_run.merge(&fanout_run);
     let mut stats_client = Client::connect(&addr).expect("connect for stats");
     match stats_client
@@ -690,6 +810,7 @@ fn main() {
         ("warm", &warm),
         ("concurrent", &concurrent),
         ("batch", &batch),
+        ("design", &design),
         ("fanout", &fanout),
     ] {
         let _ = write!(
@@ -735,6 +856,11 @@ fn main() {
     let _ = writeln!(
         json,
         "  \"batch_scaling\": {{ \"chunk\": {BATCH_CHUNK}, \"frames\": {batch_frames}, \"vs_warm\": {batch_scaling:.3} }},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"design_detail\": {{ \"designs\": {}, \"clouds\": {design_clouds} }},",
+        designs.len()
     );
     let _ = writeln!(
         json,

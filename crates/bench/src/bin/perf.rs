@@ -29,6 +29,11 @@
 //!    chunked work-stealing scheduler at a *forced* `>= 2` worker count
 //!    on the suite plus a 256-bit ALU, with the run's `sched.*`
 //!    echoes (chunks, steals, pooled/inline waves) recorded per row.
+//! 5. **Design mapping** (`design_mapping`): [`chortle::map_design`] on
+//!    a generated register pipeline — latch-bounded combinational
+//!    clouds mapped sequentially against the cloud-axis fan-out at the
+//!    same forced worker count (DESIGN.md §17), assembled netlists
+//!    asserted byte-identical; `speedup` is bench-diff-gated.
 //!
 //! Timings use [`std::time::Instant`] — no external benchmarking crate —
 //! taking the best of several rounds. The JSON report (default
@@ -36,7 +41,7 @@
 //! speedup, so numbers from single-core machines read as what they are.
 //!
 //! A third pass per K re-maps the suite with an *enabled* telemetry sink
-//! and embeds the aggregated `chortle-telemetry/v1.5` report — per-stage
+//! and embeds the aggregated `chortle-telemetry/v1.6` report — per-stage
 //! wall time, DP counters, wavefront occupancy — in a `"telemetry"`
 //! section, together with the instrumentation overhead relative to the
 //! (disabled-sink) parallel row.
@@ -46,13 +51,14 @@ use std::fmt::Write as _;
 use std::time::Instant;
 
 use chortle::{
-    map_network, Fingerprint, Forest, MapOptions, Telemetry, Tree, TreeChild, TreeMapper,
+    map_design, map_network, DesignOptions, Fingerprint, Forest, MapOptions, Telemetry, Tree,
+    TreeChild, TreeMapper,
 };
 use chortle_bench::baseline::baseline_tree_cost;
-use chortle_bench::optimized_suite;
+use chortle_bench::{optimized_suite, pipelined_design};
 use chortle_circuits::alu;
 use chortle_logic_opt::optimize;
-use chortle_netlist::NodeOp;
+use chortle_netlist::{parse_design, NodeOp};
 
 const KS: [usize; 4] = [2, 3, 4, 5];
 const KERNEL_ROUNDS: usize = 5;
@@ -120,12 +126,22 @@ struct ChunkedRow {
     inline_waves: u64,
 }
 
+struct DesignRow {
+    k: usize,
+    /// Latch-bounded combinational clouds the pipeline cuts into.
+    clouds: usize,
+    luts: u64,
+    sequential_s: f64,
+    /// Cloud-axis fan-out at the forced `chunked_jobs` worker count.
+    parallel_s: f64,
+}
+
 struct TelemetryRow {
     k: usize,
     /// One suite pass with an enabled sink (same jobs as the parallel
     /// row), for the instrumentation-overhead column.
     enabled_s: f64,
-    /// The aggregated `chortle-telemetry/v1.5` report of that pass,
+    /// The aggregated `chortle-telemetry/v1.6` report of that pass,
     /// embedded verbatim (it is compact single-line JSON).
     report_json: String,
 }
@@ -324,6 +340,15 @@ fn main() {
     // the cached-kernel and chunked-mapping sections (hundreds of
     // per-bit cones in wide wavefronts).
     let (alu_net, _) = optimize(&alu(256)).expect("alu is acyclic");
+    // The sequential workload of the `design_mapping` section: a 12-deep,
+    // 32-wide register pipeline, parsed and cut once (the section times
+    // mapping, not the front end).
+    let (pipe_design, pipe_stats) =
+        parse_design(&pipelined_design("pipe12x32", 12, 32)).expect("pipeline parses");
+    eprintln!(
+        "perf: design workload pipe12x32 ({} latches, {} logical lines)",
+        pipe_stats.latches, pipe_stats.logical_lines
+    );
 
     // Pre-extract the forests once per K; the kernel benchmark times the
     // DP alone, not forest construction.
@@ -333,6 +358,7 @@ fn main() {
     let mut forest_rows = Vec::new();
     let mut telemetry_rows = Vec::new();
     let mut chunked_rows: Vec<ChunkedRow> = Vec::new();
+    let mut design_rows: Vec<DesignRow> = Vec::new();
     for &k in &KS {
         let mut trees: Vec<Tree> = Vec::new();
         for (_, net, _) in &suite {
@@ -580,6 +606,43 @@ fn main() {
             chunked_s,
             chunk_seq_s / chunked_s
         );
+
+        // Sequential-design mapping: the pipeline's latch-bounded
+        // clouds mapped one by one against the cloud-axis fan-out at
+        // the same forced worker count. Per-cloud verification is off
+        // in both columns (it never changes the bytes and would time
+        // the checker, not the mapper); the assembled netlists must
+        // match byte for byte.
+        let mut dseq = DesignOptions::new(MapOptions::builder(k).build().unwrap());
+        dseq.verify = false;
+        let mut dpar =
+            DesignOptions::new(MapOptions::builder(k).jobs(chunked_jobs).build().unwrap());
+        dpar.verify = false;
+        let (seq_design, design_seq_s) = best_of(MAP_ROUNDS, || {
+            map_design(&pipe_design, &dseq).expect("maps")
+        });
+        let (par_design, design_par_s) = best_of(MAP_ROUNDS, || {
+            map_design(&pipe_design, &dpar).expect("maps")
+        });
+        assert_eq!(
+            seq_design.netlist, par_design.netlist,
+            "design fan-out diverged at k={k}"
+        );
+        design_rows.push(DesignRow {
+            k,
+            clouds: seq_design.clouds.len(),
+            luts: seq_design.luts as u64,
+            sequential_s: design_seq_s,
+            parallel_s: design_par_s,
+        });
+        eprintln!(
+            "perf: design  k={k} {:>3} clouds {:>6} LUTs  sequential {:.4}s  parallel({chunked_jobs}) {:.4}s  ({:.2}x)",
+            seq_design.clouds.len(),
+            seq_design.luts,
+            design_seq_s,
+            design_par_s,
+            design_seq_s / design_par_s
+        );
     }
 
     let kernel_base: f64 = kernel_rows.iter().map(|r| r.baseline_s).sum();
@@ -590,6 +653,8 @@ fn main() {
     let map_par: f64 = forest_rows.iter().map(|r| r.parallel_s).sum();
     let chunk_seq: f64 = chunked_rows.iter().map(|r| r.sequential_s).sum();
     let chunk_par: f64 = chunked_rows.iter().map(|r| r.chunked_s).sum();
+    let design_seq: f64 = design_rows.iter().map(|r| r.sequential_s).sum();
+    let design_par: f64 = design_rows.iter().map(|r| r.parallel_s).sum();
 
     let mut json = String::new();
     let _ = writeln!(json, "{{");
@@ -715,6 +780,29 @@ fn main() {
         chunk_par,
         chunk_seq / chunk_par
     );
+    let _ = writeln!(json, "  \"design_mapping\": [");
+    for (i, r) in design_rows.iter().enumerate() {
+        let comma = if i + 1 < design_rows.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{ \"k\": {}, \"clouds\": {}, \"luts\": {}, \"sequential_s\": {:.6}, \
+             \"parallel_s\": {:.6}, \"speedup\": {:.3} }}{comma}",
+            r.k,
+            r.clouds,
+            r.luts,
+            r.sequential_s,
+            r.parallel_s,
+            r.sequential_s / r.parallel_s
+        );
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(
+        json,
+        "  \"design_mapping_total\": {{ \"sequential_s\": {:.6}, \"parallel_s\": {:.6}, \"speedup\": {:.3} }},",
+        design_seq,
+        design_par,
+        design_seq / design_par
+    );
     let _ = writeln!(json, "  \"telemetry\": [");
     for (i, r) in telemetry_rows.iter().enumerate() {
         let comma = if i + 1 < telemetry_rows.len() {
@@ -741,11 +829,12 @@ fn main() {
     }
     std::fs::write(&out_path, &json).expect("write report");
     eprintln!(
-        "perf: kernel {:.2}x, cached {:.2}x, mapping {:.2}x, chunked {:.2}x on {cores} core(s); report -> {out_path}",
+        "perf: kernel {:.2}x, cached {:.2}x, mapping {:.2}x, chunked {:.2}x, design {:.2}x on {cores} core(s); report -> {out_path}",
         kernel_base / kernel_opt,
         kernel_cached_plain / kernel_cached,
         map_seq / map_par,
-        chunk_seq / chunk_par
+        chunk_seq / chunk_par,
+        design_seq / design_par
     );
     print!("{json}");
 }

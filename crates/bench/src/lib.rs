@@ -121,6 +121,44 @@ pub fn optimized_suite() -> Vec<(String, Network, NetworkStats)> {
         .collect()
 }
 
+/// Builds a `stages`-deep, `width`-wide register pipeline in BLIF: each
+/// stage is a cloud of 3-input majority gates latched into the next,
+/// with the final stage driving the primary outputs. The sequential
+/// workload of the `perf` harness's `design_mapping` section and the
+/// load generator's `design` phase — cloud count and sizes are known by
+/// construction, and the shared-shape stage gates are exactly the
+/// datapath regularity the warm cache targets.
+pub fn pipelined_design(name: &str, stages: usize, width: usize) -> String {
+    use std::fmt::Write as _;
+    let mut blif = String::new();
+    let _ = writeln!(blif, ".model {name}");
+    let inputs: Vec<String> = (0..width).map(|w| format!("x{w}")).collect();
+    let _ = writeln!(blif, ".inputs {}", inputs.join(" "));
+    let outputs: Vec<String> = (0..width).map(|w| format!("z{w}")).collect();
+    let _ = writeln!(blif, ".outputs {}", outputs.join(" "));
+    let mut prev = inputs;
+    for s in 0..stages {
+        let mut next = Vec::with_capacity(width);
+        for w in 0..width {
+            let (a, b, c) = (&prev[w], &prev[(w + 1) % width], &prev[(w + 2) % width]);
+            let d = format!("s{s}w{w}");
+            let _ = writeln!(blif, ".names {a} {b} {c} {d}");
+            blif.push_str("11- 1\n1-1 1\n-11 1\n");
+            if s + 1 == stages {
+                let _ = writeln!(blif, ".names {d} z{w}");
+                blif.push_str("1 1\n");
+            } else {
+                let q = format!("q{s}w{w}");
+                let _ = writeln!(blif, ".latch {d} {q} re clk 0");
+                next.push(q);
+            }
+        }
+        prev = next;
+    }
+    blif.push_str(".end\n");
+    blif
+}
+
 /// Maps one optimized network with both mappers at one K and returns the
 /// row.
 ///

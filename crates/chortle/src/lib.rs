@@ -52,6 +52,7 @@ mod cancel;
 pub mod clb;
 mod cover;
 mod crf;
+mod design;
 mod dp;
 mod duplication;
 pub mod figures;
@@ -65,6 +66,10 @@ mod tree;
 pub use cache::{CacheMode, WarmCache, WarmStats};
 pub use cancel::CancelToken;
 pub use crf::{crf_network_cost, crf_tree_cost, CrfTreeCost};
+pub use design::{
+    map_design, record_parse_stats, CloudPreprocess, DesignError, DesignOptions, MappedCloud,
+    MappedDesign,
+};
 pub use dp::Objective;
 pub use duplication::{duplicate_fanout_gates, map_network_best};
 pub use map::{

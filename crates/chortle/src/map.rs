@@ -149,6 +149,32 @@ pub mod stats {
     /// (not nanoseconds) — a deterministic work distribution that is
     /// bit-identical for every `jobs` value and cache mode.
     pub const HIST_TREE_WORK: &str = "dp.tree_work";
+    /// Counter: combinational clouds cut from a sequential design and
+    /// mapped by [`crate::map_design`]. Deterministic — a function of
+    /// the design, not the schedule.
+    pub const DESIGN_CLOUDS: &str = "design.clouds";
+    /// Counter: latches in the flattened sequential design.
+    pub const DESIGN_LATCHES: &str = "design.latches";
+    /// Counter: sinks (primary outputs or latch data inputs) driven
+    /// directly by an input or a constant, bypassing mapping.
+    pub const DESIGN_PASSTHROUGHS: &str = "design.passthroughs";
+    /// Counter: LUTs across all mapped clouds of the design.
+    pub const DESIGN_CLOUD_LUTS: &str = "design.cloud_luts";
+    /// Histogram: per-cloud gate count — a deterministic size
+    /// distribution, bit-identical for every `jobs` value and cache
+    /// mode (clouds are numbered in sink order).
+    pub const HIST_CLOUD_WORK: &str = "design.cloud_work";
+    /// Counter: logical (continuation-joined, comment-stripped) lines
+    /// the streaming BLIF reader consumed.
+    pub const BLIF_LOGICAL_LINES: &str = "blif.logical_lines";
+    /// Counter: `.model` blocks in the parsed file.
+    pub const BLIF_MODELS: &str = "blif.models";
+    /// Counter: `.subckt` instantiations expanded during flattening.
+    pub const BLIF_SUBCKTS: &str = "blif.subckts";
+    /// Counter: `.latch` directives across all models.
+    pub const BLIF_LATCHES: &str = "blif.latches";
+    /// Counter: `.exdc` blocks skipped by the reader.
+    pub const BLIF_EXDC_BLOCKS: &str = "blif.exdc_blocks";
 }
 
 /// Flushes a scratch arena's accumulated kernel counters into a

@@ -56,6 +56,17 @@
 //! latch arrival — so the driver returns that error instead of
 //! tripping over a missing result slot — and the worker thread
 //! survives to serve later chunks.
+//!
+//! Besides wavefront chunks the pool carries a second, coarser work
+//! axis: *indexed items* ([`run_indexed`]). An item is an opaque
+//! `Fn(usize)` closure — the design pipeline uses one item per
+//! combinational cloud — queued on the same deques, gated by the same
+//! [`ExecutorBudget`], and help-drained by its submitter exactly like
+//! a wavefront. Items nest freely over chunks: a pool worker running
+//! an item may itself submit chunk wavefronts (a cloud mapped with
+//! `jobs > 1`) and drain them with [`Pool::grab_wave`], so clouds and
+//! tree chunks of concurrent runs interleave on one thread set without
+//! oversubscription or deadlock.
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -338,6 +349,46 @@ pub(crate) struct Task {
     pub range: (usize, usize),
 }
 
+/// The coarse work axis: one indexed-item job submitted through
+/// [`run_indexed`]. The closure is shared by every item and invoked
+/// with the item's index; results flow through captured state (the
+/// driver owns a slot-per-index buffer). Budget semantics match a
+/// wavefront: at most `jobs` distinct executors, the submitter
+/// pre-joined.
+pub(crate) struct ItemJob {
+    /// The item body. Boxed `Fn` rather than a generic: the job lives
+    /// in the process-wide deques next to chunk tasks.
+    run: Box<dyn Fn(usize) + Send + Sync>,
+    /// Executor slots, shared across all items of the job.
+    budget: ExecutorBudget,
+    /// Raised when any item's body panicked on a pool worker.
+    panicked: AtomicBool,
+}
+
+/// One schedulable item of an [`ItemJob`].
+pub(crate) struct ItemTask {
+    job: Arc<ItemJob>,
+    latch: Arc<Latch>,
+    index: usize,
+}
+
+/// What a pool deque holds: either a wavefront chunk or an indexed
+/// item. Both are budget-gated the same way; [`Work::budget`] is what
+/// [`Pool::grab`] consults before taking either kind.
+pub(crate) enum Work {
+    Chunk(Task),
+    Item(ItemTask),
+}
+
+impl Work {
+    fn budget(&self) -> &ExecutorBudget {
+        match self {
+            Work::Chunk(task) => &task.wave.budget,
+            Work::Item(task) => &task.job.budget,
+        }
+    }
+}
+
 /// Counts outstanding chunks of one wavefront; the driver blocks on it.
 pub(crate) struct Latch {
     remaining: Mutex<usize>,
@@ -396,7 +447,7 @@ impl Drop for ArriveGuard<'_> {
 /// lock. A submit bumps the epoch after its pushes land and notifies,
 /// so a wake-up can never be lost; a stale scan merely loops once more.
 pub(crate) struct Pool {
-    deques: Vec<Mutex<VecDeque<Task>>>,
+    deques: Vec<Mutex<VecDeque<Work>>>,
     epoch: Mutex<u64>,
     available: Condvar,
     /// Rotates the distribution origin so consecutive wavefronts do not
@@ -463,7 +514,30 @@ impl Pool {
             deque
                 .lock()
                 .expect("scheduler deque poisoned")
-                .push_back(task);
+                .push_back(Work::Chunk(task));
+        }
+        *lock_unpoisoned(&self.epoch) += 1;
+        self.available.notify_all();
+    }
+
+    /// Distributes an indexed job's items round-robin over `width`
+    /// consecutive deques, exactly like [`Pool::submit`] does for
+    /// chunks.
+    fn submit_items(&self, job: &Arc<ItemJob>, latch: &Arc<Latch>, count: usize, width: usize) {
+        let n = self.deques.len();
+        let width = width.clamp(1, n);
+        let base = self.rr.fetch_add(1, Ordering::Relaxed);
+        for index in 0..count {
+            let task = ItemTask {
+                job: Arc::clone(job),
+                latch: Arc::clone(latch),
+                index,
+            };
+            let deque = &self.deques[(base + index % width) % n];
+            deque
+                .lock()
+                .expect("scheduler deque poisoned")
+                .push_back(Work::Item(task));
         }
         *lock_unpoisoned(&self.epoch) += 1;
         self.available.notify_all();
@@ -475,25 +549,27 @@ impl Pool {
     /// wavefront's executor slots, so `--jobs` binds stealing too;
     /// over-budget tasks are skipped in place for a joined executor
     /// (the submitter included) to drain.
-    fn grab(&self, me: usize) -> Option<Task> {
+    fn grab(&self, me: usize) -> Option<Work> {
         let executor = (me + 1) as u32; // 0 is the submitting thread
         let n = self.deques.len();
         for i in 0..n {
             let idx = (me + i) % n;
-            let task = {
+            let work = {
                 let mut deque = self.deques[idx].lock().expect("scheduler deque poisoned");
                 let pos = if idx == me {
-                    deque.iter().position(|t| t.wave.budget.try_join(executor))
+                    deque.iter().position(|w| w.budget().try_join(executor))
                 } else {
-                    deque.iter().rposition(|t| t.wave.budget.try_join(executor))
+                    deque.iter().rposition(|w| w.budget().try_join(executor))
                 };
                 pos.and_then(|pos| deque.remove(pos))
             };
-            if let Some(task) = task {
+            if let Some(work) = work {
                 if idx != me {
-                    task.wave.steals.fetch_add(1, Ordering::Relaxed);
+                    if let Work::Chunk(task) = &work {
+                        task.wave.steals.fetch_add(1, Ordering::Relaxed);
+                    }
                 }
-                return Some(task);
+                return Some(work);
             }
         }
         None
@@ -510,11 +586,31 @@ impl Pool {
                 let mut deque = deque.lock().expect("scheduler deque poisoned");
                 deque
                     .iter()
-                    .rposition(|t| Arc::ptr_eq(&t.wave, wave))
+                    .rposition(|w| matches!(w, Work::Chunk(t) if Arc::ptr_eq(&t.wave, wave)))
                     .and_then(|pos| deque.remove(pos))
             };
-            if task.is_some() {
-                return task;
+            if let Some(Work::Chunk(task)) = task {
+                return Some(task);
+            }
+        }
+        None
+    }
+
+    /// Pulls back a not-yet-started item of the caller's own indexed
+    /// job — the item analogue of [`Pool::grab_wave`], used by the
+    /// [`run_indexed`] submitter to help drain. Not budget-gated: the
+    /// submitter holds slot 0 from construction.
+    fn grab_item(&self, job: &Arc<ItemJob>) -> Option<ItemTask> {
+        for deque in &self.deques {
+            let task = {
+                let mut deque = deque.lock().expect("scheduler deque poisoned");
+                deque
+                    .iter()
+                    .rposition(|w| matches!(w, Work::Item(t) if Arc::ptr_eq(&t.job, job)))
+                    .and_then(|pos| deque.remove(pos))
+            };
+            if let Some(Work::Item(task)) = task {
+                return Some(task);
             }
         }
         None
@@ -528,8 +624,12 @@ impl Pool {
             // read bumps the epoch, so the sleep check below fails and
             // the scan reruns.
             let seen = *lock_unpoisoned(&self.epoch);
-            if let Some(task) = self.grab(me) {
-                if !run_task_caught(task, &mut scratch, worker) {
+            if let Some(work) = self.grab(me) {
+                let ok = match work {
+                    Work::Chunk(task) => run_task_caught(task, &mut scratch, worker),
+                    Work::Item(task) => run_item_caught(task),
+                };
+                if !ok {
                     // The chunk panicked: its scratch arenas may be
                     // mid-rewrite, so the next chunk starts from fresh
                     // ones. The worker itself lives on.
@@ -587,6 +687,94 @@ fn run_task_caught(task: Task, scratch: &mut DpScratch, worker: u32) -> bool {
     drop(wave); // before the latch: the waiting driver owns the last refs
     drop(guard);
     outcome.is_ok()
+}
+
+/// Runs one indexed item on the submitting thread (the help-drain
+/// path). Panics propagate to the submitter, like [`run_task`].
+fn run_item(task: ItemTask) {
+    let ItemTask { job, latch, index } = task;
+    let guard = ArriveGuard(&latch);
+    (job.run)(index);
+    drop(job); // before the latch: the waiting driver owns the last refs
+    drop(guard);
+}
+
+/// Pool-worker variant of [`run_item`]: the body runs under
+/// `catch_unwind` and a panic raises the job's flag *before* the latch
+/// arrival, so the released driver reports
+/// [`MapError::WorkerPanicked`] instead of finding an empty result
+/// slot. Returns `false` on a panic so the worker discards its scratch
+/// arenas (an item may have been mid-mapping when it unwound).
+fn run_item_caught(task: ItemTask) -> bool {
+    let ItemTask { job, latch, index } = task;
+    let guard = ArriveGuard(&latch);
+    let outcome = catch_unwind(AssertUnwindSafe(|| (job.run)(index)));
+    if outcome.is_err() {
+        job.panicked.store(true, Ordering::Release);
+    }
+    drop(job); // before the latch: the waiting driver owns the last refs
+    drop(guard);
+    outcome.is_ok()
+}
+
+/// Runs `f(0..count)` on the process-wide pool with at most `jobs`
+/// distinct executors (the calling thread included) and returns the
+/// results in index order. This is the coarse work axis the design
+/// pipeline maps clouds on: each item may itself call
+/// [`crate::map_network`] — nested wavefronts are drained by their own
+/// submitter, so items never deadlock the pool.
+///
+/// `jobs <= 1` or `count <= 1` runs inline with no pool traffic. The
+/// closure must be `'static` because items live in the process-wide
+/// deques; share state with the caller through `Arc`s captured by `f`.
+///
+/// # Errors
+///
+/// Returns [`MapError::WorkerPanicked`] if any item's body panicked on
+/// a pool worker. A panic on the calling thread's own help-drain path
+/// propagates instead, like [`run_task`].
+pub(crate) fn run_indexed<T, F>(count: usize, jobs: usize, f: F) -> Result<Vec<T>, MapError>
+where
+    T: Send + 'static,
+    F: Fn(usize) -> T + Send + Sync + 'static,
+{
+    if count == 0 {
+        return Ok(Vec::new());
+    }
+    if jobs <= 1 || count == 1 {
+        return Ok((0..count).map(f).collect());
+    }
+    let results: Arc<Mutex<Vec<Option<T>>>> =
+        Arc::new(Mutex::new((0..count).map(|_| None).collect()));
+    let slots = Arc::clone(&results);
+    let job = Arc::new(ItemJob {
+        run: Box::new(move |index| {
+            let value = f(index);
+            lock_unpoisoned(&slots)[index] = Some(value);
+        }),
+        budget: ExecutorBudget::new(jobs),
+        panicked: AtomicBool::new(false),
+    });
+    let latch = Arc::new(Latch::new(count));
+    let pool = Pool::global();
+    pool.submit_items(&job, &latch, count, jobs);
+    // Help drain our own items; workers steal the rest concurrently.
+    while let Some(task) = pool.grab_item(&job) {
+        run_item(task);
+    }
+    latch.wait();
+    if job.panicked.load(Ordering::Acquire) {
+        return Err(MapError::WorkerPanicked);
+    }
+    let mut slots = lock_unpoisoned(&results);
+    let mut out = Vec::with_capacity(count);
+    for slot in slots.iter_mut() {
+        match slot.take() {
+            Some(value) => out.push(value),
+            None => return Err(MapError::WorkerPanicked),
+        }
+    }
+    Ok(out)
 }
 
 /// Maps one chunk: the trees at `wave.indices[start..end]`, in order,
@@ -887,6 +1075,67 @@ mod tests {
         let err = lock_unpoisoned(&wave.error).take();
         assert_eq!(err, Some(MapError::WorkerPanicked));
         assert!(wave.failed.load(Ordering::Acquire));
+    }
+
+    #[test]
+    fn run_indexed_returns_results_in_index_order() {
+        for jobs in [1, 2, 8] {
+            let out = run_indexed(17, jobs, |i| i * i).unwrap();
+            assert_eq!(
+                out,
+                (0..17).map(|i| i * i).collect::<Vec<_>>(),
+                "jobs={jobs}"
+            );
+        }
+        assert!(run_indexed(0, 4, |i| i).unwrap().is_empty());
+    }
+
+    #[test]
+    fn run_indexed_items_nest_over_chunk_wavefronts() {
+        // Each item maps a network with inner parallelism: nested
+        // wavefronts must drain through their own submitters even when
+        // every pool worker is busy with an item.
+        let out = run_indexed(6, 4, |i| {
+            let mut net = Network::new();
+            let sigs: Vec<Signal> = (0..6)
+                .map(|j| Signal::new(net.add_input(format!("i{j}"))))
+                .collect();
+            let g = Signal::new(net.add_gate(NodeOp::And, sigs));
+            net.add_output("z", g);
+            let opts = crate::MapOptions::builder(4).jobs(2).build().unwrap();
+            let mapped = crate::map_network(&net, &opts).unwrap();
+            (i, mapped.circuit.luts().len())
+        })
+        .unwrap();
+        for (i, (idx, luts)) in out.iter().enumerate() {
+            assert_eq!(*idx, i);
+            assert!(*luts >= 1);
+        }
+    }
+
+    #[test]
+    fn run_indexed_reports_worker_panics() {
+        // With jobs=2 some items land on pool workers; whichever side
+        // runs the poisoned index, the call must return an error (a
+        // submitter-side panic would propagate, which the harness
+        // treats as failure too — so gate on the Err path only after
+        // catching).
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            run_indexed(8, 2, |i| {
+                if i == 5 {
+                    panic!("poisoned item");
+                }
+                i
+            })
+        }));
+        std::panic::set_hook(prev);
+        // An Err outcome means the submitter drained index 5 itself and
+        // the panic propagated straight through catch_unwind — also fine.
+        if let Ok(result) = outcome {
+            assert_eq!(result.unwrap_err(), MapError::WorkerPanicked);
+        }
     }
 
     #[test]

@@ -77,6 +77,18 @@ pub const FLAGS: &[Flag] = &[
         help: "don't-care LUT packing post-pass: off (default) or dc",
     },
     Flag {
+        name: "--design",
+        alias: None,
+        value: None,
+        help: "treat the input as a sequential design (.latch/.subckt)",
+    },
+    Flag {
+        name: "--clouds",
+        alias: None,
+        value: Some("DIR"),
+        help: "with --design, dump each cloud and its mapping into DIR",
+    },
+    Flag {
         name: "--format",
         alias: None,
         value: Some("F"),

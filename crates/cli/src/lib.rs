@@ -38,18 +38,21 @@ use std::fmt;
 
 pub mod flags;
 
+use std::sync::Arc;
+
 use chortle_logic_opt::optimize_with_telemetry;
 use chortle_mis::{map_network as mis_map, Library, MisOptions};
 use chortle_netlist::{
     check_equivalence, lut_circuit_to_dot, parse_blif, write_lut_blif, write_lut_verilog, LutStats,
-    NetworkStats, ParseBlifError,
+    Network, NetworkStats, ParseBlifError,
 };
 
 // One import serves downstream users: the core mapper types ride along
 // with the flow API.
 pub use chortle::{
-    map_network, CacheMode, ChunkPolicy, Fingerprint, MapError, MapOptions, MapOptionsBuilder,
-    MapReport, MapStats, Mapping, Objective, PackMode, Telemetry,
+    map_design, map_network, record_parse_stats, CacheMode, ChunkPolicy, DesignError,
+    DesignOptions, Fingerprint, MapError, MapOptions, MapOptionsBuilder, MapReport, MapStats,
+    MappedCloud, MappedDesign, Mapping, Objective, PackMode, Telemetry,
 };
 
 /// Names of the flow-level stages [`run_flow`] reports into the sink
@@ -162,6 +165,8 @@ pub enum FlowError {
         /// The mapper's supported bound.
         max: usize,
     },
+    /// The sequential-design pipeline failed.
+    Design(DesignError),
     /// Mapping failed (internal error) or verification found a mismatch.
     Internal(String),
 }
@@ -174,6 +179,7 @@ impl fmt::Display for FlowError {
             FlowError::UnsupportedK { k, max } => {
                 write!(f, "K = {k} unsupported (this mapper handles 2..={max})")
             }
+            FlowError::Design(e) => write!(f, "design mapping failed: {e}"),
             FlowError::Internal(msg) => write!(f, "flow failed: {msg}"),
         }
     }
@@ -184,6 +190,7 @@ impl Error for FlowError {
         match self {
             FlowError::Parse(e) => Some(e),
             FlowError::Map(e) => Some(e),
+            FlowError::Design(e) => Some(e),
             _ => None,
         }
     }
@@ -278,6 +285,50 @@ pub fn run_flow(blif: &str, options: &FlowOptions) -> Result<FlowResult, FlowErr
         output_blif: rendered,
         shape_histogram,
     })
+}
+
+/// Runs the sequential-design flow on BLIF text: stream-parse the (possibly
+/// hierarchical) design, cut it at register boundaries, map every cloud
+/// with the Chortle mapper, and reassemble a sequential LUT netlist.
+///
+/// The flow-level options are reused: `optimize` hooks the MIS-style
+/// script in as the per-cloud preprocess, `verify` equivalence-checks
+/// every cloud, and `map` configures the per-cloud mapper. Only the
+/// Chortle mapper and BLIF output are supported for designs.
+///
+/// # Errors
+///
+/// Returns [`FlowError::Parse`] for malformed input,
+/// [`FlowError::Design`] for per-cloud failures, and
+/// [`FlowError::Internal`] for unsupported mapper/format combinations.
+pub fn run_design_flow(blif: &str, options: &FlowOptions) -> Result<MappedDesign, FlowError> {
+    let telemetry = &options.map.telemetry;
+    if options.mapper != Mapper::Chortle {
+        return Err(FlowError::Internal(
+            "--design supports only the chortle mapper".to_owned(),
+        ));
+    }
+    if options.format != OutputFormat::Blif {
+        return Err(FlowError::Internal("--design emits BLIF only".to_owned()));
+    }
+    let (design, parse_stats) = {
+        let _s = telemetry.span(stats::STAGE_PARSE);
+        chortle_netlist::parse_design(blif)?
+    };
+    record_parse_stats(telemetry, &parse_stats);
+    let mut design_opts = DesignOptions::new(options.map.clone());
+    design_opts.verify = options.verify;
+    if options.optimize {
+        let telemetry = telemetry.clone();
+        design_opts.preprocess = Some(Arc::new(move |net: &Network| {
+            let opt_options = chortle_logic_opt::OptimizeOptions::default();
+            optimize_with_telemetry(net, &opt_options, &telemetry)
+                .map(|(optimized, _)| optimized)
+                .map_err(|e| e.to_string())
+        }));
+    }
+    let _s = telemetry.span(stats::STAGE_MAP);
+    map_design(&design, &design_opts).map_err(FlowError::Design)
 }
 
 #[cfg(test)]
@@ -398,6 +449,64 @@ mod tests {
         )
         .expect("flow runs");
         assert!(d.output_blif.starts_with("digraph"));
+    }
+
+    const SEQ_DEMO: &str = "\
+.model seq
+.inputs a b c
+.outputs z
+.latch d q re clk 0
+.names a b t
+11 1
+.names t c d
+1- 1
+-1 1
+.names q b z
+01 1
+.end
+";
+
+    #[test]
+    fn design_flow_maps_sequential_input() {
+        let result = run_design_flow(SEQ_DEMO, &FlowOptions::default()).expect("flow runs");
+        assert_eq!(result.latches, 1);
+        assert_eq!(result.clouds.len(), 2);
+        assert!(result.netlist.contains(".latch d q re clk 0"));
+        let (again, _) = chortle_netlist::parse_design(&result.netlist).expect("round trips");
+        assert_eq!(again.latches().len(), 1);
+    }
+
+    #[test]
+    fn design_flow_rejects_mis_and_non_blif() {
+        let mis = FlowOptions {
+            mapper: Mapper::Mis,
+            ..FlowOptions::default()
+        };
+        let err = run_design_flow(SEQ_DEMO, &mis).unwrap_err();
+        assert!(matches!(err, FlowError::Internal(_)), "{err}");
+        let dot = FlowOptions {
+            format: OutputFormat::Dot,
+            ..FlowOptions::default()
+        };
+        let err = run_design_flow(SEQ_DEMO, &dot).unwrap_err();
+        assert!(matches!(err, FlowError::Internal(_)), "{err}");
+    }
+
+    #[test]
+    fn design_flow_reports_blif_and_design_counters() {
+        let telemetry = Telemetry::enabled();
+        let options = FlowOptions {
+            map: MapOptions::builder(4)
+                .telemetry(telemetry.clone())
+                .build()
+                .unwrap(),
+            ..FlowOptions::default()
+        };
+        run_design_flow(SEQ_DEMO, &options).expect("flow runs");
+        let report = telemetry.snapshot();
+        assert_eq!(report.counter("design.clouds"), Some(2));
+        assert_eq!(report.counter("blif.latches"), Some(1));
+        assert!(report.histogram("design.cloud_work").is_some());
     }
 
     #[test]

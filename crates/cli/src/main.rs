@@ -20,8 +20,8 @@ use std::process::ExitCode;
 
 use chortle_cli::flags::{help_text, lookup};
 use chortle_cli::{
-    run_flow, CacheMode, ChunkPolicy, FlowOptions, MapOptions, Mapper, OutputFormat, PackMode,
-    Telemetry,
+    run_design_flow, run_flow, CacheMode, ChunkPolicy, FlowOptions, MapOptions, Mapper,
+    OutputFormat, PackMode, Telemetry,
 };
 
 /// Telemetry report format requested on the command line.
@@ -39,6 +39,8 @@ struct Cli {
     stats: bool,
     report: Option<ReportFormat>,
     trace: Option<String>,
+    design: bool,
+    clouds: Option<String>,
 }
 
 /// A parse failure: message for stderr, rendered by `main`.
@@ -67,6 +69,8 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Option<Cli>, CliErro
         stats: false,
         report: None,
         trace: None,
+        design: false,
+        clouds: None,
     };
 
     let mut args = args;
@@ -193,6 +197,8 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Option<Cli>, CliErro
                 });
             }
             "--trace" => cli.trace = Some(value),
+            "--design" => cli.design = true,
+            "--clouds" => cli.clouds = Some(value),
             "--no-optimize" => cli.options.optimize = false,
             "--no-verify" => cli.options.verify = false,
             "--stats" => cli.stats = true,
@@ -208,6 +214,9 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Option<Cli>, CliErro
         }
     }
 
+    if cli.clouds.is_some() && !cli.design {
+        return Err(CliError("--clouds requires --design".to_owned()));
+    }
     let mut builder = MapOptions::builder(k)
         .jobs(jobs)
         .chunk(chunk)
@@ -254,6 +263,75 @@ fn print_shape_histogram(histogram: &[(chortle_cli::Fingerprint, usize)]) {
     }
 }
 
+/// The `--design` path: sequential input, per-cloud mapping, sequential
+/// LUT netlist out. `--clouds DIR` additionally dumps every cloud and
+/// its mapped form, byte-identical to an offline `chortle-map` run over
+/// the same cloud file.
+fn run_design(blif: &str, cli: &Cli) -> ExitCode {
+    let result = match run_design_flow(blif, &cli.options) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("chortle-map: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if cli.stats {
+        eprintln!(
+            "design:  {} ({} clouds, {} latches, {} passthroughs)",
+            result.name,
+            result.clouds.len(),
+            result.latches,
+            result.passthroughs
+        );
+        eprintln!("mapped:  {} LUTs, depth {}", result.luts, result.depth);
+    }
+
+    if let Some(dir) = &cli.clouds {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("cannot create {dir}: {e}");
+            return ExitCode::FAILURE;
+        }
+        for (i, cloud) in result.clouds.iter().enumerate() {
+            for (suffix, text) in [("blif", &cloud.source), ("mapped.blif", &cloud.mapped)] {
+                let path = format!("{dir}/cloud{i}.{suffix}");
+                if let Err(e) = std::fs::write(&path, text) {
+                    eprintln!("cannot write {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    }
+
+    if let Some(path) = &cli.trace {
+        let trace = cli.options.map.telemetry.trace_snapshot();
+        if let Err(e) = std::fs::write(path, trace.to_chrome_json()) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    if let Some(format) = cli.report {
+        let report = cli.options.map.telemetry.snapshot();
+        match format {
+            ReportFormat::Json => println!("{}", report.to_json()),
+            ReportFormat::Text => print!("{}", report.to_text()),
+        }
+    }
+
+    match &cli.output {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &result.netlist) {
+                eprintln!("cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        None if cli.report.is_none() => print!("{}", result.netlist),
+        None => {}
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1).peekable();
     if args.peek().map(String::as_str) == Some("serve") {
@@ -286,6 +364,10 @@ fn main() -> ExitCode {
             s
         }
     };
+
+    if cli.design {
+        return run_design(&blif, &cli);
+    }
 
     let result = match run_flow(&blif, &cli.options) {
         Ok(r) => r,

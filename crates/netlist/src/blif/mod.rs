@@ -2,15 +2,25 @@
 //!
 //! The MCNC-89 benchmarks the paper evaluates on are distributed as BLIF,
 //! so a downstream user of this crate maps real designs by parsing them
-//! here. The reader supports the combinational subset: `.model`, `.inputs`,
-//! `.outputs`, `.names` (with cube rows) and `.end`, plus `#` comments and
-//! `\` line continuations. Latches and subcircuits are out of scope (the
-//! paper maps combinational logic only).
+//! here. Two readers share one streaming lexer ([`stream::LogicalLines`])
+//! that strips `#` comments and joins `\` continuations one logical line
+//! at a time:
+//!
+//! - [`parse_blif`] — the combinational entry point: a single `.model`
+//!   with `.inputs`, `.outputs`, `.names` cube rows and `.end`. Sequential
+//!   and hierarchical constructs (`.latch`, `.subckt`) are routed to the
+//!   design reader instead.
+//! - [`crate::design::read_design`] — the full-spec sequential reader:
+//!   multiple `.model` blocks, `.latch` in every spec form, `.subckt`
+//!   hierarchy flattening, `.exdc` sections and common yosys extensions.
 //!
 //! `.names` functions are translated into the AND/OR node representation of
 //! [`Network`]: each cube becomes an AND node over polarized literals and
 //! multiple cubes are joined by an OR node; an off-set table (output column
 //! `0`) yields an inverted signal.
+
+pub(crate) mod flatten;
+pub(crate) mod stream;
 
 use std::collections::HashMap;
 use std::fmt::Write as _;
@@ -19,16 +29,98 @@ use crate::error::ParseBlifError;
 use crate::lut::{LutCircuit, LutSource};
 use crate::network::{Network, NodeOp, Signal};
 
+/// Widest line the writers emit before breaking with a `\` continuation.
+pub(crate) const MAX_LINE_WIDTH: usize = 80;
+
 /// A parsed `.names` block before structural conversion.
 #[derive(Debug, Clone)]
-struct NamesBlock {
-    inputs: Vec<String>,
-    output: String,
+pub(crate) struct NamesBlock {
+    pub(crate) inputs: Vec<String>,
+    pub(crate) output: String,
     /// Cube rows: per input, one of `'0' | '1' | '-'`.
-    cubes: Vec<Vec<u8>>,
+    pub(crate) cubes: Vec<Vec<u8>>,
     /// Output phase: `true` when rows describe the on-set.
-    on_set: bool,
-    line: usize,
+    pub(crate) on_set: bool,
+    pub(crate) line: usize,
+}
+
+/// Starts a `.names` block from the tokens following the directive.
+pub(crate) fn start_names_block<'a>(
+    tokens: impl Iterator<Item = &'a str>,
+    line_no: usize,
+) -> Result<NamesBlock, ParseBlifError> {
+    let mut names: Vec<String> = tokens.map(str::to_owned).collect();
+    let output = names.pop().ok_or_else(|| ParseBlifError::Syntax {
+        line: line_no,
+        message: ".names requires at least an output signal".into(),
+    })?;
+    Ok(NamesBlock {
+        inputs: names,
+        output,
+        cubes: Vec::new(),
+        on_set: true,
+        line: line_no,
+    })
+}
+
+/// Parses one cube row into the current `.names` block.
+pub(crate) fn parse_cube_row<'a>(
+    block: Option<&mut NamesBlock>,
+    first: &str,
+    mut tokens: impl Iterator<Item = &'a str>,
+    line_no: usize,
+) -> Result<(), ParseBlifError> {
+    let block = block.ok_or_else(|| ParseBlifError::Syntax {
+        line: line_no,
+        message: format!("cube row {first:?} outside a .names block"),
+    })?;
+    let (mask, value) = if block.inputs.is_empty() {
+        (String::new(), first)
+    } else {
+        let v = tokens.next().ok_or_else(|| ParseBlifError::Syntax {
+            line: line_no,
+            message: "cube row is missing the output column".into(),
+        })?;
+        (first.to_owned(), v)
+    };
+    if mask.len() != block.inputs.len() {
+        return Err(ParseBlifError::Syntax {
+            line: line_no,
+            message: format!(
+                "cube has {} columns but .names has {} inputs",
+                mask.len(),
+                block.inputs.len()
+            ),
+        });
+    }
+    for c in mask.bytes() {
+        if !matches!(c, b'0' | b'1' | b'-') {
+            return Err(ParseBlifError::Syntax {
+                line: line_no,
+                message: format!("invalid cube character {:?}", c as char),
+            });
+        }
+    }
+    let on = match value {
+        "1" => true,
+        "0" => false,
+        other => {
+            return Err(ParseBlifError::Syntax {
+                line: line_no,
+                message: format!("invalid output column {other:?}"),
+            })
+        }
+    };
+    if block.cubes.is_empty() {
+        block.on_set = on;
+    } else if block.on_set != on {
+        return Err(ParseBlifError::Syntax {
+            line: line_no,
+            message: "mixed on-set and off-set rows in one .names".into(),
+        });
+    }
+    block.cubes.push(mask.into_bytes());
+    Ok(())
 }
 
 /// Parses a BLIF model into a [`Network`].
@@ -36,7 +128,8 @@ struct NamesBlock {
 /// # Errors
 ///
 /// Returns a [`ParseBlifError`] on malformed syntax, undefined signals,
-/// combinational cycles, or unsupported constructs (`.latch`, `.subckt`).
+/// combinational cycles, or sequential constructs (`.latch`, `.subckt`),
+/// which belong to [`crate::design::read_design`].
 ///
 /// # Examples
 ///
@@ -64,36 +157,8 @@ pub fn parse_blif(text: &str) -> Result<Network, ParseBlifError> {
     let mut saw_model = false;
     let mut saw_end = false;
 
-    // Join continuation lines first.
-    let mut logical_lines: Vec<(usize, String)> = Vec::new();
-    let mut pending = String::new();
-    let mut pending_line = 0usize;
-    for (i, raw) in text.lines().enumerate() {
-        let line = match raw.find('#') {
-            Some(p) => &raw[..p],
-            None => raw,
-        };
-        let trimmed = line.trim_end();
-        if pending.is_empty() {
-            pending_line = i + 1;
-        }
-        if let Some(stripped) = trimmed.strip_suffix('\\') {
-            pending.push_str(stripped);
-            pending.push(' ');
-        } else {
-            pending.push_str(trimmed);
-            if !pending.trim().is_empty() {
-                logical_lines.push((pending_line, std::mem::take(&mut pending)));
-            } else {
-                pending.clear();
-            }
-        }
-    }
-    if !pending.trim().is_empty() {
-        logical_lines.push((pending_line, pending));
-    }
-
-    for (line_no, line) in logical_lines {
+    let mut lex = stream::LogicalLines::new(text.as_bytes());
+    while let Some((line_no, line)) = lex.next_line()? {
         let mut tokens = line.split_whitespace();
         let first = match tokens.next() {
             Some(t) => t,
@@ -122,18 +187,7 @@ pub fn parse_blif(text: &str) -> Result<Network, ParseBlifError> {
                 if let Some(block) = current.take() {
                     blocks.push(block);
                 }
-                let mut names: Vec<String> = tokens.map(str::to_owned).collect();
-                let output = names.pop().ok_or_else(|| ParseBlifError::Syntax {
-                    line: line_no,
-                    message: ".names requires at least an output signal".into(),
-                })?;
-                current = Some(NamesBlock {
-                    inputs: names,
-                    output,
-                    cubes: Vec::new(),
-                    on_set: true,
-                    line: line_no,
-                });
+                current = Some(start_names_block(tokens, line_no)?);
             }
             ".end" => {
                 if let Some(block) = current.take() {
@@ -141,82 +195,51 @@ pub fn parse_blif(text: &str) -> Result<Network, ParseBlifError> {
                 }
                 saw_end = true;
             }
-            ".latch" | ".subckt" | ".gate" | ".mlatch" => {
+            ".latch" | ".subckt" => {
                 return Err(ParseBlifError::Syntax {
                     line: line_no,
-                    message: format!("unsupported construct {first} (combinational BLIF only)"),
+                    message: format!(
+                        "sequential construct {first} — use the design reader (read_design) \
+                         for latches and hierarchy"
+                    ),
+                });
+            }
+            ".gate" | ".mlatch" => {
+                return Err(ParseBlifError::Syntax {
+                    line: line_no,
+                    message: format!(
+                        "unsupported construct {first} (library gates are not supported)"
+                    ),
                 });
             }
             _ if first.starts_with('.') => {
                 // Ignore unknown dot-directives (.default_input_arrival etc.)
             }
-            _ => {
-                // A cube row for the current .names block.
-                let block = current.as_mut().ok_or_else(|| ParseBlifError::Syntax {
-                    line: line_no,
-                    message: format!("cube row {first:?} outside a .names block"),
-                })?;
-                let (mask, value) = if block.inputs.is_empty() {
-                    (String::new(), first)
-                } else {
-                    let v = tokens.next().ok_or_else(|| ParseBlifError::Syntax {
-                        line: line_no,
-                        message: "cube row is missing the output column".into(),
-                    })?;
-                    (first.to_owned(), v)
-                };
-                if mask.len() != block.inputs.len() {
-                    return Err(ParseBlifError::Syntax {
-                        line: line_no,
-                        message: format!(
-                            "cube has {} columns but .names has {} inputs",
-                            mask.len(),
-                            block.inputs.len()
-                        ),
-                    });
-                }
-                for c in mask.bytes() {
-                    if !matches!(c, b'0' | b'1' | b'-') {
-                        return Err(ParseBlifError::Syntax {
-                            line: line_no,
-                            message: format!("invalid cube character {:?}", c as char),
-                        });
-                    }
-                }
-                let on = match value {
-                    "1" => true,
-                    "0" => false,
-                    other => {
-                        return Err(ParseBlifError::Syntax {
-                            line: line_no,
-                            message: format!("invalid output column {other:?}"),
-                        })
-                    }
-                };
-                if block.cubes.is_empty() {
-                    block.on_set = on;
-                } else if block.on_set != on {
-                    return Err(ParseBlifError::Syntax {
-                        line: line_no,
-                        message: "mixed on-set and off-set rows in one .names".into(),
-                    });
-                }
-                block.cubes.push(mask.into_bytes());
-            }
+            _ => parse_cube_row(current.as_mut(), first, tokens, line_no)?,
         }
     }
     if let Some(block) = current.take() {
         blocks.push(block);
     }
 
-    build_network(&inputs, &outputs, blocks)
+    let (mut net, signals) = elaborate_blocks(&inputs, blocks)?;
+    for name in &outputs {
+        let sig = signals
+            .get(name)
+            .copied()
+            .ok_or_else(|| ParseBlifError::UndefinedSignal(name.clone()))?;
+        net.add_output(name.clone(), sig);
+    }
+    Ok(net)
 }
 
-fn build_network(
+/// Elaborates `.names` blocks over the given primary inputs into a
+/// [`Network`], returning the network and the name → signal map so callers
+/// can resolve outputs (and, for sequential designs, latch data nets).
+pub(crate) fn elaborate_blocks(
     inputs: &[String],
-    outputs: &[String],
     blocks: Vec<NamesBlock>,
-) -> Result<Network, ParseBlifError> {
+) -> Result<(Network, HashMap<String, Signal>), ParseBlifError> {
     let mut net = Network::new();
     let mut signals: HashMap<String, Signal> = HashMap::new();
     for name in inputs {
@@ -296,14 +319,7 @@ fn build_network(
         }
     }
 
-    for name in outputs {
-        let sig = signals
-            .get(name)
-            .copied()
-            .ok_or_else(|| ParseBlifError::UndefinedSignal(name.clone()))?;
-        net.add_output(name.clone(), sig);
-    }
-    Ok(net)
+    Ok((net, signals))
 }
 
 /// Builds the AND/OR structure for one `.names` block; returns the signal
@@ -379,10 +395,39 @@ fn reduce_gate(net: &mut Network, op: NodeOp, literals: &mut Vec<Signal>) -> Sig
     }
 }
 
+/// Appends a whitespace-tokenized directive line, breaking lines longer
+/// than [`MAX_LINE_WIDTH`] with `\` continuations at token boundaries.
+/// Lines at or under the limit are written verbatim, so existing short
+/// output is byte-identical to the unwrapped writer.
+pub(crate) fn push_wrapped(out: &mut String, line: &str) {
+    if line.len() <= MAX_LINE_WIDTH {
+        out.push_str(line);
+        out.push('\n');
+        return;
+    }
+    let mut width = 0usize;
+    for token in line.split_whitespace() {
+        if width == 0 {
+            out.push_str(token);
+            width = token.len();
+        } else if width + 1 + token.len() + 2 <= MAX_LINE_WIDTH {
+            out.push(' ');
+            out.push_str(token);
+            width += 1 + token.len();
+        } else {
+            out.push_str(" \\\n");
+            out.push_str(token);
+            width = token.len();
+        }
+    }
+    out.push('\n');
+}
+
 /// Serializes a network as a BLIF model named `model`.
 ///
 /// Every gate becomes a `.names` block; AND gates emit a single cube, OR
-/// gates one single-literal cube per fanin.
+/// gates one single-literal cube per fanin. Directive lines wider than 80
+/// columns are broken with `\` continuations.
 ///
 /// # Examples
 ///
@@ -406,17 +451,32 @@ pub fn write_blif(network: &Network, model: &str) -> String {
                 .unwrap_or_else(|| format!("n{}", id.index()))
         })
         .collect();
-    let _ = write!(out, ".inputs");
+    let mut line = String::from(".inputs");
     for &id in network.inputs() {
-        let _ = write!(out, " {}", names[id.index()]);
+        let _ = write!(line, " {}", names[id.index()]);
     }
-    let _ = writeln!(out);
-    let _ = write!(out, ".outputs");
+    push_wrapped(&mut out, &line);
+    line.clear();
+    line.push_str(".outputs");
     for o in network.outputs() {
-        let _ = write!(out, " {}", o.name);
+        let _ = write!(line, " {}", o.name);
     }
-    let _ = writeln!(out);
+    push_wrapped(&mut out, &line);
 
+    write_gate_blocks(&mut out, network, &names);
+    // Output polarity buffers: when the output signal is inverted or the
+    // output name differs from the driving node name, emit a buffer block.
+    for o in network.outputs() {
+        write_buffer_block(&mut out, &names[o.signal.node().index()], &o.name, o.signal);
+    }
+    let _ = writeln!(out, ".end");
+    out
+}
+
+/// Emits one `.names` block per gate or constant node, using `names` for
+/// node naming. Shared between the combinational and sequential writers.
+pub(crate) fn write_gate_blocks(out: &mut String, network: &Network, names: &[String]) {
+    let mut line = String::new();
     for (id, node) in network.nodes() {
         match node.op() {
             NodeOp::Input => {}
@@ -427,22 +487,26 @@ pub fn write_blif(network: &Network, model: &str) -> String {
                 }
             }
             NodeOp::And => {
-                let _ = write!(out, ".names");
+                line.clear();
+                line.push_str(".names");
                 for s in node.fanins() {
-                    let _ = write!(out, " {}", names[s.node().index()]);
+                    let _ = write!(line, " {}", names[s.node().index()]);
                 }
-                let _ = writeln!(out, " {}", names[id.index()]);
+                let _ = write!(line, " {}", names[id.index()]);
+                push_wrapped(out, &line);
                 for s in node.fanins() {
                     let _ = write!(out, "{}", if s.is_inverted() { '0' } else { '1' });
                 }
                 let _ = writeln!(out, " 1");
             }
             NodeOp::Or => {
-                let _ = write!(out, ".names");
+                line.clear();
+                line.push_str(".names");
                 for s in node.fanins() {
-                    let _ = write!(out, " {}", names[s.node().index()]);
+                    let _ = write!(line, " {}", names[s.node().index()]);
                 }
-                let _ = writeln!(out, " {}", names[id.index()]);
+                let _ = write!(line, " {}", names[id.index()]);
+                push_wrapped(out, &line);
                 for (i, s) in node.fanins().iter().enumerate() {
                     for j in 0..node.fanins().len() {
                         let _ = write!(
@@ -464,24 +528,24 @@ pub fn write_blif(network: &Network, model: &str) -> String {
             }
         }
     }
+}
 
-    // Output polarity buffers: when the output signal is inverted or the
-    // output name differs from the driving node name, emit a buffer block.
-    for o in network.outputs() {
-        let drv = &names[o.signal.node().index()];
-        if o.name != *drv || o.signal.is_inverted() {
-            let _ = writeln!(out, ".names {} {}", drv, o.name);
-            let _ = writeln!(out, "{} 1", if o.signal.is_inverted() { '0' } else { '1' });
-        }
+/// Emits a polarity buffer `.names drv name` when the sink `name` is not
+/// literally the non-inverted driver node; a no-op otherwise.
+pub(crate) fn write_buffer_block(out: &mut String, drv: &str, name: &str, signal: Signal) {
+    if name != drv || signal.is_inverted() {
+        let mut line = String::new();
+        let _ = write!(line, ".names {drv} {name}");
+        push_wrapped(out, &line);
+        let _ = writeln!(out, "{} 1", if signal.is_inverted() { '0' } else { '1' });
     }
-    let _ = writeln!(out, ".end");
-    out
 }
 
 /// Serializes a mapped lookup-table circuit as BLIF (each LUT becomes a
 /// `.names` block listing its on-set minterms).
 ///
-/// `network` supplies the primary-input and output names.
+/// `network` supplies the primary-input and output names. Directive lines
+/// wider than 80 columns are broken with `\` continuations.
 pub fn write_lut_blif(network: &Network, circuit: &LutCircuit, model: &str) -> String {
     let mut out = String::new();
     let _ = writeln!(out, ".model {model}");
@@ -492,16 +556,17 @@ pub fn write_lut_blif(network: &Network, circuit: &LutCircuit, model: &str) -> S
             .map(str::to_owned)
             .unwrap_or_else(|| format!("n{}", id.index()))
     };
-    let _ = write!(out, ".inputs");
+    let mut line = String::from(".inputs");
     for &id in network.inputs() {
-        let _ = write!(out, " {}", input_name(id));
+        let _ = write!(line, " {}", input_name(id));
     }
-    let _ = writeln!(out);
-    let _ = write!(out, ".outputs");
+    push_wrapped(&mut out, &line);
+    line.clear();
+    line.push_str(".outputs");
     for o in circuit.outputs() {
-        let _ = write!(out, " {}", o.name);
+        let _ = write!(line, " {}", o.name);
     }
-    let _ = writeln!(out);
+    push_wrapped(&mut out, &line);
 
     let src_name = |s: LutSource| match s {
         LutSource::Input(id) => input_name(id),
@@ -531,11 +596,13 @@ pub fn write_lut_blif(network: &Network, circuit: &LutCircuit, model: &str) -> S
     }
 
     for (i, lut) in circuit.luts().iter().enumerate() {
-        let _ = write!(out, ".names");
+        line.clear();
+        line.push_str(".names");
         for &s in lut.inputs() {
-            let _ = write!(out, " {}", src_name(s));
+            let _ = write!(line, " {}", src_name(s));
         }
-        let _ = writeln!(out, " lut{i}");
+        let _ = write!(line, " lut{i}");
+        push_wrapped(&mut out, &line);
         let vars = lut.table().num_vars();
         for bits in 0..(1u32 << vars) {
             if lut.table().eval(bits) {
@@ -547,7 +614,9 @@ pub fn write_lut_blif(network: &Network, circuit: &LutCircuit, model: &str) -> S
         }
     }
     for o in circuit.outputs() {
-        let _ = writeln!(out, ".names {} {}", src_name(o.source), o.name);
+        line.clear();
+        let _ = write!(line, ".names {} {}", src_name(o.source), o.name);
+        push_wrapped(&mut out, &line);
         let _ = writeln!(out, "{} 1", if o.inverted { '0' } else { '1' });
     }
     let _ = writeln!(out, ".end");
@@ -664,7 +733,9 @@ mod tests {
     #[test]
     fn rejects_latches() {
         let src = ".model l\n.inputs a\n.outputs z\n.latch a z re clk 0\n.end\n";
-        assert!(parse_blif(src).is_err());
+        let err = parse_blif(src).unwrap_err();
+        // The rejection points combinational callers at the design reader.
+        assert!(err.to_string().contains("read_design"), "{err}");
     }
 
     /// Asserts `src` fails with a [`ParseBlifError::Syntax`] whose
@@ -771,5 +842,37 @@ mod tests {
         let f = net2.signal_function(net2.outputs()[0].signal).unwrap();
         assert!(!f.eval(1));
         assert!(f.eval(0));
+    }
+
+    #[test]
+    fn short_lines_are_not_wrapped() {
+        let mut out = String::new();
+        push_wrapped(&mut out, ".inputs a b c");
+        assert_eq!(out, ".inputs a b c\n");
+    }
+
+    #[test]
+    fn wide_directive_lines_get_continuations() {
+        // 40 six-character names blow well past 80 columns.
+        let names: Vec<String> = (0..40).map(|i| format!("sig{i:03}")).collect();
+        let mut net = Network::new();
+        for n in &names {
+            net.add_input(n.clone());
+        }
+        let ids: Vec<_> = net.inputs().to_vec();
+        let sig = Signal::new(net.add_gate(
+            NodeOp::And,
+            ids.iter().map(|&id| Signal::new(id)).collect::<Vec<_>>(),
+        ));
+        net.add_output("wide", sig);
+        let text = write_blif(&net, "wide");
+        for line in text.lines() {
+            assert!(line.len() <= MAX_LINE_WIDTH, "line too wide: {line:?}");
+        }
+        assert!(text.contains('\\'), "expected continuations in {text:?}");
+        // The wrapped text must parse back to the same function.
+        let net2 = parse_blif(&text).expect("wrapped output parses");
+        assert_eq!(net2.num_inputs(), 40);
+        assert_eq!(net2.num_outputs(), 1);
     }
 }

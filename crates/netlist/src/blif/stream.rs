@@ -1,0 +1,417 @@
+//! Streaming BLIF lexing and full-spec raw design parsing.
+//!
+//! [`LogicalLines`] consumes any [`BufRead`] one physical line at a time,
+//! strips `#` comments, joins `\` continuations, and yields non-blank
+//! logical lines tagged with the 1-based physical line they started on.
+//! Only one logical line is ever buffered, so arbitrarily large designs
+//! stream through a bounded amount of memory.
+//!
+//! [`read_raw_design`] parses the full sequential subset on top of the
+//! lexer: multiple `.model` blocks, `.latch` in every spec form, `.subckt`
+//! instantiations, `.exdc` sections (skipped), and the common yosys
+//! extensions (`.attr`/`.param`/`.cname` ignored, `.conn` as a buffer,
+//! `.blackbox` as an interface-only marker). The result is a *raw* design:
+//! nets are still hierarchical names, ready for
+//! [`flatten`](super::flatten::flatten).
+
+use std::collections::{HashMap, HashSet};
+use std::io::BufRead;
+
+use super::{parse_cube_row, start_names_block, NamesBlock};
+use crate::design::{LatchInit, LatchKind, ParseStats};
+use crate::error::ParseBlifError;
+
+/// Streaming logical-line lexer over any buffered reader.
+///
+/// Holds exactly one physical-line buffer and one logical-line buffer;
+/// neither grows with the total input size, only with the longest line.
+pub(crate) struct LogicalLines<R> {
+    reader: R,
+    /// Physical lines consumed so far (1-based after the first read).
+    physical: usize,
+    /// Scratch buffer for the current physical line.
+    raw: String,
+    /// The logical line being assembled across `\` continuations.
+    line: String,
+    /// Logical lines yielded so far.
+    pub logical_lines: u64,
+    /// Longest logical line seen, in bytes — the lexer's high-water mark.
+    pub max_line_bytes: usize,
+}
+
+impl<R: BufRead> LogicalLines<R> {
+    pub(crate) fn new(reader: R) -> Self {
+        LogicalLines {
+            reader,
+            physical: 0,
+            raw: String::new(),
+            line: String::new(),
+            logical_lines: 0,
+            max_line_bytes: 0,
+        }
+    }
+
+    /// Yields the next non-blank logical line and the physical line number
+    /// it started on, or `None` at end of input.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseBlifError::Io`] when the underlying reader fails.
+    pub(crate) fn next_line(&mut self) -> Result<Option<(usize, &str)>, ParseBlifError> {
+        self.line.clear();
+        let mut start = 0usize;
+        loop {
+            self.raw.clear();
+            let read = self
+                .reader
+                .read_line(&mut self.raw)
+                .map_err(|e| ParseBlifError::Io(e.to_string()))?;
+            if read == 0 {
+                // End of input: a trailing continuation still yields its
+                // partial logical line, matching the historical parser.
+                if self.line.trim().is_empty() {
+                    return Ok(None);
+                }
+                self.logical_lines += 1;
+                self.max_line_bytes = self.max_line_bytes.max(self.line.len());
+                return Ok(Some((start, self.line.as_str())));
+            }
+            self.physical += 1;
+            let content = match self.raw.find('#') {
+                Some(p) => &self.raw[..p],
+                None => &self.raw,
+            };
+            let trimmed = content.trim_end();
+            if self.line.is_empty() {
+                start = self.physical;
+            }
+            if let Some(stripped) = trimmed.strip_suffix('\\') {
+                self.line.push_str(stripped);
+                self.line.push(' ');
+            } else {
+                self.line.push_str(trimmed);
+                if !self.line.trim().is_empty() {
+                    self.logical_lines += 1;
+                    self.max_line_bytes = self.max_line_bytes.max(self.line.len());
+                    return Ok(Some((start, self.line.as_str())));
+                }
+                self.line.clear();
+            }
+        }
+    }
+}
+
+/// One `.latch` directive, still in source-level net names.
+#[derive(Debug, Clone)]
+pub(crate) struct RawLatch {
+    pub line: usize,
+    pub input: String,
+    pub output: String,
+    pub kind: LatchKind,
+    pub control: Option<String>,
+    pub init: LatchInit,
+}
+
+/// One `.subckt` instantiation, still unresolved.
+#[derive(Debug, Clone)]
+pub(crate) struct RawSubckt {
+    pub line: usize,
+    pub model: String,
+    /// `formal=actual` connections in source order.
+    pub conns: Vec<(String, String)>,
+}
+
+/// One `.model` block as parsed, before flattening.
+#[derive(Debug, Clone)]
+pub(crate) struct RawModel {
+    pub name: String,
+    pub line: usize,
+    pub inputs: Vec<String>,
+    pub outputs: Vec<String>,
+    pub blocks: Vec<NamesBlock>,
+    pub latches: Vec<RawLatch>,
+    pub subckts: Vec<RawSubckt>,
+    pub blackbox: bool,
+}
+
+impl RawModel {
+    fn new(name: String, line: usize) -> Self {
+        RawModel {
+            name,
+            line,
+            inputs: Vec::new(),
+            outputs: Vec::new(),
+            blocks: Vec::new(),
+            latches: Vec::new(),
+            subckts: Vec::new(),
+            blackbox: false,
+        }
+    }
+}
+
+/// A parsed multi-model BLIF file before hierarchy flattening.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct RawDesign {
+    pub models: Vec<RawModel>,
+}
+
+impl RawDesign {
+    /// Index of the model named `name`, if any.
+    pub(crate) fn model_index(&self, name: &str) -> Option<usize> {
+        self.models.iter().position(|m| m.name == name)
+    }
+}
+
+fn syntax(line: usize, message: impl Into<String>) -> ParseBlifError {
+    ParseBlifError::Syntax {
+        line,
+        message: message.into(),
+    }
+}
+
+fn parse_latch(line_no: usize, tokens: &[&str]) -> Result<RawLatch, ParseBlifError> {
+    if tokens.len() < 2 {
+        return Err(syntax(
+            line_no,
+            ".latch requires a data input and an output",
+        ));
+    }
+    if tokens.len() > 5 {
+        return Err(syntax(
+            line_no,
+            format!(".latch has {} tokens, expected 2 to 5", tokens.len()),
+        ));
+    }
+    let (kind, control, init_tok) = match tokens.len() {
+        2 => (LatchKind::Unspecified, None, None),
+        3 => (LatchKind::Unspecified, None, Some(tokens[2])),
+        4 => (
+            parse_latch_kind(line_no, tokens[2])?,
+            control_net(tokens[3]),
+            None,
+        ),
+        _ => (
+            parse_latch_kind(line_no, tokens[2])?,
+            control_net(tokens[3]),
+            Some(tokens[4]),
+        ),
+    };
+    let init = match init_tok {
+        None | Some("3") => LatchInit::Unknown,
+        Some("0") => LatchInit::Zero,
+        Some("1") => LatchInit::One,
+        Some("2") => LatchInit::DontCare,
+        Some(other) => {
+            return Err(syntax(
+                line_no,
+                format!("invalid latch initial value {other:?}"),
+            ))
+        }
+    };
+    Ok(RawLatch {
+        line: line_no,
+        input: tokens[0].to_owned(),
+        output: tokens[1].to_owned(),
+        kind,
+        control,
+        init,
+    })
+}
+
+fn parse_latch_kind(line_no: usize, token: &str) -> Result<LatchKind, ParseBlifError> {
+    match token {
+        "fe" => Ok(LatchKind::FallingEdge),
+        "re" => Ok(LatchKind::RisingEdge),
+        "ah" => Ok(LatchKind::ActiveHigh),
+        "al" => Ok(LatchKind::ActiveLow),
+        "as" => Ok(LatchKind::Asynchronous),
+        other => Err(syntax(line_no, format!("invalid latch type {other:?}"))),
+    }
+}
+
+fn control_net(token: &str) -> Option<String> {
+    if token == "NIL" {
+        None
+    } else {
+        Some(token.to_owned())
+    }
+}
+
+fn parse_subckt<'a>(
+    line_no: usize,
+    mut tokens: impl Iterator<Item = &'a str>,
+) -> Result<RawSubckt, ParseBlifError> {
+    let model = tokens
+        .next()
+        .ok_or_else(|| syntax(line_no, ".subckt requires a model name"))?;
+    let mut conns: Vec<(String, String)> = Vec::new();
+    let mut formals: HashSet<String> = HashSet::new();
+    for tok in tokens {
+        let (formal, actual) = tok.split_once('=').ok_or_else(|| {
+            syntax(
+                line_no,
+                format!("invalid .subckt connection {tok:?} (expected formal=actual)"),
+            )
+        })?;
+        if formal.is_empty() || actual.is_empty() {
+            return Err(syntax(
+                line_no,
+                format!("invalid .subckt connection {tok:?} (expected formal=actual)"),
+            ));
+        }
+        if !formals.insert(formal.to_owned()) {
+            return Err(syntax(
+                line_no,
+                format!("formal {formal:?} connected twice"),
+            ));
+        }
+        conns.push((formal.to_owned(), actual.to_owned()));
+    }
+    Ok(RawSubckt {
+        line: line_no,
+        model: model.to_owned(),
+        conns,
+    })
+}
+
+/// Parses a complete (possibly hierarchical, possibly sequential) BLIF file
+/// from a buffered reader, streaming one logical line at a time.
+///
+/// # Errors
+///
+/// Returns a line-precise [`ParseBlifError`] for malformed directives,
+/// duplicate model names, or reader failures.
+pub(crate) fn read_raw_design<R: BufRead>(
+    reader: R,
+) -> Result<(RawDesign, ParseStats), ParseBlifError> {
+    let mut lex = LogicalLines::new(reader);
+    let mut design = RawDesign::default();
+    let mut names: HashMap<String, usize> = HashMap::new();
+    let mut current: Option<RawModel> = None;
+    let mut block: Option<NamesBlock> = None;
+    let mut in_exdc = false;
+    let mut stats = ParseStats::default();
+
+    fn finish_model(
+        current: &mut Option<RawModel>,
+        block: &mut Option<NamesBlock>,
+        design: &mut RawDesign,
+    ) {
+        if let Some(mut model) = current.take() {
+            if let Some(b) = block.take() {
+                model.blocks.push(b);
+            }
+            design.models.push(model);
+        }
+    }
+
+    while let Some((line_no, line)) = lex.next_line()? {
+        let mut tokens = line.split_whitespace();
+        let Some(first) = tokens.next() else { continue };
+        if in_exdc {
+            // `.exdc` introduces a don't-care section we skip entirely; the
+            // model's `.end` terminates both the section and the model.
+            match first {
+                ".end" => {
+                    in_exdc = false;
+                    finish_model(&mut current, &mut block, &mut design);
+                }
+                ".model" => {
+                    in_exdc = false;
+                    // Fall through to regular `.model` handling below.
+                }
+                _ => continue,
+            }
+            if in_exdc {
+                continue;
+            }
+            if first == ".end" {
+                continue;
+            }
+        }
+        if first == ".model" {
+            finish_model(&mut current, &mut block, &mut design);
+            let name = tokens.next().unwrap_or("top").to_owned();
+            if names.insert(name.clone(), design.models.len()).is_some() {
+                return Err(syntax(line_no, format!("duplicate model {name:?}")));
+            }
+            stats.models += 1;
+            current = Some(RawModel::new(name, line_no));
+            continue;
+        }
+        let Some(model) = current.as_mut() else {
+            return Err(syntax(line_no, format!("{first:?} outside a .model block")));
+        };
+        match first {
+            ".inputs" => model.inputs.extend(tokens.map(str::to_owned)),
+            ".outputs" => model.outputs.extend(tokens.map(str::to_owned)),
+            ".names" => {
+                if let Some(b) = block.take() {
+                    model.blocks.push(b);
+                }
+                block = Some(start_names_block(tokens, line_no)?);
+            }
+            ".latch" => {
+                if let Some(b) = block.take() {
+                    model.blocks.push(b);
+                }
+                let toks: Vec<&str> = tokens.collect();
+                model.latches.push(parse_latch(line_no, &toks)?);
+                stats.latches += 1;
+            }
+            ".subckt" => {
+                if let Some(b) = block.take() {
+                    model.blocks.push(b);
+                }
+                model.subckts.push(parse_subckt(line_no, tokens)?);
+                stats.subckts += 1;
+            }
+            ".conn" => {
+                // yosys extension: a direct wire `.conn from to`.
+                if let Some(b) = block.take() {
+                    model.blocks.push(b);
+                }
+                let toks: Vec<&str> = tokens.collect();
+                if toks.len() != 2 {
+                    return Err(syntax(line_no, ".conn requires exactly two signals"));
+                }
+                model.blocks.push(NamesBlock {
+                    inputs: vec![toks[0].to_owned()],
+                    output: toks[1].to_owned(),
+                    cubes: vec![vec![b'1']],
+                    on_set: true,
+                    line: line_no,
+                });
+            }
+            ".blackbox" => model.blackbox = true,
+            ".exdc" => {
+                if let Some(b) = block.take() {
+                    model.blocks.push(b);
+                }
+                in_exdc = true;
+                stats.exdc_blocks += 1;
+            }
+            ".end" => finish_model(&mut current, &mut block, &mut design),
+            ".gate" | ".mlatch" => {
+                return Err(syntax(
+                    line_no,
+                    format!("unsupported construct {first} (library gates are not supported)"),
+                ));
+            }
+            ".attr" | ".param" | ".cname" => {
+                // yosys metadata extensions: ignored.
+            }
+            _ if first.starts_with('.') => {
+                // Unknown dot-directives (.default_input_arrival etc.) are
+                // ignored, as in the combinational reader.
+            }
+            _ => parse_cube_row(block.as_mut(), first, tokens, line_no)?,
+        }
+    }
+    // A missing final `.end` is tolerated, as in the combinational reader.
+    finish_model(&mut current, &mut block, &mut design);
+
+    stats.logical_lines = lex.logical_lines;
+    stats.max_line_bytes = lex.max_line_bytes;
+    Ok((design, stats))
+}

@@ -48,6 +48,15 @@ pub enum ParseBlifError {
     UndefinedSignal(String),
     /// The file ended before a `.end` / complete model.
     UnexpectedEof,
+    /// Reading from the underlying stream failed.
+    Io(String),
+    /// Hierarchy flattening hit a cycle or exceeded a budget.
+    Hierarchy {
+        /// 1-based line number of the offending `.subckt`.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
 }
 
 impl fmt::Display for ParseBlifError {
@@ -60,6 +69,10 @@ impl fmt::Display for ParseBlifError {
                 write!(f, "signal {name:?} referenced but never defined")
             }
             ParseBlifError::UnexpectedEof => write!(f, "unexpected end of BLIF input"),
+            ParseBlifError::Io(message) => write!(f, "cannot read BLIF input: {message}"),
+            ParseBlifError::Hierarchy { line, message } => {
+                write!(f, "BLIF hierarchy error at line {line}: {message}")
+            }
         }
     }
 }
@@ -133,6 +146,14 @@ mod tests {
         assert!(ParseBlifError::UnexpectedEof
             .to_string()
             .contains("end of BLIF"));
+        let e = ParseBlifError::Io("pipe closed".into());
+        assert!(e.to_string().contains("pipe closed"));
+        let e = ParseBlifError::Hierarchy {
+            line: 3,
+            message: "recursive instantiation".into(),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("line 3") && msg.contains("recursive"));
     }
 
     #[test]

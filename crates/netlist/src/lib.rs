@@ -11,6 +11,9 @@
 //!   technology mapping,
 //! * BLIF reading/writing ([`parse_blif`], [`write_blif`],
 //!   [`write_lut_blif`]),
+//! * sequential designs ([`read_design`], [`Design`]) — a streaming
+//!   full-spec BLIF front end with `.latch`, `.subckt` flattening and
+//!   register-boundary cloud cutting,
 //! * bit-parallel [`simulate`] / [`simulate_outputs`] and equivalence
 //!   checking ([`check_equivalence`]),
 //! * [`NetworkStats`] / [`LutStats`] summaries and a deterministic
@@ -39,6 +42,7 @@
 #![forbid(unsafe_code)]
 
 mod blif;
+pub mod design;
 mod dot;
 mod error;
 mod lut;
@@ -52,6 +56,10 @@ mod verify;
 mod verilog;
 
 pub use blif::{parse_blif, write_blif, write_lut_blif};
+pub use design::{
+    parse_design, read_design, write_design_blif, write_mapped_design_blif, Cloud, Design,
+    DesignClouds, Latch, LatchInit, LatchKind, ParseStats, Passthrough, PassthroughDriver,
+};
 pub use dot::{lut_circuit_to_dot, network_to_dot};
 pub use error::{LutError, NetworkError, ParseBlifError};
 pub use lut::{Lut, LutCircuit, LutId, LutOutput, LutSource};

@@ -77,6 +77,9 @@ fn print_client_help() {
     println!("  --cache MODE        DP cache: shared (default), fn, tree, or off");
     println!("  --objective GOAL    area (default) or depth");
     println!("  --no-optimize       skip the MIS-style optimization script");
+    println!(
+        "  --design            map a sequential design (.latch/.subckt) via op:\"map_design\""
+    );
     println!("  --deadline-ms N     per-request deadline in milliseconds");
     println!("  --priority N        admission priority 0-9, higher first (v2; default 0)");
     println!("  --proto VERSION     wire protocol: v2 (default) or v1");
@@ -139,6 +142,7 @@ fn parse_client_args(
                 }
             }
             "--no-optimize" => req.optimize = false,
+            "--design" => req.design = true,
             "--deadline-ms" => {
                 req.deadline_ms = Some(
                     value("--deadline-ms")?
@@ -187,6 +191,12 @@ fn parse_client_args(
             "{} input files given without --batch; a plain map takes at most one",
             inputs.len()
         ));
+    }
+    if req.design && batch {
+        return Err("--design cannot ride in a --batch frame; batch entries are plain maps".into());
+    }
+    if req.design && version == ProtocolVersion::V1 {
+        return Err("--design requires protocol v2 (drop --proto v1)".into());
     }
     let op = admin.unwrap_or(ClientOp::Map(Box::new(req), inputs, batch));
     Ok(Some(ClientArgs {

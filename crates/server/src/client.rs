@@ -7,8 +7,8 @@
 //! - [`parse_response`] + [`Response`]: the raw wire view — one variant
 //!   per response shape, version-agnostic. Kept for protocol-level
 //!   tests and pipelined readers.
-//! - [`Client`] with typed `map()`, `map_batch()`, `hello()`,
-//!   `stats()`, `flush()`, `trace()`, `shutdown()` methods, each
+//! - [`Client`] with typed `map()`, `map_design()`, `map_batch()`,
+//!   `hello()`, `stats()`, `flush()`, `trace()`, `shutdown()` methods, each
 //!   returning a small `#[non_exhaustive]` reply enum
 //!   ([`MapReply`], [`BatchReply`], …) — a rejection is a value, not an
 //!   error; `io::Error` is reserved for transport and protocol
@@ -314,7 +314,9 @@ pub fn parse_response(line: &str) -> Result<Response, String> {
             rejection: parse_rejection(&value)?,
         }),
         "ok" => match str_field("op")?.as_str() {
-            "map" => Ok(Response::MapOk {
+            // map_design answers carry the identical payload shape; the
+            // echoed id (and the sequential netlist) tell them apart.
+            "map" | "map_design" => Ok(Response::MapOk {
                 id,
                 luts: u64_field("luts")? as usize,
                 depth: u64_field("depth")? as usize,
@@ -596,6 +598,22 @@ impl Client {
         mapped_from(response)
     }
 
+    /// Maps one sequential design (`op: "map_design"`, v2 only — a v1
+    /// client gets a protocol rejection back from the server). The
+    /// request's `design` flag is forced on; every other knob is taken
+    /// as given.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures and malformed or unrelated response lines; a
+    /// rejection is a [`MapReply::Rejected`] value, not an error.
+    pub fn map_design(&mut self, id: &str, req: &MapRequest) -> io::Result<MapReply> {
+        let mut req = req.clone();
+        req.design = true;
+        let response = self.roundtrip(&render_map_request(self.version, id, &req))?;
+        mapped_from(response)
+    }
+
     /// Maps many netlists in one `map_batch` frame (v2 only — a v1
     /// client gets a protocol rejection back from the server).
     ///
@@ -813,6 +831,15 @@ mod tests {
             other => panic!("expected TraceOk, got {other:?}"),
         }
         assert!(parse_response("{}").is_err());
+    }
+
+    #[test]
+    fn parses_map_design_responses_as_map_ok() {
+        let ok = crate::proto::render_map_design_ok("d", &payload());
+        match parse_response(&ok).expect("parses") {
+            Response::MapOk { id, luts, .. } => assert_eq!((id.as_str(), luts), ("d", 9)),
+            other => panic!("expected MapOk, got {other:?}"),
+        }
     }
 
     #[test]

@@ -20,8 +20,10 @@
 //!   `client_queue_depth` hints;
 //! - **protocol v2** on top of the frozen v1: `op: "hello"` version
 //!   negotiation, `op: "map_batch"` frames mapping many netlists per
-//!   round trip, and structured shed hints — v1 frames keep parsing
-//!   and are answered byte-identically to the v1 daemon;
+//!   round trip, `op: "map_design"` for sequential designs
+//!   (`.latch`/`.subckt`, mapped as register-bounded combinational
+//!   clouds — DESIGN.md §17), and structured shed hints — v1 frames
+//!   keep parsing and are answered byte-identically to the v1 daemon;
 //! - **per-request deadlines** (`deadline_ms`) enforced cooperatively
 //!   at tree boundaries inside the mapper, answering
 //!   `rejected: deadline_exceeded` with partial work discarded;
@@ -33,7 +35,7 @@
 //!   drains in-flight work, and yields a final aggregate telemetry
 //!   report (`serve.*` counters plus the `serve.queue_ns`,
 //!   `serve.run_ns`, and `serve.admission.client_depth` histograms,
-//!   schema `chortle-telemetry/v1.5`);
+//!   schema `chortle-telemetry/v1.6`);
 //! - **live introspection**: `op: "stats"` answers uptime, per-op
 //!   request counters, queue depth and high-water mark, and the latency
 //!   histograms without disturbing the workers; `op: "trace"` dumps a
@@ -43,8 +45,8 @@
 //! Responses are byte-identical to the offline `chortle-map` CLI for
 //! the same `(BLIF, k, jobs, cache, objective, optimize)` — the server
 //! is a faster way to run the same mapper, not a different mapper.
-//! That holds for every path: v1 `map`, v2 `map`, and each entry of a
-//! v2 `map_batch`.
+//! That holds for every path: v1 `map`, v2 `map`, each entry of a v2
+//! `map_batch`, and `map_design` against `chortle-map --design`.
 //!
 //! Everything is `std`-only, like the rest of the workspace.
 

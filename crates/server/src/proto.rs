@@ -37,6 +37,12 @@
 //!   `priority`); the response is a single frame with a `results`
 //!   array in request order, so parse/serialize cost is amortized per
 //!   frame instead of per request.
+//! - `op: "map_design"` — map a *sequential design* (DESIGN.md §17):
+//!   the inline BLIF may carry `.latch` lines and `.subckt` hierarchy;
+//!   the server flattens it, cuts it at register boundaries, maps every
+//!   combinational cloud, and answers with the assembled sequential LUT
+//!   netlist. Same knobs and response shape as `map` (the response
+//!   echoes `op: "map_design"`).
 //! - `priority` (0 = default .. 9 = most urgent) on `map`, on
 //!   `map_batch` frames (a default for their entries), and on batch
 //!   entries.
@@ -155,6 +161,10 @@ pub struct MapRequest {
     /// Dispatch priority, `0` (default) to [`MAX_PRIORITY`] (most
     /// urgent). v2 only on the wire; v1 frames always parse as 0.
     pub priority: u8,
+    /// Treat `blif` as a sequential design and run the cloud-cutting
+    /// pipeline (`op: "map_design"`, v2 only — never a JSON key; the
+    /// op name carries it). Batch entries are always plain maps.
+    pub design: bool,
 }
 
 impl Default for MapRequest {
@@ -168,6 +178,7 @@ impl Default for MapRequest {
             optimize: true,
             deadline_ms: None,
             priority: 0,
+            design: false,
         }
     }
 }
@@ -395,7 +406,7 @@ pub fn parse_request(line: &str) -> Result<Request, ProtoError> {
             .as_str()
             .ok_or_else(|| fail(&id, version, "\"op\" must be a string".into()))?,
     };
-    if op != "map" {
+    if !matches!(op, "map" | "map_design") {
         if let Some((key, _)) = members.iter().find(|(k, _)| MAP_KEYS.contains(&k.as_str())) {
             return Err(fail(
                 &id,
@@ -411,14 +422,16 @@ pub fn parse_request(line: &str) -> Result<Request, ProtoError> {
             format!("key \"requests\" is only valid for op \"map_batch\", not {op:?}"),
         ));
     }
-    if !matches!(op, "map" | "map_batch") && members.iter().any(|(k, _)| k == "priority") {
+    if !matches!(op, "map" | "map_design" | "map_batch")
+        && members.iter().any(|(k, _)| k == "priority")
+    {
         return Err(fail(
             &id,
             version,
             format!("key \"priority\" is only valid for op \"map\" or \"map_batch\", not {op:?}"),
         ));
     }
-    if version == V1 && matches!(op, "hello" | "map_batch") {
+    if version == V1 && matches!(op, "hello" | "map_batch" | "map_design") {
         return Err(fail(
             &id,
             version,
@@ -427,6 +440,11 @@ pub fn parse_request(line: &str) -> Result<Request, ProtoError> {
     }
     let op = match op {
         "map" => Op::Map(parse_map_fields(&value, &id, version)?),
+        "map_design" => {
+            let mut req = parse_map_fields(&value, &id, version)?;
+            req.design = true;
+            Op::Map(req)
+        }
         "map_batch" => Op::MapBatch(parse_batch(&value, &id)?),
         "hello" => Op::Hello,
         "flush" => Op::Flush,
@@ -436,7 +454,7 @@ pub fn parse_request(line: &str) -> Result<Request, ProtoError> {
         other => {
             let expected = match version {
                 V1 => "map, flush, stats, trace or shutdown",
-                V2 => "hello, map, map_batch, flush, stats, trace or shutdown",
+                V2 => "hello, map, map_batch, map_design, flush, stats, trace or shutdown",
             };
             return Err(fail(
                 &id,
@@ -517,6 +535,7 @@ fn parse_map_fields(
         optimize,
         deadline_ms,
         priority,
+        design: false,
     })
 }
 
@@ -637,10 +656,16 @@ fn write_map_knobs(out: &mut String, req: &MapRequest, version: ProtocolVersion)
 }
 
 /// Renders a `map` request line (the client side of the protocol).
+/// A request with `design: true` renders as `op: "map_design"` — a
+/// v2-only op; sent over v1 the server answers with a typed rejection.
 pub fn render_map_request(version: ProtocolVersion, id: &str, req: &MapRequest) -> String {
     let mut out = String::with_capacity(req.blif.len() + 176);
     request_header(&mut out, version, id);
-    out.push_str(",\"op\":\"map\",\"blif\":");
+    if req.design {
+        out.push_str(",\"op\":\"map_design\",\"blif\":");
+    } else {
+        out.push_str(",\"op\":\"map\",\"blif\":");
+    }
     write_string(&mut out, &req.blif);
     write_map_knobs(&mut out, req, version);
     out.push('}');
@@ -716,6 +741,18 @@ pub fn render_map_ok(version: ProtocolVersion, id: &str, payload: &MapPayload) -
     let mut out = String::with_capacity(payload.netlist.len() + payload.report_json.len() + 144);
     response_header(&mut out, version, id, "ok");
     out.push_str(",\"op\":\"map\",");
+    write_map_payload(&mut out, payload);
+    out.push('}');
+    out
+}
+
+/// Renders the success response of a v2 `map_design` request — the map
+/// payload shape with the op echoed as `map_design`; `netlist` carries
+/// the assembled sequential LUT BLIF instead of a combinational one.
+pub fn render_map_design_ok(id: &str, payload: &MapPayload) -> String {
+    let mut out = String::with_capacity(payload.netlist.len() + payload.report_json.len() + 152);
+    response_header(&mut out, ProtocolVersion::V2, id, "ok");
+    out.push_str(",\"op\":\"map_design\",");
     write_map_payload(&mut out, payload);
     out.push('}');
     out
@@ -1003,6 +1040,76 @@ mod tests {
     }
 
     #[test]
+    fn parses_map_design_as_a_flagged_map() {
+        let line = format!(
+            r#"{{"proto":"{PROTOCOL_V2}","id":"d1","op":"map_design","blif":".model m\n.end\n","k":5}}"#
+        );
+        let req = parse_request(&line).expect("parses");
+        assert_eq!(req.version, V2);
+        let Op::Map(m) = req.op else {
+            panic!("expected map")
+        };
+        assert!(m.design);
+        assert_eq!(m.k, 5);
+        // Plain maps and batch entries never carry the flag.
+        let req = parse_request(&map_line(PROTOCOL_V2, "")).expect("parses");
+        let Op::Map(m) = req.op else {
+            panic!("expected map")
+        };
+        assert!(!m.design);
+    }
+
+    #[test]
+    fn map_design_requires_v2() {
+        let line = format!(
+            r#"{{"proto":"{PROTOCOL_V1}","id":"d","op":"map_design","blif":".model m\n.end\n"}}"#
+        );
+        let err = parse_request(&line).unwrap_err();
+        assert!(err.detail.contains("requires"), "{}", err.detail);
+        assert_eq!(err.version, V1);
+        // The v2 unknown-op message advertises the new op.
+        let line = format!(r#"{{"proto":"{PROTOCOL_V2}","op":"fold"}}"#);
+        let err = parse_request(&line).unwrap_err();
+        assert!(err.detail.contains("map_design"), "{}", err.detail);
+    }
+
+    /// Golden map_design frames, pinned like the other v2 shapes.
+    #[test]
+    fn golden_map_design_frames_round_trip() {
+        let req = MapRequest {
+            blif: ".model m\n.end\n".into(),
+            design: true,
+            ..MapRequest::default()
+        };
+        let line = render_map_request(V2, "sd", &req);
+        assert_eq!(
+            line,
+            "{\"proto\":\"chortle-serve/v2\",\"id\":\"sd\",\"op\":\"map_design\",\
+             \"blif\":\".model m\\n.end\\n\",\"k\":4,\"jobs\":0,\"cache\":\"shared\",\
+             \"objective\":\"area\",\"optimize\":true,\"priority\":0}"
+        );
+        let parsed = parse_request(&line).expect("round trips");
+        assert_eq!(parsed.op, Op::Map(req));
+
+        let payload = MapPayload {
+            luts: 4,
+            depth: 2,
+            cache_generation: 1,
+            run_ns: 9_000,
+            netlist: ".model mapped\n.latch a b re clk 0\n.end\n".into(),
+            report_json: "{\"a\":1}".into(),
+        };
+        let ok = render_map_design_ok("sd", &payload);
+        assert_eq!(
+            ok,
+            "{\"proto\":\"chortle-serve/v2\",\"id\":\"sd\",\"status\":\"ok\",\
+             \"op\":\"map_design\",\"luts\":4,\"depth\":2,\"cache_generation\":1,\
+             \"run_ns\":9000,\"netlist\":\".model mapped\\n.latch a b re clk 0\\n.end\\n\",\
+             \"report\":{\"a\":1}}"
+        );
+    }
+
+    #[test]
     fn parses_map_batch_with_priority_defaults() {
         let line = format!(
             r#"{{"proto":"{PROTOCOL_V2}","id":"b","op":"map_batch","priority":3,"requests":[
@@ -1155,6 +1262,7 @@ mod tests {
             optimize: false,
             deadline_ms: Some(125),
             priority: 0,
+            design: false,
         };
         let line = render_map_request(V1, "rt", &req);
         assert_eq!(

@@ -232,7 +232,7 @@ impl ServeOptionsBuilder {
 pub struct ServerSummary {
     /// The aggregate server telemetry report (`serve.*` counters, the
     /// per-request stage, the latency and client-depth histograms) —
-    /// schema-valid `chortle-telemetry/v1.5`.
+    /// schema-valid `chortle-telemetry/v1.6`.
     pub report: Report,
     /// Final warm-cache generation.
     pub cache_generation: u64,
@@ -328,6 +328,8 @@ fn worker_loop(shared: &Shared) {
                 RejectReason::DeadlineExceeded,
                 "deadline expired while queued".to_owned(),
             ))
+        } else if job.req.design {
+            service::execute_design(&job.req, &shared.warm, service::cancel_for(job.deadline))
         } else {
             service::execute_map(&job.req, &shared.warm, service::cancel_for(job.deadline))
         };
@@ -399,6 +401,9 @@ fn worker_loop(shared: &Shared) {
         match &job.batch {
             None => {
                 let frame = match &item {
+                    BatchItem::Mapped(payload) if job.req.design => {
+                        proto::render_map_design_ok(&job.id, payload)
+                    }
                     BatchItem::Mapped(payload) => {
                         proto::render_map_ok(job.version, &job.id, payload)
                     }

@@ -10,11 +10,15 @@
 //! place for one-shot assurance runs. Each request gets its own enabled
 //! [`Telemetry`] sink whose report is embedded in the response.
 
+use std::sync::Arc;
 use std::time::Instant;
 
-use chortle::{map_network, CancelToken, MapError, MapOptions, WarmCache};
+use chortle::{
+    map_design, map_network, record_parse_stats, CancelToken, DesignError, DesignOptions, MapError,
+    MapOptions, WarmCache,
+};
 use chortle_logic_opt::{optimize_with_telemetry, OptimizeOptions};
-use chortle_netlist::{parse_blif, write_lut_blif};
+use chortle_netlist::{parse_blif, parse_design, write_lut_blif, Network};
 use chortle_telemetry::Telemetry;
 
 use crate::proto::{MapRequest, RejectReason};
@@ -102,6 +106,79 @@ pub(crate) fn execute_map(
         luts: mapping.circuit.num_luts(),
         depth: mapping.circuit.depth(),
         netlist,
+        report_json: telemetry.snapshot().to_json(),
+    })
+}
+
+/// Executes one `map_design` request: the sequential-design pipeline
+/// (DESIGN.md §17) behind the same stage names and the same warm cache
+/// as `execute_map`. The `optimize` knob hooks the MIS-style script in
+/// as the per-cloud preprocess — exactly where the offline CLI's
+/// `--design` path runs it — so the assembled netlist is byte-identical
+/// to `chortle-map --design` with the same parameters. Per-cloud
+/// equivalence verification stays an offline-CLI concern, like the
+/// combinational path's.
+///
+/// # Errors
+///
+/// `bad_request` for unparseable designs or out-of-range knobs,
+/// `deadline_exceeded` when `cancel` fired mid-run, and `internal` for
+/// pipeline failures that should never happen.
+pub(crate) fn execute_design(
+    req: &MapRequest,
+    warm: &WarmCache,
+    cancel: CancelToken,
+) -> Result<MapOutcome, (RejectReason, String)> {
+    let telemetry = Telemetry::enabled();
+    let options = MapOptions::builder(req.k)
+        .jobs(req.jobs)
+        .cache(req.cache)
+        .objective(req.objective)
+        .telemetry(telemetry.clone())
+        .cancel(cancel.clone())
+        .warm_cache(warm.clone())
+        .build()
+        .map_err(|e| (RejectReason::BadRequest, e.to_string()))?;
+
+    let (design, parse_stats) = {
+        let _s = telemetry.span(STAGE_PARSE);
+        parse_design(&req.blif)
+            .map_err(|e| (RejectReason::BadRequest, format!("cannot parse input: {e}")))?
+    };
+    record_parse_stats(&telemetry, &parse_stats);
+    if cancel.is_cancelled() {
+        return Err(deadline_rejection());
+    }
+
+    let mut design_opts = DesignOptions::new(options);
+    design_opts.verify = false;
+    if req.optimize {
+        let telemetry = telemetry.clone();
+        design_opts.preprocess = Some(Arc::new(move |net: &Network| {
+            optimize_with_telemetry(net, &OptimizeOptions::default(), &telemetry)
+                .map(|(optimized, _)| optimized)
+                .map_err(|e| e.to_string())
+        }));
+    }
+
+    let mapped = {
+        let _s = telemetry.span(STAGE_MAP);
+        map_design(&design, &design_opts).map_err(|e| match e {
+            DesignError::Map {
+                error: MapError::Cancelled,
+                ..
+            }
+            | DesignError::Scheduler(MapError::Cancelled) => deadline_rejection(),
+            other => (
+                RejectReason::Internal,
+                format!("design mapping failed: {other}"),
+            ),
+        })?
+    };
+    Ok(MapOutcome {
+        luts: mapped.luts,
+        depth: mapped.depth,
+        netlist: mapped.netlist,
         report_json: telemetry.snapshot().to_json(),
     })
 }

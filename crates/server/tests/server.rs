@@ -833,3 +833,85 @@ fn shutdown_drains_refuses_new_work_and_reports_schema_valid_telemetry() {
     chortle_telemetry::schema::validate_report(&summary.report.to_json())
         .expect("final aggregate report validates against the schema");
 }
+
+/// A sequential design: two combinational clouds separated by a latch,
+/// plus a passthrough output — the fixture the chortle design tests use.
+const SEQ_DESIGN: &str = "\
+.model two_clouds
+.inputs a b c
+.outputs z w
+.latch d q re clk 0
+.names a b t
+11 1
+.names t c d
+1- 1
+-1 1
+.names q b z
+01 1
+.names a w
+1 1
+.end
+";
+
+#[test]
+fn map_design_matches_the_offline_design_pipeline() {
+    let (addr, run) = start(ServeOptions::default());
+    let mut client = Client::connect(&addr).expect("connect");
+    let mapped = expect_mapped(
+        client
+            .map_design("d1", &request(SEQ_DESIGN))
+            .expect("map_design round trip"),
+    );
+    assert!(mapped.luts >= 1);
+
+    // Ground truth: the same sequential pipeline run offline, with the
+    // optimize pass hooked in where the CLI's `--design` path runs it.
+    // The server skips per-cloud verification, which never changes the
+    // output bytes.
+    let (design, _) = chortle_netlist::parse_design(SEQ_DESIGN).expect("fixture parses");
+    let options = chortle::MapOptions::builder(4)
+        .cache(CacheMode::Off)
+        .build()
+        .expect("valid options");
+    let mut design_opts = chortle::DesignOptions::new(options);
+    design_opts.verify = false;
+    design_opts.preprocess = Some(std::sync::Arc::new(|net: &chortle_netlist::Network| {
+        chortle_logic_opt::optimize(net)
+            .map(|(optimized, _)| optimized)
+            .map_err(|e| e.to_string())
+    }));
+    let offline = chortle::map_design(&design, &design_opts).expect("offline design maps");
+    assert_eq!(mapped.netlist, offline.netlist);
+    assert_eq!((mapped.luts, mapped.depth), (offline.luts, offline.depth));
+
+    // The assembled netlist is itself a parseable sequential design
+    // with the register boundary intact.
+    let (reparsed, _) =
+        chortle_netlist::parse_design(&mapped.netlist).expect("mapped design re-parses");
+    assert_eq!(reparsed.latches().len(), 1);
+
+    // The embedded report carries the design.* and blif.* namespaces
+    // and validates against schema v1.6.
+    chortle_telemetry::schema::validate_report(&mapped.report_json)
+        .expect("per-request design report validates against the schema");
+    assert!(mapped.report_json.contains("\"design.clouds\""));
+    assert!(mapped.report_json.contains("\"blif.latches\""));
+
+    // A v1-pinned client cannot speak the op; the server says so
+    // instead of silently degrading.
+    let mut v1 = Client::connect_versioned(&addr, ProtocolVersion::V1).expect("connect v1");
+    match v1
+        .map_design("d2", &request(SEQ_DESIGN))
+        .expect("v1 round trip")
+    {
+        MapReply::Rejected(rejection) => {
+            assert_eq!(rejection.reason, "bad_request");
+            assert!(
+                rejection.detail.contains("chortle-serve/v2"),
+                "{rejection:?}"
+            );
+        }
+        other => panic!("expected a v1 rejection, got {other:?}"),
+    }
+    shut_down(&addr, run);
+}

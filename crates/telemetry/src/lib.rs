@@ -69,7 +69,7 @@ pub use trace::{
 
 /// Identifier of the report layout, embedded in every JSON report and
 /// checked by [`schema::validate_report`].
-pub const SCHEMA: &str = "chortle-telemetry/v1.5";
+pub const SCHEMA: &str = "chortle-telemetry/v1.6";
 
 /// Default capacity (in events) of a traced handle's event store.
 pub const DEFAULT_TRACE_CAPACITY: usize = 1 << 20;

@@ -58,6 +58,29 @@ pub const CACHE_COUNTERS: &[&str] = &[
     "cache.fn_replayed_luts",
 ];
 
+/// The documented counters of the reserved `design.` namespace — the
+/// sequential-design mapping pipeline (register-bounded combinational
+/// clouds). Closed since schema v1.6: [`validate_report`] rejects any
+/// other `design.*` counter name (the `design.cloud_work` histogram
+/// lives in the histogram section, not here).
+pub const DESIGN_COUNTERS: &[&str] = &[
+    "design.clouds",
+    "design.latches",
+    "design.passthroughs",
+    "design.cloud_luts",
+];
+
+/// The documented counters of the reserved `blif.` namespace — the
+/// streaming BLIF reader's input statistics. Closed since schema v1.6:
+/// [`validate_report`] rejects any other `blif.*` name.
+pub const BLIF_COUNTERS: &[&str] = &[
+    "blif.logical_lines",
+    "blif.models",
+    "blif.subckts",
+    "blif.latches",
+    "blif.exdc_blocks",
+];
+
 /// Validates that `input` is a schema-conformant telemetry report.
 ///
 /// # Errors
@@ -128,6 +151,22 @@ pub fn validate_report(input: &str) -> Result<(), String> {
             return Err(format!(
                 "{path}.name {name:?} is not a documented cache.* counter \
                  (expected one of {CACHE_COUNTERS:?})"
+            ));
+        }
+        // Schema v1.6 closes the sequential-design pipeline's `design.`
+        // namespace and the streaming reader's `blif.` namespace: both
+        // are cross-surface contracts (CLI, daemon, loadgen) and must
+        // not grow undocumented names.
+        if name.starts_with("design.") && !DESIGN_COUNTERS.contains(&name) {
+            return Err(format!(
+                "{path}.name {name:?} is not a documented design.* counter \
+                 (expected one of {DESIGN_COUNTERS:?})"
+            ));
+        }
+        if name.starts_with("blif.") && !BLIF_COUNTERS.contains(&name) {
+            return Err(format!(
+                "{path}.name {name:?} is not a documented blif.* counter \
+                 (expected one of {BLIF_COUNTERS:?})"
             ));
         }
     }
@@ -321,7 +360,7 @@ mod tests {
 
     #[test]
     fn rejects_wrong_schema_tag() {
-        let json = sample_report().replace("chortle-telemetry/v1.5", "bogus/v0");
+        let json = sample_report().replace("chortle-telemetry/v1.6", "bogus/v0");
         let err = validate_report(&json).unwrap_err();
         assert!(err.contains("$.schema"), "{err}");
     }
@@ -329,7 +368,7 @@ mod tests {
     #[test]
     fn rejects_missing_and_extra_keys() {
         let err =
-            validate_report(r#"{"schema":"chortle-telemetry/v1.5","enabled":true}"#).unwrap_err();
+            validate_report(r#"{"schema":"chortle-telemetry/v1.6","enabled":true}"#).unwrap_err();
         assert!(err.contains("expected"), "{err}");
         let json = sample_report().replace("\"counters\":", "\"extras\":");
         assert!(validate_report(&json).is_err());
@@ -425,6 +464,36 @@ mod tests {
         let t = Telemetry::enabled();
         t.add_counter("pack.dropped_inputs", 1);
         validate_report(&t.snapshot().to_json()).expect("pack namespace stays open");
+    }
+
+    #[test]
+    fn design_namespace_is_closed() {
+        // Every documented design.* counter passes, and the
+        // design.cloud_work histogram rides the histogram section.
+        let t = Telemetry::enabled();
+        for name in DESIGN_COUNTERS {
+            t.add_counter(name, 1);
+        }
+        t.record_value("design.cloud_work", 3);
+        validate_report(&t.snapshot().to_json()).expect("documented design counters validate");
+        // … while an undocumented one (e.g. a typo) is rejected by name.
+        let t = Telemetry::enabled();
+        t.add_counter("design.cloud", 1);
+        let err = validate_report(&t.snapshot().to_json()).unwrap_err();
+        assert!(err.contains("design.cloud"), "{err}");
+    }
+
+    #[test]
+    fn blif_namespace_is_closed() {
+        let t = Telemetry::enabled();
+        for name in BLIF_COUNTERS {
+            t.add_counter(name, 1);
+        }
+        validate_report(&t.snapshot().to_json()).expect("documented blif counters validate");
+        let t = Telemetry::enabled();
+        t.add_counter("blif.lines", 1);
+        let err = validate_report(&t.snapshot().to_json()).unwrap_err();
+        assert!(err.contains("blif.lines"), "{err}");
     }
 
     #[test]

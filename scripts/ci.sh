@@ -78,7 +78,8 @@ serve_tmp="$(mktemp -d)"
 serve_pid=""
 cleanup_serve() {
   [[ -n "$serve_pid" ]] && kill "$serve_pid" 2>/dev/null
-  rm -rf "$serve_tmp"
+  [[ -n "${design_pid:-}" ]] && kill "$design_pid" 2>/dev/null
+  rm -rf "$serve_tmp" "${design_tmp:-}"
 }
 trap cleanup_serve EXIT
 
@@ -168,6 +169,70 @@ grep -q '"serve.completed","value":6' "$serve_tmp/report.json" \
   || { echo "ci: final serve report did not count 6 completed requests" >&2; exit 1; }
 grep -q '"serve.batch_frames","value":1' "$serve_tmp/report.json" \
   || { echo "ci: final serve report did not count the map_batch frame" >&2; exit 1; }
+
+echo "==> sequential-design smoke (--design CLI, per-cloud identity, op:\"map_design\")"
+# A hierarchical two-model design with two registers: .subckt flattening,
+# cloud cutting and reassembly all on the line (DESIGN.md 17).
+design_blif='.model seq\n.inputs a b c e\n.outputs z w\n.latch d0 q0 re clk 0\n.latch d1 q1 re clk 0\n.subckt stage p=a q=b r=t\n.names t c d0\n1- 1\n-1 1\n.subckt stage p=q0 q=e r=d1\n.names q1 c z\n11 1\n.names a w\n1 1\n.end\n.model stage\n.inputs p q\n.outputs r\n.names p q r\n11 1\n.end\n'
+design_tmp="$(mktemp -d)"
+printf "$design_blif" > "$design_tmp/seq.blif"
+cargo run -q -p chortle-cli --bin chortle-map -- -k 4 --design --jobs 2 \
+  --clouds "$design_tmp/clouds" "$design_tmp/seq.blif" > "$design_tmp/mapped.blif"
+grep -q '^\.latch' "$design_tmp/mapped.blif" \
+  || { echo "ci: the mapped design lost its latches" >&2; exit 1; }
+# Every cloud the pipeline mapped must be byte-identical to an offline
+# chortle-map run handed that cloud's standalone BLIF.
+cloud_count=0
+for cloud in "$design_tmp"/clouds/cloud*.blif; do
+  case "$cloud" in *.mapped.blif) continue ;; esac
+  cargo run -q -p chortle-cli --bin chortle-map -- -k 4 "$cloud" \
+    > "${cloud%.blif}.offline.blif"
+  cmp -s "${cloud%.blif}.mapped.blif" "${cloud%.blif}.offline.blif" \
+    || { echo "ci: $cloud diverged from the offline mapper" >&2; exit 1; }
+  cloud_count=$((cloud_count + 1))
+done
+[[ "$cloud_count" -ge 2 ]] \
+  || { echo "ci: expected >= 2 clouds, saw $cloud_count" >&2; exit 1; }
+# The assembled netlist must round-trip: it is itself sequential BLIF
+# the design path accepts.
+cargo run -q -p chortle-cli --bin chortle-map -- -k 4 --design \
+  "$design_tmp/mapped.blif" > /dev/null \
+  || { echo "ci: the assembled netlist does not re-parse as a design" >&2; exit 1; }
+
+# op:"map_design" against a dedicated daemon (the main daemon's final
+# report above pins exact request counts), byte-identical to the
+# offline --design run under the same flags.
+cargo run -q -p chortle-server --bin chortle-serve -- --port 0 --workers 2 \
+  > /dev/null 2> "$design_tmp/daemon.log" &
+design_pid=$!
+design_addr=""
+for _ in $(seq 1 100); do
+  design_addr="$(sed -n 's/^listening on //p' "$design_tmp/daemon.log" | head -n1)"
+  [[ -n "$design_addr" ]] && break
+  sleep 0.1
+done
+[[ -n "$design_addr" ]] \
+  || { echo "ci: the design-smoke daemon never reported an address" >&2; exit 1; }
+printf "$design_blif" | cargo run -q -p chortle-server --bin chortle-serve -- \
+  --connect "$design_addr" --design -k 4 --jobs 2 \
+  > "$design_tmp/serve_design.blif" 2>/dev/null \
+  || { echo "ci: the map_design client failed" >&2; exit 1; }
+cmp -s "$design_tmp/serve_design.blif" "$design_tmp/mapped.blif" \
+  || { echo "ci: op:\"map_design\" differs from chortle-map --design" >&2; exit 1; }
+cargo run -q -p chortle-server --bin chortle-serve -- \
+  --connect "$design_addr" --shutdown 2>/dev/null
+for _ in $(seq 1 100); do
+  kill -0 "$design_pid" 2>/dev/null || break
+  sleep 0.1
+done
+if kill -0 "$design_pid" 2>/dev/null; then
+  echo "ci: the design-smoke daemon did not exit after --shutdown" >&2; exit 1
+fi
+wait "$design_pid" \
+  || { echo "ci: the design-smoke daemon exited non-zero" >&2; exit 1; }
+design_pid=""
+rm -rf "$design_tmp"
+design_tmp=""
 
 if [[ "$quick" == 0 ]]; then
   echo "==> bench-diff vs committed snapshots (threshold 40%)"
