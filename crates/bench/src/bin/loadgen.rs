@@ -58,8 +58,16 @@
 //! run-time histogram from the `run_ns` echoed in every response and
 //! asserts it matches the live `op: "stats"` report bucket-for-bucket.
 //!
+//! Every request in every phase carries a distinct `trace_id`, and the
+//! harness asserts the server echoes it back verbatim — the
+//! correlation contract of DESIGN.md §18, exercised across thousands
+//! of frames. The overload phase additionally snapshots the daemon's
+//! sliding-window `op: "metrics"` view mid-burst and after the drain;
+//! both snapshots land in `BENCH_serve.json` and the roll-up invariant
+//! (window totals never exceed cumulative) is asserted live.
+//!
 //! The JSON report (default `results/BENCH_serve.json`) embeds the
-//! server's final aggregate `chortle-telemetry/v1.6` report.
+//! server's final aggregate `chortle-telemetry/v1.7` report.
 
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
@@ -69,8 +77,8 @@ use chortle_circuits::alu;
 use chortle_logic_opt::optimize;
 use chortle_netlist::write_blif;
 use chortle_server::{
-    proto, BatchReply, Client, FlushReply, MapReply, MapRequest, Mapped, ProtocolVersion, Response,
-    ServeOptions, Server, ShutdownReply, StatsReply,
+    proto, BatchReply, Client, FlushReply, MapReply, MapRequest, Mapped, MetricsReply,
+    MetricsSnapshot, ProtocolVersion, Response, ServeOptions, Server, ShutdownReply, StatsReply,
 };
 use chortle_telemetry::{json, Histogram};
 
@@ -171,12 +179,18 @@ fn run_phase(
                             if i % clients != c {
                                 continue;
                             }
+                            let mut req = request(blif, *k);
+                            req.trace_id = format!("t-{name}-p{pass}");
                             let t = Instant::now();
                             let reply = client
-                                .map(&format!("{name}-p{pass}"), &request(blif, *k))
+                                .map(&format!("{name}-p{pass}"), &req)
                                 .expect("map roundtrip");
                             lat.record_duration(t.elapsed());
                             let mapped = expect_mapped(reply, name);
+                            assert_eq!(
+                                mapped.trace_id, req.trace_id,
+                                "{name}: trace_id not echoed"
+                            );
                             run.record(mapped.run_ns);
                             assert_eq!(mapped.netlist, expected[i], "{name}: netlist diverged");
                         }
@@ -236,7 +250,9 @@ fn run_batch_phase(
                                 .iter()
                                 .map(|&i| {
                                     let (_, k, blif) = &workload[i];
-                                    request(blif, *k)
+                                    let mut req = request(blif, *k);
+                                    req.trace_id = format!("t-batch{i}-p{pass}");
+                                    req
                                 })
                                 .collect();
                             let t = Instant::now();
@@ -253,6 +269,11 @@ fn run_batch_phase(
                             for (&i, entry) in chunk.iter().zip(results) {
                                 let name = &workload[i].0;
                                 let mapped = expect_mapped(entry, name);
+                                assert_eq!(
+                                    mapped.trace_id,
+                                    format!("t-batch{i}-p{pass}"),
+                                    "{name}: per-entry trace_id not echoed"
+                                );
                                 run.record(mapped.run_ns);
                                 assert_eq!(
                                     mapped.netlist, expected[i],
@@ -302,8 +323,9 @@ fn run_fanout_phase(addr: &str, blif: &str, k: usize, expected: &str) -> (Phase,
     while !clients.is_empty() {
         assert!(round < 50, "fanout retries did not converge");
         // Open loop: every arrival hits the server before any read.
-        let req = request(blif, k);
         for (i, client) in &mut clients {
+            let mut req = request(blif, k);
+            req.trace_id = format!("t-fan{i}");
             let frame = proto::render_map_request(ProtocolVersion::V2, &format!("fan{i}"), &req);
             client.send_line(&frame).expect("write fanout request");
         }
@@ -313,9 +335,13 @@ fn run_fanout_phase(addr: &str, blif: &str, k: usize, expected: &str) -> (Phase,
             let response = client.recv_response().expect("fanout response");
             match response {
                 Response::MapOk {
-                    netlist, run_ns, ..
+                    netlist,
+                    run_ns,
+                    trace_id,
+                    ..
                 } => {
                     assert_eq!(netlist, expected, "fan{i}: netlist diverged");
+                    assert_eq!(trace_id, format!("t-fan{i}"), "fan{i}: trace_id not echoed");
                     run_hist.record(run_ns);
                     latency.record_duration(start.elapsed());
                 }
@@ -354,6 +380,10 @@ struct Overload {
     shed_initial: usize,
     retry_rounds: usize,
     wall_s: f64,
+    /// `op: "metrics"` right after the first shed-heavy round.
+    metrics_midburst: MetricsSnapshot,
+    /// `op: "metrics"` after the burst drained.
+    metrics_drained: MetricsSnapshot,
 }
 
 impl Overload {
@@ -377,17 +407,24 @@ fn run_overload_phase(blif: &str, k: usize, expected: &str) -> Overload {
 
     let start = Instant::now();
     let mut client = Client::connect(&addr).expect("connect overload client");
+    let mut admin = Client::connect(&addr).expect("connect overload admin");
+    let metrics = |admin: &mut Client, what: &str| match admin.metrics(what).expect("metrics") {
+        MetricsReply::Metrics(m) => m,
+        other => panic!("{what}: expected Metrics, got {other:?}"),
+    };
     let req = request(blif, k);
     let mut pending: Vec<usize> = (0..OVERLOAD_BURST).collect();
     let mut completed = 0usize;
     let mut shed_initial = 0usize;
     let mut rounds = 0usize;
+    let mut metrics_midburst = MetricsSnapshot::default();
     while !pending.is_empty() && rounds < OVERLOAD_MAX_ROUNDS {
         for i in &pending {
             let mut req = req.clone();
             // Cache off: every admitted request costs the full pipeline,
             // so the one worker stays busy while the burst piles up.
             req.cache = chortle::CacheMode::Off;
+            req.trace_id = format!("t-burst{i}");
             let frame = proto::render_map_request(ProtocolVersion::V2, &format!("burst{i}"), &req);
             client.send_line(&frame).expect("write burst request");
         }
@@ -396,8 +433,16 @@ fn run_overload_phase(blif: &str, k: usize, expected: &str) -> Overload {
         for &i in &pending {
             let response = client.recv_response().expect("burst response");
             match response {
-                Response::MapOk { netlist, .. } => {
-                    assert_eq!(netlist, expected, "burst{i}: netlist diverged");
+                Response::MapOk {
+                    id,
+                    netlist,
+                    trace_id,
+                    ..
+                } => {
+                    assert_eq!(netlist, expected, "{id}: netlist diverged");
+                    // Pipelined responses complete out of send order, so
+                    // the correlation check keys on the response's id.
+                    assert_eq!(trace_id, format!("t-{id}"), "{id}: trace_id not echoed");
                     completed += 1;
                 }
                 Response::Rejected { rejection, .. } => {
@@ -420,11 +465,34 @@ fn run_overload_phase(blif: &str, k: usize, expected: &str) -> Overload {
         // One answer per pipelined frame, every round — never silence.
         pending = next;
         rounds += 1;
+        if rounds == 1 {
+            // The shed-heavy moment: the window must already account
+            // for the first round's rejections.
+            metrics_midburst = metrics(&mut admin, "overload-metrics-mid");
+            assert!(
+                metrics_midburst.window_shed > 0,
+                "mid-burst window sees the first round's sheds: {metrics_midburst:?}"
+            );
+        }
         if !pending.is_empty() {
             std::thread::sleep(Duration::from_millis(max_wait_ms.clamp(1, 1_000)));
         }
     }
     let wall_s = start.elapsed().as_secs_f64();
+
+    // After the drain: windowed totals roll up to (never exceed) the
+    // cumulative ones, and the cumulative side accounts for the whole
+    // burst.
+    let metrics_drained = metrics(&mut admin, "overload-metrics-drained");
+    assert!(
+        metrics_drained.window_completed <= metrics_drained.cumulative_completed
+            && metrics_drained.window_shed <= metrics_drained.cumulative_shed,
+        "window is a suffix of cumulative history: {metrics_drained:?}"
+    );
+    assert_eq!(
+        metrics_drained.cumulative_completed, completed as u64,
+        "cumulative completions match the client-side tally"
+    );
 
     let mut closer = Client::connect(&addr).expect("connect overload shutdown");
     match closer
@@ -440,7 +508,32 @@ fn run_overload_phase(blif: &str, k: usize, expected: &str) -> Overload {
         shed_initial,
         retry_rounds: rounds,
         wall_s,
+        metrics_midburst,
+        metrics_drained,
     }
+}
+
+/// Renders an `op: "metrics"` snapshot as a `BENCH_serve.json` object.
+fn metrics_object(m: &MetricsSnapshot) -> String {
+    format!(
+        "{{ \"window_s\": {}, \"seconds\": {}, \"qps\": {:.3}, \"shed_rate\": {:.4}, \
+         \"p50_ms\": {:.4}, \"p95_ms\": {:.4}, \"p99_ms\": {:.4}, \
+         \"window\": {{ \"accepted\": {}, \"completed\": {}, \"shed\": {} }}, \
+         \"cumulative\": {{ \"accepted\": {}, \"completed\": {}, \"shed\": {} }} }}",
+        m.window_s,
+        m.seconds,
+        m.qps,
+        m.shed_rate,
+        m.p50_ns as f64 / 1e6,
+        m.p95_ns as f64 / 1e6,
+        m.p99_ns as f64 / 1e6,
+        m.window_accepted,
+        m.window_completed,
+        m.window_shed,
+        m.cumulative_accepted,
+        m.cumulative_completed,
+        m.cumulative_shed,
+    )
 }
 
 /// A hierarchical sequential fixture for the design phase: two models,
@@ -479,12 +572,15 @@ fn run_design_phase(
     for pass in 0..PASSES {
         let mut client = Client::connect(addr).expect("connect design client");
         for (i, (name, blif)) in designs.iter().enumerate() {
+            let mut req = request(blif, 4);
+            req.trace_id = format!("t-{name}-d{pass}");
             let t = Instant::now();
             let reply = client
-                .map_design(&format!("{name}-d{pass}"), &request(blif, 4))
+                .map_design(&format!("{name}-d{pass}"), &req)
                 .expect("map_design roundtrip");
             latency.record_duration(t.elapsed());
             let mapped = expect_mapped(reply, name);
+            assert_eq!(mapped.trace_id, req.trace_id, "{name}: trace_id not echoed");
             run_hist.record(mapped.run_ns);
             assert_eq!(
                 mapped.netlist, expected[i],
@@ -570,11 +666,14 @@ fn main() {
     let expected: Vec<String> = workload
         .iter()
         .map(|(name, k, blif)| {
+            let mut req = request(blif, *k);
+            req.trace_id = format!("t-seed-{name}");
             let mapped = expect_mapped(
-                seed.map(&format!("seed-{name}"), &request(blif, *k))
+                seed.map(&format!("seed-{name}"), &req)
                     .expect("seed roundtrip"),
                 name,
             );
+            assert_eq!(mapped.trace_id, req.trace_id, "{name}: trace_id not echoed");
             server_run.record(mapped.run_ns);
             mapped.netlist
         })
@@ -876,6 +975,15 @@ fn main() {
         overload.retry_rounds,
         overload.completion_rate(),
         overload.wall_s,
+    );
+    // The overload daemon's own sliding-window view, mid-burst (shed
+    // rate at its peak) and after the drain — the op:"metrics" numbers
+    // a dashboard would have shown during the incident.
+    let _ = writeln!(
+        json,
+        "  \"overload_metrics\": {{ \"midburst\": {}, \"drained\": {} }},",
+        metrics_object(&overload.metrics_midburst),
+        metrics_object(&overload.metrics_drained),
     );
     let _ = writeln!(json, "  \"server_report\": {}", summary.report.to_json());
     let _ = writeln!(json, "}}");

@@ -41,7 +41,7 @@
 //! speedup, so numbers from single-core machines read as what they are.
 //!
 //! A third pass per K re-maps the suite with an *enabled* telemetry sink
-//! and embeds the aggregated `chortle-telemetry/v1.6` report — per-stage
+//! and embeds the aggregated `chortle-telemetry/v1.7` report — per-stage
 //! wall time, DP counters, wavefront occupancy — in a `"telemetry"`
 //! section, together with the instrumentation overhead relative to the
 //! (disabled-sink) parallel row.
@@ -141,7 +141,7 @@ struct TelemetryRow {
     /// One suite pass with an enabled sink (same jobs as the parallel
     /// row), for the instrumentation-overhead column.
     enabled_s: f64,
-    /// The aggregated `chortle-telemetry/v1.6` report of that pass,
+    /// The aggregated `chortle-telemetry/v1.7` report of that pass,
     /// embedded verbatim (it is compact single-line JSON).
     report_json: String,
 }

@@ -784,6 +784,33 @@ fn report_cache_counters(telemetry: &Telemetry, options: &MapOptions, mapped: &[
             seen_fn.insert(fk);
         }
     }
+    {
+        // Per-run cache-tier attribution for operators tailing the
+        // structured log — the same numbers the counters accumulate,
+        // visible per request instead of only in aggregate.
+        use chortle_telemetry::log::{self, FieldValue, Level};
+        if log::enabled(Level::Debug) {
+            let mode = match options.cache {
+                CacheMode::Off => "off",
+                CacheMode::Tree => "tree",
+                CacheMode::Shared => "shared",
+                CacheMode::Fn => "fn",
+            };
+            log::event(
+                Level::Debug,
+                "map.cache",
+                "cache tier attribution",
+                &[
+                    ("mode", FieldValue::Str(mode)),
+                    ("hits", FieldValue::U64(hits)),
+                    ("misses", FieldValue::U64(misses)),
+                    ("fn_hits", FieldValue::U64(fn_hits)),
+                    ("fn_misses", FieldValue::U64(fn_misses)),
+                    ("replayed_luts", FieldValue::U64(replayed)),
+                ],
+            );
+        }
+    }
     telemetry.add_counter(stats::CACHE_HITS, hits);
     telemetry.add_counter(stats::CACHE_MISSES, misses);
     telemetry.add_counter(stats::CACHE_REPLAYED_LUTS, replayed);

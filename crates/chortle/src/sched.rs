@@ -682,11 +682,31 @@ fn run_task_caught(task: Task, scratch: &mut DpScratch, worker: u32) -> bool {
         run_chunk(&wave, range, scratch, worker)
     }));
     if outcome.is_err() {
+        log_worker_panic("chunk", worker);
         wave.fail(MapError::WorkerPanicked);
     }
     drop(wave); // before the latch: the waiting driver owns the last refs
     drop(guard);
     outcome.is_ok()
+}
+
+/// Emits the structured-log record of a recovered worker panic (the
+/// process-level panic hook already saw the unwind itself; this is the
+/// recovery side — the pool survived and the request will be answered
+/// `WorkerPanicked`). A no-op while logging is off.
+fn log_worker_panic(kind: &str, index: u32) {
+    use chortle_telemetry::log::{self, FieldValue, Level};
+    if log::enabled(Level::Error) {
+        log::event(
+            Level::Error,
+            "sched.pool",
+            "worker recovered from a panicking task",
+            &[
+                ("kind", FieldValue::Str(kind)),
+                ("index", FieldValue::U64(u64::from(index))),
+            ],
+        );
+    }
 }
 
 /// Runs one indexed item on the submitting thread (the help-drain
@@ -710,6 +730,7 @@ fn run_item_caught(task: ItemTask) -> bool {
     let guard = ArriveGuard(&latch);
     let outcome = catch_unwind(AssertUnwindSafe(|| (job.run)(index)));
     if outcome.is_err() {
+        log_worker_panic("item", index as u32);
         job.panicked.store(true, Ordering::Release);
     }
     drop(job); // before the latch: the waiting driver owns the last refs

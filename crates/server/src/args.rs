@@ -51,6 +51,21 @@ pub const SERVE_FLAGS: &[ServeFlag] = &[
         help: "completed requests the op:\"trace\" ring remembers (default 128)",
     },
     ServeFlag {
+        name: "--metrics-addr",
+        value: Some("ADDR"),
+        help: "serve Prometheus text exposition on ADDR (TCP mode only)",
+    },
+    ServeFlag {
+        name: "--log-level",
+        value: Some("LEVEL"),
+        help: "structured JSONL log level: off|error|warn|info|debug|trace (default off)",
+    },
+    ServeFlag {
+        name: "--log-file",
+        value: Some("PATH"),
+        help: "append structured log events to PATH instead of stderr",
+    },
+    ServeFlag {
         name: "--stdio",
         value: None,
         help: "serve newline-delimited JSON on stdin/stdout instead of TCP",
@@ -77,6 +92,13 @@ pub struct ServeArgs {
     pub batch_limit: usize,
     /// `op: "trace"` ring capacity.
     pub trace_capacity: usize,
+    /// Prometheus exposition address (`None` disables the endpoint).
+    pub metrics_addr: Option<String>,
+    /// Structured-log level flag (overrides `CHORTLE_LOG`; `None`
+    /// defers to the environment, which defaults to off).
+    pub log_level: Option<String>,
+    /// Structured-log destination flag (overrides `CHORTLE_LOG_FILE`).
+    pub log_file: Option<String>,
     /// Serve stdin/stdout instead of TCP.
     pub stdio: bool,
 }
@@ -91,6 +113,9 @@ impl Default for ServeArgs {
             quota: options.client_quota,
             batch_limit: options.batch_limit,
             trace_capacity: options.trace_capacity,
+            metrics_addr: None,
+            log_level: None,
+            log_file: None,
             stdio: false,
         }
     }
@@ -145,6 +170,15 @@ impl ServeArgs {
                 "--quota" => parsed.quota = number("--quota")?,
                 "--batch-limit" => parsed.batch_limit = number("--batch-limit")?,
                 "--trace-capacity" => parsed.trace_capacity = number("--trace-capacity")?,
+                "--metrics-addr" => parsed.metrics_addr = Some(value.clone()),
+                "--log-level" => {
+                    // Validate at parse time so a typo fails fast with
+                    // the flag's name, not at logger init.
+                    chortle_telemetry::log::parse_level(&value)
+                        .map_err(|e| format!("invalid value for --log-level: {e}"))?;
+                    parsed.log_level = Some(value.clone());
+                }
+                "--log-file" => parsed.log_file = Some(value.clone()),
                 "--stdio" => parsed.stdio = true,
                 "--help" => {
                     print_serve_help(invocation);
@@ -166,6 +200,7 @@ impl ServeArgs {
             .client_quota(self.quota)
             .batch_limit(self.batch_limit)
             .trace_capacity(self.trace_capacity)
+            .metrics_addr(self.metrics_addr.clone())
             .build()
     }
 }
@@ -228,6 +263,12 @@ mod tests {
                 "16",
                 "--trace-capacity",
                 "16",
+                "--metrics-addr",
+                "127.0.0.1:0",
+                "--log-level",
+                "debug",
+                "--log-file",
+                "/tmp/serve.log",
                 "--stdio",
             ]),
         )
@@ -242,6 +283,9 @@ mod tests {
                 quota: 3,
                 batch_limit: 16,
                 trace_capacity: 16,
+                metrics_addr: Some("127.0.0.1:0".into()),
+                log_level: Some("debug".into()),
+                log_file: Some("/tmp/serve.log".into()),
                 stdio: true,
             }
         );
@@ -250,6 +294,17 @@ mod tests {
         assert_eq!(options.client_quota, 3);
         assert_eq!(options.batch_limit, 16);
         assert_eq!(options.trace_capacity, 16);
+        assert_eq!(options.metrics_addr.as_deref(), Some("127.0.0.1:0"));
+    }
+
+    #[test]
+    fn rejects_bad_log_levels_at_parse_time() {
+        let err = ServeArgs::parse("x", strings(&["--log-level", "loud"])).unwrap_err();
+        assert!(err.contains("--log-level"), "{err}");
+        let parsed = ServeArgs::parse("x", strings(&["--log-level", "off"]))
+            .expect("parses")
+            .expect("not help");
+        assert_eq!(parsed.log_level.as_deref(), Some("off"));
     }
 
     #[test]

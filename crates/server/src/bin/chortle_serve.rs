@@ -22,10 +22,50 @@ use std::process::ExitCode;
 
 use chortle_server::{
     print_serve_help, run_daemon, BatchReply, Client, FlushReply, HelloReply, MapReply, MapRequest,
-    ProtocolVersion, Rejection, ShutdownReply, StatsReply, TraceReply, MAX_PRIORITY,
+    MetricsReply, ProtocolVersion, Rejection, ShutdownReply, StatsReply, TraceReply, MAX_PRIORITY,
 };
+use chortle_telemetry::log::{self, FieldValue, Level};
+
+/// Installs a process-level panic hook that emits a structured log
+/// event (with the crash-context ring flushed to stderr) before the
+/// default hook prints its message — so an operator tailing the JSONL
+/// log sees *what the daemon was doing* when a thread died, not just
+/// the panic line. A no-op while logging is off. Worker panics are
+/// still recovered by the scheduler's `catch_unwind` path; this hook
+/// observes them on the way through.
+fn install_panic_hook() {
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        if log::enabled(Level::Error) {
+            let payload = info
+                .payload()
+                .downcast_ref::<&str>()
+                .copied()
+                .or_else(|| info.payload().downcast_ref::<String>().map(String::as_str))
+                .unwrap_or("non-string panic payload");
+            let location = info
+                .location()
+                .map_or_else(|| "unknown".to_owned(), ToString::to_string);
+            log::event(
+                Level::Error,
+                "serve.panic",
+                "thread panicked",
+                &[
+                    ("payload", FieldValue::Str(payload)),
+                    ("location", FieldValue::Str(&location)),
+                    (
+                        "ring_depth",
+                        FieldValue::U64(log::ring_snapshot().len() as u64),
+                    ),
+                ],
+            );
+        }
+        default_hook(info);
+    }));
+}
 
 fn main() -> ExitCode {
+    install_panic_hook();
     let mut args = std::env::args().skip(1).peekable();
     match args.peek().map(String::as_str) {
         Some("--version" | "-V") => {
@@ -51,6 +91,7 @@ enum ClientOp {
     Hello,
     Flush,
     Stats,
+    Metrics,
     Trace,
     Shutdown,
 }
@@ -84,10 +125,13 @@ fn print_client_help() {
     println!("  --priority N        admission priority 0-9, higher first (v2; default 0)");
     println!("  --proto VERSION     wire protocol: v2 (default) or v1");
     println!("  --id ID             correlation id echoed in the response");
+    println!("  --trace-id ID       end-to-end trace id echoed through response,");
+    println!("                      op:\"trace\" ring, and server logs (v2)");
     println!("  --batch             send all inputs as one op:\"map_batch\" frame (v2)");
     println!("  --hello             print the server's versions and limits instead");
     println!("  --flush             discard the server's warm cache instead of mapping");
     println!("  --stats             print the server's aggregate report instead of mapping");
+    println!("  --metrics           print the server's sliding-window metrics (v2)");
     println!("  --trace             print the server's recent-request trace ring instead");
     println!("  --shutdown          ask the server to drain and exit instead of mapping");
 }
@@ -171,10 +215,12 @@ fn parse_client_args(
                 }
             }
             "--id" => id = value("--id")?,
+            "--trace-id" => req.trace_id = value("--trace-id")?,
             "--batch" => batch = true,
             "--hello" => admin = Some(ClientOp::Hello),
             "--flush" => admin = Some(ClientOp::Flush),
             "--stats" => admin = Some(ClientOp::Stats),
+            "--metrics" => admin = Some(ClientOp::Metrics),
             "--trace" => admin = Some(ClientOp::Trace),
             "--shutdown" => admin = Some(ClientOp::Shutdown),
             "--help" | "-h" => {
@@ -304,12 +350,47 @@ fn client_main(mut args: impl Iterator<Item = String>) -> ExitCode {
             StatsReply::Rejected(r) => report_rejection(&r),
             _ => unexpected_reply(),
         }),
+        ClientOp::Metrics => client.metrics(&parsed.id).map(|reply| match reply {
+            MetricsReply::Metrics(m) => {
+                eprintln!(
+                    "window {}s ({} observed): {:.2} qps, shed {:.1}%, \
+                     cache hit {:.1}% / fn {:.1}%",
+                    m.window_s,
+                    m.seconds,
+                    m.qps,
+                    m.shed_rate * 100.0,
+                    m.cache_hit_rate * 100.0,
+                    m.fn_cache_hit_rate * 100.0
+                );
+                eprintln!(
+                    "latency p50 {}ns p95 {}ns p99 {}ns; window {}/{}/{} \
+                     accepted/completed/shed (cumulative {}/{}/{})",
+                    m.p50_ns,
+                    m.p95_ns,
+                    m.p99_ns,
+                    m.window_accepted,
+                    m.window_completed,
+                    m.window_shed,
+                    m.cumulative_accepted,
+                    m.cumulative_completed,
+                    m.cumulative_shed
+                );
+                ExitCode::SUCCESS
+            }
+            MetricsReply::Rejected(r) => report_rejection(&r),
+            _ => unexpected_reply(),
+        }),
         ClientOp::Trace => client.trace(&parsed.id).map(|reply| match reply {
             TraceReply::Trace { capacity, requests } => {
                 eprintln!("{} of {capacity} remembered requests", requests.len());
                 for r in requests {
+                    let trace = if r.trace_id.is_empty() {
+                        String::new()
+                    } else {
+                        format!("\ttrace {}", r.trace_id)
+                    };
                     println!(
-                        "{}\t{}\tqueue {}ns\trun {}ns\t{} LUTs depth {}",
+                        "{}\t{}\tqueue {}ns\trun {}ns\t{} LUTs depth {}{trace}",
                         r.id, r.outcome, r.queue_ns, r.run_ns, r.luts, r.depth
                     );
                 }

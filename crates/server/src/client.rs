@@ -22,8 +22,8 @@ use chortle::WarmStats;
 use chortle_telemetry::json::{self, Value};
 
 use crate::proto::{
-    render_admin_request, render_batch_request, render_map_request, MapRequest, Op,
-    ProtocolVersion, RequestTrace, PROTOCOLS,
+    render_admin_request, render_batch_request, render_map_request, MapRequest, MetricsSnapshot,
+    Op, ProtocolVersion, RequestTrace, PROTOCOLS,
 };
 
 /// A parsed response line — the raw wire view, either version.
@@ -47,6 +47,9 @@ pub enum Response {
         netlist: String,
         /// The embedded per-request telemetry report, re-serialized.
         report_json: String,
+        /// The request's `trace_id`, echoed verbatim (empty when the
+        /// request carried none).
+        trace_id: String,
     },
     /// `status: "ok"` for `op: "map_batch"` (v2) — one entry per
     /// request, in request order.
@@ -88,10 +91,21 @@ pub enum Response {
         queue_depth: usize,
         /// The deepest the admission queue has ever been.
         queue_high_water: usize,
+        /// Completed-request traces evicted from the bounded
+        /// `op: "trace"` ring (`None` on v1 — its shape is frozen).
+        trace_dropped: Option<u64>,
         /// Per-tier warm-cache entry counts and lookup tallies.
         warm: WarmStats,
         /// The aggregate server report, re-serialized.
         report_json: String,
+    },
+    /// `status: "ok"` for `op: "metrics"` (v2) — the sliding-window
+    /// metrics snapshot.
+    MetricsOk {
+        /// Echoed correlation id.
+        id: String,
+        /// The windowed rates, quantiles, and roll-up totals.
+        metrics: MetricsSnapshot,
     },
     /// `status: "ok"` for `op: "trace"` — the ring of recently
     /// completed requests, oldest first.
@@ -152,6 +166,9 @@ pub struct Mapped {
     pub netlist: String,
     /// The embedded per-request telemetry report, re-serialized.
     pub report_json: String,
+    /// The request's `trace_id`, echoed verbatim (empty when the
+    /// request carried none).
+    pub trace_id: String,
 }
 
 /// Outcome of [`Client::map`] — also the per-entry shape inside
@@ -223,6 +240,9 @@ pub enum StatsReply {
         queue_depth: usize,
         /// The deepest the admission queue has ever been.
         queue_high_water: usize,
+        /// Completed-request traces evicted from the bounded
+        /// `op: "trace"` ring (`None` on v1 — its shape is frozen).
+        trace_dropped: Option<u64>,
         /// Per-tier warm-cache entry counts and lookup tallies
         /// (hit rates via [`WarmStats::hit_rate`] /
         /// [`WarmStats::fn_hit_rate`]).
@@ -231,6 +251,17 @@ pub enum StatsReply {
         report_json: String,
     },
     /// The request was rejected.
+    Rejected(Rejection),
+}
+
+/// Outcome of [`Client::metrics`].
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum MetricsReply {
+    /// The sliding-window metrics snapshot.
+    Metrics(MetricsSnapshot),
+    /// The request was rejected (e.g. sent over v1 — the op is
+    /// v2-only).
     Rejected(Rejection),
 }
 
@@ -327,6 +358,7 @@ pub fn parse_response(line: &str) -> Result<Response, String> {
                     .get("report")
                     .map(Value::to_json)
                     .ok_or("response is missing \"report\"")?,
+                trace_id: optional_trace_id(&value),
             }),
             "map_batch" => Ok(Response::BatchOk {
                 id,
@@ -362,11 +394,16 @@ pub fn parse_response(line: &str) -> Result<Response, String> {
                 uptime_s: u64_field("uptime_s")?,
                 queue_depth: u64_field("queue_depth")? as usize,
                 queue_high_water: u64_field("queue_high_water")? as usize,
+                trace_dropped: value.get("trace_dropped").and_then(Value::as_u64),
                 warm: parse_warm_stats(value.get("cache").ok_or("response is missing \"cache\"")?)?,
                 report_json: value
                     .get("report")
                     .map(Value::to_json)
                     .ok_or("response is missing \"report\"")?,
+            }),
+            "metrics" => Ok(Response::MetricsOk {
+                id,
+                metrics: parse_metrics(&value)?,
             }),
             "trace" => Ok(Response::TraceOk {
                 id,
@@ -436,12 +473,63 @@ fn parse_batch_results(value: &Value) -> Result<Vec<MapReply>, String> {
                             .get("report")
                             .map(Value::to_json)
                             .ok_or("batch entry is missing \"report\"")?,
+                        trace_id: optional_trace_id(entry),
                     }))
                 }
                 other => Err(format!("unknown batch entry status {other:?}")),
             }
         })
         .collect()
+}
+
+/// The optional `trace_id` echo — empty when the request carried none
+/// (the server elides the key entirely then).
+fn optional_trace_id(value: &Value) -> String {
+    value
+        .get("trace_id")
+        .and_then(Value::as_str)
+        .unwrap_or("")
+        .to_owned()
+}
+
+/// Parses the windowed-metrics fragment of a v2 `metrics` response.
+fn parse_metrics(value: &Value) -> Result<MetricsSnapshot, String> {
+    let int = |key: &str| {
+        value
+            .get(key)
+            .and_then(Value::as_u64)
+            .ok_or_else(|| format!("metrics response is missing integer field {key:?}"))
+    };
+    let float = |key: &str| {
+        value
+            .get(key)
+            .and_then(Value::as_f64)
+            .ok_or_else(|| format!("metrics response is missing number field {key:?}"))
+    };
+    let nested = |object: &str, key: &str| {
+        value
+            .get(object)
+            .and_then(|o| o.get(key))
+            .and_then(Value::as_u64)
+            .ok_or_else(|| format!("metrics response is missing \"{object}.{key}\""))
+    };
+    Ok(MetricsSnapshot {
+        window_s: int("window_s")?,
+        seconds: int("seconds")?,
+        qps: float("qps")?,
+        shed_rate: float("shed_rate")?,
+        cache_hit_rate: float("cache_hit_rate")?,
+        fn_cache_hit_rate: float("fn_cache_hit_rate")?,
+        p50_ns: int("p50_ns")?,
+        p95_ns: int("p95_ns")?,
+        p99_ns: int("p99_ns")?,
+        window_accepted: nested("window", "accepted")?,
+        window_completed: nested("window", "completed")?,
+        window_shed: nested("window", "shed")?,
+        cumulative_accepted: nested("cumulative", "accepted")?,
+        cumulative_completed: nested("cumulative", "completed")?,
+        cumulative_shed: nested("cumulative", "shed")?,
+    })
 }
 
 fn parse_trace_entries(value: &Value) -> Result<Vec<RequestTrace>, String> {
@@ -470,6 +558,7 @@ fn parse_trace_entries(value: &Value) -> Result<Vec<RequestTrace>, String> {
                 run_ns: number("run_ns")?,
                 luts: number("luts")? as usize,
                 depth: number("depth")? as usize,
+                trace_id: optional_trace_id(e),
             })
         })
         .collect()
@@ -484,6 +573,7 @@ fn mapped_from(response: Response) -> io::Result<MapReply> {
             run_ns,
             netlist,
             report_json,
+            trace_id,
             ..
         } => Ok(MapReply::Mapped(Mapped {
             luts,
@@ -492,6 +582,7 @@ fn mapped_from(response: Response) -> io::Result<MapReply> {
             run_ns,
             netlist,
             report_json,
+            trace_id,
         })),
         Response::Rejected { rejection, .. } => Ok(MapReply::Rejected(rejection)),
         other => Err(unexpected("map", &other)),
@@ -683,6 +774,7 @@ impl Client {
                 uptime_s,
                 queue_depth,
                 queue_high_water,
+                trace_dropped,
                 warm,
                 report_json,
                 ..
@@ -691,11 +783,27 @@ impl Client {
                 uptime_s,
                 queue_depth,
                 queue_high_water,
+                trace_dropped,
                 warm,
                 report_json,
             }),
             Response::Rejected { rejection, .. } => Ok(StatsReply::Rejected(rejection)),
             other => Err(unexpected("stats", &other)),
+        }
+    }
+
+    /// Fetches the sliding-window metrics snapshot (v2 only — a v1
+    /// client gets a protocol rejection back from the server).
+    ///
+    /// # Errors
+    ///
+    /// I/O failures and malformed or unrelated response lines.
+    pub fn metrics(&mut self, id: &str) -> io::Result<MetricsReply> {
+        let line = render_admin_request(self.version, id, &Op::Metrics);
+        match self.roundtrip(&line)? {
+            Response::MetricsOk { metrics, .. } => Ok(MetricsReply::Metrics(metrics)),
+            Response::Rejected { rejection, .. } => Ok(MetricsReply::Rejected(rejection)),
+            other => Err(unexpected("metrics", &other)),
         }
     }
 
@@ -757,6 +865,7 @@ mod tests {
             run_ns: 5_000,
             netlist: ".model mapped\n.end\n".into(),
             report_json: "{\"a\":1}".into(),
+            trace_id: String::new(),
         }
     }
 
@@ -773,11 +882,13 @@ mod tests {
                     run_ns,
                     netlist,
                     report_json,
+                    trace_id,
                 } => {
                     assert_eq!((id.as_str(), luts, depth, cache_generation), ("q", 9, 3, 2));
                     assert_eq!(run_ns, 5_000);
                     assert_eq!(netlist, ".model mapped\n.end\n");
                     assert_eq!(report_json, "{\"a\":1}");
+                    assert_eq!(trace_id, "", "no trace_id sent, none echoed");
                 }
                 other => panic!("expected MapOk, got {other:?}"),
             }
@@ -795,6 +906,7 @@ mod tests {
             uptime_s: 9,
             queue_depth: 0,
             queue_high_water: 4,
+            trace_dropped: 0,
         };
         let stats = crate::proto::render_stats_ok(V1, "s", &gauges, &tiers, "{\"a\":1}");
         match parse_response(&stats).expect("parses") {
@@ -819,6 +931,7 @@ mod tests {
             run_ns: 20,
             luts: 0,
             depth: 0,
+            trace_id: "corr-7".into(),
         }];
         let trace = crate::proto::render_trace_ok(V2, "t", 4, &ring);
         match parse_response(&trace).expect("parses") {

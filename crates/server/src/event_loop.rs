@@ -34,13 +34,18 @@
 //! connection per iteration.
 
 use std::collections::HashMap;
-use std::net::TcpListener;
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
+use chortle_telemetry::log::{self, FieldValue, Level};
+use chortle_telemetry::prom;
+
 use crate::admission::ShedReason;
 use crate::conn::Conn;
+use crate::metrics::Cum;
 use crate::proto::{
     self, parse_request, BatchItem, MapRequest, Op, ProtocolVersion, RejectReason, RequestTrace,
     ShedHint,
@@ -172,17 +177,42 @@ const ACTIVE_WINDOW: Duration = Duration::from_millis(20);
 const FAST_POLL: Duration = Duration::from_micros(200);
 const IDLE_POLL: Duration = Duration::from_millis(2);
 
-/// Runs the event loop until shutdown completes its drain.
-pub(crate) fn run(listener: &TcpListener, shared: &Arc<Shared>) {
+/// Runs the event loop until shutdown completes its drain. `metrics`
+/// is the optional Prometheus exposition listener (`--metrics-addr`) —
+/// scrapes are answered inline on this thread, one short-lived
+/// HTTP/1.0 connection per scrape.
+pub(crate) fn run(listener: &TcpListener, metrics: Option<&TcpListener>, shared: &Arc<Shared>) {
     listener
         .set_nonblocking(true)
         .expect("listener supports non-blocking mode");
+    if let Some(metrics) = metrics {
+        metrics
+            .set_nonblocking(true)
+            .expect("metrics listener supports non-blocking mode");
+    }
     let mut conns: HashMap<u64, Conn> = HashMap::new();
     let mut next_cid: u64 = 1;
     let mut lines: Vec<String> = Vec::new();
     let mut last_active = Instant::now();
     loop {
         let mut progressed = false;
+
+        // 0. Once per second, roll the sliding metrics window forward
+        // (the check is a lock + compare; the telemetry snapshot only
+        // happens on an actual boundary).
+        let sec = shared.started.elapsed().as_secs();
+        if shared.window.needs_roll(sec) {
+            let now = Cum::capture(&shared.telemetry.snapshot(), &shared.warm.stats());
+            shared.window.observe(sec, &now);
+        }
+
+        // 0b. Answer any pending Prometheus scrapes.
+        if let Some(metrics) = metrics {
+            while let Ok((stream, _)) = metrics.accept() {
+                serve_metrics_scrape(stream, shared);
+                progressed = true;
+            }
+        }
 
         // 1. Accept everything pending (draining servers accept nothing
         // new; existing connections are still served out).
@@ -358,13 +388,28 @@ pub(crate) fn dispatch(shared: &Arc<Shared>, cid: u64, line: &str) {
                 &request.id,
                 &proto::StatsGauges {
                     cache_generation: shared.warm.generation(),
+                    // Monotonic by construction: `started` is an
+                    // `Instant`, so a stepping wall clock (NTP, DST)
+                    // can never make uptime jump or run backwards.
                     uptime_s: shared.started.elapsed().as_secs(),
                     queue_depth: shared.admission.len(),
                     queue_high_water: shared.admission.high_water(),
+                    trace_dropped: shared.trace_evicted.load(Ordering::Relaxed),
                 },
                 &shared.warm.stats(),
                 &shared.telemetry.snapshot().to_json(),
             );
+            shared.completions.push(cid, frame);
+        }
+        Op::Metrics => {
+            telemetry.add_counter(stats::METRICS_REQUESTS, 1);
+            // Roll first so a daemon without event-loop traffic (stdio
+            // mode, or an idle loop) still ages its window before
+            // answering.
+            let sec = shared.started.elapsed().as_secs();
+            let now = Cum::capture(&telemetry.snapshot(), &shared.warm.stats());
+            shared.window.observe(sec, &now);
+            let frame = proto::render_metrics_ok(&request.id, &shared.window.snapshot(&now));
             shared.completions.push(cid, frame);
         }
         Op::Trace => {
@@ -473,6 +518,22 @@ fn admit(
             if hint.is_some() && version == ProtocolVersion::V2 {
                 telemetry.add_counter(stats::ADMISSION_HINTED, 1);
             }
+            if log::enabled(Level::Warn) {
+                log::event(
+                    Level::Warn,
+                    "serve.admission",
+                    "request shed",
+                    &[
+                        ("id", FieldValue::Str(&job.id)),
+                        ("trace_id", FieldValue::Str(&job.req.trace_id)),
+                        ("reason", FieldValue::Str(reason.as_str())),
+                        (
+                            "queue_depth",
+                            FieldValue::U64(shared.admission.len() as u64),
+                        ),
+                    ],
+                );
+            }
             resolve_rejected(
                 shared, cid, version, &job.id, job.batch, reason, &detail, hint,
             );
@@ -513,4 +574,98 @@ fn resolve_rejected(
             }
         }
     }
+}
+
+/// Renders the Prometheus text exposition for one scrape: the full
+/// aggregate report (counters as `counter`, latency histograms as
+/// `summary`) plus live gauges — uptime, queue depths, trace-ring
+/// drops, and the sliding-window rates.
+fn exposition(shared: &Arc<Shared>) -> String {
+    let report = shared.telemetry.snapshot();
+    let warm = shared.warm.stats();
+    let sec = shared.started.elapsed().as_secs();
+    let now = Cum::capture(&report, &warm);
+    shared.window.observe(sec, &now);
+    let m = shared.window.snapshot(&now);
+    let gauges: &[prom::Gauge<'_>] = &[
+        (
+            "serve.uptime_s",
+            "Whole seconds since the daemon started (monotonic clock).",
+            sec as f64,
+        ),
+        (
+            "serve.queue_depth",
+            "Jobs queued at scrape time.",
+            shared.admission.len() as f64,
+        ),
+        (
+            "serve.queue_high_water",
+            "Deepest the admission queue has ever been.",
+            shared.admission.high_water() as f64,
+        ),
+        (
+            "serve.trace_ring_dropped",
+            "Completed-request traces evicted from the bounded op:\"trace\" ring.",
+            shared.trace_evicted.load(Ordering::Relaxed) as f64,
+        ),
+        (
+            "serve.window_qps",
+            "Completed requests per second over the sliding window.",
+            m.qps,
+        ),
+        (
+            "serve.window_shed_rate",
+            "Shed fraction of admission attempts over the sliding window.",
+            m.shed_rate,
+        ),
+        (
+            "serve.window_cache_hit_rate",
+            "Structural warm-cache hit rate over the sliding window.",
+            m.cache_hit_rate,
+        ),
+        (
+            "serve.window_fn_cache_hit_rate",
+            "Functional warm-cache hit rate over the sliding window.",
+            m.fn_cache_hit_rate,
+        ),
+    ];
+    prom::render_exposition(&report, gauges)
+}
+
+/// Answers one Prometheus scrape connection, inline on the event-loop
+/// thread. HTTP/1.0, `Connection: close`, 500 ms I/O timeouts so a
+/// stalled scraper cannot wedge the loop for long. `GET /metrics` gets
+/// the exposition; anything else a 404.
+fn serve_metrics_scrape(stream: TcpStream, shared: &Arc<Shared>) {
+    let mut stream = stream;
+    // The accepted socket does not inherit the listener's non-blocking
+    // mode on every platform — pin it to blocking with short timeouts.
+    let _ = stream.set_nonblocking(false);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(500)));
+    let mut buf = [0u8; 1024];
+    let mut request = Vec::new();
+    // Only the request line matters; read until we have it (or give
+    // up at 8 KiB — no legitimate scraper sends that much).
+    while !request.contains(&b'\n') && request.len() < 8192 {
+        match stream.read(&mut buf) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => request.extend_from_slice(&buf[..n]),
+        }
+    }
+    let line = String::from_utf8_lossy(&request);
+    let line = line.lines().next().unwrap_or("");
+    let target = line.strip_prefix("GET ").and_then(|r| r.split(' ').next());
+    let (status, body) = if target == Some("/metrics") {
+        ("200 OK", exposition(shared))
+    } else {
+        ("404 Not Found", "only GET /metrics is served\n".to_owned())
+    };
+    let header = format!(
+        "HTTP/1.0 {status}\r\nContent-Type: text/plain; version=0.0.4\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    let _ = stream.write_all(header.as_bytes());
+    let _ = stream.write_all(body.as_bytes());
 }

@@ -35,12 +35,21 @@
 //!   drains in-flight work, and yields a final aggregate telemetry
 //!   report (`serve.*` counters plus the `serve.queue_ns`,
 //!   `serve.run_ns`, and `serve.admission.client_depth` histograms,
-//!   schema `chortle-telemetry/v1.6`);
+//!   schema `chortle-telemetry/v1.7`);
 //! - **live introspection**: `op: "stats"` answers uptime, per-op
 //!   request counters, queue depth and high-water mark, and the latency
 //!   histograms without disturbing the workers; `op: "trace"` dumps a
 //!   bounded ring of recently completed request traces
-//!   (`--trace-capacity` sizes it).
+//!   (`--trace-capacity` sizes it);
+//! - a **live observability plane** (DESIGN.md §18): structured JSONL
+//!   logging via [`chortle_telemetry::log`] (`--log-level`,
+//!   `--log-file`, off by default so output stays byte-identical), an
+//!   optional v2 `trace_id` echoed end to end (response frame,
+//!   `op: "trace"` ring entry, per-request log events), a
+//!   sliding-window metrics aggregator surfaced as v2 `op: "metrics"`
+//!   (windowed qps, shed rate, cache hit rates, p50/p95/p99), and a
+//!   Prometheus text exposition on `--metrics-addr` validated by
+//!   `report-check --prom`.
 //!
 //! Responses are byte-identical to the offline `chortle-map` CLI for
 //! the same `(BLIF, k, jobs, cache, objective, optimize)` — the server
@@ -58,18 +67,20 @@ pub mod args;
 pub mod client;
 mod conn;
 mod event_loop;
+mod metrics;
 pub mod proto;
 mod server;
 mod service;
 
 pub use args::{print_serve_help, ServeArgs, SERVE_FLAGS};
 pub use client::{
-    parse_response, BatchReply, Client, FlushReply, HelloReply, MapReply, Mapped, Rejection,
-    Response, ShutdownReply, StatsReply, TraceReply,
+    parse_response, BatchReply, Client, FlushReply, HelloReply, MapReply, Mapped, MetricsReply,
+    Rejection, Response, ShutdownReply, StatsReply, TraceReply,
 };
 pub use proto::{
-    BatchItem, BatchRequest, MapPayload, MapRequest, Op, ProtocolVersion, RejectReason, Request,
-    RequestTrace, ServerLimits, ShedHint, MAX_PRIORITY, PROTOCOLS, PROTOCOL_V1, PROTOCOL_V2,
+    BatchItem, BatchRequest, MapPayload, MapRequest, MetricsSnapshot, Op, ProtocolVersion,
+    RejectReason, Request, RequestTrace, ServerLimits, ShedHint, MAX_PRIORITY, PROTOCOLS,
+    PROTOCOL_V1, PROTOCOL_V2,
 };
 pub use server::{
     run_daemon, serve_stdio, stats, ServeOptions, ServeOptionsBuilder, Server, ServerHandle,

@@ -51,6 +51,18 @@
 //!   client should retry) and `client_queue_depth` (how much of its
 //!   quota the client was using), so overload is a *hint*, not a
 //!   dead-end.
+//! - `trace_id` (optional) on `map`/`map_design` frames, on
+//!   `map_batch` frames (a default for their entries), and on batch
+//!   entries: an opaque client-chosen correlation string the server
+//!   echoes in the success payload, stamps into its `op: "trace"`
+//!   ring entries, and attaches to the request's structured log
+//!   events — one id joins the wire, the ring, and the log stream.
+//!   Never rendered when empty, so pre-trace_id frames stay
+//!   byte-identical.
+//! - `op: "metrics"`: the sliding-window metrics snapshot — windowed
+//!   qps, shed rate, cache hit rates, and latency quantiles over the
+//!   last N seconds, next to their cumulative counterparts (see
+//!   DESIGN.md §18).
 
 use chortle::{CacheMode, Objective, WarmStats};
 use chortle_telemetry::json::{self, write_string, Value};
@@ -112,6 +124,8 @@ pub enum Op {
     Flush,
     /// Return the aggregate server telemetry report so far.
     Stats,
+    /// Return the sliding-window metrics snapshot (v2).
+    Metrics,
     /// Return the ring buffer of recently completed request traces.
     Trace,
     /// Stop accepting work, drain in-flight requests, exit.
@@ -135,6 +149,9 @@ pub struct RequestTrace {
     pub luts: usize,
     /// Mapped circuit depth (0 for rejected or admin outcomes).
     pub depth: usize,
+    /// The client's `trace_id`, echoed for cross-surface correlation
+    /// (empty when the request carried none; elided on the wire then).
+    pub trace_id: String,
 }
 
 /// The payload of a `map` request (also one entry of a `map_batch`).
@@ -165,6 +182,11 @@ pub struct MapRequest {
     /// pipeline (`op: "map_design"`, v2 only — never a JSON key; the
     /// op name carries it). Batch entries are always plain maps.
     pub design: bool,
+    /// Opaque correlation id echoed across the response payload, the
+    /// server's `op: "trace"` ring, and its structured log events.
+    /// Empty means absent — never rendered then. v2 only on the wire;
+    /// v1 frames always parse as empty.
+    pub trace_id: String,
 }
 
 impl Default for MapRequest {
@@ -179,6 +201,7 @@ impl Default for MapRequest {
             deadline_ms: None,
             priority: 0,
             design: false,
+            trace_id: String::new(),
         }
     }
 }
@@ -258,6 +281,9 @@ pub struct MapPayload {
     pub netlist: String,
     /// The embedded per-request telemetry report (serialized JSON).
     pub report_json: String,
+    /// The request's `trace_id`, echoed verbatim (empty when the
+    /// request carried none; elided on the wire then).
+    pub trace_id: String,
 }
 
 /// One entry of a `map_batch` response, in request order.
@@ -330,6 +356,7 @@ const V2_KEYS: &[&str] = &[
     "deadline_ms",
     "priority",
     "requests",
+    "trace_id",
 ];
 
 /// Keys that only make sense on `op: "map"` (v1 and v2).
@@ -431,7 +458,16 @@ pub fn parse_request(line: &str) -> Result<Request, ProtoError> {
             format!("key \"priority\" is only valid for op \"map\" or \"map_batch\", not {op:?}"),
         ));
     }
-    if version == V1 && matches!(op, "hello" | "map_batch" | "map_design") {
+    if !matches!(op, "map" | "map_design" | "map_batch")
+        && members.iter().any(|(k, _)| k == "trace_id")
+    {
+        return Err(fail(
+            &id,
+            version,
+            format!("key \"trace_id\" is only valid for op \"map\" or \"map_batch\", not {op:?}"),
+        ));
+    }
+    if version == V1 && matches!(op, "hello" | "map_batch" | "map_design" | "metrics") {
         return Err(fail(
             &id,
             version,
@@ -449,12 +485,13 @@ pub fn parse_request(line: &str) -> Result<Request, ProtoError> {
         "hello" => Op::Hello,
         "flush" => Op::Flush,
         "stats" => Op::Stats,
+        "metrics" => Op::Metrics,
         "trace" => Op::Trace,
         "shutdown" => Op::Shutdown,
         other => {
             let expected = match version {
                 V1 => "map, flush, stats, trace or shutdown",
-                V2 => "hello, map, map_batch, map_design, flush, stats, trace or shutdown",
+                V2 => "hello, map, map_batch, map_design, flush, stats, metrics, trace or shutdown",
             };
             return Err(fail(
                 &id,
@@ -526,6 +563,7 @@ fn parse_map_fields(
     };
     let deadline_ms = opt_u64(value, "deadline_ms", id, version)?;
     let priority = parse_priority(value, id, version)?.unwrap_or(0);
+    let trace_id = parse_trace_id(value, id, version)?.unwrap_or_default();
     Ok(MapRequest {
         blif,
         k,
@@ -536,7 +574,26 @@ fn parse_map_fields(
         deadline_ms,
         priority,
         design: false,
+        trace_id,
     })
+}
+
+fn parse_trace_id(
+    value: &Value,
+    id: &str,
+    version: ProtocolVersion,
+) -> Result<Option<String>, ProtoError> {
+    match value.get("trace_id") {
+        None => Ok(None),
+        Some(v) => match v.as_str() {
+            Some(s) => Ok(Some(s.to_owned())),
+            None => Err(ProtoError {
+                id: id.to_owned(),
+                version,
+                detail: format!("\"trace_id\" must be a string, found {}", v.kind()),
+            }),
+        },
+    }
 }
 
 /// Parses a v2 `map_batch` frame: a non-empty `requests` array whose
@@ -550,6 +607,7 @@ fn parse_batch(value: &Value, id: &str) -> Result<BatchRequest, ProtoError> {
         detail,
     };
     let frame_priority = parse_priority(value, id, version)?;
+    let frame_trace_id = parse_trace_id(value, id, version)?;
     let entries = value
         .get("requests")
         .ok_or_else(|| fail("op \"map_batch\" requires a \"requests\" array".into()))?
@@ -564,7 +622,7 @@ fn parse_batch(value: &Value, id: &str) -> Result<BatchRequest, ProtoError> {
             .as_object()
             .ok_or_else(|| fail(format!("requests[{i}] must be an object")))?;
         for (key, _) in members {
-            if !MAP_KEYS.contains(&key.as_str()) && key != "priority" {
+            if !MAP_KEYS.contains(&key.as_str()) && key != "priority" && key != "trace_id" {
                 return Err(fail(format!("requests[{i}] has unknown key {key:?}")));
             }
         }
@@ -572,6 +630,9 @@ fn parse_batch(value: &Value, id: &str) -> Result<BatchRequest, ProtoError> {
             .map_err(|e| fail(format!("requests[{i}]: {}", e.detail)))?;
         if entry.get("priority").is_none() {
             req.priority = frame_priority.unwrap_or(0);
+        }
+        if entry.get("trace_id").is_none() {
+            req.trace_id = frame_trace_id.clone().unwrap_or_default();
         }
         requests.push(req);
     }
@@ -652,6 +713,10 @@ fn write_map_knobs(out: &mut String, req: &MapRequest, version: ProtocolVersion)
     }
     if version == ProtocolVersion::V2 {
         let _ = write!(out, ",\"priority\":{}", req.priority);
+        if !req.trace_id.is_empty() {
+            out.push_str(",\"trace_id\":");
+            write_string(out, &req.trace_id);
+        }
     }
 }
 
@@ -699,6 +764,7 @@ pub fn render_admin_request(version: ProtocolVersion, id: &str, op: &Op) -> Stri
         Op::Hello => "hello",
         Op::Flush => "flush",
         Op::Stats => "stats",
+        Op::Metrics => "metrics",
         Op::Trace => "trace",
         Op::Shutdown => "shutdown",
         Op::Map(_) | Op::MapBatch(_) => {
@@ -729,6 +795,10 @@ fn write_map_payload(out: &mut String, payload: &MapPayload) {
         "\"luts\":{},\"depth\":{},\"cache_generation\":{},\"run_ns\":{}",
         payload.luts, payload.depth, payload.cache_generation, payload.run_ns
     );
+    if !payload.trace_id.is_empty() {
+        out.push_str(",\"trace_id\":");
+        write_string(out, &payload.trace_id);
+    }
     out.push_str(",\"netlist\":");
     write_string(out, &payload.netlist);
     out.push_str(",\"report\":");
@@ -843,6 +913,10 @@ pub struct StatsGauges {
     pub queue_depth: usize,
     /// Highest queue depth observed since startup.
     pub queue_high_water: usize,
+    /// Completed-request traces evicted from the bounded `op:"trace"`
+    /// ring since startup (v2 responses only; the v1 stats shape is
+    /// frozen).
+    pub trace_dropped: u64,
 }
 
 /// Renders the success response of a `stats` request: the live gauges
@@ -866,18 +940,107 @@ pub fn render_stats_ok(
         uptime_s,
         queue_depth,
         queue_high_water,
+        trace_dropped,
     } = *gauges;
     let mut out = String::with_capacity(report_json.len() + 240);
     response_header(&mut out, version, id, "ok");
     out.push_str(&format!(
         ",\"op\":\"stats\",\"cache_generation\":{cache_generation},\"uptime_s\":{uptime_s}\
-         ,\"queue_depth\":{queue_depth},\"queue_high_water\":{queue_high_water}\
-         ,\"cache\":{{\"shapes\":{},\"fn_entries\":{},\"hits\":{},\"misses\":{}\
+         ,\"queue_depth\":{queue_depth},\"queue_high_water\":{queue_high_water}",
+    ));
+    // v2 surfaces the trace-ring drop count; the v1 stats shape is
+    // byte-frozen and never grows keys.
+    if version == ProtocolVersion::V2 {
+        out.push_str(&format!(",\"trace_dropped\":{trace_dropped}"));
+    }
+    out.push_str(&format!(
+        ",\"cache\":{{\"shapes\":{},\"fn_entries\":{},\"hits\":{},\"misses\":{}\
          ,\"fn_hits\":{},\"fn_misses\":{}}},\"report\":",
         warm.shapes, warm.fn_entries, warm.hits, warm.misses, warm.fn_hits, warm.fn_misses
     ));
     out.push_str(report_json);
     out.push('}');
+    out
+}
+
+/// The sliding-window metrics snapshot a v2 `op: "metrics"` response
+/// carries — rates and latency quantiles over the last
+/// [`window_s`](MetricsSnapshot::window_s) seconds, next to the
+/// cumulative totals they roll up from, so a consumer can check the
+/// window arithmetic against `op: "stats"`. The body is the schema
+/// v1.7 *windowed-metrics fragment*
+/// ([`chortle_telemetry::schema::validate_metrics_fragment`]).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Window length the aggregator retains, in seconds.
+    pub window_s: u64,
+    /// Seconds of data actually inside the window (≤ `window_s`;
+    /// smaller right after startup).
+    pub seconds: u64,
+    /// Completed requests per second over the window.
+    pub qps: f64,
+    /// Shed admissions over total admission attempts in the window
+    /// (`0..=1`).
+    pub shed_rate: f64,
+    /// Structural-tier warm-cache hit rate over the window (`0..=1`).
+    pub cache_hit_rate: f64,
+    /// Functional-tier warm-cache hit rate over the window (`0..=1`).
+    pub fn_cache_hit_rate: f64,
+    /// Median request execution time in the window, nanoseconds.
+    pub p50_ns: u64,
+    /// 95th-percentile execution time in the window, nanoseconds.
+    pub p95_ns: u64,
+    /// 99th-percentile execution time in the window, nanoseconds.
+    pub p99_ns: u64,
+    /// Requests admitted inside the window.
+    pub window_accepted: u64,
+    /// Requests completed inside the window.
+    pub window_completed: u64,
+    /// Requests shed at admission inside the window.
+    pub window_shed: u64,
+    /// Requests admitted since startup.
+    pub cumulative_accepted: u64,
+    /// Requests completed since startup.
+    pub cumulative_completed: u64,
+    /// Requests shed at admission since startup.
+    pub cumulative_shed: u64,
+}
+
+/// Renders the success response of a v2 `metrics` request: the
+/// windowed-metrics fragment of [`MetricsSnapshot`], verbatim.
+pub fn render_metrics_ok(id: &str, m: &MetricsSnapshot) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::with_capacity(320);
+    response_header(&mut out, ProtocolVersion::V2, id, "ok");
+    let _ = write!(
+        out,
+        ",\"op\":\"metrics\",\"window_s\":{},\"seconds\":{}",
+        m.window_s, m.seconds
+    );
+    for (key, value) in [
+        ("qps", m.qps),
+        ("shed_rate", m.shed_rate),
+        ("cache_hit_rate", m.cache_hit_rate),
+        ("fn_cache_hit_rate", m.fn_cache_hit_rate),
+    ] {
+        let _ = write!(out, ",\"{key}\":");
+        json::write_f64(&mut out, value);
+    }
+    let _ = write!(
+        out,
+        ",\"p50_ns\":{},\"p95_ns\":{},\"p99_ns\":{}\
+         ,\"window\":{{\"accepted\":{},\"completed\":{},\"shed\":{}}}\
+         ,\"cumulative\":{{\"accepted\":{},\"completed\":{},\"shed\":{}}}}}",
+        m.p50_ns,
+        m.p95_ns,
+        m.p99_ns,
+        m.window_accepted,
+        m.window_completed,
+        m.window_shed,
+        m.cumulative_accepted,
+        m.cumulative_completed,
+        m.cumulative_shed
+    );
     out
 }
 
@@ -902,6 +1065,10 @@ pub fn render_trace_ok(
         write_string(&mut out, &e.id);
         out.push_str(",\"outcome\":");
         write_string(&mut out, &e.outcome);
+        if !e.trace_id.is_empty() {
+            out.push_str(",\"trace_id\":");
+            write_string(&mut out, &e.trace_id);
+        }
         out.push_str(&format!(
             ",\"queue_ns\":{},\"run_ns\":{},\"luts\":{},\"depth\":{}}}",
             e.queue_ns, e.run_ns, e.luts, e.depth
@@ -1098,6 +1265,7 @@ mod tests {
             run_ns: 9_000,
             netlist: ".model mapped\n.latch a b re clk 0\n.end\n".into(),
             report_json: "{\"a\":1}".into(),
+            trace_id: String::new(),
         };
         let ok = render_map_design_ok("sd", &payload);
         assert_eq!(
@@ -1263,6 +1431,7 @@ mod tests {
             deadline_ms: Some(125),
             priority: 0,
             design: false,
+            trace_id: String::new(),
         };
         let line = render_map_request(V1, "rt", &req);
         assert_eq!(
@@ -1368,6 +1537,167 @@ mod tests {
         assert_eq!(parsed.op, Op::Hello);
     }
 
+    /// Golden trace_id frames: rendered only when non-empty (so every
+    /// pre-trace_id golden above is untouched), echoed verbatim in the
+    /// payload and the trace-ring entries.
+    #[test]
+    fn golden_trace_id_frames_round_trip() {
+        let req = MapRequest {
+            blif: ".model m\n.end\n".into(),
+            trace_id: "t-42".into(),
+            ..MapRequest::default()
+        };
+        let line = render_map_request(V2, "rt", &req);
+        assert_eq!(
+            line,
+            "{\"proto\":\"chortle-serve/v2\",\"id\":\"rt\",\"op\":\"map\",\
+             \"blif\":\".model m\\n.end\\n\",\"k\":4,\"jobs\":0,\"cache\":\"shared\",\
+             \"objective\":\"area\",\"optimize\":true,\"priority\":0,\"trace_id\":\"t-42\"}"
+        );
+        let parsed = parse_request(&line).expect("round trips");
+        assert_eq!(parsed.op, Op::Map(req.clone()));
+
+        // v1 predates trace_id: the key is unknown there.
+        let v1 =
+            format!(r#"{{"proto":"{PROTOCOL_V1}","id":"rt","op":"map","blif":"","trace_id":"t"}}"#);
+        let err = parse_request(&v1).unwrap_err();
+        assert!(err.detail.contains("trace_id"), "{}", err.detail);
+        // Admin ops refuse it like priority.
+        let admin = format!(r#"{{"proto":"{PROTOCOL_V2}","op":"stats","trace_id":"t"}}"#);
+        let err = parse_request(&admin).unwrap_err();
+        assert!(err.detail.contains("only valid"), "{}", err.detail);
+
+        // Batch frames default their entries, entries override.
+        let batch = format!(
+            r#"{{"proto":"{PROTOCOL_V2}","id":"b","op":"map_batch","trace_id":"t-b","requests":[{{"blif":""}},{{"blif":"","trace_id":"t-own"}}]}}"#
+        );
+        let parsed = parse_request(&batch).expect("parses");
+        let Op::MapBatch(batch) = parsed.op else {
+            panic!("expected map_batch")
+        };
+        assert_eq!(batch.requests[0].trace_id, "t-b");
+        assert_eq!(batch.requests[1].trace_id, "t-own");
+
+        let payload = MapPayload {
+            luts: 1,
+            depth: 1,
+            cache_generation: 0,
+            run_ns: 5_000,
+            netlist: ".model mapped\n.end\n".into(),
+            report_json: "{\"a\":1}".into(),
+            trace_id: "t-42".into(),
+        };
+        let ok = render_map_ok(V2, "rt", &payload);
+        assert_eq!(
+            ok,
+            "{\"proto\":\"chortle-serve/v2\",\"id\":\"rt\",\"status\":\"ok\",\
+             \"op\":\"map\",\"luts\":1,\"depth\":1,\"cache_generation\":0,\
+             \"run_ns\":5000,\"trace_id\":\"t-42\",\
+             \"netlist\":\".model mapped\\n.end\\n\",\"report\":{\"a\":1}}"
+        );
+
+        let ring = [RequestTrace {
+            id: "rt".into(),
+            outcome: "ok".into(),
+            queue_ns: 10,
+            run_ns: 20,
+            luts: 1,
+            depth: 1,
+            trace_id: "t-42".into(),
+        }];
+        let trace = render_trace_ok(V2, "e", 8, &ring);
+        assert_eq!(
+            trace,
+            "{\"proto\":\"chortle-serve/v2\",\"id\":\"e\",\"status\":\"ok\",\
+             \"op\":\"trace\",\"capacity\":8,\"requests\":[{\"id\":\"rt\",\
+             \"outcome\":\"ok\",\"trace_id\":\"t-42\",\"queue_ns\":10,\
+             \"run_ns\":20,\"luts\":1,\"depth\":1}]}"
+        );
+    }
+
+    /// Golden metrics frames: the v2-only windowed snapshot, validated
+    /// against the schema v1.7 windowed-metrics fragment.
+    #[test]
+    fn golden_metrics_frames_round_trip() {
+        let line = render_admin_request(V2, "m", &Op::Metrics);
+        assert_eq!(
+            line,
+            "{\"proto\":\"chortle-serve/v2\",\"id\":\"m\",\"op\":\"metrics\"}"
+        );
+        let parsed = parse_request(&line).expect("parses");
+        assert_eq!(parsed.op, Op::Metrics);
+
+        let v1 = format!(r#"{{"proto":"{PROTOCOL_V1}","op":"metrics"}}"#);
+        let err = parse_request(&v1).unwrap_err();
+        assert!(err.detail.contains("requires"), "{}", err.detail);
+
+        let snap = MetricsSnapshot {
+            window_s: 60,
+            seconds: 2,
+            qps: 3.0,
+            shed_rate: 0.25,
+            cache_hit_rate: 0.5,
+            fn_cache_hit_rate: 0.0,
+            p50_ns: 725,
+            p95_ns: 1024,
+            p99_ns: 1024,
+            window_accepted: 6,
+            window_completed: 6,
+            window_shed: 2,
+            cumulative_accepted: 6,
+            cumulative_completed: 6,
+            cumulative_shed: 2,
+        };
+        let ok = render_metrics_ok("m", &snap);
+        assert_eq!(
+            ok,
+            "{\"proto\":\"chortle-serve/v2\",\"id\":\"m\",\"status\":\"ok\",\
+             \"op\":\"metrics\",\"window_s\":60,\"seconds\":2,\"qps\":3,\
+             \"shed_rate\":0.25,\"cache_hit_rate\":0.5,\"fn_cache_hit_rate\":0,\
+             \"p50_ns\":725,\"p95_ns\":1024,\"p99_ns\":1024,\
+             \"window\":{\"accepted\":6,\"completed\":6,\"shed\":2},\
+             \"cumulative\":{\"accepted\":6,\"completed\":6,\"shed\":2}}"
+        );
+        let value = chortle_telemetry::json::parse(&ok).expect("reparses");
+        // Strip the response envelope; the rest is the fragment.
+        let fragment: Vec<(String, Value)> = value
+            .as_object()
+            .unwrap()
+            .iter()
+            .filter(|(k, _)| !matches!(k.as_str(), "proto" | "id" | "status" | "op"))
+            .cloned()
+            .collect();
+        chortle_telemetry::schema::validate_metrics_fragment(&Value::Object(fragment))
+            .expect("fragment validates");
+    }
+
+    /// The v1 stats shape is frozen: no trace_dropped key.
+    #[test]
+    fn v1_stats_shape_has_no_trace_dropped() {
+        let line = render_stats_ok(
+            V1,
+            "s",
+            &StatsGauges {
+                trace_dropped: 9,
+                ..StatsGauges::default()
+            },
+            &WarmStats::default(),
+            "{}",
+        );
+        assert!(!line.contains("trace_dropped"), "{line}");
+        let v2 = render_stats_ok(
+            V2,
+            "s",
+            &StatsGauges {
+                trace_dropped: 9,
+                ..StatsGauges::default()
+            },
+            &WarmStats::default(),
+            "{}",
+        );
+        assert!(v2.contains("\"trace_dropped\":9"), "{v2}");
+    }
+
     #[test]
     fn responses_are_one_line_and_reparse() {
         let ring = [RequestTrace {
@@ -1377,6 +1707,7 @@ mod tests {
             run_ns: 34000,
             luts: 5,
             depth: 2,
+            trace_id: String::new(),
         }];
         let payload = MapPayload {
             luts: 3,
@@ -1385,6 +1716,7 @@ mod tests {
             run_ns: 41_000,
             netlist: ".model mapped\n.end\n".into(),
             report_json: "{\"schema\":\"x\"}".into(),
+            trace_id: String::new(),
         };
         let cases = [
             render_map_ok(V1, "a", &payload),
@@ -1397,6 +1729,7 @@ mod tests {
                     uptime_s: 12,
                     queue_depth: 1,
                     queue_high_water: 3,
+                    trace_dropped: 2,
                 },
                 &WarmStats {
                     shapes: 5,
@@ -1442,6 +1775,7 @@ mod tests {
         assert_eq!(map.get("run_ns").and_then(Value::as_u64), Some(41_000));
         let stats = chortle_telemetry::json::parse(&cases[2]).unwrap();
         assert_eq!(stats.get("uptime_s").and_then(Value::as_u64), Some(12));
+        assert_eq!(stats.get("trace_dropped").and_then(Value::as_u64), Some(2));
         assert_eq!(stats.get("queue_depth").and_then(Value::as_u64), Some(1));
         assert_eq!(
             stats.get("queue_high_water").and_then(Value::as_u64),

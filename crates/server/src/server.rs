@@ -43,15 +43,17 @@
 use std::collections::VecDeque;
 use std::io::{self, BufRead};
 use std::net::{Ipv4Addr, SocketAddr, TcpListener};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use chortle::WarmCache;
+use chortle_telemetry::log::{self, FieldValue, Level};
 use chortle_telemetry::{Report, Telemetry};
 
 use crate::admission::Admission;
 use crate::event_loop::{self, Completions, Job};
+use crate::metrics::WindowAggregator;
 use crate::proto::{self, BatchItem, MapPayload, RejectReason, RequestTrace, ServerLimits};
 use crate::service;
 
@@ -85,6 +87,8 @@ pub mod stats {
     pub const STATS_REQUESTS: &str = "serve.stats_requests";
     /// Counter: `trace` introspection requests served.
     pub const TRACE_REQUESTS: &str = "serve.trace_requests";
+    /// Counter: windowed `metrics` introspection requests served (v2).
+    pub const METRICS_REQUESTS: &str = "serve.metrics_requests";
     /// Counter: `hello` version-negotiation requests served (v2).
     pub const HELLO_REQUESTS: &str = "serve.hello_requests";
     /// Counter: `map_batch` frames received (v2).
@@ -137,6 +141,9 @@ pub struct ServeOptions {
     /// How many completed requests the `op: "trace"` ring remembers;
     /// older entries are evicted, so memory stays bounded.
     pub trace_capacity: usize,
+    /// Address for the Prometheus text-exposition endpoint (e.g.
+    /// `"127.0.0.1:9090"`); `None` (the default) serves no HTTP.
+    pub metrics_addr: Option<String>,
 }
 
 impl Default for ServeOptions {
@@ -148,6 +155,7 @@ impl Default for ServeOptions {
             client_quota: 8,
             batch_limit: 64,
             trace_capacity: 128,
+            metrics_addr: None,
         }
     }
 }
@@ -214,6 +222,13 @@ impl ServeOptionsBuilder {
         self
     }
 
+    /// Prometheus exposition endpoint address (`None` disables it).
+    #[must_use]
+    pub fn metrics_addr(mut self, addr: Option<String>) -> Self {
+        self.options.metrics_addr = addr;
+        self
+    }
+
     /// Finalizes the options. Size knobs are clamped to at least 1 —
     /// a zero-capacity queue or quota would admit nothing, which is
     /// never what a caller means.
@@ -232,7 +247,7 @@ impl ServeOptionsBuilder {
 pub struct ServerSummary {
     /// The aggregate server telemetry report (`serve.*` counters, the
     /// per-request stage, the latency and client-depth histograms) —
-    /// schema-valid `chortle-telemetry/v1.6`.
+    /// schema-valid `chortle-telemetry/v1.7`.
     pub report: Report,
     /// Final warm-cache generation.
     pub cache_generation: u64,
@@ -256,6 +271,12 @@ pub(crate) struct Shared {
     /// requests, oldest first.
     pub ring: Mutex<VecDeque<RequestTrace>>,
     pub trace_capacity: usize,
+    /// Completed-request traces evicted from the bounded ring since
+    /// startup — the v2 `stats` field `trace_dropped`.
+    pub trace_evicted: AtomicU64,
+    /// The sliding-window metrics aggregator behind `op: "metrics"`
+    /// and the Prometheus endpoint.
+    pub window: WindowAggregator,
     /// The limits `hello` advertises (also the batch-size gate).
     pub limits: ServerLimits,
 }
@@ -265,15 +286,23 @@ impl Shared {
         let queue_depth = options.queue_depth.max(1);
         let quota = options.client_quota.max(1);
         let batch_limit = options.batch_limit.max(1);
+        let telemetry = Telemetry::enabled();
+        // With logging on, mirror log volume into the closed `log.*`
+        // counter namespace of this server's own report.
+        if log::enabled(Level::Error) {
+            log::set_counter_sink(telemetry.clone());
+        }
         Shared {
             admission: Admission::new(queue_depth, quota, workers),
             completions: Completions::new(),
             warm: WarmCache::new(),
-            telemetry: Telemetry::enabled(),
+            telemetry,
             stopping: AtomicBool::new(false),
             started: Instant::now(),
             ring: Mutex::new(VecDeque::with_capacity(options.trace_capacity.min(1024))),
             trace_capacity: options.trace_capacity.max(1),
+            trace_evicted: AtomicU64::new(0),
+            window: WindowAggregator::new(60),
             limits: ServerLimits {
                 quota,
                 queue_depth,
@@ -282,11 +311,13 @@ impl Shared {
         }
     }
 
-    /// Remembers one completed request in the bounded trace ring.
+    /// Remembers one completed request in the bounded trace ring,
+    /// counting what the bound evicts.
     fn remember(&self, entry: RequestTrace) {
         let mut ring = self.ring.lock().expect("trace ring poisoned");
         if ring.len() == self.trace_capacity {
             ring.pop_front();
+            self.trace_evicted.fetch_add(1, Ordering::Relaxed);
         }
         ring.push_back(entry);
     }
@@ -300,6 +331,20 @@ impl Shared {
     pub fn initiate_shutdown(&self) {
         if self.stopping.swap(true, Ordering::AcqRel) {
             return;
+        }
+        if log::enabled(Level::Info) {
+            log::event(
+                Level::Info,
+                "serve.shutdown",
+                "drain initiated: admission closed, in-flight work completing",
+                &[
+                    ("queued", FieldValue::U64(self.admission.len() as u64)),
+                    (
+                        "uptime_s",
+                        FieldValue::U64(self.started.elapsed().as_secs()),
+                    ),
+                ],
+            );
         }
         self.admission.close();
         self.completions.notify();
@@ -361,6 +406,7 @@ fn worker_loop(shared: &Shared) {
                     run_ns,
                     luts: outcome.luts,
                     depth: outcome.depth,
+                    trace_id: job.req.trace_id.clone(),
                 });
                 BatchItem::Mapped(MapPayload {
                     luts: outcome.luts,
@@ -369,6 +415,7 @@ fn worker_loop(shared: &Shared) {
                     run_ns,
                     netlist: outcome.netlist,
                     report_json: outcome.report_json,
+                    trace_id: job.req.trace_id.clone(),
                 })
             }
             Err((reason, detail)) => {
@@ -387,6 +434,7 @@ fn worker_loop(shared: &Shared) {
                     run_ns,
                     luts: 0,
                     depth: 0,
+                    trace_id: job.req.trace_id.clone(),
                 });
                 BatchItem::Rejected {
                     reason,
@@ -395,6 +443,24 @@ fn worker_loop(shared: &Shared) {
                 }
             }
         };
+        if log::enabled(Level::Debug) {
+            let outcome = match &item {
+                BatchItem::Mapped(_) => "ok",
+                BatchItem::Rejected { reason, .. } => reason.as_str(),
+            };
+            log::event(
+                Level::Debug,
+                "serve.request",
+                "request finished",
+                &[
+                    ("id", FieldValue::Str(&job.id)),
+                    ("trace_id", FieldValue::Str(&job.req.trace_id)),
+                    ("outcome", FieldValue::Str(outcome)),
+                    ("queue_ns", FieldValue::U64(queue_ns)),
+                    ("run_ns", FieldValue::U64(run_ns)),
+                ],
+            );
+        }
         // Deliver the frame BEFORE completing: the event loop treats
         // "no outstanding work" as "every frame already pushed" when it
         // decides a connection is safe to drop.
@@ -452,6 +518,8 @@ fn resolve_workers(requested: usize) -> usize {
 /// inspect [`Server::local_addr`], then consume with [`Server::run`].
 pub struct Server {
     listener: TcpListener,
+    /// The Prometheus exposition listener, when configured.
+    metrics: Option<TcpListener>,
     shared: Arc<Shared>,
     workers: usize,
 }
@@ -478,16 +546,23 @@ impl ServerHandle {
 
 impl Server {
     /// Binds `127.0.0.1:options.port` (port 0 picks an ephemeral port —
-    /// read it back via [`Server::local_addr`]).
+    /// read it back via [`Server::local_addr`]) and, when
+    /// `options.metrics_addr` is set, the Prometheus exposition
+    /// listener next to it.
     ///
     /// # Errors
     ///
-    /// Propagates the bind failure (port in use, no loopback, …).
+    /// Propagates either bind failure (port in use, no loopback, …).
     pub fn bind(options: &ServeOptions) -> io::Result<Server> {
         let listener = TcpListener::bind((Ipv4Addr::LOCALHOST, options.port))?;
+        let metrics = match &options.metrics_addr {
+            Some(addr) => Some(TcpListener::bind(addr.as_str())?),
+            None => None,
+        };
         let workers = resolve_workers(options.workers);
         Ok(Server {
             listener,
+            metrics,
             shared: Arc::new(Shared::new(options, workers)),
             workers,
         })
@@ -503,6 +578,12 @@ impl Server {
         self.listener.local_addr()
     }
 
+    /// The bound Prometheus exposition address, when one was
+    /// configured via [`ServeOptions::metrics_addr`].
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.metrics.as_ref().and_then(|m| m.local_addr().ok())
+    }
+
     /// A remote control valid for this server's whole lifetime.
     pub fn handle(&self) -> ServerHandle {
         ServerHandle {
@@ -514,7 +595,7 @@ impl Server {
     /// completes the drain; returns the aggregate summary.
     pub fn run(self) -> ServerSummary {
         let workers = spawn_workers(&self.shared, self.workers);
-        event_loop::run(&self.listener, &self.shared);
+        event_loop::run(&self.listener, self.metrics.as_ref(), &self.shared);
         // The queue is closed (initiate_shutdown); wait for the drain.
         for handle in workers {
             handle.join().expect("worker panicked");
@@ -540,6 +621,13 @@ pub fn run_daemon(invocation: &str, args: impl Iterator<Item = String>) -> std::
             return ExitCode::FAILURE;
         }
     };
+    // Logging is off unless a flag (or CHORTLE_LOG / CHORTLE_LOG_FILE)
+    // turns it on — the quiet default keeps stderr and the final
+    // report byte-identical to pre-v1.7 daemons.
+    if let Err(msg) = log::init_from(parsed.log_level.as_deref(), parsed.log_file.as_deref()) {
+        eprintln!("{invocation}: {msg}");
+        return ExitCode::FAILURE;
+    }
     let options = parsed.options();
     if parsed.stdio {
         let summary = serve_stdio(&options);
@@ -559,6 +647,9 @@ pub fn run_daemon(invocation: &str, args: impl Iterator<Item = String>) -> std::
             eprintln!("{invocation}: cannot read bound address: {e}");
             return ExitCode::FAILURE;
         }
+    }
+    if let Some(addr) = server.metrics_addr() {
+        eprintln!("metrics on http://{addr}/metrics");
     }
     let summary = server.run();
     println!("{}", summary.report.to_json());

@@ -13,8 +13,8 @@ use chortle_circuits::{alu, benchmark};
 use chortle_netlist::write_blif;
 use chortle_server::{
     parse_response, proto, Client, FlushReply, HelloReply, MapReply, MapRequest, Mapped,
-    ProtocolVersion, Response, ServeOptions, Server, ServerSummary, ShutdownReply, StatsReply,
-    TraceReply,
+    MetricsReply, ProtocolVersion, Response, ServeOptions, Server, ServerSummary, ShutdownReply,
+    StatsReply, TraceReply,
 };
 
 /// Starts a server on an ephemeral port; returns its address and the
@@ -891,7 +891,7 @@ fn map_design_matches_the_offline_design_pipeline() {
     assert_eq!(reparsed.latches().len(), 1);
 
     // The embedded report carries the design.* and blif.* namespaces
-    // and validates against schema v1.6.
+    // and validates against schema v1.7.
     chortle_telemetry::schema::validate_report(&mapped.report_json)
         .expect("per-request design report validates against the schema");
     assert!(mapped.report_json.contains("\"design.clouds\""));
@@ -913,5 +913,176 @@ fn map_design_matches_the_offline_design_pipeline() {
         }
         other => panic!("expected a v1 rejection, got {other:?}"),
     }
+    shut_down(&addr, run);
+}
+
+#[test]
+fn trace_ids_correlate_response_ring_and_logs() {
+    // Route structured logs into a test sink before the server exists,
+    // so its worker-loop events are captured.
+    let sink = chortle_telemetry::log::init_test_sink();
+    let (addr, run) = start(ServeOptions::builder().trace_capacity(4).build());
+    let mut client = Client::connect(&addr).expect("connect");
+    let blif = write_blif(&benchmark("count").unwrap(), "count");
+
+    let mut req = request(&blif);
+    req.trace_id = "trace-e2e-42".to_owned();
+    let mapped = expect_mapped(client.map("m1", &req).expect("roundtrip"));
+    assert_eq!(
+        mapped.trace_id, "trace-e2e-42",
+        "the v2 response echoes the client's trace_id"
+    );
+
+    match client.trace("t").expect("roundtrip") {
+        TraceReply::Trace { requests, .. } => {
+            let entry = requests
+                .iter()
+                .find(|r| r.id == "m1")
+                .expect("ring remembers the request");
+            assert_eq!(
+                entry.trace_id, "trace-e2e-42",
+                "the op:\"trace\" ring entry carries the trace_id"
+            );
+        }
+        other => panic!("expected Trace, got {other:?}"),
+    }
+
+    // The same correlation id appears in the request-finished log event
+    // — one scan joins response, ring, and logs.
+    let lines = sink.lines();
+    assert!(
+        lines
+            .iter()
+            .any(|l| l.contains("\"trace_id\":\"trace-e2e-42\"")
+                && l.contains("\"target\":\"serve.request\"")),
+        "a structured log event carries the trace_id: {lines:#?}"
+    );
+    chortle_telemetry::log::disable();
+    shut_down(&addr, run);
+}
+
+#[test]
+fn stats_count_trace_ring_evictions() {
+    let (addr, run) = start(ServeOptions::builder().trace_capacity(1).build());
+    let mut client = Client::connect(&addr).expect("connect");
+    let blif = write_blif(&benchmark("count").unwrap(), "count");
+    for i in 0..3 {
+        expect_mapped(
+            client
+                .map(&format!("m{i}"), &request(&blif))
+                .expect("roundtrip"),
+        );
+    }
+    match client.stats("s").expect("roundtrip") {
+        StatsReply::Stats { trace_dropped, .. } => {
+            assert_eq!(
+                trace_dropped,
+                Some(2),
+                "a capacity-1 ring evicted two of three traces"
+            );
+        }
+        other => panic!("expected Stats, got {other:?}"),
+    }
+    shut_down(&addr, run);
+}
+
+#[test]
+fn metrics_window_agrees_with_cumulative_before_eviction() {
+    let (addr, run) = start(ServeOptions::default());
+    let mut client = Client::connect(&addr).expect("connect");
+    let blif = write_blif(&benchmark("count").unwrap(), "count");
+    for i in 0..4 {
+        expect_mapped(
+            client
+                .map(&format!("m{i}"), &request(&blif))
+                .expect("roundtrip"),
+        );
+    }
+    match client.metrics("w").expect("roundtrip") {
+        MetricsReply::Metrics(m) => {
+            // Seconds into a 60 s window, nothing has aged out: the
+            // windowed totals must equal the cumulative ones exactly.
+            assert_eq!(m.window_s, 60);
+            assert_eq!(m.cumulative_completed, 4);
+            assert_eq!(m.window_completed, m.cumulative_completed);
+            assert_eq!(m.window_accepted, m.cumulative_accepted);
+            assert_eq!(m.window_shed, 0);
+            assert_eq!(m.cumulative_shed, 0);
+            assert!(m.qps > 0.0, "completed work yields a positive rate");
+            assert!(m.p50_ns > 0 && m.p99_ns >= m.p50_ns);
+        }
+        other => panic!("expected Metrics, got {other:?}"),
+    }
+
+    // The op is v2-only; a v1 client gets a typed rejection.
+    let mut v1 = Client::connect_versioned(&addr, ProtocolVersion::V1).expect("connect v1");
+    match v1.metrics("w1").expect("v1 roundtrip") {
+        MetricsReply::Rejected(rejection) => {
+            assert_eq!(rejection.reason, "bad_request");
+            assert!(
+                rejection.detail.contains("chortle-serve/v2"),
+                "{rejection:?}"
+            );
+        }
+        other => panic!("expected a v1 rejection, got {other:?}"),
+    }
+
+    let summary = shut_down(&addr, run);
+    assert_eq!(summary.report.counter("serve.metrics_requests"), Some(1));
+}
+
+#[test]
+fn metrics_endpoint_serves_valid_prometheus_exposition() {
+    use std::io::Read as _;
+
+    let options = ServeOptions::builder()
+        .metrics_addr(Some("127.0.0.1:0".to_owned()))
+        .build();
+    let server = Server::bind(&options).expect("bind ephemeral ports");
+    let addr = server.local_addr().expect("bound address").to_string();
+    let scrape_addr = server.metrics_addr().expect("metrics listener bound");
+    let run = thread::spawn(move || server.run());
+
+    // Seed the daemon with real traffic so the exposition has samples.
+    let mut client = Client::connect(&addr).expect("connect");
+    let blif = write_blif(&benchmark("count").unwrap(), "count");
+    for i in 0..2 {
+        expect_mapped(
+            client
+                .map(&format!("m{i}"), &request(&blif))
+                .expect("roundtrip"),
+        );
+    }
+
+    let mut scrape = TcpStream::connect(scrape_addr).expect("connect to /metrics");
+    scrape
+        .write_all(b"GET /metrics HTTP/1.0\r\nHost: test\r\n\r\n")
+        .expect("write scrape request");
+    let mut page = String::new();
+    scrape.read_to_string(&mut page).expect("read scrape");
+    assert!(page.starts_with("HTTP/1.0 200 OK\r\n"), "{page}");
+    let body = page.split("\r\n\r\n").nth(1).expect("headers then body");
+    chortle_telemetry::prom::validate_exposition(body)
+        .expect("live scrape passes the report-check --prom validator");
+    for needle in [
+        "# TYPE chortle_serve_completed counter",
+        "chortle_serve_completed 2",
+        "# TYPE chortle_serve_run_ns summary",
+        "chortle_serve_run_ns{quantile=\"0.99\"} ",
+        "chortle_serve_run_ns_count 2",
+        "# TYPE chortle_serve_window_qps gauge",
+        "chortle_serve_uptime_s ",
+    ] {
+        assert!(body.contains(needle), "exposition lost {needle:?}:\n{body}");
+    }
+
+    // Any other path (or method) is a 404, and the daemon survives it.
+    let mut bad = TcpStream::connect(scrape_addr).expect("connect bad path");
+    bad.write_all(b"GET /other HTTP/1.0\r\n\r\n")
+        .expect("write");
+    let mut reply = String::new();
+    bad.read_to_string(&mut reply).expect("read");
+    assert!(reply.starts_with("HTTP/1.0 404"), "{reply}");
+
     shut_down(&addr, run);
 }

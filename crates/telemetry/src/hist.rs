@@ -144,6 +144,23 @@ impl Histogram {
         self.total = self.total.saturating_add(other.total);
     }
 
+    /// The element-wise difference `self − earlier`, for computing the
+    /// histogram of samples recorded *between* two snapshots of one
+    /// growing histogram. Each bucket (and the count and total)
+    /// subtracts saturating at zero, so a mismatched pair degrades to
+    /// an undercount instead of wrapping. When `earlier` really is an
+    /// earlier snapshot of `self`, `earlier.merge(&diff)` reproduces
+    /// `self` exactly.
+    pub fn diff(&self, earlier: &Histogram) -> Histogram {
+        let mut out = Histogram::new();
+        for (i, (mine, theirs)) in self.buckets.iter().zip(earlier.buckets.iter()).enumerate() {
+            out.buckets[i] = mine.saturating_sub(*theirs);
+        }
+        out.count = self.count.saturating_sub(earlier.count);
+        out.total = self.total.saturating_sub(earlier.total);
+        out
+    }
+
     /// Samples recorded.
     pub fn count(&self) -> u64 {
         self.count
@@ -359,6 +376,27 @@ mod tests {
         assert_eq!(h.quantile(0.8), bucket_lower_bound(bucket_index(1_000)));
         assert_eq!(h.quantile(1.0), bucket_lower_bound(bucket_index(1_000_000)));
         assert_eq!(Histogram::new().quantile(0.5), 0);
+    }
+
+    #[test]
+    fn diff_inverts_merge_for_snapshots() {
+        let mut earlier = Histogram::new();
+        for v in [1u64, 900, 1_100] {
+            earlier.record(v);
+        }
+        let mut later = earlier.clone();
+        for v in [2u64, 5_000] {
+            later.record(v);
+        }
+        let delta = later.diff(&earlier);
+        assert_eq!(delta.count(), 2);
+        let mut rebuilt = earlier.clone();
+        rebuilt.merge(&delta);
+        assert_eq!(rebuilt, later);
+        // Degenerate pair saturates instead of wrapping.
+        let empty = Histogram::new().diff(&later);
+        assert_eq!(empty.count(), 0);
+        assert_eq!(empty.total(), 0);
     }
 
     #[test]

@@ -32,6 +32,11 @@
 //!   Chrome trace-event JSON. A handle only pays for tracing when
 //!   created with [`Telemetry::traced`].
 //!
+//! Schema v1.7 adds the live observability plane: a process-global
+//! structured logger ([`log`]) whose closed `log.*` counter namespace
+//! can mirror into a handle, and Prometheus text exposition of any
+//! report ([`prom`]).
+//!
 //! # Examples
 //!
 //! ```
@@ -53,6 +58,8 @@
 
 pub mod hist;
 pub mod json;
+pub mod log;
+pub mod prom;
 pub mod schema;
 pub mod trace;
 
@@ -69,7 +76,7 @@ pub use trace::{
 
 /// Identifier of the report layout, embedded in every JSON report and
 /// checked by [`schema::validate_report`].
-pub const SCHEMA: &str = "chortle-telemetry/v1.6";
+pub const SCHEMA: &str = "chortle-telemetry/v1.7";
 
 /// Default capacity (in events) of a traced handle's event store.
 pub const DEFAULT_TRACE_CAPACITY: usize = 1 << 20;

@@ -34,6 +34,8 @@ pub const SERVE_COUNTERS: &[&str] = &[
     "serve.admission.shed_over_quota",
     "serve.admission.shed_queue_full",
     "serve.admission.hinted",
+    // Schema v1.7: the live observability plane.
+    "serve.metrics_requests",
 ];
 
 /// The documented counters of the reserved `trace.` namespace —
@@ -79,6 +81,19 @@ pub const BLIF_COUNTERS: &[&str] = &[
     "blif.subckts",
     "blif.latches",
     "blif.exdc_blocks",
+];
+
+/// The documented counters of the reserved `log.` namespace — volume
+/// echoes the structured logger ([`crate::log`]) mirrors into a
+/// telemetry handle via [`crate::log::set_counter_sink`]. Closed since
+/// schema v1.7: [`validate_report`] rejects any other `log.*` name.
+/// Like `trace.*`, these are observation echoes, exempt from the
+/// scheduling-independence guarantee.
+pub const LOG_COUNTERS: &[&str] = &[
+    "log.events",
+    "log.errors",
+    "log.warnings",
+    "log.ring_evicted",
 ];
 
 /// Validates that `input` is a schema-conformant telemetry report.
@@ -169,6 +184,15 @@ pub fn validate_report(input: &str) -> Result<(), String> {
                  (expected one of {BLIF_COUNTERS:?})"
             ));
         }
+        // Schema v1.7 closes the structured logger's `log.` namespace:
+        // logging volume rides every daemon report, so its counter set
+        // is part of the cross-surface contract too.
+        if name.starts_with("log.") && !LOG_COUNTERS.contains(&name) {
+            return Err(format!(
+                "{path}.name {name:?} is not a documented log.* counter \
+                 (expected one of {LOG_COUNTERS:?})"
+            ));
+        }
     }
 
     for (i, hist) in expect_array(&value, "histograms")?.iter().enumerate() {
@@ -244,6 +268,71 @@ pub fn validate_report(input: &str) -> Result<(), String> {
             for (j, v) in arr.iter().enumerate() {
                 expect_number(v, &format!("{path}.{key}[{j}]"))?;
             }
+        }
+    }
+    Ok(())
+}
+
+/// Validates the *windowed-metrics fragment* — the body the daemon's
+/// v2 `op:"metrics"` response and loadgen's bench snapshots embed
+/// (schema v1.7). `value` must already be parsed; pass the object
+/// holding the fragment keys (`window_s` … `cumulative`).
+///
+/// # Errors
+///
+/// Returns the first deviation: wrong key set/order, wrong kinds,
+/// rates outside `0..=1`, or window totals exceeding cumulative ones.
+pub fn validate_metrics_fragment(value: &Value) -> Result<(), String> {
+    let members = expect_keys(
+        value,
+        "$metrics",
+        &[
+            "window_s",
+            "seconds",
+            "qps",
+            "shed_rate",
+            "cache_hit_rate",
+            "fn_cache_hit_rate",
+            "p50_ns",
+            "p95_ns",
+            "p99_ns",
+            "window",
+            "cumulative",
+        ],
+    )?;
+    expect_u64(&members[0].1, "$metrics.window_s")?;
+    expect_u64(&members[1].1, "$metrics.seconds")?;
+    let qps = expect_number(&members[2].1, "$metrics.qps")?;
+    if qps < 0.0 {
+        return Err(format!("$metrics.qps is {qps}, expected >= 0"));
+    }
+    for (idx, key) in [
+        (3, "shed_rate"),
+        (4, "cache_hit_rate"),
+        (5, "fn_cache_hit_rate"),
+    ] {
+        let rate = expect_number(&members[idx].1, &format!("$metrics.{key}"))?;
+        if !(0.0..=1.0).contains(&rate) {
+            return Err(format!("$metrics.{key} is {rate}, expected 0..=1"));
+        }
+    }
+    for (idx, key) in [(6, "p50_ns"), (7, "p95_ns"), (8, "p99_ns")] {
+        expect_u64(&members[idx].1, &format!("$metrics.{key}"))?;
+    }
+    let mut totals = [[0u64; 3]; 2];
+    for (slot, (idx, section)) in [(9usize, "window"), (10, "cumulative")].iter().enumerate() {
+        let path = format!("$metrics.{section}");
+        let fields = expect_keys(&members[*idx].1, &path, &["accepted", "completed", "shed"])?;
+        for (j, (key, v)) in fields.iter().enumerate() {
+            totals[slot][j] = expect_u64(v, &format!("{path}.{key}"))?;
+        }
+    }
+    for (j, key) in ["accepted", "completed", "shed"].iter().enumerate() {
+        if totals[0][j] > totals[1][j] {
+            return Err(format!(
+                "$metrics.window.{key} ({}) exceeds $metrics.cumulative.{key} ({})",
+                totals[0][j], totals[1][j]
+            ));
         }
     }
     Ok(())
@@ -360,7 +449,7 @@ mod tests {
 
     #[test]
     fn rejects_wrong_schema_tag() {
-        let json = sample_report().replace("chortle-telemetry/v1.6", "bogus/v0");
+        let json = sample_report().replace("chortle-telemetry/v1.7", "bogus/v0");
         let err = validate_report(&json).unwrap_err();
         assert!(err.contains("$.schema"), "{err}");
     }
@@ -368,7 +457,7 @@ mod tests {
     #[test]
     fn rejects_missing_and_extra_keys() {
         let err =
-            validate_report(r#"{"schema":"chortle-telemetry/v1.6","enabled":true}"#).unwrap_err();
+            validate_report(r#"{"schema":"chortle-telemetry/v1.7","enabled":true}"#).unwrap_err();
         assert!(err.contains("expected"), "{err}");
         let json = sample_report().replace("\"counters\":", "\"extras\":");
         assert!(validate_report(&json).is_err());
@@ -494,6 +583,38 @@ mod tests {
         t.add_counter("blif.lines", 1);
         let err = validate_report(&t.snapshot().to_json()).unwrap_err();
         assert!(err.contains("blif.lines"), "{err}");
+    }
+
+    #[test]
+    fn log_namespace_is_closed() {
+        let t = Telemetry::enabled();
+        for name in LOG_COUNTERS {
+            t.add_counter(name, 1);
+        }
+        validate_report(&t.snapshot().to_json()).expect("documented log counters validate");
+        let t = Telemetry::enabled();
+        t.add_counter("log.evnets", 1);
+        let err = validate_report(&t.snapshot().to_json()).unwrap_err();
+        assert!(err.contains("log.evnets"), "{err}");
+    }
+
+    #[test]
+    fn metrics_fragment_validates_shape_and_arithmetic() {
+        let good = r#"{"window_s":60,"seconds":2,"qps":3.0,"shed_rate":0.25,
+            "cache_hit_rate":0.5,"fn_cache_hit_rate":0.0,
+            "p50_ns":725,"p95_ns":1024,"p99_ns":1024,
+            "window":{"accepted":6,"completed":6,"shed":2},
+            "cumulative":{"accepted":6,"completed":6,"shed":2}}"#;
+        let value = json::parse(good).expect("parses");
+        validate_metrics_fragment(&value).expect("valid fragment");
+        // A window total larger than its cumulative counter is
+        // arithmetic corruption, not a rendering choice.
+        let bad = good.replace(r#""window":{"accepted":6"#, r#""window":{"accepted":9"#);
+        let err = validate_metrics_fragment(&json::parse(&bad).unwrap()).unwrap_err();
+        assert!(err.contains("window.accepted"), "{err}");
+        let bad_rate = good.replace("\"shed_rate\":0.25", "\"shed_rate\":1.5");
+        let err = validate_metrics_fragment(&json::parse(&bad_rate).unwrap()).unwrap_err();
+        assert!(err.contains("shed_rate"), "{err}");
     }
 
     #[test]

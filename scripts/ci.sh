@@ -79,7 +79,8 @@ serve_pid=""
 cleanup_serve() {
   [[ -n "$serve_pid" ]] && kill "$serve_pid" 2>/dev/null
   [[ -n "${design_pid:-}" ]] && kill "$design_pid" 2>/dev/null
-  rm -rf "$serve_tmp" "${design_tmp:-}"
+  [[ -n "${obs_pid:-}" ]] && kill "$obs_pid" 2>/dev/null
+  rm -rf "$serve_tmp" "${design_tmp:-}" "${obs_tmp:-}"
 }
 trap cleanup_serve EXIT
 
@@ -233,6 +234,75 @@ wait "$design_pid" \
 design_pid=""
 rm -rf "$design_tmp"
 design_tmp=""
+
+echo "==> observability smoke (/metrics scrape, JSONL logs, trace correlation)"
+# A dedicated daemon (the main daemon's final report above pins exact
+# request counts) with the Prometheus endpoint and debug logging on.
+obs_tmp="$(mktemp -d)"
+cargo run -q -p chortle-server --bin chortle-serve -- --port 0 --workers 2 \
+  --metrics-addr 127.0.0.1:0 --log-level debug --log-file "$obs_tmp/daemon.jsonl" \
+  > /dev/null 2> "$obs_tmp/daemon.log" &
+obs_pid=$!
+obs_addr=""
+for _ in $(seq 1 100); do
+  obs_addr="$(sed -n 's/^listening on //p' "$obs_tmp/daemon.log" | head -n1)"
+  [[ -n "$obs_addr" ]] && break
+  sleep 0.1
+done
+[[ -n "$obs_addr" ]] \
+  || { echo "ci: the observability daemon never reported an address" >&2; exit 1; }
+metrics_hostport="$(sed -n 's#^metrics on http://\(.*\)/metrics$#\1#p' "$obs_tmp/daemon.log" | head -n1)"
+[[ -n "$metrics_hostport" ]] \
+  || { echo "ci: the daemon never reported its metrics address" >&2; exit 1; }
+
+# One traced request: the response must stay byte-identical to the
+# offline CLI, and the trace_id must land in the structured log.
+printf "$smoke_blif" | cargo run -q -p chortle-server --bin chortle-serve -- \
+  --connect "$obs_addr" --cache off --trace-id ci-trace-1 \
+  > "$obs_tmp/obs.blif" 2>/dev/null \
+  || { echo "ci: the traced request failed" >&2; exit 1; }
+printf '%s\n' "$ref" | cmp -s - "$obs_tmp/obs.blif" \
+  || { echo "ci: the traced response differs from the offline CLI" >&2; exit 1; }
+grep -q '"trace_id":"ci-trace-1"' "$obs_tmp/daemon.jsonl" \
+  || { echo "ci: the trace_id never appeared in the structured log" >&2; exit 1; }
+# Golden JSONL shape: every log line opens with the fixed prefix.
+bad_lines="$(grep -cv '^{"seq":[0-9]*,"t_ns":[0-9]*,"level":"[a-z]*","target":"' \
+  "$obs_tmp/daemon.jsonl" || true)"
+[[ "$bad_lines" == 0 ]] \
+  || { echo "ci: $bad_lines log line(s) violate the JSONL event shape" >&2; exit 1; }
+
+# Scrape /metrics over plain HTTP/1.0 and validate the exposition with
+# report-check --prom (the same check a Prometheus server would need).
+exec 3<>"/dev/tcp/${metrics_hostport%:*}/${metrics_hostport##*:}"
+printf 'GET /metrics HTTP/1.0\r\n\r\n' >&3
+cat <&3 > "$obs_tmp/page.txt"
+exec 3<&- 3>&-
+sed -e '1,/^\r*$/d' "$obs_tmp/page.txt" > "$obs_tmp/metrics.prom"
+cargo run -q -p chortle-cli --bin report-check -- --prom < "$obs_tmp/metrics.prom"
+grep -q '^chortle_serve_completed 1$' "$obs_tmp/metrics.prom" \
+  || { echo "ci: the exposition did not count the traced request" >&2; exit 1; }
+grep -q '^# TYPE chortle_serve_window_qps gauge$' "$obs_tmp/metrics.prom" \
+  || { echo "ci: the exposition is missing the windowed gauges" >&2; exit 1; }
+grep -q '^chortle_serve_run_ns{quantile="0.99"} ' "$obs_tmp/metrics.prom" \
+  || { echo "ci: the exposition is missing the latency summary" >&2; exit 1; }
+
+cargo run -q -p chortle-server --bin chortle-serve -- \
+  --connect "$obs_addr" --shutdown 2>/dev/null
+for _ in $(seq 1 100); do
+  kill -0 "$obs_pid" 2>/dev/null || break
+  sleep 0.1
+done
+if kill -0 "$obs_pid" 2>/dev/null; then
+  echo "ci: the observability daemon did not exit after --shutdown" >&2; exit 1
+fi
+wait "$obs_pid" \
+  || { echo "ci: the observability daemon exited non-zero" >&2; exit 1; }
+obs_pid=""
+# The drain itself is logged (an info event from serve.shutdown).
+grep -q '"target":"serve.shutdown"' "$obs_tmp/daemon.jsonl" \
+  || { echo "ci: the shutdown drain was not logged" >&2; exit 1; }
+rm -rf "$obs_tmp"
+obs_tmp=""
 
 if [[ "$quick" == 0 ]]; then
   echo "==> bench-diff vs committed snapshots (threshold 40%)"
